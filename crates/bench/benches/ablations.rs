@@ -1,0 +1,60 @@
+//! Criterion micro-benches for the accuracy machinery itself: how much a
+//! single accuracy computation costs, isolating the per-tuple overheads
+//! that the throughput figures aggregate.
+
+use ausdb_engine::bootstrap::bootstrap_accuracy_info;
+use ausdb_learn::accuracy::{histogram_accuracy, learn_with_accuracy, DistKind};
+use ausdb_learn::histogram::{BinSpec, HistogramLearner};
+use ausdb_stats::ci::{mean_interval, proportion_interval, variance_interval};
+use ausdb_stats::dist::{ContinuousDistribution, Normal};
+use ausdb_stats::rng::seeded;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_analytical_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytical");
+    group.bench_function("proportion_interval", |b| {
+        b.iter(|| black_box(proportion_interval(black_box(0.3), 20, 0.9)))
+    });
+    group.bench_function("mean_interval_t", |b| {
+        b.iter(|| black_box(mean_interval(black_box(5.0), 2.0, 20, 0.9)))
+    });
+    group.bench_function("variance_interval_chi2", |b| {
+        b.iter(|| black_box(variance_interval(black_box(4.0), 20, 0.9)))
+    });
+    group.finish();
+}
+
+fn bench_learning(c: &mut Criterion) {
+    let d = Normal::new(50.0, 10.0).expect("valid");
+    let mut rng = seeded(1);
+    let sample = d.sample_n(&mut rng, 20);
+    let mut group = c.benchmark_group("learning");
+    group.bench_function("gaussian_with_accuracy_n20", |b| {
+        b.iter(|| black_box(learn_with_accuracy(&sample, DistKind::Gaussian, 0.9)))
+    });
+    group.bench_function("histogram_with_accuracy_n20", |b| {
+        let learner = HistogramLearner::new(BinSpec::Fixed(5));
+        b.iter(|| {
+            let h = learner.learn(&sample).expect("valid sample");
+            black_box(histogram_accuracy(&h, 20, 0.9, Some(&sample)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let d = Normal::new(0.0, 1.0).expect("valid");
+    let mut rng = seeded(2);
+    let mut group = c.benchmark_group("bootstrap_accuracy_info");
+    for m in [200usize, 400, 1000] {
+        let values = d.sample_n(&mut rng, m);
+        group.bench_function(format!("m{m}_n20"), |b| {
+            b.iter(|| black_box(bootstrap_accuracy_info(&values, 20, 0.9, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analytical_primitives, bench_learning, bench_bootstrap);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Criterion micro-benches for the individual streaming operators, so
+//! regressions in any pipeline stage are visible in isolation (the
+//! figure-level benches only see the composed cost).
+
+use ausdb_engine::ops::{
+    AccuracyMode, Filter, GroupAggKind, GroupBy, HashJoin, Project, Projection, Union,
+};
+use ausdb_engine::predicate::{CmpOp, Predicate};
+use ausdb_engine::{BinOp, Expr};
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::stream::{TupleStream, VecStream};
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::AttrDistribution;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 4_000;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("id", ColumnType::Int),
+        Column::new("x", ColumnType::Dist),
+    ])
+    .unwrap()
+}
+
+fn tuples() -> Vec<Tuple> {
+    (0..N)
+        .map(|i| {
+            Tuple::certain(
+                i as u64,
+                vec![
+                    Field::plain((i % 64) as i64),
+                    Field::learned(
+                        AttrDistribution::gaussian(50.0 + (i % 10) as f64, 9.0).unwrap(),
+                        20,
+                    ),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn drain<S: TupleStream>(mut s: S) -> usize {
+    let mut n = 0;
+    while let Some(b) = s.next_batch() {
+        n += b.len();
+    }
+    n
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let data = tuples();
+    let mut group = c.benchmark_group("operators");
+    group.sample_size(20);
+
+    group.bench_function("filter_exact_gaussian", |b| {
+        b.iter(|| {
+            let s = VecStream::new(schema(), data.clone(), 256);
+            let f = Filter::new(
+                s,
+                Predicate::compare(Expr::col("x"), CmpOp::Gt, 52.0),
+                AccuracyMode::Analytical { level: 0.9 },
+                100,
+                7,
+            );
+            black_box(drain(f))
+        })
+    });
+
+    group.bench_function("project_closed_form", |b| {
+        b.iter(|| {
+            let s = VecStream::new(schema(), data.clone(), 256);
+            let p = Project::new(
+                s,
+                vec![Projection::new(
+                    "y",
+                    Expr::bin(BinOp::Div, Expr::col("x"), Expr::Const(60.0)),
+                )],
+                AccuracyMode::Analytical { level: 0.9 },
+                100,
+                7,
+            )
+            .unwrap();
+            black_box(drain(p))
+        })
+    });
+
+    group.bench_function("group_by_avg", |b| {
+        b.iter(|| {
+            let s = VecStream::new(schema(), data.clone(), 256);
+            let g = GroupBy::new(
+                s,
+                "id",
+                "x",
+                GroupAggKind::Avg,
+                AccuracyMode::Analytical { level: 0.9 },
+                7,
+            )
+            .unwrap();
+            black_box(drain(g))
+        })
+    });
+
+    group.bench_function("hash_join", |b| {
+        let right_schema = Schema::new(vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("limit", ColumnType::Float),
+        ])
+        .unwrap();
+        let right: Vec<Tuple> = (0..64)
+            .map(|i| Tuple::certain(i, vec![Field::plain(i as i64), Field::plain(30.0)]))
+            .collect();
+        b.iter(|| {
+            let l = VecStream::new(schema(), data.clone(), 256);
+            let r = VecStream::new(right_schema.clone(), right.clone(), 256);
+            let j = HashJoin::new(l, r, "id").unwrap();
+            black_box(drain(j))
+        })
+    });
+
+    group.bench_function("union", |b| {
+        b.iter(|| {
+            let a = VecStream::new(schema(), data.clone(), 256);
+            let bb = VecStream::new(schema(), data.clone(), 256);
+            let u = Union::new(a, bb).unwrap();
+            black_box(drain(u))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the throughput figures.
+//!
+//! * `fig5c/*` — the learn → window-AVG pipeline under each accuracy mode
+//!   (Figure 5(c)'s three bars).
+//! * `fig5f/*` — the same pipeline followed by each significance stage
+//!   (Figure 5(f)'s four bars).
+//!
+//! Criterion reports per-iteration time over a fixed item count; divide
+//! items by the reported time to recover tuples/second.
+
+use ausdb_bench::fig5cf::{generate_items, run_sig_pipeline, run_window_pipeline, SigStage};
+use ausdb_engine::ops::AccuracyMode;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const ITEMS: usize = 8_000;
+const WINDOW: usize = 1_000;
+
+fn bench_fig5c(c: &mut Criterion) {
+    let items = generate_items(ITEMS, 2012);
+    let mut group = c.benchmark_group("fig5c");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("qp_only", AccuracyMode::None),
+        ("analytical", AccuracyMode::Analytical { level: 0.9 }),
+        ("bootstrap", AccuracyMode::Bootstrap { level: 0.9, mc_values: 400 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || items.clone(),
+                |items| black_box(run_window_pipeline(&items, WINDOW, mode)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig5f(c: &mut Criterion) {
+    let items = generate_items(ITEMS, 2012);
+    let mut group = c.benchmark_group("fig5f");
+    group.sample_size(10);
+    for stage in [SigStage::None, SigStage::MTest, SigStage::MdTest, SigStage::PTest] {
+        group.bench_function(stage.label(), |b| {
+            b.iter_batched(
+                || items.clone(),
+                |items| black_box(run_sig_pipeline(&items, WINDOW, stage)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5c, bench_fig5f);
+criterion_main!(benches);

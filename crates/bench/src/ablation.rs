@@ -1,0 +1,229 @@
+//! Ablations of the design choices called out in DESIGN.md §4.
+//!
+//! Each ablation disables one ingredient of the paper's method and
+//! measures the damage, quantifying *why* the design is the way it is:
+//!
+//! * [`wilson_vs_wald`] — Lemma 1's `n·p ≥ 4` switch to the Wilson score
+//!   interval: forcing Wald on rare buckets inflates the miss rate.
+//! * [`t_vs_z`] — Lemma 2's t/z switch at n = 30: a z interval at small n
+//!   under-covers.
+//! * [`df_vs_naive_n`] — Lemma 3's de-facto sample size vs. the naive "use
+//!   the Monte-Carlo value count": the naive choice produces absurdly
+//!   narrow intervals that miss almost always.
+//! * [`bootstrap_resamples`] — sensitivity of `BOOTSTRAP-ACCURACY-INFO` to
+//!   the Monte-Carlo budget `m` (and hence the resample count r = m/n).
+
+use ausdb_datagen::workload::WorkloadGen;
+use ausdb_engine::bootstrap::bootstrap_accuracy_info;
+use ausdb_engine::mc::monte_carlo;
+use ausdb_stats::ci::{
+    mean_interval_t, mean_interval_z, wald_proportion, wilson_proportion,
+};
+use ausdb_stats::dist::{Binomial, ContinuousDistribution, Normal};
+use ausdb_stats::rng::substream;
+use ausdb_stats::summary::Summary;
+use rand::RngExt;
+
+use crate::ExpConfig;
+
+/// A labeled miss-rate (or length) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Primary metric (miss rate unless stated otherwise).
+    pub miss_rate: f64,
+    /// Secondary metric: average interval length.
+    pub avg_length: f64,
+}
+
+/// Wald vs. Wilson on a rare bucket (`p = 0.1`, `n = 20`, so `n·p = 2`).
+pub fn wilson_vs_wald(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let p_true = 0.1;
+    let n = 20;
+    let bin = Binomial::new(n as u64, p_true).expect("valid parameters");
+    let trials = cfg.trials * cfg.population;
+    let mut rows = Vec::new();
+    for (label, use_wilson) in [("wilson (Lemma 1)", true), ("forced wald", false)] {
+        let mut miss = 0;
+        let mut len_sum = 0.0;
+        for t in 0..trials {
+            let mut rng = substream(cfg.seed, 0xAB1 ^ t as u64);
+            let k = bin.sample(&mut rng);
+            let p_hat = k as f64 / n as f64;
+            let ci = if use_wilson {
+                wilson_proportion(p_hat, n, cfg.level)
+            } else {
+                wald_proportion(p_hat, n, cfg.level)
+            };
+            if !ci.contains(p_true) {
+                miss += 1;
+            }
+            len_sum += ci.length();
+        }
+        rows.push(AblationRow {
+            label: label.into(),
+            miss_rate: miss as f64 / trials as f64,
+            avg_length: len_sum / trials as f64,
+        });
+    }
+    rows
+}
+
+/// t vs. z mean intervals at n = 10 on normal data.
+pub fn t_vs_z(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let d = Normal::new(5.0, 2.0).expect("valid parameters");
+    let n = 10;
+    let trials = cfg.trials * cfg.population;
+    let mut rows = Vec::new();
+    for (label, use_t) in [("t interval (Lemma 2, n<30)", true), ("forced z", false)] {
+        let mut miss = 0;
+        let mut len_sum = 0.0;
+        for t in 0..trials {
+            let mut rng = substream(cfg.seed, 0xAB2 ^ t as u64);
+            let sample = d.sample_n(&mut rng, n);
+            let s = Summary::of(&sample);
+            let ci = if use_t {
+                mean_interval_t(s.mean(), s.std_dev(), n, cfg.level)
+            } else {
+                mean_interval_z(s.mean(), s.std_dev(), n, cfg.level)
+            };
+            if !ci.contains(5.0) {
+                miss += 1;
+            }
+            len_sum += ci.length();
+        }
+        rows.push(AblationRow {
+            label: label.into(),
+            miss_rate: miss as f64 / trials as f64,
+            avg_length: len_sum / trials as f64,
+        });
+    }
+    rows
+}
+
+/// Lemma 3's de-facto sample size vs. naively using the Monte-Carlo value
+/// count `m` as `n` in Theorem 1.
+pub fn df_vs_naive_n(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let gen = WorkloadGen::paper(cfg.seed ^ 0xAB3);
+    let queries = cfg.population.max(8);
+    let mut acc: [(usize, f64, usize); 2] = [(0, 0.0, 0), (0, 0.0, 0)]; // (miss, len, checks)
+    for i in 0..queries {
+        let q = gen.generate(i as u64);
+        let mut rng = substream(cfg.seed, 0xAB3 ^ (i as u64) << 8);
+        let sizes: Vec<usize> = (0..q.num_inputs()).map(|_| rng.random_range(10..=30)).collect();
+        let (schema, tuple) = q.make_learned_tuple(&sizes, &mut rng);
+        let df_n = *sizes.iter().min().expect("inputs present");
+        let m = 40 * df_n;
+        let Ok(values) = monte_carlo(&q.expr, &tuple, &schema, m, &mut rng) else {
+            continue;
+        };
+        let truth = q.true_result_sample(20_000, &mut rng);
+        if truth.iter().any(|v| !v.is_finite()) {
+            continue;
+        }
+        let true_mean = Summary::of(&truth).mean();
+        let s = Summary::of(&values);
+        for (slot, n) in [(0usize, df_n), (1usize, m)] {
+            let ci = ausdb_stats::ci::mean_interval(s.mean(), s.std_dev(), n, cfg.level);
+            if !ci.contains(true_mean) {
+                acc[slot].0 += 1;
+            }
+            acc[slot].1 += ci.length();
+            acc[slot].2 += 1;
+        }
+    }
+    [("de-facto n (Lemma 3)", 0), ("naive n = m", 1)]
+        .into_iter()
+        .map(|(label, slot)| AblationRow {
+            label: label.into(),
+            miss_rate: acc[slot].0 as f64 / acc[slot].2.max(1) as f64,
+            avg_length: acc[slot].1 / acc[slot].2.max(1) as f64,
+        })
+        .collect()
+}
+
+/// Sensitivity of the bootstrap to the Monte-Carlo budget `m` (the
+/// resample count is `r = m / n`).
+pub fn bootstrap_resamples(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let d = Normal::new(0.0, 1.0).expect("valid parameters");
+    let n = 20;
+    let trials = cfg.trials * 4;
+    [2usize, 5, 10, 20, 50]
+        .into_iter()
+        .map(|r_target| {
+            let m = r_target * n;
+            let mut miss = 0;
+            let mut len_sum = 0.0;
+            for t in 0..trials {
+                let mut rng = substream(cfg.seed, 0xAB4 ^ (r_target as u64) << 24 ^ t as u64);
+                let values = d.sample_n(&mut rng, m);
+                let info = bootstrap_accuracy_info(&values, n, cfg.level, None)
+                    .expect("m >= 2n by construction");
+                let ci = info.mean_ci.expect("mean interval present");
+                if !ci.contains(0.0) {
+                    miss += 1;
+                }
+                len_sum += ci.length();
+            }
+            AblationRow {
+                label: format!("r = {r_target} (m = {m})"),
+                miss_rate: miss as f64 / trials as f64,
+                avg_length: len_sum / trials as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_beats_wald_on_rare_buckets() {
+        let rows = wilson_vs_wald(&ExpConfig::smoke());
+        let wilson = &rows[0];
+        let wald = &rows[1];
+        assert!(
+            wilson.miss_rate < wald.miss_rate,
+            "wilson {} should miss less than wald {}",
+            wilson.miss_rate,
+            wald.miss_rate
+        );
+    }
+
+    #[test]
+    fn t_covers_better_than_z_at_small_n() {
+        let rows = t_vs_z(&ExpConfig::smoke());
+        let t = &rows[0];
+        let z = &rows[1];
+        assert!(t.miss_rate <= z.miss_rate + 0.01);
+        assert!(t.avg_length > z.avg_length, "t intervals are wider by design");
+        // t at 90% on normal data should be near nominal 10%.
+        assert!(t.miss_rate < 0.16, "t miss {}", t.miss_rate);
+    }
+
+    #[test]
+    fn naive_n_destroys_coverage() {
+        let rows = df_vs_naive_n(&ExpConfig::smoke());
+        let df = &rows[0];
+        let naive = &rows[1];
+        assert!(
+            naive.miss_rate > df.miss_rate + 0.2,
+            "naive n=m (miss {}) must be far worse than Lemma 3 (miss {})",
+            naive.miss_rate,
+            df.miss_rate
+        );
+        assert!(naive.avg_length < df.avg_length, "naive intervals are deceptively narrow");
+    }
+
+    #[test]
+    fn more_resamples_stabilize_the_bootstrap() {
+        let rows = bootstrap_resamples(&ExpConfig::smoke());
+        assert_eq!(rows.len(), 5);
+        // All configurations produce sane intervals.
+        for r in &rows {
+            assert!(r.avg_length > 0.0 && r.avg_length < 3.0, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! `experiments` — regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! Usage:
+//! ```text
+//! experiments [fig4a|fig4b|fig4c|fig4d|fig5a|fig5b|fig5c|fig5d|fig5e|
+//!              fig5f|fig5g|fig5h|ablations|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks populations/trials for a fast smoke run; the default
+//! parameters match the paper (100 segments/pairs/queries, 90% intervals).
+//! Run release builds for the throughput figures:
+//! `cargo run -p ausdb-bench --release --bin experiments -- all`.
+
+use ausdb_bench::report::{f, f2, render_table, write_csv};
+use ausdb_bench::{ablation, fig4, fig5ab, fig5cf, fig5de, fig5gh, weighted_exp, ExpConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    CSV_DIR.with(|c| *c.borrow_mut() = csv_dir);
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let mut which = positional.next().cloned().unwrap_or_else(|| "all".into());
+    // `--csv DIR` consumes the next positional-looking token.
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        if args.get(i + 1).map(|s| s.as_str()) == Some(which.as_str()) {
+            which = positional.next().cloned().unwrap_or_else(|| "all".into());
+        }
+    }
+    let cfg = if quick {
+        ExpConfig { population: 30, trials: 15, ..ExpConfig::default() }
+    } else {
+        ExpConfig::default()
+    };
+    // Throughput sizes: enough items for the window to fill many times.
+    let (tp_items, tp_window) = if quick { (20_000, 1000) } else { (120_000, 1000) };
+
+    let run_all = which == "all";
+    let mut ran = false;
+
+    if run_all || which == "fig4a" {
+        ran = true;
+        let rows = fig4::interval_lengths(&cfg);
+        print_table(
+            "Figure 4(a): sample size vs. 90% interval length of mu (road-delay data)",
+            &["n", "interval_len_mu"],
+            rows.iter().map(|r| vec![r.n.to_string(), f(r.mean_len)]).collect(),
+        );
+    }
+    if run_all || which == "fig4b" {
+        ran = true;
+        let rows = fig4::normalize_lengths(&fig4::interval_lengths(&cfg));
+        print_table(
+            "Figure 4(b): n vs. normalized interval lengths",
+            &["n", "bin_heights", "mean", "variance"],
+            rows.iter()
+                .map(|r| vec![r.n.to_string(), f(r.bin_len), f(r.mean_len), f(r.variance_len)])
+                .collect(),
+        );
+    }
+    if run_all || which == "fig4c" {
+        ran = true;
+        let rows = fig4::miss_rates(&cfg);
+        print_table(
+            "Figure 4(c): miss rates vs. n (90% intervals)",
+            &["n", "bin_heights", "mean", "variance"],
+            rows.iter()
+                .map(|r| {
+                    vec![r.n.to_string(), f(r.bin_miss), f(r.mean_miss), f(r.variance_miss)]
+                })
+                .collect(),
+        );
+    }
+    if run_all || which == "fig4d" {
+        ran = true;
+        let rows = fig4::family_miss_rates(&cfg);
+        print_table(
+            "Figure 4(d): average miss rate per distribution (n = 20)",
+            &["distribution", "avg_miss_rate"],
+            rows.iter().map(|r| vec![r.family.to_string(), f(r.avg_miss)]).collect(),
+        );
+    }
+    if run_all || which == "fig5a" {
+        ran = true;
+        let rows = fig5ab::fig5a(&cfg);
+        print_table(
+            "Figure 5(a): bootstrap vs. analytical (road-delay routes + random queries)",
+            &["dataset", "statistic", "interval_len_ratio", "boot_miss_rate", "analytic_miss_rate"],
+            rows.iter()
+                .map(|r| {
+                    vec![
+                        r.dataset.to_string(),
+                        r.statistic.to_string(),
+                        f(r.len_ratio),
+                        f(r.boot_miss),
+                        f(r.analytic_miss),
+                    ]
+                })
+                .collect(),
+        );
+    }
+    if run_all || which == "fig5b" {
+        ran = true;
+        let rows = fig5ab::fig5b(&cfg);
+        print_table(
+            "Figure 5(b): bootstrap vs. analytical when results are truly Gaussian",
+            &["dataset", "statistic", "interval_len_ratio", "boot_miss_rate", "analytic_miss_rate"],
+            rows.iter()
+                .map(|r| {
+                    vec![
+                        r.dataset.to_string(),
+                        r.statistic.to_string(),
+                        f(r.len_ratio),
+                        f(r.boot_miss),
+                        f(r.analytic_miss),
+                    ]
+                })
+                .collect(),
+        );
+    }
+    if run_all || which == "fig5c" {
+        ran = true;
+        let rows = fig5cf::fig5c(tp_items, tp_window, cfg.seed);
+        print_table(
+            "Figure 5(c): max throughput (learn 20-point Gaussians, window-1000 AVG)",
+            &["configuration", "tuples_per_second"],
+            rows.iter().map(|r| vec![r.config.to_string(), f2(r.tuples_per_sec)]).collect(),
+        );
+    }
+    if run_all || which == "fig5d" {
+        ran = true;
+        let rows = fig5de::fig5d(&cfg);
+        print_table(
+            "Figure 5(d): single mdTest errors vs. n (alpha = 0.05, 100 route pairs)",
+            &["n", "false_pos", "false_neg", "errors_without_sig_pred", "comparisons"],
+            rows.iter()
+                .map(|r| {
+                    vec![
+                        r.n.to_string(),
+                        r.false_positives.to_string(),
+                        r.false_negatives.to_string(),
+                        r.errors_without.to_string(),
+                        r.comparisons.to_string(),
+                    ]
+                })
+                .collect(),
+        );
+    }
+    if run_all || which == "fig5e" {
+        ran = true;
+        let rows = fig5de::fig5e(&cfg);
+        print_table(
+            "Figure 5(e): COUPLED-TESTS outcomes vs. n (alpha1 = alpha2 = 0.05)",
+            &["n", "false_pos", "false_neg", "unsure", "errors_without_our_work", "comparisons"],
+            rows.iter()
+                .map(|r| {
+                    vec![
+                        r.n.to_string(),
+                        r.false_positives.to_string(),
+                        r.false_negatives.to_string(),
+                        r.unsure.to_string(),
+                        r.errors_without.to_string(),
+                        r.comparisons.to_string(),
+                    ]
+                })
+                .collect(),
+        );
+    }
+    if run_all || which == "fig5f" {
+        ran = true;
+        let rows = fig5cf::fig5f(tp_items, tp_window, cfg.seed);
+        print_table(
+            "Figure 5(f): throughput with significance predicates after window AVG",
+            &["configuration", "tuples_per_second"],
+            rows.iter().map(|r| vec![r.config.to_string(), f2(r.tuples_per_sec)]).collect(),
+        );
+    }
+    if run_all || which == "fig5g" {
+        ran = true;
+        let rows = fig5gh::fig5g(&cfg);
+        print_power_table("Figure 5(g): power of coupled mTest vs. delta (n = 20)", &rows, "delta");
+        println!(
+            "(companion check: coupled mTest false-positive rate = {:.4}, spec 0.05)\n",
+            fig5gh::mtest_fp_rate(&cfg)
+        );
+    }
+    if run_all || which == "fig5h" {
+        ran = true;
+        let rows = fig5gh::fig5h(&cfg);
+        print_power_table(
+            "Figure 5(h): power of coupled pTest vs. tau (delta = 0.3, n = 20)",
+            &rows,
+            "tau",
+        );
+    }
+    if run_all || which == "ablations" {
+        ran = true;
+        for (title, rows) in [
+            ("Ablation: Wilson vs. forced Wald (p = 0.1, n = 20)", ablation::wilson_vs_wald(&cfg)),
+            ("Ablation: t vs. forced z mean interval (n = 10)", ablation::t_vs_z(&cfg)),
+            ("Ablation: de-facto n (Lemma 3) vs. naive n = m", ablation::df_vs_naive_n(&cfg)),
+            ("Ablation: bootstrap resample count", ablation::bootstrap_resamples(&cfg)),
+        ] {
+            print_table(
+                title,
+                &["configuration", "miss_rate", "avg_interval_len"],
+                rows.iter()
+                    .map(|r| vec![r.label.clone(), f(r.miss_rate), f(r.avg_length)])
+                    .collect(),
+            );
+        }
+    }
+
+    if run_all || which == "drift" {
+        ran = true;
+        let rows = weighted_exp::drift_experiment(&cfg);
+        print_table(
+            "Extension: recency-weighted learning under drift (Section VII future work)",
+            &["learner", "tracking_error", "coverage_of_truth", "avg_advertised_n"],
+            rows.iter()
+                .map(|r| {
+                    vec![r.learner.to_string(), f(r.tracking_error), f(r.coverage), f2(r.avg_n)]
+                })
+                .collect(),
+        );
+    }
+
+    if !ran {
+        eprintln!(
+            "unknown experiment '{which}'; expected one of fig4a..fig4d, fig5a..fig5h, \
+             ablations, drift, all"
+        );
+        std::process::exit(2);
+    }
+}
+
+thread_local! {
+    static CSV_DIR: std::cell::RefCell<Option<std::path::PathBuf>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn print_table(title: &str, header: &[&str], rows: Vec<Vec<String>>) {
+    println!("{}", render_table(title, header, &rows));
+    CSV_DIR.with(|c| {
+        if let Some(dir) = c.borrow().as_ref() {
+            // Derive a file name from the whole title (several tables share
+            // the prefix before the colon, e.g. the four ablations).
+            let name: String = title
+                .chars()
+                .map(|ch| if ch.is_ascii_alphanumeric() { ch.to_ascii_lowercase() } else { ' ' })
+                .collect::<String>()
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join("_")
+                .chars()
+                .take(60)
+                .collect();
+            if let Err(e) = write_csv(dir, &name, header, &rows) {
+                eprintln!("warning: could not write CSV for '{title}': {e}");
+            }
+        }
+    });
+}
+
+/// Pivots power rows into one column per family.
+fn print_power_table(title: &str, rows: &[ausdb_bench::fig5gh::PowerRow], param: &str) {
+    let mut params: Vec<f64> = rows.iter().map(|r| r.param).collect();
+    params.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    params.dedup();
+    let families: Vec<&str> = {
+        let mut fs: Vec<&str> = rows.iter().map(|r| r.family).collect();
+        fs.dedup();
+        fs
+    };
+    let header: Vec<&str> = std::iter::once(param).chain(families.iter().copied()).collect();
+    let table: Vec<Vec<String>> = params
+        .iter()
+        .map(|&p| {
+            let mut row = vec![format!("{p:.1}")];
+            for fam in &families {
+                let v = rows
+                    .iter()
+                    .find(|r| r.family == *fam && (r.param - p).abs() < 1e-9)
+                    .map(|r| r.power)
+                    .unwrap_or(f64::NAN);
+                row.push(f(v));
+            }
+            row
+        })
+        .collect();
+    print_table(title, &header, table);
+}

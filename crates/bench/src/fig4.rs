@@ -1,0 +1,318 @@
+//! Figure 4: accuracy information via analytical methods.
+//!
+//! * **4(a)** — sample size `n` vs. 90% interval length of μ on the
+//!   road-delay data.
+//! * **4(b)** — `n` vs. interval lengths for bin heights / mean /
+//!   variance, normalized by the length at n = 10.
+//! * **4(c)** — miss rates of the three interval kinds vs. `n`.
+//! * **4(d)** — miss rates (averaged over the three kinds) for the five
+//!   synthetic families at n = 20.
+//!
+//! Methodology mirrors Section V-B: pick well-covered segments whose
+//! ground truth is known, repeatedly draw a small sample of size `n`,
+//! learn the distribution plus its accuracy information, and compare the
+//! intervals against the truth.
+
+use ausdb_datagen::cartel::CartelSim;
+use ausdb_datagen::synthetic::SyntheticFamily;
+use ausdb_learn::accuracy::histogram_accuracy;
+use ausdb_learn::histogram::{BinSpec, HistogramLearner};
+use ausdb_stats::ci::{mean_interval, variance_interval};
+use ausdb_stats::rng::substream;
+use ausdb_stats::summary::Summary;
+
+use crate::ExpConfig;
+
+/// The sample sizes the paper sweeps (its x-axes run 10–80).
+pub const SAMPLE_SIZES: [usize; 8] = [10, 20, 30, 40, 50, 60, 70, 80];
+
+/// One row of Figure 4(a)/(b): average interval lengths at sample size `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthRow {
+    /// Sample size.
+    pub n: usize,
+    /// Average 90% interval length of μ (Figure 4(a)'s y-axis).
+    pub mean_len: f64,
+    /// Average per-bin interval length.
+    pub bin_len: f64,
+    /// Average interval length of σ².
+    pub variance_len: f64,
+}
+
+/// One row of Figure 4(c): miss rates at sample size `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissRow {
+    /// Sample size.
+    pub n: usize,
+    /// Miss rate of the bin-height intervals.
+    pub bin_miss: f64,
+    /// Miss rate of the μ interval.
+    pub mean_miss: f64,
+    /// Miss rate of the σ² interval.
+    pub variance_miss: f64,
+}
+
+/// One row of Figure 4(d): per-family average miss rate at n = 20.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyMissRow {
+    /// Family name as in the paper's x-axis.
+    pub family: &'static str,
+    /// Miss rate averaged over bin heights, mean, and variance.
+    pub avg_miss: f64,
+}
+
+/// Per-segment experiment state: ground truth for one road segment.
+struct SegmentTruth {
+    id: i64,
+    mean: f64,
+    variance: f64,
+    /// Fixed bucket edges (true 0.1%–99.9% range) and true bucket masses.
+    edges: Vec<f64>,
+    bin_probs: Vec<f64>,
+}
+
+fn segment_truths(sim: &CartelSim, cfg: &ExpConfig) -> Vec<SegmentTruth> {
+    sim.well_covered_segments(cfg.population)
+        .into_iter()
+        .map(|id| {
+            let seg = sim.segment(id).expect("valid id");
+            // Fixed equi-width buckets over the central 99.8% of the truth.
+            let lo = quantile_of(seg, 0.001);
+            let hi = quantile_of(seg, 0.999);
+            let b = cfg.bins;
+            let edges: Vec<f64> =
+                (0..=b).map(|i| lo + (hi - lo) * i as f64 / b as f64).collect();
+            let bin_probs = edges
+                .windows(2)
+                .map(|w| seg.true_cdf(w[1]) - seg.true_cdf(w[0]))
+                .collect();
+            SegmentTruth { id, mean: seg.true_mean(), variance: seg.true_variance(), edges, bin_probs }
+        })
+        .collect()
+}
+
+/// Gamma quantile through repeated CDF bisection (only needed at setup).
+fn quantile_of(seg: &ausdb_datagen::cartel::Segment, p: f64) -> f64 {
+    let (mut lo, mut hi) = (0.0, seg.true_mean() * 50.0 + 1.0);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if seg.true_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Shared sweep over segments × trials × sample sizes; calls `visit` with
+/// the learned intervals and the ground truth.
+fn sweep<Fv>(cfg: &ExpConfig, mut visit: Fv)
+where
+    Fv: FnMut(
+        usize,                         // sample size n
+        &SegmentTruth,                 // ground truth
+        &[ausdb_stats::ConfidenceInterval], // bin CIs
+        ausdb_stats::ConfidenceInterval,    // mean CI
+        ausdb_stats::ConfidenceInterval,    // variance CI
+    ),
+{
+    let sim = CartelSim::new(cfg.num_segments, cfg.seed);
+    let truths = segment_truths(&sim, cfg);
+    let learner = HistogramLearner::new(BinSpec::Fixed(cfg.bins));
+    for truth in &truths {
+        let seg = sim.segment(truth.id).expect("valid id");
+        for trial in 0..cfg.trials {
+            let mut rng =
+                substream(cfg.seed, 0x4A ^ (truth.id as u64) << 24 ^ trial as u64);
+            for &n in &SAMPLE_SIZES {
+                let sample = seg.observe_n(&mut rng, n);
+                let hist = learner
+                    .learn_in_range(
+                        &sample,
+                        truth.edges[0],
+                        *truth.edges.last().expect("nonempty edges"),
+                    )
+                    .expect("valid range");
+                let info = histogram_accuracy(&hist, n, cfg.level, None);
+                let s = Summary::of(&sample);
+                let mean_ci = mean_interval(s.mean(), s.std_dev(), n, cfg.level);
+                let var_ci = variance_interval(s.variance(), n, cfg.level);
+                visit(
+                    n,
+                    truth,
+                    info.bin_cis.as_ref().expect("histogram accuracy has bin CIs"),
+                    mean_ci,
+                    var_ci,
+                );
+            }
+        }
+    }
+}
+
+/// Figures 4(a) and 4(b): average interval lengths per sample size.
+pub fn interval_lengths(cfg: &ExpConfig) -> Vec<LengthRow> {
+    let mut acc: std::collections::BTreeMap<usize, (f64, f64, f64, usize)> =
+        SAMPLE_SIZES.iter().map(|&n| (n, (0.0, 0.0, 0.0, 0))).collect();
+    sweep(cfg, |n, _truth, bins, mean_ci, var_ci| {
+        let bin_len = bins.iter().map(|c| c.length()).sum::<f64>() / bins.len() as f64;
+        let e = acc.get_mut(&n).expect("preseeded key");
+        e.0 += mean_ci.length();
+        e.1 += bin_len;
+        e.2 += var_ci.length();
+        e.3 += 1;
+    });
+    acc.into_iter()
+        .map(|(n, (m, b, v, k))| LengthRow {
+            n,
+            mean_len: m / k as f64,
+            bin_len: b / k as f64,
+            variance_len: v / k as f64,
+        })
+        .collect()
+}
+
+/// Figure 4(b)'s normalization: divides each statistic's lengths by its
+/// length at the smallest sample size.
+pub fn normalize_lengths(rows: &[LengthRow]) -> Vec<LengthRow> {
+    let base = rows.first().expect("at least one sample size");
+    rows.iter()
+        .map(|r| LengthRow {
+            n: r.n,
+            mean_len: r.mean_len / base.mean_len,
+            bin_len: r.bin_len / base.bin_len,
+            variance_len: r.variance_len / base.variance_len,
+        })
+        .collect()
+}
+
+/// Figure 4(c): miss rates of the three interval kinds vs. sample size.
+pub fn miss_rates(cfg: &ExpConfig) -> Vec<MissRow> {
+    let mut acc: std::collections::BTreeMap<usize, (usize, usize, usize, usize, usize)> =
+        SAMPLE_SIZES.iter().map(|&n| (n, (0, 0, 0, 0, 0))).collect();
+    sweep(cfg, |n, truth, bins, mean_ci, var_ci| {
+        let e = acc.get_mut(&n).expect("preseeded key");
+        for (ci, &p) in bins.iter().zip(&truth.bin_probs) {
+            if !ci.contains(p) {
+                e.0 += 1;
+            }
+            e.3 += 1; // bin checks
+        }
+        if !mean_ci.contains(truth.mean) {
+            e.1 += 1;
+        }
+        if !var_ci.contains(truth.variance) {
+            e.2 += 1;
+        }
+        e.4 += 1; // trials
+    });
+    acc.into_iter()
+        .map(|(n, (bm, mm, vm, bin_total, trials))| MissRow {
+            n,
+            bin_miss: bm as f64 / bin_total as f64,
+            mean_miss: mm as f64 / trials as f64,
+            variance_miss: vm as f64 / trials as f64,
+        })
+        .collect()
+}
+
+/// Figure 4(d): average miss rates per synthetic family at n = 20.
+pub fn family_miss_rates(cfg: &ExpConfig) -> Vec<FamilyMissRow> {
+    const N: usize = 20;
+    let learner = HistogramLearner::new(BinSpec::Fixed(5));
+    SyntheticFamily::ALL
+        .iter()
+        .map(|fam| {
+            // Fixed buckets over the family's central mass.
+            let lo = fam.quantile(0.001);
+            let hi = fam.quantile(0.999);
+            let edges: Vec<f64> = (0..=5).map(|i| lo + (hi - lo) * i as f64 / 5.0).collect();
+            let truth_bins: Vec<f64> =
+                edges.windows(2).map(|w| fam.cdf(w[1]) - fam.cdf(w[0])).collect();
+            let trials = cfg.trials * cfg.population / 4;
+            let (mut bin_miss, mut bin_total) = (0usize, 0usize);
+            let (mut mean_miss, mut var_miss) = (0usize, 0usize);
+            for t in 0..trials {
+                let mut rng = substream(cfg.seed, 0x4D ^ (*fam as u64) << 32 ^ t as u64);
+                let sample = fam.sample_n(&mut rng, N);
+                let hist = learner.learn_in_range(&sample, lo, hi).expect("valid range");
+                let info = histogram_accuracy(&hist, N, cfg.level, None);
+                for (ci, &p) in
+                    info.bin_cis.as_ref().expect("bin CIs present").iter().zip(&truth_bins)
+                {
+                    if !ci.contains(p) {
+                        bin_miss += 1;
+                    }
+                    bin_total += 1;
+                }
+                let s = Summary::of(&sample);
+                if !mean_interval(s.mean(), s.std_dev(), N, cfg.level).contains(fam.mean()) {
+                    mean_miss += 1;
+                }
+                if !variance_interval(s.variance(), N, cfg.level).contains(fam.variance()) {
+                    var_miss += 1;
+                }
+            }
+            let avg = (bin_miss as f64 / bin_total as f64
+                + mean_miss as f64 / trials as f64
+                + var_miss as f64 / trials as f64)
+                / 3.0;
+            FamilyMissRow { family: fam.name(), avg_miss: avg }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_lengths_decrease_with_n() {
+        let rows = interval_lengths(&ExpConfig::smoke());
+        assert_eq!(rows.len(), SAMPLE_SIZES.len());
+        // Lengths fall roughly like 1/√n: n=10 vs n=40 ⇒ factor ≈ 2.
+        let r10 = rows[0];
+        let r40 = rows[3];
+        assert!(r10.mean_len > r40.mean_len * 1.5, "{r10:?} vs {r40:?}");
+        assert!(r10.bin_len > r40.bin_len * 1.5);
+        assert!(r10.variance_len > r40.variance_len * 1.5);
+    }
+
+    #[test]
+    fn fig4b_normalization_starts_at_one() {
+        let rows = normalize_lengths(&interval_lengths(&ExpConfig::smoke()));
+        assert!((rows[0].mean_len - 1.0).abs() < 1e-12);
+        assert!((rows[0].bin_len - 1.0).abs() < 1e-12);
+        assert!((rows[0].variance_len - 1.0).abs() < 1e-12);
+        assert!(rows.last().expect("rows nonempty").mean_len < 0.6);
+    }
+
+    #[test]
+    fn fig4c_miss_rate_ordering() {
+        // The paper's finding: bin heights miss least, variance most (the
+        // delay data is skewed, breaking the χ² normality assumption).
+        let rows = miss_rates(&ExpConfig::smoke());
+        let avg_bin: f64 = rows.iter().map(|r| r.bin_miss).sum::<f64>() / rows.len() as f64;
+        let avg_var: f64 =
+            rows.iter().map(|r| r.variance_miss).sum::<f64>() / rows.len() as f64;
+        assert!(
+            avg_bin < avg_var,
+            "bin miss {avg_bin} should be below variance miss {avg_var}"
+        );
+        assert!(avg_bin < 0.2, "90% bin intervals should miss rarely: {avg_bin}");
+    }
+
+    #[test]
+    fn fig4d_all_families_reasonable() {
+        let rows = family_miss_rates(&ExpConfig::smoke());
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.avg_miss < 0.35,
+                "{}: average miss {} too high for 90% intervals",
+                r.family,
+                r.avg_miss
+            );
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Figures 5(g) and 5(h): power of the coupled tests on synthetic data.
+//!
+//! * **5(g)** — power of the coupled `mTest(X, ">", c, 0.05, 0.05)` as a
+//!   function of the effect size δ, per distribution family. The tested
+//!   constant is `c = (1 − δ)·μ`, so H₁ (`E(X) > c`) is true with gap
+//!   `δ·μ`; power = Pr[TRUE returned]. Sample size n = 20. The paper
+//!   observes power rising fastest for uniform (tiny variance) and Gamma
+//!   (large μ relative to σ).
+//! * **5(h)** — power of the coupled `pTest(X > v, τ, 0.05, 0.05)` vs.
+//!   the threshold τ, with `v` chosen so the true `Pr[X > v] = τ(1 + δ)`
+//!   (δ = 0.3). Because the decision is quantile-based, the curves are
+//!   nearly distribution-independent.
+
+use ausdb_datagen::synthetic::SyntheticFamily;
+use ausdb_engine::predicate::{CmpOp, Predicate};
+use ausdb_engine::sigpred::{coupled_tests, CoupledConfig, SigOutcome, SigPredicate};
+use ausdb_engine::Expr;
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::AttrDistribution;
+use ausdb_stats::htest::Alternative;
+use ausdb_stats::rng::substream;
+
+use crate::ExpConfig;
+
+/// Per-family sample size in both experiments (the paper uses 20).
+pub const N: usize = 20;
+
+/// One power measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerRow {
+    /// Family name.
+    pub family: &'static str,
+    /// The swept parameter (δ for 5(g), τ for 5(h)).
+    pub param: f64,
+    /// Estimated power: fraction of trials returning TRUE.
+    pub power: f64,
+}
+
+fn single_field_tuple(sample: Vec<f64>) -> (Schema, Tuple) {
+    let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).expect("one column");
+    let n = sample.len();
+    let t = Tuple::certain(
+        0,
+        vec![Field::learned(AttrDistribution::empirical(sample).expect("finite"), n)],
+    );
+    (schema, t)
+}
+
+/// Figure 5(g): power of the coupled mTest vs. δ.
+pub fn fig5g(cfg: &ExpConfig) -> Vec<PowerRow> {
+    let deltas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let coupled_cfg = CoupledConfig::default();
+    let trials = cfg.trials * cfg.population / 8;
+    let mut rows = Vec::new();
+    for fam in SyntheticFamily::ALL {
+        for &delta in &deltas {
+            let c = (1.0 - delta) * fam.mean();
+            let pred = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, c);
+            let mut true_count = 0;
+            for t in 0..trials {
+                let mut rng =
+                    substream(cfg.seed, 0x56 ^ (fam as u64) << 40 ^ ((delta * 10.0) as u64) << 20 ^ t as u64);
+                let sample = fam.sample_n(&mut rng, N);
+                let (schema, tuple) = single_field_tuple(sample);
+                if coupled_tests(&pred, coupled_cfg, &tuple, &schema, &mut rng)
+                    .expect("valid inputs")
+                    == SigOutcome::True
+                {
+                    true_count += 1;
+                }
+            }
+            rows.push(PowerRow {
+                family: fam.name(),
+                param: delta,
+                power: true_count as f64 / trials as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 5(h): power of the coupled pTest vs. τ (δ = 0.3).
+///
+/// τ is swept over values where `τ(1 + δ) < 1` so the H₁-true construction
+/// `Pr[X > v] = τ(1 + δ)` stays a valid probability.
+pub fn fig5h(cfg: &ExpConfig) -> Vec<PowerRow> {
+    let delta = 0.3;
+    let taus = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+    let coupled_cfg = CoupledConfig::default();
+    let trials = cfg.trials * cfg.population / 8;
+    let mut rows = Vec::new();
+    for fam in SyntheticFamily::ALL {
+        for &tau in &taus {
+            let true_p = tau * (1.0 + delta);
+            assert!(true_p < 1.0, "sweep keeps τ(1+δ) < 1");
+            // v with Pr[X > v] = true_p, i.e. the (1 − true_p) quantile.
+            let v = fam.quantile(1.0 - true_p);
+            let pred = SigPredicate::p_test(
+                Predicate::compare(Expr::col("x"), CmpOp::Gt, v),
+                tau,
+            );
+            let mut true_count = 0;
+            for t in 0..trials {
+                let mut rng = substream(
+                    cfg.seed,
+                    0x58 ^ (fam as u64) << 40 ^ ((tau * 10.0) as u64) << 20 ^ t as u64,
+                );
+                let sample = fam.sample_n(&mut rng, N);
+                let (schema, tuple) = single_field_tuple(sample);
+                if coupled_tests(&pred, coupled_cfg, &tuple, &schema, &mut rng)
+                    .expect("valid inputs")
+                    == SigOutcome::True
+                {
+                    true_count += 1;
+                }
+            }
+            rows.push(PowerRow {
+                family: fam.name(),
+                param: tau,
+                power: true_count as f64 / trials as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Companion check (reported in prose in Section V-D): with
+/// `c = (1 + δ)·μ`, H₁ is false, so TRUE returns are false positives and
+/// their rate must stay below α₁. Returns the overall FP rate.
+pub fn mtest_fp_rate(cfg: &ExpConfig) -> f64 {
+    let coupled_cfg = CoupledConfig::default();
+    let trials = cfg.trials * cfg.population / 4;
+    let mut fp = 0;
+    let mut total = 0;
+    for fam in SyntheticFamily::ALL {
+        for delta in [0.1, 0.3, 0.5] {
+            let c = (1.0 + delta) * fam.mean();
+            let pred = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, c);
+            for t in 0..trials {
+                let mut rng = substream(
+                    cfg.seed,
+                    0x59 ^ (fam as u64) << 40 ^ ((delta * 10.0) as u64) << 20 ^ t as u64,
+                );
+                let sample = fam.sample_n(&mut rng, N);
+                let (schema, tuple) = single_field_tuple(sample);
+                if coupled_tests(&pred, coupled_cfg, &tuple, &schema, &mut rng)
+                    .expect("valid inputs")
+                    == SigOutcome::True
+                {
+                    fp += 1;
+                }
+                total += 1;
+            }
+        }
+    }
+    fp as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_family<'a>(rows: &'a [PowerRow], fam: &str) -> Vec<&'a PowerRow> {
+        rows.iter().filter(|r| r.family == fam).collect()
+    }
+
+    #[test]
+    fn fig5g_power_increases_with_delta() {
+        let rows = fig5g(&ExpConfig::smoke());
+        for fam in SyntheticFamily::ALL {
+            let f = by_family(&rows, fam.name());
+            assert!(
+                f.last().expect("rows present").power >= f[0].power,
+                "{}: power should rise with δ",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fig5g_uniform_rises_fastest() {
+        // The paper's observation: uniform's tiny variance (1/12) makes
+        // the test easy even at small δ.
+        let rows = fig5g(&ExpConfig::smoke());
+        let uni = by_family(&rows, "uniform");
+        let exp = by_family(&rows, "exponential");
+        let at = |rs: &[&PowerRow], d: f64| {
+            rs.iter().find(|r| (r.param - d).abs() < 1e-9).expect("param present").power
+        };
+        assert!(
+            at(&uni, 0.3) >= at(&exp, 0.3),
+            "uniform {} should dominate exponential {} at δ=0.3",
+            at(&uni, 0.3),
+            at(&exp, 0.3)
+        );
+    }
+
+    #[test]
+    fn fig5h_power_increases_with_tau() {
+        let rows = fig5h(&ExpConfig::smoke());
+        for fam in SyntheticFamily::ALL {
+            let f = by_family(&rows, fam.name());
+            assert!(
+                f.last().expect("rows present").power >= f[0].power - 0.1,
+                "{}: power should rise with τ",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fig5h_families_behave_similarly() {
+        // Quantile-based decisions are distribution-free: at the largest τ
+        // the families' powers should cluster.
+        let rows = fig5h(&ExpConfig::smoke());
+        let at_top: Vec<f64> = SyntheticFamily::ALL
+            .iter()
+            .map(|f| {
+                by_family(&rows, f.name())
+                    .last()
+                    .expect("rows present")
+                    .power
+            })
+            .collect();
+        let max = at_top.iter().cloned().fold(f64::MIN, f64::max);
+        let min = at_top.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min < 0.5, "top-τ powers spread too wide: {at_top:?}");
+    }
+
+    #[test]
+    fn mtest_false_positive_rate_below_alpha() {
+        let rate = mtest_fp_rate(&ExpConfig::smoke());
+        assert!(rate < 0.10, "coupled mTest FP rate {rate} should be ≲ 0.05");
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders a table: a title line, a header row, and aligned data rows.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let head: Vec<String> =
+        header.iter().enumerate().map(|(i, h)| format!("{h:>w$}", w = widths[i])).collect();
+    out.push_str(&head.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(head.join("  ").len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as a CSV file `dir/name.csv` (creates `dir` if needed).
+pub fn write_csv(
+    dir: &std::path::Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Formats a float with 4 significant decimals.
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            "demo",
+            &["n", "value"],
+            &[vec!["10".into(), "1.5".into()], vec!["1000".into(), "0.25".into()]],
+        );
+        assert!(s.contains("## demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[3].ends_with("1.5") || lines[3].ends_with(" 1.5"));
+    }
+
+    #[test]
+    fn csv_writing() {
+        let dir = std::env::temp_dir().join("ausdb_csv_test");
+        let path = write_csv(
+            &dir,
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "x,y".into()], vec!["2".into(), "plain".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("\"x,y\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(f(0.123456), "0.1235");
+        assert_eq!(f2(1.0 / 3.0), "0.33");
+    }
+}

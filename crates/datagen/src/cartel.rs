@@ -1,0 +1,259 @@
+//! CarTel-style road-delay simulator.
+//!
+//! The paper's real dataset comes from 28 taxis measuring traffic delays on
+//! Boston-area road segments. The experiments use it as (a) a source of
+//! iid delay observations per segment whose "true" distribution is the
+//! empirical distribution of a large (≥ 600) sample, and (b) routes of
+//! ~20 segments whose total delay is queried. This simulator reproduces
+//! those properties with *known* ground truth:
+//!
+//! * each segment has a length and speed limit giving a base travel time;
+//! * its delay is Gamma-distributed around that base (right-skewed, like
+//!   real traffic delays), with segment-specific shape/scale;
+//! * a simulated taxi fleet produces timestamped observation records
+//!   (Figure 1's raw-data shape), with per-segment report rates varying so
+//!   that some segments are data-rich and others data-poor — the paper's
+//!   road-19-vs-road-20 contrast.
+
+use ausdb_learn::learner::RawObservation;
+use ausdb_stats::dist::{ContinuousDistribution, Gamma};
+use ausdb_stats::rng::substream;
+use rand::{Rng, RngExt};
+
+/// One road segment with its ground-truth delay distribution.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Segment id.
+    pub id: i64,
+    /// Length in meters.
+    pub length_m: f64,
+    /// Speed limit in km/h.
+    pub speed_limit_kmh: f64,
+    /// Ground-truth delay distribution (seconds).
+    delay: Gamma,
+    /// Relative observation rate: how often taxis report this segment
+    /// (0.1 = rarely, 1.0 = heavily traveled).
+    pub report_rate: f64,
+}
+
+impl Segment {
+    /// The true mean delay (seconds).
+    pub fn true_mean(&self) -> f64 {
+        self.delay.mean()
+    }
+
+    /// The true delay variance.
+    pub fn true_variance(&self) -> f64 {
+        self.delay.variance()
+    }
+
+    /// The true `Pr[delay > t]`.
+    pub fn true_prob_greater(&self, t: f64) -> f64 {
+        self.delay.sf(t)
+    }
+
+    /// The true CDF of the delay at `t`.
+    pub fn true_cdf(&self, t: f64) -> f64 {
+        self.delay.cdf(t)
+    }
+
+    /// Draws one delay observation.
+    pub fn observe<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.delay.sample(rng)
+    }
+
+    /// Draws `n` iid delay observations.
+    pub fn observe_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        self.delay.sample_n(rng, n)
+    }
+}
+
+/// The simulated road network and taxi fleet.
+#[derive(Debug, Clone)]
+pub struct CartelSim {
+    segments: Vec<Segment>,
+    seed: u64,
+}
+
+impl CartelSim {
+    /// Builds a network of `num_segments` segments with deterministic,
+    /// seed-controlled heterogeneity in length, congestion, and coverage.
+    pub fn new(num_segments: usize, seed: u64) -> Self {
+        assert!(num_segments > 0, "need at least one segment");
+        let mut segments = Vec::with_capacity(num_segments);
+        for id in 0..num_segments {
+            let mut rng = substream(seed, id as u64);
+            // Segment geometry: 100 m – 2 km, 25–65 km/h limits.
+            let length_m = 100.0 + rng.random::<f64>() * 1900.0;
+            let speed_limit_kmh = 25.0 + (rng.random::<f64>() * 4.0).floor() * 10.0;
+            let base_s = length_m / (speed_limit_kmh / 3.6);
+            // Delay = Gamma(k, θ) with mean ≈ congestion·base and a
+            // right-skewed shape (k between 2 and 6).
+            let congestion = 0.8 + rng.random::<f64>() * 1.4;
+            let shape = 2.0 + rng.random::<f64>() * 4.0;
+            let scale = congestion * base_s / shape;
+            let delay = Gamma::new(shape, scale).expect("positive parameters");
+            // Coverage is heavy-tailed: a few segments get most reports.
+            let report_rate = (rng.random::<f64>().powi(2) * 0.95 + 0.05).min(1.0);
+            segments.push(Segment {
+                id: id as i64,
+                length_m,
+                speed_limit_kmh,
+                delay,
+                report_rate,
+            });
+        }
+        Self { segments, seed }
+    }
+
+    /// The network's segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Borrows one segment by id.
+    pub fn segment(&self, id: i64) -> Option<&Segment> {
+        self.segments.get(id as usize)
+    }
+
+    /// A fresh RNG for a named experiment stage, derived from the
+    /// simulator's seed.
+    pub fn rng_for(&self, stage: u64) -> rand::rngs::StdRng {
+        substream(self.seed, 0x5EED ^ stage)
+    }
+
+    /// Draws `n` iid observations of one segment (the experiments'
+    /// "pick a sample of a small size uniformly at random" step).
+    pub fn segment_sample(&self, id: i64, n: usize, stage: u64) -> Vec<f64> {
+        let seg = self.segment(id).expect("valid segment id");
+        let mut rng = substream(self.seed, (id as u64) << 20 | stage);
+        seg.observe_n(&mut rng, n)
+    }
+
+    /// Simulates the taxi fleet over `duration_s` seconds: each segment
+    /// receives reports as a Poisson-like process with intensity
+    /// `reports_per_min · report_rate`. Returns Figure-1-shaped raw
+    /// records ordered by timestamp.
+    pub fn fleet_observations(
+        &self,
+        duration_s: u64,
+        reports_per_min: f64,
+        stage: u64,
+    ) -> Vec<RawObservation> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            let mut rng = substream(self.seed, 0xF1EE7 ^ (seg.id as u64) << 8 ^ stage);
+            let rate_per_s = reports_per_min * seg.report_rate / 60.0;
+            let mut t = 0.0_f64;
+            loop {
+                // Exponential inter-arrival times.
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                t += -u.ln() / rate_per_s;
+                if t >= duration_s as f64 {
+                    break;
+                }
+                out.push(RawObservation::new(seg.id, t as u64, seg.observe(&mut rng)));
+            }
+        }
+        out.sort_by_key(|o| o.ts);
+        out
+    }
+
+    /// Ids of segments whose simulated coverage is rich enough to serve as
+    /// "true-distribution" references (the paper required ≥ 600
+    /// observations; here richness is the report rate, since we can draw
+    /// arbitrarily many observations from the ground truth).
+    pub fn well_covered_segments(&self, count: usize) -> Vec<i64> {
+        let mut ids: Vec<(i64, f64)> =
+            self.segments.iter().map(|s| (s.id, s.report_rate)).collect();
+        ids.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("rates are finite"));
+        ids.into_iter().take(count).map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::summary::Summary;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CartelSim::new(10, 7);
+        let b = CartelSim::new(10, 7);
+        for (x, y) in a.segments().iter().zip(b.segments()) {
+            assert_eq!(x.true_mean(), y.true_mean());
+        }
+        assert_eq!(a.segment_sample(3, 5, 1), b.segment_sample(3, 5, 1));
+    }
+
+    #[test]
+    fn segments_are_heterogeneous() {
+        let sim = CartelSim::new(50, 42);
+        let means: Vec<f64> = sim.segments().iter().map(|s| s.true_mean()).collect();
+        let s = Summary::of(&means);
+        assert!(s.std_dev() > 1.0, "segment means should vary: sd {}", s.std_dev());
+        assert!(means.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn observations_match_ground_truth() {
+        let sim = CartelSim::new(5, 11);
+        let seg = sim.segment(2).unwrap();
+        let sample = sim.segment_sample(2, 20_000, 9);
+        let s = Summary::of(&sample);
+        let se = (seg.true_variance() / sample.len() as f64).sqrt();
+        assert!(
+            (s.mean() - seg.true_mean()).abs() < 5.0 * se,
+            "sample mean {} vs truth {}",
+            s.mean(),
+            seg.true_mean()
+        );
+    }
+
+    #[test]
+    fn delays_are_right_skewed() {
+        // Sanity: Gamma delays have positive skew — mean > median.
+        let sim = CartelSim::new(20, 13);
+        for seg in sim.segments() {
+            let median = {
+                let mut xs = sim.segment_sample(seg.id, 4001, 3);
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                xs[2000]
+            };
+            assert!(
+                seg.true_mean() > median * 0.95,
+                "segment {} not right-skewed: mean {} median {median}",
+                seg.id,
+                seg.true_mean()
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_produces_figure1_shape() {
+        let sim = CartelSim::new(8, 17);
+        let obs = sim.fleet_observations(600, 6.0, 1);
+        assert!(!obs.is_empty());
+        // Timestamps sorted and within range.
+        assert!(obs.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert!(obs.iter().all(|o| o.ts < 600));
+        // Coverage varies by segment.
+        let mut counts = [0usize; 8];
+        for o in &obs {
+            counts[o.key as usize] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max > min, "report counts should differ across segments");
+    }
+
+    #[test]
+    fn well_covered_sorted_by_rate() {
+        let sim = CartelSim::new(30, 19);
+        let top = sim.well_covered_segments(5);
+        assert_eq!(top.len(), 5);
+        let rates: Vec<f64> =
+            top.iter().map(|&id| sim.segment(id).unwrap().report_rate).collect();
+        assert!(rates.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

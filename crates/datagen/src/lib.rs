@@ -1,0 +1,32 @@
+//! Data substrate for the experiments.
+//!
+//! The paper evaluates on (1) a real road-delay dataset collected by the
+//! CarTel project and (2) synthetic datasets drawn in R from five common
+//! distributions. Neither resource is redistributable, so this crate
+//! provides faithful stand-ins (see DESIGN.md's substitution table):
+//!
+//! * [`synthetic`] — the five distribution families with the paper's exact
+//!   parameters: exponential(λ=1), Gamma(k=2, θ=2), normal(μ=1, σ²=1),
+//!   uniform(0, 1), Weibull(λ=1, k=1).
+//! * [`cartel`] — a simulated road network whose segments have known
+//!   ground-truth delay distributions (right-skewed Gamma delays around a
+//!   segment-specific base travel time) sampled by a simulated taxi fleet.
+//! * [`routes`] — routes as sequences of segments (~20 per route, as in
+//!   Section V-C) and close-mean route pairs for the significance-predicate
+//!   experiments.
+//! * [`workload`] — the random-query generator of Section V-C: expressions
+//!   built from six operators with equal probability over inputs drawn
+//!   from the five families.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cartel;
+pub mod routes;
+pub mod synthetic;
+pub mod workload;
+
+pub use cartel::{CartelSim, Segment};
+pub use routes::{close_mean_pairs, make_routes, Route};
+pub use synthetic::SyntheticFamily;
+pub use workload::{RandomQuery, WorkloadGen};

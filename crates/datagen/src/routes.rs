@@ -1,0 +1,207 @@
+//! Routes over the simulated road network.
+//!
+//! Section V-C queries "the total delays of a number of routes. On
+//! average, there are around 20 road segments per route. Different road
+//! segments may have different sample sizes." Section V-D builds "100
+//! pairs of routes … whose true mean values are close".
+
+use ausdb_stats::rng::substream;
+use rand::{Rng, RngExt};
+
+use crate::cartel::CartelSim;
+
+/// A route: an ordered list of segment ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Route identifier.
+    pub id: usize,
+    /// The segments traversed.
+    pub segments: Vec<i64>,
+}
+
+impl Route {
+    /// The route's true expected total delay: the sum of segment means.
+    pub fn true_mean(&self, sim: &CartelSim) -> f64 {
+        self.segments
+            .iter()
+            .map(|&id| sim.segment(id).expect("segment exists").true_mean())
+            .sum()
+    }
+
+    /// The route's true total-delay variance (independent segments).
+    pub fn true_variance(&self, sim: &CartelSim) -> f64 {
+        self.segments
+            .iter()
+            .map(|&id| sim.segment(id).expect("segment exists").true_variance())
+            .sum()
+    }
+
+    /// Draws one total-delay observation: one delay per segment, summed.
+    pub fn observe<R: Rng + ?Sized>(&self, sim: &CartelSim, rng: &mut R) -> f64 {
+        self.segments
+            .iter()
+            .map(|&id| sim.segment(id).expect("segment exists").observe(rng))
+            .sum()
+    }
+
+    /// Draws `n` iid total-delay observations.
+    pub fn observe_n<R: Rng + ?Sized>(&self, sim: &CartelSim, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.observe(sim, rng)).collect()
+    }
+}
+
+/// Builds `count` random routes of ~`avg_len` segments each (between
+/// `avg_len/2` and `3·avg_len/2`, uniformly), choosing segments without
+/// replacement within a route.
+pub fn make_routes(sim: &CartelSim, count: usize, avg_len: usize, seed: u64) -> Vec<Route> {
+    assert!(avg_len >= 2, "routes need at least 2 segments on average");
+    let num_segments = sim.segments().len();
+    assert!(
+        num_segments >= 3 * avg_len / 2,
+        "network too small for routes of ~{avg_len} segments"
+    );
+    (0..count)
+        .map(|id| {
+            let mut rng = substream(seed, 0x0407E ^ id as u64);
+            let len = avg_len / 2 + rng.random_range(0..=avg_len);
+            let mut segs = Vec::with_capacity(len);
+            while segs.len() < len.max(2) {
+                let cand = rng.random_range(0..num_segments) as i64;
+                if !segs.contains(&cand) {
+                    segs.push(cand);
+                }
+            }
+            Route { id, segments: segs }
+        })
+        .collect()
+}
+
+/// Builds `count` pairs of routes whose true mean total delays differ by
+/// a *small but nonzero* relative gap, targeting the band
+/// `[rel_gap / 3, rel_gap]`. Starting from a base route, the partner swaps
+/// one segment for another with a similar mean — the construction the
+/// paper uses to make small-sample comparisons challenging: hard at small
+/// n, decidable once enough observations accumulate.
+///
+/// Returns pairs `(a, b)` ordered so `a.true_mean() ≤ b.true_mean()`.
+pub fn close_mean_pairs(
+    sim: &CartelSim,
+    count: usize,
+    avg_len: usize,
+    rel_gap: f64,
+    seed: u64,
+) -> Vec<(Route, Route)> {
+    assert!(rel_gap > 0.0, "need a positive relative gap");
+    let lo_gap = rel_gap / 3.0;
+    let bases = make_routes(sim, count, avg_len, seed ^ 0xA11CE);
+    let num_segments = sim.segments().len();
+    bases
+        .into_iter()
+        .enumerate()
+        .map(|(i, base)| {
+            let mut rng = substream(seed, 0xBEEF ^ i as u64);
+            let base_mean = base.true_mean(sim);
+            // Swap one segment; keep the candidate whose gap lands closest
+            // to the middle of the target band.
+            let target = 0.5 * (lo_gap + rel_gap);
+            let mut best: Option<(Route, f64)> = None;
+            for _ in 0..400 {
+                let mut alt = base.clone();
+                alt.id = base.id + 10_000;
+                let pos = rng.random_range(0..alt.segments.len());
+                let cand = rng.random_range(0..num_segments) as i64;
+                if alt.segments.contains(&cand) {
+                    continue;
+                }
+                alt.segments[pos] = cand;
+                let gap = (alt.true_mean(sim) - base_mean).abs() / base_mean;
+                if gap == 0.0 {
+                    continue;
+                }
+                let dist = (gap - target).abs();
+                if best.as_ref().map(|&(_, d)| dist < d).unwrap_or(true) {
+                    best = Some((alt, dist));
+                }
+                if gap >= lo_gap && gap <= rel_gap {
+                    break;
+                }
+            }
+            let (alt, _) = best.expect("400 attempts always yield a candidate");
+            if alt.true_mean(sim) >= base_mean {
+                (base, alt)
+            } else {
+                (alt, base)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::rng::seeded;
+    use ausdb_stats::summary::Summary;
+
+    fn sim() -> CartelSim {
+        CartelSim::new(120, 21)
+    }
+
+    #[test]
+    fn routes_have_expected_shape() {
+        let sim = sim();
+        let routes = make_routes(&sim, 30, 20, 5);
+        assert_eq!(routes.len(), 30);
+        let lens: Vec<f64> = routes.iter().map(|r| r.segments.len() as f64).collect();
+        let mean_len = Summary::of(&lens).mean();
+        assert!((mean_len - 20.0).abs() < 5.0, "avg length {mean_len}");
+        for r in &routes {
+            // No duplicate segments within a route.
+            let mut s = r.segments.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), r.segments.len());
+        }
+    }
+
+    #[test]
+    fn route_mean_is_sum_of_segments() {
+        let sim = sim();
+        let routes = make_routes(&sim, 5, 10, 7);
+        for r in &routes {
+            let expect: f64 =
+                r.segments.iter().map(|&id| sim.segment(id).unwrap().true_mean()).sum();
+            assert!((r.true_mean(&sim) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn route_observations_match_truth() {
+        let sim = sim();
+        let r = &make_routes(&sim, 1, 8, 9)[0];
+        let mut rng = seeded(31);
+        let obs = r.observe_n(&sim, &mut rng, 20_000);
+        let s = Summary::of(&obs);
+        let se = (r.true_variance(&sim) / obs.len() as f64).sqrt();
+        assert!(
+            (s.mean() - r.true_mean(&sim)).abs() < 5.0 * se,
+            "observed {} vs true {}",
+            s.mean(),
+            r.true_mean(&sim)
+        );
+    }
+
+    #[test]
+    fn close_pairs_are_close_and_ordered() {
+        let sim = sim();
+        let pairs = close_mean_pairs(&sim, 20, 15, 0.05, 3);
+        assert_eq!(pairs.len(), 20);
+        for (a, b) in &pairs {
+            let (ma, mb) = (a.true_mean(&sim), b.true_mean(&sim));
+            assert!(ma <= mb, "pairs must be ordered");
+            assert!(ma != mb, "means must differ (H0/H1 must be decidable)");
+            let gap = (mb - ma) / ma;
+            assert!(gap < 0.30, "gap {gap} too large to be 'close'");
+            assert!(gap > 0.001, "gap {gap} too small to ever be decidable");
+        }
+    }
+}

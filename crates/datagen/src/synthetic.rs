@@ -1,0 +1,175 @@
+//! The five synthetic distribution families of Section V-A.
+
+use ausdb_stats::dist::{
+    ContinuousDistribution, Exponential, Gamma, Normal, Uniform, Weibull,
+};
+use rand::Rng;
+
+/// One of the paper's five synthetic families, with its exact parameters:
+/// exponential(λ = 1), Gamma(k = 2, θ = 2), normal(μ = 1, σ² = 1),
+/// uniform(0, 1), Weibull(λ = 1, k = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticFamily {
+    /// Exponential(λ = 1).
+    Exponential,
+    /// Gamma(k = 2, θ = 2).
+    Gamma,
+    /// Normal(μ = 1, σ² = 1).
+    Normal,
+    /// Uniform(0, 1).
+    Uniform,
+    /// Weibull(λ = 1, k = 1).
+    Weibull,
+}
+
+impl SyntheticFamily {
+    /// All five families, in the paper's listing order.
+    pub const ALL: [SyntheticFamily; 5] = [
+        SyntheticFamily::Exponential,
+        SyntheticFamily::Gamma,
+        SyntheticFamily::Normal,
+        SyntheticFamily::Uniform,
+        SyntheticFamily::Weibull,
+    ];
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyntheticFamily::Exponential => "exponential",
+            SyntheticFamily::Gamma => "gamma",
+            SyntheticFamily::Normal => "normal",
+            SyntheticFamily::Uniform => "uniform",
+            SyntheticFamily::Weibull => "weibull",
+        }
+    }
+
+    /// Draws one observation.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            SyntheticFamily::Exponential => exp_dist().sample(rng),
+            SyntheticFamily::Gamma => gamma_dist().sample(rng),
+            SyntheticFamily::Normal => normal_dist().sample(rng),
+            SyntheticFamily::Uniform => uniform_dist().sample(rng),
+            SyntheticFamily::Weibull => weibull_dist().sample(rng),
+        }
+    }
+
+    /// Draws `n` observations.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The true mean (used as ground truth in miss-rate experiments).
+    pub fn mean(&self) -> f64 {
+        match self {
+            SyntheticFamily::Exponential => exp_dist().mean(),
+            SyntheticFamily::Gamma => gamma_dist().mean(),
+            SyntheticFamily::Normal => normal_dist().mean(),
+            SyntheticFamily::Uniform => uniform_dist().mean(),
+            SyntheticFamily::Weibull => weibull_dist().mean(),
+        }
+    }
+
+    /// The true variance.
+    pub fn variance(&self) -> f64 {
+        match self {
+            SyntheticFamily::Exponential => exp_dist().variance(),
+            SyntheticFamily::Gamma => gamma_dist().variance(),
+            SyntheticFamily::Normal => normal_dist().variance(),
+            SyntheticFamily::Uniform => uniform_dist().variance(),
+            SyntheticFamily::Weibull => weibull_dist().variance(),
+        }
+    }
+
+    /// The true CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match self {
+            SyntheticFamily::Exponential => exp_dist().cdf(x),
+            SyntheticFamily::Gamma => gamma_dist().cdf(x),
+            SyntheticFamily::Normal => normal_dist().cdf(x),
+            SyntheticFamily::Uniform => uniform_dist().cdf(x),
+            SyntheticFamily::Weibull => weibull_dist().cdf(x),
+        }
+    }
+
+    /// The true quantile at probability `p`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        match self {
+            SyntheticFamily::Exponential => exp_dist().quantile(p),
+            SyntheticFamily::Gamma => gamma_dist().quantile(p),
+            SyntheticFamily::Normal => normal_dist().quantile(p),
+            SyntheticFamily::Uniform => uniform_dist().quantile(p),
+            SyntheticFamily::Weibull => weibull_dist().quantile(p),
+        }
+    }
+}
+
+fn exp_dist() -> Exponential {
+    Exponential::new(1.0).expect("λ = 1 is valid")
+}
+
+fn gamma_dist() -> Gamma {
+    Gamma::new(2.0, 2.0).expect("k = 2, θ = 2 is valid")
+}
+
+fn normal_dist() -> Normal {
+    Normal::new(1.0, 1.0).expect("μ = 1, σ = 1 is valid")
+}
+
+fn uniform_dist() -> Uniform {
+    Uniform::new(0.0, 1.0).expect("(0, 1) is valid")
+}
+
+fn weibull_dist() -> Weibull {
+    Weibull::new(1.0, 1.0).expect("λ = 1, k = 1 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::rng::seeded;
+
+    #[test]
+    fn paper_parameters() {
+        assert_eq!(SyntheticFamily::Exponential.mean(), 1.0);
+        assert_eq!(SyntheticFamily::Gamma.mean(), 4.0);
+        assert_eq!(SyntheticFamily::Gamma.variance(), 8.0);
+        assert_eq!(SyntheticFamily::Normal.mean(), 1.0);
+        assert_eq!(SyntheticFamily::Uniform.mean(), 0.5);
+        assert!((SyntheticFamily::Uniform.variance() - 1.0 / 12.0).abs() < 1e-15);
+        assert!((SyntheticFamily::Weibull.mean() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn samples_match_means() {
+        let mut rng = seeded(3);
+        for fam in SyntheticFamily::ALL {
+            let xs = fam.sample_n(&mut rng, 50_000);
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let se = (fam.variance() / xs.len() as f64).sqrt();
+            assert!(
+                (mean - fam.mean()).abs() < 5.0 * se,
+                "{}: sample mean {mean} vs true {}",
+                fam.name(),
+                fam.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_cdf_round_trip() {
+        for fam in SyntheticFamily::ALL {
+            for &p in &[0.1, 0.5, 0.9] {
+                let x = fam.quantile(p);
+                assert!((fam.cdf(x) - p).abs() < 1e-6, "{} at {p}", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            SyntheticFamily::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,264 @@
+//! Random query workload (Section V-C).
+//!
+//! "We generate a random query (expression) by assigning equal
+//! probabilities to six operators +, −, ×, /, SQRT(ABS(·)), and SQUARE.
+//! Together with the five types of distributions described in the previous
+//! experiment, the query selects the result of the random expression."
+//!
+//! [`WorkloadGen`] builds such queries; the restricted
+//! [`WorkloadGen::gaussian_linear`] variant (normal inputs, operators
+//! limited to + and −) reproduces the truly-normal-result setting of
+//! Figure 5(b).
+
+use ausdb_engine::{BinOp, Expr, UnaryOp};
+use ausdb_model::accuracy::AccuracyInfo;
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::AttrDistribution;
+use ausdb_stats::rng::substream;
+use rand::{Rng, RngExt};
+
+use crate::synthetic::SyntheticFamily;
+
+/// A randomly generated query: an expression over input columns
+/// `x0 … x(d−1)`, each drawn from one of the five synthetic families.
+#[derive(Debug, Clone)]
+pub struct RandomQuery {
+    /// The expression (references columns `x0`, `x1`, …).
+    pub expr: Expr,
+    /// The family of each input column.
+    pub inputs: Vec<SyntheticFamily>,
+}
+
+impl RandomQuery {
+    /// Number of input random variables `d`.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Column name of input `i`.
+    pub fn column_name(i: usize) -> String {
+        format!("x{i}")
+    }
+
+    /// Evaluates the expression on one observation per input — one
+    /// de-facto observation of the output r.v. (Definition 2).
+    pub fn eval(&self, draws: &[f64]) -> f64 {
+        assert_eq!(draws.len(), self.inputs.len(), "one draw per input");
+        let (schema, tuple) = empty_context();
+        self.expr
+            .eval_with_draws(&tuple, &schema, &|name| {
+                name.strip_prefix('x')
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .and_then(|i| draws.get(i).copied())
+            })
+            .expect("all columns resolved through draws")
+    }
+
+    /// Draws one observation per input from the **true** distributions.
+    pub fn draw_inputs<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.inputs.iter().map(|fam| fam.sample(rng)).collect()
+    }
+
+    /// `m` de-facto observations of the output drawn from the true input
+    /// distributions — the experiments' ground truth for the result's
+    /// mean / variance / bin probabilities.
+    pub fn true_result_sample<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Vec<f64> {
+        (0..m).map(|_| self.eval(&self.draw_inputs(rng))).collect()
+    }
+
+    /// Builds a probabilistic tuple whose input columns hold **learned**
+    /// empirical distributions: input `i` is learned from a fresh sample
+    /// of `sizes[i]` observations of its true family. This is the
+    /// query-processing-side view, with full sample-size provenance.
+    pub fn make_learned_tuple<R: Rng + ?Sized>(
+        &self,
+        sizes: &[usize],
+        rng: &mut R,
+    ) -> (Schema, Tuple) {
+        assert_eq!(sizes.len(), self.inputs.len(), "one size per input");
+        let columns: Vec<Column> = (0..self.inputs.len())
+            .map(|i| Column::new(Self::column_name(i), ColumnType::Dist))
+            .collect();
+        let schema = Schema::new(columns).expect("distinct generated names");
+        let fields: Vec<Field> = self
+            .inputs
+            .iter()
+            .zip(sizes)
+            .map(|(fam, &n)| {
+                let sample = fam.sample_n(rng, n.max(2));
+                let dist = AttrDistribution::empirical(sample).expect("nonempty finite");
+                Field::learned(dist, n.max(2)).with_accuracy(AccuracyInfo::new(n.max(2)))
+            })
+            .collect();
+        (schema, Tuple::certain(0, fields))
+    }
+}
+
+/// A shared dummy evaluation context for draw-resolved expressions.
+fn empty_context() -> (Schema, Tuple) {
+    (Schema::new(vec![]).expect("empty schema is valid"), Tuple::certain(0, vec![]))
+}
+
+/// Generator configuration for random queries.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    /// Base seed; query `i` uses an independent substream.
+    pub seed: u64,
+    /// Inclusive range of input counts `d`.
+    pub min_inputs: usize,
+    /// See `min_inputs`.
+    pub max_inputs: usize,
+    /// Extra unary applications beyond the combining steps (controls
+    /// expression size).
+    pub extra_ops: usize,
+    /// Restrict inputs to the normal family (Figure 5(b)).
+    pub normal_only: bool,
+    /// Restrict operators to + and − (Figure 5(b)).
+    pub linear_only: bool,
+}
+
+impl WorkloadGen {
+    /// The paper's Section V-C configuration: 2–4 inputs over all five
+    /// families, all six operators.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            seed,
+            min_inputs: 2,
+            max_inputs: 4,
+            extra_ops: 2,
+            normal_only: false,
+            linear_only: false,
+        }
+    }
+
+    /// Figure 5(b)'s restriction: normal inputs, operators limited to
+    /// {+, −}, so the result is exactly normal.
+    pub fn gaussian_linear(seed: u64) -> Self {
+        Self { normal_only: true, linear_only: true, ..Self::paper(seed) }
+    }
+
+    /// Generates the `idx`-th random query (deterministic per index).
+    pub fn generate(&self, idx: u64) -> RandomQuery {
+        assert!(self.min_inputs >= 1 && self.max_inputs >= self.min_inputs);
+        let mut rng = substream(self.seed, 0x40AD ^ idx);
+        let d = rng.random_range(self.min_inputs..=self.max_inputs);
+        let inputs: Vec<SyntheticFamily> = (0..d)
+            .map(|_| {
+                if self.normal_only {
+                    SyntheticFamily::Normal
+                } else {
+                    SyntheticFamily::ALL[rng.random_range(0..SyntheticFamily::ALL.len())]
+                }
+            })
+            .collect();
+        // Build a left-to-right chain: each input appears once as a leaf,
+        // optionally wrapped in one unary operator (SQRT(ABS(·)) or
+        // SQUARE), and leaves are joined by uniformly chosen binary
+        // operators. All six operators occur with equal footing, without
+        // nesting SQUARE over already-compound expressions (which would
+        // amplify tails far beyond anything a real workload would select).
+        let leaf = |i: usize, rng: &mut rand::rngs::StdRng| {
+            let e = Expr::col(RandomQuery::column_name(i));
+            if self.linear_only {
+                return e;
+            }
+            match rng.random_range(0..6) {
+                4 => Expr::un(UnaryOp::SqrtAbs, e),
+                5 => Expr::un(UnaryOp::Square, e),
+                _ => e,
+            }
+        };
+        let mut expr = leaf(0, &mut rng);
+        for i in 1..d {
+            let op = if self.linear_only {
+                [BinOp::Add, BinOp::Sub][rng.random_range(0..2)]
+            } else {
+                [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div][rng.random_range(0..4)]
+            };
+            expr = Expr::bin(op, expr, leaf(i, &mut rng));
+        }
+        // `extra_ops` optionally appends further constant-free unary
+        // wrapping of single inputs re-used nowhere else; with the chain
+        // form there is nothing left to wrap, so it only pads single-input
+        // queries with one unary application.
+        if !self.linear_only && d == 1 && self.extra_ops > 0 {
+            expr = Expr::un(UnaryOp::SqrtAbs, expr);
+        }
+        RandomQuery { expr, inputs }
+    }
+
+    /// Generates the first `count` queries.
+    pub fn generate_n(&self, count: u64) -> Vec<RandomQuery> {
+        (0..count).map(|i| self.generate(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_engine::dfsample::df_sample_size;
+    use ausdb_stats::rng::seeded;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = WorkloadGen::paper(5);
+        let a = g.generate(3);
+        let b = g.generate(3);
+        assert_eq!(format!("{}", a.expr), format!("{}", b.expr));
+        assert_eq!(a.inputs, b.inputs);
+    }
+
+    #[test]
+    fn queries_reference_all_inputs() {
+        let g = WorkloadGen::paper(11);
+        for q in g.generate_n(50) {
+            let cols = q.expr.columns();
+            assert_eq!(cols.len(), q.num_inputs(), "{} vs {:?}", q.expr, q.inputs);
+        }
+    }
+
+    #[test]
+    fn eval_and_true_sample() {
+        let g = WorkloadGen::paper(13);
+        let q = g.generate(0);
+        let mut rng = seeded(1);
+        let vs = q.true_result_sample(500, &mut rng);
+        assert_eq!(vs.len(), 500);
+        assert!(vs.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gaussian_linear_is_linear_over_normals() {
+        let g = WorkloadGen::gaussian_linear(17);
+        for q in g.generate_n(20) {
+            assert!(q.inputs.iter().all(|f| *f == SyntheticFamily::Normal));
+            let s = format!("{}", q.expr);
+            assert!(!s.contains('*') && !s.contains('/'), "nonlinear op in {s}");
+            assert!(!s.contains("SQRT") && !s.contains("SQUARE"), "unary op in {s}");
+        }
+    }
+
+    #[test]
+    fn learned_tuple_has_provenance() {
+        let g = WorkloadGen::paper(19);
+        let q = g.generate(2);
+        let sizes: Vec<usize> = (0..q.num_inputs()).map(|i| 10 + 5 * i).collect();
+        let mut rng = seeded(23);
+        let (schema, tuple) = q.make_learned_tuple(&sizes, &mut rng);
+        assert_eq!(schema.len(), q.num_inputs());
+        // Lemma 3 over the learned tuple gives min of the sizes.
+        let n = df_sample_size(&q.expr, &tuple, &schema).unwrap().unwrap();
+        assert_eq!(n, *sizes.iter().min().unwrap());
+    }
+
+    #[test]
+    fn extra_ops_grow_expressions() {
+        let small = WorkloadGen { extra_ops: 0, ..WorkloadGen::paper(29) };
+        let large = WorkloadGen { extra_ops: 6, ..WorkloadGen::paper(29) };
+        let avg_len = |g: &WorkloadGen| {
+            g.generate_n(30).iter().map(|q| format!("{}", q.expr).len()).sum::<usize>() / 30
+        };
+        assert!(avg_len(&large) >= avg_len(&small));
+    }
+}

@@ -1,0 +1,120 @@
+//! Theorem 1: analytical accuracy of query results.
+//!
+//! "Let 𝒟 denote the distribution of a probabilistic field Y in a query
+//! result tuple … Lemma 1 (Lemma 2) determines its accuracy information,
+//! where we use the d.f. sample size of Y as the n value, and use the mean
+//! and standard deviation of 𝒟 as ȳ and s. In addition, the accuracy of a
+//! result tuple probability is based on Lemma 1 by treating it as a one-bin
+//! histogram."
+
+use ausdb_model::accuracy::{AccuracyInfo, TupleProbability};
+use ausdb_model::dist::AttrDistribution;
+use ausdb_stats::ci::{mean_interval, proportion_interval, variance_interval};
+
+use crate::error::EngineError;
+
+/// **Theorem 1** for a result field: analytical accuracy of a result
+/// distribution `dist` whose de-facto sample size is `df_n`, at confidence
+/// `level`.
+///
+/// Histogram results get Lemma 1 per-bin intervals *and* the generic μ/σ²
+/// intervals; any other distribution gets Lemma 2's μ/σ² intervals using
+/// the distribution's own mean and standard deviation as `ȳ` and `s`.
+pub fn result_accuracy(
+    dist: &AttrDistribution,
+    df_n: usize,
+    level: f64,
+) -> Result<AccuracyInfo, EngineError> {
+    if df_n < 2 {
+        return Err(EngineError::NoAccuracyInfo(format!(
+            "de-facto sample size {df_n} is too small for Lemma 2 intervals"
+        )));
+    }
+    let y_bar = dist.mean();
+    let s = dist.std_dev();
+    let mut info = AccuracyInfo::new(df_n)
+        .with_mean_ci(mean_interval(y_bar, s, df_n, level))
+        .with_variance_ci(variance_interval(s * s, df_n, level));
+    if let AttrDistribution::Histogram(h) = dist {
+        let bin_cis = h
+            .probs()
+            .iter()
+            .map(|&p| proportion_interval(p, df_n, level))
+            .collect::<Vec<_>>();
+        info = info.with_bin_cis(bin_cis);
+    }
+    Ok(info)
+}
+
+/// **Theorem 1** for a result tuple's membership probability: treat `p`
+/// as a one-bin histogram learned from the boolean r.v.'s d.f. sample of
+/// size `df_n` and apply Lemma 1 (Example 5's `0.6 ± 0.18` computation).
+pub fn tuple_probability_accuracy(
+    p: f64,
+    df_n: usize,
+    level: f64,
+) -> Result<TupleProbability, EngineError> {
+    let tp = TupleProbability::new(p).map_err(EngineError::Model)?;
+    let ci = proportion_interval(p, df_n, level);
+    Ok(tp.with_ci(ci, df_n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_model::dist::Histogram;
+
+    #[test]
+    fn example5_tuple_probability() {
+        // Pr[C > 80] = 0.6 learned from n=20 ⇒ 90% CI = 0.6 ± 0.18.
+        let tp = tuple_probability_accuracy(0.6, 20, 0.9).unwrap();
+        let ci = tp.ci.unwrap();
+        assert!((ci.lo - 0.42).abs() < 2e-3, "{ci}");
+        assert!((ci.hi - 0.78).abs() < 2e-3, "{ci}");
+        assert_eq!(tp.sample_size, Some(20));
+    }
+
+    #[test]
+    fn gaussian_result_gets_lemma2() {
+        let d = AttrDistribution::gaussian(15.0, 3.25).unwrap();
+        let info = result_accuracy(&d, 10, 0.9).unwrap();
+        assert_eq!(info.sample_size, 10);
+        let mu = info.mean_ci.unwrap();
+        assert!(mu.contains(15.0));
+        // t(9) at 90%: 15 ± 1.833·√3.25/√10.
+        let half = 1.833 * 3.25_f64.sqrt() / 10.0_f64.sqrt();
+        assert!((mu.hi - (15.0 + half)).abs() < 1e-3, "{mu}");
+        assert!(info.variance_ci.unwrap().contains(3.25));
+        assert!(info.bin_cis.is_none());
+    }
+
+    #[test]
+    fn histogram_result_gets_lemma1_bins() {
+        let h = Histogram::new(vec![0.0, 1.0, 2.0], vec![0.3, 0.7]).unwrap();
+        let info = result_accuracy(&AttrDistribution::Histogram(h), 25, 0.9).unwrap();
+        let cis = info.bin_cis.unwrap();
+        assert_eq!(cis.len(), 2);
+        assert!(cis[0].contains(0.3));
+        assert!(cis[1].contains(0.7));
+        assert!(info.mean_ci.is_some() && info.variance_ci.is_some());
+    }
+
+    #[test]
+    fn smaller_df_n_gives_wider_intervals() {
+        let d = AttrDistribution::gaussian(0.0, 1.0).unwrap();
+        let wide = result_accuracy(&d, 5, 0.9).unwrap().mean_ci.unwrap();
+        let narrow = result_accuracy(&d, 50, 0.9).unwrap().mean_ci.unwrap();
+        assert!(wide.length() > narrow.length());
+    }
+
+    #[test]
+    fn tiny_df_n_rejected() {
+        let d = AttrDistribution::gaussian(0.0, 1.0).unwrap();
+        assert!(result_accuracy(&d, 1, 0.9).is_err());
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(tuple_probability_accuracy(1.5, 20, 0.9).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Algorithm `BOOTSTRAP-ACCURACY-INFO` (Section III-B).
+//!
+//! Input: the sequence `v[0..m]` of values of an output random variable
+//! (from Monte-Carlo query processing, or sampled from a closed-form result
+//! distribution), the de-facto sample size `n`, and the confidence level α.
+//!
+//! The algorithm groups the `m` values into `r = ⌊m/n⌋` **de-facto
+//! resamples** of size `n` each (line 1), computes per-resample statistics
+//! — bin heights, sample mean `ȳ[i]`, sample variance `s²[i]` (lines 6–10)
+//! — and reports the α percentile interval over each statistic's `r`
+//! values (lines 12–15). Lemma 4 / Theorem 2 justify treating the groups
+//! as resamples from the `c = Π nᵢ!/(nᵢ−n)!` de-facto samples.
+
+use ausdb_model::accuracy::AccuracyInfo;
+use ausdb_stats::ci::percentile_interval;
+use ausdb_stats::summary::Summary;
+
+use crate::error::EngineError;
+
+/// Runs `BOOTSTRAP-ACCURACY-INFO(v, n, level)`.
+///
+/// `bin_edges`, when provided (length `b + 1`, strictly increasing), adds
+/// per-bin height intervals for a histogram over those buckets; values
+/// outside the range count toward no bucket, matching line 7's indicator
+/// `o[j] ∈ b_k`. Pass `None` for arbitrary distributions, where only μ and
+/// σ² intervals are needed.
+///
+/// Requires `m ≥ 2n` (at least two d.f. resamples) and `n ≥ 2` (sample
+/// variance needs two observations).
+pub fn bootstrap_accuracy_info(
+    v: &[f64],
+    n: usize,
+    level: f64,
+    bin_edges: Option<&[f64]>,
+) -> Result<AccuracyInfo, EngineError> {
+    if n < 2 {
+        return Err(EngineError::NoAccuracyInfo(format!(
+            "d.f. sample size {n} too small for resample statistics"
+        )));
+    }
+    let m = v.len();
+    let r = m / n; // line 1: number of d.f. resamples
+    if r < 2 {
+        return Err(EngineError::NoAccuracyInfo(format!(
+            "only {m} Monte-Carlo values for d.f. sample size {n}: need >= {}",
+            2 * n
+        )));
+    }
+    if let Some(edges) = bin_edges {
+        if edges.len() < 2 || edges.windows(2).any(|w| !(w[0] < w[1])) {
+            return Err(EngineError::InvalidQuery(
+                "bin edges must be strictly increasing with length >= 2".into(),
+            ));
+        }
+    }
+    let b = bin_edges.map(|e| e.len() - 1).unwrap_or(0);
+
+    let mut means = Vec::with_capacity(r);
+    let mut variances = Vec::with_capacity(r);
+    let mut bin_heights: Vec<Vec<f64>> = vec![Vec::with_capacity(r); b];
+
+    for i in 0..r {
+        // Lines 3–5: the i-th resample is v[i·n .. i·n + n].
+        let resample = &v[i * n..(i + 1) * n];
+        // Lines 6–8: per-bin frequencies.
+        if let Some(edges) = bin_edges {
+            for k in 0..b {
+                let (lo, hi) = (edges[k], edges[k + 1]);
+                let last = k == b - 1;
+                let count = resample
+                    .iter()
+                    .filter(|&&x| x >= lo && (x < hi || (last && x == hi)))
+                    .count();
+                bin_heights[k].push(count as f64 / n as f64);
+            }
+        }
+        // Lines 9–10: sample mean and variance.
+        let s = Summary::of(resample);
+        means.push(s.mean());
+        variances.push(s.variance());
+    }
+
+    // Lines 12–15: α percentile intervals over the r per-resample values.
+    let mut info = AccuracyInfo::new(n)
+        .with_mean_ci(percentile_interval(&means, level))
+        .with_variance_ci(percentile_interval(&variances, level));
+    if b > 0 {
+        let cis = bin_heights.iter().map(|hs| percentile_interval(hs, level)).collect();
+        info = info.with_bin_cis(cis);
+    }
+    Ok(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::dist::{ContinuousDistribution, Exponential, Normal};
+    use ausdb_stats::rng::seeded;
+
+    #[test]
+    fn example7_grouping() {
+        // n = 15, m = 300 ⇒ r = 20 resamples; intervals must exist.
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = seeded(61);
+        let v = d.sample_n(&mut rng, 300);
+        let info = bootstrap_accuracy_info(&v, 15, 0.9, None).unwrap();
+        assert_eq!(info.sample_size, 15);
+        let mu = info.mean_ci.unwrap();
+        assert!(mu.contains(0.0), "90% interval {mu} should contain the true mean");
+        assert!(info.variance_ci.unwrap().contains(1.0));
+    }
+
+    #[test]
+    fn bin_heights_tracked_per_bucket() {
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = seeded(67);
+        let v = d.sample_n(&mut rng, 2000);
+        let edges = [0.0, 0.5, 1.0, 2.0, 8.0];
+        let info = bootstrap_accuracy_info(&v, 20, 0.9, Some(&edges)).unwrap();
+        let cis = info.bin_cis.unwrap();
+        assert_eq!(cis.len(), 4);
+        // True bucket masses of Exp(1).
+        let truth: Vec<f64> =
+            edges.windows(2).map(|w| d.cdf(w[1]) - d.cdf(w[0])).collect();
+        for (ci, t) in cis.iter().zip(truth) {
+            assert!(
+                ci.lo - 0.05 <= t && t <= ci.hi + 0.05,
+                "bucket truth {t} far outside {ci}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_narrows_with_df_n() {
+        // Larger d.f. sample size ⇒ narrower intervals (same m).
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = seeded(71);
+        let v = d.sample_n(&mut rng, 6000);
+        let wide = bootstrap_accuracy_info(&v, 10, 0.9, None).unwrap();
+        let narrow = bootstrap_accuracy_info(&v, 100, 0.9, None).unwrap();
+        assert!(
+            narrow.mean_ci.unwrap().length() < wide.mean_ci.unwrap().length(),
+            "df n=100 should beat n=10"
+        );
+    }
+
+    #[test]
+    fn requires_two_resamples() {
+        let v = vec![1.0; 25];
+        assert!(bootstrap_accuracy_info(&v, 20, 0.9, None).is_err());
+        assert!(bootstrap_accuracy_info(&v, 1, 0.9, None).is_err());
+        assert!(bootstrap_accuracy_info(&v, 12, 0.9, None).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let v = vec![0.5; 100];
+        assert!(bootstrap_accuracy_info(&v, 10, 0.9, Some(&[1.0])).is_err());
+        assert!(bootstrap_accuracy_info(&v, 10, 0.9, Some(&[1.0, 0.0])).is_err());
+    }
+
+    #[test]
+    fn robust_to_skew() {
+        // The motivation for bootstraps: skewed result distributions. The
+        // interval for the mean of Exp(1) must still cover 1.0.
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = seeded(73);
+        let v = d.sample_n(&mut rng, 3000);
+        let info = bootstrap_accuracy_info(&v, 30, 0.9, None).unwrap();
+        assert!(info.mean_ci.unwrap().contains(1.0));
+    }
+}

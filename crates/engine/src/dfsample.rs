@@ -1,0 +1,176 @@
+//! De-facto samples (Definition 2, Lemma 3, Lemma 4).
+//!
+//! An output random variable `Y = f(X₁, …, X_d)` cannot be observed
+//! directly, but applying `f` to one observation of each input yields a
+//! *de-facto observation*. Lemma 3: the d.f. **sample size** of `Y` is the
+//! minimum of the input sample sizes — two independent d.f. observations
+//! cannot share an observation of the scarcest input. This is the `n` that
+//! Theorem 1 plugs into Lemmas 1 and 2 for query results.
+
+use ausdb_model::schema::Schema;
+use ausdb_model::tuple::Tuple;
+use ausdb_model::value::Value;
+
+use crate::error::EngineError;
+use crate::expr::Expr;
+
+/// **Lemma 3**: the de-facto sample size of the expression's output r.v.
+/// over this tuple: `min` of the sample sizes of the referenced uncertain
+/// columns.
+///
+/// Deterministic columns and constants do not constrain the minimum (they
+/// are known exactly — effectively infinite sample). Distribution columns
+/// *without* recorded sample sizes make the d.f. size unknowable, which is
+/// an error: accuracy-aware processing requires provenance.
+///
+/// Returns `Ok(None)` when the expression references no uncertain column
+/// at all (a deterministic output needs no accuracy information).
+pub fn df_sample_size(
+    expr: &Expr,
+    tuple: &Tuple,
+    schema: &Schema,
+) -> Result<Option<usize>, EngineError> {
+    let mut min_n: Option<usize> = None;
+    for name in expr.columns() {
+        let field = tuple.field(schema, &name)?;
+        let is_uncertain = match &field.value {
+            Value::Dist(d) => !d.is_point(),
+            _ => false,
+        };
+        if !is_uncertain {
+            continue;
+        }
+        let n = field.sample_size.ok_or_else(|| {
+            EngineError::NoAccuracyInfo(format!(
+                "column '{name}' holds a distribution with no sample-size provenance"
+            ))
+        })?;
+        min_n = Some(min_n.map_or(n, |m| m.min(n)));
+    }
+    Ok(min_n)
+}
+
+/// **Lemma 4**: the *number* of distinct de-facto samples of
+/// `Y = f(X₁, …, X_d)`, i.e. `c = Π_{i=2..d} nᵢ!/(nᵢ−n)!` with inputs
+/// sorted so `n₁ ≤ … ≤ n_d` and `n = n₁`.
+///
+/// Returned as a natural logarithm (`ln c`) because the count explodes
+/// factorially; `ln c = Σ Σ ln k` stays representable.
+pub fn df_sample_count_ln(sample_sizes: &[usize]) -> f64 {
+    if sample_sizes.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = sample_sizes.to_vec();
+    sorted.sort_unstable();
+    let n = sorted[0];
+    let mut ln_c = 0.0;
+    for &ni in &sorted[1..] {
+        // ln(ni! / (ni-n)!) = Σ_{k=ni-n+1..ni} ln k
+        for k in (ni - n + 1)..=ni {
+            ln_c += (k as f64).ln();
+        }
+    }
+    ln_c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use ausdb_model::schema::{Column, ColumnType};
+    use ausdb_model::tuple::Field;
+    use ausdb_model::AttrDistribution;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", ColumnType::Dist),
+            Column::new("b", ColumnType::Dist),
+            Column::new("c", ColumnType::Dist),
+            Column::new("k", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    /// Example 4's tuple: A, B, C have sample sizes 15, 10, 20.
+    fn tuple() -> Tuple {
+        Tuple::certain(
+            0,
+            vec![
+                Field::learned(AttrDistribution::gaussian(0.0, 1.0).unwrap(), 15),
+                Field::learned(AttrDistribution::gaussian(0.0, 1.0).unwrap(), 10),
+                Field::learned(AttrDistribution::gaussian(0.0, 1.0).unwrap(), 20),
+                Field::plain(2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn example4_field_y1() {
+        // Y1 = (A+B)/2 ⇒ d.f. sample size min(15, 10) = 10.
+        let e = Expr::bin(
+            BinOp::Div,
+            Expr::bin(BinOp::Add, Expr::col("a"), Expr::col("b")),
+            Expr::Const(2.0),
+        );
+        assert_eq!(df_sample_size(&e, &tuple(), &schema()).unwrap(), Some(10));
+    }
+
+    #[test]
+    fn example4_boolean_y2() {
+        // Y2 depends on C only ⇒ d.f. sample size 20.
+        let e = Expr::col("c");
+        assert_eq!(df_sample_size(&e, &tuple(), &schema()).unwrap(), Some(20));
+    }
+
+    #[test]
+    fn deterministic_columns_do_not_constrain() {
+        let e = Expr::bin(BinOp::Add, Expr::col("a"), Expr::col("k"));
+        assert_eq!(df_sample_size(&e, &tuple(), &schema()).unwrap(), Some(15));
+        // Pure deterministic expression: no accuracy needed.
+        let e = Expr::bin(BinOp::Mul, Expr::col("k"), Expr::Const(3.0));
+        assert_eq!(df_sample_size(&e, &tuple(), &schema()).unwrap(), None);
+    }
+
+    #[test]
+    fn point_distributions_do_not_constrain() {
+        let schema = Schema::new(vec![
+            Column::new("a", ColumnType::Dist),
+            Column::new("p", ColumnType::Dist),
+        ])
+        .unwrap();
+        let t = Tuple::certain(
+            0,
+            vec![
+                Field::learned(AttrDistribution::gaussian(0.0, 1.0).unwrap(), 12),
+                Field::plain(AttrDistribution::Point(5.0)), // no sample size, but a point
+            ],
+        );
+        let e = Expr::bin(BinOp::Add, Expr::col("a"), Expr::col("p"));
+        assert_eq!(df_sample_size(&e, &t, &schema).unwrap(), Some(12));
+    }
+
+    #[test]
+    fn missing_provenance_is_an_error() {
+        let schema = Schema::new(vec![Column::new("a", ColumnType::Dist)]).unwrap();
+        let t = Tuple::certain(
+            0,
+            vec![Field::plain(AttrDistribution::gaussian(0.0, 1.0).unwrap())],
+        );
+        assert!(df_sample_size(&Expr::col("a"), &t, &schema).is_err());
+    }
+
+    #[test]
+    fn lemma4_count() {
+        // d=2, n1=n2=n: c = n!. For n=3: ln 6.
+        let ln_c = df_sample_count_ln(&[3, 3]);
+        assert!((ln_c - 6.0_f64.ln()).abs() < 1e-12);
+        // Example 4's (10, 15, 20): c = 15!/5! · 20!/10!.
+        let ln_c = df_sample_count_ln(&[15, 10, 20]);
+        let expect: f64 = ((6..=15).map(|k| (k as f64).ln()).sum::<f64>())
+            + ((11..=20).map(|k| (k as f64).ln()).sum::<f64>());
+        assert!((ln_c - expect).abs() < 1e-9);
+        // Single input: exactly one sample per ... permutation-free: ln c = 0.
+        assert_eq!(df_sample_count_ln(&[7]), 0.0);
+        assert_eq!(df_sample_count_ln(&[]), 0.0);
+    }
+}

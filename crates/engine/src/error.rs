@@ -1,0 +1,60 @@
+//! Engine-level error type.
+
+use ausdb_model::ModelError;
+use ausdb_stats::DistError;
+
+/// Errors raised during query planning and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Propagated data-model error (unknown column, type mismatch, ...).
+    Model(ModelError),
+    /// Propagated distribution-parameter error.
+    Dist(String),
+    /// An expression could not be evaluated (e.g. division by zero in a
+    /// deterministic context).
+    Eval(String),
+    /// A query was malformed (empty select list, missing stream, ...).
+    InvalidQuery(String),
+    /// An accuracy computation was impossible (e.g. no sample-size
+    /// information on any input of Lemma 3).
+    NoAccuracyInfo(String),
+}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+impl From<DistError> for EngineError {
+    fn from(e: DistError) -> Self {
+        EngineError::Dist(e.to_string())
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Model(e) => write!(f, "model error: {e}"),
+            EngineError::Dist(e) => write!(f, "distribution error: {e}"),
+            EngineError::Eval(e) => write!(f, "evaluation error: {e}"),
+            EngineError::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            EngineError::NoAccuracyInfo(e) => write!(f, "no accuracy info: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = ModelError::UnknownColumn("x".into()).into();
+        assert!(e.to_string().contains("x"));
+        let e = EngineError::Eval("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

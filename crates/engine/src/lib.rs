@@ -1,0 +1,48 @@
+//! Accuracy-aware query engine.
+//!
+//! This crate implements query processing over uncertain streams where
+//! **accuracy information flows from source data to query results**:
+//!
+//! * [`expr`] — expression AST (+, −, ×, /, `SQRT(ABS(·))`, `SQUARE` — the
+//!   six operators of the paper's random-query workload) with scalar,
+//!   Monte-Carlo, and closed-form Gaussian evaluation.
+//! * [`dfsample`] — Definition 2 / Lemma 3 / Lemma 4: de-facto observations,
+//!   the de-facto sample size `n = min nᵢ`, and the count of d.f. samples.
+//! * [`mc`] — Monte-Carlo evaluation producing the value sequence that
+//!   `BOOTSTRAP-ACCURACY-INFO` consumes.
+//! * [`accuracy`] — Theorem 1: analytical accuracy of query results, using
+//!   the d.f. sample size as `n`.
+//! * [`bootstrap`] — Algorithm `BOOTSTRAP-ACCURACY-INFO` (Section III-B).
+//! * [`predicate`] — deterministic and probability-threshold predicates.
+//! * [`sigpred`] — significance predicates `mTest` / `mdTest` / `pTest` and
+//!   the `COUPLED-TESTS` algorithm (Section IV).
+//! * [`ops`] — streaming operators: filter, project, join, group-by,
+//!   union, sliding-window aggregates (count- and time-based).
+//! * [`online`] — Section I's online-computation pattern: sequential
+//!   testers and acquisition controllers that stop sampling once the
+//!   intervals are narrow enough to decide.
+//! * [`query`] — query descriptions and the executor gluing it all
+//!   together.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+// `!(x < y)`-style validation deliberately treats NaN as invalid (any
+// comparison with NaN is false); the partial_cmp rewrite loses that.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod accuracy;
+pub mod bootstrap;
+pub mod dfsample;
+pub mod error;
+pub mod expr;
+pub mod mc;
+pub mod online;
+pub mod ops;
+pub mod predicate;
+pub mod query;
+pub mod sigpred;
+
+pub use error::EngineError;
+pub use expr::{BinOp, Expr, UnaryOp};
+pub use predicate::{CmpOp, Predicate};
+pub use sigpred::{CoupledConfig, SigOutcome, SigPredicate};

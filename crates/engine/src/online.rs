@@ -1,0 +1,237 @@
+//! Online acquisition control (Section I).
+//!
+//! "This enables online computation. When the intervals are sufficiently
+//! narrow to make a decision with enough confidence, we can stop acquiring
+//! raw data/samples, which is a slow or expensive process."
+//!
+//! [`SequentialTester`] wraps that loop for a single measured quantity:
+//! feed observations one at a time; after each, it re-runs a coupled
+//! significance test and reports TRUE/FALSE as soon as the data supports a
+//! decision at the configured error rates — or keeps answering UNSURE.
+//! [`AcquisitionController`] is the interval-width flavor: stop when the
+//! mean's confidence interval is narrower than a target.
+//!
+//! A note on guarantees: the per-test error rates are Theorem 3's; testing
+//! repeatedly after every observation adds the usual sequential-testing
+//! multiplicity, so the *overall* error rate of the stopped decision can
+//! exceed a single test's α. [`SequentialTester::with_check_every`] lets
+//! callers test less often to temper that (the classical remedy), which is
+//! also cheaper.
+
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::AttrDistribution;
+use ausdb_stats::ci::mean_interval;
+use rand::rngs::StdRng;
+
+use crate::error::EngineError;
+use crate::sigpred::{coupled_tests, CoupledConfig, SigOutcome, SigPredicate};
+
+/// Sequentially feeds observations into a coupled significance test until
+/// it decides.
+pub struct SequentialTester {
+    predicate: SigPredicate,
+    config: CoupledConfig,
+    schema: Schema,
+    observations: Vec<f64>,
+    check_every: usize,
+    min_observations: usize,
+    decision: Option<SigOutcome>,
+    rng: StdRng,
+}
+
+impl SequentialTester {
+    /// Creates a tester for a predicate over the single field `x`
+    /// (construct predicates with `Expr::col("x")`).
+    pub fn new(predicate: SigPredicate, config: CoupledConfig, seed: u64) -> Self {
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)])
+            .expect("single column");
+        Self {
+            predicate,
+            config,
+            schema,
+            observations: Vec::new(),
+            check_every: 1,
+            min_observations: 5,
+            decision: None,
+            rng: ausdb_stats::rng::seeded(seed),
+        }
+    }
+
+    /// Re-tests only every `k` observations (k ≥ 1): cheaper, and reduces
+    /// the sequential-multiplicity inflation of the error rates.
+    pub fn with_check_every(mut self, k: usize) -> Self {
+        self.check_every = k.max(1);
+        self
+    }
+
+    /// Requires at least this many observations before the first test.
+    pub fn with_min_observations(mut self, n: usize) -> Self {
+        self.min_observations = n.max(2);
+        self
+    }
+
+    /// Number of observations consumed so far.
+    pub fn n(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// The decision, once one was reached (TRUE or FALSE; never UNSURE).
+    pub fn decision(&self) -> Option<SigOutcome> {
+        self.decision
+    }
+
+    /// Feeds one observation. Returns the current outcome: a sticky
+    /// TRUE/FALSE once decided, UNSURE before that.
+    pub fn observe(&mut self, x: f64) -> Result<SigOutcome, EngineError> {
+        if let Some(d) = self.decision {
+            return Ok(d); // decided: stop acquiring, answers are sticky
+        }
+        self.observations.push(x);
+        let n = self.observations.len();
+        if n < self.min_observations || !n.is_multiple_of(self.check_every) {
+            return Ok(SigOutcome::Unsure);
+        }
+        let dist = AttrDistribution::empirical(self.observations.clone())
+            .map_err(EngineError::Model)?;
+        let tuple = Tuple::certain(n as u64, vec![Field::learned(dist, n)]);
+        let outcome =
+            coupled_tests(&self.predicate, self.config, &tuple, &self.schema, &mut self.rng)?;
+        if outcome != SigOutcome::Unsure {
+            self.decision = Some(outcome);
+        }
+        Ok(outcome)
+    }
+}
+
+/// Stops acquisition once the mean's confidence interval is narrower than
+/// a target width — the "intervals sufficiently narrow" criterion.
+#[derive(Debug, Clone)]
+pub struct AcquisitionController {
+    level: f64,
+    target_width: f64,
+    min_observations: usize,
+    observations: Vec<f64>,
+}
+
+impl AcquisitionController {
+    /// Creates a controller targeting a mean-interval width of
+    /// `target_width` at confidence `level`.
+    pub fn new(target_width: f64, level: f64) -> Self {
+        assert!(target_width > 0.0, "target width must be positive");
+        assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+        Self { level, target_width, min_observations: 5, observations: Vec::new() }
+    }
+
+    /// Number of observations consumed so far.
+    pub fn n(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Feeds one observation; returns `true` when acquisition may stop
+    /// (the current interval is narrow enough).
+    pub fn observe(&mut self, x: f64) -> bool {
+        self.observations.push(x);
+        self.satisfied()
+    }
+
+    /// Whether the current interval meets the target.
+    pub fn satisfied(&self) -> bool {
+        let n = self.observations.len();
+        if n < self.min_observations.max(2) {
+            return false;
+        }
+        self.current_interval().length() <= self.target_width
+    }
+
+    /// The current mean interval (Lemma 2 over everything seen so far).
+    ///
+    /// # Panics
+    /// Panics before two observations have been fed.
+    pub fn current_interval(&self) -> ausdb_stats::ConfidenceInterval {
+        let s = ausdb_stats::summary::Summary::of(&self.observations);
+        mean_interval(s.mean(), s.std_dev(), self.observations.len(), self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Expr;
+    use ausdb_stats::dist::{ContinuousDistribution, Normal};
+    use ausdb_stats::htest::Alternative;
+    use ausdb_stats::rng::seeded;
+
+    #[test]
+    fn sequential_tester_decides_true_with_clear_effect() {
+        // True mean 10 vs threshold 5: decision must arrive quickly.
+        let mut rng = seeded(3);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        let pred = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 5.0);
+        let mut t = SequentialTester::new(pred, CoupledConfig::default(), 1);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps < 200, "should decide long before 200 observations");
+            if t.observe(d.sample(&mut rng)).unwrap() == SigOutcome::True {
+                break;
+            }
+        }
+        assert_eq!(t.decision(), Some(SigOutcome::True));
+        assert!(t.n() < 30, "clear effects decide fast (n = {})", t.n());
+        // Decisions are sticky: further observations don't change it.
+        assert_eq!(t.observe(0.0).unwrap(), SigOutcome::True);
+        let n_at_decision = t.n();
+        assert_eq!(t.n(), n_at_decision, "post-decision observations are not consumed");
+    }
+
+    #[test]
+    fn sequential_tester_decides_false_for_reverse_effect() {
+        let mut rng = seeded(5);
+        let d = Normal::new(1.0, 1.0).unwrap();
+        let pred = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 5.0);
+        let mut t = SequentialTester::new(pred, CoupledConfig::default(), 1);
+        for _ in 0..100 {
+            if t.observe(d.sample(&mut rng)).unwrap() != SigOutcome::Unsure {
+                break;
+            }
+        }
+        assert_eq!(t.decision(), Some(SigOutcome::False));
+    }
+
+    #[test]
+    fn check_every_and_min_observations_respected() {
+        let pred = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 0.0);
+        let mut t = SequentialTester::new(pred, CoupledConfig::default(), 1)
+            .with_min_observations(10)
+            .with_check_every(5);
+        // Even blatantly significant data cannot decide before n = 10.
+        for i in 0..9 {
+            assert_eq!(t.observe(100.0 + i as f64).unwrap(), SigOutcome::Unsure);
+        }
+        // n = 10 is a multiple of 5 and above the minimum: decision fires.
+        assert_eq!(t.observe(109.0).unwrap(), SigOutcome::True);
+    }
+
+    #[test]
+    fn acquisition_controller_stops_when_narrow() {
+        let mut rng = seeded(7);
+        let d = Normal::new(50.0, 4.0).unwrap();
+        let mut c = AcquisitionController::new(2.0, 0.9);
+        let mut n = 0;
+        while !c.observe(d.sample(&mut rng)) {
+            n += 1;
+            assert!(n < 500, "should converge: width {}", c.current_interval().length());
+        }
+        assert!(c.current_interval().length() <= 2.0);
+        // Rough expectation: width 2 at sd 4 and 90% needs n ≈ (2·1.645·4/2)² ≈ 43.
+        assert!(c.n() > 20 && c.n() < 120, "n = {}", c.n());
+    }
+
+    #[test]
+    fn controller_needs_minimum_data() {
+        let mut c = AcquisitionController::new(1000.0, 0.9);
+        assert!(!c.observe(1.0));
+        assert!(!c.observe(1.1), "below min_observations even with a huge target");
+    }
+}

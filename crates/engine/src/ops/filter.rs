@@ -1,0 +1,216 @@
+//! Probabilistic filter operator.
+
+use ausdb_model::schema::Schema;
+use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::value::Value;
+use rand::rngs::StdRng;
+
+use crate::accuracy::tuple_probability_accuracy;
+use crate::ops::AccuracyMode;
+use crate::predicate::Predicate;
+
+/// Filters tuples by a predicate under possible-world semantics: a tuple
+/// passes with the probability `p` that the predicate holds, and its
+/// membership probability is multiplied by `p`. Tuples whose probability
+/// drops to 0 are removed.
+///
+/// With [`AccuracyMode::Analytical`] or [`AccuracyMode::Bootstrap`] the
+/// surviving tuples' membership probabilities carry a Lemma 1 confidence
+/// interval whose `n` is the de-facto sample size of the predicate's
+/// boolean r.v. (Example 4's `Y₂`): the minimum sample size among the
+/// uncertain columns the predicate references. (Both modes use Lemma 1
+/// here — the boolean r.v. *is* a one-bin histogram, so the analytical
+/// form is already exact in the sense of Theorem 1.)
+pub struct Filter<S> {
+    input: S,
+    predicate: Predicate,
+    mode: AccuracyMode,
+    mc_iters: usize,
+    rng: StdRng,
+}
+
+impl<S: TupleStream> Filter<S> {
+    /// Creates a filter. `mc_iters` bounds Monte-Carlo evaluation of
+    /// compound predicate expressions; `seed` fixes the RNG stream.
+    pub fn new(
+        input: S,
+        predicate: Predicate,
+        mode: AccuracyMode,
+        mc_iters: usize,
+        seed: u64,
+    ) -> Self {
+        Self { input, predicate, mode, mc_iters, rng: ausdb_stats::rng::seeded(seed) }
+    }
+
+    /// De-facto sample size of the predicate's boolean r.v. over a tuple.
+    fn boolean_df_n(&self, tuple: &ausdb_model::tuple::Tuple, schema: &Schema) -> Option<usize> {
+        self.predicate
+            .columns()
+            .iter()
+            .filter_map(|c| {
+                let f = tuple.field(schema, c).ok()?;
+                match &f.value {
+                    Value::Dist(d) if !d.is_point() => f.sample_size,
+                    _ => None,
+                }
+            })
+            .min()
+    }
+}
+
+impl<S: TupleStream> TupleStream for Filter<S> {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        loop {
+            let batch = self.input.next_batch()?;
+            let schema = self.input.schema().clone();
+            let mut out = Vec::with_capacity(batch.len());
+            for mut tuple in batch {
+                let p = match self.predicate.prob(&tuple, &schema, self.mc_iters, &mut self.rng)
+                {
+                    Ok(p) => p,
+                    Err(_) => continue, // malformed tuple for this predicate
+                };
+                if p <= 0.0 {
+                    continue;
+                }
+                let combined = tuple.membership.p * p;
+                tuple.membership = match (self.mode.level(), self.boolean_df_n(&tuple, &schema))
+                {
+                    (Some(level), Some(n)) => {
+                        match tuple_probability_accuracy(combined, n, level) {
+                            Ok(tp) => tp,
+                            Err(_) => ausdb_model::accuracy::TupleProbability::new(combined)
+                                .expect("probability product stays in [0,1]"),
+                        }
+                    }
+                    _ => ausdb_model::accuracy::TupleProbability::new(combined)
+                        .expect("probability product stays in [0,1]"),
+                };
+                out.push(tuple);
+            }
+            if !out.is_empty() {
+                return Some(out);
+            }
+            // All tuples filtered out of this batch: pull the next one.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::predicate::CmpOp;
+    use ausdb_model::schema::{Column, ColumnType};
+    use ausdb_model::stream::VecStream;
+    use ausdb_model::tuple::{Field, Tuple};
+    use ausdb_model::AttrDistribution;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("speed", ColumnType::Dist),
+        ])
+        .unwrap()
+    }
+
+    fn stream() -> VecStream {
+        let tuples = vec![
+            Tuple::certain(
+                0,
+                vec![
+                    Field::plain(1i64),
+                    Field::learned(AttrDistribution::gaussian(80.0, 16.0).unwrap(), 20),
+                ],
+            ),
+            Tuple::certain(
+                1,
+                vec![
+                    Field::plain(2i64),
+                    Field::learned(AttrDistribution::gaussian(40.0, 16.0).unwrap(), 50),
+                ],
+            ),
+        ];
+        VecStream::new(schema(), tuples, 10)
+    }
+
+    #[test]
+    fn membership_scaled_by_predicate_probability() {
+        // SELECT ... WHERE Speed > 78: tuple 1 passes with Φ(0.5) ≈ 0.691,
+        // tuple 2 with ≈ 0 (40 vs 78 is 9.5σ) and is dropped.
+        let pred = Predicate::compare(Expr::col("speed"), CmpOp::Gt, 78.0);
+        let mut f = Filter::new(stream(), pred, AccuracyMode::None, 100, 7);
+        let out = f.collect_all();
+        assert_eq!(out.len(), 1);
+        assert!((out[0].membership.p - 0.6915).abs() < 1e-3, "p = {}", out[0].membership.p);
+        assert!(out[0].membership.ci.is_none());
+    }
+
+    #[test]
+    fn analytical_mode_attaches_tuple_probability_ci() {
+        let pred = Predicate::compare(Expr::col("speed"), CmpOp::Gt, 78.0);
+        let mut f =
+            Filter::new(stream(), pred, AccuracyMode::Analytical { level: 0.9 }, 100, 7);
+        let out = f.collect_all();
+        let m = &out[0].membership;
+        let ci = m.ci.expect("analytical mode attaches a CI");
+        assert!(ci.contains(m.p));
+        assert_eq!(m.sample_size, Some(20), "df n = the speed column's n");
+    }
+
+    #[test]
+    fn prob_threshold_keeps_or_drops() {
+        // Speed >_{0.6} 78: only tuple 1 (p≈0.69) passes; membership stays 1.
+        let pred = Predicate::prob_threshold(Expr::col("speed"), CmpOp::Gt, 78.0, 0.6);
+        let mut f = Filter::new(stream(), pred, AccuracyMode::None, 100, 7);
+        let out = f.collect_all();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].membership.p, 1.0);
+    }
+
+    #[test]
+    fn conjunction_compounds_probabilities() {
+        // WHERE speed > 78 AND speed < 90: tuple 1's probability is
+        // Pr[78 < X < 90] under N(80, 16).
+        let pred = Predicate::And(
+            Box::new(Predicate::compare(Expr::col("speed"), CmpOp::Gt, 78.0)),
+            Box::new(Predicate::compare(Expr::col("speed"), CmpOp::Lt, 90.0)),
+        );
+        let mut f = Filter::new(stream(), pred, AccuracyMode::None, 100, 7);
+        let out = f.collect_all();
+        assert_eq!(out.len(), 1);
+        // Independence approximation: Φ(0.5)·Φ(2.5) ≈ 0.6915·0.9938.
+        let expect = 0.6915 * 0.9938;
+        assert!((out[0].membership.p - expect).abs() < 1e-3, "p = {}", out[0].membership.p);
+    }
+
+    #[test]
+    fn filter_composes_with_uncertain_membership() {
+        // A tuple that already has membership 0.5 passing a p≈0.69 filter
+        // ends with the product.
+        let t = Tuple::with_membership(
+            0,
+            vec![
+                Field::plain(1i64),
+                Field::learned(AttrDistribution::gaussian(80.0, 16.0).unwrap(), 20),
+            ],
+            ausdb_model::accuracy::TupleProbability::new(0.5).unwrap(),
+        );
+        let s = VecStream::new(schema(), vec![t], 4);
+        let pred = Predicate::compare(Expr::col("speed"), CmpOp::Gt, 78.0);
+        let mut f = Filter::new(s, pred, AccuracyMode::None, 100, 7);
+        let out = f.collect_all();
+        assert!((out[0].membership.p - 0.5 * 0.6915).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_result_terminates() {
+        let pred = Predicate::compare(Expr::col("speed"), CmpOp::Gt, 1000.0);
+        let mut f = Filter::new(stream(), pred, AccuracyMode::None, 100, 7);
+        assert!(f.next_batch().is_none());
+    }
+}

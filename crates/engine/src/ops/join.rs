@@ -1,0 +1,310 @@
+//! Stream equijoin.
+//!
+//! A hash join on a deterministic key column shared by both inputs. The
+//! build side is drained into a hash table, then the probe side streams
+//! through. Each output tuple concatenates the probe tuple's fields with
+//! the matching build tuple's non-key fields (the key appears once), and
+//! under the usual tuple-independence assumption its membership
+//! probability is the **product** of the inputs' membership probabilities
+//! (possible-world semantics: the joined tuple exists iff both inputs
+//! do). When both memberships carry Lemma 1 intervals, the product's
+//! interval uses the conservative product bounds `[lo·lo, hi·hi]` at the
+//! weaker of the two levels.
+//!
+//! Uncertain attributes pass through with their accuracy information and
+//! sample-size provenance untouched, so downstream expressions over
+//! columns from *both* sides still get correct Lemma 3 de-facto sizes.
+
+use std::collections::HashMap;
+
+use ausdb_model::accuracy::TupleProbability;
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::tuple::Tuple;
+use ausdb_model::value::Value;
+use ausdb_stats::ci::ConfidenceInterval;
+
+use crate::error::EngineError;
+
+/// Join key (deterministic columns only).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JoinKey {
+    Int(i64),
+    Str(String),
+    Bool(bool),
+}
+
+impl JoinKey {
+    fn from_value(v: &Value) -> Result<Self, EngineError> {
+        match v {
+            Value::Int(i) => Ok(JoinKey::Int(*i)),
+            Value::Str(s) => Ok(JoinKey::Str(s.clone())),
+            Value::Bool(b) => Ok(JoinKey::Bool(*b)),
+            other => Err(EngineError::Eval(format!(
+                "cannot join on a {} value",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+/// Hash equijoin of two streams on a same-named deterministic column.
+pub struct HashJoin<L, R> {
+    left: L,
+    right: Option<R>,
+    schema: Schema,
+    /// Build table: key → indices of matching right tuples.
+    table: Option<HashMap<JoinKey, Vec<Tuple>>>,
+    right_key_idx: usize,
+    left_key_idx: usize,
+}
+
+impl<L: TupleStream, R: TupleStream> HashJoin<L, R> {
+    /// Creates a join of `left ⋈ right ON left.key = right.key`. The key
+    /// column must exist on both sides with a deterministic type; other
+    /// column names must not collide (rename via projection first).
+    pub fn new(left: L, right: R, key: impl Into<String>) -> Result<Self, EngineError> {
+        let key = key.into();
+        let ls = left.schema();
+        let rs = right.schema();
+        let left_key_idx = ls.index_of(&key)?;
+        let right_key_idx = rs.index_of(&key)?;
+        for (schema, idx) in [(ls, left_key_idx), (rs, right_key_idx)] {
+            let ty = schema.column(idx).ty;
+            if !matches!(ty, ColumnType::Int | ColumnType::Str | ColumnType::Bool) {
+                return Err(EngineError::InvalidQuery(format!(
+                    "join key '{key}' must be deterministic (INT/STR/BOOL), found {ty}"
+                )));
+            }
+        }
+        // Output schema: all left columns, then right columns minus the key.
+        let mut cols: Vec<Column> = ls.columns().to_vec();
+        for (i, c) in rs.columns().iter().enumerate() {
+            if i == right_key_idx {
+                continue;
+            }
+            if ls.index_of(&c.name).is_ok() {
+                return Err(EngineError::InvalidQuery(format!(
+                    "column '{}' exists on both join sides; project/rename first",
+                    c.name
+                )));
+            }
+            cols.push(c.clone());
+        }
+        let schema = Schema::new(cols)?;
+        Ok(Self {
+            left,
+            right: Some(right),
+            schema,
+            table: None,
+            right_key_idx,
+            left_key_idx,
+        })
+    }
+
+    fn build(&mut self) -> Result<(), EngineError> {
+        let mut right = self.right.take().expect("build runs once");
+        let mut table: HashMap<JoinKey, Vec<Tuple>> = HashMap::new();
+        while let Some(batch) = right.next_batch() {
+            for tuple in batch {
+                let key = JoinKey::from_value(&tuple.fields[self.right_key_idx].value)?;
+                table.entry(key).or_default().push(tuple);
+            }
+        }
+        self.table = Some(table);
+        Ok(())
+    }
+
+    fn combine(&self, left: &Tuple, right: &Tuple) -> Tuple {
+        let mut fields = left.fields.clone();
+        for (i, f) in right.fields.iter().enumerate() {
+            if i == self.right_key_idx {
+                continue;
+            }
+            fields.push(f.clone());
+        }
+        let p = left.membership.p * right.membership.p;
+        let membership = match (&left.membership.ci, &right.membership.ci) {
+            (Some(a), Some(b)) => {
+                let ci = ConfidenceInterval::new(a.lo * b.lo, a.hi * b.hi, a.level.min(b.level))
+                    .clamped(0.0, 1.0);
+                let n = left
+                    .membership
+                    .sample_size
+                    .into_iter()
+                    .chain(right.membership.sample_size)
+                    .min();
+                TupleProbability { p, ci: Some(ci), sample_size: n }
+            }
+            _ => TupleProbability::new(p).expect("product of probabilities stays in [0,1]"),
+        };
+        Tuple::with_membership(left.ts.max(right.ts), fields, membership)
+    }
+}
+
+impl<L: TupleStream, R: TupleStream> TupleStream for HashJoin<L, R> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.table.is_none() {
+            self.build().ok()?;
+        }
+        let table = self.table.as_ref().expect("built above");
+        loop {
+            let batch = self.left.next_batch()?;
+            let mut out = Vec::new();
+            for tuple in &batch {
+                let Ok(key) = JoinKey::from_value(&tuple.fields[self.left_key_idx].value)
+                else {
+                    continue;
+                };
+                if let Some(matches) = table.get(&key) {
+                    for m in matches {
+                        out.push(self.combine(tuple, m));
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Some(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_model::stream::VecStream;
+    use ausdb_model::tuple::Field;
+    use ausdb_model::AttrDistribution;
+
+    fn left_stream() -> VecStream {
+        let schema = Schema::new(vec![
+            Column::new("road", ColumnType::Int),
+            Column::new("delay", ColumnType::Dist),
+        ])
+        .unwrap();
+        let tuples = vec![
+            Tuple::certain(
+                0,
+                vec![
+                    Field::plain(1i64),
+                    Field::learned(AttrDistribution::gaussian(60.0, 16.0).unwrap(), 20),
+                ],
+            ),
+            Tuple::certain(
+                1,
+                vec![
+                    Field::plain(2i64),
+                    Field::learned(AttrDistribution::gaussian(30.0, 9.0).unwrap(), 35),
+                ],
+            ),
+            Tuple::certain(
+                2,
+                vec![
+                    Field::plain(3i64),
+                    Field::learned(AttrDistribution::gaussian(45.0, 4.0).unwrap(), 12),
+                ],
+            ),
+        ];
+        VecStream::new(schema, tuples, 2)
+    }
+
+    fn right_stream() -> VecStream {
+        let schema = Schema::new(vec![
+            Column::new("road", ColumnType::Int),
+            Column::new("speed_limit", ColumnType::Float),
+        ])
+        .unwrap();
+        let tuples = vec![
+            Tuple::certain(0, vec![Field::plain(1i64), Field::plain(25.0)]),
+            Tuple::certain(1, vec![Field::plain(3i64), Field::plain(40.0)]),
+            Tuple::certain(2, vec![Field::plain(9i64), Field::plain(55.0)]),
+        ];
+        VecStream::new(schema, tuples, 2)
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let mut j = HashJoin::new(left_stream(), right_stream(), "road").unwrap();
+        assert_eq!(j.schema().len(), 3);
+        assert_eq!(j.schema().column(2).name, "speed_limit");
+        let out = j.collect_all();
+        assert_eq!(out.len(), 2, "roads 1 and 3 match; 2 and 9 do not");
+        // Provenance of the uncertain column survives the join.
+        assert_eq!(out[0].fields[1].sample_size, Some(20));
+        assert_eq!(out[0].fields[2].value, Value::Float(25.0));
+    }
+
+    #[test]
+    fn membership_probabilities_multiply() {
+        let schema_l = Schema::new(vec![Column::new("k", ColumnType::Int)]).unwrap();
+        let schema_r = Schema::new(vec![
+            Column::new("k", ColumnType::Int),
+            Column::new("v", ColumnType::Float),
+        ])
+        .unwrap();
+        let l = VecStream::new(
+            schema_l,
+            vec![Tuple::with_membership(
+                0,
+                vec![Field::plain(1i64)],
+                TupleProbability::new(0.5).unwrap(),
+            )],
+            4,
+        );
+        let r = VecStream::new(
+            schema_r,
+            vec![Tuple::with_membership(
+                0,
+                vec![Field::plain(1i64), Field::plain(7.0)],
+                TupleProbability::new(0.4).unwrap(),
+            )],
+            4,
+        );
+        let mut j = HashJoin::new(l, r, "k").unwrap();
+        let out = j.collect_all();
+        assert_eq!(out.len(), 1);
+        assert!((out[0].membership.p - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_to_many_fanout() {
+        let schema_r = Schema::new(vec![
+            Column::new("road", ColumnType::Int),
+            Column::new("rank", ColumnType::Float),
+        ])
+        .unwrap();
+        let r = VecStream::new(
+            schema_r,
+            vec![
+                Tuple::certain(0, vec![Field::plain(1i64), Field::plain(1.0)]),
+                Tuple::certain(1, vec![Field::plain(1i64), Field::plain(2.0)]),
+            ],
+            4,
+        );
+        let mut j = HashJoin::new(left_stream(), r, "road").unwrap();
+        let out = j.collect_all();
+        assert_eq!(out.len(), 2, "road 1 fans out to both right tuples");
+    }
+
+    #[test]
+    fn plan_time_validation() {
+        // Key missing on a side.
+        assert!(HashJoin::new(left_stream(), left_stream(), "speed_limit").is_err());
+        // Non-deterministic key.
+        assert!(HashJoin::new(left_stream(), left_stream(), "delay").is_err());
+        // Colliding non-key column names.
+        assert!(HashJoin::new(left_stream(), left_stream(), "road").is_err());
+    }
+
+    #[test]
+    fn empty_sides() {
+        let schema = right_stream().schema().clone();
+        let empty = VecStream::new(schema, vec![], 4);
+        let mut j = HashJoin::new(left_stream(), empty, "road").unwrap();
+        assert!(j.next_batch().is_none());
+    }
+}

@@ -1,0 +1,59 @@
+//! Streaming operators.
+//!
+//! Operators implement [`ausdb_model::stream::TupleStream`] and compose
+//! into pull-based pipelines. Each operator that produces uncertain output
+//! can attach accuracy information in one of three [`AccuracyMode`]s:
+//! none, analytical (Theorem 1), or bootstrap (`BOOTSTRAP-ACCURACY-INFO`).
+
+mod filter;
+mod groupby;
+mod join;
+mod project;
+mod sigfilter;
+mod time_window;
+mod union;
+mod window;
+
+pub use filter::Filter;
+pub use groupby::{GroupAggKind, GroupBy};
+pub use join::HashJoin;
+pub use project::{Project, Projection};
+pub use sigfilter::{SigFilter, SigMode};
+pub use time_window::TimeWindowAgg;
+pub use union::Union;
+pub use window::{WindowAgg, WindowAggKind};
+
+/// How (and whether) operators compute accuracy information for their
+/// outputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccuracyMode {
+    /// Plain accuracy-oblivious processing (the baseline the paper
+    /// measures against in Figure 5(c)).
+    None,
+    /// Analytical accuracy via Theorem 1 (Lemmas 1–3) at this confidence
+    /// level.
+    Analytical {
+        /// Confidence level of the produced intervals.
+        level: f64,
+    },
+    /// Bootstrap accuracy via `BOOTSTRAP-ACCURACY-INFO`.
+    Bootstrap {
+        /// Confidence level of the produced intervals.
+        level: f64,
+        /// Number of Monte-Carlo values `m` to generate (the algorithm
+        /// groups them into `⌊m/n⌋` de-facto resamples).
+        mc_values: usize,
+    },
+}
+
+impl AccuracyMode {
+    /// The confidence level, if accuracy tracking is on.
+    pub fn level(&self) -> Option<f64> {
+        match self {
+            AccuracyMode::None => None,
+            AccuracyMode::Analytical { level } | AccuracyMode::Bootstrap { level, .. } => {
+                Some(*level)
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Filtering by significance predicates.
+
+use ausdb_model::schema::Schema;
+use ausdb_model::stream::{Batch, TupleStream};
+use rand::rngs::StdRng;
+
+use crate::sigpred::{coupled_tests, CoupledConfig, SigOutcome, SigPredicate};
+
+/// How a [`SigFilter`] runs its predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SigMode {
+    /// A single hypothesis test at significance level α (bounds only the
+    /// false-positive rate, Section IV-B).
+    Basic {
+        /// Significance level α.
+        alpha: f64,
+    },
+    /// `COUPLED-TESTS` with both error rates bounded (Section IV-C).
+    /// `keep_unsure` decides whether `UNSURE` tuples survive the filter —
+    /// applications that must not miss candidates keep them; applications
+    /// that must act only on confident results drop them.
+    Coupled {
+        /// The coupled-test error-rate configuration.
+        config: CoupledConfig,
+        /// Whether `UNSURE` outcomes pass the filter.
+        keep_unsure: bool,
+    },
+}
+
+/// Keeps tuples for which a significance predicate holds.
+///
+/// Tuples whose evaluation errors (e.g. missing provenance) are dropped —
+/// an accuracy-aware system refuses to make significance claims about data
+/// with unknown accuracy.
+pub struct SigFilter<S> {
+    input: S,
+    predicate: SigPredicate,
+    mode: SigMode,
+    mc_iters: usize,
+    rng: StdRng,
+    /// Running outcome counts `(true, false, unsure)` — the statistics
+    /// Figure 5(e) reports.
+    counts: (usize, usize, usize),
+}
+
+impl<S: TupleStream> SigFilter<S> {
+    /// Creates a significance filter.
+    pub fn new(
+        input: S,
+        predicate: SigPredicate,
+        mode: SigMode,
+        mc_iters: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            input,
+            predicate,
+            mode,
+            mc_iters,
+            rng: ausdb_stats::rng::seeded(seed),
+            counts: (0, 0, 0),
+        }
+    }
+
+    /// Outcome counts so far: `(TRUE, FALSE, UNSURE)`.
+    pub fn outcome_counts(&self) -> (usize, usize, usize) {
+        self.counts
+    }
+}
+
+impl<S: TupleStream> TupleStream for SigFilter<S> {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        loop {
+            let batch = self.input.next_batch()?;
+            let schema = self.input.schema().clone();
+            let mut out = Vec::with_capacity(batch.len());
+            for tuple in batch {
+                let keep = match self.mode {
+                    SigMode::Basic { alpha } => {
+                        match self.predicate.evaluate(
+                            &tuple,
+                            &schema,
+                            alpha,
+                            self.mc_iters,
+                            &mut self.rng,
+                        ) {
+                            Ok(true) => {
+                                self.counts.0 += 1;
+                                true
+                            }
+                            Ok(false) => {
+                                self.counts.1 += 1;
+                                false
+                            }
+                            Err(_) => false,
+                        }
+                    }
+                    SigMode::Coupled { config, keep_unsure } => {
+                        match coupled_tests(&self.predicate, config, &tuple, &schema, &mut self.rng)
+                        {
+                            Ok(SigOutcome::True) => {
+                                self.counts.0 += 1;
+                                true
+                            }
+                            Ok(SigOutcome::False) => {
+                                self.counts.1 += 1;
+                                false
+                            }
+                            Ok(SigOutcome::Unsure) => {
+                                self.counts.2 += 1;
+                                keep_unsure
+                            }
+                            Err(_) => false,
+                        }
+                    }
+                };
+                if keep {
+                    out.push(tuple);
+                }
+            }
+            if !out.is_empty() {
+                return Some(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use ausdb_model::schema::{Column, ColumnType};
+    use ausdb_model::stream::VecStream;
+    use ausdb_model::tuple::{Field, Tuple};
+    use ausdb_model::AttrDistribution;
+    use ausdb_stats::htest::Alternative;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("temp", ColumnType::Dist)]).unwrap()
+    }
+
+    fn stream() -> VecStream {
+        let tuples = vec![
+            // Clearly hot, well-sampled.
+            Tuple::certain(
+                0,
+                vec![Field::learned(AttrDistribution::gaussian(110.0, 25.0).unwrap(), 100)],
+            ),
+            // Clearly cold, well-sampled.
+            Tuple::certain(
+                1,
+                vec![Field::learned(AttrDistribution::gaussian(60.0, 25.0).unwrap(), 100)],
+            ),
+            // Hot-looking but backed by 3 observations.
+            Tuple::certain(
+                2,
+                vec![Field::learned(AttrDistribution::gaussian(102.0, 400.0).unwrap(), 3)],
+            ),
+        ];
+        VecStream::new(schema(), tuples, 10)
+    }
+
+    fn hot() -> SigPredicate {
+        SigPredicate::m_test(Expr::col("temp"), Alternative::Greater, 100.0)
+    }
+
+    #[test]
+    fn basic_mode_counts_and_filters() {
+        let mut f = SigFilter::new(stream(), hot(), SigMode::Basic { alpha: 0.05 }, 100, 3);
+        let out = f.collect_all();
+        assert_eq!(out.len(), 1, "only the well-sampled hot tuple is significant");
+        assert_eq!(out[0].ts, 0);
+        let (t, fls, u) = f.outcome_counts();
+        assert_eq!((t, fls, u), (1, 2, 0));
+    }
+
+    #[test]
+    fn coupled_mode_distinguishes_false_from_unsure() {
+        let cfg = CoupledConfig::default();
+        let mut f = SigFilter::new(
+            stream(),
+            hot(),
+            SigMode::Coupled { config: cfg, keep_unsure: false },
+            100,
+            3,
+        );
+        let out = f.collect_all();
+        assert_eq!(out.len(), 1);
+        let (t, fls, u) = f.outcome_counts();
+        assert_eq!(t, 1, "hot tuple TRUE");
+        assert_eq!(fls, 1, "cold tuple FALSE");
+        assert_eq!(u, 1, "under-sampled tuple UNSURE");
+    }
+
+    #[test]
+    fn keep_unsure_retains_candidates() {
+        let cfg = CoupledConfig::default();
+        let mut f = SigFilter::new(
+            stream(),
+            hot(),
+            SigMode::Coupled { config: cfg, keep_unsure: true },
+            100,
+            3,
+        );
+        let out = f.collect_all();
+        assert_eq!(out.len(), 2, "TRUE + UNSURE survive");
+    }
+}

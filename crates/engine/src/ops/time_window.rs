@@ -1,0 +1,288 @@
+//! Time-based sliding-window aggregation.
+//!
+//! The paper's throughput experiments use a *count-based* window
+//! ([`crate::ops::WindowAgg`]); deployments usually want "the average over
+//! the last W seconds" instead. [`TimeWindowAgg`] aggregates the Gaussian
+//! (or scalar) tuples whose timestamps fall in `(ts − width, ts]` for each
+//! arriving tuple, with the same closed-form moment propagation and
+//! Lemma 3 de-facto sample size as the count-based operator.
+//!
+//! Input timestamps must be nondecreasing (standard stream assumption; an
+//! out-of-order tuple poisons the stream, which then terminates).
+
+use std::collections::VecDeque;
+
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::value::Value;
+use ausdb_model::AttrDistribution;
+use rand::rngs::StdRng;
+
+use crate::accuracy::result_accuracy;
+use crate::bootstrap::bootstrap_accuracy_info;
+use crate::error::EngineError;
+use crate::mc::sample_distribution;
+use crate::ops::{AccuracyMode, WindowAggKind};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    ts: u64,
+    mu: f64,
+    sigma2: f64,
+    n: usize,
+}
+
+/// Time-based sliding-window AVG/SUM over a Gaussian (or point) column.
+pub struct TimeWindowAgg<S> {
+    input: S,
+    column: String,
+    kind: WindowAggKind,
+    width: u64,
+    min_tuples: usize,
+    mode: AccuracyMode,
+    schema: Schema,
+    window: VecDeque<Entry>,
+    last_ts: Option<u64>,
+    rng: StdRng,
+    poisoned: bool,
+}
+
+impl<S: TupleStream> TimeWindowAgg<S> {
+    /// Creates the operator: aggregate `column` over a trailing window of
+    /// `width` time units, emitting once at least `min_tuples` tuples are
+    /// inside the window.
+    pub fn new(
+        input: S,
+        column: impl Into<String>,
+        kind: WindowAggKind,
+        width: u64,
+        min_tuples: usize,
+        mode: AccuracyMode,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        if width == 0 {
+            return Err(EngineError::InvalidQuery("window width must be positive".into()));
+        }
+        let column = column.into();
+        input.schema().index_of(&column)?;
+        let name = match kind {
+            WindowAggKind::Avg => format!("avg_{column}"),
+            WindowAggKind::Sum => format!("sum_{column}"),
+        };
+        let schema = Schema::new(vec![Column::new(name, ColumnType::Dist)])?;
+        Ok(Self {
+            input,
+            column,
+            kind,
+            width,
+            min_tuples: min_tuples.max(1),
+            mode,
+            schema,
+            window: VecDeque::new(),
+            last_ts: None,
+            rng: ausdb_stats::rng::seeded(seed),
+            poisoned: false,
+        })
+    }
+
+    fn push_tuple(
+        &mut self,
+        tuple: &Tuple,
+        in_schema: &Schema,
+    ) -> Result<Option<Tuple>, EngineError> {
+        if let Some(last) = self.last_ts {
+            if tuple.ts < last {
+                return Err(EngineError::Eval(format!(
+                    "out-of-order timestamp {} after {last}",
+                    tuple.ts
+                )));
+            }
+        }
+        self.last_ts = Some(tuple.ts);
+        let field = tuple.field(in_schema, &self.column)?;
+        let (mu, sigma2, n) = match &field.value {
+            Value::Dist(AttrDistribution::Gaussian { mu, sigma2 }) => {
+                let n = field.sample_size.ok_or_else(|| {
+                    EngineError::NoAccuracyInfo(format!(
+                        "window input '{}' lacks sample-size provenance",
+                        self.column
+                    ))
+                })?;
+                (*mu, *sigma2, n)
+            }
+            Value::Dist(AttrDistribution::Point(v)) => (*v, 0.0, usize::MAX),
+            Value::Float(v) => (*v, 0.0, usize::MAX),
+            Value::Int(v) => (*v as f64, 0.0, usize::MAX),
+            other => {
+                return Err(EngineError::Eval(format!(
+                    "time window requires Gaussian or scalar input, found {}",
+                    other.type_name()
+                )))
+            }
+        };
+        self.window.push_back(Entry { ts: tuple.ts, mu, sigma2, n });
+        // Evict entries older than the trailing window (ts − width, ts].
+        let cutoff = tuple.ts.saturating_sub(self.width - 1);
+        while self.window.front().map(|e| e.ts < cutoff).unwrap_or(false) {
+            self.window.pop_front();
+        }
+        if self.window.len() < self.min_tuples {
+            return Ok(None);
+        }
+        let k = self.window.len() as f64;
+        let sum_mu: f64 = self.window.iter().map(|e| e.mu).sum();
+        let sum_var: f64 = self.window.iter().map(|e| e.sigma2).sum();
+        let (mu_out, var_out) = match self.kind {
+            WindowAggKind::Avg => (sum_mu / k, sum_var / (k * k)),
+            WindowAggKind::Sum => (sum_mu, sum_var),
+        };
+        let df_n = self.window.iter().map(|e| e.n).min().expect("nonempty window");
+        let dist = if var_out > 0.0 {
+            AttrDistribution::gaussian(mu_out, var_out)?
+        } else {
+            AttrDistribution::Point(mu_out)
+        };
+        let mut field = if df_n == usize::MAX {
+            Field::plain(dist.clone())
+        } else {
+            Field::learned(dist.clone(), df_n)
+        };
+        if df_n != usize::MAX {
+            match self.mode {
+                AccuracyMode::None => {}
+                AccuracyMode::Analytical { level } => {
+                    field = field.with_accuracy(result_accuracy(&dist, df_n, level)?);
+                }
+                AccuracyMode::Bootstrap { level, mc_values } => {
+                    let v = sample_distribution(&dist, mc_values.max(2 * df_n), &mut self.rng);
+                    field = field.with_accuracy(bootstrap_accuracy_info(&v, df_n, level, None)?);
+                }
+            }
+        }
+        Ok(Some(Tuple::with_membership(tuple.ts, vec![field], tuple.membership.clone())))
+    }
+}
+
+impl<S: TupleStream> TupleStream for TimeWindowAgg<S> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.poisoned {
+            return None;
+        }
+        loop {
+            let batch = self.input.next_batch()?;
+            let in_schema = self.input.schema().clone();
+            let mut out = Vec::with_capacity(batch.len());
+            for tuple in &batch {
+                match self.push_tuple(tuple, &in_schema) {
+                    Ok(Some(t)) => out.push(t),
+                    Ok(None) => {}
+                    Err(_) => {
+                        self.poisoned = true;
+                        return if out.is_empty() { None } else { Some(out) };
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Some(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_model::stream::VecStream;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap()
+    }
+
+    fn gaussian_at(ts: u64, mu: f64) -> Tuple {
+        Tuple::certain(
+            ts,
+            vec![Field::learned(AttrDistribution::gaussian(mu, 1.0).unwrap(), 20)],
+        )
+    }
+
+    #[test]
+    fn trailing_window_eviction() {
+        // Tuples at ts 0, 5, 9, 20: width 10 means the ts=20 output only
+        // sees itself (cutoff 11).
+        let s = VecStream::new(
+            schema(),
+            vec![gaussian_at(0, 1.0), gaussian_at(5, 2.0), gaussian_at(9, 3.0), gaussian_at(20, 10.0)],
+            8,
+        );
+        let mut w =
+            TimeWindowAgg::new(s, "x", WindowAggKind::Avg, 10, 1, AccuracyMode::None, 5).unwrap();
+        let out = w.collect_all();
+        assert_eq!(out.len(), 4);
+        let means: Vec<f64> =
+            out.iter().map(|t| t.fields[0].value.as_dist().unwrap().mean()).collect();
+        assert!((means[0] - 1.0).abs() < 1e-12);
+        assert!((means[1] - 1.5).abs() < 1e-12);
+        assert!((means[2] - 2.0).abs() < 1e-12);
+        assert!((means[3] - 10.0).abs() < 1e-12, "old entries evicted");
+    }
+
+    #[test]
+    fn min_tuples_gates_emission() {
+        let s = VecStream::new(
+            schema(),
+            vec![gaussian_at(0, 1.0), gaussian_at(1, 2.0), gaussian_at(2, 3.0)],
+            8,
+        );
+        let mut w =
+            TimeWindowAgg::new(s, "x", WindowAggKind::Avg, 100, 3, AccuracyMode::None, 5)
+                .unwrap();
+        let out = w.collect_all();
+        assert_eq!(out.len(), 1, "only the third arrival fills the minimum");
+        assert!((out[0].fields[0].value.as_dist().unwrap().mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_and_provenance() {
+        let s = VecStream::new(schema(), vec![gaussian_at(0, 5.0), gaussian_at(1, 7.0)], 8);
+        let mut w = TimeWindowAgg::new(
+            s,
+            "x",
+            WindowAggKind::Sum,
+            10,
+            2,
+            AccuracyMode::Analytical { level: 0.9 },
+            5,
+        )
+        .unwrap();
+        let out = w.collect_all();
+        let f = &out[0].fields[0];
+        assert_eq!(f.sample_size, Some(20));
+        assert!(f.accuracy.as_ref().unwrap().mean_ci.unwrap().contains(12.0));
+    }
+
+    #[test]
+    fn out_of_order_poisons() {
+        let s = VecStream::new(schema(), vec![gaussian_at(10, 1.0), gaussian_at(5, 2.0)], 8);
+        let mut w =
+            TimeWindowAgg::new(s, "x", WindowAggKind::Avg, 10, 1, AccuracyMode::None, 5).unwrap();
+        let out = w.collect_all();
+        assert_eq!(out.len(), 1, "the in-order prefix is emitted");
+        assert!(w.next_batch().is_none());
+    }
+
+    #[test]
+    fn plan_time_validation() {
+        let s = VecStream::new(schema(), vec![], 8);
+        assert!(
+            TimeWindowAgg::new(s, "x", WindowAggKind::Avg, 0, 1, AccuracyMode::None, 5).is_err()
+        );
+        let s = VecStream::new(schema(), vec![], 8);
+        assert!(TimeWindowAgg::new(s, "nope", WindowAggKind::Avg, 5, 1, AccuracyMode::None, 5)
+            .is_err());
+    }
+}

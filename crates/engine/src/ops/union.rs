@@ -1,0 +1,128 @@
+//! Stream union.
+
+use ausdb_model::schema::Schema;
+use ausdb_model::stream::{Batch, TupleStream};
+
+use crate::error::EngineError;
+
+/// Interleaves two same-schema streams, alternating batches (per-stream
+/// order is preserved; cross-stream order is round-robin, which is the
+/// right model for two sensors feeding one logical stream).
+pub struct Union<A, B> {
+    a: A,
+    b: B,
+    next_is_a: bool,
+    a_done: bool,
+    b_done: bool,
+}
+
+impl<A: TupleStream, B: TupleStream> Union<A, B> {
+    /// Creates the union. The schemas must match exactly (names and
+    /// types); project/rename first otherwise.
+    pub fn new(a: A, b: B) -> Result<Self, EngineError> {
+        if a.schema() != b.schema() {
+            return Err(EngineError::InvalidQuery(format!(
+                "UNION requires identical schemas ({:?} vs {:?})",
+                a.schema()
+                    .columns()
+                    .iter()
+                    .map(|c| (&c.name, c.ty))
+                    .collect::<Vec<_>>(),
+                b.schema()
+                    .columns()
+                    .iter()
+                    .map(|c| (&c.name, c.ty))
+                    .collect::<Vec<_>>(),
+            )));
+        }
+        Ok(Self { a, b, next_is_a: true, a_done: false, b_done: false })
+    }
+}
+
+impl<A: TupleStream, B: TupleStream> TupleStream for Union<A, B> {
+    fn schema(&self) -> &Schema {
+        self.a.schema()
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        for _ in 0..2 {
+            let take_a = (self.next_is_a && !self.a_done) || self.b_done;
+            self.next_is_a = !self.next_is_a;
+            if take_a && !self.a_done {
+                match self.a.next_batch() {
+                    Some(batch) => return Some(batch),
+                    None => self.a_done = true,
+                }
+            } else if !self.b_done {
+                match self.b.next_batch() {
+                    Some(batch) => return Some(batch),
+                    None => self.b_done = true,
+                }
+            }
+        }
+        if self.a_done && self.b_done {
+            return None;
+        }
+        // One side just finished; drain the other.
+        if self.a_done {
+            self.b.next_batch().or_else(|| {
+                self.b_done = true;
+                None
+            })
+        } else {
+            self.a.next_batch().or_else(|| {
+                self.a_done = true;
+                None
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_model::schema::{Column, ColumnType};
+    use ausdb_model::stream::VecStream;
+    use ausdb_model::tuple::{Field, Tuple};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("x", ColumnType::Float)]).unwrap()
+    }
+
+    fn stream(vals: &[f64], batch: usize) -> VecStream {
+        let tuples =
+            vals.iter().enumerate().map(|(i, &v)| Tuple::certain(i as u64, vec![Field::plain(v)])).collect();
+        VecStream::new(schema(), tuples, batch)
+    }
+
+    #[test]
+    fn union_yields_everything() {
+        let mut u = Union::new(stream(&[1.0, 2.0, 3.0], 2), stream(&[10.0, 20.0], 1)).unwrap();
+        let mut all: Vec<f64> =
+            u.collect_all().iter().map(|t| t.fields[0].value.as_f64().unwrap()).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, vec![1.0, 2.0, 3.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn per_stream_order_preserved() {
+        let mut u = Union::new(stream(&[1.0, 2.0, 3.0, 4.0], 1), stream(&[], 1)).unwrap();
+        let vals: Vec<f64> =
+            u.collect_all().iter().map(|t| t.fields[0].value.as_f64().unwrap()).collect();
+        assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn uneven_lengths_drain_fully() {
+        let mut u = Union::new(stream(&[1.0], 4), stream(&[2.0, 3.0, 4.0, 5.0, 6.0], 2)).unwrap();
+        assert_eq!(u.collect_all().len(), 6);
+        assert!(u.next_batch().is_none());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let other = Schema::new(vec![Column::new("y", ColumnType::Float)]).unwrap();
+        let b = VecStream::new(other, vec![], 4);
+        assert!(Union::new(stream(&[1.0], 2), b).is_err());
+    }
+}

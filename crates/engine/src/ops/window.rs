@@ -1,0 +1,347 @@
+//! Count-based sliding-window aggregation over Gaussian attributes.
+//!
+//! This is the operator of the paper's throughput experiments (Section
+//! V-C): "a simple count-based sliding window AVG query with a window size
+//! of 1000. Since the inputs are Gaussians, the query processor can compute
+//! the AVG result as a Gaussian distribution."
+//!
+//! For independent inputs `Xᵢ ~ N(μᵢ, σᵢ²)` in a window of size `w`:
+//! `AVG ~ N(Σμᵢ/w, Σσᵢ²/w²)` and `SUM ~ N(Σμᵢ, Σσᵢ²)`. The de-facto
+//! sample size of the output (Lemma 3) is the minimum input sample size in
+//! the window.
+
+use std::collections::VecDeque;
+
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::value::Value;
+use ausdb_model::AttrDistribution;
+use rand::rngs::StdRng;
+
+use crate::accuracy::result_accuracy;
+use crate::bootstrap::bootstrap_accuracy_info;
+use crate::error::EngineError;
+use crate::mc::sample_distribution;
+use crate::ops::AccuracyMode;
+
+/// The aggregate function of a [`WindowAgg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowAggKind {
+    /// Sliding average.
+    Avg,
+    /// Sliding sum.
+    Sum,
+}
+
+/// One window entry: the Gaussian parameters and provenance of one input.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    mu: f64,
+    sigma2: f64,
+    n: usize,
+}
+
+/// Count-based sliding-window AVG/SUM over a Gaussian (or point) column.
+///
+/// Emits one output tuple per input tuple once the window is full. Output
+/// schema: `(value DIST)` named after the aggregate.
+pub struct WindowAgg<S> {
+    input: S,
+    column: String,
+    kind: WindowAggKind,
+    window_size: usize,
+    mode: AccuracyMode,
+    schema: Schema,
+    window: VecDeque<Entry>,
+    sum_mu: f64,
+    sum_var: f64,
+    rng: StdRng,
+    pending_error: bool,
+}
+
+impl<S: TupleStream> WindowAgg<S> {
+    /// Creates the operator over `column` of the input stream.
+    pub fn new(
+        input: S,
+        column: impl Into<String>,
+        kind: WindowAggKind,
+        window_size: usize,
+        mode: AccuracyMode,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        if window_size == 0 {
+            return Err(EngineError::InvalidQuery("window size must be positive".into()));
+        }
+        let column = column.into();
+        input.schema().index_of(&column)?; // validate at plan time
+        let name = match kind {
+            WindowAggKind::Avg => format!("avg_{column}"),
+            WindowAggKind::Sum => format!("sum_{column}"),
+        };
+        let schema = Schema::new(vec![Column::new(name, ColumnType::Dist)])?;
+        Ok(Self {
+            input,
+            column,
+            kind,
+            window_size,
+            mode,
+            schema,
+            window: VecDeque::with_capacity(window_size + 1),
+            sum_mu: 0.0,
+            sum_var: 0.0,
+            rng: ausdb_stats::rng::seeded(seed),
+            pending_error: false,
+        })
+    }
+
+    fn push_tuple(&mut self, tuple: &Tuple, in_schema: &Schema) -> Result<Option<Tuple>, EngineError> {
+        let field = tuple.field(in_schema, &self.column)?;
+        let (mu, sigma2, n) = match &field.value {
+            Value::Dist(AttrDistribution::Gaussian { mu, sigma2 }) => {
+                let n = field.sample_size.ok_or_else(|| {
+                    EngineError::NoAccuracyInfo(format!(
+                        "window input '{}' lacks sample-size provenance",
+                        self.column
+                    ))
+                })?;
+                (*mu, *sigma2, n)
+            }
+            Value::Dist(AttrDistribution::Point(v)) => (*v, 0.0, usize::MAX),
+            Value::Float(v) => (*v, 0.0, usize::MAX),
+            Value::Int(v) => (*v as f64, 0.0, usize::MAX),
+            other => {
+                return Err(EngineError::Eval(format!(
+                    "window aggregate requires Gaussian or scalar input, found {}",
+                    other.type_name()
+                )))
+            }
+        };
+        self.window.push_back(Entry { mu, sigma2, n });
+        self.sum_mu += mu;
+        self.sum_var += sigma2;
+        if self.window.len() > self.window_size {
+            let old = self.window.pop_front().expect("window nonempty");
+            self.sum_mu -= old.mu;
+            self.sum_var -= old.sigma2;
+        }
+        if self.window.len() < self.window_size {
+            return Ok(None);
+        }
+        // Closed-form result Gaussian.
+        let w = self.window_size as f64;
+        let (mu_out, var_out) = match self.kind {
+            WindowAggKind::Avg => (self.sum_mu / w, self.sum_var / (w * w)),
+            WindowAggKind::Sum => (self.sum_mu, self.sum_var),
+        };
+        let df_n = self.window.iter().map(|e| e.n).min().expect("window nonempty");
+        let dist = if var_out > 0.0 {
+            AttrDistribution::gaussian(mu_out, var_out)?
+        } else {
+            AttrDistribution::Point(mu_out)
+        };
+        let mut field = if df_n == usize::MAX {
+            Field::plain(dist.clone())
+        } else {
+            Field::learned(dist.clone(), df_n)
+        };
+        if df_n != usize::MAX {
+            match self.mode {
+                AccuracyMode::None => {}
+                AccuracyMode::Analytical { level } => {
+                    field = field.with_accuracy(result_accuracy(&dist, df_n, level)?);
+                }
+                AccuracyMode::Bootstrap { level, mc_values } => {
+                    let v = sample_distribution(&dist, mc_values.max(2 * df_n), &mut self.rng);
+                    field = field.with_accuracy(bootstrap_accuracy_info(&v, df_n, level, None)?);
+                }
+            }
+        }
+        Ok(Some(Tuple::with_membership(tuple.ts, vec![field], tuple.membership.clone())))
+    }
+}
+
+impl<S: TupleStream> TupleStream for WindowAgg<S> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.pending_error {
+            return None;
+        }
+        loop {
+            let batch = self.input.next_batch()?;
+            let in_schema = self.input.schema().clone();
+            let mut out = Vec::with_capacity(batch.len());
+            for tuple in &batch {
+                match self.push_tuple(tuple, &in_schema) {
+                    Ok(Some(t)) => out.push(t),
+                    Ok(None) => {}
+                    Err(_) => {
+                        // Poisoned input: stop the stream rather than emit
+                        // aggregates with broken provenance.
+                        self.pending_error = true;
+                        return if out.is_empty() { None } else { Some(out) };
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Some(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_model::stream::VecStream;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap()
+    }
+
+    fn gaussian_stream(n: usize) -> VecStream {
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| {
+                Tuple::certain(
+                    i as u64,
+                    vec![Field::learned(
+                        AttrDistribution::gaussian(i as f64, 1.0).unwrap(),
+                        20,
+                    )],
+                )
+            })
+            .collect();
+        VecStream::new(schema(), tuples, 16)
+    }
+
+    #[test]
+    fn avg_closed_form() {
+        // Window of 4 over means 0,1,2,...: first output averages 0..3 = 1.5,
+        // with variance 4/16 = 0.25.
+        let mut w = WindowAgg::new(
+            gaussian_stream(6),
+            "x",
+            WindowAggKind::Avg,
+            4,
+            AccuracyMode::None,
+            5,
+        )
+        .unwrap();
+        let out = w.collect_all();
+        assert_eq!(out.len(), 3, "6 inputs, window 4 ⇒ 3 outputs");
+        let d = out[0].fields[0].value.as_dist().unwrap();
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        assert!((d.variance() - 0.25).abs() < 1e-12);
+        let d = out[2].fields[0].value.as_dist().unwrap();
+        assert!((d.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_closed_form() {
+        let mut w = WindowAgg::new(
+            gaussian_stream(4),
+            "x",
+            WindowAggKind::Sum,
+            4,
+            AccuracyMode::None,
+            5,
+        )
+        .unwrap();
+        let out = w.collect_all();
+        assert_eq!(out.len(), 1);
+        let d = out[0].fields[0].value.as_dist().unwrap();
+        assert!((d.mean() - 6.0).abs() < 1e-12);
+        assert!((d.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytical_accuracy_attached() {
+        let mut w = WindowAgg::new(
+            gaussian_stream(5),
+            "x",
+            WindowAggKind::Avg,
+            4,
+            AccuracyMode::Analytical { level: 0.9 },
+            5,
+        )
+        .unwrap();
+        let out = w.collect_all();
+        let f = &out[0].fields[0];
+        assert_eq!(f.sample_size, Some(20), "min n over the window");
+        let info = f.accuracy.as_ref().unwrap();
+        assert!(info.mean_ci.unwrap().contains(1.5));
+    }
+
+    #[test]
+    fn bootstrap_accuracy_attached() {
+        let mut w = WindowAgg::new(
+            gaussian_stream(5),
+            "x",
+            WindowAggKind::Avg,
+            4,
+            AccuracyMode::Bootstrap { level: 0.9, mc_values: 400 },
+            5,
+        )
+        .unwrap();
+        let out = w.collect_all();
+        let info = out[0].fields[0].accuracy.as_ref().unwrap();
+        assert!(info.mean_ci.is_some() && info.variance_ci.is_some());
+    }
+
+    #[test]
+    fn df_n_is_window_minimum() {
+        let tuples = vec![
+            Tuple::certain(
+                0,
+                vec![Field::learned(AttrDistribution::gaussian(1.0, 1.0).unwrap(), 50)],
+            ),
+            Tuple::certain(
+                1,
+                vec![Field::learned(AttrDistribution::gaussian(2.0, 1.0).unwrap(), 7)],
+            ),
+        ];
+        let s = VecStream::new(schema(), tuples, 8);
+        let mut w = WindowAgg::new(s, "x", WindowAggKind::Avg, 2, AccuracyMode::None, 5).unwrap();
+        let out = w.collect_all();
+        assert_eq!(out[0].fields[0].sample_size, Some(7));
+    }
+
+    #[test]
+    fn plan_time_validation() {
+        assert!(WindowAgg::new(
+            gaussian_stream(2),
+            "nope",
+            WindowAggKind::Avg,
+            2,
+            AccuracyMode::None,
+            5
+        )
+        .is_err());
+        assert!(WindowAgg::new(
+            gaussian_stream(2),
+            "x",
+            WindowAggKind::Avg,
+            0,
+            AccuracyMode::None,
+            5
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn underfull_window_emits_nothing() {
+        let mut w = WindowAgg::new(
+            gaussian_stream(3),
+            "x",
+            WindowAggKind::Avg,
+            10,
+            AccuracyMode::None,
+            5,
+        )
+        .unwrap();
+        assert!(w.next_batch().is_none());
+    }
+}

@@ -1,0 +1,368 @@
+//! Deterministic and probability-threshold predicates.
+//!
+//! A comparison over an uncertain expression is satisfied *with some
+//! probability*; following the possible-world semantics (Section II-A) a
+//! filtered result tuple keeps that probability as its membership
+//! probability. A **probability-threshold predicate** (`Delay >_{2/3} 50`,
+//! Example 1) instead makes a hard decision: keep the tuple iff the
+//! probability clears the threshold τ.
+
+use ausdb_model::schema::Schema;
+use ausdb_model::tuple::Tuple;
+use ausdb_model::value::Value;
+use ausdb_model::AttrDistribution;
+use ausdb_stats::dist::Normal;
+use rand::Rng;
+
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::mc::monte_carlo;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison to scalars.
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+impl std::fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// `Pr[X op threshold]` for a single attribute distribution, exact.
+///
+/// Continuous families treat `<`/`<=` (and `>`/`>=`) identically; discrete
+/// and empirical distributions account for point mass at the threshold.
+pub fn prob_cmp(dist: &AttrDistribution, op: CmpOp, t: f64) -> f64 {
+    // Point mass exactly at t (zero for continuous distributions).
+    let mass_at = match dist {
+        AttrDistribution::Point(v)
+            if *v == t => {
+                1.0
+            }
+        AttrDistribution::Discrete(pairs) => {
+            pairs.iter().filter(|&&(v, _)| v == t).map(|&(_, p)| p).sum()
+        }
+        AttrDistribution::Empirical(xs) => {
+            xs.iter().filter(|&&v| v == t).count() as f64 / xs.len() as f64
+        }
+        _ => 0.0,
+    };
+    let le = dist.cdf(t); // Pr[X <= t]
+    match op {
+        CmpOp::Le => le,
+        CmpOp::Lt => (le - mass_at).max(0.0),
+        CmpOp::Gt => (1.0 - le).max(0.0),
+        CmpOp::Ge => (1.0 - le + mass_at).min(1.0),
+        CmpOp::Eq => mass_at,
+        CmpOp::Ne => 1.0 - mass_at,
+    }
+}
+
+/// A predicate over one probabilistic tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// `expr op threshold` — satisfied with the probability the comparison
+    /// holds under the expression's distribution.
+    Compare {
+        /// Left-hand expression.
+        expr: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        threshold: f64,
+    },
+    /// `expr op_τ threshold` — true iff `Pr[expr op threshold] ≥ τ`
+    /// (probability-threshold predicate, e.g. `Delay >_{2/3} 50`).
+    ProbThreshold {
+        /// Left-hand expression.
+        expr: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        threshold: f64,
+        /// The probability threshold τ.
+        tau: f64,
+    },
+    /// Conjunction. The combined probability assumes the operands are
+    /// independent (exact when they reference disjoint columns).
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction (independence assumption as for [`Predicate::And`]).
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor: `expr op threshold`.
+    pub fn compare(expr: Expr, op: CmpOp, threshold: f64) -> Self {
+        Predicate::Compare { expr, op, threshold }
+    }
+
+    /// Convenience constructor: probability-threshold predicate.
+    pub fn prob_threshold(expr: Expr, op: CmpOp, threshold: f64, tau: f64) -> Self {
+        Predicate::ProbThreshold { expr, op, threshold, tau }
+    }
+
+    /// Distinct columns referenced anywhere in the predicate.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Compare { expr, .. } | Predicate::ProbThreshold { expr, .. } => {
+                for c in expr.columns() {
+                    if !out.iter().any(|x| x.eq_ignore_ascii_case(&c)) {
+                        out.push(c);
+                    }
+                }
+            }
+            Predicate::And(l, r) | Predicate::Or(l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// Probability that the predicate holds for this tuple.
+    ///
+    /// Single-column comparisons and linear-Gaussian expressions are exact;
+    /// anything else falls back to `mc_iters` Monte-Carlo draws.
+    pub fn prob<R: Rng + ?Sized>(
+        &self,
+        tuple: &Tuple,
+        schema: &Schema,
+        mc_iters: usize,
+        rng: &mut R,
+    ) -> Result<f64, EngineError> {
+        match self {
+            Predicate::True => Ok(1.0),
+            Predicate::Compare { expr, op, threshold } => {
+                compare_prob(expr, *op, *threshold, tuple, schema, mc_iters, rng)
+            }
+            Predicate::ProbThreshold { expr, op, threshold, tau } => {
+                let p = compare_prob(expr, *op, *threshold, tuple, schema, mc_iters, rng)?;
+                Ok(if p >= *tau { 1.0 } else { 0.0 })
+            }
+            Predicate::And(l, r) => {
+                Ok(l.prob(tuple, schema, mc_iters, rng)? * r.prob(tuple, schema, mc_iters, rng)?)
+            }
+            Predicate::Or(l, r) => {
+                let a = l.prob(tuple, schema, mc_iters, rng)?;
+                let b = r.prob(tuple, schema, mc_iters, rng)?;
+                Ok(a + b - a * b)
+            }
+            Predicate::Not(p) => Ok(1.0 - p.prob(tuple, schema, mc_iters, rng)?),
+        }
+    }
+}
+
+/// `Pr[expr op threshold]` over a tuple: exact when possible, Monte-Carlo
+/// otherwise.
+fn compare_prob<R: Rng + ?Sized>(
+    expr: &Expr,
+    op: CmpOp,
+    threshold: f64,
+    tuple: &Tuple,
+    schema: &Schema,
+    mc_iters: usize,
+    rng: &mut R,
+) -> Result<f64, EngineError> {
+    // Fast path 1: bare column reference → exact on its distribution.
+    if let Expr::Column(name) = expr {
+        let field = tuple.field(schema, name)?;
+        return match &field.value {
+            Value::Dist(d) => Ok(prob_cmp(d, op, threshold)),
+            other => Ok(if op.apply(other.as_f64()?, threshold) { 1.0 } else { 0.0 }),
+        };
+    }
+    // Fast path 2: linear-Gaussian closed form.
+    if let Some((mu, var)) = expr.eval_gaussian(tuple, schema)? {
+        if var == 0.0 {
+            return Ok(if op.apply(mu, threshold) { 1.0 } else { 0.0 });
+        }
+        let d = AttrDistribution::Gaussian { mu, sigma2: var };
+        // Delegate so Eq/Ne get the continuous (zero point-mass) handling.
+        let _ = Normal::from_mean_variance(mu, var)?; // validates parameters
+        return Ok(prob_cmp(&d, op, threshold));
+    }
+    // General path: Monte Carlo.
+    let values = monte_carlo(expr, tuple, schema, mc_iters, rng)?;
+    Ok(values.iter().filter(|&&v| op.apply(v, threshold)).count() as f64 / values.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use ausdb_model::schema::{Column, ColumnType};
+    use ausdb_model::tuple::Field;
+    use ausdb_stats::rng::seeded;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("x", ColumnType::Dist),
+            Column::new("y", ColumnType::Dist),
+            Column::new("k", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    fn tuple() -> Tuple {
+        Tuple::certain(
+            0,
+            vec![
+                Field::learned(AttrDistribution::gaussian(10.0, 4.0).unwrap(), 20),
+                Field::learned(
+                    AttrDistribution::discrete(vec![(1.0, 0.5), (2.0, 0.3), (3.0, 0.2)]).unwrap(),
+                    20,
+                ),
+                Field::plain(5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn prob_cmp_continuous() {
+        let g = AttrDistribution::gaussian(0.0, 1.0).unwrap();
+        assert!((prob_cmp(&g, CmpOp::Gt, 0.0) - 0.5).abs() < 1e-12);
+        assert!((prob_cmp(&g, CmpOp::Lt, 0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(prob_cmp(&g, CmpOp::Eq, 0.0), 0.0);
+        assert_eq!(prob_cmp(&g, CmpOp::Ne, 0.0), 1.0);
+    }
+
+    #[test]
+    fn prob_cmp_discrete_point_mass() {
+        let d = AttrDistribution::discrete(vec![(1.0, 0.5), (2.0, 0.3), (3.0, 0.2)]).unwrap();
+        assert!((prob_cmp(&d, CmpOp::Eq, 2.0) - 0.3).abs() < 1e-12);
+        assert!((prob_cmp(&d, CmpOp::Le, 2.0) - 0.8).abs() < 1e-12);
+        assert!((prob_cmp(&d, CmpOp::Lt, 2.0) - 0.5).abs() < 1e-12);
+        assert!((prob_cmp(&d, CmpOp::Gt, 2.0) - 0.2).abs() < 1e-12);
+        assert!((prob_cmp(&d, CmpOp::Ge, 2.0) - 0.5).abs() < 1e-12);
+        assert!((prob_cmp(&d, CmpOp::Ne, 2.0) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_cmp_point() {
+        let p = AttrDistribution::Point(5.0);
+        assert_eq!(prob_cmp(&p, CmpOp::Eq, 5.0), 1.0);
+        assert_eq!(prob_cmp(&p, CmpOp::Ge, 5.0), 1.0);
+        assert_eq!(prob_cmp(&p, CmpOp::Gt, 5.0), 0.0);
+        assert_eq!(prob_cmp(&p, CmpOp::Lt, 5.0), 0.0);
+    }
+
+    #[test]
+    fn compare_on_column_is_exact() {
+        let mut rng = seeded(1);
+        let p = Predicate::compare(Expr::col("x"), CmpOp::Gt, 10.0);
+        // mc_iters = 1: must not matter, the path is exact.
+        let prob = p.prob(&tuple(), &schema(), 1, &mut rng).unwrap();
+        assert!((prob - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compare_on_deterministic_field() {
+        let mut rng = seeded(1);
+        let p = Predicate::compare(Expr::col("k"), CmpOp::Ge, 5.0);
+        assert_eq!(p.prob(&tuple(), &schema(), 1, &mut rng).unwrap(), 1.0);
+        let p = Predicate::compare(Expr::col("k"), CmpOp::Gt, 5.0);
+        assert_eq!(p.prob(&tuple(), &schema(), 1, &mut rng).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn gaussian_closed_form_compare() {
+        // x + k ~ N(15, 4): Pr[> 15] = 0.5 exactly, even with 1 MC iter.
+        let mut rng = seeded(2);
+        let e = Expr::bin(BinOp::Add, Expr::col("x"), Expr::col("k"));
+        let p = Predicate::compare(e, CmpOp::Gt, 15.0);
+        assert!((p.prob(&tuple(), &schema(), 1, &mut rng).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_fallback() {
+        // SQUARE(x) has no closed form here; Pr[x² > 100] = Pr[|x| > 10]
+        // with x ~ N(10, 4) ≈ 0.5 (the left tail at -10 is negligible).
+        let mut rng = seeded(3);
+        let e = Expr::un(crate::expr::UnaryOp::Square, Expr::col("x"));
+        let p = Predicate::compare(e, CmpOp::Gt, 100.0);
+        let prob = p.prob(&tuple(), &schema(), 20_000, &mut rng).unwrap();
+        assert!((prob - 0.5).abs() < 0.02, "prob = {prob}");
+    }
+
+    #[test]
+    fn prob_threshold_is_binary() {
+        let mut rng = seeded(4);
+        // Pr[x > 8] = Φ(1) ≈ 0.841: passes τ=0.8, fails τ=0.9.
+        let p = Predicate::prob_threshold(Expr::col("x"), CmpOp::Gt, 8.0, 0.8);
+        assert_eq!(p.prob(&tuple(), &schema(), 1, &mut rng).unwrap(), 1.0);
+        let p = Predicate::prob_threshold(Expr::col("x"), CmpOp::Gt, 8.0, 0.9);
+        assert_eq!(p.prob(&tuple(), &schema(), 1, &mut rng).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let mut rng = seeded(5);
+        let t = Predicate::True;
+        let half = Predicate::compare(Expr::col("x"), CmpOp::Gt, 10.0);
+        let and = Predicate::And(Box::new(t.clone()), Box::new(half.clone()));
+        assert!((and.prob(&tuple(), &schema(), 1, &mut rng).unwrap() - 0.5).abs() < 1e-12);
+        let or = Predicate::Or(Box::new(half.clone()), Box::new(half.clone()));
+        assert!((or.prob(&tuple(), &schema(), 1, &mut rng).unwrap() - 0.75).abs() < 1e-12);
+        let not = Predicate::Not(Box::new(half));
+        assert!((not.prob(&tuple(), &schema(), 1, &mut rng).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn columns_collected() {
+        let p = Predicate::And(
+            Box::new(Predicate::compare(Expr::col("x"), CmpOp::Gt, 0.0)),
+            Box::new(Predicate::compare(
+                Expr::bin(BinOp::Add, Expr::col("X"), Expr::col("y")),
+                CmpOp::Lt,
+                1.0,
+            )),
+        );
+        assert_eq!(p.columns(), vec!["x".to_string(), "y".to_string()]);
+    }
+}

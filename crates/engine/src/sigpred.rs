@@ -1,0 +1,470 @@
+//! Significance predicates (Section IV): `mTest`, `mdTest`, `pTest`, and
+//! the `COUPLED-TESTS` algorithm.
+//!
+//! A significance predicate decides whether a statement about a learned
+//! distribution is **statistically significant** — unlikely to hold by
+//! chance given how little data backs the distribution. The basic
+//! predicates bound only the false-positive rate (the significance level
+//! α); [`coupled_tests`] pairs each test with its inverse so both the
+//! false-positive rate `α₁` and the false-negative rate `α₂` are bounded
+//! (Theorem 3), at the price of a third outcome, [`SigOutcome::Unsure`].
+
+use ausdb_model::schema::Schema;
+use ausdb_model::tuple::Tuple;
+use ausdb_model::value::Value;
+use ausdb_stats::htest::{
+    one_proportion_test, one_sample_mean_test, two_sample_mean_test, Alternative,
+};
+use rand::Rng;
+
+use crate::dfsample::df_sample_size;
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::mc::monte_carlo;
+use crate::predicate::Predicate;
+
+/// Summary statistics of a probabilistic field, as consumed by the tests:
+/// the distribution's mean and standard deviation plus its (de-facto)
+/// sample size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldStats {
+    /// Mean of the field's distribution (`ȳ` in the tests).
+    pub mean: f64,
+    /// Standard deviation of the field's distribution (`s`).
+    pub sd: f64,
+    /// De-facto sample size (`n`, Lemma 3).
+    pub n: usize,
+}
+
+impl FieldStats {
+    /// Builds stats directly from a raw sample (used when the caller has
+    /// observations rather than a learned field).
+    pub fn from_sample(sample: &[f64]) -> Result<Self, EngineError> {
+        if sample.len() < 2 {
+            return Err(EngineError::NoAccuracyInfo(
+                "need >= 2 observations for field statistics".into(),
+            ));
+        }
+        let s = ausdb_stats::summary::Summary::of(sample);
+        Ok(Self { mean: s.mean(), sd: s.std_dev(), n: sample.len() })
+    }
+}
+
+/// Extracts [`FieldStats`] for an expression over a tuple.
+///
+/// A bare distribution column reports its own mean/σ; a linear-Gaussian
+/// expression is propagated in closed form; anything else is estimated
+/// with `mc_iters` Monte-Carlo draws. The sample size is always the
+/// de-facto sample size of Lemma 3.
+pub fn field_stats<R: Rng + ?Sized>(
+    expr: &Expr,
+    tuple: &Tuple,
+    schema: &Schema,
+    mc_iters: usize,
+    rng: &mut R,
+) -> Result<FieldStats, EngineError> {
+    let n = df_sample_size(expr, tuple, schema)?.ok_or_else(|| {
+        EngineError::NoAccuracyInfo(
+            "significance predicate over a fully deterministic expression".into(),
+        )
+    })?;
+    if n < 2 {
+        return Err(EngineError::NoAccuracyInfo(format!(
+            "de-facto sample size {n} too small for a hypothesis test"
+        )));
+    }
+    // Bare column: use the learned distribution's own parameters.
+    if let Expr::Column(name) = expr {
+        if let Value::Dist(d) = &tuple.field(schema, name)?.value {
+            return Ok(FieldStats { mean: d.mean(), sd: d.std_dev(), n });
+        }
+    }
+    if let Some((mu, var)) = expr.eval_gaussian(tuple, schema)? {
+        return Ok(FieldStats { mean: mu, sd: var.sqrt(), n });
+    }
+    let values = monte_carlo(expr, tuple, schema, mc_iters.max(2), rng)?;
+    let s = ausdb_stats::summary::Summary::of(&values);
+    Ok(FieldStats { mean: s.mean(), sd: s.std_dev(), n })
+}
+
+/// A basic significance predicate (Section IV-B).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SigPredicate {
+    /// `mTest(X, op, c, α)` — is `E(X) op c` statistically significant?
+    MTest {
+        /// The probabilistic field / expression under test.
+        expr: Expr,
+        /// H₁'s direction.
+        op: Alternative,
+        /// The constant `c` compared against.
+        c: f64,
+    },
+    /// `mdTest(X, Y, op, c, α)` — is `E(X) − E(Y) op c` significant?
+    MdTest {
+        /// First field.
+        x: Expr,
+        /// Second field.
+        y: Expr,
+        /// H₁'s direction.
+        op: Alternative,
+        /// The constant difference `c` (most commonly 0).
+        c: f64,
+    },
+    /// `pTest(pred, τ, α)` — is `Pr[pred] > τ` significant?
+    PTest {
+        /// An arbitrary deterministic-style predicate over the tuple.
+        pred: Box<Predicate>,
+        /// Probability threshold τ.
+        tau: f64,
+        /// H₁'s direction (the paper's pTest fixes `>`; we generalize).
+        op: Alternative,
+    },
+}
+
+impl SigPredicate {
+    /// Convenience constructor matching the paper's `mTest(X, op, c, α)`
+    /// signature (α is supplied at evaluation time).
+    pub fn m_test(expr: Expr, op: Alternative, c: f64) -> Self {
+        SigPredicate::MTest { expr, op, c }
+    }
+
+    /// Convenience constructor for `mdTest`.
+    pub fn md_test(x: Expr, y: Expr, op: Alternative, c: f64) -> Self {
+        SigPredicate::MdTest { x, y, op, c }
+    }
+
+    /// Convenience constructor for the paper's `pTest(pred, τ, α)`.
+    pub fn p_test(pred: Predicate, tau: f64) -> Self {
+        SigPredicate::PTest { pred: Box::new(pred), tau, op: Alternative::Greater }
+    }
+
+    /// The H₁ direction of the predicate.
+    pub fn op(&self) -> Alternative {
+        match self {
+            SigPredicate::MTest { op, .. }
+            | SigPredicate::MdTest { op, .. }
+            | SigPredicate::PTest { op, .. } => *op,
+        }
+    }
+
+    /// Runs the underlying hypothesis test with an overridden direction
+    /// and significance level (the primitive `COUPLED-TESTS` composes).
+    /// Returns `true` iff H₀ is rejected.
+    pub fn run_with<R: Rng + ?Sized>(
+        &self,
+        tuple: &Tuple,
+        schema: &Schema,
+        op: Alternative,
+        alpha: f64,
+        mc_iters: usize,
+        rng: &mut R,
+    ) -> Result<bool, EngineError> {
+        match self {
+            SigPredicate::MTest { expr, c, .. } => {
+                let st = field_stats(expr, tuple, schema, mc_iters, rng)?;
+                Ok(one_sample_mean_test(st.mean, st.sd, st.n, *c, op, alpha).significant())
+            }
+            SigPredicate::MdTest { x, y, c, .. } => {
+                let sx = field_stats(x, tuple, schema, mc_iters, rng)?;
+                let sy = field_stats(y, tuple, schema, mc_iters, rng)?;
+                Ok(two_sample_mean_test(
+                    sx.mean, sx.sd, sx.n, sy.mean, sy.sd, sy.n, *c, op, alpha,
+                )
+                .significant())
+            }
+            SigPredicate::PTest { pred, tau, .. } => {
+                let p_hat = pred.prob(tuple, schema, mc_iters, rng)?;
+                let cols = pred.columns();
+                let n = cols
+                    .iter()
+                    .filter_map(|c| {
+                        tuple
+                            .field(schema, c)
+                            .ok()
+                            .and_then(|f| if matches!(f.value, Value::Dist(_)) { f.sample_size } else { None })
+                    })
+                    .min()
+                    .ok_or_else(|| {
+                        EngineError::NoAccuracyInfo(
+                            "pTest predicate references no learned distribution".into(),
+                        )
+                    })?;
+                Ok(one_proportion_test(p_hat, n, *tau, op, alpha).significant())
+            }
+        }
+    }
+
+    /// Evaluates the **basic** significance predicate at level `alpha`
+    /// (Section IV-B): true iff the statement is statistically significant.
+    /// Bounds only the false-positive rate.
+    pub fn evaluate<R: Rng + ?Sized>(
+        &self,
+        tuple: &Tuple,
+        schema: &Schema,
+        alpha: f64,
+        mc_iters: usize,
+        rng: &mut R,
+    ) -> Result<bool, EngineError> {
+        self.run_with(tuple, schema, self.op(), alpha, mc_iters, rng)
+    }
+}
+
+/// The three-state outcome of `COUPLED-TESTS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigOutcome {
+    /// H₁ accepted with false-positive rate ≤ α₁.
+    True,
+    /// H₁ rejected (the inverse hypothesis accepted) with false-negative
+    /// rate ≤ α₂.
+    False,
+    /// Not enough evidence either way at the requested error rates.
+    Unsure,
+}
+
+/// Error-rate configuration of `COUPLED-TESTS`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoupledConfig {
+    /// Maximum false-positive rate α₁.
+    pub alpha1: f64,
+    /// Maximum false-negative rate α₂.
+    pub alpha2: f64,
+    /// Monte-Carlo iterations for compound expressions.
+    pub mc_iters: usize,
+}
+
+impl Default for CoupledConfig {
+    fn default() -> Self {
+        Self { alpha1: 0.05, alpha2: 0.05, mc_iters: 1000 }
+    }
+}
+
+/// Algorithm **COUPLED-TESTS** `(P, α₁, α₂)` — Section IV-C.
+///
+/// Runs the predicate's hypothesis test `T₁` and, when it fails to reject,
+/// the inverse test `T₂`. For one-sided predicates: `T₁` accepting ⇒
+/// [`SigOutcome::True`]; `T₂` accepting ⇒ [`SigOutcome::False`]; neither ⇒
+/// [`SigOutcome::Unsure`]. For `op = '<>'` the algorithm splits α₁ between
+/// the `<` and `>` tests and never returns `False` (Theorem 3's zero
+/// false-negative case).
+pub fn coupled_tests<R: Rng + ?Sized>(
+    pred: &SigPredicate,
+    config: CoupledConfig,
+    tuple: &Tuple,
+    schema: &Schema,
+    rng: &mut R,
+) -> Result<SigOutcome, EngineError> {
+    let CoupledConfig { alpha1, alpha2, mc_iters } = config;
+    assert!(alpha1 > 0.0 && alpha1 < 1.0, "alpha1 must be in (0,1)");
+    assert!(alpha2 > 0.0 && alpha2 < 1.0, "alpha2 must be in (0,1)");
+    let original_op = pred.op();
+    // Lines 3–12: derive the two coupled tests.
+    let (op1, a1, op2, a2) = if original_op == Alternative::TwoSided {
+        (Alternative::Less, alpha1 / 2.0, Alternative::Greater, alpha1 / 2.0)
+    } else {
+        (original_op, alpha1, original_op.inverse(), alpha2)
+    };
+    // Line 13: run T₁.
+    if pred.run_with(tuple, schema, op1, a1, mc_iters, rng)? {
+        return Ok(SigOutcome::True); // lines 14–15
+    }
+    // Line 17: run T₂.
+    if pred.run_with(tuple, schema, op2, a2, mc_iters, rng)? {
+        // Line 19: '<>' treats either direction as TRUE; otherwise the
+        // inverse accepting means the original statement is FALSE.
+        Ok(if original_op == Alternative::TwoSided { SigOutcome::True } else { SigOutcome::False })
+    } else {
+        Ok(SigOutcome::Unsure) // line 21
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use ausdb_model::schema::{Column, ColumnType};
+    use ausdb_model::tuple::Field;
+    use ausdb_model::AttrDistribution;
+    use ausdb_stats::rng::seeded;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("x", ColumnType::Dist),
+            Column::new("y", ColumnType::Dist),
+        ])
+        .unwrap()
+    }
+
+    /// Example 8's two temperature fields: X learned from 5 observations,
+    /// Y from 100 (same mean ≈ 100.4, 60% of mass above 100).
+    fn example8_tuple() -> Tuple {
+        let x_sample = vec![82.0, 86.0, 105.0, 110.0, 119.0];
+        let x = AttrDistribution::empirical(x_sample).unwrap();
+        // Y: 40 observations at 95, 60 at 104 — mean 100.4, Pr[>100] = 0.6.
+        let mut y_sample = vec![95.0; 40];
+        y_sample.extend(std::iter::repeat_n(104.0, 60));
+        let y = AttrDistribution::empirical(y_sample).unwrap();
+        Tuple::certain(0, vec![Field::learned(x, 5), Field::learned(y, 100)])
+    }
+
+    #[test]
+    fn example9_mtest() {
+        // mTest(temperature, ">", 97, 0.05): Y satisfies, X does not.
+        let mut rng = seeded(1);
+        let t = example8_tuple();
+        let s = schema();
+        let mx = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 97.0);
+        let my = SigPredicate::m_test(Expr::col("y"), Alternative::Greater, 97.0);
+        assert!(!mx.evaluate(&t, &s, 0.05, 100, &mut rng).unwrap(), "X must fail");
+        assert!(my.evaluate(&t, &s, 0.05, 100, &mut rng).unwrap(), "Y must pass");
+    }
+
+    #[test]
+    fn example9_ptest() {
+        // pTest("temperature > 100", 0.5, 0.05): Y satisfies, X does not.
+        let mut rng = seeded(2);
+        let t = example8_tuple();
+        let s = schema();
+        let px = SigPredicate::p_test(
+            Predicate::compare(Expr::col("x"), CmpOp::Gt, 100.0),
+            0.5,
+        );
+        let py = SigPredicate::p_test(
+            Predicate::compare(Expr::col("y"), CmpOp::Gt, 100.0),
+            0.5,
+        );
+        assert!(!px.evaluate(&t, &s, 0.05, 100, &mut rng).unwrap(), "X must fail");
+        assert!(py.evaluate(&t, &s, 0.05, 100, &mut rng).unwrap(), "Y must pass");
+    }
+
+    #[test]
+    fn mdtest_distinguishes_fields() {
+        // X ~ N(10, 1) n=40 vs Y ~ N(8, 1) n=40: E(X) − E(Y) > 0 should be
+        // significant.
+        let mut rng = seeded(3);
+        let t = Tuple::certain(
+            0,
+            vec![
+                Field::learned(AttrDistribution::gaussian(10.0, 1.0).unwrap(), 40),
+                Field::learned(AttrDistribution::gaussian(8.0, 1.0).unwrap(), 40),
+            ],
+        );
+        let md =
+            SigPredicate::md_test(Expr::col("x"), Expr::col("y"), Alternative::Greater, 0.0);
+        assert!(md.evaluate(&t, &schema(), 0.05, 100, &mut rng).unwrap());
+        // The reverse direction must not be significant.
+        let md_rev =
+            SigPredicate::md_test(Expr::col("x"), Expr::col("y"), Alternative::Less, 0.0);
+        assert!(!md_rev.evaluate(&t, &schema(), 0.05, 100, &mut rng).unwrap());
+    }
+
+    #[test]
+    fn coupled_tests_three_outcomes() {
+        let mut rng = seeded(4);
+        let s = schema();
+        let cfg = CoupledConfig::default();
+        // Strong evidence for TRUE.
+        let t = Tuple::certain(
+            0,
+            vec![
+                Field::learned(AttrDistribution::gaussian(20.0, 1.0).unwrap(), 50),
+                Field::learned(AttrDistribution::gaussian(0.0, 1.0).unwrap(), 50),
+            ],
+        );
+        let m = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 10.0);
+        assert_eq!(coupled_tests(&m, cfg, &t, &s, &mut rng).unwrap(), SigOutcome::True);
+        // Strong evidence for FALSE (the inverse accepts).
+        let m = SigPredicate::m_test(Expr::col("x"), Alternative::Less, 10.0);
+        assert_eq!(coupled_tests(&m, cfg, &t, &s, &mut rng).unwrap(), SigOutcome::False);
+        // Mean exactly at the boundary with small n ⇒ UNSURE.
+        let t_small = Tuple::certain(
+            0,
+            vec![
+                Field::learned(AttrDistribution::gaussian(10.0, 25.0).unwrap(), 5),
+                Field::learned(AttrDistribution::gaussian(0.0, 1.0).unwrap(), 5),
+            ],
+        );
+        let m = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 10.0);
+        assert_eq!(
+            coupled_tests(&m, cfg, &t_small, &s, &mut rng).unwrap(),
+            SigOutcome::Unsure
+        );
+    }
+
+    #[test]
+    fn coupled_two_sided_never_false() {
+        let mut rng = seeded(5);
+        let s = schema();
+        let cfg = CoupledConfig::default();
+        let t = Tuple::certain(
+            0,
+            vec![
+                Field::learned(AttrDistribution::gaussian(10.0, 4.0).unwrap(), 30),
+                Field::learned(AttrDistribution::gaussian(0.0, 1.0).unwrap(), 30),
+            ],
+        );
+        // Far from 10 in either direction ⇒ TRUE; at 10 ⇒ UNSURE; never FALSE.
+        let far = SigPredicate::m_test(Expr::col("x"), Alternative::TwoSided, 0.0);
+        assert_eq!(coupled_tests(&far, cfg, &t, &s, &mut rng).unwrap(), SigOutcome::True);
+        let at = SigPredicate::m_test(Expr::col("x"), Alternative::TwoSided, 10.0);
+        assert_eq!(coupled_tests(&at, cfg, &t, &s, &mut rng).unwrap(), SigOutcome::Unsure);
+    }
+
+    #[test]
+    fn coupled_error_rates_simulated() {
+        // Simulate the paper's Figure 5(e) property: with α₁ = α₂ = 0.05,
+        // actual FP and FN rates stay at or below the specification.
+        use ausdb_stats::dist::{ContinuousDistribution, Normal};
+        let s = schema();
+        let cfg = CoupledConfig::default();
+        let d = Normal::new(1.0, 1.0).unwrap();
+        let mut rng = seeded(6);
+        let trials = 800;
+        let (mut fp, mut fng) = (0, 0);
+        for _ in 0..trials {
+            let sample = d.sample_n(&mut rng, 20);
+            let emp = AttrDistribution::empirical(sample).unwrap();
+            let t = Tuple::certain(
+                0,
+                vec![
+                    Field::learned(emp, 20),
+                    Field::learned(AttrDistribution::gaussian(0.0, 1.0).unwrap(), 20),
+                ],
+            );
+            // H1 "mean > 1.0" is false at equality ⇒ any TRUE is a FP.
+            let m = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 1.0);
+            if coupled_tests(&m, cfg, &t, &s, &mut rng).unwrap() == SigOutcome::True {
+                fp += 1;
+            }
+            // H1 "mean > 0.5" is true ⇒ any FALSE is a FN.
+            let m = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 0.5);
+            if coupled_tests(&m, cfg, &t, &s, &mut rng).unwrap() == SigOutcome::False {
+                fng += 1;
+            }
+        }
+        let fp_rate = fp as f64 / trials as f64;
+        let fn_rate = fng as f64 / trials as f64;
+        assert!(fp_rate <= 0.08, "false-positive rate {fp_rate} exceeds spec");
+        assert!(fn_rate <= 0.08, "false-negative rate {fn_rate} exceeds spec");
+    }
+
+    #[test]
+    fn field_stats_from_sample() {
+        let st = FieldStats::from_sample(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(st.n, 3);
+        assert!((st.mean - 2.0).abs() < 1e-12);
+        assert!(FieldStats::from_sample(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_expression_rejected() {
+        let mut rng = seeded(7);
+        let t = Tuple::certain(0, vec![Field::plain(1.0), Field::plain(2.0)]);
+        let s = Schema::new(vec![
+            Column::new("x", ColumnType::Float),
+            Column::new("y", ColumnType::Float),
+        ])
+        .unwrap();
+        let m = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 0.0);
+        assert!(m.evaluate(&t, &s, 0.05, 10, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Attaching Lemma 1 / Lemma 2 accuracy information to learned
+//! distributions.
+//!
+//! This is the analytical half of the paper's "accuracy-aware" pipeline:
+//! given the raw sample a distribution was learned from, produce the
+//! confidence intervals of Figure 2 — per-bin probability intervals for
+//! histograms (Lemma 1) and `(μ₁, μ₂)` / `(σ₁², σ₂²)` intervals for any
+//! distribution (Lemma 2).
+
+use ausdb_model::accuracy::AccuracyInfo;
+use ausdb_model::dist::{AttrDistribution, Histogram};
+use ausdb_model::error::ModelError;
+use ausdb_stats::ci::{mean_interval, proportion_interval, variance_interval};
+use ausdb_stats::summary::Summary;
+
+use crate::gaussian::fit_gaussian;
+use crate::histogram::{BinSpec, HistogramLearner};
+
+/// Which distribution family to learn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistKind {
+    /// Equi-width histogram with the given bucket policy.
+    Histogram(BinSpec),
+    /// Gaussian by sample moments.
+    Gaussian,
+    /// Empirical (retain the raw sample).
+    Empirical,
+}
+
+/// **Lemma 1** applied to a whole histogram: one proportion interval per
+/// bin height, each at confidence `level`, for a histogram learned from a
+/// sample of size `n`. Also fills in Lemma 2's μ/σ² intervals when the raw
+/// sample is provided (the paper notes the generic intervals "apply to
+/// histogram distributions too").
+pub fn histogram_accuracy(
+    hist: &Histogram,
+    n: usize,
+    level: f64,
+    raw: Option<&[f64]>,
+) -> AccuracyInfo {
+    assert!(n > 0, "sample size must be positive");
+    let bin_cis =
+        hist.probs().iter().map(|&p| proportion_interval(p, n, level)).collect::<Vec<_>>();
+    let mut info = AccuracyInfo::new(n).with_bin_cis(bin_cis);
+    if let Some(sample) = raw {
+        if sample.len() >= 2 {
+            let s = Summary::of(sample);
+            info = info
+                .with_mean_ci(mean_interval(s.mean(), s.std_dev(), n, level))
+                .with_variance_ci(variance_interval(s.variance(), n, level));
+        }
+    }
+    info
+}
+
+/// **Lemma 2** applied to an arbitrary distribution learned from a sample
+/// with mean `y_bar`, standard deviation `s`, and size `n`: the μ interval
+/// (t-based under n < 30, z otherwise) and the χ² σ² interval.
+pub fn distribution_accuracy(y_bar: f64, s: f64, n: usize, level: f64) -> AccuracyInfo {
+    assert!(n >= 2, "Lemma 2 intervals need n >= 2");
+    AccuracyInfo::new(n)
+        .with_mean_ci(mean_interval(y_bar, s, n, level))
+        .with_variance_ci(variance_interval(s * s, n, level))
+}
+
+/// One-stop learning: fit the requested distribution kind to `sample` and
+/// attach the matching accuracy information at confidence `level`.
+///
+/// Returns the learned distribution and its [`AccuracyInfo`]; the caller
+/// wraps them into a [`ausdb_model::tuple::Field`].
+pub fn learn_with_accuracy(
+    sample: &[f64],
+    kind: DistKind,
+    level: f64,
+) -> Result<(AttrDistribution, AccuracyInfo), ModelError> {
+    if sample.is_empty() {
+        return Err(ModelError::InvalidDistribution("empty sample".into()));
+    }
+    let n = sample.len();
+    match kind {
+        DistKind::Histogram(bins) => {
+            let hist = HistogramLearner::new(bins).learn(sample)?;
+            let info = histogram_accuracy(&hist, n, level, Some(sample));
+            Ok((AttrDistribution::Histogram(hist), info))
+        }
+        DistKind::Gaussian => {
+            let dist = fit_gaussian(sample)?;
+            let s = Summary::of(sample);
+            Ok((dist, distribution_accuracy(s.mean(), s.std_dev(), n, level)))
+        }
+        DistKind::Empirical => {
+            let dist = AttrDistribution::empirical(sample.to_vec())?;
+            if n >= 2 {
+                let s = Summary::of(sample);
+                Ok((dist, distribution_accuracy(s.mean(), s.std_dev(), n, level)))
+            } else {
+                Ok((dist, AccuracyInfo::new(n)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::dist::{ContinuousDistribution, Normal};
+    use ausdb_stats::rng::seeded;
+
+    #[test]
+    fn example2_end_to_end() {
+        // Rebuild Example 2 from raw data: 20 observations, 4 buckets.
+        let mut sample = Vec::new();
+        sample.extend(std::iter::repeat_n(5.0, 3));
+        sample.extend(std::iter::repeat_n(15.0, 4));
+        sample.extend(std::iter::repeat_n(25.0, 8));
+        sample.extend(std::iter::repeat_n(35.0, 5));
+        let hist = HistogramLearner::new(BinSpec::Fixed(4))
+            .learn_in_range(&sample, 0.0, 40.0)
+            .unwrap();
+        let info = histogram_accuracy(&hist, 20, 0.9, None);
+        let cis = info.bin_cis.as_ref().unwrap();
+        // Paper's intervals: (0.062,0.322), (0.05,0.35), (0.22,0.58), (0.09,0.41).
+        assert!((cis[0].lo - 0.062).abs() < 2e-3 && (cis[0].hi - 0.322).abs() < 2e-3);
+        assert!((cis[1].lo - 0.05).abs() < 5e-3 && (cis[1].hi - 0.35).abs() < 5e-3);
+        assert!((cis[2].lo - 0.22).abs() < 5e-3 && (cis[2].hi - 0.58).abs() < 5e-3);
+        assert!((cis[3].lo - 0.09).abs() < 5e-3 && (cis[3].hi - 0.41).abs() < 5e-3);
+    }
+
+    #[test]
+    fn example3_end_to_end() {
+        let xs = [71.0, 56.0, 82.0, 74.0, 69.0, 77.0, 65.0, 78.0, 59.0, 80.0];
+        let (dist, info) = learn_with_accuracy(&xs, DistKind::Gaussian, 0.9).unwrap();
+        assert!((dist.mean() - 71.1).abs() < 1e-9);
+        let mu = info.mean_ci.unwrap();
+        assert!((mu.lo - 65.97).abs() < 0.02 && (mu.hi - 76.23).abs() < 0.02, "{mu}");
+        let var = info.variance_ci.unwrap();
+        assert!((var.lo - 41.66).abs() < 0.05, "{var}");
+        assert!((var.hi - 211.99).abs() < 0.4, "{var}");
+    }
+
+    #[test]
+    fn coverage_of_histogram_bins() {
+        // Simulation: learned bin CIs at 90% should cover the true bin
+        // probability for the vast majority of (bin, trial) pairs.
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = seeded(77);
+        let learner = HistogramLearner::new(BinSpec::Fixed(5));
+        // True bin probabilities over the fixed range [-3, 3].
+        let edges: Vec<f64> = (0..=5).map(|i| -3.0 + 1.2 * i as f64).collect();
+        let truth: Vec<f64> =
+            edges.windows(2).map(|w| d.cdf(w[1]) - d.cdf(w[0])).collect();
+        let trials = 200;
+        let mut misses = 0;
+        let mut total = 0;
+        for _ in 0..trials {
+            let sample = d.sample_n(&mut rng, 40);
+            let hist = learner.learn_in_range(&sample, -3.0, 3.0).unwrap();
+            let info = histogram_accuracy(&hist, 40, 0.9, None);
+            for (ci, &t) in info.bin_cis.as_ref().unwrap().iter().zip(&truth) {
+                total += 1;
+                if !ci.contains(t) {
+                    misses += 1;
+                }
+            }
+        }
+        let miss_rate = misses as f64 / total as f64;
+        assert!(miss_rate < 0.15, "miss rate {miss_rate} too high for 90% CIs");
+    }
+
+    #[test]
+    fn empirical_kind_retains_sample() {
+        let xs = [1.0, 2.0, 3.0];
+        let (dist, info) = learn_with_accuracy(&xs, DistKind::Empirical, 0.9).unwrap();
+        assert_eq!(dist.raw_sample().unwrap(), &xs);
+        assert_eq!(info.sample_size, 3);
+        assert!(info.mean_ci.is_some());
+    }
+
+    #[test]
+    fn single_observation_empirical_has_no_intervals() {
+        let (_, info) = learn_with_accuracy(&[5.0], DistKind::Empirical, 0.9).unwrap();
+        assert!(info.mean_ci.is_none() && info.variance_ci.is_none());
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        assert!(learn_with_accuracy(&[], DistKind::Gaussian, 0.9).is_err());
+    }
+
+    #[test]
+    fn histogram_kind_full_pipeline() {
+        let d = Normal::new(50.0, 10.0).unwrap();
+        let mut rng = seeded(31);
+        let sample = d.sample_n(&mut rng, 60);
+        let (dist, info) =
+            learn_with_accuracy(&sample, DistKind::Histogram(BinSpec::Sturges), 0.9).unwrap();
+        match dist {
+            AttrDistribution::Histogram(ref h) => {
+                assert_eq!(info.bin_cis.as_ref().unwrap().len(), h.num_bins());
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert!(info.mean_ci.is_some() && info.variance_ci.is_some());
+        assert_eq!(info.sample_size, 60);
+    }
+}

@@ -1,0 +1,274 @@
+//! Adaptive learning: drift detection + recency-weighted re-learning,
+//! composed.
+//!
+//! The full adaptive pipeline an accuracy-aware deployment wants:
+//!
+//! 1. observations stream in per key and feed a recency-weighted learner
+//!    ([`WeightedStreamLearner`]), so gradual drift is tracked and the
+//!    advertised effective sample size stays honest;
+//! 2. a per-key KS [`DriftDetector`] watches fresh observations against
+//!    the recent past; an abrupt shift (incident) triggers **forgetting**:
+//!    pre-drift history is dropped outright rather than waiting for its
+//!    weights to fade, so the learned distribution snaps to the new regime
+//!    with a correspondingly small (honest) effective n.
+
+use std::collections::BTreeMap;
+
+use ausdb_model::schema::Schema;
+use ausdb_model::tuple::Tuple;
+use ausdb_model::ModelError;
+
+use crate::drift::{DriftDetector, DriftStatus};
+use crate::learner::RawObservation;
+use crate::weighted::{WeightedLearnerConfig, WeightedStreamLearner};
+
+/// A recorded drift event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftEvent {
+    /// The key whose distribution drifted.
+    pub key: i64,
+    /// Timestamp of the observation that triggered detection.
+    pub ts: u64,
+}
+
+/// Configuration of an [`AdaptiveLearner`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// The underlying weighted-learner configuration.
+    pub weighted: WeightedLearnerConfig,
+    /// Significance level of the per-key drift tests.
+    pub drift_alpha: f64,
+    /// Observations per key before drift detection arms (also the
+    /// reference-sample size).
+    pub reference_size: usize,
+    /// Fresh-buffer bounds of the KS detector: `(min, max)`. The max
+    /// bounds how much post-shift data must accumulate before the shift
+    /// dominates the buffer — small values detect abrupt incidents fast.
+    pub fresh_window: (usize, usize),
+}
+
+impl AdaptiveConfig {
+    /// Gaussian learning with the given half-life, 1% drift tests.
+    pub fn gaussian(half_life: f64) -> Self {
+        Self {
+            weighted: WeightedLearnerConfig::gaussian(half_life),
+            drift_alpha: 0.01,
+            reference_size: 20,
+            fresh_window: (8, 16),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct KeyState {
+    detector: Option<DriftDetector>,
+    /// Buffered values until the reference sample fills.
+    warmup: Vec<f64>,
+    /// Timestamps of the most recent observations (bounded by the fresh
+    /// window), used to convert "keep the last k observations" into a
+    /// timestamp cutoff for the weighted learner.
+    recent_ts: std::collections::VecDeque<u64>,
+}
+
+/// Drift-aware wrapper around the recency-weighted learner.
+#[derive(Debug)]
+pub struct AdaptiveLearner {
+    config: AdaptiveConfig,
+    learner: WeightedStreamLearner,
+    keys: BTreeMap<i64, KeyState>,
+    events: Vec<DriftEvent>,
+}
+
+impl AdaptiveLearner {
+    /// Creates an adaptive learner with output columns `key` / `value`.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        Self::with_column_names(config, "key", "value")
+    }
+
+    /// Creates an adaptive learner with custom output column names.
+    pub fn with_column_names(config: AdaptiveConfig, key_col: &str, value_col: &str) -> Self {
+        assert!(config.reference_size >= 5, "KS reference needs >= 5 observations");
+        Self {
+            config,
+            learner: WeightedStreamLearner::with_column_names(
+                config.weighted,
+                key_col,
+                value_col,
+            ),
+            keys: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        self.learner.schema()
+    }
+
+    /// Feeds one observation; returns `Some(event)` if it triggered drift
+    /// handling for its key.
+    pub fn observe(&mut self, obs: RawObservation) -> Option<DriftEvent> {
+        self.learner.observe(obs);
+        let (fresh_min, fresh_max) = self.config.fresh_window;
+        let state = self.keys.entry(obs.key).or_insert_with(|| KeyState {
+            detector: None,
+            warmup: Vec::new(),
+            recent_ts: std::collections::VecDeque::new(),
+        });
+        state.recent_ts.push_back(obs.ts);
+        if state.recent_ts.len() > fresh_max {
+            state.recent_ts.pop_front();
+        }
+        match &mut state.detector {
+            None => {
+                state.warmup.push(obs.value);
+                if state.warmup.len() >= self.config.reference_size {
+                    let (lo, hi) = self.config.fresh_window;
+                    state.detector = Some(
+                        DriftDetector::new(
+                            std::mem::take(&mut state.warmup),
+                            self.config.drift_alpha,
+                        )
+                        .with_fresh_window(lo, hi),
+                    );
+                }
+                None
+            }
+            Some(det) => {
+                if let DriftStatus::Drifted(_) = det.observe(obs.value) {
+                    // Forget pre-drift history: keep only the most recent
+                    // `fresh_min` observations (detection fires once those
+                    // are dominated by the new regime), and restart the
+                    // detector so it re-arms on purely post-drift data.
+                    let keep = fresh_min.min(state.recent_ts.len());
+                    let cutoff = state.recent_ts[state.recent_ts.len() - keep];
+                    self.learner.forget_before(obs.key, cutoff);
+                    state.detector = None;
+                    state.warmup.clear();
+                    let event = DriftEvent { key: obs.key, ts: obs.ts };
+                    self.events.push(event);
+                    Some(event)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Feeds many observations, returning any drift events they caused.
+    pub fn observe_all(
+        &mut self,
+        obs: impl IntoIterator<Item = RawObservation>,
+    ) -> Vec<DriftEvent> {
+        obs.into_iter().filter_map(|o| self.observe(o)).collect()
+    }
+
+    /// All drift events recorded so far.
+    pub fn events(&self) -> &[DriftEvent] {
+        &self.events
+    }
+
+    /// Learns one probabilistic tuple per key as of `now` (recency-
+    /// weighted; post-drift keys see only their post-drift history).
+    pub fn emit_at(&mut self, now: u64) -> Result<Vec<Tuple>, ModelError> {
+        self.learner.emit_at(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::dist::{ContinuousDistribution, Normal};
+    use ausdb_stats::rng::seeded;
+
+    /// Calm traffic, then an incident that doubles delays.
+    fn incident_stream(rng: &mut rand::rngs::StdRng) -> Vec<RawObservation> {
+        let calm = Normal::new(45.0, 5.0).unwrap();
+        let jam = Normal::new(95.0, 8.0).unwrap();
+        let mut v = Vec::new();
+        for i in 0..60u64 {
+            v.push(RawObservation::new(7, i * 10, calm.sample(rng)));
+        }
+        for i in 0..20u64 {
+            v.push(RawObservation::new(7, 600 + i * 10, jam.sample(rng)));
+        }
+        v
+    }
+
+    #[test]
+    fn incident_triggers_exactly_one_drift_event() {
+        let mut rng = seeded(91);
+        let mut al = AdaptiveLearner::new(AdaptiveConfig::gaussian(300.0));
+        let events = al.observe_all(incident_stream(&mut rng));
+        assert_eq!(events.len(), 1, "events: {events:?}");
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].ts >= 600, "detected after the incident began");
+        assert!(
+            events[0].ts <= 600 + 200,
+            "detected within ~20 post-incident reports (ts {})",
+            events[0].ts
+        );
+    }
+
+    #[test]
+    fn post_drift_distribution_snaps_to_new_regime() {
+        let mut rng = seeded(93);
+        let mut al = AdaptiveLearner::with_column_names(
+            AdaptiveConfig::gaussian(300.0),
+            "road",
+            "delay",
+        );
+        al.observe_all(incident_stream(&mut rng));
+        let tuples = al.emit_at(800).unwrap();
+        assert_eq!(tuples.len(), 1);
+        let field = &tuples[0].fields[1];
+        let mean = field.value.as_dist().unwrap().mean();
+        assert!(mean > 85.0, "post-drift mean {mean} should sit at the jam level");
+        // With a 300s half-life, a *non*-adaptive weighted learner would
+        // still blend heavily with the calm period.
+        let mut wl = WeightedStreamLearner::new(WeightedLearnerConfig::gaussian(300.0));
+        let mut rng2 = seeded(93);
+        wl.observe_all(incident_stream(&mut rng2));
+        let blended =
+            wl.emit_at(800).unwrap()[0].fields[1].value.as_dist().unwrap().mean();
+        assert!(
+            blended < mean - 10.0,
+            "forgetting should beat fading: adaptive {mean} vs weighted-only {blended}"
+        );
+        // And the advertised evidence shrank to the post-drift history.
+        let n = field.accuracy.as_ref().unwrap().sample_size;
+        assert!(n <= 25, "advertised n {n} should reflect only post-drift data");
+    }
+
+    #[test]
+    fn stable_stream_never_drifts() {
+        let mut rng = seeded(97);
+        let calm = Normal::new(45.0, 5.0).unwrap();
+        let mut al = AdaptiveLearner::new(AdaptiveConfig::gaussian(300.0));
+        let obs: Vec<RawObservation> =
+            (0..150u64).map(|i| RawObservation::new(3, i * 10, calm.sample(&mut rng))).collect();
+        let events = al.observe_all(obs);
+        assert!(events.len() <= 1, "stable stream drifted {} times", events.len());
+    }
+
+    #[test]
+    fn independent_keys_tracked_separately() {
+        let mut rng = seeded(99);
+        let calm = Normal::new(45.0, 5.0).unwrap();
+        let jam = Normal::new(95.0, 8.0).unwrap();
+        let mut al = AdaptiveLearner::new(AdaptiveConfig::gaussian(300.0));
+        let mut obs = Vec::new();
+        for i in 0..60u64 {
+            obs.push(RawObservation::new(1, i * 10, calm.sample(&mut rng)));
+            obs.push(RawObservation::new(2, i * 10, calm.sample(&mut rng)));
+        }
+        for i in 0..20u64 {
+            // Only key 1 hits the incident.
+            obs.push(RawObservation::new(1, 600 + i * 10, jam.sample(&mut rng)));
+            obs.push(RawObservation::new(2, 600 + i * 10, calm.sample(&mut rng)));
+        }
+        let events = al.observe_all(obs);
+        assert!(events.iter().all(|e| e.key == 1), "only key 1 drifted: {events:?}");
+        assert!(!events.is_empty());
+    }
+}

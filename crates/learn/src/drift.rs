@@ -1,0 +1,176 @@
+//! Drift detection for learned distributions.
+//!
+//! A learned distribution is a snapshot; the world moves. This module
+//! closes the loop: compare fresh observations against the raw sample the
+//! current distribution was learned from (two-sample Kolmogorov–Smirnov)
+//! and signal when the distribution should be re-learned. Combined with
+//! the recency-weighted learner this gives the full adaptive pipeline:
+//! *detect* the shift, *re-learn* with fresh-biased weights, and let the
+//! effective sample size keep the accuracy honest in between.
+
+use ausdb_stats::ks::ks_test_two_sample;
+use ausdb_stats::TestResult;
+
+/// Outcome of feeding an observation to a [`DriftDetector`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftStatus {
+    /// Not enough fresh observations to test yet.
+    Warming,
+    /// The fresh data is consistent with the learned distribution.
+    Stable(TestResult),
+    /// The fresh data is significantly different: re-learn.
+    Drifted(TestResult),
+}
+
+/// Two-sample KS drift detector over a sliding buffer of fresh
+/// observations.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    reference: Vec<f64>,
+    fresh: Vec<f64>,
+    /// Significance level of each drift test.
+    alpha: f64,
+    /// Number of fresh observations needed before testing.
+    min_fresh: usize,
+    /// Cap on the fresh buffer (older fresh observations roll off).
+    max_fresh: usize,
+}
+
+impl DriftDetector {
+    /// Creates a detector against the raw sample the current distribution
+    /// was learned from.
+    ///
+    /// # Panics
+    /// Panics if the reference has fewer than 5 observations or `alpha`
+    /// is outside (0, 1).
+    pub fn new(reference: Vec<f64>, alpha: f64) -> Self {
+        assert!(reference.len() >= 5, "reference sample too small for KS");
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        Self { reference, fresh: Vec::new(), alpha, min_fresh: 8, max_fresh: 64 }
+    }
+
+    /// Overrides the fresh-buffer bounds (builder style).
+    pub fn with_fresh_window(mut self, min_fresh: usize, max_fresh: usize) -> Self {
+        assert!(min_fresh >= 5, "KS needs at least 5 fresh observations");
+        assert!(max_fresh >= min_fresh, "max must be >= min");
+        self.min_fresh = min_fresh;
+        self.max_fresh = max_fresh;
+        self
+    }
+
+    /// Number of buffered fresh observations.
+    pub fn fresh_count(&self) -> usize {
+        self.fresh.len()
+    }
+
+    /// Feeds one fresh observation and tests for drift.
+    pub fn observe(&mut self, x: f64) -> DriftStatus {
+        self.fresh.push(x);
+        if self.fresh.len() > self.max_fresh {
+            self.fresh.remove(0);
+        }
+        if self.fresh.len() < self.min_fresh {
+            return DriftStatus::Warming;
+        }
+        let r = ks_test_two_sample(&self.reference, &self.fresh, self.alpha);
+        if r.significant() {
+            DriftStatus::Drifted(r)
+        } else {
+            DriftStatus::Stable(r)
+        }
+    }
+
+    /// After re-learning, promote the fresh buffer to the new reference.
+    /// Returns the fresh observations for the caller to learn from.
+    pub fn rebase(&mut self) -> Vec<f64> {
+        let fresh = std::mem::take(&mut self.fresh);
+        if fresh.len() >= 5 {
+            self.reference = fresh.clone();
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::dist::{ContinuousDistribution, Normal};
+    use ausdb_stats::rng::seeded;
+
+    #[test]
+    fn stable_process_stays_stable() {
+        let d = Normal::new(50.0, 5.0).unwrap();
+        let mut rng = seeded(81);
+        let mut det = DriftDetector::new(d.sample_n(&mut rng, 40), 0.01);
+        let mut drifted = 0;
+        for _ in 0..100 {
+            if matches!(det.observe(d.sample(&mut rng)), DriftStatus::Drifted(_)) {
+                drifted += 1;
+            }
+        }
+        // At alpha=0.01 with dependent sequential tests a handful of flags
+        // is tolerable; persistent flagging is not.
+        assert!(drifted < 15, "stable process flagged {drifted}/100 times");
+    }
+
+    #[test]
+    fn incident_detected_quickly() {
+        let before = Normal::new(50.0, 5.0).unwrap();
+        let after = Normal::new(95.0, 8.0).unwrap();
+        let mut rng = seeded(83);
+        let mut det = DriftDetector::new(before.sample_n(&mut rng, 40), 0.01);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps <= 40, "drift not detected within 40 fresh observations");
+            if matches!(det.observe(after.sample(&mut rng)), DriftStatus::Drifted(_)) {
+                break;
+            }
+        }
+        assert!(steps <= 12, "a 9-sigma level shift should flag fast (took {steps})");
+    }
+
+    #[test]
+    fn warming_then_testing() {
+        let mut det =
+            DriftDetector::new(vec![1.0, 2.0, 3.0, 4.0, 5.0], 0.05).with_fresh_window(5, 10);
+        for i in 0..4 {
+            assert_eq!(det.observe(i as f64), DriftStatus::Warming);
+        }
+        assert!(!matches!(det.observe(4.0), DriftStatus::Warming));
+    }
+
+    #[test]
+    fn fresh_buffer_rolls() {
+        let mut det =
+            DriftDetector::new(vec![0.0; 10], 0.05).with_fresh_window(5, 6);
+        for i in 0..20 {
+            det.observe(i as f64);
+        }
+        assert_eq!(det.fresh_count(), 6);
+    }
+
+    #[test]
+    fn rebase_promotes_fresh() {
+        let before = Normal::new(10.0, 1.0).unwrap();
+        let after = Normal::new(30.0, 1.0).unwrap();
+        let mut rng = seeded(89);
+        let mut det = DriftDetector::new(before.sample_n(&mut rng, 30), 0.01);
+        for _ in 0..30 {
+            det.observe(after.sample(&mut rng));
+        }
+        let fresh = det.rebase();
+        assert_eq!(fresh.len(), 30);
+        assert_eq!(det.fresh_count(), 0);
+        // Against the new reference, more post-shift data is now mostly
+        // stable (the asymptotic p-value is approximate at small n, so a
+        // rare false flag is tolerated).
+        let mut drift_flags = 0;
+        for _ in 0..15 {
+            if matches!(det.observe(after.sample(&mut rng)), DriftStatus::Drifted(_)) {
+                drift_flags += 1;
+            }
+        }
+        assert!(drift_flags <= 1, "after rebasing, the new level is the reference ({drift_flags} flags)");
+    }
+}

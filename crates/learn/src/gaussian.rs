@@ -1,0 +1,63 @@
+//! Gaussian fitting by sample moments.
+
+use ausdb_model::dist::AttrDistribution;
+use ausdb_model::error::ModelError;
+use ausdb_stats::summary::Summary;
+
+/// Fits a Gaussian `N(ȳ, s²)` to the sample (method of moments, which for
+/// the normal coincides with maximum likelihood up to the n/(n−1) variance
+/// factor; we use the unbiased `s²`).
+///
+/// Requires at least 2 observations with nonzero spread.
+pub fn fit_gaussian(sample: &[f64]) -> Result<AttrDistribution, ModelError> {
+    if sample.len() < 2 {
+        return Err(ModelError::InvalidDistribution(format!(
+            "Gaussian fit needs >= 2 observations, got {}",
+            sample.len()
+        )));
+    }
+    if sample.iter().any(|v| !v.is_finite()) {
+        return Err(ModelError::InvalidDistribution("observations must be finite".into()));
+    }
+    let s = Summary::of(sample);
+    let var = s.variance();
+    if var <= 0.0 {
+        return Err(ModelError::InvalidDistribution(
+            "Gaussian fit needs nonzero sample variance".into(),
+        ));
+    }
+    AttrDistribution::gaussian(s.mean(), var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::dist::{ContinuousDistribution, Normal};
+    use ausdb_stats::rng::seeded;
+
+    #[test]
+    fn recovers_parameters() {
+        let d = Normal::new(10.0, 3.0).unwrap();
+        let mut rng = seeded(55);
+        let sample = d.sample_n(&mut rng, 10_000);
+        let fit = fit_gaussian(&sample).unwrap();
+        assert!((fit.mean() - 10.0).abs() < 0.1, "mu {}", fit.mean());
+        assert!((fit.variance() - 9.0).abs() < 0.5, "var {}", fit.variance());
+    }
+
+    #[test]
+    fn rejects_degenerate_samples() {
+        assert!(fit_gaussian(&[]).is_err());
+        assert!(fit_gaussian(&[1.0]).is_err());
+        assert!(fit_gaussian(&[2.0, 2.0, 2.0]).is_err());
+        assert!(fit_gaussian(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn example3_fit() {
+        let xs = [71.0, 56.0, 82.0, 74.0, 69.0, 77.0, 65.0, 78.0, 59.0, 80.0];
+        let fit = fit_gaussian(&xs).unwrap();
+        assert!((fit.mean() - 71.1).abs() < 1e-9);
+        assert!((fit.variance() - 78.32).abs() < 0.01);
+    }
+}

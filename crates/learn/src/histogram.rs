@@ -1,0 +1,180 @@
+//! Histogram learning from raw samples.
+//!
+//! The paper adopts histograms as the primary learned representation "due to
+//! its generality" (Section II-B). This module provides equi-width learners
+//! with three bucket policies.
+
+use ausdb_model::dist::Histogram;
+use ausdb_model::error::ModelError;
+
+/// How many buckets an equi-width histogram should use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BinSpec {
+    /// Exactly this many buckets.
+    Fixed(usize),
+    /// Sturges' rule: `⌈log₂ n⌉ + 1` buckets.
+    Sturges,
+    /// Buckets of (at most) this width covering the observed range.
+    Width(f64),
+}
+
+impl BinSpec {
+    /// Resolves the bucket count for a sample of size `n` spanning `range`.
+    fn num_bins(&self, n: usize, range: f64) -> usize {
+        match *self {
+            BinSpec::Fixed(b) => b.max(1),
+            BinSpec::Sturges => ((n as f64).log2().ceil() as usize + 1).max(1),
+            BinSpec::Width(w) => {
+                assert!(w > 0.0, "bin width must be positive");
+                ((range / w).ceil() as usize).max(1)
+            }
+        }
+    }
+}
+
+/// Learns equi-width [`Histogram`] distributions from raw observations.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramLearner {
+    bins: BinSpec,
+}
+
+impl HistogramLearner {
+    /// Creates a learner with the given bucket policy.
+    pub fn new(bins: BinSpec) -> Self {
+        Self { bins }
+    }
+
+    /// Learns a histogram over the sample's own min..max range.
+    pub fn learn(&self, sample: &[f64]) -> Result<Histogram, ModelError> {
+        if sample.is_empty() {
+            return Err(ModelError::InvalidDistribution(
+                "cannot learn a histogram from an empty sample".into(),
+            ));
+        }
+        if sample.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::InvalidDistribution(
+                "observations must be finite".into(),
+            ));
+        }
+        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // A degenerate (constant) sample still needs a positive-width bucket.
+        let (lo, hi) = if lo == hi {
+            let pad = if lo == 0.0 { 0.5 } else { lo.abs() * 1e-6 + 1e-9 };
+            (lo - pad, hi + pad)
+        } else {
+            (lo, hi)
+        };
+        self.learn_in_range(sample, lo, hi)
+    }
+
+    /// Learns a histogram over an explicit `[lo, hi]` range. Observations
+    /// outside the range are clamped into the boundary buckets, so bin
+    /// heights remain frequencies out of `sample.len()` — the `n` that
+    /// Lemma 1 expects.
+    pub fn learn_in_range(
+        &self,
+        sample: &[f64],
+        lo: f64,
+        hi: f64,
+    ) -> Result<Histogram, ModelError> {
+        if sample.is_empty() {
+            return Err(ModelError::InvalidDistribution(
+                "cannot learn a histogram from an empty sample".into(),
+            ));
+        }
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(ModelError::InvalidDistribution(format!(
+                "invalid histogram range [{lo}, {hi}]"
+            )));
+        }
+        let b = self.bins.num_bins(sample.len(), hi - lo);
+        let width = (hi - lo) / b as f64;
+        let edges: Vec<f64> = (0..=b).map(|i| lo + width * i as f64).collect();
+        let mut counts = vec![0usize; b];
+        for &x in sample {
+            let idx = if x <= lo {
+                0
+            } else if x >= hi {
+                b - 1
+            } else {
+                (((x - lo) / width) as usize).min(b - 1)
+            };
+            counts[idx] += 1;
+        }
+        let n = sample.len() as f64;
+        let probs = counts.into_iter().map(|c| c as f64 / n).collect();
+        Histogram::new(edges, probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_bins_recover_frequencies() {
+        // Example 2's setup: 20 observations in 4 buckets (3, 4, 8, 5).
+        let mut sample = Vec::new();
+        sample.extend(std::iter::repeat_n(5.0, 3)); // bucket [0,10)
+        sample.extend(std::iter::repeat_n(15.0, 4)); // [10,20)
+        sample.extend(std::iter::repeat_n(25.0, 8)); // [20,30)
+        sample.extend(std::iter::repeat_n(35.0, 5)); // [30,40)
+        let h = HistogramLearner::new(BinSpec::Fixed(4))
+            .learn_in_range(&sample, 0.0, 40.0)
+            .unwrap();
+        assert_eq!(h.num_bins(), 4);
+        let expect = [0.15, 0.2, 0.4, 0.25];
+        for (p, e) in h.probs().iter().zip(expect) {
+            assert!((p - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sturges_rule() {
+        let sample: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let h = HistogramLearner::new(BinSpec::Sturges).learn(&sample).unwrap();
+        // ⌈log2 64⌉ + 1 = 7.
+        assert_eq!(h.num_bins(), 7);
+    }
+
+    #[test]
+    fn width_spec() {
+        let sample: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect(); // 0..9.9
+        let h = HistogramLearner::new(BinSpec::Width(2.0)).learn(&sample).unwrap();
+        assert_eq!(h.num_bins(), 5);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let sample: Vec<f64> = (0..37).map(|i| (i as f64 * 1.7).sin() * 10.0).collect();
+        let h = HistogramLearner::new(BinSpec::Fixed(6)).learn(&sample).unwrap();
+        let total: f64 = h.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_learns_point_like_histogram() {
+        let h = HistogramLearner::new(BinSpec::Fixed(3)).learn(&[7.0, 7.0, 7.0]).unwrap();
+        assert!((h.mean() - 7.0).abs() < 1e-3);
+        assert!((h.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let h = HistogramLearner::new(BinSpec::Fixed(2))
+            .learn_in_range(&[-5.0, 0.5, 1.5, 99.0], 0.0, 2.0)
+            .unwrap();
+        // -5 clamps into bucket 0, 99 into bucket 1: heights (0.5, 0.5).
+        assert!((h.probs()[0] - 0.5).abs() < 1e-12);
+        assert!((h.probs()[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let l = HistogramLearner::new(BinSpec::Fixed(4));
+        assert!(l.learn(&[]).is_err());
+        assert!(l.learn(&[f64::NAN]).is_err());
+        assert!(l.learn_in_range(&[1.0], 2.0, 2.0).is_err());
+    }
+}

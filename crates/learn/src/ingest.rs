@@ -1,0 +1,262 @@
+//! Raw-observation ingestion from delimited text.
+//!
+//! The paper's Figure 1 shows the raw shape every deployment starts from —
+//! a table like
+//!
+//! ```text
+//! Segment_ID,Length,Date,Time,Delay,Speed_limit
+//! 19,200,2010-06-25,8:50,56,25
+//! 19,200,2010-06-25,8:51,38,25
+//! 20,150,2010-06-25,8:49,72,30
+//! ```
+//!
+//! [`parse_csv_observations`] turns such text into
+//! [`RawObservation`]s by naming the key,
+//! timestamp, and value columns; the result feeds straight into
+//! [`StreamLearner`](crate::learner::StreamLearner) or the weighted
+//! learner. Timestamps may be plain integers (epoch/logical) or clock
+//! times `H:MM[:SS]` (converted to seconds since midnight).
+
+use crate::learner::RawObservation;
+
+/// Errors raised while ingesting delimited text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The header is missing a required column.
+    MissingColumn(String),
+    /// A data row could not be parsed.
+    BadRow {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+    /// The input had a header but no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::MissingColumn(c) => write!(f, "missing column '{c}' in header"),
+            IngestError::BadRow { line, what } => write!(f, "line {line}: {what}"),
+            IngestError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Column naming for [`parse_csv_observations`].
+#[derive(Debug, Clone)]
+pub struct CsvColumns {
+    /// Header name of the grouping-key column (integer).
+    pub key: String,
+    /// Header name of the timestamp column (integer or `H:MM[:SS]`).
+    pub ts: String,
+    /// Header name of the measured-value column (float).
+    pub value: String,
+}
+
+impl CsvColumns {
+    /// Creates a column mapping.
+    pub fn new(key: impl Into<String>, ts: impl Into<String>, value: impl Into<String>) -> Self {
+        Self { key: key.into(), ts: ts.into(), value: value.into() }
+    }
+}
+
+/// Parses delimited text (with a header row) into raw observations.
+/// `delimiter` is usually `,`; other columns are ignored, as a learner
+/// only needs (key, ts, value).
+pub fn parse_csv_observations(
+    text: &str,
+    columns: &CsvColumns,
+    delimiter: char,
+) -> Result<Vec<RawObservation>, IngestError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(IngestError::Empty)?;
+    let names: Vec<&str> = header.split(delimiter).map(str::trim).collect();
+    let find = |name: &str| {
+        names
+            .iter()
+            .position(|h| h.eq_ignore_ascii_case(name))
+            .ok_or_else(|| IngestError::MissingColumn(name.to_owned()))
+    };
+    let key_idx = find(&columns.key)?;
+    let ts_idx = find(&columns.ts)?;
+    let value_idx = find(&columns.value)?;
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let cells: Vec<&str> = line.split(delimiter).map(str::trim).collect();
+        let cell = |idx: usize, what: &str| {
+            cells.get(idx).copied().ok_or_else(|| IngestError::BadRow {
+                line: line_no,
+                what: format!("row too short for {what} column"),
+            })
+        };
+        let key: i64 = cell(key_idx, "key")?.parse().map_err(|_| IngestError::BadRow {
+            line: line_no,
+            what: format!("bad key '{}'", cells[key_idx]),
+        })?;
+        let ts = parse_timestamp(cell(ts_idx, "timestamp")?).ok_or_else(|| {
+            IngestError::BadRow {
+                line: line_no,
+                what: format!("bad timestamp '{}'", cells[ts_idx]),
+            }
+        })?;
+        let value: f64 =
+            cell(value_idx, "value")?.parse().map_err(|_| IngestError::BadRow {
+                line: line_no,
+                what: format!("bad value '{}'", cells[value_idx]),
+            })?;
+        if !value.is_finite() {
+            return Err(IngestError::BadRow {
+                line: line_no,
+                what: format!("non-finite value {value}"),
+            });
+        }
+        out.push(RawObservation::new(key, ts, value));
+    }
+    if out.is_empty() {
+        return Err(IngestError::Empty);
+    }
+    Ok(out)
+}
+
+/// Parses an integer timestamp or a clock time `H:MM[:SS]` (seconds since
+/// midnight).
+fn parse_timestamp(s: &str) -> Option<u64> {
+    if let Ok(v) = s.parse::<u64>() {
+        return Some(v);
+    }
+    let parts: Vec<&str> = s.split(':').collect();
+    if !(2..=3).contains(&parts.len()) {
+        return None;
+    }
+    let h: u64 = parts[0].parse().ok()?;
+    let m: u64 = parts[1].parse().ok()?;
+    let sec: u64 = if parts.len() == 3 { parts[2].parse().ok()? } else { 0 };
+    if h > 23 || m > 59 || sec > 59 {
+        return None;
+    }
+    Some(h * 3600 + m * 60 + sec)
+}
+
+/// Reads and parses a delimited file.
+pub fn read_csv_observations(
+    path: impl AsRef<std::path::Path>,
+    columns: &CsvColumns,
+    delimiter: char,
+) -> Result<Vec<RawObservation>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_csv_observations(&text, columns, delimiter)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1's snippet, verbatim shape.
+    const FIG1: &str = "\
+Segment_ID,Length,Date,Time,Delay,Speed_limit
+19,200,2010-06-25,8:50,56,25
+19,200,2010-06-25,8:51,38,25
+19,200,2010-06-25,8:51,97,25
+20,150,2010-06-25,8:49,72,30
+20,150,2010-06-25,8:51,59,30
+";
+
+    fn cols() -> CsvColumns {
+        CsvColumns::new("Segment_ID", "Time", "Delay")
+    }
+
+    #[test]
+    fn figure1_round_trip() {
+        let obs = parse_csv_observations(FIG1, &cols(), ',').unwrap();
+        assert_eq!(obs.len(), 5);
+        assert_eq!(obs[0].key, 19);
+        assert_eq!(obs[0].value, 56.0);
+        assert_eq!(obs[0].ts, 8 * 3600 + 50 * 60);
+        assert_eq!(obs[3].key, 20);
+        // Feeds the learner end-to-end.
+        let mut learner = crate::learner::StreamLearner::with_column_names(
+            crate::learner::LearnerConfig {
+                kind: crate::accuracy::DistKind::Empirical,
+                level: 0.9,
+                window_width: 86_400,
+                min_observations: 2,
+            },
+            "road_id",
+            "delay",
+        );
+        learner.observe_all(obs);
+        let tuples = learner.emit_window(0).unwrap();
+        assert_eq!(tuples.len(), 2, "one probabilistic tuple per road");
+    }
+
+    #[test]
+    fn header_names_case_insensitive() {
+        let cols = CsvColumns::new("segment_id", "time", "delay");
+        assert_eq!(parse_csv_observations(FIG1, &cols, ',').unwrap().len(), 5);
+    }
+
+    #[test]
+    fn missing_column_reported() {
+        let cols = CsvColumns::new("Segment_ID", "Time", "Velocity");
+        match parse_csv_observations(FIG1, &cols, ',') {
+            Err(IngestError::MissingColumn(c)) => assert_eq!(c, "Velocity"),
+            other => panic!("expected MissingColumn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_rows_carry_line_numbers() {
+        let text = "k,t,v\n1,10,2.5\n1,not_a_ts,3.5\n";
+        let cols = CsvColumns::new("k", "t", "v");
+        match parse_csv_observations(text, &cols, ',') {
+            Err(IngestError::BadRow { line, what }) => {
+                assert_eq!(line, 3);
+                assert!(what.contains("not_a_ts"));
+            }
+            other => panic!("expected BadRow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamp_forms() {
+        assert_eq!(parse_timestamp("0"), Some(0));
+        assert_eq!(parse_timestamp("12345"), Some(12345));
+        assert_eq!(parse_timestamp("8:50"), Some(31800));
+        assert_eq!(parse_timestamp("23:59:59"), Some(86399));
+        assert_eq!(parse_timestamp("24:00"), None);
+        assert_eq!(parse_timestamp("8:61"), None);
+        assert_eq!(parse_timestamp("abc"), None);
+    }
+
+    #[test]
+    fn other_delimiters_and_blank_lines() {
+        let text = "k\tt\tv\n\n1\t5\t2.0\n\n2\t6\t3.0\n";
+        let cols = CsvColumns::new("k", "t", "v");
+        let obs = parse_csv_observations(text, &cols, '\t').unwrap();
+        assert_eq!(obs.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let cols = CsvColumns::new("k", "t", "v");
+        assert_eq!(parse_csv_observations("", &cols, ','), Err(IngestError::Empty));
+        assert_eq!(parse_csv_observations("k,t,v\n", &cols, ','), Err(IngestError::Empty));
+    }
+
+    #[test]
+    fn file_reading() {
+        let dir = std::env::temp_dir().join("ausdb_ingest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig1.csv");
+        std::fs::write(&path, FIG1).unwrap();
+        let obs = read_csv_observations(&path, &cols(), ',').unwrap();
+        assert_eq!(obs.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

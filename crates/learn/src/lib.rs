@@ -1,0 +1,44 @@
+//! Distribution learning for the accuracy-aware uncertain stream database.
+//!
+//! Figure 1 of the paper shows the transformation this crate performs: many
+//! raw observation records per key (e.g. three delay reports for road 19,
+//! fifty for road 20) become **one** probabilistic tuple per key whose
+//! uncertain attribute holds a learned distribution — *plus*, and this is
+//! the paper's point, the accuracy information of that distribution.
+//!
+//! * [`histogram`] — equi-width histogram learners (fixed bin count,
+//!   Sturges' rule, fixed bin width).
+//! * [`gaussian`] — Gaussian fitting by sample moments.
+//! * [`ingest`] — CSV ingestion of Figure-1-shaped raw observation tables.
+//! * [`drift`] — KS-based drift detection that signals when a learned
+//!   distribution has gone stale and should be re-learned.
+//! * [`adaptive`] — the composed pipeline: weighted learning + drift
+//!   detection + forgetting.
+//! * [`accuracy`] — attaches Lemma 1 (per-bin) and Lemma 2 (μ, σ²)
+//!   confidence intervals to what was learned.
+//! * [`learner`] — the windowed raw-record → probabilistic-tuple pipeline.
+//! * [`weighted`] — recency-weighted learning with effective sample sizes
+//!   (the paper's Section VII future work).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+// `!(x < y)`-style validation deliberately treats NaN as invalid (any
+// comparison with NaN is false); the partial_cmp rewrite loses that.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod accuracy;
+pub mod adaptive;
+pub mod drift;
+pub mod gaussian;
+pub mod histogram;
+pub mod ingest;
+pub mod learner;
+pub mod weighted;
+
+pub use accuracy::{distribution_accuracy, histogram_accuracy, learn_with_accuracy, DistKind};
+pub use adaptive::{AdaptiveConfig, AdaptiveLearner, DriftEvent};
+pub use drift::{DriftDetector, DriftStatus};
+pub use histogram::{BinSpec, HistogramLearner};
+pub use ingest::{parse_csv_observations, read_csv_observations, CsvColumns, IngestError};
+pub use learner::{LearnerConfig, RawObservation, StreamLearner};
+pub use weighted::{WeightedDistKind, WeightedLearnerConfig, WeightedStreamLearner};

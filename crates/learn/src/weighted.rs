@@ -1,0 +1,380 @@
+//! Recency-weighted learning — the paper's Section VII future work,
+//! implemented.
+//!
+//! Traffic conditions drift: a delay report from 40 minutes ago says less
+//! about the road *now* than one from 2 minutes ago. The
+//! [`WeightedStreamLearner`] assigns each observation an exponential
+//! time-decay weight `2^(−age/half_life)` and learns:
+//!
+//! * a **weighted distribution** (weighted-moment Gaussian or
+//!   weighted-frequency histogram) that tracks the current state, and
+//! * **accuracy information whose `n` is the effective sample size**:
+//!   the minimum of Kish's `(Σw)²/Σw²` (penalizing weight imbalance) and
+//!   the fresh-equivalent total weight `Σw` (penalizing absolute
+//!   staleness) — so a window full of stale reports honestly advertises
+//!   that it is working from "effectively few" observations, widening the
+//!   intervals accordingly.
+
+use std::collections::BTreeMap;
+
+use ausdb_model::accuracy::AccuracyInfo;
+use ausdb_model::dist::{AttrDistribution, Histogram};
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::ModelError;
+use ausdb_stats::weighted::{
+    accuracy_n, exp_decay_weight, weighted_mean_interval_with_n,
+    weighted_proportion_interval, weighted_variance_interval_with_n, WeightedSummary,
+};
+
+use crate::histogram::BinSpec;
+use crate::learner::RawObservation;
+
+/// Which weighted distribution family to learn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightedDistKind {
+    /// Gaussian from weighted moments.
+    Gaussian,
+    /// Equi-width histogram with weighted bucket frequencies.
+    Histogram(BinSpec),
+}
+
+/// Configuration of a [`WeightedStreamLearner`].
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedLearnerConfig {
+    /// Distribution family to learn.
+    pub kind: WeightedDistKind,
+    /// Confidence level of the accuracy intervals.
+    pub level: f64,
+    /// Exponential-decay half-life, in timestamp units: an observation
+    /// `half_life` old carries half the weight of a fresh one.
+    pub half_life: f64,
+    /// Keys whose *effective* sample size falls below this are skipped.
+    pub min_effective_n: f64,
+}
+
+impl WeightedLearnerConfig {
+    /// Gaussian at 90% confidence with the given half-life.
+    pub fn gaussian(half_life: f64) -> Self {
+        Self {
+            kind: WeightedDistKind::Gaussian,
+            level: 0.9,
+            half_life,
+            min_effective_n: 2.0,
+        }
+    }
+}
+
+/// Learns recency-weighted distributions per key.
+///
+/// Unlike the windowed [`crate::learner::StreamLearner`], observations are
+/// never hard-evicted: they simply fade. `emit_at(now)` learns from every
+/// buffered observation with its age-decayed weight (observations whose
+/// weight has decayed below 1e-6 are garbage-collected).
+#[derive(Debug)]
+pub struct WeightedStreamLearner {
+    config: WeightedLearnerConfig,
+    schema: Schema,
+    buffer: BTreeMap<i64, Vec<(u64, f64)>>,
+}
+
+impl WeightedStreamLearner {
+    /// Creates a learner with output columns named `key` and `value`.
+    pub fn new(config: WeightedLearnerConfig) -> Self {
+        Self::with_column_names(config, "key", "value")
+    }
+
+    /// Creates a learner with custom output column names.
+    pub fn with_column_names(
+        config: WeightedLearnerConfig,
+        key_col: &str,
+        value_col: &str,
+    ) -> Self {
+        assert!(config.half_life > 0.0, "half-life must be positive");
+        let schema = Schema::new(vec![
+            Column::new(key_col, ColumnType::Int),
+            Column::new(value_col, ColumnType::Dist),
+        ])
+        .expect("two distinct column names");
+        Self { config, schema, buffer: BTreeMap::new() }
+    }
+
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Buffers one raw observation.
+    pub fn observe(&mut self, obs: RawObservation) {
+        self.buffer.entry(obs.key).or_default().push((obs.ts, obs.value));
+    }
+
+    /// Buffers many raw observations.
+    pub fn observe_all(&mut self, obs: impl IntoIterator<Item = RawObservation>) {
+        for o in obs {
+            self.observe(o);
+        }
+    }
+
+    /// Drops every buffered observation of `key` with `ts < cutoff`
+    /// (used by the adaptive learner to forget pre-drift history outright
+    /// instead of letting it fade).
+    pub fn forget_before(&mut self, key: i64, cutoff: u64) {
+        if let Some(obs) = self.buffer.get_mut(&key) {
+            obs.retain(|&(ts, _)| ts >= cutoff);
+            if obs.is_empty() {
+                self.buffer.remove(&key);
+            }
+        }
+    }
+
+    /// The effective sample size key `key` would have at time `now`.
+    pub fn effective_n(&self, key: i64, now: u64) -> f64 {
+        self.buffer
+            .get(&key)
+            .map(|obs| {
+                let mut ws = WeightedSummary::new();
+                for &(ts, v) in obs {
+                    ws.push(v, self.weight_at(ts, now));
+                }
+                accuracy_n(&ws)
+            })
+            .unwrap_or(0.0)
+    }
+
+    fn weight_at(&self, ts: u64, now: u64) -> f64 {
+        let age = now.saturating_sub(ts) as f64;
+        exp_decay_weight(age, self.config.half_life)
+    }
+
+    /// Learns one probabilistic tuple per key as of time `now`, discarding
+    /// observations whose weight has decayed to negligibility.
+    pub fn emit_at(&mut self, now: u64) -> Result<Vec<Tuple>, ModelError> {
+        // Garbage-collect faded observations (weight < 1e-6 ≈ 20 half-lives).
+        let cutoff_age = self.config.half_life * 20.0;
+        for obs in self.buffer.values_mut() {
+            obs.retain(|&(ts, _)| now.saturating_sub(ts) as f64 <= cutoff_age);
+        }
+        self.buffer.retain(|_, v| !v.is_empty());
+
+        let mut out = Vec::new();
+        for (&key, obs) in &self.buffer {
+            let pairs: Vec<(f64, f64)> =
+                obs.iter().map(|&(ts, v)| (v, self.weight_at(ts, now))).collect();
+            let ws = WeightedSummary::of(&pairs);
+            if accuracy_n(&ws) < self.config.min_effective_n.max(1.0 + 1e-9) {
+                continue;
+            }
+            let (dist, info) = learn_weighted(&pairs, &ws, self.config.kind, self.config.level)?;
+            out.push(Tuple::certain(
+                now,
+                vec![Field::plain(key), Field::plain(dist).with_accuracy(info)],
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Learns a weighted distribution plus its accuracy information from
+/// `(value, weight)` pairs on a **fresh-observation-equals-one** weight
+/// scale. The attached [`AccuracyInfo::sample_size`] is the rounded
+/// [`accuracy_n`] (min of Kish's effective size and the total weight), so
+/// downstream Lemma 3 propagation keeps working unchanged — and a window
+/// of stale reports honestly advertises tiny effective evidence.
+pub fn learn_weighted(
+    pairs: &[(f64, f64)],
+    ws: &WeightedSummary,
+    kind: WeightedDistKind,
+    level: f64,
+) -> Result<(AttrDistribution, AccuracyInfo), ModelError> {
+    let n_eff = accuracy_n(ws);
+    if n_eff <= 1.0 {
+        return Err(ModelError::InvalidDistribution(format!(
+            "effective sample size {n_eff} too small to learn from"
+        )));
+    }
+    let n_rounded = n_eff.round().max(2.0) as usize;
+    let mut info = AccuracyInfo::new(n_rounded)
+        .with_mean_ci(weighted_mean_interval_with_n(ws, n_eff, level))
+        .with_variance_ci(weighted_variance_interval_with_n(ws, n_eff, level));
+    match kind {
+        WeightedDistKind::Gaussian => {
+            let var = ws.variance();
+            if var <= 0.0 {
+                return Err(ModelError::InvalidDistribution(
+                    "weighted Gaussian fit needs nonzero variance".into(),
+                ));
+            }
+            Ok((AttrDistribution::gaussian(ws.mean(), var)?, info))
+        }
+        WeightedDistKind::Histogram(bins) => {
+            let (hist, bin_heights) = weighted_histogram(pairs, bins)?;
+            let bin_cis = bin_heights
+                .iter()
+                .map(|&p| weighted_proportion_interval(p, n_eff, level))
+                .collect();
+            info = info.with_bin_cis(bin_cis);
+            Ok((AttrDistribution::Histogram(hist), info))
+        }
+    }
+}
+
+/// Builds an equi-width histogram with weighted bucket frequencies over the
+/// observed value range. Returns the histogram and its raw bin heights.
+fn weighted_histogram(
+    pairs: &[(f64, f64)],
+    bins: BinSpec,
+) -> Result<(Histogram, Vec<f64>), ModelError> {
+    if pairs.is_empty() {
+        return Err(ModelError::InvalidDistribution("empty weighted sample".into()));
+    }
+    let lo = pairs.iter().map(|&(x, _)| x).fold(f64::INFINITY, f64::min);
+    let hi = pairs.iter().map(|&(x, _)| x).fold(f64::NEG_INFINITY, f64::max);
+    let (lo, hi) = if lo == hi {
+        let pad = if lo == 0.0 { 0.5 } else { lo.abs() * 1e-6 + 1e-9 };
+        (lo - pad, hi + pad)
+    } else {
+        (lo, hi)
+    };
+    let b = match bins {
+        BinSpec::Fixed(b) => b.max(1),
+        BinSpec::Sturges => ((pairs.len() as f64).log2().ceil() as usize + 1).max(1),
+        BinSpec::Width(w) => {
+            assert!(w > 0.0, "bin width must be positive");
+            (((hi - lo) / w).ceil() as usize).max(1)
+        }
+    };
+    let width = (hi - lo) / b as f64;
+    let edges: Vec<f64> = (0..=b).map(|i| lo + width * i as f64).collect();
+    let mut heights = vec![0.0f64; b];
+    let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+    for &(x, w) in pairs {
+        let idx = if x >= hi { b - 1 } else { (((x - lo) / width) as usize).min(b - 1) };
+        heights[idx] += w;
+    }
+    for h in heights.iter_mut() {
+        *h /= total;
+    }
+    let hist = Histogram::new(edges, heights.clone())?;
+    Ok((hist, heights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_model::value::Value;
+
+    /// A drifting road: delays around 40s early, around 90s recently.
+    fn drifting_observations() -> Vec<RawObservation> {
+        let mut v = Vec::new();
+        for i in 0..30 {
+            v.push(RawObservation::new(1, i, 40.0 + (i % 5) as f64));
+        }
+        for i in 0..10 {
+            v.push(RawObservation::new(1, 90 + i, 90.0 + (i % 5) as f64));
+        }
+        v
+    }
+
+    #[test]
+    fn weighted_learner_tracks_recent_level() {
+        let mut wl = WeightedStreamLearner::new(WeightedLearnerConfig::gaussian(10.0));
+        wl.observe_all(drifting_observations());
+        let tuples = wl.emit_at(100).unwrap();
+        assert_eq!(tuples.len(), 1);
+        let dist = tuples[0].fields[1].value.as_dist().unwrap();
+        assert!(
+            dist.mean() > 80.0,
+            "weighted mean {} should track the recent ~92s level",
+            dist.mean()
+        );
+        // An unweighted learner over the same data would report ~53s.
+        let info = tuples[0].fields[1].accuracy.as_ref().unwrap();
+        assert!(info.sample_size < 40, "effective n must be below the raw count");
+        assert!(info.mean_ci.unwrap().contains(dist.mean()));
+    }
+
+    #[test]
+    fn stale_only_data_reports_tiny_effective_n() {
+        let mut wl = WeightedStreamLearner::new(WeightedLearnerConfig::gaussian(5.0));
+        for i in 0..20 {
+            wl.observe(RawObservation::new(3, i, 50.0 + i as f64));
+        }
+        // At t=100 every observation is ≥ 16 half-lives old.
+        let n_eff = wl.effective_n(3, 100);
+        assert!(n_eff < 3.0, "stale data must have small effective n, got {n_eff}");
+    }
+
+    #[test]
+    fn faded_observations_are_collected() {
+        let mut wl = WeightedStreamLearner::new(WeightedLearnerConfig::gaussian(2.0));
+        wl.observe(RawObservation::new(5, 0, 1.0));
+        wl.observe(RawObservation::new(5, 1, 2.0));
+        // 20 half-lives later, both are gone and the key disappears.
+        let t = wl.emit_at(100).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(wl.effective_n(5, 100), 0.0);
+    }
+
+    #[test]
+    fn weighted_histogram_kind() {
+        let cfg = WeightedLearnerConfig {
+            kind: WeightedDistKind::Histogram(BinSpec::Fixed(4)),
+            level: 0.9,
+            half_life: 20.0,
+            min_effective_n: 2.0,
+        };
+        let mut wl = WeightedStreamLearner::with_column_names(cfg, "road", "delay");
+        wl.observe_all(drifting_observations());
+        let tuples = wl.emit_at(100).unwrap();
+        let field = &tuples[0].fields[1];
+        let Value::Dist(AttrDistribution::Histogram(h)) = &field.value else {
+            panic!("expected histogram")
+        };
+        assert_eq!(h.num_bins(), 4);
+        let info = field.accuracy.as_ref().unwrap();
+        let cis = info.bin_cis.as_ref().unwrap();
+        assert_eq!(cis.len(), 4);
+        // Recent mass dominates: the top bucket (near 90s) must outweigh
+        // the bottom one (near 40s).
+        assert!(
+            h.probs()[3] > h.probs()[0],
+            "recency weighting should tilt mass to recent values: {:?}",
+            h.probs()
+        );
+        for (ci, &p) in cis.iter().zip(h.probs()) {
+            assert!(ci.contains(p), "{ci} should contain bin height {p}");
+        }
+    }
+
+    #[test]
+    fn weighted_histogram_heights_sum_to_one() {
+        let pairs: Vec<(f64, f64)> =
+            (0..50).map(|i| (i as f64, 1.0 / (1.0 + i as f64))).collect();
+        let (hist, heights) = weighted_histogram(&pairs, BinSpec::Fixed(6)).unwrap();
+        assert!((heights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(hist.num_bins(), 6);
+    }
+
+    #[test]
+    fn under_supported_keys_skipped() {
+        let mut wl = WeightedStreamLearner::new(WeightedLearnerConfig {
+            min_effective_n: 5.0,
+            ..WeightedLearnerConfig::gaussian(10.0)
+        });
+        wl.observe(RawObservation::new(9, 99, 1.0));
+        wl.observe(RawObservation::new(9, 100, 2.0));
+        let t = wl.emit_at(100).unwrap();
+        assert!(t.is_empty(), "n_eff ≈ 2 < 5 must be skipped");
+    }
+
+    #[test]
+    fn constant_values_rejected_for_gaussian() {
+        let pairs = vec![(3.0, 1.0), (3.0, 1.0), (3.0, 1.0)];
+        let ws = WeightedSummary::of(&pairs);
+        assert!(learn_weighted(&pairs, &ws, WeightedDistKind::Gaussian, 0.9).is_err());
+        // But a histogram still learns (single spike bucket).
+        let r = learn_weighted(&pairs, &ws, WeightedDistKind::Histogram(BinSpec::Fixed(3)), 0.9);
+        assert!(r.is_ok());
+    }
+}

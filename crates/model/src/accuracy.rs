@@ -1,0 +1,241 @@
+//! Accuracy information (Section II-B) — the paper's central extension.
+//!
+//! "When a random variable (i.e., a distribution) appears in a query result
+//! the system also returns its accuracy information in the form of
+//! confidence intervals of selected parameters of the distribution."
+//!
+//! [`AccuracyInfo`] carries Figure 2's two forms: per-bin probability
+//! intervals for histograms, and `(μ₁, μ₂, c_μ)` / `(σ₁², σ₂², c_σ)`
+//! intervals for arbitrary distributions. [`TupleProbability`] treats a
+//! result tuple's membership probability as a one-bin histogram with its
+//! own interval.
+
+use ausdb_stats::ci::ConfidenceInterval;
+
+use crate::dist::Histogram;
+use crate::error::ModelError;
+
+/// Accuracy information attached to a distribution-valued field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyInfo {
+    /// The (de-facto) sample size `n` the distribution was learned from —
+    /// the quantity that Lemma 3 propagates through queries.
+    pub sample_size: usize,
+    /// Confidence interval on the expectation μ (Lemma 2, Eq. 3/4).
+    pub mean_ci: Option<ConfidenceInterval>,
+    /// Confidence interval on the variance σ² (Lemma 2, Eq. 5).
+    pub variance_ci: Option<ConfidenceInterval>,
+    /// Per-bin confidence intervals on histogram bin heights (Lemma 1);
+    /// parallel to the histogram's buckets.
+    pub bin_cis: Option<Vec<ConfidenceInterval>>,
+}
+
+impl AccuracyInfo {
+    /// Creates an empty record for a given sample size.
+    pub fn new(sample_size: usize) -> Self {
+        Self { sample_size, mean_ci: None, variance_ci: None, bin_cis: None }
+    }
+
+    /// Sets the mean interval (builder style).
+    pub fn with_mean_ci(mut self, ci: ConfidenceInterval) -> Self {
+        self.mean_ci = Some(ci);
+        self
+    }
+
+    /// Sets the variance interval (builder style).
+    pub fn with_variance_ci(mut self, ci: ConfidenceInterval) -> Self {
+        self.variance_ci = Some(ci);
+        self
+    }
+
+    /// Sets the per-bin intervals (builder style).
+    pub fn with_bin_cis(mut self, cis: Vec<ConfidenceInterval>) -> Self {
+        self.bin_cis = Some(cis);
+        self
+    }
+
+    /// Estimates an interval for `Pr[X > threshold]` from the per-bin
+    /// intervals of `hist` — the user-facing use in Section I ("the user
+    /// can estimate the probability interval that the temperature is
+    /// greater than 80 degrees").
+    ///
+    /// Buckets entirely above the threshold contribute their full interval;
+    /// a bucket straddling it contributes the fraction of its width above
+    /// the threshold (piecewise-uniform interpretation). The result is
+    /// clamped to [0, 1].
+    ///
+    /// Returns an error if no bin intervals are present or they do not
+    /// match the histogram's bucket count.
+    pub fn prob_greater_interval(
+        &self,
+        hist: &Histogram,
+        threshold: f64,
+    ) -> Result<ConfidenceInterval, ModelError> {
+        let cis = self.bin_cis.as_ref().ok_or_else(|| {
+            ModelError::InvalidDistribution("no bin-height intervals available".into())
+        })?;
+        if cis.len() != hist.num_bins() {
+            return Err(ModelError::InvalidDistribution(format!(
+                "{} bin intervals for a {}-bin histogram",
+                cis.len(),
+                hist.num_bins()
+            )));
+        }
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        // Conservative level: the weakest level among contributing bins.
+        // If no bin contributes (threshold above the support, interval is
+        // exactly [0,0]) fall back to the first bin's level.
+        let mut level: f64 = cis[0].level;
+        let mut any = false;
+        let edges = hist.edges();
+        for (i, ci) in cis.iter().enumerate() {
+            let (left, right) = (edges[i], edges[i + 1]);
+            let frac = if threshold <= left {
+                1.0
+            } else if threshold >= right {
+                0.0
+            } else {
+                (right - threshold) / (right - left)
+            };
+            lo += ci.lo * frac;
+            hi += ci.hi * frac;
+            if frac > 0.0 {
+                level = if any { level.min(ci.level) } else { ci.level };
+                any = true;
+            }
+        }
+        Ok(ConfidenceInterval::new(lo, hi, level).clamped(0.0, 1.0))
+    }
+}
+
+/// A result tuple's membership probability with its accuracy.
+///
+/// Section II-B: "a result tuple's membership probability p can be
+/// considered as a one-bin histogram, in which the bin probability is the
+/// tuple probability."
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleProbability {
+    /// The point estimate `p ∈ [0, 1]`.
+    pub p: f64,
+    /// Lemma 1 interval around `p`, when accuracy tracking is on.
+    pub ci: Option<ConfidenceInterval>,
+    /// De-facto sample size of the boolean existence r.v. (Lemma 3).
+    pub sample_size: Option<usize>,
+}
+
+impl TupleProbability {
+    /// A certain tuple (`p = 1`, no interval needed).
+    pub fn certain() -> Self {
+        Self { p: 1.0, ci: None, sample_size: None }
+    }
+
+    /// A tuple with membership probability `p` and no accuracy info yet.
+    pub fn new(p: f64) -> Result<Self, ModelError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(ModelError::InvalidProbability(p));
+        }
+        Ok(Self { p, ci: None, sample_size: None })
+    }
+
+    /// Attaches a Lemma 1 interval and the sample size it came from.
+    pub fn with_ci(mut self, ci: ConfidenceInterval, n: usize) -> Self {
+        self.ci = Some(ci);
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Whether the tuple certainly exists.
+    pub fn is_certain(&self) -> bool {
+        self.p == 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::ci::proportion_interval;
+
+    fn hist() -> Histogram {
+        Histogram::new(vec![0.0, 10.0, 20.0, 30.0, 40.0], vec![0.15, 0.2, 0.4, 0.25]).unwrap()
+    }
+
+    fn info() -> AccuracyInfo {
+        let cis = hist()
+            .probs()
+            .iter()
+            .map(|&p| proportion_interval(p, 20, 0.9))
+            .collect::<Vec<_>>();
+        AccuracyInfo::new(20).with_bin_cis(cis)
+    }
+
+    #[test]
+    fn builder_pattern() {
+        let ci = ConfidenceInterval::new(1.0, 2.0, 0.9);
+        let a = AccuracyInfo::new(15).with_mean_ci(ci).with_variance_ci(ci);
+        assert_eq!(a.sample_size, 15);
+        assert_eq!(a.mean_ci, Some(ci));
+        assert_eq!(a.variance_ci, Some(ci));
+        assert!(a.bin_cis.is_none());
+    }
+
+    #[test]
+    fn prob_greater_interval_whole_buckets() {
+        // Threshold at a bucket edge: buckets 3 and 4 lie fully above 20.
+        let a = info();
+        let ci = a.prob_greater_interval(&hist(), 20.0).unwrap();
+        // Point estimate of Pr[X > 20] is 0.65; interval must bracket it.
+        assert!(ci.lo <= 0.65 && 0.65 <= ci.hi, "{ci}");
+        assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+    }
+
+    #[test]
+    fn prob_greater_interval_partial_bucket() {
+        // Threshold 25 splits bucket 3 in half.
+        let a = info();
+        let ci = a.prob_greater_interval(&hist(), 25.0).unwrap();
+        let point = 0.4 * 0.5 + 0.25;
+        assert!(ci.lo <= point && point <= ci.hi, "{ci} should bracket {point}");
+        // Must be narrower than the edge-20 interval (less mass involved).
+        let wider = a.prob_greater_interval(&hist(), 20.0).unwrap();
+        assert!(ci.hi <= wider.hi + 1e-12);
+    }
+
+    #[test]
+    fn prob_greater_interval_extremes() {
+        let a = info();
+        let below = a.prob_greater_interval(&hist(), -5.0).unwrap();
+        assert!(below.hi >= 1.0 - 1e-9 || below.lo > 0.5, "all mass above: {below}");
+        let above = a.prob_greater_interval(&hist(), 100.0).unwrap();
+        assert_eq!(above.lo, 0.0);
+        assert_eq!(above.hi, 0.0);
+    }
+
+    #[test]
+    fn prob_greater_interval_requires_matching_bins() {
+        let a = AccuracyInfo::new(20);
+        assert!(a.prob_greater_interval(&hist(), 20.0).is_err());
+        let a = AccuracyInfo::new(20)
+            .with_bin_cis(vec![ConfidenceInterval::new(0.0, 1.0, 0.9)]);
+        assert!(a.prob_greater_interval(&hist(), 20.0).is_err());
+    }
+
+    #[test]
+    fn tuple_probability_validation() {
+        assert!(TupleProbability::new(0.5).is_ok());
+        assert!(TupleProbability::new(-0.1).is_err());
+        assert!(TupleProbability::new(1.1).is_err());
+        assert!(TupleProbability::new(f64::NAN).is_err());
+        assert!(TupleProbability::certain().is_certain());
+        assert!(!TupleProbability::new(0.99).unwrap().is_certain());
+    }
+
+    #[test]
+    fn tuple_probability_with_ci() {
+        let ci = proportion_interval(0.6, 20, 0.9); // Example 5's interval
+        let tp = TupleProbability::new(0.6).unwrap().with_ci(ci, 20);
+        assert_eq!(tp.sample_size, Some(20));
+        let ci = tp.ci.unwrap();
+        assert!((ci.lo - 0.42).abs() < 0.002 && (ci.hi - 0.78).abs() < 0.002);
+    }
+}

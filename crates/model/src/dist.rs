@@ -1,0 +1,451 @@
+//! Attribute distributions — the uncertain values stored in fields.
+//!
+//! Section II-A: "An attribute `Aⱼ` of a tuple, in general, is a probability
+//! distribution, either continuous (e.g., Gaussians and histograms) or
+//! discrete. The distribution can be a single value with probability 1, in
+//! which case it is a traditional deterministic field."
+
+use ausdb_stats::dist::{ContinuousDistribution, Normal};
+use ausdb_stats::summary::Summary;
+use rand::{Rng, RngExt};
+
+use crate::error::ModelError;
+
+/// A histogram distribution `{(bᵢ, pᵢ) | 1 ≤ i ≤ b}` over contiguous
+/// numeric buckets.
+///
+/// Buckets are defined by `b + 1` strictly increasing edges; bucket `i`
+/// covers `[edges[i], edges[i+1])`. Probabilities sum to 1 (within a small
+/// tolerance, after which they are renormalized — the "implicit
+/// normalization step" the paper mentions in Section II-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates a histogram from bucket edges and per-bucket probabilities.
+    ///
+    /// `edges.len()` must be `probs.len() + 1`, edges strictly increasing,
+    /// probabilities nonnegative with a positive total (they are
+    /// renormalized to sum to exactly 1).
+    pub fn new(edges: Vec<f64>, probs: Vec<f64>) -> Result<Self, ModelError> {
+        if probs.is_empty() || edges.len() != probs.len() + 1 {
+            return Err(ModelError::InvalidDistribution(format!(
+                "histogram needs |edges| = |probs|+1 >= 2, got {} edges / {} probs",
+                edges.len(),
+                probs.len()
+            )));
+        }
+        if edges.windows(2).any(|w| !(w[0] < w[1])) || edges.iter().any(|e| !e.is_finite()) {
+            return Err(ModelError::InvalidDistribution(
+                "histogram edges must be finite and strictly increasing".into(),
+            ));
+        }
+        if probs.iter().any(|&p| !(p >= 0.0) || !p.is_finite()) {
+            return Err(ModelError::InvalidDistribution(
+                "histogram probabilities must be nonnegative and finite".into(),
+            ));
+        }
+        let total: f64 = probs.iter().sum();
+        if total <= 0.0 {
+            return Err(ModelError::InvalidDistribution(
+                "histogram probabilities must have a positive sum".into(),
+            ));
+        }
+        let probs = probs.into_iter().map(|p| p / total).collect();
+        Ok(Self { edges, probs })
+    }
+
+    /// Number of buckets `b`.
+    pub fn num_bins(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Bucket edges (length `b + 1`).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Bucket probabilities / bin heights (length `b`, summing to 1).
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Index of the bucket containing `x`, or `None` if `x` lies outside
+    /// the histogram's support. The final bucket is closed on the right so
+    /// the maximum observation stays in range.
+    pub fn bin_index(&self, x: f64) -> Option<usize> {
+        let b = self.num_bins();
+        if x < self.edges[0] || x > self.edges[b] {
+            return None;
+        }
+        if x == self.edges[b] {
+            return Some(b - 1);
+        }
+        // Binary search over the edge array.
+        let i = self.edges.partition_point(|&e| e <= x);
+        Some(i - 1)
+    }
+
+    /// Midpoint of bucket `i`.
+    pub fn bin_mid(&self, i: usize) -> f64 {
+        0.5 * (self.edges[i] + self.edges[i + 1])
+    }
+
+    /// Mean under the piecewise-uniform (midpoint) interpretation.
+    pub fn mean(&self) -> f64 {
+        self.probs.iter().enumerate().map(|(i, p)| p * self.bin_mid(i)).sum()
+    }
+
+    /// Variance under the piecewise-uniform interpretation (includes the
+    /// within-bucket uniform spread `w²/12`).
+    pub fn variance(&self) -> f64 {
+        let mu = self.mean();
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let mid = self.bin_mid(i);
+                let w = self.edges[i + 1] - self.edges[i];
+                p * ((mid - mu) * (mid - mu) + w * w / 12.0)
+            })
+            .sum()
+    }
+
+    /// `Pr[X ≤ x]` under the piecewise-uniform interpretation.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.edges[0] {
+            return 0.0;
+        }
+        let b = self.num_bins();
+        if x >= self.edges[b] {
+            return 1.0;
+        }
+        let i = self.edges.partition_point(|&e| e <= x) - 1;
+        let below: f64 = self.probs[..i].iter().sum();
+        let frac = (x - self.edges[i]) / (self.edges[i + 1] - self.edges[i]);
+        below + self.probs[i] * frac
+    }
+
+    /// Draws a sample: pick a bucket by probability, then uniform within it.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc || i == self.probs.len() - 1 {
+                let lo = self.edges[i];
+                let hi = self.edges[i + 1];
+                return lo + rng.random::<f64>() * (hi - lo);
+            }
+        }
+        unreachable!("probabilities sum to 1");
+    }
+}
+
+/// The distribution stored in an uncertain attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrDistribution {
+    /// A deterministic value — "a single value with probability 1".
+    Point(f64),
+    /// A histogram (the representation the paper emphasizes for both
+    /// learning and query processing).
+    Histogram(Histogram),
+    /// A Gaussian with mean `mu` and variance `sigma2` (used by the
+    /// closed-form sliding-window AVG pipeline of Section V-C).
+    Gaussian {
+        /// Mean μ.
+        mu: f64,
+        /// Variance σ².
+        sigma2: f64,
+    },
+    /// A finite discrete distribution: `(value, probability)` pairs.
+    Discrete(Vec<(f64, f64)>),
+    /// An empirical distribution that retains the raw observations
+    /// (used by Monte-Carlo query processing, Section III-B category 1).
+    Empirical(Vec<f64>),
+}
+
+impl AttrDistribution {
+    /// Builds a validated discrete distribution (probabilities renormalized).
+    pub fn discrete(pairs: Vec<(f64, f64)>) -> Result<Self, ModelError> {
+        if pairs.is_empty() {
+            return Err(ModelError::InvalidDistribution("empty discrete distribution".into()));
+        }
+        if pairs.iter().any(|&(v, p)| !v.is_finite() || !(p >= 0.0) || !p.is_finite()) {
+            return Err(ModelError::InvalidDistribution(
+                "discrete values must be finite with nonnegative probabilities".into(),
+            ));
+        }
+        let total: f64 = pairs.iter().map(|&(_, p)| p).sum();
+        if total <= 0.0 {
+            return Err(ModelError::InvalidDistribution(
+                "discrete probabilities must have a positive sum".into(),
+            ));
+        }
+        Ok(Self::Discrete(pairs.into_iter().map(|(v, p)| (v, p / total)).collect()))
+    }
+
+    /// Builds a validated empirical distribution from raw observations.
+    pub fn empirical(samples: Vec<f64>) -> Result<Self, ModelError> {
+        if samples.is_empty() {
+            return Err(ModelError::InvalidDistribution("empty empirical sample".into()));
+        }
+        if samples.iter().any(|v| !v.is_finite()) {
+            return Err(ModelError::InvalidDistribution(
+                "empirical observations must be finite".into(),
+            ));
+        }
+        Ok(Self::Empirical(samples))
+    }
+
+    /// Builds a validated Gaussian.
+    pub fn gaussian(mu: f64, sigma2: f64) -> Result<Self, ModelError> {
+        if !mu.is_finite() || !(sigma2 > 0.0) || !sigma2.is_finite() {
+            return Err(ModelError::InvalidDistribution(format!(
+                "Gaussian(mu={mu}, sigma2={sigma2})"
+            )));
+        }
+        Ok(Self::Gaussian { mu, sigma2 })
+    }
+
+    /// Expected value of the distribution.
+    pub fn mean(&self) -> f64 {
+        match self {
+            AttrDistribution::Point(v) => *v,
+            AttrDistribution::Histogram(h) => h.mean(),
+            AttrDistribution::Gaussian { mu, .. } => *mu,
+            AttrDistribution::Discrete(pairs) => pairs.iter().map(|&(v, p)| v * p).sum(),
+            AttrDistribution::Empirical(xs) => Summary::of(xs).mean(),
+        }
+    }
+
+    /// Variance of the distribution. For [`AttrDistribution::Empirical`]
+    /// this is the **sample** variance (divisor n−1), matching its use as a
+    /// learned estimate.
+    pub fn variance(&self) -> f64 {
+        match self {
+            AttrDistribution::Point(_) => 0.0,
+            AttrDistribution::Histogram(h) => h.variance(),
+            AttrDistribution::Gaussian { sigma2, .. } => *sigma2,
+            AttrDistribution::Discrete(pairs) => {
+                let mu: f64 = pairs.iter().map(|&(v, p)| v * p).sum();
+                pairs.iter().map(|&(v, p)| p * (v - mu) * (v - mu)).sum()
+            }
+            AttrDistribution::Empirical(xs) => {
+                if xs.len() < 2 {
+                    0.0
+                } else {
+                    Summary::of(xs).variance()
+                }
+            }
+        }
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// `Pr[X ≤ x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match self {
+            AttrDistribution::Point(v) => {
+                if x >= *v {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            AttrDistribution::Histogram(h) => h.cdf(x),
+            AttrDistribution::Gaussian { mu, sigma2 } => {
+                Normal::new(*mu, sigma2.sqrt()).expect("validated Gaussian").cdf(x)
+            }
+            AttrDistribution::Discrete(pairs) => {
+                pairs.iter().filter(|&&(v, _)| v <= x).map(|&(_, p)| p).sum()
+            }
+            AttrDistribution::Empirical(xs) => {
+                xs.iter().filter(|&&v| v <= x).count() as f64 / xs.len() as f64
+            }
+        }
+    }
+
+    /// `Pr[X > x]` — the probability used by probability-threshold
+    /// predicates like `Delay >_{2/3} 50` (Example 1's query).
+    pub fn prob_greater(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Draws one sample from the distribution.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            AttrDistribution::Point(v) => *v,
+            AttrDistribution::Histogram(h) => h.sample(rng),
+            AttrDistribution::Gaussian { mu, sigma2 } => {
+                Normal::new(*mu, sigma2.sqrt()).expect("validated Gaussian").sample(rng)
+            }
+            AttrDistribution::Discrete(pairs) => {
+                let u: f64 = rng.random();
+                let mut acc = 0.0;
+                for &(v, p) in pairs {
+                    acc += p;
+                    if u < acc {
+                        return v;
+                    }
+                }
+                pairs.last().expect("validated nonempty").0
+            }
+            AttrDistribution::Empirical(xs) => xs[rng.random_range(0..xs.len())],
+        }
+    }
+
+    /// Whether this is a deterministic (point) value.
+    pub fn is_point(&self) -> bool {
+        matches!(self, AttrDistribution::Point(_))
+    }
+
+    /// The retained raw sample, if this is an empirical distribution.
+    pub fn raw_sample(&self) -> Option<&[f64]> {
+        match self {
+            AttrDistribution::Empirical(xs) => Some(xs),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_stats::rng::seeded;
+
+    fn simple_hist() -> Histogram {
+        // Example 2's histogram: 4 buckets with 3/4/8/5 of 20 observations.
+        Histogram::new(vec![0.0, 10.0, 20.0, 30.0, 40.0], vec![0.15, 0.2, 0.4, 0.25]).unwrap()
+    }
+
+    #[test]
+    fn histogram_validation() {
+        assert!(Histogram::new(vec![0.0, 1.0], vec![]).is_err());
+        assert!(Histogram::new(vec![1.0, 0.0], vec![1.0]).is_err());
+        assert!(Histogram::new(vec![0.0, 1.0, 1.0], vec![0.5, 0.5]).is_err());
+        assert!(Histogram::new(vec![0.0, 1.0], vec![-0.5]).is_err());
+        assert!(Histogram::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn histogram_renormalizes() {
+        let h = Histogram::new(vec![0.0, 1.0, 2.0], vec![2.0, 2.0]).unwrap();
+        assert_eq!(h.probs(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn bin_index_edges() {
+        let h = simple_hist();
+        assert_eq!(h.bin_index(-0.1), None);
+        assert_eq!(h.bin_index(0.0), Some(0));
+        assert_eq!(h.bin_index(9.999), Some(0));
+        assert_eq!(h.bin_index(10.0), Some(1));
+        assert_eq!(h.bin_index(39.999), Some(3));
+        assert_eq!(h.bin_index(40.0), Some(3)); // right-closed final bucket
+        assert_eq!(h.bin_index(40.1), None);
+    }
+
+    #[test]
+    fn histogram_moments() {
+        let h = simple_hist();
+        // mean = 0.15·5 + 0.2·15 + 0.4·25 + 0.25·35 = 22.5
+        assert!((h.mean() - 22.5).abs() < 1e-12);
+        assert!(h.variance() > 0.0);
+        // CDF at bucket boundary equals cumulated mass.
+        assert!((h.cdf(20.0) - 0.35).abs() < 1e-12);
+        assert!((h.cdf(25.0) - 0.55).abs() < 1e-12);
+        assert_eq!(h.cdf(-5.0), 0.0);
+        assert_eq!(h.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn histogram_sampling_matches_probs() {
+        let h = simple_hist();
+        let mut rng = seeded(3);
+        let n = 100_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let x = h.sample(&mut rng);
+            counts[h.bin_index(x).expect("in support")] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - h.probs()[i]).abs() < 0.01,
+                "bin {i}: freq {freq} vs prob {}",
+                h.probs()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn point_distribution() {
+        let d = AttrDistribution::Point(7.0);
+        assert_eq!(d.mean(), 7.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.cdf(6.9), 0.0);
+        assert_eq!(d.cdf(7.0), 1.0);
+        assert!(d.is_point());
+        let mut rng = seeded(1);
+        assert_eq!(d.sample(&mut rng), 7.0);
+    }
+
+    #[test]
+    fn gaussian_distribution() {
+        let d = AttrDistribution::gaussian(10.0, 4.0).unwrap();
+        assert_eq!(d.mean(), 10.0);
+        assert_eq!(d.variance(), 4.0);
+        assert!((d.cdf(10.0) - 0.5).abs() < 1e-12);
+        assert!((d.prob_greater(10.0) - 0.5).abs() < 1e-12);
+        assert!(AttrDistribution::gaussian(0.0, 0.0).is_err());
+        assert!(AttrDistribution::gaussian(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn discrete_distribution() {
+        let d = AttrDistribution::discrete(vec![(1.0, 0.25), (2.0, 0.5), (4.0, 0.25)]).unwrap();
+        assert!((d.mean() - 2.25).abs() < 1e-12);
+        assert!((d.cdf(2.0) - 0.75).abs() < 1e-12);
+        assert!((d.prob_greater(2.0) - 0.25).abs() < 1e-12);
+        assert!(AttrDistribution::discrete(vec![]).is_err());
+        assert!(AttrDistribution::discrete(vec![(1.0, -1.0)]).is_err());
+        // Renormalization.
+        let d = AttrDistribution::discrete(vec![(0.0, 2.0), (1.0, 2.0)]).unwrap();
+        assert!((d.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_sampling() {
+        let d = AttrDistribution::discrete(vec![(1.0, 0.3), (5.0, 0.7)]).unwrap();
+        let mut rng = seeded(17);
+        let n = 50_000;
+        let fives = (0..n).filter(|_| d.sample(&mut rng) == 5.0).count();
+        assert!((fives as f64 / n as f64 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn empirical_distribution() {
+        let d = AttrDistribution::empirical(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((d.mean() - 2.5).abs() < 1e-12);
+        assert!((d.cdf(2.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.raw_sample().unwrap().len(), 4);
+        assert!(AttrDistribution::empirical(vec![]).is_err());
+        assert!(AttrDistribution::empirical(vec![f64::INFINITY]).is_err());
+        let mut rng = seeded(9);
+        let x = d.sample(&mut rng);
+        assert!([1.0, 2.0, 3.0, 4.0].contains(&x));
+    }
+
+    #[test]
+    fn empirical_single_observation_variance_zero() {
+        let d = AttrDistribution::empirical(vec![3.0]).unwrap();
+        assert_eq!(d.variance(), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Model-level error type.
+
+/// Errors raised by the data model (type mismatches, malformed
+/// distributions, schema lookups).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A value had the wrong type for the requested operation.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it actually found.
+        found: String,
+    },
+    /// A column name was not present in the schema.
+    UnknownColumn(String),
+    /// A distribution was structurally invalid (empty bins, probabilities
+    /// not summing to 1, unordered edges, ...).
+    InvalidDistribution(String),
+    /// A probability was outside [0, 1].
+    InvalidProbability(f64),
+    /// A schema was malformed (duplicate column names, ...).
+    InvalidSchema(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ModelError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            ModelError::InvalidDistribution(why) => write!(f, "invalid distribution: {why}"),
+            ModelError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside [0, 1]")
+            }
+            ModelError::InvalidSchema(why) => write!(f, "invalid schema: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::TypeMismatch { expected: "float", found: "str".into() };
+        assert!(e.to_string().contains("float"));
+        assert!(ModelError::UnknownColumn("speed".into()).to_string().contains("speed"));
+        assert!(ModelError::InvalidProbability(1.5).to_string().contains("1.5"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Probabilistic stream data model (Section II-A/B of the paper).
+//!
+//! An uncertain stream database contains tuples `{Tᵢ}` where each tuple has
+//! a **membership probability** `pᵢ` (tuple uncertainty) and each attribute
+//! may be a **probability distribution** (attribute uncertainty). This crate
+//! defines those building blocks:
+//!
+//! * [`value::Value`] — a field value: null, boolean, integer, float,
+//!   string, or a probability distribution.
+//! * [`dist::AttrDistribution`] — the distribution forms the system
+//!   supports: point (deterministic), histogram, Gaussian, discrete, and
+//!   empirical (raw sample retained).
+//! * [`accuracy::AccuracyInfo`] — the paper's central extension: confidence
+//!   intervals on bin heights, on `μ`, and on `σ²`, plus the originating
+//!   sample size (Section II-B, Figure 2).
+//! * [`tuple::Tuple`] / [`tuple::Field`] — tuples whose fields carry their
+//!   accuracy, and whose membership probability itself carries a confidence
+//!   interval (the "one-bin histogram" of Section II-B).
+//! * [`schema::Schema`] — named, typed columns.
+//! * [`stream::Batch`] / [`stream::TupleStream`] — the streaming interface
+//!   shared by the learner and the query engine.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+// `!(x < y)`-style validation deliberately treats NaN as invalid (any
+// comparison with NaN is false); the partial_cmp rewrite loses that.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod accuracy;
+pub mod dist;
+pub mod error;
+pub mod schema;
+pub mod stream;
+pub mod tuple;
+pub mod value;
+
+pub use accuracy::{AccuracyInfo, TupleProbability};
+pub use dist::{AttrDistribution, Histogram};
+pub use error::ModelError;
+pub use schema::{Column, ColumnType, Schema};
+pub use stream::{Batch, TupleStream};
+pub use tuple::{Field, Tuple};
+pub use value::Value;

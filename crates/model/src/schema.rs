@@ -1,0 +1,141 @@
+//! Schemas: named, typed columns.
+
+use crate::error::ModelError;
+
+/// The declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Str,
+    /// Uncertain attribute: a probability distribution over reals.
+    Dist,
+}
+
+impl std::fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Bool => "BOOL",
+            ColumnType::Str => "STR",
+            ColumnType::Dist => "DIST",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name; lookups are case-insensitive.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema from columns. Duplicate names (case-insensitive)
+    /// are rejected.
+    pub fn new(columns: Vec<Column>) -> Result<Self, ModelError> {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                if a.name.eq_ignore_ascii_case(&b.name) {
+                    return Err(ModelError::InvalidSchema(format!(
+                        "duplicate column name: {}",
+                        a.name
+                    )));
+                }
+            }
+        }
+        Ok(Self { columns })
+    }
+
+    /// The columns, in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Finds a column index by name (case-insensitive).
+    pub fn index_of(&self, name: &str) -> Result<usize, ModelError> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| ModelError::UnknownColumn(name.to_owned()))
+    }
+
+    /// Borrows the column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("road_id", ColumnType::Int),
+            Column::new("Delay", ColumnType::Dist),
+            Column::new("speed_limit", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("delay").unwrap(), 1);
+        assert_eq!(s.index_of("DELAY").unwrap(), 1);
+        assert_eq!(s.index_of("road_id").unwrap(), 0);
+        assert!(s.index_of("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            Column::new("a", ColumnType::Int),
+            Column::new("A", ColumnType::Float),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let s = schema();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.column(1).ty, ColumnType::Dist);
+        assert_eq!(ColumnType::Dist.to_string(), "DIST");
+        assert!(Schema::default().is_empty());
+    }
+}

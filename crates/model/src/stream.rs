@@ -1,0 +1,115 @@
+//! Streaming interface shared by the learner and the query engine.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// A batch of tuples flowing through the system.
+pub type Batch = Vec<Tuple>;
+
+/// A pull-based stream of probabilistic tuples.
+///
+/// Operators in `ausdb-engine` implement this trait and compose into query
+/// plans; sources in `ausdb-datagen` implement it over generated data.
+pub trait TupleStream {
+    /// The schema every produced tuple conforms to.
+    fn schema(&self) -> &Schema;
+
+    /// Pulls the next batch; `None` when the stream is exhausted.
+    fn next_batch(&mut self) -> Option<Batch>;
+
+    /// Drains the stream into a single vector (testing / small inputs).
+    fn collect_all(&mut self) -> Batch {
+        let mut out = Vec::new();
+        while let Some(batch) = self.next_batch() {
+            out.extend(batch);
+        }
+        out
+    }
+}
+
+/// Box forwarding so operators compose over `Box<dyn TupleStream>`.
+impl TupleStream for Box<dyn TupleStream> {
+    fn schema(&self) -> &Schema {
+        (**self).schema()
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        (**self).next_batch()
+    }
+}
+
+/// A stream over a pre-materialized vector of tuples, emitted in fixed-size
+/// batches. The simplest source; used heavily by tests and benchmarks.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    schema: Schema,
+    tuples: std::vec::IntoIter<Tuple>,
+    batch_size: usize,
+}
+
+impl VecStream {
+    /// Creates a stream over `tuples` with the given batch size.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { schema, tuples: tuples.into_iter(), batch_size }
+    }
+}
+
+impl TupleStream for VecStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        let batch: Batch = self.tuples.by_ref().take(self.batch_size).collect();
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use crate::tuple::{Field, Tuple};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("x", ColumnType::Float)]).unwrap()
+    }
+
+    fn tuples(n: usize) -> Vec<Tuple> {
+        (0..n).map(|i| Tuple::certain(i as u64, vec![Field::plain(i as f64)])).collect()
+    }
+
+    #[test]
+    fn batches_respect_size() {
+        let mut s = VecStream::new(schema(), tuples(7), 3);
+        assert_eq!(s.next_batch().unwrap().len(), 3);
+        assert_eq!(s.next_batch().unwrap().len(), 3);
+        assert_eq!(s.next_batch().unwrap().len(), 1);
+        assert!(s.next_batch().is_none());
+    }
+
+    #[test]
+    fn collect_all_drains() {
+        let mut s = VecStream::new(schema(), tuples(10), 4);
+        assert_eq!(s.collect_all().len(), 10);
+        assert!(s.next_batch().is_none());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let mut s = VecStream::new(schema(), vec![], 4);
+        assert!(s.next_batch().is_none());
+        assert!(s.collect_all().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_size_rejected() {
+        VecStream::new(schema(), vec![], 0);
+    }
+}

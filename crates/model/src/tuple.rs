@@ -1,0 +1,130 @@
+//! Tuples: fields with accuracy, plus membership probability.
+
+use crate::accuracy::{AccuracyInfo, TupleProbability};
+use crate::error::ModelError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// One field of a probabilistic tuple: the value together with the accuracy
+/// bookkeeping the paper adds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// The field's value (scalar or distribution).
+    pub value: Value,
+    /// Size of the raw sample the value was learned from, if known.
+    /// For query results this is the **de-facto** sample size (Lemma 3).
+    pub sample_size: Option<usize>,
+    /// Confidence intervals on the distribution's parameters (Section II-B).
+    pub accuracy: Option<AccuracyInfo>,
+}
+
+impl Field {
+    /// A plain field with no accuracy information.
+    pub fn plain(value: impl Into<Value>) -> Self {
+        Self { value: value.into(), sample_size: None, accuracy: None }
+    }
+
+    /// A field learned from a sample of size `n`.
+    pub fn learned(value: impl Into<Value>, n: usize) -> Self {
+        Self { value: value.into(), sample_size: Some(n), accuracy: None }
+    }
+
+    /// Attaches accuracy information (builder style).
+    pub fn with_accuracy(mut self, info: AccuracyInfo) -> Self {
+        self.sample_size.get_or_insert(info.sample_size);
+        self.accuracy = Some(info);
+        self
+    }
+}
+
+/// A probabilistic stream tuple: timestamped fields plus a membership
+/// probability (tuple uncertainty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Logical timestamp (arrival order within the stream).
+    pub ts: u64,
+    /// The fields, parallel to the stream's [`Schema`].
+    pub fields: Vec<Field>,
+    /// Probability that the tuple exists in the stream / result set.
+    pub membership: TupleProbability,
+}
+
+impl Tuple {
+    /// Creates a certain tuple (membership probability 1).
+    pub fn certain(ts: u64, fields: Vec<Field>) -> Self {
+        Self { ts, fields, membership: TupleProbability::certain() }
+    }
+
+    /// Creates a tuple with an explicit membership probability.
+    pub fn with_membership(
+        ts: u64,
+        fields: Vec<Field>,
+        membership: TupleProbability,
+    ) -> Self {
+        Self { ts, fields, membership }
+    }
+
+    /// Field lookup by schema name.
+    pub fn field<'a>(&'a self, schema: &Schema, name: &str) -> Result<&'a Field, ModelError> {
+        let idx = schema.index_of(name)?;
+        Ok(&self.fields[idx])
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use ausdb_stats::ci::ConfidenceInterval;
+
+    #[test]
+    fn field_builders() {
+        let f = Field::plain(1.5);
+        assert_eq!(f.value, Value::Float(1.5));
+        assert!(f.sample_size.is_none() && f.accuracy.is_none());
+
+        let f = Field::learned(2.0, 20);
+        assert_eq!(f.sample_size, Some(20));
+
+        let info = AccuracyInfo::new(20).with_mean_ci(ConfidenceInterval::new(1.0, 3.0, 0.9));
+        let f = Field::plain(2.0).with_accuracy(info.clone());
+        assert_eq!(f.sample_size, Some(20)); // inherited from the info
+        assert_eq!(f.accuracy, Some(info));
+    }
+
+    #[test]
+    fn with_accuracy_keeps_explicit_sample_size() {
+        let info = AccuracyInfo::new(10);
+        let f = Field::learned(1.0, 25).with_accuracy(info);
+        assert_eq!(f.sample_size, Some(25));
+    }
+
+    #[test]
+    fn tuple_field_lookup() {
+        let schema = Schema::new(vec![
+            Column::new("id", ColumnType::Int),
+            Column::new("delay", ColumnType::Dist),
+        ])
+        .unwrap();
+        let t = Tuple::certain(0, vec![Field::plain(19i64), Field::learned(56.0, 3)]);
+        assert_eq!(t.arity(), 2);
+        assert!(t.membership.is_certain());
+        let f = t.field(&schema, "DELAY").unwrap();
+        assert_eq!(f.sample_size, Some(3));
+        assert!(t.field(&schema, "speed").is_err());
+    }
+
+    #[test]
+    fn uncertain_membership() {
+        let m = TupleProbability::new(0.6).unwrap();
+        let t = Tuple::with_membership(5, vec![], m);
+        assert_eq!(t.membership.p, 0.6);
+        assert!(!t.membership.is_certain());
+        assert_eq!(t.ts, 5);
+    }
+}

@@ -1,0 +1,190 @@
+//! Field values.
+
+use crate::dist::AttrDistribution;
+use crate::error::ModelError;
+
+/// A value stored in a tuple field: deterministic scalars or a probability
+/// distribution (attribute uncertainty).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// A probability distribution (uncertain attribute).
+    Dist(AttrDistribution),
+}
+
+impl Value {
+    /// Converts to `f64` if this is a numeric scalar.
+    pub fn as_f64(&self) -> Result<f64, ModelError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+            other => Err(ModelError::TypeMismatch {
+                expected: "numeric scalar",
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Borrows the distribution if this is an uncertain attribute.
+    pub fn as_dist(&self) -> Result<&AttrDistribution, ModelError> {
+        match self {
+            Value::Dist(d) => Ok(d),
+            other => Err(ModelError::TypeMismatch {
+                expected: "distribution",
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// Views any numeric value as a distribution: scalars become point
+    /// distributions ("a single value with probability 1"). Returns an
+    /// owned distribution.
+    pub fn to_dist(&self) -> Result<AttrDistribution, ModelError> {
+        match self {
+            Value::Dist(d) => Ok(d.clone()),
+            Value::Int(i) => Ok(AttrDistribution::Point(*i as f64)),
+            Value::Float(f) => Ok(AttrDistribution::Point(*f)),
+            other => Err(ModelError::TypeMismatch {
+                expected: "numeric or distribution",
+                found: other.type_name().into(),
+            }),
+        }
+    }
+
+    /// The expected value: scalars are their own mean.
+    pub fn mean(&self) -> Result<f64, ModelError> {
+        match self {
+            Value::Dist(d) => Ok(d.mean()),
+            _ => self.as_f64(),
+        }
+    }
+
+    /// Human-readable type name (for errors).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Dist(_) => "dist",
+        }
+    }
+
+    /// Whether the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<AttrDistribution> for Value {
+    fn from(d: AttrDistribution) -> Self {
+        Value::Dist(d)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Dist(d) => match d {
+                AttrDistribution::Point(v) => write!(f, "{v}"),
+                AttrDistribution::Gaussian { mu, sigma2 } => {
+                    write!(f, "N({mu:.3}, {sigma2:.3})")
+                }
+                AttrDistribution::Histogram(h) => {
+                    write!(f, "hist[{} bins, mean {:.3}]", h.num_bins(), h.mean())
+                }
+                AttrDistribution::Discrete(pairs) => write!(f, "discrete[{}]", pairs.len()),
+                AttrDistribution::Empirical(xs) => {
+                    write!(f, "empirical[n={}, mean {:.3}]", xs.len(), d.mean())
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3.5).as_f64().unwrap(), 3.5);
+        assert_eq!(Value::from(3i64).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::from(true).as_f64().unwrap(), 1.0);
+        assert!(Value::from("x").as_f64().is_err());
+        assert!(Value::Null.as_f64().is_err());
+    }
+
+    #[test]
+    fn to_dist_promotes_scalars() {
+        let d = Value::from(2.0).to_dist().unwrap();
+        assert_eq!(d, AttrDistribution::Point(2.0));
+        let d = Value::from(2i64).to_dist().unwrap();
+        assert_eq!(d.mean(), 2.0);
+        assert!(Value::from("x").to_dist().is_err());
+    }
+
+    #[test]
+    fn mean_works_for_both_kinds() {
+        assert_eq!(Value::from(4.0).mean().unwrap(), 4.0);
+        let g = AttrDistribution::gaussian(7.0, 1.0).unwrap();
+        assert_eq!(Value::from(g).mean().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::from(2i64).to_string(), "2");
+        assert_eq!(Value::from("hi").to_string(), "'hi'");
+        let g = AttrDistribution::gaussian(1.0, 2.0).unwrap();
+        assert!(Value::from(g).to_string().starts_with("N(1.000"));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::from(1.0).type_name(), "float");
+        assert!(Value::Null.is_null());
+        assert!(!Value::from(0.0).is_null());
+    }
+}

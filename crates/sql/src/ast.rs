@@ -1,0 +1,197 @@
+//! Abstract syntax tree for the extended SQL dialect.
+
+/// An arithmetic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column reference.
+    Column(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `expr + expr` etc.
+    Binary {
+        /// `+`, `-`, `*`, `/`.
+        op: char,
+        /// Left operand.
+        left: Box<SqlExpr>,
+        /// Right operand.
+        right: Box<SqlExpr>,
+    },
+    /// `SQRT(ABS(expr))`.
+    SqrtAbs(Box<SqlExpr>),
+    /// `SQUARE(expr)`.
+    Square(Box<SqlExpr>),
+    /// Unary minus.
+    Neg(Box<SqlExpr>),
+    /// Aggregate call `AVG(col)` / `SUM(col)` / `COUNT(col)` — only valid
+    /// in the SELECT list of a `GROUP BY` query.
+    Aggregate {
+        /// `AVG`, `SUM`, or `COUNT` (uppercased).
+        func: String,
+        /// The aggregated column.
+        column: String,
+    },
+}
+
+/// A comparison operator in source form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlCmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+}
+
+/// A boolean predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlPredicate {
+    /// `expr op expr [PROB τ]`.
+    Compare {
+        /// Left side.
+        left: SqlExpr,
+        /// Operator.
+        op: SqlCmp,
+        /// Right side.
+        right: SqlExpr,
+        /// Probability threshold (the `PROB τ` suffix), if present.
+        prob: Option<f64>,
+    },
+    /// Conjunction.
+    And(Box<SqlPredicate>, Box<SqlPredicate>),
+    /// Disjunction.
+    Or(Box<SqlPredicate>, Box<SqlPredicate>),
+    /// Negation.
+    Not(Box<SqlPredicate>),
+}
+
+/// A significance predicate call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlSigPredicate {
+    /// `MTEST(expr, op, c, α₁ [, α₂])`.
+    MTest {
+        /// Field under test.
+        expr: SqlExpr,
+        /// H₁ direction: `<`, `>`, or `<>`.
+        op: String,
+        /// Comparison constant.
+        c: f64,
+        /// Significance level / max false-positive rate.
+        alpha1: f64,
+        /// Max false-negative rate; presence selects `COUPLED-TESTS`.
+        alpha2: Option<f64>,
+    },
+    /// `MDTEST(expr, expr, op, c, α₁ [, α₂])`.
+    MdTest {
+        /// First field.
+        x: SqlExpr,
+        /// Second field.
+        y: SqlExpr,
+        /// H₁ direction.
+        op: String,
+        /// Difference constant.
+        c: f64,
+        /// Significance level.
+        alpha1: f64,
+        /// Max false-negative rate (coupled mode).
+        alpha2: Option<f64>,
+    },
+    /// `PTEST(comparison, τ, α₁ [, α₂])`.
+    PTest {
+        /// The inner comparison predicate.
+        pred: Box<SqlPredicate>,
+        /// Probability threshold τ.
+        tau: f64,
+        /// Significance level.
+        alpha1: f64,
+        /// Max false-negative rate (coupled mode).
+        alpha2: Option<f64>,
+    },
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: SqlExpr,
+    /// Optional `AS` alias.
+    pub alias: Option<String>,
+}
+
+/// `WINDOW AVG(col) SIZE n` (count-based) or
+/// `WINDOW AVG(col) RANGE w [MIN k]` (time-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlWindow {
+    /// `AVG` or `SUM` (uppercased).
+    pub func: String,
+    /// The aggregated column.
+    pub column: String,
+    /// Count-based size, or time-based width with a minimum tuple count.
+    pub kind: SqlWindowKind,
+}
+
+/// The windowing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlWindowKind {
+    /// `SIZE n`: the paper's count-based sliding window.
+    Count(usize),
+    /// `RANGE w MIN k`: trailing `w` time units, emitting once at least
+    /// `k` tuples are inside.
+    Time {
+        /// Window width in timestamp units.
+        width: u64,
+        /// Minimum tuples before emitting.
+        min_tuples: usize,
+    },
+}
+
+/// `WITH ACCURACY …` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlAccuracy {
+    /// `NONE`, `ANALYTICAL`, or `BOOTSTRAP` (uppercased).
+    pub mode: String,
+    /// `LEVEL c` (confidence level).
+    pub level: Option<f64>,
+    /// `SAMPLES m` (Monte-Carlo sequence length for bootstraps).
+    pub samples: Option<usize>,
+}
+
+/// `JOIN other ON key`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlJoin {
+    /// The stream joined in.
+    pub stream: String,
+    /// The shared key column.
+    pub key: String,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT list; `None` means `*`.
+    pub items: Option<Vec<SelectItem>>,
+    /// FROM stream name.
+    pub from: String,
+    /// Optional equijoin.
+    pub join: Option<SqlJoin>,
+    /// Optional `GROUP BY` column.
+    pub group_by: Option<String>,
+    /// Optional `ORDER BY column [ASC|DESC]`.
+    pub order_by: Option<(String, bool)>,
+    /// Optional `LIMIT n`.
+    pub limit: Option<usize>,
+    /// Window clause.
+    pub window: Option<SqlWindow>,
+    /// WHERE predicate.
+    pub predicate: Option<SqlPredicate>,
+    /// HAVING significance predicate.
+    pub significance: Option<SqlSigPredicate>,
+    /// WITH ACCURACY clause.
+    pub accuracy: Option<SqlAccuracy>,
+}

@@ -1,0 +1,47 @@
+//! SQL front-end errors.
+
+/// Errors raised while lexing, parsing, or planning a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// A character the lexer does not understand.
+    Lex {
+        /// Byte offset into the query text.
+        pos: usize,
+        /// Description of the problem.
+        what: String,
+    },
+    /// Unexpected token during parsing.
+    Parse {
+        /// Byte offset of the offending token.
+        pos: usize,
+        /// Description of what was expected vs. found.
+        what: String,
+    },
+    /// The query parsed but cannot be planned (bad column, bad parameter
+    /// range, non-constant comparison side, ...).
+    Plan(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { pos, what } => write!(f, "lex error at byte {pos}: {what}"),
+            SqlError::Parse { pos, what } => write!(f, "parse error at byte {pos}: {what}"),
+            SqlError::Plan(what) => write!(f, "plan error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position() {
+        let e = SqlError::Parse { pos: 17, what: "expected FROM".into() };
+        let s = e.to_string();
+        assert!(s.contains("17") && s.contains("FROM"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Hand-written lexer for the extended SQL dialect.
+
+use crate::error::SqlError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at parse time).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `;`
+    Semi,
+}
+
+/// A token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub pos: usize,
+}
+
+/// Tokenizes a query string.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Spanned { token: Token::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { token: Token::RParen, pos });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { token: Token::Comma, pos });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { token: Token::Semi, pos });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { token: Token::Star, pos });
+                i += 1;
+            }
+            '+' => {
+                out.push(Spanned { token: Token::Plus, pos });
+                i += 1;
+            }
+            '-' => {
+                out.push(Spanned { token: Token::Minus, pos });
+                i += 1;
+            }
+            '/' => {
+                out.push(Spanned { token: Token::Slash, pos });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { token: Token::Eq, pos });
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::Le, pos });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Spanned { token: Token::Ne, pos });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, pos });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::Ge, pos });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, pos });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(SqlError::Lex { pos, what: "unterminated string".into() });
+                }
+                out.push(Spanned {
+                    token: Token::Str(input[start..j].to_owned()),
+                    pos,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        j += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && !seen_exp
+                        && j > start
+                        && j + 1 < bytes.len()
+                        && (bytes[j + 1].is_ascii_digit()
+                            || bytes[j + 1] == b'-'
+                            || bytes[j + 1] == b'+')
+                    {
+                        seen_exp = true;
+                        j += 2; // consume 'e' and the sign/digit
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                let value: f64 = text.parse().map_err(|_| SqlError::Lex {
+                    pos,
+                    what: format!("bad numeric literal '{text}'"),
+                })?;
+                out.push(Spanned { token: Token::Number(value), pos });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { token: Token::Ident(input[start..j].to_owned()), pos });
+                i = j;
+            }
+            other => {
+                return Err(SqlError::Lex { pos, what: format!("unexpected character '{other}'") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn basic_query() {
+        let t = toks("SELECT road_id FROM t WHERE delay > 50 PROB 0.66");
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert_eq!(t[1], Token::Ident("road_id".into()));
+        assert!(t.contains(&Token::Gt));
+        assert!(t.contains(&Token::Number(50.0)));
+        assert!(t.contains(&Token::Number(0.66)));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("< <= > >= = <>"),
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("1 2.5 0.05 1e3 2.5e-2"), vec![
+            Token::Number(1.0),
+            Token::Number(2.5),
+            Token::Number(0.05),
+            Token::Number(1000.0),
+            Token::Number(0.025),
+        ]);
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        let t = toks("MTEST(x, '>', 97, 0.05) -- trailing comment\n;");
+        assert!(t.contains(&Token::Str(">".into())));
+        assert_eq!(*t.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("SELECT 'unterminated").is_err());
+        assert!(lex("SELECT #x").is_err());
+        assert!(lex(".").is_err(), "a lone dot is not a number");
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let ts = lex("SELECT x").unwrap();
+        assert_eq!(ts[0].pos, 0);
+        assert_eq!(ts[1].pos, 7);
+    }
+}

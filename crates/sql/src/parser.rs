@@ -1,0 +1,671 @@
+//! Recursive-descent parser for the extended SQL dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! select    := SELECT list FROM ident [window] [where] [having] [with] [';']
+//! list      := '*' | item (',' item)*
+//! item      := expr [AS ident]
+//! window    := WINDOW (AVG | SUM) '(' ident ')'
+//!              ( SIZE number | RANGE number [MIN number] )
+//! where     := WHERE pred
+//! having    := HAVING sigpred
+//! with      := WITH ACCURACY (NONE | ANALYTICAL | BOOTSTRAP)
+//!              [LEVEL number] [SAMPLES number]
+//! pred      := and_pred (OR and_pred)*
+//! and_pred  := not_pred (AND not_pred)*
+//! not_pred  := NOT not_pred | primary
+//! primary   := '(' pred ')' | comparison
+//! comparison:= expr cmp expr [PROB number]
+//! sigpred   := MTEST '(' expr ',' op ',' number ',' number [',' number] ')'
+//!            | MDTEST '(' expr ',' expr ',' op ',' number ',' number [',' number] ')'
+//!            | PTEST '(' comparison ',' number ',' number [',' number] ')'
+//! op        := '<' | '>' | '<>' | STRING containing one of those
+//! expr      := term (('+'|'-') term)*
+//! term      := factor (('*'|'/') factor)*
+//! factor    := number | ident | '(' expr ')' | '-' factor
+//!            | SQRT '(' ABS '(' expr ')' ')' | SQUARE '(' expr ')'
+//! ```
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{lex, Spanned, Token};
+
+/// Parses a SELECT statement.
+pub fn parse(input: &str) -> Result<SelectStmt, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, i: 0 };
+    let stmt = p.select()?;
+    // Optional trailing semicolon, then end of input.
+    p.eat_if(&Token::Semi);
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.i >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.i).map(|s| &s.token)
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens.get(self.i).map(|s| s.pos).unwrap_or_else(|| {
+            self.tokens.last().map(|s| s.pos + 1).unwrap_or(0)
+        })
+    }
+
+    fn err(&self, what: impl Into<String>) -> SqlError {
+        SqlError::Parse { pos: self.pos(), what: what.into() }
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.i).map(|s| s.token.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), SqlError> {
+        if self.eat_if(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    /// Consumes the next token if it is the given keyword.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.i += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.i += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<f64, SqlError> {
+        match self.peek() {
+            Some(Token::Number(v)) => {
+                let v = *v;
+                self.i += 1;
+                Ok(v)
+            }
+            Some(Token::Minus) => {
+                self.i += 1;
+                match self.peek() {
+                    Some(Token::Number(v)) => {
+                        let v = *v;
+                        self.i += 1;
+                        Ok(-v)
+                    }
+                    _ => Err(self.err(format!("expected {what}"))),
+                }
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    // ---- statement ----
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("SELECT")?;
+        let items = if self.eat_if(&Token::Star) {
+            None
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.eat_if(&Token::Comma) {
+                items.push(self.select_item()?);
+            }
+            Some(items)
+        };
+        self.expect_kw("FROM")?;
+        let from = self.expect_ident("stream name")?;
+        let join = if self.eat_kw("JOIN") {
+            let stream = self.expect_ident("joined stream name")?;
+            self.expect_kw("ON")?;
+            let key = self.expect_ident("join key column")?;
+            Some(SqlJoin { stream, key })
+        } else {
+            None
+        };
+        let mut group_by = None;
+        let mut order_by = None;
+        let mut limit = None;
+        let mut window = None;
+        let mut predicate = None;
+        let mut significance = None;
+        let mut accuracy = None;
+        loop {
+            if self.eat_kw("WINDOW") {
+                if window.is_some() {
+                    return Err(self.err("duplicate WINDOW clause"));
+                }
+                window = Some(self.window_clause()?);
+            } else if self.eat_kw("WHERE") {
+                if predicate.is_some() {
+                    return Err(self.err("duplicate WHERE clause"));
+                }
+                predicate = Some(self.predicate()?);
+            } else if self.eat_kw("HAVING") {
+                if significance.is_some() {
+                    return Err(self.err("duplicate HAVING clause"));
+                }
+                significance = Some(self.sig_predicate()?);
+            } else if self.eat_kw("ORDER") {
+                if order_by.is_some() {
+                    return Err(self.err("duplicate ORDER BY clause"));
+                }
+                self.expect_kw("BY")?;
+                let col = self.expect_ident("ordering column")?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by = Some((col, desc));
+            } else if self.eat_kw("LIMIT") {
+                if limit.is_some() {
+                    return Err(self.err("duplicate LIMIT clause"));
+                }
+                let n = self.expect_number("limit")?;
+                if n < 0.0 || n.fract() != 0.0 {
+                    return Err(self.err("LIMIT must be a nonnegative integer"));
+                }
+                limit = Some(n as usize);
+            } else if self.eat_kw("GROUP") {
+                if group_by.is_some() {
+                    return Err(self.err("duplicate GROUP BY clause"));
+                }
+                self.expect_kw("BY")?;
+                group_by = Some(self.expect_ident("grouping column")?);
+            } else if self.eat_kw("WITH") {
+                if accuracy.is_some() {
+                    return Err(self.err("duplicate WITH ACCURACY clause"));
+                }
+                accuracy = Some(self.accuracy_clause()?);
+            } else {
+                break;
+            }
+        }
+        Ok(SelectStmt {
+            items,
+            from,
+            join,
+            group_by,
+            order_by,
+            limit,
+            window,
+            predicate,
+            significance,
+            accuracy,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, SqlError> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.expect_ident("alias")?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn window_clause(&mut self) -> Result<SqlWindow, SqlError> {
+        let func = self.expect_ident("AVG or SUM")?.to_ascii_uppercase();
+        if func != "AVG" && func != "SUM" {
+            return Err(self.err("window function must be AVG or SUM"));
+        }
+        self.expect(&Token::LParen, "'('")?;
+        let column = self.expect_ident("column name")?;
+        self.expect(&Token::RParen, "')'")?;
+        let kind = if self.eat_kw("SIZE") {
+            let size = self.expect_number("window size")?;
+            if size < 1.0 || size.fract() != 0.0 {
+                return Err(self.err("window size must be a positive integer"));
+            }
+            SqlWindowKind::Count(size as usize)
+        } else if self.eat_kw("RANGE") {
+            let width = self.expect_number("window range")?;
+            if width < 1.0 || width.fract() != 0.0 {
+                return Err(self.err("window range must be a positive integer"));
+            }
+            let min_tuples = if self.eat_kw("MIN") {
+                let m = self.expect_number("minimum tuple count")?;
+                if m < 1.0 || m.fract() != 0.0 {
+                    return Err(self.err("MIN must be a positive integer"));
+                }
+                m as usize
+            } else {
+                1
+            };
+            SqlWindowKind::Time { width: width as u64, min_tuples }
+        } else {
+            return Err(self.err("expected SIZE or RANGE"));
+        };
+        Ok(SqlWindow { func, column, kind })
+    }
+
+    fn accuracy_clause(&mut self) -> Result<SqlAccuracy, SqlError> {
+        self.expect_kw("ACCURACY")?;
+        let mode = self.expect_ident("NONE, ANALYTICAL, or BOOTSTRAP")?.to_ascii_uppercase();
+        if !matches!(mode.as_str(), "NONE" | "ANALYTICAL" | "BOOTSTRAP") {
+            return Err(self.err("accuracy mode must be NONE, ANALYTICAL, or BOOTSTRAP"));
+        }
+        let mut level = None;
+        let mut samples = None;
+        loop {
+            if self.eat_kw("LEVEL") {
+                level = Some(self.expect_number("confidence level")?);
+            } else if self.eat_kw("SAMPLES") {
+                let m = self.expect_number("sample count")?;
+                if m < 1.0 || m.fract() != 0.0 {
+                    return Err(self.err("SAMPLES must be a positive integer"));
+                }
+                samples = Some(m as usize);
+            } else {
+                break;
+            }
+        }
+        Ok(SqlAccuracy { mode, level, samples })
+    }
+
+    // ---- predicates ----
+
+    fn predicate(&mut self) -> Result<SqlPredicate, SqlError> {
+        let mut left = self.and_pred()?;
+        while self.eat_kw("OR") {
+            let right = self.and_pred()?;
+            left = SqlPredicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_pred(&mut self) -> Result<SqlPredicate, SqlError> {
+        let mut left = self.not_pred()?;
+        while self.eat_kw("AND") {
+            let right = self.not_pred()?;
+            left = SqlPredicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_pred(&mut self) -> Result<SqlPredicate, SqlError> {
+        if self.eat_kw("NOT") {
+            return Ok(SqlPredicate::Not(Box::new(self.not_pred()?)));
+        }
+        // '(' could open either a parenthesized predicate or a
+        // parenthesized expression starting a comparison; backtrack if the
+        // predicate interpretation fails.
+        if self.peek() == Some(&Token::LParen) {
+            let save = self.i;
+            self.i += 1;
+            if let Ok(p) = self.predicate() {
+                if self.eat_if(&Token::RParen) {
+                    return Ok(p);
+                }
+            }
+            self.i = save;
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<SqlPredicate, SqlError> {
+        let left = self.expr()?;
+        let op = match self.next() {
+            Some(Token::Lt) => SqlCmp::Lt,
+            Some(Token::Le) => SqlCmp::Le,
+            Some(Token::Gt) => SqlCmp::Gt,
+            Some(Token::Ge) => SqlCmp::Ge,
+            Some(Token::Eq) => SqlCmp::Eq,
+            Some(Token::Ne) => SqlCmp::Ne,
+            _ => {
+                self.i = self.i.saturating_sub(1);
+                return Err(self.err("expected comparison operator"));
+            }
+        };
+        let right = self.expr()?;
+        let prob = if self.eat_kw("PROB") {
+            Some(self.expect_number("probability threshold")?)
+        } else {
+            None
+        };
+        Ok(SqlPredicate::Compare { left, op, right, prob })
+    }
+
+    fn sig_predicate(&mut self) -> Result<SqlSigPredicate, SqlError> {
+        if self.eat_kw("MTEST") {
+            self.expect(&Token::LParen, "'('")?;
+            let expr = self.expr()?;
+            self.expect(&Token::Comma, "','")?;
+            let op = self.sig_op()?;
+            self.expect(&Token::Comma, "','")?;
+            let c = self.expect_number("comparison constant")?;
+            self.expect(&Token::Comma, "','")?;
+            let alpha1 = self.expect_number("significance level")?;
+            let alpha2 = if self.eat_if(&Token::Comma) {
+                Some(self.expect_number("false-negative rate")?)
+            } else {
+                None
+            };
+            self.expect(&Token::RParen, "')'")?;
+            Ok(SqlSigPredicate::MTest { expr, op, c, alpha1, alpha2 })
+        } else if self.eat_kw("MDTEST") {
+            self.expect(&Token::LParen, "'('")?;
+            let x = self.expr()?;
+            self.expect(&Token::Comma, "','")?;
+            let y = self.expr()?;
+            self.expect(&Token::Comma, "','")?;
+            let op = self.sig_op()?;
+            self.expect(&Token::Comma, "','")?;
+            let c = self.expect_number("difference constant")?;
+            self.expect(&Token::Comma, "','")?;
+            let alpha1 = self.expect_number("significance level")?;
+            let alpha2 = if self.eat_if(&Token::Comma) {
+                Some(self.expect_number("false-negative rate")?)
+            } else {
+                None
+            };
+            self.expect(&Token::RParen, "')'")?;
+            Ok(SqlSigPredicate::MdTest { x, y, op, c, alpha1, alpha2 })
+        } else if self.eat_kw("PTEST") {
+            self.expect(&Token::LParen, "'('")?;
+            let pred = self.comparison()?;
+            self.expect(&Token::Comma, "','")?;
+            let tau = self.expect_number("probability threshold")?;
+            self.expect(&Token::Comma, "','")?;
+            let alpha1 = self.expect_number("significance level")?;
+            let alpha2 = if self.eat_if(&Token::Comma) {
+                Some(self.expect_number("false-negative rate")?)
+            } else {
+                None
+            };
+            self.expect(&Token::RParen, "')'")?;
+            Ok(SqlSigPredicate::PTest { pred: Box::new(pred), tau, alpha1, alpha2 })
+        } else {
+            Err(self.err("expected MTEST, MDTEST, or PTEST"))
+        }
+    }
+
+    /// The op argument of a significance predicate: a raw `<` / `>` / `<>`
+    /// token or a string literal containing one.
+    fn sig_op(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Lt) => Ok("<".into()),
+            Some(Token::Gt) => Ok(">".into()),
+            Some(Token::Ne) => Ok("<>".into()),
+            Some(Token::Str(s)) if matches!(s.trim(), "<" | ">" | "<>") => {
+                Ok(s.trim().to_owned())
+            }
+            _ => {
+                self.i = self.i.saturating_sub(1);
+                Err(self.err("expected '<', '>', or '<>'"))
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => '+',
+                Some(Token::Minus) => '-',
+                _ => break,
+            };
+            self.i += 1;
+            let right = self.term()?;
+            left = SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => '*',
+                Some(Token::Slash) => '/',
+                _ => break,
+            };
+            self.i += 1;
+            let right = self.factor()?;
+            left = SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<SqlExpr, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::Number(v)) => {
+                self.i += 1;
+                Ok(SqlExpr::Number(v))
+            }
+            Some(Token::Minus) => {
+                self.i += 1;
+                Ok(SqlExpr::Neg(Box::new(self.factor()?)))
+            }
+            Some(Token::LParen) => {
+                self.i += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if matches!(name.to_ascii_uppercase().as_str(), "AVG" | "SUM" | "COUNT")
+                    && self.tokens.get(self.i + 1).map(|s| &s.token) == Some(&Token::LParen)
+                {
+                    let func = name.to_ascii_uppercase();
+                    self.i += 2; // the function name and '('
+                    let column = self.expect_ident("aggregated column")?;
+                    self.expect(&Token::RParen, "')'")?;
+                    Ok(SqlExpr::Aggregate { func, column })
+                } else if name.eq_ignore_ascii_case("SQRT") {
+                    self.i += 1;
+                    self.expect(&Token::LParen, "'('")?;
+                    self.expect_kw("ABS")?;
+                    self.expect(&Token::LParen, "'('")?;
+                    let e = self.expr()?;
+                    self.expect(&Token::RParen, "')'")?;
+                    self.expect(&Token::RParen, "')'")?;
+                    Ok(SqlExpr::SqrtAbs(Box::new(e)))
+                } else if name.eq_ignore_ascii_case("SQUARE") {
+                    self.i += 1;
+                    self.expect(&Token::LParen, "'('")?;
+                    let e = self.expr()?;
+                    self.expect(&Token::RParen, "')'")?;
+                    Ok(SqlExpr::Square(Box::new(e)))
+                } else {
+                    self.i += 1;
+                    Ok(SqlExpr::Column(name))
+                }
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example1_query() {
+        // The introduction's query, in our textual form.
+        let s = parse("SELECT Road_ID FROM t WHERE Delay > 50 PROB 0.667").unwrap();
+        assert_eq!(s.from, "t");
+        let items = s.items.unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].expr, SqlExpr::Column("Road_ID".into()));
+        match s.predicate.unwrap() {
+            SqlPredicate::Compare { op, prob, .. } => {
+                assert_eq!(op, SqlCmp::Gt);
+                assert_eq!(prob, Some(0.667));
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_star_and_alias() {
+        let s = parse("SELECT * FROM stream").unwrap();
+        assert!(s.items.is_none());
+        let s = parse("SELECT (a + b) / 2 AS y1 FROM s").unwrap();
+        assert_eq!(s.items.unwrap()[0].alias.as_deref(), Some("y1"));
+    }
+
+    #[test]
+    fn six_operator_expressions() {
+        let s = parse("SELECT SQRT(ABS(a - b)) * SQUARE(c) / 2 + 1 FROM s").unwrap();
+        assert!(s.items.is_some());
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let s =
+            parse("SELECT * FROM s WHERE a > 1 AND (b < 2 OR NOT c >= 3)").unwrap();
+        match s.predicate.unwrap() {
+            SqlPredicate::And(_, r) => match *r {
+                SqlPredicate::Or(_, not) => {
+                    assert!(matches!(*not, SqlPredicate::Not(_)));
+                }
+                other => panic!("expected OR, got {other:?}"),
+            },
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_clause() {
+        let s = parse("SELECT * FROM s WINDOW AVG(x) SIZE 1000").unwrap();
+        let w = s.window.unwrap();
+        assert_eq!(w.func, "AVG");
+        assert_eq!(w.column, "x");
+        assert_eq!(w.kind, SqlWindowKind::Count(1000));
+        assert!(parse("SELECT * FROM s WINDOW MEDIAN(x) SIZE 10").is_err());
+        assert!(parse("SELECT * FROM s WINDOW AVG(x) SIZE 0").is_err());
+    }
+
+    #[test]
+    fn mtest_parsing() {
+        // Example 9's mTest(temperature, ">", 97, 0.05).
+        let s = parse("SELECT * FROM s HAVING MTEST(temperature, '>', 97, 0.05)").unwrap();
+        match s.significance.unwrap() {
+            SqlSigPredicate::MTest { op, c, alpha1, alpha2, .. } => {
+                assert_eq!(op, ">");
+                assert_eq!(c, 97.0);
+                assert_eq!(alpha1, 0.05);
+                assert_eq!(alpha2, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Raw operator token and coupled form.
+        let s = parse("SELECT * FROM s HAVING MTEST(x, <>, 0, 0.05, 0.1)").unwrap();
+        match s.significance.unwrap() {
+            SqlSigPredicate::MTest { op, alpha2, .. } => {
+                assert_eq!(op, "<>");
+                assert_eq!(alpha2, Some(0.1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mdtest_and_ptest_parsing() {
+        let s =
+            parse("SELECT * FROM s HAVING MDTEST(x, y, '>', 0, 0.05, 0.05)").unwrap();
+        assert!(matches!(s.significance.unwrap(), SqlSigPredicate::MdTest { .. }));
+        // Example 9's pTest("temperature > 100", 0.5, 0.05).
+        let s = parse("SELECT * FROM s HAVING PTEST(temperature > 100, 0.5, 0.05)").unwrap();
+        match s.significance.unwrap() {
+            SqlSigPredicate::PTest { tau, alpha1, alpha2, .. } => {
+                assert_eq!(tau, 0.5);
+                assert_eq!(alpha1, 0.05);
+                assert_eq!(alpha2, None);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn accuracy_clause() {
+        let s = parse(
+            "SELECT * FROM s WITH ACCURACY BOOTSTRAP LEVEL 0.95 SAMPLES 500",
+        )
+        .unwrap();
+        let a = s.accuracy.unwrap();
+        assert_eq!(a.mode, "BOOTSTRAP");
+        assert_eq!(a.level, Some(0.95));
+        assert_eq!(a.samples, Some(500));
+        assert!(parse("SELECT * FROM s WITH ACCURACY MAGIC").is_err());
+    }
+
+    #[test]
+    fn clause_order_is_flexible() {
+        let s = parse(
+            "SELECT * FROM s WITH ACCURACY ANALYTICAL WHERE x > 1 WINDOW AVG(x) SIZE 5",
+        )
+        .unwrap();
+        assert!(s.accuracy.is_some() && s.predicate.is_some() && s.window.is_some());
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        match parse("SELECT FROM s") {
+            Err(SqlError::Parse { .. }) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM s WHERE x >").is_err());
+        assert!(parse("SELECT * FROM s garbage").is_err());
+        assert!(parse("SELECT * FROM s WHERE x > 1 WHERE y > 2").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse("SELECT * FROM s;").is_ok());
+        assert!(parse("SELECT * FROM s;;").is_err());
+    }
+}

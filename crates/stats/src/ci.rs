@@ -1,0 +1,342 @@
+//! Confidence-interval estimators (Lemmas 1 and 2 of the paper).
+//!
+//! * [`proportion_interval`] implements **Lemma 1**: the Wald
+//!   normal-approximation interval when `n·p ≥ 4` and `n·(1−p) ≥ 4`
+//!   (Equation 1), otherwise the Wilson score interval (Equation 2). It
+//!   covers histogram bin heights and tuple membership probabilities.
+//! * [`mean_interval`] implements **Lemma 2**'s mean interval: Student-t
+//!   based for `n < 30` (Equation 3), z based for `n ≥ 30` (Equation 4).
+//! * [`variance_interval`] implements **Lemma 2**'s χ² variance interval
+//!   (Equation 5).
+//! * [`percentile_interval`] is the non-parametric interval used by the
+//!   bootstrap method (Section III).
+
+use crate::dist::{ChiSquared, StudentT};
+use crate::special::z_upper;
+use crate::summary::quantile;
+
+/// A two-sided confidence interval `[lo, hi]` with confidence level
+/// `level ∈ (0, 1)` (e.g. 0.9 for a 90% interval).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// Confidence level (probability the true parameter lies inside).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Creates an interval; normalizes endpoint order.
+    pub fn new(lo: f64, hi: f64, level: f64) -> Self {
+        assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        Self { lo, hi, level }
+    }
+
+    /// Interval length `hi − lo`; the paper's primary accuracy metric.
+    pub fn length(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint of the interval.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether the true value `x` falls inside (a "hit"; outside is the
+    /// paper's *miss*).
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Clamps both endpoints into `[min, max]` (used for probabilities,
+    /// which live in [0, 1]).
+    pub fn clamped(self, min: f64, max: f64) -> Self {
+        Self { lo: self.lo.clamp(min, max), hi: self.hi.clamp(min, max), level: self.level }
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.4}, {:.4}] @ {:.0}%", self.lo, self.hi, self.level * 100.0)
+    }
+}
+
+/// Which formula Lemma 1 selected for a proportion interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProportionMethod {
+    /// Normal-approximation (Wald) interval, Equation (1).
+    Wald,
+    /// Wilson score interval, Equation (2).
+    Wilson,
+}
+
+/// Wald (normal-approximation) interval on a proportion — Equation (1):
+/// `p ± z_{(1−c)/2} · √(p(1−p)/n)`, clamped to [0, 1].
+pub fn wald_proportion(p_hat: f64, n: usize, level: f64) -> ConfidenceInterval {
+    assert!(n > 0, "sample size must be positive");
+    assert!((0.0..=1.0).contains(&p_hat), "p̂ must be in [0,1], got {p_hat}");
+    let z = z_upper((1.0 - level) / 2.0);
+    let half = z * (p_hat * (1.0 - p_hat) / n as f64).sqrt();
+    ConfidenceInterval::new(p_hat - half, p_hat + half, level).clamped(0.0, 1.0)
+}
+
+/// Wilson score interval on a proportion — Equation (2):
+///
+/// ```text
+/// ( p + z²/2n ± z·√( p(1−p)/n + z²/4n² ) ) / ( 1 + z²/n )
+/// ```
+pub fn wilson_proportion(p_hat: f64, n: usize, level: f64) -> ConfidenceInterval {
+    assert!(n > 0, "sample size must be positive");
+    assert!((0.0..=1.0).contains(&p_hat), "p̂ must be in [0,1], got {p_hat}");
+    let nf = n as f64;
+    let z = z_upper((1.0 - level) / 2.0);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = p_hat + z2 / (2.0 * nf);
+    let half = z * (p_hat * (1.0 - p_hat) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    ConfidenceInterval::new((center - half) / denom, (center + half) / denom, level)
+        .clamped(0.0, 1.0)
+}
+
+/// **Lemma 1**: confidence interval for a bin height / proportion learned
+/// from a sample of size `n`. Uses the Wald interval when the normal
+/// approximation is valid (`n·p ≥ 4` and `n·(1−p) ≥ 4`), otherwise the
+/// Wilson score interval.
+pub fn proportion_interval(p_hat: f64, n: usize, level: f64) -> ConfidenceInterval {
+    let (ci, _) = proportion_interval_with_method(p_hat, n, level);
+    ci
+}
+
+/// [`proportion_interval`] that also reports which formula was selected
+/// (exposed for the Wald-vs-Wilson ablation bench).
+pub fn proportion_interval_with_method(
+    p_hat: f64,
+    n: usize,
+    level: f64,
+) -> (ConfidenceInterval, ProportionMethod) {
+    let nf = n as f64;
+    if nf * p_hat >= 4.0 && nf * (1.0 - p_hat) >= 4.0 {
+        (wald_proportion(p_hat, n, level), ProportionMethod::Wald)
+    } else {
+        (wilson_proportion(p_hat, n, level), ProportionMethod::Wilson)
+    }
+}
+
+/// **Lemma 2**, Equations (3)/(4): confidence interval for the mean from
+/// sample mean `y_bar`, sample standard deviation `s`, and size `n`.
+/// Student-t for `n < 30`, z for `n ≥ 30`.
+pub fn mean_interval(y_bar: f64, s: f64, n: usize, level: f64) -> ConfidenceInterval {
+    if n < 30 {
+        mean_interval_t(y_bar, s, n, level)
+    } else {
+        mean_interval_z(y_bar, s, n, level)
+    }
+}
+
+/// Equation (3): t-based mean interval with `n−1` degrees of freedom.
+pub fn mean_interval_t(y_bar: f64, s: f64, n: usize, level: f64) -> ConfidenceInterval {
+    assert!(n >= 2, "t interval requires n >= 2, got {n}");
+    assert!(s >= 0.0, "standard deviation must be nonnegative");
+    let t = cached_t_upper(n - 1, (1.0 - level) / 2.0);
+    let half = t * s / (n as f64).sqrt();
+    ConfidenceInterval::new(y_bar - half, y_bar + half, level)
+}
+
+/// Per-thread memo for the (expensive, iteration-based) t and χ² upper
+/// percentiles. Streams compute intervals at the same (n, level) for
+/// millions of tuples, so this turns each interval into a handful of
+/// multiplications after the first tuple.
+fn with_quantile_cache<T>(f: impl FnOnce(&mut std::collections::HashMap<(u8, usize, u64), f64>) -> T) -> T {
+    thread_local! {
+        static CACHE: std::cell::RefCell<std::collections::HashMap<(u8, usize, u64), f64>> =
+            std::cell::RefCell::new(std::collections::HashMap::new());
+    }
+    CACHE.with(|c| f(&mut c.borrow_mut()))
+}
+
+/// Memoized `t_{q}` with `df` degrees of freedom.
+fn cached_t_upper(df: usize, q: f64) -> f64 {
+    with_quantile_cache(|cache| {
+        *cache
+            .entry((0, df, q.to_bits()))
+            .or_insert_with(|| StudentT::new(df as f64).expect("df >= 1").upper(q))
+    })
+}
+
+/// Memoized `χ²_{q}` with `df` degrees of freedom.
+fn cached_chi2_upper(df: usize, q: f64) -> f64 {
+    with_quantile_cache(|cache| {
+        *cache
+            .entry((1, df, q.to_bits()))
+            .or_insert_with(|| ChiSquared::new(df as f64).expect("df >= 1").upper(q))
+    })
+}
+
+/// Equation (4): z-based mean interval.
+pub fn mean_interval_z(y_bar: f64, s: f64, n: usize, level: f64) -> ConfidenceInterval {
+    assert!(n >= 1, "z interval requires n >= 1");
+    assert!(s >= 0.0, "standard deviation must be nonnegative");
+    let z = z_upper((1.0 - level) / 2.0);
+    let half = z * s / (n as f64).sqrt();
+    ConfidenceInterval::new(y_bar - half, y_bar + half, level)
+}
+
+/// **Lemma 2**, Equation (5): χ² confidence interval for the variance:
+/// `( (n−1)s² / χ²_{(1−c)/2} ,  (n−1)s² / χ²_{(1+c)/2} )`.
+pub fn variance_interval(s2: f64, n: usize, level: f64) -> ConfidenceInterval {
+    assert!(n >= 2, "variance interval requires n >= 2, got {n}");
+    assert!(s2 >= 0.0, "sample variance must be nonnegative");
+    let num = (n as f64 - 1.0) * s2;
+    let lo = num / cached_chi2_upper(n - 1, (1.0 - level) / 2.0);
+    let hi = num / cached_chi2_upper(n - 1, (1.0 + level) / 2.0);
+    ConfidenceInterval::new(lo, hi, level)
+}
+
+/// Percentile interval over a sample of statistic values: the span between
+/// the `100·(1−α)/2` and `100·(1+α)/2` percentiles (lines 12–15 of
+/// `BOOTSTRAP-ACCURACY-INFO`).
+pub fn percentile_interval(values: &[f64], level: f64) -> ConfidenceInterval {
+    assert!(!values.is_empty(), "percentile interval of empty sample");
+    let lo = quantile(values, (1.0 - level) / 2.0);
+    let hi = quantile(values, (1.0 + level) / 2.0);
+    ConfidenceInterval::new(lo, hi, level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    // ---- Example 2: the paper's worked histogram-accuracy numbers ----
+
+    #[test]
+    fn example2_bucket1_wilson() {
+        // n=20, p1=0.15, c=0.9 ⇒ n·p=3 < 4 ⇒ Wilson ⇒ (0.062, 0.322).
+        let (ci, m) = proportion_interval_with_method(0.15, 20, 0.9);
+        assert_eq!(m, ProportionMethod::Wilson);
+        close(ci.lo, 0.062, 1.5e-3);
+        close(ci.hi, 0.322, 1.5e-3);
+    }
+
+    #[test]
+    fn example2_bucket2_wald() {
+        // p2=0.2 ⇒ n·p=4 ≥ 4 ⇒ Wald ⇒ roughly (0.05, 0.35).
+        let (ci, m) = proportion_interval_with_method(0.2, 20, 0.9);
+        assert_eq!(m, ProportionMethod::Wald);
+        close(ci.lo, 0.053, 2e-3);
+        close(ci.hi, 0.347, 2e-3);
+    }
+
+    #[test]
+    fn example2_buckets3_and_4() {
+        let ci3 = proportion_interval(0.4, 20, 0.9);
+        close(ci3.lo, 0.22, 5e-3);
+        close(ci3.hi, 0.58, 5e-3);
+        let ci4 = proportion_interval(0.25, 20, 0.9);
+        close(ci4.lo, 0.09, 5e-3);
+        close(ci4.hi, 0.41, 5e-3);
+    }
+
+    // ---- Example 3: the paper's worked mean/variance numbers ----
+
+    #[test]
+    fn example3_mean_interval() {
+        // ȳ=71.1, s=8.85, n=10, c=0.9 ⇒ (65.97, 76.23) via t(9).
+        let ci = mean_interval(71.1, 8.85, 10, 0.9);
+        close(ci.lo, 65.97, 0.01);
+        close(ci.hi, 76.23, 0.01);
+    }
+
+    #[test]
+    fn example3_variance_interval() {
+        // s²=78.32, n=10, c=0.9 ⇒ (41.66, 211.99).
+        let ci = variance_interval(78.32, 10, 0.9);
+        close(ci.lo, 41.66, 0.05);
+        close(ci.hi, 211.99, 0.35);
+    }
+
+    // ---- Example 5: tuple probability interval ----
+
+    #[test]
+    fn example5_tuple_probability() {
+        // p=0.6, n=20, c=0.9 ⇒ 0.6 ± 0.18 = [0.42, 0.78].
+        let ci = proportion_interval(0.6, 20, 0.9);
+        close(ci.lo, 0.42, 2e-3);
+        close(ci.hi, 0.78, 2e-3);
+    }
+
+    // ---- structural properties ----
+
+    #[test]
+    fn lemma1_length_shrinks_with_sqrt_n() {
+        // Interval length ∝ 1/√n (the paper's remark after Lemma 1).
+        let l20 = proportion_interval(0.4, 20, 0.9).length();
+        let l80 = proportion_interval(0.4, 80, 0.9).length();
+        close(l20 / l80, 2.0, 0.05);
+    }
+
+    #[test]
+    fn mean_interval_switches_at_30() {
+        // At the t/z boundary the t interval is slightly wider.
+        let t = mean_interval(0.0, 1.0, 29, 0.9);
+        let z = mean_interval(0.0, 1.0, 30, 0.9);
+        assert!(t.length() > z.length());
+        // And mean_interval dispatches correctly.
+        assert_eq!(t, mean_interval_t(0.0, 1.0, 29, 0.9));
+        assert_eq!(z, mean_interval_z(0.0, 1.0, 30, 0.9));
+    }
+
+    #[test]
+    fn variance_interval_is_positive_and_ordered() {
+        let ci = variance_interval(4.0, 12, 0.95);
+        assert!(ci.lo > 0.0);
+        assert!(ci.lo < 4.0 && 4.0 < ci.hi, "point estimate inside {ci}");
+    }
+
+    #[test]
+    fn proportion_clamped_to_unit() {
+        let ci = wald_proportion(0.98, 10, 0.99);
+        assert!(ci.hi <= 1.0);
+        let ci = wald_proportion(0.02, 10, 0.99);
+        assert!(ci.lo >= 0.0);
+    }
+
+    #[test]
+    fn wilson_stays_inside_unit_by_construction() {
+        for &p in &[0.0, 0.01, 0.5, 0.99, 1.0] {
+            let ci = wilson_proportion(p, 5, 0.95);
+            assert!(ci.lo >= 0.0 && ci.hi <= 1.0, "{ci}");
+        }
+    }
+
+    #[test]
+    fn percentile_interval_brackets_median() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let ci = percentile_interval(&xs, 0.9);
+        close(ci.lo, 5.0, 1e-9);
+        close(ci.hi, 95.0, 1e-9);
+        assert!(ci.contains(50.0));
+    }
+
+    #[test]
+    fn contains_and_length() {
+        let ci = ConfidenceInterval::new(2.0, 1.0, 0.9); // auto-reorders
+        assert_eq!(ci.lo, 1.0);
+        assert!(ci.contains(1.0) && ci.contains(2.0) && ci.contains(1.5));
+        assert!(!ci.contains(0.99) && !ci.contains(2.01));
+        assert_eq!(ci.length(), 1.0);
+        assert_eq!(ci.midpoint(), 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_level() {
+        ConfidenceInterval::new(0.0, 1.0, 1.0);
+    }
+}

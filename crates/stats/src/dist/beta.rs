@@ -1,0 +1,122 @@
+//! Beta distribution.
+
+use super::{ContinuousDistribution, DistError, Gamma};
+use crate::special::{inv_reg_inc_beta, ln_gamma, reg_inc_beta};
+use rand::Rng;
+
+/// Beta(α, β) distribution on (0, 1).
+///
+/// The natural prior/posterior family for probabilities — useful for
+/// modeling uncertain tuple-membership probabilities and as the exact
+/// sampling distribution behind proportion intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates Beta(α, β) with both parameters positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, DistError> {
+        if !(alpha > 0.0) || !(beta > 0.0) || !alpha.is_finite() || !beta.is_finite() {
+            return Err(DistError::new(format!("Beta(alpha={alpha}, beta={beta})")));
+        }
+        Ok(Self { alpha, beta })
+    }
+
+    /// Shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl ContinuousDistribution for Beta {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 || x >= 1.0 {
+            return 0.0;
+        }
+        let ln_b =
+            ln_gamma(self.alpha) + ln_gamma(self.beta) - ln_gamma(self.alpha + self.beta);
+        ((self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - ln_b).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            reg_inc_beta(self.alpha, self.beta, x)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        inv_reg_inc_beta(self.alpha, self.beta, p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // X = Ga/(Ga+Gb) with Ga ~ Gamma(α,1), Gb ~ Gamma(β,1).
+        let ga = Gamma::new(self.alpha, 1.0).expect("validated").sample(rng);
+        let gb = Gamma::new(self.beta, 1.0).expect("validated").sample(rng);
+        ga / (ga + gb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -1.0).is_err());
+        assert!(Beta::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        // Beta(1,1) is Uniform(0,1).
+        let d = Beta::new(1.0, 1.0).unwrap();
+        assert_eq!(d.mean(), 0.5);
+        for &x in &[0.1, 0.5, 0.9] {
+            assert!((d.cdf(x) - x).abs() < 1e-12);
+            assert!((d.pdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shapes_and_moments() {
+        let d = Beta::new(2.0, 5.0).unwrap();
+        assert!((d.mean() - 2.0 / 7.0).abs() < 1e-12);
+        assert!((d.variance() - 10.0 / (49.0 * 8.0)).abs() < 1e-12);
+        check_quantile_roundtrip(&d, 1e-8);
+        check_cdf_monotone(&d);
+        check_moments(&d, 200_000, 53, 5.0);
+        assert_eq!(d.pdf(0.0), 0.0);
+        assert_eq!(d.pdf(1.0), 0.0);
+        assert_eq!(d.cdf(-0.1), 0.0);
+        assert_eq!(d.cdf(1.1), 1.0);
+    }
+
+    #[test]
+    fn symmetric_case() {
+        let d = Beta::new(3.0, 3.0).unwrap();
+        assert!((d.quantile(0.5) - 0.5).abs() < 1e-9);
+        assert!((d.cdf(0.3) + d.cdf(0.7) - 1.0).abs() < 1e-9);
+    }
+}

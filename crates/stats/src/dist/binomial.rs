@@ -1,0 +1,144 @@
+//! Binomial distribution.
+//!
+//! Lemma 1's proof observes that the count of observations falling into a
+//! histogram bucket follows `B(n, p)`; this type exists to validate that
+//! reasoning (normal approximation quality, coverage simulations) and to
+//! drive tuple-membership sampling.
+
+use super::DistError;
+use crate::special::{ln_gamma, reg_inc_beta};
+use rand::{Rng, RngExt};
+
+/// Binomial distribution `B(n, p)`: number of successes in `n` independent
+/// Bernoulli(`p`) trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates `B(n, p)` with `p ∈ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, DistError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(DistError::new(format!("Binomial(n={n}, p={p})")));
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Probability mass `Pr[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        let n = self.n as f64;
+        let k = k as f64;
+        let ln_choose = ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0);
+        (ln_choose + k * self.p.ln() + (n - k) * (1.0 - self.p).ln()).exp()
+    }
+
+    /// Cumulative probability `Pr[X ≤ k]`, via the incomplete-beta identity.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0; // k < n and all mass is at n
+        }
+        // Pr[X ≤ k] = I_{1-p}(n-k, k+1).
+        reg_inc_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+    }
+
+    /// Expected value `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Draws one sample.
+    ///
+    /// Direct Bernoulli summation — exact, and fast enough for the sample
+    /// sizes in this system (n ≤ a few thousand).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut k = 0;
+        for _ in 0..self.n {
+            if rng.random::<f64>() < self.p {
+                k += 1;
+            }
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(20, 0.3).unwrap();
+        let total: f64 = (0..=20).map(|k| b.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let b = Binomial::new(15, 0.45).unwrap();
+        let mut acc = 0.0;
+        for k in 0..=15 {
+            acc += b.pmf(k);
+            assert!((b.cdf(k) - acc).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn degenerate_p() {
+        let b0 = Binomial::new(5, 0.0).unwrap();
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.cdf(3), 1.0);
+        let b1 = Binomial::new(5, 1.0).unwrap();
+        assert_eq!(b1.pmf(5), 1.0);
+        assert_eq!(b1.cdf(4), 0.0);
+        assert_eq!(b1.cdf(5), 1.0);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let b = Binomial::new(40, 0.25).unwrap();
+        let mut rng = seeded(43);
+        let n = 50_000;
+        let mean = (0..n).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - b.mean()).abs() < 0.05, "mean {mean} vs {}", b.mean());
+    }
+}

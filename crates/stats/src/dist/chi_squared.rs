@@ -1,0 +1,111 @@
+//! Chi-squared distribution.
+
+use super::{ContinuousDistribution, DistError, Gamma};
+use crate::special::{inv_reg_gamma_p, ln_gamma, reg_gamma_p};
+use rand::Rng;
+
+/// Chi-squared distribution with `k` degrees of freedom.
+///
+/// Supplies the `χ²_{(1±c)/2}` percentiles of Lemma 2's variance interval
+/// (e.g. `χ²_{0.05}(9) = 16.919` in Example 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    df: f64,
+}
+
+impl ChiSquared {
+    /// Creates a χ² distribution with `df > 0` degrees of freedom.
+    pub fn new(df: f64) -> Result<Self, DistError> {
+        if !(df > 0.0) || !df.is_finite() {
+            return Err(DistError::new(format!("ChiSquared(df={df})")));
+        }
+        Ok(Self { df })
+    }
+
+    /// Degrees of freedom k.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Value that locates an area of `q` to its **right** — the paper's
+    /// `χ²_q` notation in Lemma 2, Equation (5).
+    pub fn upper(&self, q: f64) -> f64 {
+        self.quantile(1.0 - q)
+    }
+}
+
+impl ContinuousDistribution for ChiSquared {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k2 = self.df / 2.0;
+        ((k2 - 1.0) * x.ln() - x / 2.0 - k2 * std::f64::consts::LN_2 - ln_gamma(k2)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            reg_gamma_p(self.df / 2.0, x / 2.0)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        2.0 * inv_reg_gamma_p(self.df / 2.0, p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.df
+    }
+
+    fn variance(&self) -> f64 {
+        2.0 * self.df
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // χ²(k) is Gamma(k/2, 2).
+        Gamma::new(self.df / 2.0, 2.0).expect("valid df").sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(ChiSquared::new(0.0).is_err());
+        assert!(ChiSquared::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn example3_percentiles() {
+        // Example 3 uses χ²_{0.05}(9) = 16.919 (and the paper's σ² bounds
+        // imply χ²_{0.95}(9) = 3.325).
+        let c = ChiSquared::new(9.0).unwrap();
+        assert!((c.upper(0.05) - 16.919).abs() < 1e-3, "got {}", c.upper(0.05));
+        assert!((c.upper(0.95) - 3.325).abs() < 1e-3, "got {}", c.upper(0.95));
+    }
+
+    #[test]
+    fn table_values() {
+        // χ²_{0.025}(19) = 32.852, χ²_{0.975}(19) = 8.907.
+        let c = ChiSquared::new(19.0).unwrap();
+        assert!((c.upper(0.025) - 32.852).abs() < 1e-2);
+        assert!((c.upper(0.975) - 8.907).abs() < 1e-2);
+    }
+
+    #[test]
+    fn moments_and_roundtrip() {
+        for df in [1.0, 2.0, 9.0, 30.0] {
+            let c = ChiSquared::new(df).unwrap();
+            assert_eq!(c.mean(), df);
+            assert_eq!(c.variance(), 2.0 * df);
+            check_quantile_roundtrip(&c, 1e-7);
+            check_cdf_monotone(&c);
+        }
+        check_moments(&ChiSquared::new(5.0).unwrap(), 200_000, 41, 5.0);
+    }
+}

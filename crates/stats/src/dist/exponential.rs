@@ -1,0 +1,95 @@
+//! Exponential distribution.
+
+use super::{open_unit, ContinuousDistribution, DistError};
+use rand::Rng;
+
+/// Exponential distribution with rate `λ` (the paper's workload uses λ = 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(DistError::new(format!("Exponential(lambda={lambda})")));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Rate parameter λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.lambda * (-self.lambda * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1)");
+        -(1.0 - p).ln() / self.lambda
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.lambda * self.lambda)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: -ln(U)/λ with U ∈ (0, 1).
+        -open_unit(rng).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-2.0).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn analytic_shapes() {
+        let d = Exponential::new(1.0).unwrap();
+        assert_eq!(d.mean(), 1.0);
+        assert_eq!(d.variance(), 1.0);
+        assert!((d.cdf(1.0) - (1.0 - (-1.0_f64).exp())).abs() < 1e-14);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.pdf(-0.5), 0.0);
+        check_quantile_roundtrip(&d, 1e-12);
+        check_cdf_monotone(&d);
+        check_moments(&d, 200_000, 11, 4.0);
+    }
+
+    #[test]
+    fn rate_scales_mean() {
+        let d = Exponential::new(4.0).unwrap();
+        assert_eq!(d.mean(), 0.25);
+        assert_eq!(d.variance(), 0.0625);
+        check_moments(&d, 100_000, 13, 4.0);
+    }
+}

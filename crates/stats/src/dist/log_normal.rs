@@ -1,0 +1,128 @@
+//! Log-normal distribution.
+
+use super::{ContinuousDistribution, DistError, Normal};
+use rand::Rng;
+
+/// Log-normal distribution: `ln X ~ N(μ, σ²)`.
+///
+/// The classic right-skewed model for travel times and delays; offered as
+/// an alternative ground-truth family for the road simulator and as an
+/// extra stress case for the skew-sensitivity experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-mean `mu` and log-sd `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        if !mu.is_finite() || !(sigma > 0.0) || !sigma.is_finite() {
+            return Err(DistError::new(format!("LogNormal(mu={mu}, sigma={sigma})")));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Builds the log-normal whose *own* mean and variance are the given
+    /// values (moment matching): `σ² = ln(1 + v/m²)`, `μ = ln m − σ²/2`.
+    pub fn from_mean_variance(mean: f64, variance: f64) -> Result<Self, DistError> {
+        if !(mean > 0.0) || !(variance > 0.0) {
+            return Err(DistError::new(format!(
+                "LogNormal moment match needs positive mean/variance, got ({mean}, {variance})"
+            )));
+        }
+        let sigma2 = (1.0 + variance / (mean * mean)).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Log-scale location μ.
+    pub fn log_mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-scale sd σ.
+    pub fn log_sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn base(&self) -> Normal {
+        Normal::new(self.mu, self.sigma).expect("validated parameters")
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.base().pdf(x.ln()) / x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.base().cdf(x.ln())
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.base().quantile(p).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.base().sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::from_mean_variance(-1.0, 1.0).is_err());
+        assert!(LogNormal::from_mean_variance(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn standard_lognormal_shapes() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        // mean = e^{1/2}; median = 1.
+        assert!((d.mean() - 0.5f64.exp()).abs() < 1e-12);
+        assert!((d.quantile(0.5) - 1.0).abs() < 1e-9);
+        assert!((d.cdf(1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.pdf(-1.0), 0.0);
+        check_quantile_roundtrip(&d, 1e-9);
+        check_cdf_monotone(&d);
+        check_moments(&d, 400_000, 51, 6.0);
+    }
+
+    #[test]
+    fn moment_matching_round_trips() {
+        let d = LogNormal::from_mean_variance(120.0, 900.0).unwrap();
+        assert!((d.mean() - 120.0).abs() < 1e-9);
+        assert!((d.variance() - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn right_skewed() {
+        let d = LogNormal::new(1.0, 0.8).unwrap();
+        assert!(d.mean() > d.quantile(0.5), "mean above median for right skew");
+    }
+}

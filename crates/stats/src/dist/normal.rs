@@ -1,0 +1,125 @@
+//! Normal (Gaussian) distribution.
+
+use super::{open_unit, ContinuousDistribution, DistError};
+use crate::special::{inv_std_normal_cdf, std_normal_cdf, std_normal_pdf};
+use rand::Rng;
+
+/// Normal distribution `N(μ, σ²)`.
+///
+/// The paper's synthetic workload uses `N(1, 1)`; Gaussian attribute
+/// distributions and the closed-form sliding-window AVG (Section V-C) also
+/// run on this type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(mu, sigma²)`. Requires `sigma > 0` and finite parameters.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
+            return Err(DistError::new(format!("Normal(mu={mu}, sigma={sigma})")));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mu: 0.0, sigma: 1.0 }
+    }
+
+    /// Creates the normal from mean and **variance** (`σ²`).
+    pub fn from_mean_variance(mu: f64, var: f64) -> Result<Self, DistError> {
+        if var <= 0.0 || !var.is_finite() {
+            return Err(DistError::new(format!("Normal variance {var}")));
+        }
+        Self::new(mu, var.sqrt())
+    }
+
+    /// Location parameter μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        std_normal_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * inv_std_normal_cdf(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method; rejection loop accepts ~78.5% of pairs.
+        loop {
+            let u = 2.0 * open_unit(rng) - 1.0;
+            let v = 2.0 * open_unit(rng) - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                return self.mu + self.sigma * u * f;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::from_mean_variance(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn known_cdf_values() {
+        let d = Normal::standard();
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-14);
+        assert!((d.cdf(1.96) - 0.975).abs() < 1e-3);
+        let d = Normal::new(10.0, 2.0).unwrap();
+        assert!((d.cdf(10.0) - 0.5).abs() < 1e-14);
+        assert!((d.cdf(12.0) - 0.841_344_746).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moments_and_quantiles() {
+        let d = Normal::new(1.0, 1.0).unwrap(); // the paper's N(1, 1)
+        assert_eq!(d.mean(), 1.0);
+        assert_eq!(d.variance(), 1.0);
+        check_quantile_roundtrip(&d, 1e-10);
+        check_cdf_monotone(&d);
+        check_moments(&d, 200_000, 7, 4.0);
+    }
+
+    #[test]
+    fn from_mean_variance_round_trips() {
+        let d = Normal::from_mean_variance(3.0, 9.0).unwrap();
+        assert_eq!(d.sigma(), 3.0);
+        assert_eq!(d.variance(), 9.0);
+    }
+}

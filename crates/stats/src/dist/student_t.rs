@@ -1,0 +1,148 @@
+//! Student's t distribution.
+
+use super::{ChiSquared, ContinuousDistribution, DistError, Normal};
+use crate::special::{inv_reg_inc_beta, ln_gamma, reg_inc_beta};
+use rand::Rng;
+
+/// Student's t distribution with `ν` degrees of freedom.
+///
+/// Supplies the `t_{(1-c)/2}` percentiles of Lemma 2 (mean interval when
+/// n < 30) and the test statistics of `mTest` / `mdTest`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// Creates a t distribution with `df > 0` degrees of freedom.
+    pub fn new(df: f64) -> Result<Self, DistError> {
+        if !(df > 0.0) || !df.is_finite() {
+            return Err(DistError::new(format!("StudentT(df={df})")));
+        }
+        Ok(Self { df })
+    }
+
+    /// Degrees of freedom ν.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Upper `q` percentile: the value `t_q` with `Pr[T > t_q] = q`.
+    ///
+    /// Lemma 2's notation `t_{(1−c)/2}`; e.g. `t_{0.05}` with 9 d.f. is 1.833
+    /// (Example 3).
+    pub fn upper(&self, q: f64) -> f64 {
+        self.quantile(1.0 - q)
+    }
+}
+
+impl ContinuousDistribution for StudentT {
+    fn pdf(&self, x: f64) -> f64 {
+        let v = self.df;
+        let ln_c = ln_gamma((v + 1.0) / 2.0)
+            - ln_gamma(v / 2.0)
+            - 0.5 * (v * std::f64::consts::PI).ln();
+        (ln_c - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        // Standard identity through the incomplete beta function.
+        let v = self.df;
+        let ib = reg_inc_beta(v / 2.0, 0.5, v / (v + x * x));
+        if x >= 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+        if (p - 0.5).abs() < 1e-15 {
+            return 0.0;
+        }
+        let v = self.df;
+        // Invert through the beta identity; handles both tails symmetrically.
+        let tail = if p < 0.5 { p } else { 1.0 - p };
+        let x = inv_reg_inc_beta(v / 2.0, 0.5, 2.0 * tail);
+        let t = (v * (1.0 - x) / x).sqrt();
+        if p < 0.5 {
+            -t
+        } else {
+            t
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        assert!(self.df > 1.0, "t mean undefined for df <= 1");
+        0.0
+    }
+
+    fn variance(&self) -> f64 {
+        assert!(self.df > 2.0, "t variance undefined for df <= 2");
+        self.df / (self.df - 2.0)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // T = Z / sqrt(V/ν) with Z ~ N(0,1), V ~ χ²(ν).
+        let z = Normal::standard().sample(rng);
+        let v = ChiSquared::new(self.df).expect("valid df").sample(rng);
+        z / (v / self.df).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-3.0).is_err());
+    }
+
+    #[test]
+    fn example3_percentile() {
+        // Example 3: t_{0.05} with 9 degrees of freedom = 1.833.
+        let t = StudentT::new(9.0).unwrap();
+        assert!((t.upper(0.05) - 1.833).abs() < 5e-4, "got {}", t.upper(0.05));
+    }
+
+    #[test]
+    fn table_values() {
+        // t_{0.025}(10) = 2.228, t_{0.05}(19) = 1.729, t_{0.025}(29)=2.045.
+        assert!((StudentT::new(10.0).unwrap().upper(0.025) - 2.228).abs() < 1e-3);
+        assert!((StudentT::new(19.0).unwrap().upper(0.05) - 1.729).abs() < 1e-3);
+        assert!((StudentT::new(29.0).unwrap().upper(0.025) - 2.045).abs() < 1e-3);
+    }
+
+    #[test]
+    fn approaches_normal_for_large_df() {
+        let t = StudentT::new(10_000.0).unwrap();
+        assert!((t.upper(0.025) - 1.959_963_984_540_054).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        for df in [1.0, 2.0, 5.0, 9.0, 30.0, 120.0] {
+            let t = StudentT::new(df).unwrap();
+            check_quantile_roundtrip(&t, 1e-8);
+            check_cdf_monotone(&t);
+        }
+    }
+
+    #[test]
+    fn symmetric_cdf() {
+        let t = StudentT::new(7.0).unwrap();
+        for &x in &[0.3, 1.0, 2.4] {
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_moments() {
+        let t = StudentT::new(12.0).unwrap();
+        check_moments(&t, 200_000, 37, 5.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Continuous uniform distribution.
+
+use super::{ContinuousDistribution, DistError};
+use rand::{Rng, RngExt};
+
+/// Uniform distribution on `[lo, hi)` (the paper's workload uses U(0, 1)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform on `[lo, hi)`. Requires `lo < hi`, both finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(DistError::new(format!("Uniform(lo={lo}, hi={hi})")));
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower bound of the support.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the support.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl ContinuousDistribution for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.lo && x < self.hi {
+            1.0 / (self.hi - self.lo)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile requires p in [0,1]");
+        self.lo + p * (self.hi - self.lo)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + rng.random::<f64>() * (self.hi - self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn unit_uniform_shapes() {
+        // The paper notes U(0,1) has variance 1/12 — key to Fig 5(g)'s shape.
+        let d = Uniform::new(0.0, 1.0).unwrap();
+        assert_eq!(d.mean(), 0.5);
+        assert!((d.variance() - 1.0 / 12.0).abs() < 1e-15);
+        check_quantile_roundtrip(&d, 1e-12);
+        check_cdf_monotone(&d);
+        check_moments(&d, 100_000, 23, 4.0);
+    }
+
+    #[test]
+    fn cdf_saturates_outside_support() {
+        let d = Uniform::new(-2.0, 4.0).unwrap();
+        assert_eq!(d.cdf(-3.0), 0.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+        assert_eq!(d.pdf(5.0), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Weibull distribution.
+
+use super::{open_unit, ContinuousDistribution, DistError};
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// Weibull distribution with scale `λ` and shape `k` (the paper's workload
+/// uses λ = 1, k = 1, which coincides with Exponential(1)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull with `scale > 0` and `shape > 0`.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, DistError> {
+        if !(scale > 0.0) || !(shape > 0.0) || !scale.is_finite() || !shape.is_finite() {
+            return Err(DistError::new(format!("Weibull(scale={scale}, shape={shape})")));
+        }
+        Ok(Self { scale, shape })
+    }
+
+    /// Scale parameter λ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Shape parameter k.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// `Γ(1 + r/k)`, the building block of Weibull moments.
+    fn gamma_moment(&self, r: f64) -> f64 {
+        ln_gamma(1.0 + r / self.shape).exp()
+    }
+}
+
+impl ContinuousDistribution for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let z = x / self.scale;
+        (self.shape / self.scale) * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1)");
+        self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * self.gamma_moment(1.0)
+    }
+
+    fn variance(&self) -> f64 {
+        let m1 = self.gamma_moment(1.0);
+        self.scale * self.scale * (self.gamma_moment(2.0) - m1 * m1)
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform: λ · (−ln U)^{1/k}.
+        self.scale * (-open_unit(rng).ln()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn paper_workload_is_exponential() {
+        // Weibull(λ=1, k=1) ≡ Exponential(1).
+        let d = Weibull::new(1.0, 1.0).unwrap();
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        assert!((d.variance() - 1.0).abs() < 1e-10);
+        for &x in &[0.2, 1.0, 2.5] {
+            assert!((d.cdf(x) - (1.0 - (-x).exp())).abs() < 1e-13);
+        }
+        check_quantile_roundtrip(&d, 1e-12);
+        check_cdf_monotone(&d);
+        check_moments(&d, 200_000, 29, 4.0);
+    }
+
+    #[test]
+    fn rayleigh_case() {
+        // k = 2 is the Rayleigh distribution: mean = λ√π/2.
+        let d = Weibull::new(3.0, 2.0).unwrap();
+        let expect = 3.0 * (std::f64::consts::PI).sqrt() / 2.0;
+        assert!((d.mean() - expect).abs() < 1e-10);
+        check_moments(&d, 100_000, 31, 4.0);
+    }
+}

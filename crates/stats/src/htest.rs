@@ -1,0 +1,435 @@
+//! Hypothesis tests (Section IV's statistical backbone).
+//!
+//! Significance predicates reduce to three classical tests:
+//!
+//! * [`one_sample_mean_test`] — `mTest`: H₀ `E(X) = c` vs. H₁ `E(X) op c`
+//!   (population mean test; t statistic for n < 30, z otherwise, mirroring
+//!   Lemma 2's switch).
+//! * [`two_sample_mean_test`] — `mdTest`: H₀ `E(X) − E(Y) = c` vs.
+//!   H₁ `E(X) − E(Y) op c` (Welch's unequal-variance statistic with
+//!   Welch–Satterthwaite degrees of freedom).
+//! * [`one_proportion_test`] — `pTest`: H₀ `Pr[pred] = τ` vs.
+//!   H₁ `Pr[pred] op τ` (population proportion z test).
+//!
+//! Each returns a [`TestResult`] with the statistic, p-value and decision at
+//! significance level α, which bounds the false-positive (type I) rate.
+//! Closed-form [`power`](mean_test_power) functions support Figures 5(g/h).
+
+use crate::dist::{ContinuousDistribution, StudentT};
+use crate::special::{std_normal_cdf, z_upper};
+
+/// The alternative hypothesis H₁'s direction (the predicate's `op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alternative {
+    /// H₁: parameter < reference (`op` = "<").
+    Less,
+    /// H₁: parameter > reference (`op` = ">").
+    Greater,
+    /// H₁: parameter ≠ reference (`op` = "<>").
+    TwoSided,
+}
+
+impl Alternative {
+    /// The inverse direction, used by `COUPLED-TESTS` (`>` and `<` are
+    /// inverses of each other).
+    ///
+    /// # Panics
+    /// Panics on [`Alternative::TwoSided`] — `COUPLED-TESTS` splits that case
+    /// into `<` and `>` before ever inverting.
+    pub fn inverse(self) -> Self {
+        match self {
+            Alternative::Less => Alternative::Greater,
+            Alternative::Greater => Alternative::Less,
+            Alternative::TwoSided => panic!("two-sided alternative has no single inverse"),
+        }
+    }
+
+    /// Parses the paper's operator notation: `<`, `>`, `<>`.
+    pub fn parse(op: &str) -> Option<Self> {
+        match op {
+            "<" => Some(Alternative::Less),
+            ">" => Some(Alternative::Greater),
+            "<>" | "!=" => Some(Alternative::TwoSided),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Alternative {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Alternative::Less => "<",
+            Alternative::Greater => ">",
+            Alternative::TwoSided => "<>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary outcome of a single hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestDecision {
+    /// The null hypothesis was rejected: H₁ is accepted.
+    RejectNull,
+    /// Insufficient evidence to reject H₀.
+    FailToReject,
+}
+
+/// Result of running one hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (t or z value).
+    pub statistic: f64,
+    /// Degrees of freedom, if the statistic is t-distributed.
+    pub df: Option<f64>,
+    /// The p-value under H₀.
+    pub p_value: f64,
+    /// The significance level the decision was made at.
+    pub alpha: f64,
+    /// Reject H₀ (accept H₁) or not.
+    pub decision: TestDecision,
+}
+
+impl TestResult {
+    /// True iff H₀ was rejected, i.e. the predicate's statement is
+    /// statistically significant.
+    pub fn significant(&self) -> bool {
+        self.decision == TestDecision::RejectNull
+    }
+
+    fn from_p(statistic: f64, df: Option<f64>, p_value: f64, alpha: f64) -> Self {
+        let decision = if p_value < alpha {
+            TestDecision::RejectNull
+        } else {
+            TestDecision::FailToReject
+        };
+        Self { statistic, df, p_value, alpha, decision }
+    }
+}
+
+/// Converts a statistic into a p-value under the given alternative, using
+/// either a t (when `df` is `Some`) or a standard normal reference.
+fn p_value_for(statistic: f64, df: Option<f64>, alt: Alternative) -> f64 {
+    let cdf = match df {
+        Some(v) => StudentT::new(v).expect("positive df").cdf(statistic),
+        None => std_normal_cdf(statistic),
+    };
+    match alt {
+        Alternative::Less => cdf,
+        Alternative::Greater => 1.0 - cdf,
+        Alternative::TwoSided => 2.0 * cdf.min(1.0 - cdf),
+    }
+}
+
+/// One-sample population mean test (the statistical core of `mTest`).
+///
+/// Given sample mean `y_bar`, sample standard deviation `s`, and size `n`,
+/// tests H₀: `E(X) = c` against H₁: `E(X) alt c` at level `alpha`. Uses a
+/// t statistic with `n−1` degrees of freedom for `n < 30`, a z statistic
+/// otherwise (consistent with Lemma 2).
+///
+/// # Panics
+/// Panics if `n < 2`, `s < 0`, or `alpha ∉ (0, 1)`.
+pub fn one_sample_mean_test(
+    y_bar: f64,
+    s: f64,
+    n: usize,
+    c: f64,
+    alt: Alternative,
+    alpha: f64,
+) -> TestResult {
+    assert!(n >= 2, "mean test requires n >= 2, got {n}");
+    assert!(s >= 0.0, "standard deviation must be nonnegative");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    let se = s / (n as f64).sqrt();
+    // A zero standard error makes the statistic ±∞; resolve by sign.
+    let stat = if se == 0.0 {
+        ((y_bar - c).signum()) * f64::INFINITY
+    } else {
+        (y_bar - c) / se
+    };
+    let df = if n < 30 { Some((n - 1) as f64) } else { None };
+    let p = if stat.is_infinite() {
+        match alt {
+            Alternative::Less => {
+                if stat < 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            Alternative::Greater => {
+                if stat > 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            Alternative::TwoSided => {
+                if y_bar == c {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    } else {
+        p_value_for(stat, df, alt)
+    };
+    TestResult::from_p(stat, df, p, alpha)
+}
+
+/// Two-sample mean-difference test (the statistical core of `mdTest`).
+///
+/// Tests H₀: `E(X) − E(Y) = c` against H₁: `E(X) − E(Y) alt c` using
+/// Welch's unequal-variance statistic. Degrees of freedom follow
+/// Welch–Satterthwaite; for large samples (both ≥ 30) the normal reference
+/// is used.
+// The nine arguments mirror the statistical signature (x̄, sx, nx, ȳ, sy,
+// ny, c, H₁, α); bundling them would only obscure the formula.
+#[allow(clippy::too_many_arguments)]
+pub fn two_sample_mean_test(
+    x_bar: f64,
+    sx: f64,
+    nx: usize,
+    y_bar: f64,
+    sy: f64,
+    ny: usize,
+    c: f64,
+    alt: Alternative,
+    alpha: f64,
+) -> TestResult {
+    assert!(nx >= 2 && ny >= 2, "mean-difference test requires both n >= 2");
+    assert!(sx >= 0.0 && sy >= 0.0, "standard deviations must be nonnegative");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    let vx = sx * sx / nx as f64;
+    let vy = sy * sy / ny as f64;
+    let se = (vx + vy).sqrt();
+    let stat = if se == 0.0 {
+        ((x_bar - y_bar - c).signum()) * f64::INFINITY
+    } else {
+        (x_bar - y_bar - c) / se
+    };
+    let df = if nx >= 30 && ny >= 30 {
+        None
+    } else {
+        // Welch–Satterthwaite approximation.
+        let num = (vx + vy) * (vx + vy);
+        let den = vx * vx / (nx as f64 - 1.0) + vy * vy / (ny as f64 - 1.0);
+        Some(if den > 0.0 { num / den } else { (nx + ny - 2) as f64 })
+    };
+    let p = if stat.is_infinite() {
+        if (stat > 0.0 && alt == Alternative::Greater)
+            || (stat < 0.0 && alt == Alternative::Less)
+            || (alt == Alternative::TwoSided && x_bar - y_bar != c)
+        {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        p_value_for(stat, df, alt)
+    };
+    TestResult::from_p(stat, df, p, alpha)
+}
+
+/// One-proportion population test (the statistical core of `pTest`).
+///
+/// Given the observed success fraction `p_hat` out of `n` trials, tests
+/// H₀: `Pr = tau` against H₁: `Pr alt tau` with the z statistic
+/// `(p̂ − τ) / √(τ(1−τ)/n)`.
+pub fn one_proportion_test(
+    p_hat: f64,
+    n: usize,
+    tau: f64,
+    alt: Alternative,
+    alpha: f64,
+) -> TestResult {
+    assert!(n > 0, "proportion test requires n > 0");
+    assert!((0.0..=1.0).contains(&p_hat), "p̂ must be in [0,1]");
+    assert!(tau > 0.0 && tau < 1.0, "threshold τ must be in (0,1)");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    let se = (tau * (1.0 - tau) / n as f64).sqrt();
+    let stat = (p_hat - tau) / se;
+    let p = p_value_for(stat, None, alt);
+    TestResult::from_p(stat, None, p, alpha)
+}
+
+/// Closed-form power of the one-sided z mean test.
+///
+/// For H₁: `μ > c` at level `alpha`, with true mean `mu_true` and standard
+/// deviation `sigma`, the power is `Φ( (μ−c)/(σ/√n) − z_α )`. Used as an
+/// analytic cross-check of the empirical power curves in Figure 5(g).
+pub fn mean_test_power(
+    mu_true: f64,
+    sigma: f64,
+    n: usize,
+    c: f64,
+    alt: Alternative,
+    alpha: f64,
+) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let se = sigma / (n as f64).sqrt();
+    let shift = (mu_true - c) / se;
+    match alt {
+        Alternative::Greater => std_normal_cdf(shift - z_upper(alpha)),
+        Alternative::Less => std_normal_cdf(-shift - z_upper(alpha)),
+        Alternative::TwoSided => {
+            let z = z_upper(alpha / 2.0);
+            std_normal_cdf(shift - z) + std_normal_cdf(-shift - z)
+        }
+    }
+}
+
+/// Closed-form power of the one-sided proportion z test (H₁: `p > τ`).
+pub fn proportion_test_power(p_true: f64, n: usize, tau: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p_true) && tau > 0.0 && tau < 1.0);
+    let se0 = (tau * (1.0 - tau) / n as f64).sqrt();
+    let se1 = (p_true * (1.0 - p_true) / n as f64).sqrt();
+    if se1 == 0.0 {
+        return if p_true > tau { 1.0 } else { 0.0 };
+    }
+    // Reject when p̂ > τ + z_α·se0; power = Pr over the true distribution.
+    let crit = tau + z_upper(alpha) * se0;
+    1.0 - std_normal_cdf((crit - p_true) / se1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+
+    #[test]
+    fn alternative_parse_and_inverse() {
+        assert_eq!(Alternative::parse(">"), Some(Alternative::Greater));
+        assert_eq!(Alternative::parse("<"), Some(Alternative::Less));
+        assert_eq!(Alternative::parse("<>"), Some(Alternative::TwoSided));
+        assert_eq!(Alternative::parse(">="), None);
+        assert_eq!(Alternative::Greater.inverse(), Alternative::Less);
+        assert_eq!(Alternative::Less.inverse(), Alternative::Greater);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_sided_has_no_inverse() {
+        Alternative::TwoSided.inverse();
+    }
+
+    #[test]
+    fn example8_small_sample_not_significant() {
+        // X: {82, 86, 105, 110, 119}, n=5. mTest(temperature, ">", 97, 0.05)
+        // should NOT be significant (Example 9: "X would not satisfy").
+        let s = Summary::of(&[82.0, 86.0, 105.0, 110.0, 119.0]);
+        let r = one_sample_mean_test(s.mean(), s.std_dev(), 5, 97.0, Alternative::Greater, 0.05);
+        assert!(!r.significant(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn example8_large_sample_proportion_significant() {
+        // Y: 60 of 100 observations above 100 ⇒ pTest("temp > 100", 0.5, 0.05)
+        // should be significant (Example 9: "only Y would satisfy").
+        let r = one_proportion_test(0.6, 100, 0.5, Alternative::Greater, 0.05);
+        assert!(r.significant(), "p = {}", r.p_value);
+        // Whereas n=5 with p̂=0.6 is not.
+        let r5 = one_proportion_test(0.6, 5, 0.5, Alternative::Greater, 0.05);
+        assert!(!r5.significant(), "p = {}", r5.p_value);
+    }
+
+    #[test]
+    fn t_test_matches_table() {
+        // ȳ=52, s=5, n=16, c=50, one-sided: t = 2/(5/4) = 1.6;
+        // p = 1 - T15.cdf(1.6) ≈ 0.0652.
+        let r = one_sample_mean_test(52.0, 5.0, 16, 50.0, Alternative::Greater, 0.05);
+        assert!((r.statistic - 1.6).abs() < 1e-12);
+        assert!((r.p_value - 0.0652).abs() < 5e-4, "p = {}", r.p_value);
+        assert!(!r.significant());
+    }
+
+    #[test]
+    fn z_branch_for_large_n() {
+        let r = one_sample_mean_test(52.0, 5.0, 100, 50.0, Alternative::Greater, 0.05);
+        assert!(r.df.is_none());
+        // z = 2/(0.5) = 4 ⇒ p ≈ 3.17e-5.
+        assert!((r.statistic - 4.0).abs() < 1e-12);
+        assert!(r.significant());
+    }
+
+    #[test]
+    fn two_sided_doubles_tail() {
+        let one = one_sample_mean_test(52.0, 5.0, 16, 50.0, Alternative::Greater, 0.05);
+        let two = one_sample_mean_test(52.0, 5.0, 16, 50.0, Alternative::TwoSided, 0.05);
+        assert!((two.p_value - 2.0 * one.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_test_basic() {
+        // Clearly separated means with decent n.
+        let r = two_sample_mean_test(
+            10.0, 2.0, 25, 7.0, 2.0, 25, 0.0, Alternative::Greater, 0.05,
+        );
+        assert!(r.significant());
+        assert!(r.df.is_some());
+        // Welch df for equal variances/sizes = nx + ny − 2 = 48.
+        assert!((r.df.unwrap() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_large_samples_use_z() {
+        let r = two_sample_mean_test(
+            10.0, 2.0, 50, 9.9, 2.0, 60, 0.0, Alternative::Greater, 0.05,
+        );
+        assert!(r.df.is_none());
+    }
+
+    #[test]
+    fn zero_se_resolved_by_sign() {
+        let r = one_sample_mean_test(5.0, 0.0, 10, 3.0, Alternative::Greater, 0.05);
+        assert!(r.significant());
+        let r = one_sample_mean_test(5.0, 0.0, 10, 7.0, Alternative::Greater, 0.05);
+        assert!(!r.significant());
+    }
+
+    #[test]
+    fn type_i_error_controlled() {
+        // Simulate H0 true (μ = c): rejection rate must be ≈ α.
+        use crate::dist::{ContinuousDistribution, Normal};
+        use crate::rng::seeded;
+        let d = Normal::new(1.0, 1.0).unwrap();
+        let mut rng = seeded(99);
+        let trials = 4000;
+        let mut rejects = 0;
+        for _ in 0..trials {
+            let xs = d.sample_n(&mut rng, 20);
+            let s = Summary::of(&xs);
+            let r =
+                one_sample_mean_test(s.mean(), s.std_dev(), 20, 1.0, Alternative::Greater, 0.05);
+            if r.significant() {
+                rejects += 1;
+            }
+        }
+        let rate = rejects as f64 / trials as f64;
+        assert!(rate < 0.075, "type-I rate {rate} should be near 0.05");
+        assert!(rate > 0.025, "type-I rate {rate} suspiciously low");
+    }
+
+    #[test]
+    fn power_increases_with_effect_and_n() {
+        let p1 = mean_test_power(1.1, 1.0, 20, 1.0, Alternative::Greater, 0.05);
+        let p2 = mean_test_power(1.5, 1.0, 20, 1.0, Alternative::Greater, 0.05);
+        let p3 = mean_test_power(1.1, 1.0, 200, 1.0, Alternative::Greater, 0.05);
+        assert!(p2 > p1, "{p2} > {p1}");
+        assert!(p3 > p1, "{p3} > {p1}");
+        // At zero effect the power equals alpha.
+        let p0 = mean_test_power(1.0, 1.0, 20, 1.0, Alternative::Greater, 0.05);
+        assert!((p0 - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportion_power_sane() {
+        let low = proportion_test_power(0.55, 20, 0.5, 0.05);
+        let high = proportion_test_power(0.9, 20, 0.5, 0.05);
+        assert!(high > low);
+        assert!(high > 0.9);
+        assert!((0.0..=1.0).contains(&low));
+    }
+}

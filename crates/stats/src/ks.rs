@@ -1,0 +1,188 @@
+//! Kolmogorov–Smirnov goodness-of-fit tests.
+//!
+//! An accuracy-aware system should not only report how *precise* a learned
+//! distribution is (confidence intervals) but also notice when it has
+//! become *wrong* — e.g. when traffic conditions shifted and fresh
+//! observations no longer look like the stored distribution. The KS test
+//! is the classical tool: compare an empirical sample against a reference
+//! CDF (one-sample) or against another sample (two-sample), and reject
+//! when the maximum CDF discrepancy is too large to be chance.
+
+use crate::htest::{TestDecision, TestResult};
+
+/// The asymptotic Kolmogorov distribution's survival function
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`.
+///
+/// `Q` maps the scaled KS statistic to its p-value.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test: does `sample` look drawn from the distribution with
+/// CDF `cdf`? H₀: yes. Returns the D statistic and p-value; rejects at
+/// level `alpha`.
+///
+/// Uses the asymptotic p-value with the Stephens small-sample correction
+/// `λ = (√n + 0.12 + 0.11/√n)·D`, accurate for n ≥ 5.
+pub fn ks_test_one_sample<F>(sample: &[f64], cdf: F, alpha: f64) -> TestResult
+where
+    F: Fn(f64) -> f64,
+{
+    assert!(sample.len() >= 5, "KS test needs at least 5 observations");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    let mut xs = sample.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        let above = (i as f64 + 1.0) / n - f;
+        let below = f - i as f64 / n;
+        d = d.max(above).max(below);
+    }
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    let p = kolmogorov_q(lambda);
+    TestResult {
+        statistic: d,
+        df: None,
+        p_value: p,
+        alpha,
+        decision: if p < alpha { TestDecision::RejectNull } else { TestDecision::FailToReject },
+    }
+}
+
+/// Two-sample KS test: were `a` and `b` drawn from the same distribution?
+/// H₀: yes.
+pub fn ks_test_two_sample(a: &[f64], b: &[f64], alpha: f64) -> TestResult {
+    assert!(a.len() >= 5 && b.len() >= 5, "KS test needs at least 5 observations per sample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|x, y| x.partial_cmp(y).expect("finite observations"));
+    xb.sort_by(|x, y| x.partial_cmp(y).expect("finite observations"));
+    let (na, nb) = (xa.len() as f64, xb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < xa.len() && j < xb.len() {
+        let x = xa[i].min(xb[j]);
+        while i < xa.len() && xa[i] <= x {
+            i += 1;
+        }
+        while j < xb.len() && xb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    let ne = na * nb / (na + nb);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    let p = kolmogorov_q(lambda);
+    TestResult {
+        statistic: d,
+        df: None,
+        p_value: p,
+        alpha,
+        decision: if p < alpha { TestDecision::RejectNull } else { TestDecision::FailToReject },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ContinuousDistribution, Exponential, Normal};
+    use crate::rng::seeded;
+
+    #[test]
+    fn kolmogorov_q_values() {
+        // Known reference points: Q(1.36) ≈ 0.049, Q(1.22) ≈ 0.10.
+        assert!((kolmogorov_q(1.36) - 0.049).abs() < 0.003);
+        assert!((kolmogorov_q(1.22) - 0.101).abs() < 0.005);
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn one_sample_accepts_true_distribution() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = seeded(61);
+        let mut rejects = 0;
+        let trials = 300;
+        for _ in 0..trials {
+            let xs = d.sample_n(&mut rng, 50);
+            if ks_test_one_sample(&xs, |x| d.cdf(x), 0.05).significant() {
+                rejects += 1;
+            }
+        }
+        let rate = rejects as f64 / trials as f64;
+        assert!(rate < 0.09, "type-I rate {rate} should be ≈ 0.05");
+    }
+
+    #[test]
+    fn one_sample_rejects_wrong_distribution() {
+        // Exponential data against a normal reference: must reject often.
+        let d = Exponential::new(1.0).unwrap();
+        let wrong = Normal::new(1.0, 1.0).unwrap();
+        let mut rng = seeded(67);
+        let mut rejects = 0;
+        let trials = 100;
+        for _ in 0..trials {
+            // The exp(1)-vs-N(1,1) CDF gap peaks around 0.14, so n = 150
+            // puts the critical D (≈ 1.36/√n ≈ 0.11) safely below it.
+            let xs = d.sample_n(&mut rng, 150);
+            if ks_test_one_sample(&xs, |x| wrong.cdf(x), 0.05).significant() {
+                rejects += 1;
+            }
+        }
+        assert!(rejects > 75, "power too low: {rejects}/{trials}");
+    }
+
+    #[test]
+    fn two_sample_detects_shift() {
+        let a = Normal::new(0.0, 1.0).unwrap();
+        let b = Normal::new(1.2, 1.0).unwrap();
+        let mut rng = seeded(71);
+        let xs = a.sample_n(&mut rng, 80);
+        let ys = b.sample_n(&mut rng, 80);
+        assert!(ks_test_two_sample(&xs, &ys, 0.05).significant());
+        // Same distribution: mostly insignificant.
+        let mut rejects = 0;
+        for _ in 0..200 {
+            let xs = a.sample_n(&mut rng, 40);
+            let ys = a.sample_n(&mut rng, 40);
+            if ks_test_two_sample(&xs, &ys, 0.05).significant() {
+                rejects += 1;
+            }
+        }
+        assert!(rejects < 24, "type-I rate {} too high", rejects as f64 / 200.0);
+    }
+
+    #[test]
+    fn drift_detection_use_case() {
+        // The system's use: old learned sample vs fresh observations.
+        let before = Normal::new(45.0, 6.0).unwrap();
+        let after = Normal::new(90.0, 10.0).unwrap();
+        let mut rng = seeded(73);
+        let learned = before.sample_n(&mut rng, 40);
+        let fresh = after.sample_n(&mut rng, 12);
+        let r = ks_test_two_sample(&learned, &fresh, 0.01);
+        assert!(r.significant(), "an incident this large must be detected (p = {})", r.p_value);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_samples_rejected() {
+        ks_test_one_sample(&[1.0, 2.0], |x| x, 0.05);
+    }
+}

@@ -1,0 +1,49 @@
+//! Statistics substrate for the accuracy-aware uncertain stream database.
+//!
+//! This crate implements, from scratch, every piece of statistical machinery
+//! the paper relies on:
+//!
+//! * [`special`] — special functions (log-gamma, error function, regularized
+//!   incomplete gamma and beta functions) and their inverses, which underpin
+//!   all distribution CDFs and quantiles.
+//! * [`dist`] — probability distributions with PDF/CDF/quantile/sampling:
+//!   normal, Student's t, chi-squared, exponential, gamma, uniform, Weibull,
+//!   and binomial. The five continuous families are exactly the synthetic
+//!   workloads of the paper's Section V, and t/χ²/normal drive the analytical
+//!   confidence intervals of Lemmas 1 and 2.
+//! * [`summary`] — numerically stable descriptive statistics (Welford mean /
+//!   variance, order statistics and percentiles).
+//! * [`ci`] — confidence-interval estimators: Wald and Wilson score intervals
+//!   on proportions (Lemma 1), t/z intervals on the mean and the χ² interval
+//!   on the variance (Lemma 2), and percentile intervals used by bootstraps.
+//! * [`htest`] — hypothesis tests used by significance predicates
+//!   (Section IV): one-sample mean test, Welch two-sample mean-difference
+//!   test, one-proportion z test, plus their power functions.
+//! * [`bootstrap`] — generic resampling utilities (Section III).
+//! * [`weighted`] — weighted-sample statistics with effective sample
+//!   sizes (the paper's Section VII future work).
+//! * [`ks`] — Kolmogorov–Smirnov goodness-of-fit tests, used for drift
+//!   detection on learned distributions.
+//!
+//! Everything is deterministic given a seeded RNG; see [`rng`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+// Constructor validation uses `!(x > 0.0)` so NaN parameters are rejected
+// alongside nonpositive ones; the suggested `partial_cmp` form hides that.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod bootstrap;
+pub mod ci;
+pub mod dist;
+pub mod htest;
+pub mod ks;
+pub mod rng;
+pub mod special;
+pub mod summary;
+pub mod weighted;
+
+pub use ci::ConfidenceInterval;
+pub use dist::{ContinuousDistribution, DistError};
+pub use htest::{TestDecision, TestResult};
+pub use summary::Summary;

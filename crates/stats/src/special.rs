@@ -1,0 +1,526 @@
+//! Special functions implemented from standard numerical methods.
+//!
+//! These are the primitives behind every CDF and quantile in [`crate::dist`]:
+//! the Lanczos approximation of `ln Γ`, series / continued-fraction forms of
+//! the regularized incomplete gamma function, Lentz's algorithm for the
+//! regularized incomplete beta function, the error function, and Acklam's
+//! rational approximation of the inverse normal CDF (refined by one Halley
+//! step). Accuracy is ~1e-12 relative over the ranges used by the database,
+//! verified against known values in the unit tests.
+
+/// Machine tolerance used as the convergence threshold of the iterative
+/// series / continued-fraction evaluations.
+const EPS: f64 = 1e-15;
+/// A number near the smallest representable, used to clamp continued-fraction
+/// denominators away from zero (Lentz's algorithm).
+const FPMIN: f64 = 1e-300;
+/// Iteration cap for all series/continued-fraction loops. Generous: the
+/// expansions converge in tens of iterations over our parameter ranges.
+const MAX_ITER: usize = 500;
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, 9 coefficients), accurate to
+/// ~1e-13 relative error.
+///
+/// # Panics
+/// Panics if `x <= 0` (the database never evaluates `ln Γ` at non-positive
+/// arguments; degrees of freedom and shape parameters are positive).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// `P(a, x)` is the CDF of a Gamma(shape `a`, scale 1) variate at `x`, and
+/// of the χ² distribution via `P(k/2, x/2)`.
+///
+/// Returns 0 for `x <= 0`. Requires `a > 0`.
+pub fn reg_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_gamma_p requires a > 0, got {a}");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_contfrac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+pub fn reg_gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_gamma_q requires a > 0, got {a}");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)`, valid (fast-converging) for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction expansion of `Q(a, x)` (modified Lentz), valid for
+/// `x >= a + 1`.
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Inverse of the regularized lower incomplete gamma function: finds `x`
+/// with `P(a, x) = p`, for `p ∈ [0, 1)`.
+///
+/// Uses the Wilson–Hilferty cube-root normal approximation as the starting
+/// point, then polishes with Halley iterations. This is the engine behind the
+/// χ² and Gamma quantiles of Lemma 2's variance interval.
+pub fn inv_reg_gamma_p(a: f64, p: f64) -> f64 {
+    assert!(a > 0.0, "inv_reg_gamma_p requires a > 0, got {a}");
+    assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
+    if p == 0.0 {
+        return 0.0;
+    }
+    // Initial guess (Numerical-Recipes style).
+    let a1 = a - 1.0;
+    let gln = ln_gamma(a);
+    let mut x: f64;
+    if a > 1.0 {
+        // Wilson–Hilferty.
+        let pp = if p < 0.5 { p } else { 1.0 - p };
+        let t = (-2.0 * pp.ln()).sqrt();
+        let mut z = (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+        if p < 0.5 {
+            z = -z;
+        }
+        x = (a * (1.0 - 1.0 / (9.0 * a) - z / (3.0 * a.sqrt())).powi(3)).max(1e-3);
+    } else {
+        let t = 1.0 - a * (0.253 + a * 0.12);
+        if p < t {
+            x = (p / t).powf(1.0 / a);
+        } else {
+            x = 1.0 - (1.0 - (p - t) / (1.0 - t)).ln();
+        }
+    }
+    // Halley refinement on f(x) = P(a,x) - p.
+    for _ in 0..20 {
+        if x <= 0.0 {
+            x = 1e-10;
+        }
+        let err = reg_gamma_p(a, x) - p;
+        let lna1 = if a > 1.0 { a1.ln() } else { 0.0 };
+        let afac = if a > 1.0 { (a1 * (lna1 - 1.0) - gln).exp() } else { 0.0 };
+        let t = if a > 1.0 {
+            afac * (-(x - a1) + a1 * (x.ln() - lna1)).exp()
+        } else {
+            (-x + a1 * x.ln() - gln).exp()
+        };
+        if t == 0.0 {
+            break;
+        }
+        let u = err / t;
+        let step = u / (1.0 - 0.5 * (u * ((a - 1.0) / x - 1.0)).min(1.0));
+        x -= step;
+        if x <= 0.0 {
+            x = 0.5 * (x + step); // bisect back toward positive
+        }
+        if step.abs() < EPS * x {
+            break;
+        }
+    }
+    x
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`, for `x ∈ [0, 1]`,
+/// `a, b > 0`.
+///
+/// This is the CDF of the Beta(a, b) distribution, and via the standard
+/// identity it yields Student's t and F CDFs. Continued fraction by the
+/// modified Lentz method.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "reg_inc_beta requires a,b > 0");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_contfrac(a, b, x) / a
+    } else {
+        1.0 - front * beta_contfrac(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+fn beta_contfrac(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Inverse of the regularized incomplete beta function: finds `x` with
+/// `I_x(a, b) = p`.
+///
+/// Bisection bracketed on [0, 1] with Newton acceleration; robust for all
+/// `a, b > 0`. Backs the Student-t quantile of Lemma 2.
+pub fn inv_reg_inc_beta(a: f64, b: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if p <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    let mut x = 0.5_f64;
+    for _ in 0..200 {
+        let f = reg_inc_beta(a, b, x) - p;
+        if f.abs() < 1e-14 {
+            break;
+        }
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        // Newton step using the beta PDF as derivative.
+        let ln_pdf = (a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - ln_beta;
+        let pdf = ln_pdf.exp();
+        let mut next = x - f / pdf.max(FPMIN);
+        // The negation deliberately also catches NaN (any comparison with
+        // NaN is false, so `!(inside)` routes NaN to the bisection branch).
+        if next <= lo || next >= hi || !next.is_finite() {
+            next = 0.5 * (lo + hi);
+        }
+        if (next - x).abs() < 1e-16 {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    x
+}
+
+/// Error function `erf(x)`, computed from the incomplete gamma function:
+/// `erf(x) = P(1/2, x²)` for `x ≥ 0`, odd extension for `x < 0`.
+pub fn erf(x: f64) -> f64 {
+    if x >= 0.0 {
+        reg_gamma_p(0.5, x * x)
+    } else {
+        -reg_gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`, evaluated without
+/// cancellation for large positive `x`.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        reg_gamma_q(0.5, x * x)
+    } else {
+        1.0 + reg_gamma_p(0.5, x * x)
+    }
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal PDF `φ(x)`.
+pub fn std_normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Inverse standard normal CDF `Φ⁻¹(p)`, for `p ∈ (0, 1)`.
+///
+/// Acklam's rational approximation (|ε| < 1.15e-9) followed by one Halley
+/// refinement step against [`std_normal_cdf`], giving near machine precision.
+/// This provides the `z` percentiles of Lemma 1 (e.g. `z₀.₀₅ = 1.645`).
+pub fn inv_std_normal_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inv_std_normal_cdf requires p in (0,1), got {p}"
+    );
+    // Coefficients for Acklam's algorithm.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley step: u = (Φ(x) - p) / φ(x); x <- x - u / (1 + x u / 2).
+    let e = std_normal_cdf(x) - p;
+    let u = e / std_normal_pdf(x);
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Upper `q` percentile of the standard normal: the value `z_q` with
+/// `Pr[Z > z_q] = q`. This is the `z_{(1-c)/2}` notation of Lemma 1.
+pub fn z_upper(q: f64) -> f64 {
+    inv_std_normal_cdf(1.0 - q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(0.5), (std::f64::consts::PI).sqrt().ln(), 1e-12);
+        close(ln_gamma(5.0), 24.0_f64.ln(), 1e-11);
+        close(ln_gamma(10.0), 362_880.0_f64.ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_reflection_small() {
+        // Γ(0.1) = 9.513507698668731...
+        close(ln_gamma(0.1), 9.513_507_698_668_73_f64.ln(), 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-15);
+        close(erf(1.0), 0.842_700_792_949_715, 1e-12);
+        close(erf(-1.0), -0.842_700_792_949_715, 1e-12);
+        close(erf(2.0), 0.995_322_265_018_953, 1e-12);
+        close(erfc(2.0), 1.0 - 0.995_322_265_018_953, 1e-12);
+        close(erfc(5.0), 1.537_459_794_428_035e-12, 1e-20);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        close(std_normal_cdf(0.0), 0.5, 1e-15);
+        close(std_normal_cdf(1.959_963_984_540_054), 0.975, 1e-12);
+        close(std_normal_cdf(-1.644_853_626_951_472), 0.05, 1e-12);
+    }
+
+    #[test]
+    fn inv_normal_round_trip() {
+        for &p in &[1e-10, 1e-6, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0 - 1e-6] {
+            let x = inv_std_normal_cdf(p);
+            close(std_normal_cdf(x), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn z_upper_paper_values() {
+        // Lemma 1 / Example 2 use z_{0.05} = 1.645.
+        close(z_upper(0.05), 1.644_853_626_951_472, 1e-9);
+        close(z_upper(0.025), 1.959_963_984_540_054, 1e-9);
+    }
+
+    #[test]
+    fn reg_gamma_p_q_complementary() {
+        for &a in &[0.3, 0.5, 1.0, 2.5, 10.0, 50.0] {
+            for &x in &[0.01, 0.5, 1.0, 2.0, 5.0, 20.0, 80.0] {
+                let p = reg_gamma_p(a, x);
+                let q = reg_gamma_q(a, x);
+                close(p + q, 1.0, 1e-12);
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn reg_gamma_p_known_values() {
+        // P(1, x) = 1 - e^{-x}.
+        close(reg_gamma_p(1.0, 1.0), 1.0 - (-1.0_f64).exp(), 1e-13);
+        close(reg_gamma_p(1.0, 3.0), 1.0 - (-3.0_f64).exp(), 1e-13);
+        // χ²(9 d.f.) upper 5% point = 16.919: P(4.5, 16.919/2) ≈ 0.95.
+        close(reg_gamma_p(4.5, 16.918_977_604_620_45 / 2.0), 0.95, 1e-6);
+    }
+
+    #[test]
+    fn inv_reg_gamma_p_round_trip() {
+        for &a in &[0.4, 0.5, 1.0, 2.0, 4.5, 15.0, 60.0] {
+            for &p in &[0.001, 0.025, 0.05, 0.3, 0.5, 0.7, 0.95, 0.975, 0.999] {
+                let x = inv_reg_gamma_p(a, p);
+                close(reg_gamma_p(a, x), p, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn reg_inc_beta_known_values() {
+        // I_x(1, 1) = x.
+        close(reg_inc_beta(1.0, 1.0, 0.3), 0.3, 1e-13);
+        // I_x(2, 2) = 3x² - 2x³.
+        let x = 0.4;
+        close(reg_inc_beta(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-13);
+        // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+        close(
+            reg_inc_beta(3.5, 1.25, 0.7),
+            1.0 - reg_inc_beta(1.25, 3.5, 0.3),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn inv_reg_inc_beta_round_trip() {
+        for &(a, b) in &[(0.5, 0.5), (1.0, 3.0), (2.0, 2.0), (4.5, 0.5), (10.0, 30.0)] {
+            for &p in &[0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+                let x = inv_reg_inc_beta(a, b, p);
+                close(reg_inc_beta(a, b, x), p, 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Numerically stable descriptive statistics.
+//!
+//! [`Summary`] accumulates mean and variance with Welford's online
+//! algorithm — the streaming engine updates one of these per window — and
+//! free functions provide percentiles / order statistics used by bootstrap
+//! percentile intervals.
+
+/// Online accumulator for count, mean, and (sample) variance.
+///
+/// Welford's algorithm: one pass, no catastrophic cancellation, O(1) space.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn of(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel Welford / Chan et al.).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`ȳ`). Returns 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`s²`, divisor n−1). Requires n ≥ 2.
+    pub fn variance(&self) -> f64 {
+        assert!(self.n >= 2, "sample variance requires at least 2 observations");
+        self.m2 / (self.n as f64 - 1.0)
+    }
+
+    /// Population variance (divisor n). Requires n ≥ 1.
+    pub fn population_variance(&self) -> f64 {
+        assert!(self.n >= 1, "population variance requires at least 1 observation");
+        self.m2 / self.n as f64
+    }
+
+    /// Sample standard deviation (`s`).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation seen.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean, `s / √n`.
+    pub fn std_err(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+}
+
+/// Returns the `q`-quantile (`q ∈ [0, 1]`) of `xs` using linear
+/// interpolation between order statistics (type-7, the R default).
+///
+/// Sorts a copy; for repeated quantiles of the same data use
+/// [`quantile_sorted`] on pre-sorted input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// [`quantile`] over already-sorted data.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Fraction of observations strictly greater than `threshold`.
+///
+/// This is the empirical `Pr[X > v]` used when learning `pTest` proportions
+/// from raw samples.
+pub fn frac_greater(xs: &[f64], threshold: f64) -> f64 {
+    assert!(!xs.is_empty(), "frac_greater of empty slice");
+    xs.iter().filter(|&&x| x > threshold).count() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example3_summary() {
+        // Example 3: ten delay observations ⇒ ȳ = 71.1, s = 8.85.
+        let xs = [71.0, 56.0, 82.0, 74.0, 69.0, 77.0, 65.0, 78.0, 59.0, 80.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.count(), 10);
+        assert!((s.mean() - 71.1).abs() < 1e-12);
+        assert!((s.std_dev() - 8.85).abs() < 1e-3, "s = {}", s.std_dev());
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let s = Summary::of(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let whole = Summary::of(&xs);
+        let mut a = Summary::of(&xs[..123]);
+        let b = Summary::of(&xs[123..]);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        let mut s = Summary::of(&xs);
+        s.merge(&Summary::new());
+        assert!((s.mean() - 2.0).abs() < 1e-15);
+        let mut e = Summary::new();
+        e.merge(&Summary::of(&xs));
+        assert!((e.mean() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn variance_needs_two() {
+        Summary::of(&[1.0]).variance();
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn frac_greater_counts_strict() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(frac_greater(&xs, 2.0), 0.5);
+        assert_eq!(frac_greater(&xs, 0.0), 1.0);
+        assert_eq!(frac_greater(&xs, 4.0), 0.0);
+    }
+
+    #[test]
+    fn min_max_tracking() {
+        let s = Summary::of(&[3.0, -1.0, 8.0]);
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 8.0);
+    }
+}

@@ -1,0 +1,374 @@
+//! Weighted-sample statistics — the paper's stated future work.
+//!
+//! Section VII: "we plan to study the idea of using samples of different
+//! weights to quantify the accuracy of probability distributions … for
+//! instance, observations that are obtained more recently can have more
+//! weights in determining the accuracy information."
+//!
+//! This module provides that machinery. Weights are *reliability weights*
+//! (an observation with weight 0.5 carries half the information of a fresh
+//! one), so the natural notion of "how much data do we really have" is
+//! **Kish's effective sample size**
+//!
+//! ```text
+//! n_eff = (Σ wᵢ)² / Σ wᵢ²
+//! ```
+//!
+//! which equals `n` for uniform weights and shrinks as weights become
+//! unequal. All of Lemma 1/2's interval constructions generalize by
+//! substituting `n_eff` for `n` (with fractional degrees of freedom, which
+//! the t and χ² implementations support directly).
+
+use crate::ci::ConfidenceInterval;
+use crate::dist::{ChiSquared, ContinuousDistribution, StudentT};
+use crate::special::z_upper;
+
+/// Online accumulator for weighted count, mean, and variance.
+///
+/// Weighted Welford (West 1979): one pass, stable, O(1) space.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WeightedSummary {
+    count: u64,
+    w_sum: f64,
+    w2_sum: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl WeightedSummary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a summary from `(value, weight)` pairs.
+    pub fn of(pairs: &[(f64, f64)]) -> Self {
+        let mut s = Self::new();
+        for &(x, w) in pairs {
+            s.push(x, w);
+        }
+        s
+    }
+
+    /// Adds one observation with weight `w > 0` (zero-weight observations
+    /// are ignored; negative weights are rejected).
+    pub fn push(&mut self, x: f64, w: f64) {
+        assert!(w >= 0.0 && w.is_finite(), "weights must be finite and nonnegative");
+        if w == 0.0 {
+            return;
+        }
+        self.count += 1;
+        self.w_sum += w;
+        self.w2_sum += w * w;
+        let delta = x - self.mean;
+        self.mean += (w / self.w_sum) * delta;
+        self.m2 += w * delta * (x - self.mean);
+    }
+
+    /// Number of (nonzero-weight) observations pushed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total weight `Σ wᵢ`.
+    pub fn weight_sum(&self) -> f64 {
+        self.w_sum
+    }
+
+    /// Kish's effective sample size `(Σw)²/Σw²`. Zero for an empty
+    /// accumulator; equals `count` for uniform weights.
+    ///
+    /// Note that this measures weight *imbalance* and is scale-invariant:
+    /// twenty uniformly stale observations still have Kish n = 20. To
+    /// account for absolute information decay (a window of only-stale
+    /// reports knows little about *now*), combine with
+    /// [`WeightedSummary::weight_sum`] on a fresh-observation-equals-one
+    /// scale — see [`accuracy_n`].
+    pub fn effective_n(&self) -> f64 {
+        if self.w2_sum == 0.0 {
+            0.0
+        } else {
+            self.w_sum * self.w_sum / self.w2_sum
+        }
+    }
+
+    /// Weighted mean `Σwx / Σw`.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased weighted sample variance under reliability weights:
+    /// `Σw(x−x̄)² / (Σw − Σw²/Σw)`.
+    ///
+    /// # Panics
+    /// Panics if the effective sample size is ≤ 1 (no spread information).
+    pub fn variance(&self) -> f64 {
+        let denom = self.w_sum - self.w2_sum / self.w_sum;
+        assert!(
+            denom > 0.0,
+            "weighted variance needs effective sample size > 1 (got n_eff = {})",
+            self.effective_n()
+        );
+        self.m2 / denom
+    }
+
+    /// Weighted sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Exponential time-decay weight: an observation `age` time units old gets
+/// weight `2^(−age / half_life)`.
+///
+/// # Panics
+/// Panics unless `half_life > 0` and `age ≥ 0`.
+pub fn exp_decay_weight(age: f64, half_life: f64) -> f64 {
+    assert!(half_life > 0.0, "half-life must be positive");
+    assert!(age >= 0.0, "age must be nonnegative");
+    (-age / half_life * std::f64::consts::LN_2).exp()
+}
+
+/// The sample size that should drive accuracy intervals for weights on a
+/// **fresh-observation-equals-one** scale: the smaller of Kish's effective
+/// size (penalizing imbalance) and the total weight (penalizing absolute
+/// staleness). Equals `n` for n fresh, uniform observations.
+pub fn accuracy_n(ws: &WeightedSummary) -> f64 {
+    ws.effective_n().min(ws.weight_sum())
+}
+
+/// Weighted **Lemma 2** mean interval: `x̄_w ± t·s_w/√n_eff` with
+/// `n_eff − 1` (fractional) degrees of freedom for `n_eff < 30`, z above.
+/// Uses Kish's effective size; for fresh-scaled weights prefer
+/// [`weighted_mean_interval_with_n`] with [`accuracy_n`].
+pub fn weighted_mean_interval(ws: &WeightedSummary, level: f64) -> ConfidenceInterval {
+    weighted_mean_interval_with_n(ws, ws.effective_n(), level)
+}
+
+/// [`weighted_mean_interval`] with an explicit effective sample size.
+pub fn weighted_mean_interval_with_n(
+    ws: &WeightedSummary,
+    n_eff: f64,
+    level: f64,
+) -> ConfidenceInterval {
+    assert!(n_eff > 1.0, "need effective sample size > 1, got {n_eff}");
+    let se = ws.std_dev() / n_eff.sqrt();
+    let q = (1.0 - level) / 2.0;
+    let crit = if n_eff < 30.0 {
+        StudentT::new(n_eff - 1.0).expect("n_eff > 1").upper(q)
+    } else {
+        z_upper(q)
+    };
+    ConfidenceInterval::new(ws.mean() - crit * se, ws.mean() + crit * se, level)
+}
+
+/// Weighted **Lemma 2** variance interval: χ² with `n_eff − 1` fractional
+/// degrees of freedom (Kish's effective size; see
+/// [`weighted_variance_interval_with_n`]).
+pub fn weighted_variance_interval(ws: &WeightedSummary, level: f64) -> ConfidenceInterval {
+    weighted_variance_interval_with_n(ws, ws.effective_n(), level)
+}
+
+/// [`weighted_variance_interval`] with an explicit effective sample size.
+pub fn weighted_variance_interval_with_n(
+    ws: &WeightedSummary,
+    n_eff: f64,
+    level: f64,
+) -> ConfidenceInterval {
+    assert!(n_eff > 1.0, "need effective sample size > 1, got {n_eff}");
+    let chi = ChiSquared::new(n_eff - 1.0).expect("positive df");
+    let num = (n_eff - 1.0) * ws.variance();
+    let lo = num / chi.quantile(1.0 - (1.0 - level) / 2.0);
+    let hi = num / chi.quantile((1.0 - level) / 2.0);
+    ConfidenceInterval::new(lo, hi, level)
+}
+
+/// Weighted **Lemma 1** proportion interval with real-valued effective
+/// sample size: Wald when `n_eff·p ≥ 4` and `n_eff·(1−p) ≥ 4`, Wilson
+/// otherwise.
+pub fn weighted_proportion_interval(p_hat: f64, n_eff: f64, level: f64) -> ConfidenceInterval {
+    assert!(n_eff > 0.0, "need positive effective sample size");
+    assert!((0.0..=1.0).contains(&p_hat), "p̂ must be in [0,1]");
+    let z = z_upper((1.0 - level) / 2.0);
+    if n_eff * p_hat >= 4.0 && n_eff * (1.0 - p_hat) >= 4.0 {
+        let half = z * (p_hat * (1.0 - p_hat) / n_eff).sqrt();
+        ConfidenceInterval::new(p_hat - half, p_hat + half, level).clamped(0.0, 1.0)
+    } else {
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n_eff;
+        let center = p_hat + z2 / (2.0 * n_eff);
+        let half = z * (p_hat * (1.0 - p_hat) / n_eff + z2 / (4.0 * n_eff * n_eff)).sqrt();
+        ConfidenceInterval::new((center - half) / denom, (center + half) / denom, level)
+            .clamped(0.0, 1.0)
+    }
+}
+
+/// Weighted fraction of observations strictly greater than `threshold`
+/// (for weighted pTest-style proportions).
+pub fn weighted_frac_greater(pairs: &[(f64, f64)], threshold: f64) -> f64 {
+    let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+    assert!(total > 0.0, "need positive total weight");
+    pairs.iter().filter(|&&(x, _)| x > threshold).map(|&(_, w)| w).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+
+    #[test]
+    fn uniform_weights_match_unweighted() {
+        let xs = [71.0, 56.0, 82.0, 74.0, 69.0, 77.0, 65.0, 78.0, 59.0, 80.0];
+        let pairs: Vec<(f64, f64)> = xs.iter().map(|&x| (x, 1.0)).collect();
+        let ws = WeightedSummary::of(&pairs);
+        let s = Summary::of(&xs);
+        assert!((ws.mean() - s.mean()).abs() < 1e-12);
+        assert!((ws.variance() - s.variance()).abs() < 1e-9);
+        assert!((ws.effective_n() - 10.0).abs() < 1e-12);
+        // And the weighted Lemma 2 interval matches Example 3's numbers.
+        let ci = weighted_mean_interval(&ws, 0.9);
+        assert!((ci.lo - 65.97).abs() < 0.02 && (ci.hi - 76.23).abs() < 0.02, "{ci}");
+    }
+
+    #[test]
+    fn scaling_weights_changes_nothing() {
+        // Reliability weights are scale-free: w and 10w are equivalent.
+        let pairs: Vec<(f64, f64)> = vec![(1.0, 0.2), (2.0, 0.5), (3.0, 0.3)];
+        let scaled: Vec<(f64, f64)> = pairs.iter().map(|&(x, w)| (x, 10.0 * w)).collect();
+        let a = WeightedSummary::of(&pairs);
+        let b = WeightedSummary::of(&scaled);
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        assert!((a.variance() - b.variance()).abs() < 1e-9);
+        assert!((a.effective_n() - b.effective_n()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_n_shrinks_with_unequal_weights() {
+        let uniform = WeightedSummary::of(&[(1.0, 1.0), (2.0, 1.0), (3.0, 1.0), (4.0, 1.0)]);
+        let skewed = WeightedSummary::of(&[(1.0, 1.0), (2.0, 0.1), (3.0, 0.1), (4.0, 0.1)]);
+        assert!((uniform.effective_n() - 4.0).abs() < 1e-12);
+        assert!(skewed.effective_n() < 2.0, "n_eff = {}", skewed.effective_n());
+        assert!(skewed.effective_n() > 1.0);
+    }
+
+    #[test]
+    fn zero_weight_ignored_negative_rejected() {
+        let mut ws = WeightedSummary::new();
+        ws.push(5.0, 1.0);
+        ws.push(100.0, 0.0); // ignored
+        assert_eq!(ws.count(), 1);
+        assert_eq!(ws.mean(), 5.0);
+        let result = std::panic::catch_unwind(move || {
+            let mut ws = WeightedSummary::new();
+            ws.push(1.0, -0.5);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn decay_weights() {
+        assert!((exp_decay_weight(0.0, 10.0) - 1.0).abs() < 1e-12);
+        assert!((exp_decay_weight(10.0, 10.0) - 0.5).abs() < 1e-12);
+        assert!((exp_decay_weight(20.0, 10.0) - 0.25).abs() < 1e-12);
+        assert!(exp_decay_weight(100.0, 10.0) < 1e-3);
+    }
+
+    #[test]
+    fn recency_weighting_tracks_drift() {
+        // A drifting signal: old observations around 0, recent around 10.
+        // Recency weights pull the weighted mean toward the recent level.
+        let pairs: Vec<(f64, f64)> = (0..40)
+            .map(|i| {
+                let value = if i < 20 { 0.0 } else { 10.0 };
+                let age = (39 - i) as f64;
+                (value, exp_decay_weight(age, 5.0))
+            })
+            .collect();
+        let ws = WeightedSummary::of(&pairs);
+        let unweighted: f64 = pairs.iter().map(|&(x, _)| x).sum::<f64>() / 40.0;
+        assert!((unweighted - 5.0).abs() < 1e-12);
+        assert!(ws.mean() > 9.0, "weighted mean {} should track the recent level", ws.mean());
+        // And the effective n is far below 40 — the system knows it is
+        // effectively working from the recent handful of observations.
+        assert!(ws.effective_n() < 15.0, "n_eff = {}", ws.effective_n());
+    }
+
+    #[test]
+    fn weighted_intervals_widen_as_n_eff_shrinks() {
+        let uniform: Vec<(f64, f64)> = (0..30).map(|i| ((i % 7) as f64, 1.0)).collect();
+        let decayed: Vec<(f64, f64)> =
+            (0..30).map(|i| ((i % 7) as f64, exp_decay_weight((29 - i) as f64, 4.0))).collect();
+        let wu = WeightedSummary::of(&uniform);
+        let wd = WeightedSummary::of(&decayed);
+        let ciu = weighted_mean_interval(&wu, 0.9);
+        let cid = weighted_mean_interval(&wd, 0.9);
+        assert!(
+            cid.length() > ciu.length(),
+            "decayed interval {cid} should be wider than uniform {ciu}"
+        );
+    }
+
+    #[test]
+    fn weighted_variance_interval_contains_estimate() {
+        let pairs: Vec<(f64, f64)> = (0..25).map(|i| ((i as f64).sin() * 3.0, 1.0 / (1.0 + i as f64 / 10.0))).collect();
+        let ws = WeightedSummary::of(&pairs);
+        let ci = weighted_variance_interval(&ws, 0.9);
+        assert!(ci.lo > 0.0);
+        assert!(ci.contains(ws.variance()), "{ci} should contain {}", ws.variance());
+    }
+
+    #[test]
+    fn weighted_proportion_interval_matches_unweighted_at_integer_n() {
+        let weighted = weighted_proportion_interval(0.6, 20.0, 0.9);
+        let plain = crate::ci::proportion_interval(0.6, 20, 0.9);
+        assert!((weighted.lo - plain.lo).abs() < 1e-12);
+        assert!((weighted.hi - plain.hi).abs() < 1e-12);
+        // Wilson branch engages at small effective n.
+        let small = weighted_proportion_interval(0.1, 7.5, 0.9);
+        assert!(small.lo >= 0.0 && small.hi <= 1.0);
+        assert!(small.contains(0.1));
+    }
+
+    #[test]
+    fn accuracy_n_penalizes_staleness() {
+        // Twenty uniformly stale observations (weight 0.01 each, fresh
+        // scale): Kish says 20, but the fresh-equivalent evidence is 0.2.
+        let stale: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 0.01)).collect();
+        let ws = WeightedSummary::of(&stale);
+        assert!((ws.effective_n() - 20.0).abs() < 1e-9, "Kish is scale-invariant");
+        assert!((accuracy_n(&ws) - 0.2).abs() < 1e-9, "accuracy_n caps at Σw");
+        // Twenty fresh observations: both agree at 20.
+        let fresh: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 1.0)).collect();
+        assert!((accuracy_n(&WeightedSummary::of(&fresh)) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_frac_greater_respects_weights() {
+        let pairs = [(1.0, 3.0), (10.0, 1.0)];
+        assert!((weighted_frac_greater(&pairs, 5.0) - 0.25).abs() < 1e-12);
+        assert_eq!(weighted_frac_greater(&pairs, 0.0), 1.0);
+    }
+
+    #[test]
+    fn weighted_mean_coverage_simulation() {
+        // 90% weighted intervals over decayed iid normal data should cover
+        // the true mean near-nominally (weights are independent of values).
+        use crate::dist::{ContinuousDistribution, Normal};
+        use crate::rng::seeded;
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = seeded(303);
+        let trials = 600;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let pairs: Vec<(f64, f64)> = (0..25)
+                .map(|i| (d.sample(&mut rng), exp_decay_weight(i as f64, 12.0)))
+                .collect();
+            let ws = WeightedSummary::of(&pairs);
+            if weighted_mean_interval(&ws, 0.9).contains(5.0) {
+                hits += 1;
+            }
+        }
+        let coverage = hits as f64 / trials as f64;
+        assert!(coverage > 0.84, "coverage {coverage} too far below 0.90");
+    }
+}

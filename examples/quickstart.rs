@@ -1,0 +1,83 @@
+//! Quickstart: learn distributions from raw observations, inspect their
+//! accuracy information, and query them — first through the typed API,
+//! then through SQL.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ausdb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Raw data (the paper's Figure 1): per-road delay observations.
+    //    Road 19 has been measured 3 times, road 20 fifty times.
+    // ------------------------------------------------------------------
+    let mut learner = StreamLearner::with_column_names(
+        LearnerConfig {
+            kind: DistKind::Empirical,
+            level: 0.9, // 90% confidence intervals
+            window_width: 120,
+            min_observations: 2,
+        },
+        "road_id",
+        "delay",
+    );
+    learner.observe_all([
+        RawObservation::new(19, 530, 56.0),
+        RawObservation::new(19, 531, 38.0),
+        RawObservation::new(19, 531, 97.0),
+    ]);
+    // Fifty reports for road 20, delays clustered around 64s.
+    learner.observe_all(
+        (0..50).map(|i| RawObservation::new(20, 529 + i % 3, 55.0 + (i * 7 % 20) as f64)),
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Learning: raw records become ONE probabilistic tuple per road,
+    //    each carrying accuracy information.
+    // ------------------------------------------------------------------
+    let schema = learner.schema().clone();
+    let tuples = learner.emit_window(500)?;
+    println!("learned {} probabilistic tuples:\n", tuples.len());
+    for t in &tuples {
+        let road = &t.fields[0].value;
+        let field = &t.fields[1];
+        let dist = field.value.as_dist()?;
+        let info = field.accuracy.as_ref().expect("learner attaches accuracy");
+        let mu = info.mean_ci.expect("mean interval present");
+        println!(
+            "  road {road}: mean delay {:.1}s from n={} observations; 90% CI for mu = {mu}",
+            dist.mean(),
+            field.sample_size.expect("learned field has provenance"),
+        );
+    }
+    println!();
+
+    // ------------------------------------------------------------------
+    // 3. The accuracy-oblivious query (the paper's introduction): both
+    //    roads satisfy "delay > 50 with probability 2/3" — even road 19,
+    //    whose 3 observations hardly support any conclusion.
+    // ------------------------------------------------------------------
+    let mut session = Session::new();
+    session.register("t", schema, tuples);
+    let (_, oblivious) =
+        run_sql(&session, "SELECT road_id FROM t WHERE delay > 50 PROB 0.66")?;
+    println!(
+        "accuracy-oblivious threshold query returns {} roads: {:?}",
+        oblivious.len(),
+        oblivious.iter().map(|t| t.fields[0].value.to_string()).collect::<Vec<_>>()
+    );
+
+    // ------------------------------------------------------------------
+    // 4. The accuracy-aware version: a significance predicate demands the
+    //    claim be statistically significant at alpha = 0.05.
+    // ------------------------------------------------------------------
+    let (_, significant) =
+        run_sql(&session, "SELECT road_id FROM t HAVING PTEST(delay > 50, 0.66, 0.05)")?;
+    println!(
+        "significance predicate keeps {} road(s): {:?}",
+        significant.len(),
+        significant.iter().map(|t| t.fields[0].value.to_string()).collect::<Vec<_>>()
+    );
+    println!("\nroad 19's 3 observations cannot make the claim significant; road 20's 50 can.");
+    Ok(())
+}

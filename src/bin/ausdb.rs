@@ -1,0 +1,217 @@
+//! `ausdb` — the interactive shell.
+//!
+//! A small REPL over an accuracy-aware session:
+//!
+//! ```text
+//! $ cargo run --bin ausdb                       # empty session
+//! $ cargo run --bin ausdb -- --demo             # with a simulated network
+//! ausdb> \load traffic.csv roads Segment_ID Time Delay
+//! ausdb> SELECT road_id FROM roads HAVING PTEST(delay > 50, 0.66, 0.05);
+//! ausdb> EXPLAIN SELECT * FROM roads WHERE delay > 50 PROB 0.66;
+//! ausdb> \streams
+//! ausdb> \quit
+//! ```
+//!
+//! Meta-commands start with `\`; anything else is parsed as extended SQL.
+//! `EXPLAIN <query>` prints the physical plan instead of running it.
+
+use std::io::{BufRead, Write};
+
+use ausdb::datagen::cartel::CartelSim;
+use ausdb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut session = Session::new();
+    if args.iter().any(|a| a == "--demo") {
+        load_demo(&mut session)?;
+        eprintln!("demo session: stream 'roads' registered (simulated CarTel network)");
+    }
+    eprintln!("ausdb shell — \\help for commands, \\quit to exit");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            write!(out, "ausdb> ")?;
+        } else {
+            write!(out, "   ...> ")?;
+        }
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if buffer.is_empty() && line.starts_with('\\') {
+            match run_meta(&mut session, line) {
+                MetaResult::Continue => continue,
+                MetaResult::Quit => break,
+            }
+        }
+        buffer.push_str(line);
+        buffer.push(' ');
+        // Statements end with ';' (or a meta-command interrupted us above).
+        if line.ends_with(';') {
+            let stmt = std::mem::take(&mut buffer);
+            run_statement(&session, stmt.trim());
+        }
+    }
+    Ok(())
+}
+
+enum MetaResult {
+    Continue,
+    Quit,
+}
+
+fn run_meta(session: &mut Session, line: &str) -> MetaResult {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    match parts[0] {
+        "\\quit" | "\\q" => return MetaResult::Quit,
+        "\\help" | "\\h" => {
+            println!("meta-commands:");
+            println!("  \\streams                          list registered streams");
+            println!("  \\drop NAME                        unregister a stream");
+            println!("  \\load FILE STREAM KEY TS VALUE    ingest a CSV of raw observations,");
+            println!("                                    learn per-key distributions, register");
+            println!("  \\help, \\quit");
+            println!("anything else: extended SQL terminated by ';'");
+            println!("  EXPLAIN SELECT ...;               show the physical plan");
+        }
+        "\\streams" => {
+            for (name, n) in session.streams() {
+                println!("  {name}: {n} tuples");
+            }
+        }
+        "\\drop" => match parts.get(1) {
+            Some(name) => {
+                if session.drop_stream(name) {
+                    println!("dropped '{name}'");
+                } else {
+                    println!("no stream named '{name}'");
+                }
+            }
+            None => println!("usage: \\drop NAME"),
+        },
+        "\\load" => {
+            if parts.len() != 6 {
+                println!("usage: \\load FILE STREAM KEY_COL TS_COL VALUE_COL");
+            } else if let Err(e) =
+                load_csv(session, parts[1], parts[2], parts[3], parts[4], parts[5])
+            {
+                println!("load failed: {e}");
+            }
+        }
+        other => println!("unknown meta-command {other}; try \\help"),
+    }
+    MetaResult::Continue
+}
+
+fn load_csv(
+    session: &mut Session,
+    file: &str,
+    stream: &str,
+    key: &str,
+    ts: &str,
+    value: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let obs = read_csv_observations(file, &CsvColumns::new(key, ts, value), ',')?;
+    let count = obs.len();
+    let mut learner = StreamLearner::with_column_names(
+        LearnerConfig {
+            kind: DistKind::Empirical,
+            level: 0.9,
+            window_width: u64::MAX,
+            min_observations: 2,
+        },
+        key,
+        value,
+    );
+    learner.observe_all(obs);
+    let schema = learner.schema().clone();
+    let tuples = learner.emit_window(0)?;
+    println!(
+        "loaded {count} observations -> {} probabilistic tuples into '{stream}'",
+        tuples.len()
+    );
+    session.register(stream, schema, tuples);
+    Ok(())
+}
+
+fn run_statement(session: &Session, stmt: &str) {
+    let stmt = stmt.strip_suffix(';').unwrap_or(stmt).trim();
+    if let Some(sql) = stmt
+        .strip_prefix("EXPLAIN ")
+        .or_else(|| stmt.strip_prefix("explain "))
+    {
+        match explain(session, sql) {
+            Ok(plan) => println!("{plan}"),
+            Err(e) => println!("error: {e}"),
+        }
+        return;
+    }
+    match run_sql(session, stmt) {
+        Ok((schema, rows)) => print_rows(&schema, &rows),
+        Err(e) => println!("error: {e}"),
+    }
+}
+
+fn explain(session: &Session, sql: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let stmt = ausdb::sql::parse(sql)?;
+    let schema = session.schema_of(&stmt.from)?.clone();
+    let planned = ausdb::sql::plan(&stmt, Some(&schema))?;
+    Ok(planned.query.explain(&planned.from))
+}
+
+fn print_rows(schema: &Schema, rows: &[Tuple]) {
+    let names: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+    println!("{}", names.join(" | "));
+    for row in rows.iter().take(40) {
+        let mut cells: Vec<String> = Vec::with_capacity(row.fields.len());
+        for f in &row.fields {
+            let mut s = f.value.to_string();
+            if let Some(info) = &f.accuracy {
+                if let Some(mu) = info.mean_ci {
+                    s.push_str(&format!("  mu in {mu} (n={})", info.sample_size));
+                }
+            }
+            cells.push(s);
+        }
+        let memb = if row.membership.is_certain() {
+            String::new()
+        } else {
+            format!("  [p = {:.3}]", row.membership.p)
+        };
+        println!("{}{}", cells.join(" | "), memb);
+    }
+    match rows.len() {
+        0 => println!("(no rows)"),
+        n if n > 40 => println!("... {n} rows total"),
+        n => println!("({n} rows)"),
+    }
+}
+
+fn load_demo(session: &mut Session) -> Result<(), Box<dyn std::error::Error>> {
+    let sim = CartelSim::new(40, 2012);
+    let obs = sim.fleet_observations(600, 4.0, 1);
+    let mut learner = StreamLearner::with_column_names(
+        LearnerConfig {
+            kind: DistKind::Empirical,
+            level: 0.9,
+            window_width: 600,
+            min_observations: 3,
+        },
+        "road_id",
+        "delay",
+    );
+    learner.observe_all(obs);
+    let schema = learner.schema().clone();
+    let tuples = learner.emit_window(0)?;
+    session.register("roads", schema, tuples);
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! # ausdb — an accuracy-aware uncertain stream database
+//!
+//! A from-scratch Rust implementation of *"Accuracy-Aware Uncertain Stream
+//! Databases"* (Tingjian Ge and Fujun Liu, ICDE 2012).
+//!
+//! Classic probabilistic stream systems store a probability distribution
+//! per uncertain attribute and then *trust it completely*. But those
+//! distributions are **learned from samples** — three delay reports for
+//! one road, fifty for another — and a distribution learned from three
+//! observations deserves far less trust. `ausdb` keeps that accuracy
+//! information as a first-class citizen, end to end:
+//!
+//! 1. **Learning** ([`learn`]) turns raw observation streams into
+//!    distributions bundled with confidence intervals on their parameters
+//!    (per-bin probabilities for histograms; μ and σ² for anything else).
+//! 2. **Query processing** ([`engine`]) propagates accuracy through
+//!    queries: the *de-facto sample size* of any derived value is the
+//!    minimum sample size among its inputs (Lemma 3), and result
+//!    distributions carry intervals computed either analytically
+//!    (Theorem 1) or by the `BOOTSTRAP-ACCURACY-INFO` resampling
+//!    algorithm.
+//! 3. **Decision making** ([`engine::sigpred`]) offers *significance
+//!    predicates* — `mTest`, `mdTest`, `pTest` — which only accept a
+//!    statement when it is statistically significant, and the
+//!    `COUPLED-TESTS` algorithm which bounds both false-positive and
+//!    false-negative rates by answering TRUE / FALSE / UNSURE.
+//! 4. **SQL** ([`sql`]) exposes all of it textually:
+//!    `SELECT road_id FROM t WHERE delay > 50 PROB 0.66`,
+//!    `HAVING MTEST(delay, '>', 97, 0.05, 0.05)`,
+//!    `WINDOW AVG(delay) SIZE 1000`, `WITH ACCURACY BOOTSTRAP LEVEL 0.9`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ausdb::prelude::*;
+//!
+//! // Raw delay observations for two roads (Example 1 of the paper):
+//! // road 19 was measured 3 times, road 20 fifty times.
+//! let mut learner = StreamLearner::with_column_names(
+//!     LearnerConfig { kind: DistKind::Empirical, level: 0.9, window_width: 60,
+//!                     min_observations: 2 },
+//!     "road_id", "delay");
+//! learner.observe_all((0..3).map(|i| RawObservation::new(19, i, 60.0 + i as f64 * 18.0)));
+//! learner.observe_all((0..50).map(|i| RawObservation::new(20, i % 50, 55.0 + (i % 21) as f64)));
+//! let tuples = learner.emit_window(0).unwrap();
+//!
+//! // Register the probabilistic stream and query it with a significance
+//! // predicate: only roads whose "delay > 50 with probability 2/3" claim
+//! // is statistically significant survive.
+//! let mut session = Session::new();
+//! session.register("t", learner.schema().clone(), tuples);
+//! let (_schema, rows) = run_sql(
+//!     &session,
+//!     "SELECT road_id FROM t HAVING PTEST(delay > 50, 0.66, 0.05)",
+//! ).unwrap();
+//! // Road 19's three observations cannot support the claim; road 20 can.
+//! assert_eq!(rows.len(), 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Re-export of | Contents |
+//! |---|---|---|
+//! | [`stats`] | `ausdb-stats` | special functions, distributions, CIs, hypothesis tests, bootstrap |
+//! | [`model`] | `ausdb-model` | values, attribute distributions, accuracy info, tuples, schemas |
+//! | [`learn`] | `ausdb-learn` | histogram/Gaussian learning + Lemma 1/2 accuracy attachment |
+//! | [`engine`] | `ausdb-engine` | expressions, predicates, significance tests, operators, executor |
+//! | [`sql`] | `ausdb-sql` | extended-SQL lexer/parser/planner |
+//! | [`datagen`] | `ausdb-datagen` | synthetic families, CarTel-style simulator, workloads |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use ausdb_datagen as datagen;
+pub use ausdb_engine as engine;
+pub use ausdb_learn as learn;
+pub use ausdb_model as model;
+pub use ausdb_sql as sql;
+pub use ausdb_stats as stats;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use ausdb_engine::ops::{
+        AccuracyMode, Filter, GroupAggKind, GroupBy, HashJoin, Project, Projection, SigFilter,
+        SigMode, TimeWindowAgg, Union, WindowAgg, WindowAggKind,
+    };
+    pub use ausdb_engine::online::{AcquisitionController, SequentialTester};
+    pub use ausdb_engine::predicate::{CmpOp, Predicate};
+    pub use ausdb_engine::query::{
+        execute, GroupBySpec, JoinSpec, Query, QueryConfig, Session, WindowMode, WindowSpec,
+    };
+    pub use ausdb_engine::sigpred::{
+        coupled_tests, CoupledConfig, FieldStats, SigOutcome, SigPredicate,
+    };
+    pub use ausdb_engine::{BinOp, EngineError, Expr, UnaryOp};
+    pub use ausdb_learn::accuracy::{learn_with_accuracy, DistKind};
+    pub use ausdb_learn::adaptive::{AdaptiveConfig, AdaptiveLearner, DriftEvent};
+    pub use ausdb_learn::drift::{DriftDetector, DriftStatus};
+    pub use ausdb_learn::histogram::{BinSpec, HistogramLearner};
+    pub use ausdb_learn::ingest::{parse_csv_observations, read_csv_observations, CsvColumns};
+    pub use ausdb_learn::learner::{LearnerConfig, RawObservation, StreamLearner};
+    pub use ausdb_learn::weighted::{
+        WeightedDistKind, WeightedLearnerConfig, WeightedStreamLearner,
+    };
+    pub use ausdb_model::accuracy::{AccuracyInfo, TupleProbability};
+    pub use ausdb_model::dist::{AttrDistribution, Histogram};
+    pub use ausdb_model::schema::{Column, ColumnType, Schema};
+    pub use ausdb_model::stream::{Batch, TupleStream, VecStream};
+    pub use ausdb_model::tuple::{Field, Tuple};
+    pub use ausdb_model::value::Value;
+    pub use ausdb_sql::planner::run_sql;
+    pub use ausdb_stats::ci::ConfidenceInterval;
+    pub use ausdb_stats::htest::Alternative;
+    pub use ausdb_stats::ks::{ks_test_one_sample, ks_test_two_sample};
+    pub use ausdb_stats::weighted::WeightedSummary;
+}

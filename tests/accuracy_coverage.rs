@@ -1,0 +1,188 @@
+//! Statistical integration tests: do the intervals the system reports
+//! actually cover the truth at (about) the advertised rate, end to end
+//! through the public API?
+
+use ausdb::engine::bootstrap::bootstrap_accuracy_info;
+use ausdb::engine::dfsample::{df_sample_count_ln, df_sample_size};
+use ausdb::engine::mc::monte_carlo;
+use ausdb::prelude::*;
+use ausdb::stats::dist::{ContinuousDistribution, Gamma, Normal};
+use ausdb::stats::rng::seeded;
+use ausdb::stats::summary::Summary;
+
+#[test]
+fn analytical_mean_interval_coverage_through_project() {
+    // SELECT (a+b)/2 over Gaussian inputs via the Project operator: the
+    // true result mean is (mu_a + mu_b)/2; the analytical 90% CI from
+    // Theorem 1 should cover it near-nominally across repetitions.
+    let mut rng = seeded(42);
+    let da = Normal::new(10.0, 2.0).unwrap();
+    let db = Normal::new(20.0, 3.0).unwrap();
+    let true_mean = 15.0;
+    let trials = 200;
+    let mut hits = 0;
+    for i in 0..trials {
+        let (na, nb) = (12, 18);
+        let a = AttrDistribution::empirical(da.sample_n(&mut rng, na)).unwrap();
+        let b = AttrDistribution::empirical(db.sample_n(&mut rng, nb)).unwrap();
+        let schema = Schema::new(vec![
+            Column::new("a", ColumnType::Dist),
+            Column::new("b", ColumnType::Dist),
+        ])
+        .unwrap();
+        let tuples =
+            vec![Tuple::certain(0, vec![Field::learned(a, na), Field::learned(b, nb)])];
+        let source = VecStream::new(schema, tuples, 4);
+        let expr = Expr::bin(
+            BinOp::Div,
+            Expr::bin(BinOp::Add, Expr::col("a"), Expr::col("b")),
+            Expr::Const(2.0),
+        );
+        let mut proj = Project::new(
+            source,
+            vec![Projection::new("y", expr)],
+            AccuracyMode::Analytical { level: 0.9 },
+            800,
+            1000 + i,
+        )
+        .unwrap();
+        let out = proj.collect_all();
+        let field = &out[0].fields[0];
+        assert_eq!(field.sample_size, Some(12), "Lemma 3: min(12, 18)");
+        if field.accuracy.as_ref().unwrap().mean_ci.unwrap().contains(true_mean) {
+            hits += 1;
+        }
+    }
+    let coverage = hits as f64 / trials as f64;
+    assert!(
+        coverage > 0.75,
+        "90% analytical intervals covered the truth only {coverage} of the time"
+    );
+}
+
+#[test]
+fn bootstrap_interval_coverage_on_skewed_result() {
+    // SQRT(ABS(g)) over Gamma inputs is skewed; the bootstrap intervals
+    // should still cover the true result mean at a healthy rate.
+    let mut rng = seeded(43);
+    let g = Gamma::new(2.0, 2.0).unwrap();
+    // Ground truth by brute force on the true distribution.
+    let truth: f64 = {
+        let xs = g.sample_n(&mut rng, 400_000);
+        xs.iter().map(|x| x.abs().sqrt()).sum::<f64>() / xs.len() as f64
+    };
+    let schema = Schema::new(vec![Column::new("g", ColumnType::Dist)]).unwrap();
+    let expr = Expr::un(UnaryOp::SqrtAbs, Expr::col("g"));
+    let trials = 150;
+    let n = 25;
+    let mut hits = 0;
+    for _ in 0..trials {
+        let learned = AttrDistribution::empirical(g.sample_n(&mut rng, n)).unwrap();
+        let tuple = Tuple::certain(0, vec![Field::learned(learned, n)]);
+        let values = monte_carlo(&expr, &tuple, &schema, 40 * n, &mut rng).unwrap();
+        let info = bootstrap_accuracy_info(&values, n, 0.9, None).unwrap();
+        if info.mean_ci.unwrap().contains(truth) {
+            hits += 1;
+        }
+    }
+    let coverage = hits as f64 / trials as f64;
+    assert!(coverage > 0.7, "bootstrap coverage {coverage} too low (target ~0.9)");
+}
+
+#[test]
+fn df_sample_size_nested_expressions() {
+    // Lemma 3 through deeply nested expressions: always the min over the
+    // referenced uncertain inputs, regardless of shape.
+    let schema = Schema::new(vec![
+        Column::new("p", ColumnType::Dist),
+        Column::new("q", ColumnType::Dist),
+        Column::new("r", ColumnType::Dist),
+    ])
+    .unwrap();
+    let t = Tuple::certain(
+        0,
+        vec![
+            Field::learned(AttrDistribution::gaussian(1.0, 1.0).unwrap(), 31),
+            Field::learned(AttrDistribution::gaussian(1.0, 1.0).unwrap(), 17),
+            Field::learned(AttrDistribution::gaussian(1.0, 1.0).unwrap(), 59),
+        ],
+    );
+    let e = Expr::un(
+        UnaryOp::Square,
+        Expr::bin(
+            BinOp::Div,
+            Expr::bin(BinOp::Add, Expr::col("p"), Expr::un(UnaryOp::SqrtAbs, Expr::col("r"))),
+            Expr::bin(BinOp::Sub, Expr::col("q"), Expr::Const(0.5)),
+        ),
+    );
+    assert_eq!(df_sample_size(&e, &t, &schema).unwrap(), Some(17));
+    // Dropping q from the expression raises the min to 31.
+    let e = Expr::bin(BinOp::Mul, Expr::col("p"), Expr::col("r"));
+    assert_eq!(df_sample_size(&e, &t, &schema).unwrap(), Some(31));
+    // Lemma 4's count for (17, 31, 59) is astronomically large but finite.
+    let ln_c = df_sample_count_ln(&[31, 17, 59]);
+    assert!(ln_c > 50.0 && ln_c.is_finite());
+}
+
+#[test]
+fn window_average_interval_tracks_truth() {
+    // The closed-form window AVG over learned Gaussians: its analytic CI
+    // must track the true process mean.
+    let truth = 100.0;
+    let proc = Normal::new(truth, 5.0).unwrap();
+    let mut rng = seeded(44);
+    let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap();
+    let tuples: Vec<Tuple> = (0..120)
+        .map(|i| {
+            let sample = proc.sample_n(&mut rng, 20);
+            let s = Summary::of(&sample);
+            Tuple::certain(
+                i,
+                vec![Field::learned(
+                    AttrDistribution::gaussian(s.mean(), s.variance()).unwrap(),
+                    20,
+                )],
+            )
+        })
+        .collect();
+    let source = VecStream::new(schema, tuples, 16);
+    let mut agg = WindowAgg::new(
+        source,
+        "x",
+        WindowAggKind::Avg,
+        40,
+        AccuracyMode::Analytical { level: 0.9 },
+        9,
+    )
+    .unwrap();
+    let out = agg.collect_all();
+    assert_eq!(out.len(), 81);
+    let hits = out
+        .iter()
+        .filter(|t| t.fields[0].accuracy.as_ref().unwrap().mean_ci.unwrap().contains(truth))
+        .count();
+    assert!(
+        hits as f64 / out.len() as f64 > 0.6,
+        "window CIs covered the truth only {hits}/{} times",
+        out.len()
+    );
+}
+
+#[test]
+fn accuracy_mode_none_attaches_nothing() {
+    let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap();
+    let tuples = vec![Tuple::certain(
+        0,
+        vec![Field::learned(AttrDistribution::gaussian(1.0, 1.0).unwrap(), 20)],
+    )];
+    let q = Query::select_all().with_projections(vec![Projection::new(
+        "y",
+        Expr::bin(BinOp::Add, Expr::col("x"), Expr::Const(1.0)),
+    )]);
+    let cfg = QueryConfig { accuracy: AccuracyMode::None, ..QueryConfig::default() };
+    let source = VecStream::new(schema, tuples, 4);
+    let (_, rows) = execute(source, &q, cfg).unwrap();
+    assert!(rows[0].fields[0].accuracy.is_none());
+    // But provenance (the d.f. sample size) is still tracked.
+    assert_eq!(rows[0].fields[0].sample_size, Some(20));
+}

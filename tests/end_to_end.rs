@@ -1,0 +1,179 @@
+//! End-to-end integration: raw fleet observations → learner → session →
+//! extended SQL → accuracy-aware results. Spans every crate.
+
+use ausdb::datagen::cartel::CartelSim;
+use ausdb::prelude::*;
+
+/// Builds a session over a simulated network, exactly as a deployment
+/// would: fleet reports in, probabilistic tuples out.
+fn cartel_session(segments: usize, minutes: u64) -> (CartelSim, Session) {
+    let sim = CartelSim::new(segments, 77);
+    let obs = sim.fleet_observations(minutes * 60, 6.0, 5);
+    let mut learner = StreamLearner::with_column_names(
+        LearnerConfig {
+            kind: DistKind::Empirical,
+            level: 0.9,
+            window_width: minutes * 60,
+            min_observations: 3,
+        },
+        "road_id",
+        "delay",
+    );
+    learner.observe_all(obs);
+    let schema = learner.schema().clone();
+    let tuples = learner.emit_window(0).expect("learning succeeds");
+    assert!(!tuples.is_empty(), "fleet coverage should produce tuples");
+    let mut session = Session::new();
+    session.register("roads", schema, tuples);
+    (sim, session)
+}
+
+#[test]
+fn learned_tuples_carry_heterogeneous_accuracy() {
+    let (_, session) = cartel_session(30, 10);
+    let (_, rows) = run_sql(&session, "SELECT road_id, delay FROM roads").unwrap();
+    let mut sizes: Vec<usize> = rows
+        .iter()
+        .map(|t| t.fields[1].sample_size.expect("learned provenance"))
+        .collect();
+    sizes.sort_unstable();
+    assert!(
+        sizes.first() != sizes.last(),
+        "report rates vary, so sample sizes must vary: {sizes:?}"
+    );
+    // Accuracy is attached and wider for less-sampled roads, on average.
+    let mut by_n: Vec<(usize, f64)> = rows
+        .iter()
+        .map(|t| {
+            let f = &t.fields[1];
+            let ci = f.accuracy.as_ref().unwrap().mean_ci.unwrap();
+            let rel = ci.length() / f.value.as_dist().unwrap().mean().max(1.0);
+            (f.sample_size.unwrap(), rel)
+        })
+        .collect();
+    by_n.sort_by_key(|&(n, _)| n);
+    let small_avg: f64 =
+        by_n[..by_n.len() / 3].iter().map(|&(_, l)| l).sum::<f64>() / (by_n.len() / 3) as f64;
+    let large_avg: f64 = by_n[2 * by_n.len() / 3..].iter().map(|&(_, l)| l).sum::<f64>()
+        / (by_n.len() - 2 * by_n.len() / 3) as f64;
+    assert!(
+        small_avg > large_avg,
+        "relative interval length should shrink with n: small-n {small_avg} vs large-n {large_avg}"
+    );
+}
+
+#[test]
+fn threshold_query_vs_significance_query() {
+    let (_, session) = cartel_session(40, 10);
+    // Oblivious threshold vs the significance-aware counterpart of the
+    // same decision: the significance version must be at least as strict.
+    let (_, oblivious) =
+        run_sql(&session, "SELECT road_id FROM roads WHERE delay > 60 PROB 0.6").unwrap();
+    let (_, aware) =
+        run_sql(&session, "SELECT road_id FROM roads HAVING PTEST(delay > 60, 0.6, 0.05)")
+            .unwrap();
+    assert!(
+        aware.len() <= oblivious.len(),
+        "significance ({}) cannot pass more tuples than the raw threshold ({})",
+        aware.len(),
+        oblivious.len()
+    );
+}
+
+#[test]
+fn possible_world_filter_attaches_membership_interval() {
+    let (_, session) = cartel_session(25, 10);
+    let (_, rows) = run_sql(&session, "SELECT road_id FROM roads WHERE delay > 60").unwrap();
+    for t in &rows {
+        let m = &t.membership;
+        assert!(m.p > 0.0 && m.p <= 1.0);
+        if !m.is_certain() {
+            let ci = m.ci.expect("filtered tuples carry Lemma 1 intervals");
+            assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+            assert!(ci.contains(m.p), "interval {ci} should contain p = {}", m.p);
+        }
+    }
+}
+
+#[test]
+fn projection_propagates_df_sample_size() {
+    let (_, session) = cartel_session(25, 10);
+    // delay/60: same column, so the d.f. sample size must equal the
+    // source's.
+    let (_, src) = run_sql(&session, "SELECT road_id, delay FROM roads").unwrap();
+    let (_, derived) =
+        run_sql(&session, "SELECT road_id, delay / 60 AS mins FROM roads").unwrap();
+    for (s, d) in src.iter().zip(&derived) {
+        assert_eq!(
+            s.fields[1].sample_size, d.fields[1].sample_size,
+            "Lemma 3 over a single input preserves n"
+        );
+        // And the derived mean is the source mean rescaled — up to the
+        // Monte-Carlo noise of the projection's value sequence.
+        let sm = s.fields[1].value.as_dist().unwrap().mean();
+        let sd = s.fields[1].value.as_dist().unwrap().std_dev();
+        let m = d.fields[1].value.as_dist().unwrap().raw_sample().map(|v| v.len()).unwrap_or(1000);
+        let tol = 4.0 * (sd / 60.0) / (m as f64).sqrt() + 1e-9;
+        let dm = d.fields[1].value.as_dist().unwrap().mean();
+        assert!((dm - sm / 60.0).abs() < tol, "{dm} vs {} (tol {tol})", sm / 60.0);
+    }
+}
+
+#[test]
+fn window_pipeline_over_live_learned_data() {
+    // Gaussian learning + sliding window + significance, all through SQL.
+    let sim = CartelSim::new(6, 5);
+    let seg = &sim.segments()[0];
+    let mut rng = sim.rng_for(1);
+    let schema = Schema::new(vec![Column::new("delay", ColumnType::Dist)]).unwrap();
+    let tuples: Vec<Tuple> = (0..200)
+        .map(|i| {
+            let sample = seg.observe_n(&mut rng, 20);
+            let (dist, info) = learn_with_accuracy(&sample, DistKind::Gaussian, 0.9).unwrap();
+            Tuple::certain(i, vec![Field::learned(dist, 20).with_accuracy(info)])
+        })
+        .collect();
+    let mut session = Session::new();
+    session.register("s", schema, tuples);
+    let (schema, rows) = run_sql(
+        &session,
+        "SELECT avg_delay FROM s WINDOW AVG(delay) SIZE 50 WITH ACCURACY ANALYTICAL",
+    )
+    .unwrap();
+    assert_eq!(schema.column(0).name, "avg_delay");
+    assert_eq!(rows.len(), 151);
+    // Window averages should hug the segment's true mean, and the 90% CI
+    // should contain it most of the time.
+    let hits = rows
+        .iter()
+        .filter(|t| {
+            t.fields[0].accuracy.as_ref().unwrap().mean_ci.unwrap().contains(seg.true_mean())
+        })
+        .count();
+    assert!(
+        hits as f64 / rows.len() as f64 > 0.5,
+        "window CIs should usually contain the true mean ({hits}/{})",
+        rows.len()
+    );
+}
+
+#[test]
+fn bootstrap_accuracy_clause_end_to_end() {
+    let (_, session) = cartel_session(20, 10);
+    let (_, rows) = run_sql(
+        &session,
+        "SELECT delay * 2 AS doubled FROM roads WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 800",
+    )
+    .unwrap();
+    for t in &rows {
+        let f = &t.fields[0];
+        let info = f.accuracy.as_ref().expect("bootstrap accuracy attached");
+        let mu = info.mean_ci.expect("mean interval");
+        let dist_mean = f.value.as_dist().unwrap().mean();
+        assert!(
+            mu.lo <= dist_mean && dist_mean <= mu.hi,
+            "bootstrap interval {mu} should bracket the learned mean {dist_mean}"
+        );
+        assert!(info.variance_ci.is_some());
+    }
+}

@@ -1,0 +1,207 @@
+//! Integration tests for the extensions beyond the paper's core:
+//! recency-weighted learning, GROUP BY, JOIN, UNION, and time windows.
+
+use ausdb::learn::weighted::{WeightedLearnerConfig, WeightedStreamLearner};
+use ausdb::prelude::*;
+use ausdb::stats::dist::{ContinuousDistribution, Normal};
+use ausdb::stats::rng::seeded;
+
+#[test]
+fn weighted_learner_feeds_significance_predicates() {
+    // The road got slow recently. A coupled mTest on the weighted
+    // distribution must notice; on the unweighted it must not.
+    let mut rng = seeded(17);
+    let calm = Normal::new(40.0, 5.0).unwrap();
+    let jam = Normal::new(90.0, 8.0).unwrap();
+    let mut reports = Vec::new();
+    for i in 0..40u64 {
+        reports.push(RawObservation::new(1, i * 10, calm.sample(&mut rng)));
+    }
+    for i in 0..20u64 {
+        reports.push(RawObservation::new(1, 400 + i * 10, jam.sample(&mut rng)));
+    }
+    let now = 620;
+
+    let mut weighted = WeightedStreamLearner::with_column_names(
+        WeightedLearnerConfig::gaussian(60.0),
+        "road_id",
+        "delay",
+    );
+    weighted.observe_all(reports.iter().copied());
+    let w_tuples = weighted.emit_at(now).unwrap();
+
+    let mut unweighted = StreamLearner::with_column_names(
+        LearnerConfig {
+            kind: DistKind::Gaussian,
+            level: 0.9,
+            window_width: now + 1,
+            min_observations: 2,
+        },
+        "road_id",
+        "delay",
+    );
+    unweighted.observe_all(reports.iter().copied());
+    let u_tuples = unweighted.emit_window(0).unwrap();
+
+    let pred = SigPredicate::m_test(Expr::col("delay"), Alternative::Greater, 65.0);
+    let cfg = CoupledConfig::default();
+    let schema = weighted.schema().clone();
+    let w_out = coupled_tests(&pred, cfg, &w_tuples[0], &schema, &mut rng).unwrap();
+    let u_out =
+        coupled_tests(&pred, cfg, &u_tuples[0], unweighted.schema(), &mut rng).unwrap();
+    assert_eq!(w_out, SigOutcome::True, "weighted learner sees the jam");
+    assert_ne!(u_out, SigOutcome::True, "unweighted average hides the jam");
+}
+
+#[test]
+fn sql_group_by_after_join() {
+    // Delay readings joined with a category table, then grouped by
+    // category — two extensions composing.
+    let readings_schema = Schema::new(vec![
+        Column::new("road_id", ColumnType::Int),
+        Column::new("delay", ColumnType::Dist),
+    ])
+    .unwrap();
+    let mk = |road: i64, mu: f64, n: usize| {
+        Tuple::certain(
+            0,
+            vec![
+                Field::plain(road),
+                Field::learned(AttrDistribution::gaussian(mu, 4.0).unwrap(), n),
+            ],
+        )
+    };
+    let categories_schema = Schema::new(vec![
+        Column::new("road_id", ColumnType::Int),
+        Column::new("kind", ColumnType::Str),
+    ])
+    .unwrap();
+    let cat = |road: i64, kind: &str| {
+        Tuple::certain(0, vec![Field::plain(road), Field::plain(kind)])
+    };
+    let mut s = Session::new();
+    s.register(
+        "readings",
+        readings_schema,
+        vec![mk(1, 30.0, 20), mk(2, 40.0, 15), mk(3, 100.0, 25), mk(4, 120.0, 30)],
+    );
+    s.register(
+        "categories",
+        categories_schema,
+        vec![cat(1, "local"), cat(2, "local"), cat(3, "highway"), cat(4, "highway")],
+    );
+    let (schema, out) = run_sql(
+        &s,
+        "SELECT kind, AVG(delay) AS mean_delay FROM readings JOIN categories ON road_id \
+         GROUP BY kind",
+    )
+    .unwrap();
+    assert_eq!(schema.column(0).name, "kind");
+    assert_eq!(schema.column(1).name, "mean_delay");
+    assert_eq!(out.len(), 2);
+    // BTreeMap ordering: "highway" before "local".
+    assert_eq!(out[0].fields[0].value, Value::Str("highway".into()));
+    let d = out[0].fields[1].value.as_dist().unwrap();
+    assert!((d.mean() - 110.0).abs() < 1e-9);
+    // Lemma 3 over the group: min(25, 30) = 25.
+    assert_eq!(out[0].fields[1].sample_size, Some(25));
+    let local = out[1].fields[1].value.as_dist().unwrap();
+    assert!((local.mean() - 35.0).abs() < 1e-9);
+}
+
+#[test]
+fn union_feeds_downstream_operators() {
+    // Two sensors' streams unioned, then filtered.
+    let schema = Schema::new(vec![Column::new("temp", ColumnType::Dist)]).unwrap();
+    let mk = |ts: u64, mu: f64| {
+        Tuple::certain(
+            ts,
+            vec![Field::learned(AttrDistribution::gaussian(mu, 1.0).unwrap(), 10)],
+        )
+    };
+    let a = VecStream::new(schema.clone(), vec![mk(0, 50.0), mk(1, 90.0)], 4);
+    let b = VecStream::new(schema.clone(), vec![mk(0, 95.0), mk(1, 40.0)], 4);
+    let u = Union::new(a, b).unwrap();
+    let mut f = Filter::new(
+        u,
+        Predicate::prob_threshold(Expr::col("temp"), CmpOp::Gt, 80.0, 0.9),
+        AccuracyMode::None,
+        100,
+        3,
+    );
+    let out = f.collect_all();
+    assert_eq!(out.len(), 2, "one hot tuple from each sensor");
+}
+
+#[test]
+fn time_window_tracks_bursty_arrivals() {
+    // Readings arrive irregularly; a 60-unit trailing window adapts its
+    // effective size to the arrival density.
+    let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap();
+    let mk = |ts: u64, mu: f64| {
+        Tuple::certain(
+            ts,
+            vec![Field::learned(AttrDistribution::gaussian(mu, 1.0).unwrap(), 20)],
+        )
+    };
+    // Burst at t≈0..20, silence, burst at t≈100.
+    let tuples = vec![mk(0, 10.0), mk(10, 12.0), mk(20, 14.0), mk(100, 50.0), mk(110, 52.0)];
+    let s = VecStream::new(schema, tuples, 8);
+    let mut w = TimeWindowAgg::new(
+        s,
+        "x",
+        WindowAggKind::Avg,
+        60,
+        1,
+        AccuracyMode::Analytical { level: 0.9 },
+        5,
+    )
+    .unwrap();
+    let out = w.collect_all();
+    assert_eq!(out.len(), 5);
+    let last = out.last().unwrap().fields[0].value.as_dist().unwrap();
+    assert!(
+        (last.mean() - 51.0).abs() < 1e-9,
+        "the second burst's window must not include the first burst"
+    );
+    assert!(out
+        .last()
+        .unwrap()
+        .fields[0]
+        .accuracy
+        .as_ref()
+        .unwrap()
+        .mean_ci
+        .unwrap()
+        .contains(51.0));
+}
+
+#[test]
+fn effective_n_visible_through_sql() {
+    // Weighted tuples registered in a session: the advertised sample size
+    // (effective n) flows into pTest decisions through SQL.
+    let mut rng = seeded(23);
+    let d = Normal::new(100.0, 25.0).unwrap();
+    let mut wl = WeightedStreamLearner::with_column_names(
+        WeightedLearnerConfig::gaussian(50.0),
+        "sensor",
+        "temp",
+    );
+    // 30 fresh observations: plenty of effective evidence.
+    for i in 0..30u64 {
+        wl.observe(RawObservation::new(1, 400 + i * 3, d.sample(&mut rng)));
+    }
+    // 30 stale observations for sensor 2 (same values!): little evidence.
+    for i in 0..30u64 {
+        wl.observe(RawObservation::new(2, i, d.sample(&mut rng)));
+    }
+    let tuples = wl.emit_at(500).unwrap();
+    let mut s = Session::new();
+    s.register("t", wl.schema().clone(), tuples);
+    let (_, rows) =
+        run_sql(&s, "SELECT sensor FROM t HAVING MTEST(temp, '>', 90, 0.05, 0.05)").unwrap();
+    // Sensor 1 (fresh data) is significant; sensor 2's stale data has an
+    // effective n too small to support the claim.
+    assert_eq!(rows.len(), 1, "only the freshly-observed sensor passes");
+    assert_eq!(rows[0].fields[0].value, Value::Int(1));
+}

@@ -1,0 +1,327 @@
+//! Property-based tests (proptest) on core invariants, exercised through
+//! the public API.
+
+use ausdb::engine::predicate::prob_cmp;
+use ausdb::prelude::*;
+use ausdb::stats::ci::{
+    mean_interval, percentile_interval, proportion_interval, variance_interval,
+};
+use ausdb::stats::dist::{
+    ChiSquared, ContinuousDistribution, Exponential, Gamma, Normal, StudentT, Uniform, Weibull,
+};
+use ausdb::stats::special::{
+    inv_reg_gamma_p, inv_std_normal_cdf, reg_gamma_p, reg_inc_beta, std_normal_cdf,
+};
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------- special functions ----------------
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip(p in 1e-6..=0.999_999f64) {
+        let x = inv_std_normal_cdf(p);
+        prop_assert!((std_normal_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reg_gamma_p_monotone_in_x(a in 0.2..=50.0f64, x in 0.0..=100.0f64, dx in 0.01..=5.0f64) {
+        prop_assert!(reg_gamma_p(a, x + dx) >= reg_gamma_p(a, x) - 1e-12);
+    }
+
+    #[test]
+    fn inv_reg_gamma_roundtrip(a in 0.3..=40.0f64, p in 0.001..=0.999f64) {
+        let x = inv_reg_gamma_p(a, p);
+        prop_assert!((reg_gamma_p(a, x) - p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inc_beta_symmetry(a in 0.2..=20.0f64, b in 0.2..=20.0f64, x in 0.001..=0.999f64) {
+        let lhs = reg_inc_beta(a, b, x);
+        let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    // ---------------- distributions ----------------
+
+    #[test]
+    fn gaussian_cdf_bounds(mu in -100.0..=100.0f64, sigma in 0.01..=50.0f64, x in -500.0..=500.0f64) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let c = d.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        // Symmetry around the mean.
+        let mirrored = d.cdf(2.0 * mu - x);
+        prop_assert!((c + mirrored - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_roundtrips_for_all_families(p in 0.01..=0.99f64) {
+        prop_assert!((Exponential::new(1.0).unwrap().cdf(Exponential::new(1.0).unwrap().quantile(p)) - p).abs() < 1e-9);
+        prop_assert!((Gamma::new(2.0, 2.0).unwrap().cdf(Gamma::new(2.0, 2.0).unwrap().quantile(p)) - p).abs() < 1e-6);
+        prop_assert!((Uniform::new(0.0, 1.0).unwrap().cdf(Uniform::new(0.0, 1.0).unwrap().quantile(p)) - p).abs() < 1e-12);
+        prop_assert!((Weibull::new(1.0, 1.0).unwrap().cdf(Weibull::new(1.0, 1.0).unwrap().quantile(p)) - p).abs() < 1e-9);
+        prop_assert!((StudentT::new(9.0).unwrap().cdf(StudentT::new(9.0).unwrap().quantile(p)) - p).abs() < 1e-7);
+        prop_assert!((ChiSquared::new(9.0).unwrap().cdf(ChiSquared::new(9.0).unwrap().quantile(p)) - p).abs() < 1e-7);
+    }
+
+    // ---------------- confidence intervals ----------------
+
+    #[test]
+    fn proportion_interval_contains_estimate(p in 0.0..=1.0f64, n in 1usize..200, level in 0.5..0.995f64) {
+        let ci = proportion_interval(p, n, level);
+        prop_assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+        // Wilson's interval may not be centered on p̂ but must contain it.
+        prop_assert!(ci.lo <= p + 1e-12 && p <= ci.hi + 1e-12, "{ci} vs {p}");
+    }
+
+    #[test]
+    fn proportion_interval_narrows_with_n(p in 0.05..=0.95f64, n in 5usize..100) {
+        let small = proportion_interval(p, n, 0.9);
+        let large = proportion_interval(p, n * 4, 0.9);
+        prop_assert!(large.length() <= small.length() + 1e-12);
+    }
+
+    #[test]
+    fn mean_interval_monotone_in_level(m in -50.0..=50.0f64, s in 0.01..=20.0f64, n in 2usize..200) {
+        let lo = mean_interval(m, s, n, 0.8);
+        let hi = mean_interval(m, s, n, 0.99);
+        prop_assert!(hi.length() >= lo.length());
+        prop_assert!(lo.contains(m) && hi.contains(m));
+    }
+
+    #[test]
+    fn variance_interval_contains_s2(s2 in 0.0001..=1000.0f64, n in 2usize..200) {
+        let ci = variance_interval(s2, n, 0.9);
+        prop_assert!(ci.lo > 0.0);
+        prop_assert!(ci.contains(s2), "{ci} should contain {s2}");
+    }
+
+    #[test]
+    fn percentile_interval_within_data(values in prop::collection::vec(-1e6..1e6f64, 2..200), level in 0.5..0.99f64) {
+        let ci = percentile_interval(&values, level);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(ci.lo >= min - 1e-9 && ci.hi <= max + 1e-9);
+    }
+
+    // ---------------- model invariants ----------------
+
+    #[test]
+    fn histogram_probabilities_normalized(raw in prop::collection::vec(0.01..10.0f64, 1..12)) {
+        let edges: Vec<f64> = (0..=raw.len()).map(|i| i as f64).collect();
+        let h = Histogram::new(edges, raw).unwrap();
+        let total: f64 = h.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!((h.cdf(h.edges()[h.num_bins()]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_cmp_complementary(mu in -10.0..=10.0f64, var in 0.01..=25.0f64, t in -30.0..=30.0f64) {
+        let d = AttrDistribution::gaussian(mu, var).unwrap();
+        let gt = prob_cmp(&d, CmpOp::Gt, t);
+        let le = prob_cmp(&d, CmpOp::Le, t);
+        prop_assert!((gt + le - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_mean_matches_sample(xs in prop::collection::vec(-1e3..1e3f64, 1..100)) {
+        let expected = xs.iter().sum::<f64>() / xs.len() as f64;
+        let d = AttrDistribution::empirical(xs).unwrap();
+        prop_assert!((d.mean() - expected).abs() < 1e-6);
+    }
+
+    // ---------------- learning invariants ----------------
+
+    #[test]
+    fn learner_bin_cis_bracket_heights(xs in prop::collection::vec(-100.0..100.0f64, 8..80)) {
+        // Guard against degenerate constant samples.
+        let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assume!(spread > 1e-6);
+        let (dist, info) = learn_with_accuracy(&xs, DistKind::Histogram(BinSpec::Fixed(4)), 0.9).unwrap();
+        let AttrDistribution::Histogram(h) = dist else { panic!("expected histogram") };
+        let cis = info.bin_cis.as_ref().unwrap();
+        for (ci, &p) in cis.iter().zip(h.probs()) {
+            prop_assert!(ci.lo <= p + 1e-9 && p <= ci.hi + 1e-9, "{ci} vs bin height {p}");
+        }
+    }
+}
+
+proptest! {
+    // ---------------- weighted statistics ----------------
+
+    #[test]
+    fn weighted_uniform_matches_unweighted(xs in prop::collection::vec(-1e3..1e3f64, 2..60)) {
+        use ausdb::stats::summary::Summary;
+        let pairs: Vec<(f64, f64)> = xs.iter().map(|&x| (x, 1.0)).collect();
+        let ws = WeightedSummary::of(&pairs);
+        let s = Summary::of(&xs);
+        prop_assert!((ws.mean() - s.mean()).abs() < 1e-6);
+        prop_assert!((ws.effective_n() - xs.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kish_n_between_one_and_count(
+        pairs in prop::collection::vec((-1e3..1e3f64, 0.001..10.0f64), 1..60)
+    ) {
+        let ws = WeightedSummary::of(&pairs);
+        let n_eff = ws.effective_n();
+        prop_assert!(n_eff >= 1.0 - 1e-9, "n_eff {n_eff}");
+        prop_assert!(n_eff <= pairs.len() as f64 + 1e-9, "n_eff {n_eff} > count");
+    }
+
+    #[test]
+    fn weighted_mean_within_value_range(
+        pairs in prop::collection::vec((-1e3..1e3f64, 0.001..10.0f64), 1..60)
+    ) {
+        let ws = WeightedSummary::of(&pairs);
+        let min = pairs.iter().map(|&(x, _)| x).fold(f64::MAX, f64::min);
+        let max = pairs.iter().map(|&(x, _)| x).fold(f64::MIN, f64::max);
+        prop_assert!(ws.mean() >= min - 1e-9 && ws.mean() <= max + 1e-9);
+    }
+
+    // ---------------- expression round trips ----------------
+
+    /// Engine expressions printed with Display re-parse to the same tree
+    /// through the SQL front end.
+    #[test]
+    fn expr_display_reparses(seed in 0u64..500) {
+        use ausdb::datagen::workload::WorkloadGen;
+        let q = WorkloadGen::paper(42).generate(seed);
+        let sql = format!("SELECT {} FROM s", q.expr);
+        let stmt = ausdb::sql::parse(&sql).expect("Display output must parse");
+        let planned = ausdb::sql::plan(&stmt, None).expect("plans without schema");
+        let reparsed = &planned.query.projections[0].expr;
+        prop_assert_eq!(
+            format!("{}", reparsed),
+            format!("{}", q.expr),
+            "round trip changed the tree"
+        );
+    }
+
+    // ---------------- online control ----------------
+
+    #[test]
+    fn acquisition_interval_narrows_monotonically_in_n(
+        target in 0.5..5.0f64,
+        base in -100.0..100.0f64
+    ) {
+        let mut c = AcquisitionController::new(target, 0.9);
+        let mut prev = f64::INFINITY;
+        // A deterministic alternating sequence: width must shrink with n.
+        for i in 0..60 {
+            let x = base + if i % 2 == 0 { 1.0 } else { -1.0 };
+            c.observe(x);
+            if c.n() >= 5 && c.n().is_multiple_of(10) {
+                let w = c.current_interval().length();
+                prop_assert!(w <= prev + 1e-9, "width {w} grew past {prev}");
+                prev = w;
+            }
+        }
+    }
+}
+
+// ---------------- whole-pipeline robustness ----------------
+
+/// A session with a small mixed-schema stream for generated queries.
+fn fuzz_session() -> Session {
+    use ausdb::stats::rng::seeded;
+    use ausdb::stats::dist::{ContinuousDistribution, Normal};
+    let schema = Schema::new(vec![
+        Column::new("id", ColumnType::Int),
+        Column::new("a", ColumnType::Dist),
+        Column::new("b", ColumnType::Dist),
+        Column::new("k", ColumnType::Float),
+    ])
+    .unwrap();
+    let mut rng = seeded(4242);
+    let d = Normal::new(10.0, 3.0).unwrap();
+    let tuples: Vec<Tuple> = (0..6)
+        .map(|i| {
+            Tuple::certain(
+                i,
+                vec![
+                    Field::plain((i % 3) as i64),
+                    Field::learned(
+                        AttrDistribution::empirical(d.sample_n(&mut rng, 12)).unwrap(),
+                        12,
+                    ),
+                    Field::learned(
+                        AttrDistribution::gaussian(5.0 + i as f64, 2.0).unwrap(),
+                        8 + i as usize,
+                    ),
+                    Field::plain(i as f64),
+                ],
+            )
+        })
+        .collect();
+    let mut s = Session::new();
+    s.register("t", schema, tuples);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structurally valid generated queries must never panic: they either
+    /// produce rows or a clean error.
+    #[test]
+    fn generated_queries_never_panic(
+        col in prop::sample::select(vec!["a", "b", "k", "id"]),
+        op in prop::sample::select(vec![">", "<", ">=", "<=", "=", "<>"]),
+        threshold in -20.0..40.0f64,
+        tau in 0.05..0.95f64,
+        limit in 0usize..10,
+        desc in proptest::bool::ANY,
+        clause in 0u8..6,
+    ) {
+        let s = fuzz_session();
+        let sql = match clause {
+            0 => format!("SELECT id, {col} FROM t WHERE {col} {op} {threshold}"),
+            1 => format!(
+                "SELECT id FROM t WHERE {col} {op} {threshold} PROB {tau} LIMIT {limit}"
+            ),
+            2 => format!(
+                "SELECT id FROM t HAVING MTEST({col}, '>', {threshold}, 0.05, 0.05)"
+            ),
+            3 => format!(
+                "SELECT id FROM t HAVING PTEST({col} > {threshold}, {tau}, 0.05)                  ORDER BY id {}",
+                if desc { "DESC" } else { "ASC" }
+            ),
+            4 => format!("SELECT id, AVG({col}) FROM t GROUP BY id LIMIT {limit}"),
+            5 => format!(
+                "SELECT {col} / 2 AS half FROM t ORDER BY half {} LIMIT {limit}",
+                if desc { "DESC" } else { "ASC" }
+            ),
+            _ => unreachable!(),
+        };
+        // Must not panic; both Ok and Err are acceptable outcomes (e.g. a
+        // significance predicate over the deterministic column errs).
+        let _ = run_sql(&s, &sql);
+    }
+}
+
+// ---------------- SQL robustness ----------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser must never panic, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(input in ".{0,120}") {
+        let _ = ausdb::sql::parse(&input);
+    }
+
+    /// Structured garbage: keyword soup stays panic-free too.
+    #[test]
+    fn parser_survives_keyword_soup(parts in prop::collection::vec(
+        prop::sample::select(vec![
+            "SELECT", "FROM", "WHERE", "WINDOW", "HAVING", "WITH", "ACCURACY",
+            "MTEST", "PTEST", "AVG", "(", ")", ",", "*", "+", "-", "/",
+            ">", "<", "<>", "=", "PROB", "1", "0.5", "x", "'>'", ";",
+        ]),
+        0..25,
+    )) {
+        let q = parts.join(" ");
+        let _ = ausdb::sql::parse(&q);
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration tests for significance predicates, including the paper's
+//! worked Examples 8 and 9 run end-to-end through the engine and SQL.
+
+use ausdb::prelude::*;
+use ausdb::stats::rng::seeded;
+
+/// Example 8's two temperature fields: X from 5 raw observations,
+/// Y from 100 (40 below 100, 60 above), same mean story.
+fn example8_session() -> Session {
+    let schema = Schema::new(vec![
+        Column::new("id", ColumnType::Int),
+        Column::new("temperature", ColumnType::Dist),
+    ])
+    .unwrap();
+    let x = AttrDistribution::empirical(vec![82.0, 86.0, 105.0, 110.0, 119.0]).unwrap();
+    let mut y_raw = vec![95.0; 40];
+    y_raw.extend(std::iter::repeat_n(104.0, 60));
+    let y = AttrDistribution::empirical(y_raw).unwrap();
+    let tuples = vec![
+        Tuple::certain(0, vec![Field::plain(1i64), Field::learned(x, 5)]),
+        Tuple::certain(1, vec![Field::plain(2i64), Field::learned(y, 100)]),
+    ];
+    let mut s = Session::new();
+    s.register("stream", schema, tuples);
+    s
+}
+
+#[test]
+fn example8_probability_threshold_accepts_both() {
+    // P1: temperature >_{0.5} 100 — both fields have Pr ≈ 0.6 > 0.5, so
+    // the accuracy-oblivious predicate accepts both (the problem!).
+    let s = example8_session();
+    let (_, rows) =
+        run_sql(&s, "SELECT id FROM stream WHERE temperature > 100 PROB 0.5").unwrap();
+    assert_eq!(rows.len(), 2, "accuracy-oblivious threshold keeps both");
+}
+
+#[test]
+fn example9_ptest_keeps_only_y() {
+    // pTest("temperature > 100", 0.5, 0.05): only Y satisfies.
+    let s = example8_session();
+    let (_, rows) = run_sql(
+        &s,
+        "SELECT id FROM stream HAVING PTEST(temperature > 100, 0.5, 0.05)",
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].fields[0].value, Value::Int(2));
+}
+
+#[test]
+fn example9_mtest_keeps_only_y() {
+    // mTest(temperature, ">", 97, 0.05): only Y satisfies.
+    let s = example8_session();
+    let (_, rows) = run_sql(
+        &s,
+        "SELECT id FROM stream HAVING MTEST(temperature, '>', 97, 0.05)",
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].fields[0].value, Value::Int(2));
+}
+
+#[test]
+fn coupled_sql_form_distinguishes_three_outcomes() {
+    let s = example8_session();
+    // With the coupled form (two alphas), X is UNSURE for the ">" claim
+    // (dropped), Y is TRUE (kept). For the "<" claim Y is FALSE.
+    let (_, gt) = run_sql(
+        &s,
+        "SELECT id FROM stream HAVING MTEST(temperature, '>', 97, 0.05, 0.05)",
+    )
+    .unwrap();
+    assert_eq!(gt.len(), 1);
+    let (_, lt) = run_sql(
+        &s,
+        "SELECT id FROM stream HAVING MTEST(temperature, '<', 97, 0.05, 0.05)",
+    )
+    .unwrap();
+    assert!(lt.is_empty(), "nobody's mean is significantly below 97");
+}
+
+#[test]
+fn coupled_two_sided_never_false_at_engine_level() {
+    // Theorem 3's '<>' case: the coupled test splits alpha1 and cannot
+    // return FALSE. Exercise through the public engine API.
+    let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap();
+    let mut rng = seeded(3);
+    let pred = SigPredicate::m_test(Expr::col("x"), Alternative::TwoSided, 10.0);
+    let config = CoupledConfig::default();
+    for mean in [0.0, 5.0, 9.9, 10.0, 10.1, 20.0] {
+        let t = Tuple::certain(
+            0,
+            vec![Field::learned(AttrDistribution::gaussian(mean, 4.0).unwrap(), 25)],
+        );
+        let out = coupled_tests(&pred, config, &t, &schema, &mut rng).unwrap();
+        assert_ne!(out, SigOutcome::False, "two-sided coupled test returned FALSE at mean {mean}");
+    }
+}
+
+#[test]
+fn error_rates_hold_through_the_full_query_path() {
+    // Simulated verification of Theorem 3 THROUGH SQL: repeat a coupled
+    // mTest query over fresh samples where H1 is false; TRUE answers are
+    // false positives and must stay near alpha1.
+    use ausdb::stats::dist::{ContinuousDistribution, Normal};
+    let d = Normal::new(50.0, 8.0).unwrap();
+    let mut rng = seeded(11);
+    let trials = 300;
+    let mut fp = 0;
+    for _ in 0..trials {
+        let sample = d.sample_n(&mut rng, 20);
+        let (dist, info) = learn_with_accuracy(&sample, DistKind::Empirical, 0.9).unwrap();
+        let schema = Schema::new(vec![Column::new("v", ColumnType::Dist)]).unwrap();
+        let tuples = vec![Tuple::certain(0, vec![Field::learned(dist, 20).with_accuracy(info)])];
+        let mut s = Session::new();
+        s.register("t", schema, tuples);
+        // H1 "mean > 50" is false (equality): TRUE ⇒ false positive.
+        let (_, rows) =
+            run_sql(&s, "SELECT v FROM t HAVING MTEST(v, '>', 50, 0.05, 0.05)").unwrap();
+        if !rows.is_empty() {
+            fp += 1;
+        }
+    }
+    let rate = fp as f64 / trials as f64;
+    assert!(rate <= 0.09, "SQL-path false-positive rate {rate} exceeds the 0.05 spec");
+}
+
+#[test]
+fn mdtest_sql_between_two_fields() {
+    let schema = Schema::new(vec![
+        Column::new("a", ColumnType::Dist),
+        Column::new("b", ColumnType::Dist),
+    ])
+    .unwrap();
+    let tuples = vec![Tuple::certain(
+        0,
+        vec![
+            Field::learned(AttrDistribution::gaussian(10.0, 1.0).unwrap(), 40),
+            Field::learned(AttrDistribution::gaussian(8.0, 1.0).unwrap(), 40),
+        ],
+    )];
+    let mut s = Session::new();
+    s.register("t", schema, tuples);
+    let (_, rows) =
+        run_sql(&s, "SELECT a FROM t HAVING MDTEST(a, b, '>', 0, 0.05, 0.05)").unwrap();
+    assert_eq!(rows.len(), 1, "a's mean is significantly above b's");
+    let (_, rows) =
+        run_sql(&s, "SELECT a FROM t HAVING MDTEST(a, b, '<', 0, 0.05, 0.05)").unwrap();
+    assert!(rows.is_empty());
+}
