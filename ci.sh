@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, and the tier-1 verification suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "CI OK"

@@ -17,11 +17,8 @@ use std::hint::black_box;
 const N: usize = 4_000;
 
 fn schema() -> Schema {
-    Schema::new(vec![
-        Column::new("id", ColumnType::Int),
-        Column::new("x", ColumnType::Dist),
-    ])
-    .unwrap()
+    Schema::new(vec![Column::new("id", ColumnType::Int), Column::new("x", ColumnType::Dist)])
+        .unwrap()
 }
 
 fn tuples() -> Vec<Tuple> {

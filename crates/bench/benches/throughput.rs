@@ -9,12 +9,21 @@
 //! items by the reported time to recover tuples/second.
 
 use ausdb_bench::fig5cf::{generate_items, run_sig_pipeline, run_window_pipeline, SigStage};
+use ausdb_engine::expr::{BinOp, Expr, UnaryOp};
+use ausdb_engine::mc::{default_threads, monte_carlo, monte_carlo_batch, monte_carlo_par};
 use ausdb_engine::ops::AccuracyMode;
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::AttrDistribution;
+use ausdb_stats::rng::seeded;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 const ITEMS: usize = 8_000;
 const WINDOW: usize = 1_000;
+/// Monte-Carlo values per evaluation in the `mc_paths` group — large
+/// enough for the parallel path's fixed 1024-iteration chunks to fan out.
+const MC_M: usize = 8_192;
 
 fn bench_fig5c(c: &mut Criterion) {
     let items = generate_items(ITEMS, 2012);
@@ -52,5 +61,45 @@ fn bench_fig5f(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig5c, bench_fig5f);
+/// The Fig. 5a/b compound random-query expression over learned Gaussians:
+/// `SQRT(ABS(x·y)) + x/2`.
+fn mc_workload() -> (Expr, Schema, Tuple) {
+    let expr = Expr::bin(
+        BinOp::Add,
+        Expr::un(UnaryOp::SqrtAbs, Expr::bin(BinOp::Mul, Expr::col("x"), Expr::col("y"))),
+        Expr::bin(BinOp::Div, Expr::col("x"), Expr::Const(2.0)),
+    );
+    let schema =
+        Schema::new(vec![Column::new("x", ColumnType::Dist), Column::new("y", ColumnType::Dist)])
+            .expect("two columns");
+    let tuple = Tuple::certain(
+        0,
+        vec![
+            Field::learned(AttrDistribution::gaussian(50.0, 100.0).expect("valid"), 20),
+            Field::learned(AttrDistribution::gaussian(30.0, 25.0).expect("valid"), 20),
+        ],
+    );
+    (expr, schema, tuple)
+}
+
+fn bench_mc_paths(c: &mut Criterion) {
+    let (expr, schema, tuple) = mc_workload();
+    let mut group = c.benchmark_group("mc_paths");
+    group.sample_size(10);
+    group.bench_function("serial_per_draw", |b| {
+        let mut rng = seeded(2012);
+        b.iter(|| black_box(monte_carlo(&expr, &tuple, &schema, MC_M, &mut rng).unwrap()))
+    });
+    group.bench_function("batched", |b| {
+        let mut rng = seeded(2012);
+        b.iter(|| black_box(monte_carlo_batch(&expr, &tuple, &schema, MC_M, &mut rng).unwrap()))
+    });
+    let threads = default_threads();
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(monte_carlo_par(&expr, &tuple, &schema, MC_M, 2012, threads).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5c, bench_fig5f, bench_mc_paths);
 criterion_main!(benches);

@@ -16,9 +16,7 @@
 use ausdb_datagen::workload::WorkloadGen;
 use ausdb_engine::bootstrap::bootstrap_accuracy_info;
 use ausdb_engine::mc::monte_carlo;
-use ausdb_stats::ci::{
-    mean_interval_t, mean_interval_z, wald_proportion, wilson_proportion,
-};
+use ausdb_stats::ci::{mean_interval_t, mean_interval_z, wald_proportion, wilson_proportion};
 use ausdb_stats::dist::{Binomial, ContinuousDistribution, Normal};
 use ausdb_stats::rng::substream;
 use ausdb_stats::summary::Summary;

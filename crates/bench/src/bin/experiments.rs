@@ -70,9 +70,7 @@ fn main() {
             "Figure 4(c): miss rates vs. n (90% intervals)",
             &["n", "bin_heights", "mean", "variance"],
             rows.iter()
-                .map(|r| {
-                    vec![r.n.to_string(), f(r.bin_miss), f(r.mean_miss), f(r.variance_miss)]
-                })
+                .map(|r| vec![r.n.to_string(), f(r.bin_miss), f(r.mean_miss), f(r.variance_miss)])
                 .collect(),
         );
     }

@@ -1,0 +1,164 @@
+//! Before/after benchmark for the batched + parallel Monte-Carlo pipeline.
+//!
+//! Measures the Fig. 5(c)-style workload three ways and writes
+//! `BENCH_pr1.json` (in the current directory):
+//!
+//! * the Monte-Carlo kernel — compound expression over learned Gaussians —
+//!   on the per-draw reference path (`monte_carlo`, the old execution
+//!   strategy), the batched path (`monte_carlo_batch`), and the parallel
+//!   path (`monte_carlo_par`), reported in MC values/sec;
+//! * the closed-form sampling kernel used by the window-AVG bootstrap
+//!   stage, per-draw vs the bulk `sample_distribution`;
+//! * the end-to-end Fig. 5(c) pipeline (learn → window AVG) under each
+//!   accuracy mode, in items/sec.
+//!
+//! Usage: `cargo run --release -p ausdb-bench --bin pr1_bench`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use ausdb_bench::fig5cf::{generate_items, run_window_pipeline};
+use ausdb_engine::expr::{BinOp, Expr, UnaryOp};
+use ausdb_engine::mc::{
+    default_threads, monte_carlo, monte_carlo_batch, monte_carlo_par, sample_distribution,
+};
+use ausdb_engine::ops::AccuracyMode;
+use ausdb_model::schema::{Column, ColumnType, Schema};
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::AttrDistribution;
+use ausdb_stats::rng::seeded;
+
+/// MC values per evaluation; matches the parallel path's chunking so the
+/// fan-out actually engages (8 chunks of 1024).
+const M: usize = 8_192;
+/// Evaluations per timing repetition.
+const EVALS: usize = 24;
+/// Timing repetitions; the best (least-interfered) one is kept.
+const REPS: usize = 5;
+
+fn workload() -> (Expr, Schema, Tuple) {
+    let expr = Expr::bin(
+        BinOp::Add,
+        Expr::un(UnaryOp::SqrtAbs, Expr::bin(BinOp::Mul, Expr::col("x"), Expr::col("y"))),
+        Expr::bin(BinOp::Div, Expr::col("x"), Expr::Const(2.0)),
+    );
+    let schema =
+        Schema::new(vec![Column::new("x", ColumnType::Dist), Column::new("y", ColumnType::Dist)])
+            .expect("two columns");
+    let tuple = Tuple::certain(
+        0,
+        vec![
+            Field::learned(AttrDistribution::gaussian(50.0, 100.0).expect("valid"), 20),
+            Field::learned(AttrDistribution::gaussian(30.0, 25.0).expect("valid"), 20),
+        ],
+    );
+    (expr, schema, tuple)
+}
+
+/// Best-of-`REPS` seconds for one repetition of `f` (warm-up run first).
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let (expr, schema, tuple) = workload();
+    let threads = default_threads();
+
+    // --- MC kernel: per-draw reference vs batched vs parallel ---
+    let secs_serial = time_best(|| {
+        let mut rng = seeded(2012);
+        for _ in 0..EVALS {
+            black_box(monte_carlo(&expr, &tuple, &schema, M, &mut rng).unwrap());
+        }
+    });
+    let secs_batch = time_best(|| {
+        let mut rng = seeded(2012);
+        for _ in 0..EVALS {
+            black_box(monte_carlo_batch(&expr, &tuple, &schema, M, &mut rng).unwrap());
+        }
+    });
+    let secs_par = time_best(|| {
+        for _ in 0..EVALS {
+            black_box(monte_carlo_par(&expr, &tuple, &schema, M, 2012, threads).unwrap());
+        }
+    });
+    let values = (EVALS * M) as f64;
+    let ops_serial = values / secs_serial;
+    let ops_batch = values / secs_batch;
+    let ops_par = values / secs_par;
+
+    // --- Bootstrap sampling kernel: per-draw vs bulk sample_distribution ---
+    let dist = AttrDistribution::gaussian(50.0, 0.1).expect("valid");
+    let secs_draw = time_best(|| {
+        let mut rng = seeded(7);
+        for _ in 0..EVALS {
+            let v: Vec<f64> = (0..M).map(|_| dist.sample(&mut rng)).collect();
+            black_box(v);
+        }
+    });
+    let secs_bulk = time_best(|| {
+        let mut rng = seeded(7);
+        for _ in 0..EVALS {
+            black_box(sample_distribution(&dist, M, &mut rng));
+        }
+    });
+    let ops_draw = values / secs_draw;
+    let ops_bulk = values / secs_bulk;
+
+    // --- End-to-end Fig. 5(c) pipeline (items/sec per accuracy mode) ---
+    let items = generate_items(4_000, 2012);
+    let pipeline: Vec<(&str, f64)> = [
+        ("QP only", AccuracyMode::None),
+        ("analytical", AccuracyMode::Analytical { level: 0.9 }),
+        ("bootstrap", AccuracyMode::Bootstrap { level: 0.9, mc_values: 400 }),
+    ]
+    .into_iter()
+    .map(|(label, mode)| {
+        // Warm-up then best-of-3 to damp scheduler noise.
+        let _ = run_window_pipeline(&items, 1_000, mode);
+        let tps = (0..3).map(|_| run_window_pipeline(&items, 1_000, mode).0).fold(0.0f64, f64::max);
+        (label, tps)
+    })
+    .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"workload\": \"Fig. 5c compound expression over learned Gaussians\",\n");
+    let _ = writeln!(json, "  \"mc_values_per_eval\": {M},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"mc_kernel_ops_per_sec\": {\n");
+    let _ = writeln!(json, "    \"serial_per_draw\": {ops_serial:.0},");
+    let _ = writeln!(json, "    \"batched\": {ops_batch:.0},");
+    let _ = writeln!(json, "    \"parallel\": {ops_par:.0}");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"speedup_batched_vs_serial\": {:.2},", ops_batch / ops_serial);
+    let _ = writeln!(json, "  \"speedup_parallel_vs_serial\": {:.2},", ops_par / ops_serial);
+    json.push_str("  \"bootstrap_sampling_ops_per_sec\": {\n");
+    let _ = writeln!(json, "    \"per_draw\": {ops_draw:.0},");
+    let _ = writeln!(json, "    \"bulk\": {ops_bulk:.0}");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"speedup_bulk_sampling\": {:.2},", ops_bulk / ops_draw);
+    json.push_str("  \"fig5c_pipeline_items_per_sec\": {\n");
+    for (i, (label, tps)) in pipeline.iter().enumerate() {
+        let comma = if i + 1 < pipeline.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{label}\": {tps:.0}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write("BENCH_pr1.json", &json).expect("write BENCH_pr1.json");
+    print!("{json}");
+    eprintln!(
+        "speedups: batched {:.2}x, parallel {:.2}x (threads={threads}), bulk sampling {:.2}x",
+        ops_batch / ops_serial,
+        ops_par / ops_serial,
+        ops_bulk / ops_draw
+    );
+}

@@ -80,13 +80,16 @@ fn segment_truths(sim: &CartelSim, cfg: &ExpConfig) -> Vec<SegmentTruth> {
             let lo = quantile_of(seg, 0.001);
             let hi = quantile_of(seg, 0.999);
             let b = cfg.bins;
-            let edges: Vec<f64> =
-                (0..=b).map(|i| lo + (hi - lo) * i as f64 / b as f64).collect();
-            let bin_probs = edges
-                .windows(2)
-                .map(|w| seg.true_cdf(w[1]) - seg.true_cdf(w[0]))
-                .collect();
-            SegmentTruth { id, mean: seg.true_mean(), variance: seg.true_variance(), edges, bin_probs }
+            let edges: Vec<f64> = (0..=b).map(|i| lo + (hi - lo) * i as f64 / b as f64).collect();
+            let bin_probs =
+                edges.windows(2).map(|w| seg.true_cdf(w[1]) - seg.true_cdf(w[0])).collect();
+            SegmentTruth {
+                id,
+                mean: seg.true_mean(),
+                variance: seg.true_variance(),
+                edges,
+                bin_probs,
+            }
         })
         .collect()
 }
@@ -110,8 +113,8 @@ fn quantile_of(seg: &ausdb_datagen::cartel::Segment, p: f64) -> f64 {
 fn sweep<Fv>(cfg: &ExpConfig, mut visit: Fv)
 where
     Fv: FnMut(
-        usize,                         // sample size n
-        &SegmentTruth,                 // ground truth
+        usize,                              // sample size n
+        &SegmentTruth,                      // ground truth
         &[ausdb_stats::ConfidenceInterval], // bin CIs
         ausdb_stats::ConfidenceInterval,    // mean CI
         ausdb_stats::ConfidenceInterval,    // variance CI
@@ -123,8 +126,7 @@ where
     for truth in &truths {
         let seg = sim.segment(truth.id).expect("valid id");
         for trial in 0..cfg.trials {
-            let mut rng =
-                substream(cfg.seed, 0x4A ^ (truth.id as u64) << 24 ^ trial as u64);
+            let mut rng = substream(cfg.seed, 0x4A ^ (truth.id as u64) << 24 ^ trial as u64);
             for &n in &SAMPLE_SIZES {
                 let sample = seg.observe_n(&mut rng, n);
                 let hist = learner
@@ -293,12 +295,8 @@ mod tests {
         // delay data is skewed, breaking the χ² normality assumption).
         let rows = miss_rates(&ExpConfig::smoke());
         let avg_bin: f64 = rows.iter().map(|r| r.bin_miss).sum::<f64>() / rows.len() as f64;
-        let avg_var: f64 =
-            rows.iter().map(|r| r.variance_miss).sum::<f64>() / rows.len() as f64;
-        assert!(
-            avg_bin < avg_var,
-            "bin miss {avg_bin} should be below variance miss {avg_var}"
-        );
+        let avg_var: f64 = rows.iter().map(|r| r.variance_miss).sum::<f64>() / rows.len() as f64;
+        assert!(avg_bin < avg_var, "bin miss {avg_bin} should be below variance miss {avg_var}");
         assert!(avg_bin < 0.2, "90% bin intervals should miss rarely: {avg_bin}");
     }
 

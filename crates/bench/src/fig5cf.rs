@@ -43,10 +43,7 @@ pub fn generate_items(num_items: usize, seed: u64) -> Vec<Vec<f64>> {
             let mut rng = substream(seed, 0x17E3 ^ i as u64);
             // Each item's data points drift slowly so window averages move.
             let drift = (i as f64 / 500.0).sin() * 5.0;
-            base.sample_n(&mut rng, POINTS_PER_ITEM)
-                .into_iter()
-                .map(|v| v + drift)
-                .collect()
+            base.sample_n(&mut rng, POINTS_PER_ITEM).into_iter().map(|v| v + drift).collect()
         })
         .collect()
 }
@@ -63,8 +60,7 @@ pub struct LearningSource<'a> {
 impl<'a> LearningSource<'a> {
     /// Wraps pre-generated raw items.
     pub fn new(items: &'a [Vec<f64>]) -> Self {
-        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)])
-            .expect("single column");
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).expect("single column");
         Self { items, idx: 0, batch: 256, schema }
     }
 }
@@ -82,10 +78,7 @@ impl TupleStream for LearningSource<'_> {
         let mut out = Vec::with_capacity(end - self.idx);
         for i in self.idx..end {
             let dist = fit_gaussian(&self.items[i]).expect("nondegenerate raw sample");
-            out.push(Tuple::certain(
-                i as u64,
-                vec![Field::learned(dist, POINTS_PER_ITEM)],
-            ));
+            out.push(Tuple::certain(i as u64, vec![Field::learned(dist, POINTS_PER_ITEM)]));
         }
         self.idx = end;
         Some(out)
@@ -94,11 +87,7 @@ impl TupleStream for LearningSource<'_> {
 
 /// Runs the learn → window-AVG pipeline under one accuracy mode and
 /// returns `(items/sec, outputs)`.
-pub fn run_window_pipeline(
-    items: &[Vec<f64>],
-    window: usize,
-    mode: AccuracyMode,
-) -> (f64, usize) {
+pub fn run_window_pipeline(items: &[Vec<f64>], window: usize, mode: AccuracyMode) -> (f64, usize) {
     let start = Instant::now();
     let source = LearningSource::new(items);
     let mut agg = WindowAgg::new(source, "x", WindowAggKind::Avg, window, mode, 99)
@@ -155,11 +144,7 @@ impl SigStage {
 
 /// Runs learn → window AVG (analytical accuracy) → significance stage.
 /// Returns `(items/sec, surviving outputs)`.
-pub fn run_sig_pipeline(
-    items: &[Vec<f64>],
-    window: usize,
-    stage: SigStage,
-) -> (f64, usize) {
+pub fn run_sig_pipeline(items: &[Vec<f64>], window: usize, stage: SigStage) -> (f64, usize) {
     let mode = AccuracyMode::Analytical { level: 0.9 };
     let cfg = CoupledConfig::default();
     let start = Instant::now();
@@ -191,10 +176,8 @@ pub fn run_sig_pipeline(
             n
         }
         SigStage::PTest => {
-            let pred = SigPredicate::p_test(
-                Predicate::compare(Expr::col("avg_x"), CmpOp::Gt, 48.0),
-                0.8,
-            );
+            let pred =
+                SigPredicate::p_test(Predicate::compare(Expr::col("avg_x"), CmpOp::Gt, 48.0), 0.8);
             let mut f = SigFilter::new(
                 agg,
                 pred,

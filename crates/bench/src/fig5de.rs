@@ -73,11 +73,9 @@ struct PairCase<'a> {
 }
 
 fn two_field_tuple(x_sample: Vec<f64>, y_sample: Vec<f64>) -> (Schema, Tuple) {
-    let schema = Schema::new(vec![
-        Column::new("x", ColumnType::Dist),
-        Column::new("y", ColumnType::Dist),
-    ])
-    .expect("two columns");
+    let schema =
+        Schema::new(vec![Column::new("x", ColumnType::Dist), Column::new("y", ColumnType::Dist)])
+            .expect("two columns");
     let nx = x_sample.len();
     let ny = y_sample.len();
     let t = Tuple::certain(

@@ -59,8 +59,10 @@ pub fn fig5g(cfg: &ExpConfig) -> Vec<PowerRow> {
             let pred = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, c);
             let mut true_count = 0;
             for t in 0..trials {
-                let mut rng =
-                    substream(cfg.seed, 0x56 ^ (fam as u64) << 40 ^ ((delta * 10.0) as u64) << 20 ^ t as u64);
+                let mut rng = substream(
+                    cfg.seed,
+                    0x56 ^ (fam as u64) << 40 ^ ((delta * 10.0) as u64) << 20 ^ t as u64,
+                );
                 let sample = fam.sample_n(&mut rng, N);
                 let (schema, tuple) = single_field_tuple(sample);
                 if coupled_tests(&pred, coupled_cfg, &tuple, &schema, &mut rng)
@@ -96,10 +98,7 @@ pub fn fig5h(cfg: &ExpConfig) -> Vec<PowerRow> {
             assert!(true_p < 1.0, "sweep keeps τ(1+δ) < 1");
             // v with Pr[X > v] = true_p, i.e. the (1 − true_p) quantile.
             let v = fam.quantile(1.0 - true_p);
-            let pred = SigPredicate::p_test(
-                Predicate::compare(Expr::col("x"), CmpOp::Gt, v),
-                tau,
-            );
+            let pred = SigPredicate::p_test(Predicate::compare(Expr::col("x"), CmpOp::Gt, v), tau);
             let mut true_count = 0;
             for t in 0..trials {
                 let mut rng = substream(
@@ -216,12 +215,7 @@ mod tests {
         let rows = fig5h(&ExpConfig::smoke());
         let at_top: Vec<f64> = SyntheticFamily::ALL
             .iter()
-            .map(|f| {
-                by_family(&rows, f.name())
-                    .last()
-                    .expect("rows present")
-                    .power
-            })
+            .map(|f| by_family(&rows, f.name()).last().expect("rows present").power)
             .collect();
         let max = at_top.iter().cloned().fold(f64::MIN, f64::max);
         let min = at_top.iter().cloned().fold(f64::MAX, f64::min);

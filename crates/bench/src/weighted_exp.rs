@@ -68,9 +68,9 @@ pub fn drift_experiment(cfg: &ExpConfig) -> Vec<DriftRow> {
             let now = pre + post;
             let tuple = match learner_kind {
                 "recency-weighted" => {
-                    let mut wl = WeightedStreamLearner::new(
-                        WeightedLearnerConfig::gaussian(post as f64 / 2.0),
-                    );
+                    let mut wl = WeightedStreamLearner::new(WeightedLearnerConfig::gaussian(
+                        post as f64 / 2.0,
+                    ));
                     wl.observe_all(obs);
                     wl.emit_at(now).expect("learning succeeds").pop()
                 }

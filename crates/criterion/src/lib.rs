@@ -1,0 +1,206 @@
+//! Vendored, dependency-free stand-in for the `criterion` benchmark crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's full statistical
+//! machinery it takes `sample_size` timed samples per benchmark and prints
+//! the median, mean, and derived throughput to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted for API compatibility;
+/// this implementation always times routine invocations individually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+    iters_per_sample: Vec<u64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self { samples, durations: Vec::new(), iters_per_sample: Vec::new() }
+    }
+
+    /// Times `routine`, running it repeatedly per sample until a minimum
+    /// measurable duration accumulates.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let mut iters = 0u64;
+            let start = Instant::now();
+            let mut elapsed;
+            loop {
+                black_box(routine());
+                iters += 1;
+                elapsed = start.elapsed();
+                if elapsed >= Duration::from_millis(2) || iters >= 1_000_000 {
+                    break;
+                }
+            }
+            self.durations.push(elapsed);
+            self.iters_per_sample.push(iters);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.durations.push(start.elapsed());
+            self.iters_per_sample.push(1);
+        }
+    }
+
+    /// Median nanoseconds per routine invocation.
+    fn median_ns(&mut self) -> f64 {
+        let mut per_iter: Vec<f64> = self
+            .durations
+            .iter()
+            .zip(&self.iters_per_sample)
+            .map(|(d, &n)| d.as_nanos() as f64 / n as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        if per_iter.is_empty() {
+            return f64::NAN;
+        }
+        per_iter[per_iter.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        let ns = bencher.median_ns();
+        self.criterion.report(&format!("{}/{}", self.name, id.into()), ns);
+        self
+    }
+
+    /// Finishes the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring criterion's `Criterion` struct.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 20 }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(20);
+        f(&mut bencher);
+        let ns = bencher.median_ns();
+        self.report(&id.into(), ns);
+        self
+    }
+
+    fn report(&self, id: &str, ns: f64) {
+        let (value, unit) = if ns >= 1e9 {
+            (ns / 1e9, "s")
+        } else if ns >= 1e6 {
+            (ns / 1e6, "ms")
+        } else if ns >= 1e3 {
+            (ns / 1e3, "µs")
+        } else {
+            (ns, "ns")
+        };
+        println!("{id:<40} {value:>10.3} {unit}/iter  ({:.1} ops/sec)", 1e9 / ns);
+    }
+}
+
+/// Declares a benchmark group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+/// Ignores harness CLI arguments (`--bench`, filters) that cargo passes.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_measure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -95,13 +95,7 @@ impl CartelSim {
             let delay = Gamma::new(shape, scale).expect("positive parameters");
             // Coverage is heavy-tailed: a few segments get most reports.
             let report_rate = (rng.random::<f64>().powi(2) * 0.95 + 0.05).min(1.0);
-            segments.push(Segment {
-                id: id as i64,
-                length_m,
-                speed_limit_kmh,
-                delay,
-                report_rate,
-            });
+            segments.push(Segment { id: id as i64, length_m, speed_limit_kmh, delay, report_rate });
         }
         Self { segments, seed }
     }
@@ -252,8 +246,7 @@ mod tests {
         let sim = CartelSim::new(30, 19);
         let top = sim.well_covered_segments(5);
         assert_eq!(top.len(), 5);
-        let rates: Vec<f64> =
-            top.iter().map(|&id| sim.segment(id).unwrap().report_rate).collect();
+        let rates: Vec<f64> = top.iter().map(|&id| sim.segment(id).unwrap().report_rate).collect();
         assert!(rates.windows(2).all(|w| w[0] >= w[1]));
     }
 }

@@ -22,10 +22,7 @@ pub struct Route {
 impl Route {
     /// The route's true expected total delay: the sum of segment means.
     pub fn true_mean(&self, sim: &CartelSim) -> f64 {
-        self.segments
-            .iter()
-            .map(|&id| sim.segment(id).expect("segment exists").true_mean())
-            .sum()
+        self.segments.iter().map(|&id| sim.segment(id).expect("segment exists").true_mean()).sum()
     }
 
     /// The route's true total-delay variance (independent segments).
@@ -38,10 +35,7 @@ impl Route {
 
     /// Draws one total-delay observation: one delay per segment, summed.
     pub fn observe<R: Rng + ?Sized>(&self, sim: &CartelSim, rng: &mut R) -> f64 {
-        self.segments
-            .iter()
-            .map(|&id| sim.segment(id).expect("segment exists").observe(rng))
-            .sum()
+        self.segments.iter().map(|&id| sim.segment(id).expect("segment exists").observe(rng)).sum()
     }
 
     /// Draws `n` iid total-delay observations.
@@ -56,10 +50,7 @@ impl Route {
 pub fn make_routes(sim: &CartelSim, count: usize, avg_len: usize, seed: u64) -> Vec<Route> {
     assert!(avg_len >= 2, "routes need at least 2 segments on average");
     let num_segments = sim.segments().len();
-    assert!(
-        num_segments >= 3 * avg_len / 2,
-        "network too small for routes of ~{avg_len} segments"
-    );
+    assert!(num_segments >= 3 * avg_len / 2, "network too small for routes of ~{avg_len} segments");
     (0..count)
         .map(|id| {
             let mut rng = substream(seed, 0x0407E ^ id as u64);

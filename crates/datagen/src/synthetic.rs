@@ -1,8 +1,6 @@
 //! The five synthetic distribution families of Section V-A.
 
-use ausdb_stats::dist::{
-    ContinuousDistribution, Exponential, Gamma, Normal, Uniform, Weibull,
-};
+use ausdb_stats::dist::{ContinuousDistribution, Exponential, Gamma, Normal, Uniform, Weibull};
 use rand::Rng;
 
 /// One of the paper's five synthetic families, with its exact parameters:

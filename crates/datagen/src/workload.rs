@@ -172,9 +172,9 @@ impl WorkloadGen {
         let mut expr = leaf(0, &mut rng);
         for i in 1..d {
             let op = if self.linear_only {
-                [BinOp::Add, BinOp::Sub][rng.random_range(0..2)]
+                [BinOp::Add, BinOp::Sub][rng.random_range(0..2usize)]
             } else {
-                [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div][rng.random_range(0..4)]
+                [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div][rng.random_range(0..4usize)]
             };
             expr = Expr::bin(op, expr, leaf(i, &mut rng));
         }

@@ -36,11 +36,8 @@ pub fn result_accuracy(
         .with_mean_ci(mean_interval(y_bar, s, df_n, level))
         .with_variance_ci(variance_interval(s * s, df_n, level));
     if let AttrDistribution::Histogram(h) = dist {
-        let bin_cis = h
-            .probs()
-            .iter()
-            .map(|&p| proportion_interval(p, df_n, level))
-            .collect::<Vec<_>>();
+        let bin_cis =
+            h.probs().iter().map(|&p| proportion_interval(p, df_n, level)).collect::<Vec<_>>();
         info = info.with_bin_cis(bin_cis);
     }
     Ok(info)

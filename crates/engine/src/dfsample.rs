@@ -152,10 +152,8 @@ mod tests {
     #[test]
     fn missing_provenance_is_an_error() {
         let schema = Schema::new(vec![Column::new("a", ColumnType::Dist)]).unwrap();
-        let t = Tuple::certain(
-            0,
-            vec![Field::plain(AttrDistribution::gaussian(0.0, 1.0).unwrap())],
-        );
+        let t =
+            Tuple::certain(0, vec![Field::plain(AttrDistribution::gaussian(0.0, 1.0).unwrap())]);
         assert!(df_sample_size(&Expr::col("a"), &t, &schema).is_err());
     }
 

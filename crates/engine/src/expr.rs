@@ -91,6 +91,81 @@ impl std::fmt::Display for UnaryOp {
     }
 }
 
+/// Pre-sampled column draws for batched evaluation, laid out
+/// structure-of-arrays: one contiguous buffer of `m` observations per
+/// referenced uncertain column. The buffers are reusable across tuples and
+/// chunks via [`BatchDraws::reset`], so a steady-state Monte-Carlo loop
+/// allocates nothing per batch.
+#[derive(Debug, Default)]
+pub struct BatchDraws {
+    cols: Vec<(String, Vec<f64>)>,
+    m: usize,
+}
+
+impl BatchDraws {
+    /// Creates an empty draw set for batches of `m` iterations.
+    pub fn new(m: usize) -> Self {
+        Self { cols: Vec::new(), m }
+    }
+
+    /// Number of Monte-Carlo iterations each column buffer holds.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the batch holds zero iterations.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Re-targets the buffers at a new batch size, keeping allocations.
+    pub fn reset(&mut self, m: usize) {
+        self.m = m;
+        for (_, buf) in &mut self.cols {
+            buf.resize(m, 0.0);
+        }
+    }
+
+    /// The draw buffer for `name` (sized to the batch), created on first
+    /// use. Lookup is case-insensitive, matching [`Expr::columns`].
+    pub fn entry(&mut self, name: &str) -> &mut Vec<f64> {
+        let idx = match self.cols.iter().position(|(c, _)| c.eq_ignore_ascii_case(name)) {
+            Some(i) => i,
+            None => {
+                self.cols.push((name.to_string(), vec![0.0; self.m]));
+                self.cols.len() - 1
+            }
+        };
+        &mut self.cols[idx].1
+    }
+
+    /// The draws for `name`, if a buffer was sampled for it.
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.cols.iter().find(|(c, _)| c.eq_ignore_ascii_case(name)).map(|(_, buf)| buf.as_slice())
+    }
+}
+
+/// An intermediate value in batched evaluation: either one number for all
+/// iterations, a borrowed draw column, or an owned working buffer that
+/// operators mutate in place to avoid reallocating per tree node.
+enum BatchVal<'a> {
+    Scalar(f64),
+    Col(&'a [f64]),
+    Owned(Vec<f64>),
+}
+
+/// Element-wise binary application with the same division-by-zero clamp as
+/// `eval_with_draws`: the draw is a measure-zero event for continuous
+/// inputs, so the batch stays alive instead of erroring out.
+#[inline]
+fn apply_clamped(op: BinOp, a: f64, b: f64) -> f64 {
+    if op == BinOp::Div && b == 0.0 {
+        a.signum() * f64::MAX.sqrt()
+    } else {
+        op.apply(a, b)
+    }
+}
+
 /// An expression tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
@@ -219,11 +294,129 @@ impl Expr {
             }
         }
         self.eval_with_draws(tuple, schema, &|name: &str| {
-            draws
-                .iter()
-                .find(|(c, _)| c.eq_ignore_ascii_case(name))
-                .map(|&(_, v)| v)
+            draws.iter().find(|(c, _)| c.eq_ignore_ascii_case(name)).map(|&(_, v)| v)
         })
+    }
+
+    /// Evaluates the whole batch column-wise over pre-sampled draw buffers:
+    /// iteration `i` of the result equals `eval_with_draws` with every
+    /// referenced column resolved to `draws.get(col)[i]`. One tree walk per
+    /// batch replaces one walk per iteration, and each node runs as a tight
+    /// loop over contiguous `f64` buffers.
+    pub fn eval_batch(
+        &self,
+        tuple: &Tuple,
+        schema: &Schema,
+        draws: &BatchDraws,
+    ) -> Result<Vec<f64>, EngineError> {
+        Ok(match self.eval_batch_inner(tuple, schema, draws)? {
+            BatchVal::Scalar(v) => vec![v; draws.len()],
+            BatchVal::Col(xs) => xs.to_vec(),
+            BatchVal::Owned(xs) => xs,
+        })
+    }
+
+    /// [`Expr::eval_batch`] writing into a caller-owned slice (`out.len()`
+    /// must equal `draws.len()`), for evaluating straight into a chunk of a
+    /// larger result buffer.
+    pub fn eval_batch_into(
+        &self,
+        tuple: &Tuple,
+        schema: &Schema,
+        draws: &BatchDraws,
+        out: &mut [f64],
+    ) -> Result<(), EngineError> {
+        debug_assert_eq!(out.len(), draws.len(), "output slice must match batch size");
+        match self.eval_batch_inner(tuple, schema, draws)? {
+            BatchVal::Scalar(v) => out.fill(v),
+            BatchVal::Col(xs) => out.copy_from_slice(xs),
+            BatchVal::Owned(xs) => out.copy_from_slice(&xs),
+        }
+        Ok(())
+    }
+
+    fn eval_batch_inner<'a>(
+        &self,
+        tuple: &Tuple,
+        schema: &Schema,
+        draws: &'a BatchDraws,
+    ) -> Result<BatchVal<'a>, EngineError> {
+        match self {
+            Expr::Const(v) => Ok(BatchVal::Scalar(*v)),
+            Expr::Column(name) => {
+                if let Some(col) = draws.get(name) {
+                    return Ok(BatchVal::Col(col));
+                }
+                let field = tuple.field(schema, name)?;
+                match &field.value {
+                    // Same convention as eval_with_draws: an uncertain field
+                    // with no draw resolves to its mean.
+                    Value::Dist(d) => Ok(BatchVal::Scalar(d.mean())),
+                    other => Ok(BatchVal::Scalar(other.as_f64()?)),
+                }
+            }
+            Expr::Unary(op, e) => Ok(match e.eval_batch_inner(tuple, schema, draws)? {
+                BatchVal::Scalar(x) => BatchVal::Scalar(op.apply(x)),
+                BatchVal::Col(xs) => BatchVal::Owned(xs.iter().map(|&x| op.apply(x)).collect()),
+                BatchVal::Owned(mut xs) => {
+                    for x in &mut xs {
+                        *x = op.apply(*x);
+                    }
+                    BatchVal::Owned(xs)
+                }
+            }),
+            Expr::Binary(op, l, r) => {
+                let a = l.eval_batch_inner(tuple, schema, draws)?;
+                let b = r.eval_batch_inner(tuple, schema, draws)?;
+                let op = *op;
+                // Reuse whichever operand already owns a buffer; allocate
+                // only when both sides are borrowed or scalar.
+                Ok(match (a, b) {
+                    (BatchVal::Scalar(x), BatchVal::Scalar(y)) => {
+                        BatchVal::Scalar(apply_clamped(op, x, y))
+                    }
+                    (BatchVal::Scalar(x), BatchVal::Owned(mut ys)) => {
+                        for y in &mut ys {
+                            *y = apply_clamped(op, x, *y);
+                        }
+                        BatchVal::Owned(ys)
+                    }
+                    (BatchVal::Scalar(x), BatchVal::Col(ys)) => {
+                        BatchVal::Owned(ys.iter().map(|&y| apply_clamped(op, x, y)).collect())
+                    }
+                    (BatchVal::Owned(mut xs), BatchVal::Scalar(y)) => {
+                        for x in &mut xs {
+                            *x = apply_clamped(op, *x, y);
+                        }
+                        BatchVal::Owned(xs)
+                    }
+                    (BatchVal::Col(xs), BatchVal::Scalar(y)) => {
+                        BatchVal::Owned(xs.iter().map(|&x| apply_clamped(op, x, y)).collect())
+                    }
+                    (BatchVal::Owned(mut xs), BatchVal::Owned(ys)) => {
+                        for (x, &y) in xs.iter_mut().zip(&ys) {
+                            *x = apply_clamped(op, *x, y);
+                        }
+                        BatchVal::Owned(xs)
+                    }
+                    (BatchVal::Owned(mut xs), BatchVal::Col(ys)) => {
+                        for (x, &y) in xs.iter_mut().zip(ys) {
+                            *x = apply_clamped(op, *x, y);
+                        }
+                        BatchVal::Owned(xs)
+                    }
+                    (BatchVal::Col(xs), BatchVal::Owned(mut ys)) => {
+                        for (&x, y) in xs.iter().zip(ys.iter_mut()) {
+                            *y = apply_clamped(op, x, *y);
+                        }
+                        BatchVal::Owned(ys)
+                    }
+                    (BatchVal::Col(xs), BatchVal::Col(ys)) => BatchVal::Owned(
+                        xs.iter().zip(ys).map(|(&x, &y)| apply_clamped(op, x, y)).collect(),
+                    ),
+                })
+            }
+        }
     }
 
     /// Closed-form Gaussian propagation: if this expression is **linear**
@@ -342,7 +535,11 @@ mod tests {
 
     #[test]
     fn columns_dedup_case_insensitive() {
-        let e = Expr::bin(BinOp::Add, Expr::col("A"), Expr::bin(BinOp::Mul, Expr::col("a"), Expr::col("b")));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::col("A"),
+            Expr::bin(BinOp::Mul, Expr::col("a"), Expr::col("b")),
+        );
         assert_eq!(e.columns(), vec!["A".to_string(), "b".to_string()]);
     }
 
@@ -427,6 +624,68 @@ mod tests {
             let v = e.eval_sampled(&gaussian_tuple(), &schema(), &mut rng).unwrap();
             assert_eq!(v, 0.0);
         }
+    }
+
+    #[test]
+    fn batch_matches_eval_with_draws_elementwise() {
+        let t = gaussian_tuple();
+        let s = schema();
+        // Exercise every operator, a repeated column, a deterministic
+        // column, and the division-by-zero clamp.
+        let exprs = vec![
+            avg_ab(),
+            Expr::bin(BinOp::Sub, Expr::col("a"), Expr::col("a")),
+            Expr::un(UnaryOp::SqrtAbs, Expr::bin(BinOp::Mul, Expr::col("a"), Expr::col("b"))),
+            Expr::un(UnaryOp::Square, Expr::bin(BinOp::Div, Expr::col("a"), Expr::col("c"))),
+            Expr::un(UnaryOp::Neg, Expr::bin(BinOp::Div, Expr::col("a"), Expr::Const(0.0))),
+            Expr::bin(
+                BinOp::Div,
+                Expr::Const(3.0),
+                Expr::bin(BinOp::Sub, Expr::col("c"), Expr::col("c")),
+            ),
+        ];
+        let m = 257;
+        for e in exprs {
+            let mut draws = BatchDraws::new(m);
+            let mut rng = seeded(71);
+            for name in e.columns() {
+                let field = t.field(&s, &name).unwrap();
+                if let Value::Dist(d) = &field.value {
+                    d.sample_into(&mut rng, draws.entry(&name));
+                }
+            }
+            let batch = e.eval_batch(&t, &s, &draws).unwrap();
+            assert_eq!(batch.len(), m);
+            for (i, &got) in batch.iter().enumerate() {
+                let want =
+                    e.eval_with_draws(&t, &s, &|name| draws.get(name).map(|col| col[i])).unwrap();
+                assert_eq!(got, want, "expr {e}, iteration {i}");
+            }
+            // The into-variant writes the same values.
+            let mut out = vec![0.0; m];
+            e.eval_batch_into(&t, &s, &draws, &mut out).unwrap();
+            assert_eq!(out, batch);
+        }
+    }
+
+    #[test]
+    fn batch_draws_reset_keeps_buffers() {
+        let mut draws = BatchDraws::new(4);
+        draws.entry("A").copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(draws.get("a"), Some(&[1.0, 2.0, 3.0, 4.0][..]));
+        draws.reset(2);
+        assert_eq!(draws.len(), 2);
+        assert_eq!(draws.get("A").unwrap().len(), 2);
+        draws.reset(3);
+        assert_eq!(draws.entry("a").len(), 3);
+        assert!(draws.get("missing").is_none());
+    }
+
+    #[test]
+    fn batch_unknown_column_errors() {
+        let draws = BatchDraws::new(8);
+        let e = Expr::col("nope");
+        assert!(e.eval_batch(&gaussian_tuple(), &schema(), &draws).is_err());
     }
 
     #[test]

@@ -44,8 +44,7 @@ impl SequentialTester {
     /// Creates a tester for a predicate over the single field `x`
     /// (construct predicates with `Expr::col("x")`).
     pub fn new(predicate: SigPredicate, config: CoupledConfig, seed: u64) -> Self {
-        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)])
-            .expect("single column");
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).expect("single column");
         Self {
             predicate,
             config,
@@ -92,8 +91,8 @@ impl SequentialTester {
         if n < self.min_observations || !n.is_multiple_of(self.check_every) {
             return Ok(SigOutcome::Unsure);
         }
-        let dist = AttrDistribution::empirical(self.observations.clone())
-            .map_err(EngineError::Model)?;
+        let dist =
+            AttrDistribution::empirical(self.observations.clone()).map_err(EngineError::Model)?;
         let tuple = Tuple::certain(n as u64, vec![Field::learned(dist, n)]);
         let outcome =
             coupled_tests(&self.predicate, self.config, &tuple, &self.schema, &mut self.rng)?;

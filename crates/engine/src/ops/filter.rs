@@ -69,8 +69,7 @@ impl<S: TupleStream> TupleStream for Filter<S> {
             let schema = self.input.schema().clone();
             let mut out = Vec::with_capacity(batch.len());
             for mut tuple in batch {
-                let p = match self.predicate.prob(&tuple, &schema, self.mc_iters, &mut self.rng)
-                {
+                let p = match self.predicate.prob(&tuple, &schema, self.mc_iters, &mut self.rng) {
                     Ok(p) => p,
                     Err(_) => continue, // malformed tuple for this predicate
                 };
@@ -78,8 +77,7 @@ impl<S: TupleStream> TupleStream for Filter<S> {
                     continue;
                 }
                 let combined = tuple.membership.p * p;
-                tuple.membership = match (self.mode.level(), self.boolean_df_n(&tuple, &schema))
-                {
+                tuple.membership = match (self.mode.level(), self.boolean_df_n(&tuple, &schema)) {
                     (Some(level), Some(n)) => {
                         match tuple_probability_accuracy(combined, n, level) {
                             Ok(tp) => tp,
@@ -153,8 +151,7 @@ mod tests {
     #[test]
     fn analytical_mode_attaches_tuple_probability_ci() {
         let pred = Predicate::compare(Expr::col("speed"), CmpOp::Gt, 78.0);
-        let mut f =
-            Filter::new(stream(), pred, AccuracyMode::Analytical { level: 0.9 }, 100, 7);
+        let mut f = Filter::new(stream(), pred, AccuracyMode::Analytical { level: 0.9 }, 100, 7);
         let out = f.collect_all();
         let m = &out[0].membership;
         let ci = m.ci.expect("analytical mode attaches a CI");

@@ -65,10 +65,9 @@ impl GroupKey {
             Value::Int(i) => Ok(GroupKey::Int(*i)),
             Value::Str(s) => Ok(GroupKey::Str(s.clone())),
             Value::Bool(b) => Ok(GroupKey::Bool(*b)),
-            other => Err(EngineError::Eval(format!(
-                "cannot GROUP BY a {} value",
-                other.type_name()
-            ))),
+            other => {
+                Err(EngineError::Eval(format!("cannot GROUP BY a {} value", other.type_name())))
+            }
         }
     }
 
@@ -147,9 +146,7 @@ impl<S: TupleStream> GroupBy<S> {
         let mut groups: BTreeMap<GroupKey, GroupState> = BTreeMap::new();
         while let Some(batch) = self.input.next_batch() {
             for tuple in batch {
-                let key = GroupKey::from_value(
-                    &tuple.field(&in_schema, &self.key_column)?.value,
-                )?;
+                let key = GroupKey::from_value(&tuple.field(&in_schema, &self.key_column)?.value)?;
                 let field = tuple.field(&in_schema, &self.agg_column)?;
                 let (mu, var, n) = match &field.value {
                     Value::Dist(d) => {
@@ -158,10 +155,9 @@ impl<S: TupleStream> GroupBy<S> {
                     }
                     other => (other.as_f64()?, 0.0, None),
                 };
-                let state = groups.entry(key).or_insert_with(|| GroupState {
-                    min_membership: 1.0,
-                    ..GroupState::default()
-                });
+                let state = groups
+                    .entry(key)
+                    .or_insert_with(|| GroupState { min_membership: 1.0, ..GroupState::default() });
                 state.count += 1;
                 state.sum_mu += mu;
                 state.sum_var += var;
@@ -198,8 +194,8 @@ impl<S: TupleStream> GroupBy<S> {
                             match self.mode {
                                 AccuracyMode::None => {}
                                 AccuracyMode::Analytical { level } => {
-                                    field = field
-                                        .with_accuracy(result_accuracy(&dist, df_n, level)?);
+                                    field =
+                                        field.with_accuracy(result_accuracy(&dist, df_n, level)?);
                                 }
                                 AccuracyMode::Bootstrap { level, mc_values } => {
                                     let v = sample_distribution(
@@ -312,15 +308,9 @@ mod tests {
 
     #[test]
     fn sum_and_count() {
-        let mut g = GroupBy::new(
-            stream(),
-            "road",
-            "delay",
-            GroupAggKind::Sum,
-            AccuracyMode::None,
-            5,
-        )
-        .unwrap();
+        let mut g =
+            GroupBy::new(stream(), "road", "delay", GroupAggKind::Sum, AccuracyMode::None, 5)
+                .unwrap();
         let out = g.collect_all();
         let d = out[0].fields[1].value.as_dist().unwrap();
         assert!((d.mean() - 30.0).abs() < 1e-12);
@@ -390,8 +380,7 @@ mod tests {
         ])
         .unwrap();
         let s = VecStream::new(schema, tuples, 8);
-        let mut g =
-            GroupBy::new(s, "k", "v", GroupAggKind::Count, AccuracyMode::None, 5).unwrap();
+        let mut g = GroupBy::new(s, "k", "v", GroupAggKind::Count, AccuracyMode::None, 5).unwrap();
         let out = g.collect_all();
         let keys: Vec<Value> = out.iter().map(|t| t.fields[0].value.clone()).collect();
         assert_eq!(keys, vec![Value::Int(2), Value::Int(5), Value::Int(9)]);

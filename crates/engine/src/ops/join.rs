@@ -40,10 +40,9 @@ impl JoinKey {
             Value::Int(i) => Ok(JoinKey::Int(*i)),
             Value::Str(s) => Ok(JoinKey::Str(s.clone())),
             Value::Bool(b) => Ok(JoinKey::Bool(*b)),
-            other => Err(EngineError::Eval(format!(
-                "cannot join on a {} value",
-                other.type_name()
-            ))),
+            other => {
+                Err(EngineError::Eval(format!("cannot join on a {} value", other.type_name())))
+            }
         }
     }
 }
@@ -92,14 +91,7 @@ impl<L: TupleStream, R: TupleStream> HashJoin<L, R> {
             cols.push(c.clone());
         }
         let schema = Schema::new(cols)?;
-        Ok(Self {
-            left,
-            right: Some(right),
-            schema,
-            table: None,
-            right_key_idx,
-            left_key_idx,
-        })
+        Ok(Self { left, right: Some(right), schema, table: None, right_key_idx, left_key_idx })
     }
 
     fn build(&mut self) -> Result<(), EngineError> {
@@ -156,8 +148,7 @@ impl<L: TupleStream, R: TupleStream> TupleStream for HashJoin<L, R> {
             let batch = self.left.next_batch()?;
             let mut out = Vec::new();
             for tuple in &batch {
-                let Ok(key) = JoinKey::from_value(&tuple.fields[self.left_key_idx].value)
-                else {
+                let Ok(key) = JoinKey::from_value(&tuple.fields[self.left_key_idx].value) else {
                     continue;
                 };
                 if let Some(matches) = table.get(&key) {

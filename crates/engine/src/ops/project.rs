@@ -12,7 +12,7 @@ use crate::bootstrap::bootstrap_accuracy_info;
 use crate::dfsample::df_sample_size;
 use crate::error::EngineError;
 use crate::expr::Expr;
-use crate::mc::{monte_carlo, sample_distribution};
+use crate::mc::{monte_carlo_batch, sample_distribution};
 use crate::ops::AccuracyMode;
 
 /// One SELECT-list item: an output name and its expression.
@@ -162,7 +162,7 @@ pub(crate) fn project_field(
         AccuracyMode::Bootstrap { mc_values, .. } => mc_values.max(2 * df_n),
         _ => default_mc_values.max(2 * df_n),
     };
-    let values = monte_carlo(expr, tuple, in_schema, m, rng)?;
+    let values = monte_carlo_batch(expr, tuple, in_schema, m, rng)?;
     let dist = AttrDistribution::empirical(values.clone())?;
     let mut field = Field::learned(dist.clone(), df_n);
     match mode {
@@ -208,8 +208,8 @@ pub(crate) fn field_dist(field: &Field) -> Option<&AttrDistribution> {
 mod tests {
     use super::*;
     use crate::expr::{BinOp, UnaryOp};
-    use ausdb_model::value::Value;
     use ausdb_model::stream::VecStream;
+    use ausdb_model::value::Value;
 
     fn schema() -> Schema {
         Schema::new(vec![

@@ -204,10 +204,7 @@ mod tests {
     }
 
     fn gaussian_at(ts: u64, mu: f64) -> Tuple {
-        Tuple::certain(
-            ts,
-            vec![Field::learned(AttrDistribution::gaussian(mu, 1.0).unwrap(), 20)],
-        )
+        Tuple::certain(ts, vec![Field::learned(AttrDistribution::gaussian(mu, 1.0).unwrap(), 20)])
     }
 
     #[test]
@@ -216,7 +213,12 @@ mod tests {
         // sees itself (cutoff 11).
         let s = VecStream::new(
             schema(),
-            vec![gaussian_at(0, 1.0), gaussian_at(5, 2.0), gaussian_at(9, 3.0), gaussian_at(20, 10.0)],
+            vec![
+                gaussian_at(0, 1.0),
+                gaussian_at(5, 2.0),
+                gaussian_at(9, 3.0),
+                gaussian_at(20, 10.0),
+            ],
             8,
         );
         let mut w =
@@ -239,8 +241,7 @@ mod tests {
             8,
         );
         let mut w =
-            TimeWindowAgg::new(s, "x", WindowAggKind::Avg, 100, 3, AccuracyMode::None, 5)
-                .unwrap();
+            TimeWindowAgg::new(s, "x", WindowAggKind::Avg, 100, 3, AccuracyMode::None, 5).unwrap();
         let out = w.collect_all();
         assert_eq!(out.len(), 1, "only the third arrival fills the minimum");
         assert!((out[0].fields[0].value.as_dist().unwrap().mean() - 2.0).abs() < 1e-12);
@@ -282,7 +283,8 @@ mod tests {
             TimeWindowAgg::new(s, "x", WindowAggKind::Avg, 0, 1, AccuracyMode::None, 5).is_err()
         );
         let s = VecStream::new(schema(), vec![], 8);
-        assert!(TimeWindowAgg::new(s, "nope", WindowAggKind::Avg, 5, 1, AccuracyMode::None, 5)
-            .is_err());
+        assert!(
+            TimeWindowAgg::new(s, "nope", WindowAggKind::Avg, 5, 1, AccuracyMode::None, 5).is_err()
+        );
     }
 }

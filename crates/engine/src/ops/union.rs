@@ -23,16 +23,8 @@ impl<A: TupleStream, B: TupleStream> Union<A, B> {
         if a.schema() != b.schema() {
             return Err(EngineError::InvalidQuery(format!(
                 "UNION requires identical schemas ({:?} vs {:?})",
-                a.schema()
-                    .columns()
-                    .iter()
-                    .map(|c| (&c.name, c.ty))
-                    .collect::<Vec<_>>(),
-                b.schema()
-                    .columns()
-                    .iter()
-                    .map(|c| (&c.name, c.ty))
-                    .collect::<Vec<_>>(),
+                a.schema().columns().iter().map(|c| (&c.name, c.ty)).collect::<Vec<_>>(),
+                b.schema().columns().iter().map(|c| (&c.name, c.ty)).collect::<Vec<_>>(),
             )));
         }
         Ok(Self { a, b, next_is_a: true, a_done: false, b_done: false })
@@ -90,8 +82,11 @@ mod tests {
     }
 
     fn stream(vals: &[f64], batch: usize) -> VecStream {
-        let tuples =
-            vals.iter().enumerate().map(|(i, &v)| Tuple::certain(i as u64, vec![Field::plain(v)])).collect();
+        let tuples = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Tuple::certain(i as u64, vec![Field::plain(v)]))
+            .collect();
         VecStream::new(schema(), tuples, batch)
     }
 

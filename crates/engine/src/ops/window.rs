@@ -95,7 +95,11 @@ impl<S: TupleStream> WindowAgg<S> {
         })
     }
 
-    fn push_tuple(&mut self, tuple: &Tuple, in_schema: &Schema) -> Result<Option<Tuple>, EngineError> {
+    fn push_tuple(
+        &mut self,
+        tuple: &Tuple,
+        in_schema: &Schema,
+    ) -> Result<Option<Tuple>, EngineError> {
         let field = tuple.field(in_schema, &self.column)?;
         let (mu, sigma2, n) = match &field.value {
             Value::Dist(AttrDistribution::Gaussian { mu, sigma2 }) => {
@@ -207,10 +211,7 @@ mod tests {
             .map(|i| {
                 Tuple::certain(
                     i as u64,
-                    vec![Field::learned(
-                        AttrDistribution::gaussian(i as f64, 1.0).unwrap(),
-                        20,
-                    )],
+                    vec![Field::learned(AttrDistribution::gaussian(i as f64, 1.0).unwrap(), 20)],
                 )
             })
             .collect();
@@ -221,15 +222,9 @@ mod tests {
     fn avg_closed_form() {
         // Window of 4 over means 0,1,2,...: first output averages 0..3 = 1.5,
         // with variance 4/16 = 0.25.
-        let mut w = WindowAgg::new(
-            gaussian_stream(6),
-            "x",
-            WindowAggKind::Avg,
-            4,
-            AccuracyMode::None,
-            5,
-        )
-        .unwrap();
+        let mut w =
+            WindowAgg::new(gaussian_stream(6), "x", WindowAggKind::Avg, 4, AccuracyMode::None, 5)
+                .unwrap();
         let out = w.collect_all();
         assert_eq!(out.len(), 3, "6 inputs, window 4 ⇒ 3 outputs");
         let d = out[0].fields[0].value.as_dist().unwrap();
@@ -241,15 +236,9 @@ mod tests {
 
     #[test]
     fn sum_closed_form() {
-        let mut w = WindowAgg::new(
-            gaussian_stream(4),
-            "x",
-            WindowAggKind::Sum,
-            4,
-            AccuracyMode::None,
-            5,
-        )
-        .unwrap();
+        let mut w =
+            WindowAgg::new(gaussian_stream(4), "x", WindowAggKind::Sum, 4, AccuracyMode::None, 5)
+                .unwrap();
         let out = w.collect_all();
         assert_eq!(out.len(), 1);
         let d = out[0].fields[0].value.as_dist().unwrap();
@@ -333,15 +322,9 @@ mod tests {
 
     #[test]
     fn underfull_window_emits_nothing() {
-        let mut w = WindowAgg::new(
-            gaussian_stream(3),
-            "x",
-            WindowAggKind::Avg,
-            10,
-            AccuracyMode::None,
-            5,
-        )
-        .unwrap();
+        let mut w =
+            WindowAgg::new(gaussian_stream(3), "x", WindowAggKind::Avg, 10, AccuracyMode::None, 5)
+                .unwrap();
         assert!(w.next_batch().is_none());
     }
 }

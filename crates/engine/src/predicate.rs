@@ -16,7 +16,7 @@ use rand::Rng;
 
 use crate::error::EngineError;
 use crate::expr::Expr;
-use crate::mc::monte_carlo;
+use crate::mc::monte_carlo_batch;
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,10 +70,7 @@ impl std::fmt::Display for CmpOp {
 pub fn prob_cmp(dist: &AttrDistribution, op: CmpOp, t: f64) -> f64 {
     // Point mass exactly at t (zero for continuous distributions).
     let mass_at = match dist {
-        AttrDistribution::Point(v)
-            if *v == t => {
-                1.0
-            }
+        AttrDistribution::Point(v) if *v == t => 1.0,
         AttrDistribution::Discrete(pairs) => {
             pairs.iter().filter(|&&(v, _)| v == t).map(|&(_, p)| p).sum()
         }
@@ -228,7 +225,7 @@ fn compare_prob<R: Rng + ?Sized>(
         return Ok(prob_cmp(&d, op, threshold));
     }
     // General path: Monte Carlo.
-    let values = monte_carlo(expr, tuple, schema, mc_iters, rng)?;
+    let values = monte_carlo_batch(expr, tuple, schema, mc_iters, rng)?;
     Ok(values.iter().filter(|&&v| op.apply(v, threshold)).count() as f64 / values.len() as f64)
 }
 

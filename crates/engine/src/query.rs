@@ -15,8 +15,8 @@ use ausdb_model::tuple::Tuple;
 
 use crate::error::EngineError;
 use crate::ops::{
-    AccuracyMode, Filter, GroupAggKind, GroupBy, HashJoin, Project, Projection, SigFilter,
-    SigMode, WindowAgg, WindowAggKind,
+    AccuracyMode, Filter, GroupAggKind, GroupBy, HashJoin, Project, Projection, SigFilter, SigMode,
+    WindowAgg, WindowAggKind,
 };
 use crate::predicate::Predicate;
 use crate::sigpred::SigPredicate;
@@ -208,11 +208,8 @@ impl Query {
             stages.push(format!("SigFilter [{pred:?} @ {mode:?}]"));
         }
         if !self.projections.is_empty() {
-            let cols: Vec<String> = self
-                .projections
-                .iter()
-                .map(|p| format!("{} := {}", p.name, p.expr))
-                .collect();
+            let cols: Vec<String> =
+                self.projections.iter().map(|p| format!("{} := {}", p.name, p.expr)).collect();
             stages.push(format!("Project [{}]", cols.join(", ")));
         }
         if let Some((col, desc)) = &self.order_by {
@@ -473,7 +470,12 @@ mod tests {
         // accuracy-oblivious outcome).
         let s = session();
         let q = Query::select_all()
-            .with_predicate(Predicate::prob_threshold(Expr::col("delay"), CmpOp::Gt, 50.0, 2.0 / 3.0))
+            .with_predicate(Predicate::prob_threshold(
+                Expr::col("delay"),
+                CmpOp::Gt,
+                50.0,
+                2.0 / 3.0,
+            ))
             .with_projections(vec![Projection::new("road_id", Expr::col("road_id"))]);
         let (schema, out) = s.run("t", &q).unwrap();
         assert_eq!(schema.len(), 1);
@@ -570,10 +572,8 @@ mod tests {
                 Tuple::certain(1, vec![Field::plain(99i64), Field::plain(55.0)]),
             ],
         );
-        let q = Query::select_all().with_join(crate::query::JoinSpec {
-            right: "limits".into(),
-            key: "road_id".into(),
-        });
+        let q = Query::select_all()
+            .with_join(crate::query::JoinSpec { right: "limits".into(), key: "road_id".into() });
         let (schema, out) = s.run("t", &q).unwrap();
         assert_eq!(schema.len(), 3);
         assert_eq!(out.len(), 1, "only road 20 appears in both streams");
@@ -624,7 +624,15 @@ mod tests {
             .with_order_by("d", true)
             .with_limit(5);
         let plan = q.explain("roads");
-        for needle in ["Scan [roads]", "HashJoin", "Filter", "WindowAgg", "Project", "Sort [d DESC]", "Limit [5]"] {
+        for needle in [
+            "Scan [roads]",
+            "HashJoin",
+            "Filter",
+            "WindowAgg",
+            "Project",
+            "Sort [d DESC]",
+            "Limit [5]",
+        ] {
             assert!(plan.contains(needle), "missing {needle} in:\n{plan}");
         }
         // Scan is the innermost (most indented, last) line.

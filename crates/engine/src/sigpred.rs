@@ -20,7 +20,7 @@ use rand::Rng;
 use crate::dfsample::df_sample_size;
 use crate::error::EngineError;
 use crate::expr::Expr;
-use crate::mc::monte_carlo;
+use crate::mc::monte_carlo_batch;
 use crate::predicate::Predicate;
 
 /// Summary statistics of a probabilistic field, as consumed by the tests:
@@ -82,7 +82,7 @@ pub fn field_stats<R: Rng + ?Sized>(
     if let Some((mu, var)) = expr.eval_gaussian(tuple, schema)? {
         return Ok(FieldStats { mean: mu, sd: var.sqrt(), n });
     }
-    let values = monte_carlo(expr, tuple, schema, mc_iters.max(2), rng)?;
+    let values = monte_carlo_batch(expr, tuple, schema, mc_iters.max(2), rng)?;
     let s = ausdb_stats::summary::Summary::of(&values);
     Ok(FieldStats { mean: s.mean(), sd: s.std_dev(), n })
 }
@@ -167,10 +167,8 @@ impl SigPredicate {
             SigPredicate::MdTest { x, y, c, .. } => {
                 let sx = field_stats(x, tuple, schema, mc_iters, rng)?;
                 let sy = field_stats(y, tuple, schema, mc_iters, rng)?;
-                Ok(two_sample_mean_test(
-                    sx.mean, sx.sd, sx.n, sy.mean, sy.sd, sy.n, *c, op, alpha,
-                )
-                .significant())
+                Ok(two_sample_mean_test(sx.mean, sx.sd, sx.n, sy.mean, sy.sd, sy.n, *c, op, alpha)
+                    .significant())
             }
             SigPredicate::PTest { pred, tau, .. } => {
                 let p_hat = pred.prob(tuple, schema, mc_iters, rng)?;
@@ -178,10 +176,13 @@ impl SigPredicate {
                 let n = cols
                     .iter()
                     .filter_map(|c| {
-                        tuple
-                            .field(schema, c)
-                            .ok()
-                            .and_then(|f| if matches!(f.value, Value::Dist(_)) { f.sample_size } else { None })
+                        tuple.field(schema, c).ok().and_then(|f| {
+                            if matches!(f.value, Value::Dist(_)) {
+                                f.sample_size
+                            } else {
+                                None
+                            }
+                        })
                     })
                     .min()
                     .ok_or_else(|| {
@@ -287,11 +288,8 @@ mod tests {
     use ausdb_stats::rng::seeded;
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Column::new("x", ColumnType::Dist),
-            Column::new("y", ColumnType::Dist),
-        ])
-        .unwrap()
+        Schema::new(vec![Column::new("x", ColumnType::Dist), Column::new("y", ColumnType::Dist)])
+            .unwrap()
     }
 
     /// Example 8's two temperature fields: X learned from 5 observations,
@@ -324,14 +322,8 @@ mod tests {
         let mut rng = seeded(2);
         let t = example8_tuple();
         let s = schema();
-        let px = SigPredicate::p_test(
-            Predicate::compare(Expr::col("x"), CmpOp::Gt, 100.0),
-            0.5,
-        );
-        let py = SigPredicate::p_test(
-            Predicate::compare(Expr::col("y"), CmpOp::Gt, 100.0),
-            0.5,
-        );
+        let px = SigPredicate::p_test(Predicate::compare(Expr::col("x"), CmpOp::Gt, 100.0), 0.5);
+        let py = SigPredicate::p_test(Predicate::compare(Expr::col("y"), CmpOp::Gt, 100.0), 0.5);
         assert!(!px.evaluate(&t, &s, 0.05, 100, &mut rng).unwrap(), "X must fail");
         assert!(py.evaluate(&t, &s, 0.05, 100, &mut rng).unwrap(), "Y must pass");
     }
@@ -348,12 +340,10 @@ mod tests {
                 Field::learned(AttrDistribution::gaussian(8.0, 1.0).unwrap(), 40),
             ],
         );
-        let md =
-            SigPredicate::md_test(Expr::col("x"), Expr::col("y"), Alternative::Greater, 0.0);
+        let md = SigPredicate::md_test(Expr::col("x"), Expr::col("y"), Alternative::Greater, 0.0);
         assert!(md.evaluate(&t, &schema(), 0.05, 100, &mut rng).unwrap());
         // The reverse direction must not be significant.
-        let md_rev =
-            SigPredicate::md_test(Expr::col("x"), Expr::col("y"), Alternative::Less, 0.0);
+        let md_rev = SigPredicate::md_test(Expr::col("x"), Expr::col("y"), Alternative::Less, 0.0);
         assert!(!md_rev.evaluate(&t, &schema(), 0.05, 100, &mut rng).unwrap());
     }
 
@@ -384,10 +374,7 @@ mod tests {
             ],
         );
         let m = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 10.0);
-        assert_eq!(
-            coupled_tests(&m, cfg, &t_small, &s, &mut rng).unwrap(),
-            SigOutcome::Unsure
-        );
+        assert_eq!(coupled_tests(&m, cfg, &t_small, &s, &mut rng).unwrap(), SigOutcome::Unsure);
     }
 
     #[test]

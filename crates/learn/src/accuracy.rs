@@ -114,9 +114,8 @@ mod tests {
         sample.extend(std::iter::repeat_n(15.0, 4));
         sample.extend(std::iter::repeat_n(25.0, 8));
         sample.extend(std::iter::repeat_n(35.0, 5));
-        let hist = HistogramLearner::new(BinSpec::Fixed(4))
-            .learn_in_range(&sample, 0.0, 40.0)
-            .unwrap();
+        let hist =
+            HistogramLearner::new(BinSpec::Fixed(4)).learn_in_range(&sample, 0.0, 40.0).unwrap();
         let info = histogram_accuracy(&hist, 20, 0.9, None);
         let cis = info.bin_cis.as_ref().unwrap();
         // Paper's intervals: (0.062,0.322), (0.05,0.35), (0.22,0.58), (0.09,0.41).
@@ -147,8 +146,7 @@ mod tests {
         let learner = HistogramLearner::new(BinSpec::Fixed(5));
         // True bin probabilities over the fixed range [-3, 3].
         let edges: Vec<f64> = (0..=5).map(|i| -3.0 + 1.2 * i as f64).collect();
-        let truth: Vec<f64> =
-            edges.windows(2).map(|w| d.cdf(w[1]) - d.cdf(w[0])).collect();
+        let truth: Vec<f64> = edges.windows(2).map(|w| d.cdf(w[1]) - d.cdf(w[0])).collect();
         let trials = 200;
         let mut misses = 0;
         let mut total = 0;

@@ -90,11 +90,7 @@ impl AdaptiveLearner {
         assert!(config.reference_size >= 5, "KS reference needs >= 5 observations");
         Self {
             config,
-            learner: WeightedStreamLearner::with_column_names(
-                config.weighted,
-                key_col,
-                value_col,
-            ),
+            learner: WeightedStreamLearner::with_column_names(config.weighted, key_col, value_col),
             keys: BTreeMap::new(),
             events: Vec::new(),
         }
@@ -213,11 +209,8 @@ mod tests {
     #[test]
     fn post_drift_distribution_snaps_to_new_regime() {
         let mut rng = seeded(93);
-        let mut al = AdaptiveLearner::with_column_names(
-            AdaptiveConfig::gaussian(300.0),
-            "road",
-            "delay",
-        );
+        let mut al =
+            AdaptiveLearner::with_column_names(AdaptiveConfig::gaussian(300.0), "road", "delay");
         al.observe_all(incident_stream(&mut rng));
         let tuples = al.emit_at(800).unwrap();
         assert_eq!(tuples.len(), 1);
@@ -229,8 +222,7 @@ mod tests {
         let mut wl = WeightedStreamLearner::new(WeightedLearnerConfig::gaussian(300.0));
         let mut rng2 = seeded(93);
         wl.observe_all(incident_stream(&mut rng2));
-        let blended =
-            wl.emit_at(800).unwrap()[0].fields[1].value.as_dist().unwrap().mean();
+        let blended = wl.emit_at(800).unwrap()[0].fields[1].value.as_dist().unwrap().mean();
         assert!(
             blended < mean - 10.0,
             "forgetting should beat fading: adaptive {mean} vs weighted-only {blended}"

@@ -142,8 +142,7 @@ mod tests {
 
     #[test]
     fn fresh_buffer_rolls() {
-        let mut det =
-            DriftDetector::new(vec![0.0; 10], 0.05).with_fresh_window(5, 6);
+        let mut det = DriftDetector::new(vec![0.0; 10], 0.05).with_fresh_window(5, 6);
         for i in 0..20 {
             det.observe(i as f64);
         }
@@ -171,6 +170,9 @@ mod tests {
                 drift_flags += 1;
             }
         }
-        assert!(drift_flags <= 1, "after rebasing, the new level is the reference ({drift_flags} flags)");
+        assert!(
+            drift_flags <= 1,
+            "after rebasing, the new level is the reference ({drift_flags} flags)"
+        );
     }
 }

@@ -52,9 +52,7 @@ impl HistogramLearner {
             ));
         }
         if sample.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::InvalidDistribution(
-                "observations must be finite".into(),
-            ));
+            return Err(ModelError::InvalidDistribution("observations must be finite".into()));
         }
         let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -120,9 +118,8 @@ mod tests {
         sample.extend(std::iter::repeat_n(15.0, 4)); // [10,20)
         sample.extend(std::iter::repeat_n(25.0, 8)); // [20,30)
         sample.extend(std::iter::repeat_n(35.0, 5)); // [30,40)
-        let h = HistogramLearner::new(BinSpec::Fixed(4))
-            .learn_in_range(&sample, 0.0, 40.0)
-            .unwrap();
+        let h =
+            HistogramLearner::new(BinSpec::Fixed(4)).learn_in_range(&sample, 0.0, 40.0).unwrap();
         assert_eq!(h.num_bins(), 4);
         let expect = [0.15, 0.2, 0.4, 0.25];
         for (p, e) in h.probs().iter().zip(expect) {

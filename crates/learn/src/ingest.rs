@@ -99,17 +99,15 @@ pub fn parse_csv_observations(
             line: line_no,
             what: format!("bad key '{}'", cells[key_idx]),
         })?;
-        let ts = parse_timestamp(cell(ts_idx, "timestamp")?).ok_or_else(|| {
-            IngestError::BadRow {
+        let ts =
+            parse_timestamp(cell(ts_idx, "timestamp")?).ok_or_else(|| IngestError::BadRow {
                 line: line_no,
                 what: format!("bad timestamp '{}'", cells[ts_idx]),
-            }
-        })?;
-        let value: f64 =
-            cell(value_idx, "value")?.parse().map_err(|_| IngestError::BadRow {
-                line: line_no,
-                what: format!("bad value '{}'", cells[value_idx]),
             })?;
+        let value: f64 = cell(value_idx, "value")?.parse().map_err(|_| IngestError::BadRow {
+            line: line_no,
+            what: format!("bad value '{}'", cells[value_idx]),
+        })?;
         if !value.is_finite() {
             return Err(IngestError::BadRow {
                 line: line_no,

@@ -23,8 +23,8 @@ use ausdb_model::schema::{Column, ColumnType, Schema};
 use ausdb_model::tuple::{Field, Tuple};
 use ausdb_model::ModelError;
 use ausdb_stats::weighted::{
-    accuracy_n, exp_decay_weight, weighted_mean_interval_with_n,
-    weighted_proportion_interval, weighted_variance_interval_with_n, WeightedSummary,
+    accuracy_n, exp_decay_weight, weighted_mean_interval_with_n, weighted_proportion_interval,
+    weighted_variance_interval_with_n, WeightedSummary,
 };
 
 use crate::histogram::BinSpec;
@@ -56,12 +56,7 @@ pub struct WeightedLearnerConfig {
 impl WeightedLearnerConfig {
     /// Gaussian at 90% confidence with the given half-life.
     pub fn gaussian(half_life: f64) -> Self {
-        Self {
-            kind: WeightedDistKind::Gaussian,
-            level: 0.9,
-            half_life,
-            min_effective_n: 2.0,
-        }
+        Self { kind: WeightedDistKind::Gaussian, level: 0.9, half_life, min_effective_n: 2.0 }
     }
 }
 
@@ -349,8 +344,7 @@ mod tests {
 
     #[test]
     fn weighted_histogram_heights_sum_to_one() {
-        let pairs: Vec<(f64, f64)> =
-            (0..50).map(|i| (i as f64, 1.0 / (1.0 + i as f64))).collect();
+        let pairs: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, 1.0 / (1.0 + i as f64))).collect();
         let (hist, heights) = weighted_histogram(&pairs, BinSpec::Fixed(6)).unwrap();
         assert!((heights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert_eq!(hist.num_bins(), 6);

@@ -161,11 +161,8 @@ mod tests {
     }
 
     fn info() -> AccuracyInfo {
-        let cis = hist()
-            .probs()
-            .iter()
-            .map(|&p| proportion_interval(p, 20, 0.9))
-            .collect::<Vec<_>>();
+        let cis =
+            hist().probs().iter().map(|&p| proportion_interval(p, 20, 0.9)).collect::<Vec<_>>();
         AccuracyInfo::new(20).with_bin_cis(cis)
     }
 
@@ -215,8 +212,7 @@ mod tests {
     fn prob_greater_interval_requires_matching_bins() {
         let a = AccuracyInfo::new(20);
         assert!(a.prob_greater_interval(&hist(), 20.0).is_err());
-        let a = AccuracyInfo::new(20)
-            .with_bin_cis(vec![ConfidenceInterval::new(0.0, 1.0, 0.9)]);
+        let a = AccuracyInfo::new(20).with_bin_cis(vec![ConfidenceInterval::new(0.0, 1.0, 0.9)]);
         assert!(a.prob_greater_interval(&hist(), 20.0).is_err());
     }
 

@@ -5,6 +5,7 @@
 //! discrete. The distribution can be a single value with probability 1, in
 //! which case it is a traditional deterministic field."
 
+use ausdb_stats::alias::AliasTable;
 use ausdb_stats::dist::{ContinuousDistribution, Normal};
 use ausdb_stats::summary::Summary;
 use rand::{Rng, RngExt};
@@ -22,6 +23,10 @@ use crate::error::ModelError;
 pub struct Histogram {
     edges: Vec<f64>,
     probs: Vec<f64>,
+    // Cached Walker table so a draw picks its bucket in O(1) instead of
+    // walking the CDF. Fully determined by `probs` (construction goes
+    // through `new`), so the derived PartialEq stays consistent.
+    alias: AliasTable,
 }
 
 impl Histogram {
@@ -54,8 +59,9 @@ impl Histogram {
                 "histogram probabilities must have a positive sum".into(),
             ));
         }
-        let probs = probs.into_iter().map(|p| p / total).collect();
-        Ok(Self { edges, probs })
+        let probs: Vec<f64> = probs.into_iter().map(|p| p / total).collect();
+        let alias = AliasTable::new(&probs).expect("validated positive-sum probabilities");
+        Ok(Self { edges, probs, alias })
     }
 
     /// Number of buckets `b`.
@@ -129,19 +135,23 @@ impl Histogram {
         below + self.probs[i] * frac
     }
 
-    /// Draws a sample: pick a bucket by probability, then uniform within it.
+    /// Draws a sample: pick a bucket via the cached alias table (O(1)
+    /// instead of a CDF walk), then uniform within it.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let u: f64 = rng.random();
-        let mut acc = 0.0;
-        for (i, &p) in self.probs.iter().enumerate() {
-            acc += p;
-            if u < acc || i == self.probs.len() - 1 {
-                let lo = self.edges[i];
-                let hi = self.edges[i + 1];
-                return lo + rng.random::<f64>() * (hi - lo);
-            }
+        let i = self.alias.sample_index(rng);
+        let lo = self.edges[i];
+        let hi = self.edges[i + 1];
+        lo + rng.random::<f64>() * (hi - lo)
+    }
+
+    /// Fills `out` with independent samples. Same per-draw scheme as
+    /// [`Histogram::sample`], with the edge-pair lookup kept hot.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            let i = self.alias.sample_index(rng);
+            let lo = self.edges[i];
+            *slot = lo + rng.random::<f64>() * (self.edges[i + 1] - lo);
         }
-        unreachable!("probabilities sum to 1");
     }
 }
 
@@ -301,6 +311,47 @@ impl AttrDistribution {
         }
     }
 
+    /// Fills `out` with independent samples using a per-variant bulk
+    /// kernel: the Gaussian constructs its [`Normal`] once and runs the
+    /// paired Box-Muller batch, the histogram reuses its cached alias
+    /// table, and large discrete batches build a one-shot alias table so
+    /// each draw stops paying the O(k) CDF walk.
+    ///
+    /// Bulk kernels may consume the generator differently from repeated
+    /// [`AttrDistribution::sample`] calls — results agree in distribution,
+    /// not draw-for-draw.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        match self {
+            AttrDistribution::Point(v) => out.fill(*v),
+            AttrDistribution::Histogram(h) => h.sample_into(rng, out),
+            AttrDistribution::Gaussian { mu, sigma2 } => {
+                Normal::new(*mu, sigma2.sqrt()).expect("validated Gaussian").sample_into(rng, out)
+            }
+            AttrDistribution::Discrete(pairs) => {
+                // The alias build is O(k); only worth it when the batch
+                // amortizes it over enough CDF walks.
+                if out.len() >= 32 && pairs.len() >= 4 {
+                    let weights: Vec<f64> = pairs.iter().map(|&(_, p)| p).collect();
+                    let table =
+                        AliasTable::new(&weights).expect("validated positive-sum probabilities");
+                    for slot in out {
+                        *slot = pairs[table.sample_index(rng)].0;
+                    }
+                } else {
+                    for slot in out {
+                        *slot = self.sample(rng);
+                    }
+                }
+            }
+            AttrDistribution::Empirical(xs) => {
+                let n = xs.len();
+                for slot in out {
+                    *slot = xs[rng.random_range(0..n)];
+                }
+            }
+        }
+    }
+
     /// Whether this is a deterministic (point) value.
     pub fn is_point(&self) -> bool {
         matches!(self, AttrDistribution::Point(_))
@@ -441,6 +492,84 @@ mod tests {
         let mut rng = seeded(9);
         let x = d.sample(&mut rng);
         assert!([1.0, 2.0, 3.0, 4.0].contains(&x));
+    }
+
+    #[test]
+    fn sample_into_matches_distribution_per_variant() {
+        let variants = [
+            AttrDistribution::Point(7.0),
+            AttrDistribution::Histogram(simple_hist()),
+            AttrDistribution::gaussian(10.0, 4.0).unwrap(),
+            AttrDistribution::discrete(vec![(1.0, 0.2), (2.0, 0.3), (3.0, 0.1), (4.0, 0.4)])
+                .unwrap(),
+            AttrDistribution::empirical(vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+        ];
+        for (k, d) in variants.iter().enumerate() {
+            let mut rng = seeded(100 + k as u64);
+            let mut buf = vec![0.0; 40_000];
+            d.sample_into(&mut rng, &mut buf);
+            let n = buf.len() as f64;
+            let mean = buf.iter().sum::<f64>() / n;
+            let var = buf.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            // Empirical's variance() reports the n−1 sample variance of the
+            // stored observations; index draws have population variance.
+            let want_var = match d {
+                AttrDistribution::Empirical(xs) => {
+                    d.variance() * (xs.len() as f64 - 1.0) / xs.len() as f64
+                }
+                _ => d.variance(),
+            };
+            let tol = 6.0 * (want_var / n).sqrt() + 1e-12;
+            assert!(
+                (mean - d.mean()).abs() < tol,
+                "variant {k}: bulk mean {mean} vs {} (tol {tol})",
+                d.mean()
+            );
+            // Variance agreement only needs to be loose — enough to catch a
+            // kernel sampling the wrong spread entirely.
+            assert!(
+                (var - want_var).abs() < 0.15 * want_var + 1e-12,
+                "variant {k}: bulk variance {var} vs {want_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_small_batch_path_matches_large_batch_path() {
+        // Below the alias threshold the fallback per-draw loop runs; both
+        // paths must draw from the same distribution.
+        let d = AttrDistribution::discrete(vec![(1.0, 0.25), (2.0, 0.25), (5.0, 0.5)]).unwrap();
+        let mut rng = seeded(55);
+        let mut small = vec![0.0; 8];
+        d.sample_into(&mut rng, &mut small);
+        assert!(small.iter().all(|x| [1.0, 2.0, 5.0].contains(x)));
+        let mut large = vec![0.0; 50_000];
+        let d4 =
+            AttrDistribution::discrete(vec![(1.0, 0.25), (2.0, 0.25), (5.0, 0.25), (9.0, 0.25)])
+                .unwrap();
+        d4.sample_into(&mut rng, &mut large);
+        let nines = large.iter().filter(|&&x| x == 9.0).count() as f64 / large.len() as f64;
+        assert!((nines - 0.25).abs() < 0.01, "alias path frequency {nines}");
+    }
+
+    #[test]
+    fn histogram_bulk_sampling_matches_probs() {
+        let h = simple_hist();
+        let mut rng = seeded(21);
+        let mut buf = vec![0.0; 100_000];
+        h.sample_into(&mut rng, &mut buf);
+        let mut counts = [0usize; 4];
+        for &x in &buf {
+            counts[h.bin_index(x).expect("in support")] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / buf.len() as f64;
+            assert!(
+                (freq - h.probs()[i]).abs() < 0.01,
+                "bin {i}: freq {freq} vs prob {}",
+                h.probs()[i]
+            );
+        }
     }
 
     #[test]

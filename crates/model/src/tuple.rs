@@ -56,11 +56,7 @@ impl Tuple {
     }
 
     /// Creates a tuple with an explicit membership probability.
-    pub fn with_membership(
-        ts: u64,
-        fields: Vec<Field>,
-        membership: TupleProbability,
-    ) -> Self {
+    pub fn with_membership(ts: u64, fields: Vec<Field>, membership: TupleProbability) -> Self {
         Self { ts, fields, membership }
     }
 

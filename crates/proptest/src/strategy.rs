@@ -1,0 +1,151 @@
+//! Value-generation strategies.
+
+use core::fmt::Debug;
+use core::ops::{Range, RangeInclusive};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Strategy for `Vec`s of another strategy's values.
+pub struct VecStrategy<S: Strategy> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let n = rng.random_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy drawing uniformly from a fixed option list.
+pub struct SelectStrategy<T: Clone + Debug> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for SelectStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.options[rng.random_range(0..self.options.len())].clone()
+    }
+}
+
+/// Strategy for fair booleans (`proptest::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+/// Simplified string strategies: a `&str` pattern like `".{0,120}"` is
+/// interpreted as "any string with length in `[0, 120]`" — enough for the
+/// fuzz tests that only need arbitrary junk input. Any other pattern falls
+/// back to lengths `0..=64`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 64));
+        let len = rng.random_range(lo..=hi);
+        (0..len)
+            .map(|_| {
+                // Mostly printable ASCII, with occasional arbitrary unicode
+                // so the lexer sees multi-byte input too.
+                if rng.random_bool(0.92) {
+                    char::from(rng.random_range(0x20u8..0x7f))
+                } else {
+                    char::from_u32(rng.random_range(0x80u32..0xD7FF)).unwrap_or('\u{FFFD}')
+                }
+            })
+            .collect()
+    }
+}
+
+/// Extracts `a, b` from a trailing `{a,b}` repetition in a pattern.
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    let body = pattern.get(open + 1..close)?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_collections_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = (0.5..2.5f64).generate(&mut rng);
+            assert!((0.5..2.5).contains(&x));
+            let v = crate::collection::vec(1usize..4, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| (1..4).contains(&e)));
+        }
+    }
+
+    #[test]
+    fn string_pattern_bounds_respected() {
+        assert_eq!(parse_repeat_bounds(".{0,120}"), Some((0, 120)));
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let s = ".{0,120}".generate(&mut rng);
+            assert!(s.chars().count() <= 120);
+        }
+    }
+}

@@ -135,10 +135,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 if j >= bytes.len() {
                     return Err(SqlError::Lex { pos, what: "unterminated string".into() });
                 }
-                out.push(Spanned {
-                    token: Token::Str(input[start..j].to_owned()),
-                    pos,
-                });
+                out.push(Spanned { token: Token::Str(input[start..j].to_owned()), pos });
                 i = j + 1;
             }
             c if c.is_ascii_digit() || c == '.' => {
@@ -225,13 +222,16 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("1 2.5 0.05 1e3 2.5e-2"), vec![
-            Token::Number(1.0),
-            Token::Number(2.5),
-            Token::Number(0.05),
-            Token::Number(1000.0),
-            Token::Number(0.025),
-        ]);
+        assert_eq!(
+            toks("1 2.5 0.05 1e3 2.5e-2"),
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(0.05),
+                Token::Number(1000.0),
+                Token::Number(0.025),
+            ]
+        );
     }
 
     #[test]

@@ -59,9 +59,10 @@ impl Parser {
     }
 
     fn pos(&self) -> usize {
-        self.tokens.get(self.i).map(|s| s.pos).unwrap_or_else(|| {
-            self.tokens.last().map(|s| s.pos + 1).unwrap_or(0)
-        })
+        self.tokens
+            .get(self.i)
+            .map(|s| s.pos)
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.pos + 1).unwrap_or(0))
     }
 
     fn err(&self, what: impl Into<String>) -> SqlError {
@@ -244,11 +245,7 @@ impl Parser {
 
     fn select_item(&mut self) -> Result<SelectItem, SqlError> {
         let expr = self.expr()?;
-        let alias = if self.eat_kw("AS") {
-            Some(self.expect_ident("alias")?)
-        } else {
-            None
-        };
+        let alias = if self.eat_kw("AS") { Some(self.expect_ident("alias")?) } else { None };
         Ok(SelectItem { expr, alias })
     }
 
@@ -435,9 +432,7 @@ impl Parser {
             Some(Token::Lt) => Ok("<".into()),
             Some(Token::Gt) => Ok(">".into()),
             Some(Token::Ne) => Ok("<>".into()),
-            Some(Token::Str(s)) if matches!(s.trim(), "<" | ">" | "<>") => {
-                Ok(s.trim().to_owned())
-            }
+            Some(Token::Str(s)) if matches!(s.trim(), "<" | ">" | "<>") => Ok(s.trim().to_owned()),
             _ => {
                 self.i = self.i.saturating_sub(1);
                 Err(self.err("expected '<', '>', or '<>'"))
@@ -564,8 +559,7 @@ mod tests {
 
     #[test]
     fn boolean_predicates() {
-        let s =
-            parse("SELECT * FROM s WHERE a > 1 AND (b < 2 OR NOT c >= 3)").unwrap();
+        let s = parse("SELECT * FROM s WHERE a > 1 AND (b < 2 OR NOT c >= 3)").unwrap();
         match s.predicate.unwrap() {
             SqlPredicate::And(_, r) => match *r {
                 SqlPredicate::Or(_, not) => {
@@ -614,8 +608,7 @@ mod tests {
 
     #[test]
     fn mdtest_and_ptest_parsing() {
-        let s =
-            parse("SELECT * FROM s HAVING MDTEST(x, y, '>', 0, 0.05, 0.05)").unwrap();
+        let s = parse("SELECT * FROM s HAVING MDTEST(x, y, '>', 0, 0.05, 0.05)").unwrap();
         assert!(matches!(s.significance.unwrap(), SqlSigPredicate::MdTest { .. }));
         // Example 9's pTest("temperature > 100", 0.5, 0.05).
         let s = parse("SELECT * FROM s HAVING PTEST(temperature > 100, 0.5, 0.05)").unwrap();
@@ -631,10 +624,7 @@ mod tests {
 
     #[test]
     fn accuracy_clause() {
-        let s = parse(
-            "SELECT * FROM s WITH ACCURACY BOOTSTRAP LEVEL 0.95 SAMPLES 500",
-        )
-        .unwrap();
+        let s = parse("SELECT * FROM s WITH ACCURACY BOOTSTRAP LEVEL 0.95 SAMPLES 500").unwrap();
         let a = s.accuracy.unwrap();
         assert_eq!(a.mode, "BOOTSTRAP");
         assert_eq!(a.level, Some(0.95));
@@ -644,10 +634,8 @@ mod tests {
 
     #[test]
     fn clause_order_is_flexible() {
-        let s = parse(
-            "SELECT * FROM s WITH ACCURACY ANALYTICAL WHERE x > 1 WINDOW AVG(x) SIZE 5",
-        )
-        .unwrap();
+        let s = parse("SELECT * FROM s WITH ACCURACY ANALYTICAL WHERE x > 1 WINDOW AVG(x) SIZE 5")
+            .unwrap();
         assert!(s.accuracy.is_some() && s.predicate.is_some() && s.window.is_some());
     }
 

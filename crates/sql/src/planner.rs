@@ -1,10 +1,12 @@
 //! Planner: lowers the parsed AST into an executable
 //! [`ausdb_engine::query::Query`].
 
+use ausdb_engine::ops::GroupAggKind;
 use ausdb_engine::ops::{AccuracyMode, Projection, SigMode, WindowAggKind};
 use ausdb_engine::predicate::{CmpOp, Predicate};
-use ausdb_engine::ops::GroupAggKind;
-use ausdb_engine::query::{GroupBySpec, JoinSpec, Query, QueryConfig, Session, WindowMode, WindowSpec};
+use ausdb_engine::query::{
+    GroupBySpec, JoinSpec, Query, QueryConfig, Session, WindowMode, WindowSpec,
+};
 use ausdb_engine::sigpred::{CoupledConfig, SigPredicate};
 use ausdb_engine::{BinOp, Expr, UnaryOp};
 use ausdb_model::schema::Schema;
@@ -63,9 +65,8 @@ pub fn plan(stmt: &SelectStmt, schema: Option<&Schema>) -> Result<PlannedQuery, 
     // The schema visible to SELECT / HAVING: after a window aggregate the
     // only column is `avg_<col>` / `sum_<col>`; after a GROUP BY it is the
     // key plus the aggregate output.
-    let post_window_name = stmt.window.as_ref().map(|w| {
-        format!("{}_{}", w.func.to_ascii_lowercase(), w.column)
-    });
+    let post_window_name =
+        stmt.window.as_ref().map(|w| format!("{}_{}", w.func.to_ascii_lowercase(), w.column));
     let post_group_names: Option<Vec<String>> = match (&stmt.group_by, &stmt.items) {
         (Some(key), Some(items)) => {
             let mut names = vec![key.clone()];
@@ -253,10 +254,7 @@ pub fn run_sql(
     Ok(session.run_with_config(&planned.from, &planned.query, config)?)
 }
 
-fn lower_expr(
-    e: &SqlExpr,
-    check: &dyn Fn(&str) -> Result<(), SqlError>,
-) -> Result<Expr, SqlError> {
+fn lower_expr(e: &SqlExpr, check: &dyn Fn(&str) -> Result<(), SqlError>) -> Result<Expr, SqlError> {
     Ok(match e {
         SqlExpr::Column(name) => {
             check(name)?;
@@ -348,8 +346,7 @@ fn lower_comparison(
         }
         (None, None) => {
             return Err(SqlError::Plan(
-                "one side of a comparison must be constant (rewrite `a > b` as `a - b > 0`)"
-                    .into(),
+                "one side of a comparison must be constant (rewrite `a > b` as `a - b > 0`)".into(),
             ))
         }
     };
@@ -418,11 +415,7 @@ fn lower_sig_predicate(
 ) -> Result<(SigPredicate, SigMode), SqlError> {
     match sig {
         SqlSigPredicate::MTest { expr, op, c, alpha1, alpha2 } => {
-            let pred = SigPredicate::m_test(
-                lower_expr(expr, check)?,
-                lower_alternative(op)?,
-                *c,
-            );
+            let pred = SigPredicate::m_test(lower_expr(expr, check)?, lower_alternative(op)?, *c);
             Ok((pred, sig_mode(*alpha1, *alpha2)?))
         }
         SqlSigPredicate::MdTest { x, y, op, c, alpha1, alpha2 } => {
@@ -452,9 +445,7 @@ fn lower_accuracy(a: &SqlAccuracy) -> Result<AccuracyMode, SqlError> {
     Ok(match a.mode.as_str() {
         "NONE" => AccuracyMode::None,
         "ANALYTICAL" => AccuracyMode::Analytical { level },
-        "BOOTSTRAP" => {
-            AccuracyMode::Bootstrap { level, mc_values: a.samples.unwrap_or(1000) }
-        }
+        "BOOTSTRAP" => AccuracyMode::Bootstrap { level, mc_values: a.samples.unwrap_or(1000) },
         other => return Err(SqlError::Plan(format!("unknown accuracy mode {other}"))),
     })
 }
@@ -505,11 +496,8 @@ mod tests {
     #[test]
     fn end_to_end_significance_query() {
         let s = road_session();
-        let (_, out) = run_sql(
-            &s,
-            "SELECT road_id FROM t HAVING PTEST(delay > 50, 0.66, 0.05)",
-        )
-        .unwrap();
+        let (_, out) =
+            run_sql(&s, "SELECT road_id FROM t HAVING PTEST(delay > 50, 0.66, 0.05)").unwrap();
         assert_eq!(out.len(), 1, "significance keeps only the well-sampled road");
         assert_eq!(out[0].fields[0].value, Value::Int(20));
     }
@@ -517,11 +505,8 @@ mod tests {
     #[test]
     fn end_to_end_mtest_coupled() {
         let s = road_session();
-        let (_, out) = run_sql(
-            &s,
-            "SELECT road_id FROM t HAVING MTEST(delay, '>', 30, 0.05, 0.05)",
-        )
-        .unwrap();
+        let (_, out) =
+            run_sql(&s, "SELECT road_id FROM t HAVING MTEST(delay, '>', 30, 0.05, 0.05)").unwrap();
         // Road 20: (65-30)/(10/√50) huge ⇒ TRUE. Road 19: (64-30)/(30/√3) ≈
         // 1.96 > t2(0.05)=2.92? No ⇒ not TRUE.
         assert_eq!(out.len(), 1);
@@ -595,15 +580,13 @@ mod tests {
         let mut s = Session::new();
         s.register("r", schema, vec![mk(2, 50.0, 30), mk(1, 10.0, 20), mk(1, 14.0, 8)]);
         let (schema, out) =
-            run_sql(&s, "SELECT sensor, AVG(temp) AS mean_temp FROM r GROUP BY sensor")
-                .unwrap();
+            run_sql(&s, "SELECT sensor, AVG(temp) AS mean_temp FROM r GROUP BY sensor").unwrap();
         assert_eq!(schema.column(1).name, "mean_temp");
         assert_eq!(out.len(), 2);
         let d = out[0].fields[1].value.as_dist().unwrap();
         assert!((d.mean() - 12.0).abs() < 1e-12);
         // COUNT flavor.
-        let (_, out) =
-            run_sql(&s, "SELECT sensor, COUNT(temp) FROM r GROUP BY sensor").unwrap();
+        let (_, out) = run_sql(&s, "SELECT sensor, COUNT(temp) FROM r GROUP BY sensor").unwrap();
         assert_eq!(out[0].fields[1].value, Value::Int(2));
         assert_eq!(out[1].fields[1].value, Value::Int(1));
     }
@@ -644,11 +627,9 @@ mod tests {
             limits,
             vec![Tuple::certain(0, vec![Field::plain(20i64), Field::plain(30.0)])],
         );
-        let (schema, out) = run_sql(
-            &s,
-            "SELECT road_id, delay, speed_limit FROM t JOIN limits ON road_id",
-        )
-        .unwrap();
+        let (schema, out) =
+            run_sql(&s, "SELECT road_id, delay, speed_limit FROM t JOIN limits ON road_id")
+                .unwrap();
         assert_eq!(schema.len(), 3);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].fields[0].value, Value::Int(20));
@@ -684,8 +665,7 @@ mod tests {
         let last = out[2].fields[0].value.as_dist().unwrap();
         assert!((last.mean() - 50.0).abs() < 1e-9);
         // MIN gates emission.
-        let (_, out) =
-            run_sql(&s, "SELECT avg_x FROM s WINDOW AVG(x) RANGE 60 MIN 2").unwrap();
+        let (_, out) = run_sql(&s, "SELECT avg_x FROM s WINDOW AVG(x) RANGE 60 MIN 2").unwrap();
         assert_eq!(out.len(), 1, "only ts=30 has 2 tuples in its trailing window");
         assert!(run_sql(&s, "SELECT avg_x FROM s WINDOW AVG(x) RANGE 0").is_err());
         assert!(run_sql(&s, "SELECT avg_x FROM s WINDOW AVG(x) SPAN 9").is_err());
@@ -695,12 +675,10 @@ mod tests {
     fn order_by_and_limit() {
         let s = road_session();
         // Descending by the delay distribution's mean: road 20 (65) first.
-        let (_, out) =
-            run_sql(&s, "SELECT road_id, delay FROM t ORDER BY delay DESC").unwrap();
+        let (_, out) = run_sql(&s, "SELECT road_id, delay FROM t ORDER BY delay DESC").unwrap();
         assert_eq!(out[0].fields[0].value, Value::Int(20));
         assert_eq!(out[1].fields[0].value, Value::Int(19));
-        let (_, out) =
-            run_sql(&s, "SELECT road_id FROM t ORDER BY road_id ASC LIMIT 1").unwrap();
+        let (_, out) = run_sql(&s, "SELECT road_id FROM t ORDER BY road_id ASC LIMIT 1").unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].fields[0].value, Value::Int(19));
         // LIMIT 0 and parse errors.
@@ -776,8 +754,7 @@ mod tests {
     fn projection_names() {
         let stmt = parse("SELECT delay, (delay + 1) AS bumped, delay * 2 FROM t").unwrap();
         let planned = plan(&stmt, None).unwrap();
-        let names: Vec<&str> =
-            planned.query.projections.iter().map(|p| p.name.as_str()).collect();
+        let names: Vec<&str> = planned.query.projections.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(names, vec!["delay", "bumped", "col3"]);
     }
 }

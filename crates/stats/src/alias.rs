@@ -1,0 +1,142 @@
+//! Walker alias method: O(1) sampling from a finite discrete distribution.
+//!
+//! A categorical draw by CDF walk costs O(b) per sample (or O(log b) with
+//! binary search). The alias method spends O(b) once to build two tables —
+//! a per-cell acceptance probability and an alias index — after which every
+//! draw is one uniform index pick plus one biased coin: O(1) regardless of
+//! the number of categories. Histogram attribute distributions cache one of
+//! these so bulk Monte-Carlo sampling never walks the CDF.
+
+use rand::{Rng, RngExt};
+
+/// Precomputed Walker alias table over `n` categories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance probability of each cell (scaled to [0, 1]).
+    prob: Vec<f64>,
+    /// Donor category used when the cell's coin flip rejects.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from nonnegative weights (not necessarily
+    /// normalized). Returns `None` for empty input, non-finite or negative
+    /// weights, a nonpositive total, or more than `u32::MAX` categories.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 || n > u32::MAX as usize {
+            return None;
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !(total > 0.0) {
+            return None;
+        }
+        // Scale weights so the average cell holds exactly 1.0, then pair
+        // each under-full cell with a donor from the over-full set.
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // The donor gives away (1 - prob[s]) of its mass.
+            let leftover = prob[l as usize] - (1.0 - prob[s as usize]);
+            prob[l as usize] = leftover;
+            if leftover < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Float round-off can leave cells in either stack; they all hold
+        // (numerically) exactly their own mass.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Some(Self { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index in O(1): a uniform cell pick plus a biased
+    /// coin against the cell's acceptance probability.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn rejects_degenerate_weights() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -0.1]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY, 1.0]).is_none());
+    }
+
+    #[test]
+    fn matches_weights_empirically() {
+        let weights = [3.0, 4.0, 8.0, 5.0];
+        let table = AliasTable::new(&weights).unwrap();
+        assert_eq!(table.len(), 4);
+        let total: f64 = weights.iter().sum();
+        let mut rng = seeded(91);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[table.sample_index(&mut rng)] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let expect = weights[k] / total;
+            let got = c as f64 / n as f64;
+            assert!((got - expect).abs() < 0.005, "bin {k}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn single_category_always_wins() {
+        let table = AliasTable::new(&[2.5]).unwrap();
+        let mut rng = seeded(3);
+        for _ in 0..100 {
+            assert_eq!(table.sample_index(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]).unwrap();
+        let mut rng = seeded(17);
+        for _ in 0..10_000 {
+            let i = table.sample_index(&mut rng);
+            assert!(i == 1 || i == 3, "drew zero-weight category {i}");
+        }
+    }
+}

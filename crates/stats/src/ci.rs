@@ -149,7 +149,9 @@ pub fn mean_interval_t(y_bar: f64, s: f64, n: usize, level: f64) -> ConfidenceIn
 /// percentiles. Streams compute intervals at the same (n, level) for
 /// millions of tuples, so this turns each interval into a handful of
 /// multiplications after the first tuple.
-fn with_quantile_cache<T>(f: impl FnOnce(&mut std::collections::HashMap<(u8, usize, u64), f64>) -> T) -> T {
+fn with_quantile_cache<T>(
+    f: impl FnOnce(&mut std::collections::HashMap<(u8, usize, u64), f64>) -> T,
+) -> T {
     thread_local! {
         static CACHE: std::cell::RefCell<std::collections::HashMap<(u8, usize, u64), f64>> =
             std::cell::RefCell::new(std::collections::HashMap::new());

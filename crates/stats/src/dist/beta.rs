@@ -40,8 +40,7 @@ impl ContinuousDistribution for Beta {
         if x <= 0.0 || x >= 1.0 {
             return 0.0;
         }
-        let ln_b =
-            ln_gamma(self.alpha) + ln_gamma(self.beta) - ln_gamma(self.alpha + self.beta);
+        let ln_b = ln_gamma(self.alpha) + ln_gamma(self.beta) - ln_gamma(self.alpha + self.beta);
         ((self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - ln_b).exp()
     }
 

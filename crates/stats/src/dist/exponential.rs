@@ -58,6 +58,14 @@ impl ContinuousDistribution for Exponential {
         // Inverse transform: -ln(U)/λ with U ∈ (0, 1).
         -open_unit(rng).ln() / self.lambda
     }
+
+    fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        // Batched inverse-CDF: hoist the 1/λ division out of the loop.
+        let scale = -1.0 / self.lambda;
+        for slot in out {
+            *slot = scale * open_unit(rng).ln();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,15 @@ impl ContinuousDistribution for LogNormal {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.base().sample(rng).exp()
     }
+
+    fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        // Reuse the normal's paired Box-Muller kernel, then exponentiate
+        // in place.
+        self.base().sample_into(rng, out);
+        for slot in out {
+            *slot = slot.exp();
+        }
+    }
 }
 
 #[cfg(test)]

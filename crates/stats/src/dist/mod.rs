@@ -78,9 +78,25 @@ pub trait ContinuousDistribution {
     /// Draws one sample.
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
 
-    /// Draws `n` samples into a freshly allocated vector.
+    /// Fills `out` with independent samples.
+    ///
+    /// The default implementation loops over [`Self::sample`]; families
+    /// with a cheaper bulk form (paired Box-Muller for the normal, batched
+    /// inverse-CDF for the exponential, ...) override it. Bulk kernels may
+    /// consume the generator differently than repeated `sample` calls, so
+    /// the two paths agree in distribution but not draw-for-draw.
+    fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// Draws `n` samples into a freshly allocated vector (via the bulk
+    /// [`Self::sample_into`] kernel).
     fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
-        (0..n).map(|_| self.sample(rng)).collect()
+        let mut out = vec![0.0; n];
+        self.sample_into(rng, &mut out);
+        out
     }
 
     /// Standard deviation (`variance().sqrt()`).
@@ -137,10 +153,7 @@ pub(crate) mod testutil {
         for &p in &[0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999] {
             let x = d.quantile(p);
             let back = d.cdf(x);
-            assert!(
-                (back - p).abs() < tol,
-                "cdf(quantile({p})) = {back}, expected {p}"
-            );
+            assert!((back - p).abs() < tol, "cdf(quantile({p})) = {back}, expected {p}");
         }
     }
 

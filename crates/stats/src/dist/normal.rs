@@ -81,6 +81,23 @@ impl ContinuousDistribution for Normal {
             }
         }
     }
+
+    fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        // Paired Box-Muller: two variates per (ln, sqrt, sin_cos) group and
+        // no rejection loop, so the batch runs branch-free over the buffer.
+        let mut chunks = out.chunks_exact_mut(2);
+        for pair in &mut chunks {
+            let r = (-2.0 * open_unit(rng).ln()).sqrt();
+            let (sin, cos) = (core::f64::consts::TAU * open_unit(rng)).sin_cos();
+            pair[0] = self.mu + self.sigma * r * cos;
+            pair[1] = self.mu + self.sigma * r * sin;
+        }
+        if let [last] = chunks.into_remainder() {
+            let r = (-2.0 * open_unit(rng).ln()).sqrt();
+            let cos = (core::f64::consts::TAU * open_unit(rng)).cos();
+            *last = self.mu + self.sigma * r * cos;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -39,9 +39,8 @@ impl StudentT {
 impl ContinuousDistribution for StudentT {
     fn pdf(&self, x: f64) -> f64 {
         let v = self.df;
-        let ln_c = ln_gamma((v + 1.0) / 2.0)
-            - ln_gamma(v / 2.0)
-            - 0.5 * (v * std::f64::consts::PI).ln();
+        let ln_c =
+            ln_gamma((v + 1.0) / 2.0) - ln_gamma(v / 2.0) - 0.5 * (v * std::f64::consts::PI).ln();
         (ln_c - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
     }
 

@@ -66,6 +66,13 @@ impl ContinuousDistribution for Uniform {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         self.lo + rng.random::<f64>() * (self.hi - self.lo)
     }
+
+    fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        let (lo, width) = (self.lo, self.hi - self.lo);
+        for slot in out {
+            *slot = lo + rng.random::<f64>() * width;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -98,11 +98,8 @@ impl TestResult {
     }
 
     fn from_p(statistic: f64, df: Option<f64>, p_value: f64, alpha: f64) -> Self {
-        let decision = if p_value < alpha {
-            TestDecision::RejectNull
-        } else {
-            TestDecision::FailToReject
-        };
+        let decision =
+            if p_value < alpha { TestDecision::RejectNull } else { TestDecision::FailToReject };
         Self { statistic, df, p_value, alpha, decision }
     }
 }
@@ -143,11 +140,7 @@ pub fn one_sample_mean_test(
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
     let se = s / (n as f64).sqrt();
     // A zero standard error makes the statistic ±∞; resolve by sign.
-    let stat = if se == 0.0 {
-        ((y_bar - c).signum()) * f64::INFINITY
-    } else {
-        (y_bar - c) / se
-    };
+    let stat = if se == 0.0 { ((y_bar - c).signum()) * f64::INFINITY } else { (y_bar - c) / se };
     let df = if n < 30 { Some((n - 1) as f64) } else { None };
     let p = if stat.is_infinite() {
         match alt {
@@ -364,9 +357,7 @@ mod tests {
     #[test]
     fn welch_test_basic() {
         // Clearly separated means with decent n.
-        let r = two_sample_mean_test(
-            10.0, 2.0, 25, 7.0, 2.0, 25, 0.0, Alternative::Greater, 0.05,
-        );
+        let r = two_sample_mean_test(10.0, 2.0, 25, 7.0, 2.0, 25, 0.0, Alternative::Greater, 0.05);
         assert!(r.significant());
         assert!(r.df.is_some());
         // Welch df for equal variances/sizes = nx + ny − 2 = 48.
@@ -375,9 +366,7 @@ mod tests {
 
     #[test]
     fn welch_large_samples_use_z() {
-        let r = two_sample_mean_test(
-            10.0, 2.0, 50, 9.9, 2.0, 60, 0.0, Alternative::Greater, 0.05,
-        );
+        let r = two_sample_mean_test(10.0, 2.0, 50, 9.9, 2.0, 60, 0.0, Alternative::Greater, 0.05);
         assert!(r.df.is_none());
     }
 

@@ -20,6 +20,8 @@
 //!   (Section IV): one-sample mean test, Welch two-sample mean-difference
 //!   test, one-proportion z test, plus their power functions.
 //! * [`bootstrap`] — generic resampling utilities (Section III).
+//! * [`alias`] — Walker alias tables for O(1) categorical draws, backing the
+//!   cached histogram samplers on the batched Monte-Carlo path.
 //! * [`weighted`] — weighted-sample statistics with effective sample
 //!   sizes (the paper's Section VII future work).
 //! * [`ks`] — Kolmogorov–Smirnov goodness-of-fit tests, used for drift
@@ -33,6 +35,7 @@
 // alongside nonpositive ones; the suggested `partial_cmp` form hides that.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod alias;
 pub mod bootstrap;
 pub mod ci;
 pub mod dist;

@@ -207,8 +207,7 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry relation to keep the continued fraction convergent.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -346,10 +345,7 @@ pub fn std_normal_pdf(x: f64) -> f64 {
 /// refinement step against [`std_normal_cdf`], giving near machine precision.
 /// This provides the `z` percentiles of Lemma 1 (e.g. `z₀.₀₅ = 1.645`).
 pub fn inv_std_normal_cdf(p: f64) -> f64 {
-    assert!(
-        p > 0.0 && p < 1.0,
-        "inv_std_normal_cdf requires p in (0,1), got {p}"
-    );
+    assert!(p > 0.0 && p < 1.0, "inv_std_normal_cdf requires p in (0,1), got {p}");
     // Coefficients for Acklam's algorithm.
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
@@ -507,11 +503,7 @@ mod tests {
         let x = 0.4;
         close(reg_inc_beta(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-13);
         // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
-        close(
-            reg_inc_beta(3.5, 1.25, 0.7),
-            1.0 - reg_inc_beta(1.25, 3.5, 0.3),
-            1e-12,
-        );
+        close(reg_inc_beta(3.5, 1.25, 0.7), 1.0 - reg_inc_beta(1.25, 3.5, 0.3), 1e-12);
     }
 
     #[test]

@@ -310,7 +310,8 @@ mod tests {
 
     #[test]
     fn weighted_variance_interval_contains_estimate() {
-        let pairs: Vec<(f64, f64)> = (0..25).map(|i| ((i as f64).sin() * 3.0, 1.0 / (1.0 + i as f64 / 10.0))).collect();
+        let pairs: Vec<(f64, f64)> =
+            (0..25).map(|i| ((i as f64).sin() * 3.0, 1.0 / (1.0 + i as f64 / 10.0))).collect();
         let ws = WeightedSummary::of(&pairs);
         let ci = weighted_variance_interval(&ws, 0.9);
         assert!(ci.lo > 0.0);
@@ -360,9 +361,8 @@ mod tests {
         let trials = 600;
         let mut hits = 0;
         for _ in 0..trials {
-            let pairs: Vec<(f64, f64)> = (0..25)
-                .map(|i| (d.sample(&mut rng), exp_decay_weight(i as f64, 12.0)))
-                .collect();
+            let pairs: Vec<(f64, f64)> =
+                (0..25).map(|i| (d.sample(&mut rng), exp_decay_weight(i as f64, 12.0))).collect();
             let ws = WeightedSummary::of(&pairs);
             if weighted_mean_interval(&ws, 0.9).contains(5.0) {
                 hits += 1;

@@ -59,8 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     let mut session = Session::new();
     session.register("t", schema, tuples);
-    let (_, oblivious) =
-        run_sql(&session, "SELECT road_id FROM t WHERE delay > 50 PROB 0.66")?;
+    let (_, oblivious) = run_sql(&session, "SELECT road_id FROM t WHERE delay > 50 PROB 0.66")?;
     println!(
         "accuracy-oblivious threshold query returns {} roads: {:?}",
         oblivious.len(),

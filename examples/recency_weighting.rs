@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut reports = Vec::new();
     for i in 0..80u64 {
         let ts = i * 30;
-        let delay =
-            if ts < 1200 { calm.sample(&mut rng) } else { jammed.sample(&mut rng) };
+        let delay = if ts < 1200 { calm.sample(&mut rng) } else { jammed.sample(&mut rng) };
         reports.push(RawObservation::new(7, ts, delay));
     }
 

@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bootstrap: Vec<Tuple> = window.collect_all();
 
     println!("window-average accuracy (every 6th window):");
-    println!("{:>6} {:>10} {:>26} {:>26}", "window", "avg(temp)", "analytical 90% CI", "bootstrap 90% CI");
+    println!(
+        "{:>6} {:>10} {:>26} {:>26}",
+        "window", "avg(temp)", "analytical 90% CI", "bootstrap 90% CI"
+    );
     for (a, b) in analytical.iter().zip(&bootstrap).step_by(6) {
         let dist = a.fields[0].value.as_dist()?;
         let ana = a.fields[0].accuracy.as_ref().expect("analytical CI").mean_ci.unwrap();
@@ -92,10 +95,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AccuracyMode::Analytical { level: 0.9 },
         1,
     )?;
-    let alert = SigPredicate::p_test(
-        Predicate::compare(Expr::col("avg_temp"), CmpOp::Gt, SAFE_LIMIT),
-        0.8,
-    );
+    let alert =
+        SigPredicate::p_test(Predicate::compare(Expr::col("avg_temp"), CmpOp::Gt, SAFE_LIMIT), 0.8);
     let mut alerts = SigFilter::new(
         window,
         alert,
@@ -105,7 +106,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let alerting: Vec<Tuple> = alerts.collect_all();
     let (t, f, u) = alerts.outcome_counts();
-    println!("\nalerting over {} windows: {} TRUE (alert), {} FALSE, {} UNSURE", t + f + u, t, f, u);
+    println!(
+        "\nalerting over {} windows: {} TRUE (alert), {} FALSE, {} UNSURE",
+        t + f + u,
+        t,
+        f,
+        u
+    );
     match alerting.first() {
         Some(first) => println!(
             "first alert at window ts = {} (heat event began at ts = 24; a window \

@@ -43,8 +43,7 @@ fn run_one(session: &Session, sql: &str) {
     println!("ausdb> {sql}");
     match run_sql(session, sql) {
         Ok((schema, rows)) => {
-            let names: Vec<&str> =
-                schema.columns().iter().map(|c| c.name.as_str()).collect();
+            let names: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
             println!("  {}", names.join(" | "));
             for row in rows.iter().take(10) {
                 let cells: Vec<String> = row

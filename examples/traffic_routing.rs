@@ -34,10 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("(the service does NOT know these true values)\n");
 
-    let schema = Schema::new(vec![
-        Column::new("a", ColumnType::Dist),
-        Column::new("b", ColumnType::Dist),
-    ])?;
+    let schema =
+        Schema::new(vec![Column::new("a", ColumnType::Dist), Column::new("b", ColumnType::Dist)])?;
     // "Is B's mean delay greater than A's?" with both error rates <= 5%.
     let pred = SigPredicate::md_test(Expr::col("b"), Expr::col("a"), Alternative::Greater, 0.0);
     let config = CoupledConfig { alpha1: 0.05, alpha2: 0.05, mc_iters: 400 };
@@ -55,14 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tuple = Tuple::certain(
             round,
             vec![
-                Field::learned(
-                    AttrDistribution::empirical(reports_a.clone())?,
-                    reports_a.len(),
-                ),
-                Field::learned(
-                    AttrDistribution::empirical(reports_b.clone())?,
-                    reports_b.len(),
-                ),
+                Field::learned(AttrDistribution::empirical(reports_a.clone())?, reports_a.len()),
+                Field::learned(AttrDistribution::empirical(reports_b.clone())?, reports_b.len()),
             ],
         );
         let outcome = coupled_tests(&pred, config, &tuple, &schema, &mut rng)?;

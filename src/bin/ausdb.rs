@@ -145,10 +145,7 @@ fn load_csv(
 
 fn run_statement(session: &Session, stmt: &str) {
     let stmt = stmt.strip_suffix(';').unwrap_or(stmt).trim();
-    if let Some(sql) = stmt
-        .strip_prefix("EXPLAIN ")
-        .or_else(|| stmt.strip_prefix("explain "))
-    {
+    if let Some(sql) = stmt.strip_prefix("EXPLAIN ").or_else(|| stmt.strip_prefix("explain ")) {
         match explain(session, sql) {
             Ok(plan) => println!("{plan}"),
             Err(e) => println!("error: {e}"),

@@ -80,11 +80,11 @@ pub use ausdb_stats as stats;
 
 /// The most common imports, bundled.
 pub mod prelude {
+    pub use ausdb_engine::online::{AcquisitionController, SequentialTester};
     pub use ausdb_engine::ops::{
         AccuracyMode, Filter, GroupAggKind, GroupBy, HashJoin, Project, Projection, SigFilter,
         SigMode, TimeWindowAgg, Union, WindowAgg, WindowAggKind,
     };
-    pub use ausdb_engine::online::{AcquisitionController, SequentialTester};
     pub use ausdb_engine::predicate::{CmpOp, Predicate};
     pub use ausdb_engine::query::{
         execute, GroupBySpec, JoinSpec, Query, QueryConfig, Session, WindowMode, WindowSpec,

@@ -30,8 +30,7 @@ fn analytical_mean_interval_coverage_through_project() {
             Column::new("b", ColumnType::Dist),
         ])
         .unwrap();
-        let tuples =
-            vec![Tuple::certain(0, vec![Field::learned(a, na), Field::learned(b, nb)])];
+        let tuples = vec![Tuple::certain(0, vec![Field::learned(a, na), Field::learned(b, nb)])];
         let source = VecStream::new(schema, tuples, 4);
         let expr = Expr::bin(
             BinOp::Div,

@@ -32,10 +32,8 @@ fn cartel_session(segments: usize, minutes: u64) -> (CartelSim, Session) {
 fn learned_tuples_carry_heterogeneous_accuracy() {
     let (_, session) = cartel_session(30, 10);
     let (_, rows) = run_sql(&session, "SELECT road_id, delay FROM roads").unwrap();
-    let mut sizes: Vec<usize> = rows
-        .iter()
-        .map(|t| t.fields[1].sample_size.expect("learned provenance"))
-        .collect();
+    let mut sizes: Vec<usize> =
+        rows.iter().map(|t| t.fields[1].sample_size.expect("learned provenance")).collect();
     sizes.sort_unstable();
     assert!(
         sizes.first() != sizes.last(),
@@ -70,8 +68,7 @@ fn threshold_query_vs_significance_query() {
     let (_, oblivious) =
         run_sql(&session, "SELECT road_id FROM roads WHERE delay > 60 PROB 0.6").unwrap();
     let (_, aware) =
-        run_sql(&session, "SELECT road_id FROM roads HAVING PTEST(delay > 60, 0.6, 0.05)")
-            .unwrap();
+        run_sql(&session, "SELECT road_id FROM roads HAVING PTEST(delay > 60, 0.6, 0.05)").unwrap();
     assert!(
         aware.len() <= oblivious.len(),
         "significance ({}) cannot pass more tuples than the raw threshold ({})",
@@ -101,8 +98,7 @@ fn projection_propagates_df_sample_size() {
     // delay/60: same column, so the d.f. sample size must equal the
     // source's.
     let (_, src) = run_sql(&session, "SELECT road_id, delay FROM roads").unwrap();
-    let (_, derived) =
-        run_sql(&session, "SELECT road_id, delay / 60 AS mins FROM roads").unwrap();
+    let (_, derived) = run_sql(&session, "SELECT road_id, delay / 60 AS mins FROM roads").unwrap();
     for (s, d) in src.iter().zip(&derived) {
         assert_eq!(
             s.fields[1].sample_size, d.fields[1].sample_size,

@@ -224,8 +224,8 @@ proptest! {
 
 /// A session with a small mixed-schema stream for generated queries.
 fn fuzz_session() -> Session {
-    use ausdb::stats::rng::seeded;
     use ausdb::stats::dist::{ContinuousDistribution, Normal};
+    use ausdb::stats::rng::seeded;
     let schema = Schema::new(vec![
         Column::new("id", ColumnType::Int),
         Column::new("a", ColumnType::Dist),

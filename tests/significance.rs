@@ -30,8 +30,7 @@ fn example8_probability_threshold_accepts_both() {
     // P1: temperature >_{0.5} 100 — both fields have Pr ≈ 0.6 > 0.5, so
     // the accuracy-oblivious predicate accepts both (the problem!).
     let s = example8_session();
-    let (_, rows) =
-        run_sql(&s, "SELECT id FROM stream WHERE temperature > 100 PROB 0.5").unwrap();
+    let (_, rows) = run_sql(&s, "SELECT id FROM stream WHERE temperature > 100 PROB 0.5").unwrap();
     assert_eq!(rows.len(), 2, "accuracy-oblivious threshold keeps both");
 }
 
@@ -39,11 +38,8 @@ fn example8_probability_threshold_accepts_both() {
 fn example9_ptest_keeps_only_y() {
     // pTest("temperature > 100", 0.5, 0.05): only Y satisfies.
     let s = example8_session();
-    let (_, rows) = run_sql(
-        &s,
-        "SELECT id FROM stream HAVING PTEST(temperature > 100, 0.5, 0.05)",
-    )
-    .unwrap();
+    let (_, rows) =
+        run_sql(&s, "SELECT id FROM stream HAVING PTEST(temperature > 100, 0.5, 0.05)").unwrap();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].fields[0].value, Value::Int(2));
 }
@@ -52,11 +48,8 @@ fn example9_ptest_keeps_only_y() {
 fn example9_mtest_keeps_only_y() {
     // mTest(temperature, ">", 97, 0.05): only Y satisfies.
     let s = example8_session();
-    let (_, rows) = run_sql(
-        &s,
-        "SELECT id FROM stream HAVING MTEST(temperature, '>', 97, 0.05)",
-    )
-    .unwrap();
+    let (_, rows) =
+        run_sql(&s, "SELECT id FROM stream HAVING MTEST(temperature, '>', 97, 0.05)").unwrap();
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].fields[0].value, Value::Int(2));
 }
@@ -66,17 +59,13 @@ fn coupled_sql_form_distinguishes_three_outcomes() {
     let s = example8_session();
     // With the coupled form (two alphas), X is UNSURE for the ">" claim
     // (dropped), Y is TRUE (kept). For the "<" claim Y is FALSE.
-    let (_, gt) = run_sql(
-        &s,
-        "SELECT id FROM stream HAVING MTEST(temperature, '>', 97, 0.05, 0.05)",
-    )
-    .unwrap();
+    let (_, gt) =
+        run_sql(&s, "SELECT id FROM stream HAVING MTEST(temperature, '>', 97, 0.05, 0.05)")
+            .unwrap();
     assert_eq!(gt.len(), 1);
-    let (_, lt) = run_sql(
-        &s,
-        "SELECT id FROM stream HAVING MTEST(temperature, '<', 97, 0.05, 0.05)",
-    )
-    .unwrap();
+    let (_, lt) =
+        run_sql(&s, "SELECT id FROM stream HAVING MTEST(temperature, '<', 97, 0.05, 0.05)")
+            .unwrap();
     assert!(lt.is_empty(), "nobody's mean is significantly below 97");
 }
 
@@ -128,11 +117,9 @@ fn error_rates_hold_through_the_full_query_path() {
 
 #[test]
 fn mdtest_sql_between_two_fields() {
-    let schema = Schema::new(vec![
-        Column::new("a", ColumnType::Dist),
-        Column::new("b", ColumnType::Dist),
-    ])
-    .unwrap();
+    let schema =
+        Schema::new(vec![Column::new("a", ColumnType::Dist), Column::new("b", ColumnType::Dist)])
+            .unwrap();
     let tuples = vec![Tuple::certain(
         0,
         vec![
@@ -142,10 +129,8 @@ fn mdtest_sql_between_two_fields() {
     )];
     let mut s = Session::new();
     s.register("t", schema, tuples);
-    let (_, rows) =
-        run_sql(&s, "SELECT a FROM t HAVING MDTEST(a, b, '>', 0, 0.05, 0.05)").unwrap();
+    let (_, rows) = run_sql(&s, "SELECT a FROM t HAVING MDTEST(a, b, '>', 0, 0.05, 0.05)").unwrap();
     assert_eq!(rows.len(), 1, "a's mean is significantly above b's");
-    let (_, rows) =
-        run_sql(&s, "SELECT a FROM t HAVING MDTEST(a, b, '<', 0, 0.05, 0.05)").unwrap();
+    let (_, rows) = run_sql(&s, "SELECT a FROM t HAVING MDTEST(a, b, '<', 0, 0.05, 0.05)").unwrap();
     assert!(rows.is_empty());
 }
