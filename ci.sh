@@ -16,4 +16,10 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
+echo "== obs smoke =="
+cargo test -q -p ausdb-engine obs
+
 echo "CI OK"

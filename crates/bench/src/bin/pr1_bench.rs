@@ -161,4 +161,7 @@ fn main() {
         ops_par / ops_serial,
         ops_bulk / ops_draw
     );
+    if ausdb_engine::obs::timing_enabled() {
+        eprintln!("cumulative engine counters: {}", ausdb_engine::obs::global_stats());
+    }
 }

@@ -165,6 +165,7 @@ pub fn bootstrap_accuracy_info_with_threads(
         let cis = bin_heights.iter().map(|hs| percentile_interval(hs, level)).collect();
         info = info.with_bin_cis(cis);
     }
+    crate::obs::record_bootstrap_resamples(r);
     Ok(info)
 }
 

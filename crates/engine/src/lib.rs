@@ -21,6 +21,9 @@
 //! * [`online`] — Section I's online-computation pattern: sequential
 //!   testers and acquisition controllers that stop sampling once the
 //!   intervals are narrow enough to decide.
+//! * [`obs`] — observability: per-operator metrics with drop reasons,
+//!   structured poison causes, and an EXPLAIN-ANALYZE-style
+//!   [`obs::StatsReport`].
 //! * [`query`] — query descriptions and the executor gluing it all
 //!   together.
 
@@ -36,6 +39,7 @@ pub mod dfsample;
 pub mod error;
 pub mod expr;
 pub mod mc;
+pub mod obs;
 pub mod online;
 pub mod ops;
 pub mod predicate;

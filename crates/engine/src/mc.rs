@@ -48,6 +48,7 @@ pub fn monte_carlo<R: Rng + ?Sized>(
     for _ in 0..m {
         out.push(expr.eval_sampled(tuple, schema, rng)?);
     }
+    crate::obs::record_mc_draws(m);
     Ok(out)
 }
 
@@ -89,7 +90,9 @@ pub fn monte_carlo_batch<R: Rng + ?Sized>(
     assert!(m > 0, "need at least one Monte-Carlo iteration");
     let mut draws = BatchDraws::new(m);
     fill_draws(expr, tuple, schema, rng, &mut draws)?;
-    expr.eval_batch(tuple, schema, &draws)
+    let out = expr.eval_batch(tuple, schema, &draws)?;
+    crate::obs::record_mc_draws(m);
+    Ok(out)
 }
 
 /// Runs one fixed-size chunk of the parallel pipeline: reseed from the
@@ -159,6 +162,7 @@ pub fn monte_carlo_par(
             r?;
         }
     }
+    crate::obs::record_mc_draws(m);
     Ok(out)
 }
 
@@ -174,6 +178,7 @@ pub fn sample_distribution<R: Rng + ?Sized>(
     assert!(m > 0, "need at least one sample");
     let mut out = vec![0.0; m];
     dist.sample_into(rng, &mut out);
+    crate::obs::record_mc_draws(m);
     out
 }
 
@@ -299,5 +304,33 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn default_threads_env_handling() {
+        // One test covers all AUSDB_THREADS cases sequentially — parallel
+        // test threads must not race on the process environment.
+        let saved = std::env::var("AUSDB_THREADS").ok();
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+        std::env::remove_var("AUSDB_THREADS");
+        assert_eq!(default_threads(), hw, "unset falls back to the machine");
+
+        std::env::set_var("AUSDB_THREADS", "3");
+        assert_eq!(default_threads(), 3, "a positive value is honored");
+
+        std::env::set_var("AUSDB_THREADS", "0");
+        assert_eq!(default_threads(), hw, "zero is rejected, not honored");
+
+        std::env::set_var("AUSDB_THREADS", "lots");
+        assert_eq!(default_threads(), hw, "garbage is rejected, not honored");
+
+        std::env::set_var("AUSDB_THREADS", "-2");
+        assert_eq!(default_threads(), hw, "negative values are rejected");
+
+        match saved {
+            Some(v) => std::env::set_var("AUSDB_THREADS", v),
+            None => std::env::remove_var("AUSDB_THREADS"),
+        }
     }
 }

@@ -1,0 +1,617 @@
+//! Engine-wide observability: per-operator metrics, drop reasons, poison
+//! tracking, and global execution counters.
+//!
+//! The paper's thesis is that a stream system must report *how much to
+//! trust* its answers; this module extends that discipline to the
+//! operators themselves. Every operator owns an [`OpMetrics`] handle that
+//! tallies tuples in/out, dropped tuples **with a [`DropReason`]**,
+//! significance decisions, accuracy fallbacks, and (optionally) wall-clock
+//! time. Errors are recorded — never discarded: per-tuple failures become
+//! a [`StreamStatus::Degraded`] with the retained cause, fatal ones a
+//! [`StreamStatus::Poisoned`].
+//!
+//! A [`MetricsRegistry`] collects the handles of one pipeline and
+//! snapshots them into a [`StatsReport`], whose `Display` renders an
+//! EXPLAIN-ANALYZE-style tree. Global counters (Monte-Carlo draws,
+//! bootstrap resamples, the stats crate's quantile-cache hits) ride along
+//! in the report.
+//!
+//! Per-operator timing is off by default (an `Instant::now()` pair per
+//! batch is not free); set the `AUSDB_OBS_TIMING` environment variable to
+//! any value other than `0`/`false`/`off` to record it. Reported times are
+//! **inclusive**: an operator's clock runs while it pulls from its input,
+//! exactly like EXPLAIN ANALYZE.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use ausdb_model::stream::{PoisonReason, StreamStatus};
+use ausdb_model::ModelError;
+
+use crate::error::EngineError;
+
+/// Why an operator dropped a tuple. "Dropped" covers everything that
+/// entered but did not leave, so intended filtering and failures are
+/// distinguishable at a glance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The predicate / significance test legitimately rejected the tuple.
+    FilteredOut,
+    /// An `UNSURE` significance outcome was dropped (`keep_unsure` off).
+    Unsure,
+    /// The tuple could not be evaluated; the error was recorded, not
+    /// swallowed (see [`OpMetrics::record_error`]).
+    Error,
+}
+
+impl DropReason {
+    /// All reasons, in counter-index order.
+    pub const ALL: [DropReason; 3] =
+        [DropReason::FilteredOut, DropReason::Unsure, DropReason::Error];
+
+    /// Short label used in [`StatsReport`] rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropReason::FilteredOut => "filtered",
+            DropReason::Unsure => "unsure",
+            DropReason::Error => "error",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            DropReason::FilteredOut => 0,
+            DropReason::Unsure => 1,
+            DropReason::Error => 2,
+        }
+    }
+}
+
+/// Live counters of one operator. Cheap to update (relaxed atomics), and
+/// shared as `Arc` so a snapshot remains reachable after the operator is
+/// boxed into a pipeline or consumed by execution.
+#[derive(Debug)]
+pub struct OpMetrics {
+    name: String,
+    tuples_in: AtomicU64,
+    tuples_out: AtomicU64,
+    batches: AtomicU64,
+    dropped: [AtomicU64; 3],
+    decided_true: AtomicU64,
+    decided_false: AtomicU64,
+    decided_unsure: AtomicU64,
+    fallbacks: AtomicU64,
+    busy_nanos: AtomicU64,
+    last_error: Mutex<Option<PoisonReason>>,
+    poison: Mutex<Option<PoisonReason>>,
+}
+
+impl OpMetrics {
+    /// Creates a fresh handle for the operator `name`.
+    pub fn new(name: impl Into<String>) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            tuples_in: AtomicU64::new(0),
+            tuples_out: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            dropped: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+            decided_true: AtomicU64::new(0),
+            decided_false: AtomicU64::new(0),
+            decided_unsure: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+            poison: Mutex::new(None),
+        })
+    }
+
+    /// The operator name this handle belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one input batch of `tuples` tuples.
+    pub fn record_batch(&self, tuples: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.tuples_in.fetch_add(tuples as u64, Ordering::Relaxed);
+    }
+
+    /// Records `tuples` tuples leaving the operator.
+    pub fn record_out(&self, tuples: usize) {
+        self.tuples_out.fetch_add(tuples as u64, Ordering::Relaxed);
+    }
+
+    /// Records one dropped tuple. Use [`OpMetrics::record_error`] for
+    /// [`DropReason::Error`] so the cause is retained too.
+    pub fn record_drop(&self, reason: DropReason) {
+        self.dropped[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a tuple that errored: counts it under [`DropReason::Error`]
+    /// and retains the cause for [`OpMetrics::status`].
+    pub fn record_error(&self, reason: PoisonReason) {
+        self.record_drop(DropReason::Error);
+        *self.last_error.lock().expect("metrics mutex") = Some(reason);
+    }
+
+    /// Records a significance outcome: `Some(true)` / `Some(false)` for a
+    /// decision, `None` for UNSURE.
+    pub fn record_decision(&self, decided: Option<bool>) {
+        match decided {
+            Some(true) => &self.decided_true,
+            Some(false) => &self.decided_false,
+            None => &self.decided_unsure,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an accuracy-computation fallback (e.g. a membership
+    /// probability kept without its interval after an interval error).
+    pub fn record_fallback(&self) {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retains an error cause for the snapshot without counting a
+    /// dropped tuple — for tuples that survived in degraded form (e.g.
+    /// kept with a point probability after the interval computation
+    /// failed). Does not change [`OpMetrics::status`] on its own.
+    pub fn note_error(&self, reason: PoisonReason) {
+        *self.last_error.lock().expect("metrics mutex") = Some(reason);
+    }
+
+    /// Marks the stream fatally failed, retaining the cause. The first
+    /// poison sticks; later ones are ignored (the stream already stopped).
+    pub fn poison(&self, reason: PoisonReason) {
+        let mut slot = self.poison.lock().expect("metrics mutex");
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+    }
+
+    /// Adds measured busy time (used by [`timed`]).
+    pub fn add_busy(&self, elapsed: Duration) {
+        self.busy_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// This operator's own health — poison, then degradation, then Ok.
+    /// Operators combine this with their input's status via
+    /// [`StreamStatus::combine`].
+    pub fn status(&self) -> StreamStatus {
+        if let Some(reason) = self.poison.lock().expect("metrics mutex").clone() {
+            return StreamStatus::Poisoned(reason);
+        }
+        let errored = self.dropped[DropReason::Error.index()].load(Ordering::Relaxed);
+        match self.last_error.lock().expect("metrics mutex").clone() {
+            Some(last_error) if errored > 0 => StreamStatus::Degraded { errored, last_error },
+            _ => StreamStatus::Ok,
+        }
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> OpStats {
+        let busy = self.busy_nanos.load(Ordering::Relaxed);
+        OpStats {
+            name: self.name.clone(),
+            tuples_in: self.tuples_in.load(Ordering::Relaxed),
+            tuples_out: self.tuples_out.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            dropped: [
+                self.dropped[0].load(Ordering::Relaxed),
+                self.dropped[1].load(Ordering::Relaxed),
+                self.dropped[2].load(Ordering::Relaxed),
+            ],
+            decided_true: self.decided_true.load(Ordering::Relaxed),
+            decided_false: self.decided_false.load(Ordering::Relaxed),
+            decided_unsure: self.decided_unsure.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            busy: (busy > 0).then(|| Duration::from_nanos(busy)),
+            last_error: self.last_error.lock().expect("metrics mutex").clone(),
+            poisoned: self.poison.lock().expect("metrics mutex").clone(),
+        }
+    }
+}
+
+/// Frozen [`OpMetrics`] counters for one operator.
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    /// Operator name.
+    pub name: String,
+    /// Tuples pulled from the input.
+    pub tuples_in: u64,
+    /// Tuples emitted downstream.
+    pub tuples_out: u64,
+    /// Input batches processed.
+    pub batches: u64,
+    /// Dropped-tuple counts, indexed like [`DropReason::ALL`].
+    pub dropped: [u64; 3],
+    /// Significance outcomes decided TRUE.
+    pub decided_true: u64,
+    /// Significance outcomes decided FALSE.
+    pub decided_false: u64,
+    /// UNSURE significance outcomes.
+    pub decided_unsure: u64,
+    /// Accuracy-computation fallbacks.
+    pub fallbacks: u64,
+    /// Inclusive busy time, when `AUSDB_OBS_TIMING` was on.
+    pub busy: Option<Duration>,
+    /// Most recent per-tuple error, retained.
+    pub last_error: Option<PoisonReason>,
+    /// Terminal error, if the operator poisoned the stream.
+    pub poisoned: Option<PoisonReason>,
+}
+
+impl OpStats {
+    /// The count dropped for `reason`.
+    pub fn dropped(&self, reason: DropReason) -> u64 {
+        self.dropped[reason.index()]
+    }
+
+    /// Total dropped tuples across all reasons.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+}
+
+impl std::fmt::Display for OpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [in={} out={} batches={}",
+            self.name, self.tuples_in, self.tuples_out, self.batches
+        )?;
+        if self.dropped_total() > 0 {
+            write!(f, " dropped={}", self.dropped_total())?;
+            let parts: Vec<String> = DropReason::ALL
+                .iter()
+                .filter(|r| self.dropped(**r) > 0)
+                .map(|r| format!("{}={}", r.label(), self.dropped(*r)))
+                .collect();
+            write!(f, " ({})", parts.join(", "))?;
+        }
+        if self.decided_true + self.decided_false + self.decided_unsure > 0 {
+            write!(
+                f,
+                " decided: true={} false={} unsure={}",
+                self.decided_true, self.decided_false, self.decided_unsure
+            )?;
+        }
+        if self.fallbacks > 0 {
+            write!(f, " fallbacks={}", self.fallbacks)?;
+        }
+        if let Some(busy) = self.busy {
+            write!(f, " time={:.3}ms", busy.as_secs_f64() * 1e3)?;
+        }
+        write!(f, "]")?;
+        if let Some(p) = &self.poisoned {
+            write!(f, " POISONED: {p}")?;
+        } else if let Some(e) = &self.last_error {
+            write!(f, " last_error: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global (engine-wide) counters.
+// ---------------------------------------------------------------------
+
+static MC_DRAWS: AtomicU64 = AtomicU64::new(0);
+static BOOTSTRAP_RESAMPLES: AtomicU64 = AtomicU64::new(0);
+
+/// Tallies `n` Monte-Carlo values drawn (called by [`crate::mc`]).
+pub fn record_mc_draws(n: usize) {
+    MC_DRAWS.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Tallies `n` de-facto bootstrap resamples (called by
+/// [`crate::bootstrap`]).
+pub fn record_bootstrap_resamples(n: usize) {
+    BOOTSTRAP_RESAMPLES.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+/// Engine-wide counters, cumulative over the process lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalStats {
+    /// Monte-Carlo values drawn across all evaluation paths.
+    pub mc_draws: u64,
+    /// De-facto resamples processed by `BOOTSTRAP-ACCURACY-INFO`.
+    pub bootstrap_resamples: u64,
+    /// Hits in the stats crate's t/χ² quantile memo.
+    pub quantile_cache_hits: u64,
+    /// Misses in the stats crate's t/χ² quantile memo.
+    pub quantile_cache_misses: u64,
+}
+
+/// Snapshots the engine-wide counters (including the stats crate's
+/// quantile-cache tallies).
+pub fn global_stats() -> GlobalStats {
+    let (hits, misses) = ausdb_stats::ci::quantile_cache_counters();
+    GlobalStats {
+        mc_draws: MC_DRAWS.load(Ordering::Relaxed),
+        bootstrap_resamples: BOOTSTRAP_RESAMPLES.load(Ordering::Relaxed),
+        quantile_cache_hits: hits,
+        quantile_cache_misses: misses,
+    }
+}
+
+impl std::fmt::Display for GlobalStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "engine: mc_draws={} bootstrap_resamples={} quantile_cache_hits={} \
+             quantile_cache_misses={}",
+            self.mc_draws,
+            self.bootstrap_resamples,
+            self.quantile_cache_hits,
+            self.quantile_cache_misses
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry and report.
+// ---------------------------------------------------------------------
+
+/// Metrics handles of one pipeline, registered source-side first (the
+/// order the executor wraps operators in).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    ops: Vec<Arc<OpMetrics>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one operator's handle. Call in pipeline construction order —
+    /// deepest (closest to the source) first.
+    pub fn register(&mut self, metrics: Arc<OpMetrics>) {
+        self.ops.push(metrics);
+    }
+
+    /// Number of registered operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operator registered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Snapshots every registered operator plus the global counters.
+    pub fn report(&self) -> StatsReport {
+        StatsReport { ops: self.ops.iter().map(|m| m.snapshot()).collect(), engine: global_stats() }
+    }
+}
+
+/// A pipeline-wide statistics snapshot: one [`OpStats`] per operator
+/// (source-side first) plus the [`GlobalStats`]. `Display` renders the
+/// EXPLAIN-ANALYZE-style tree, consumer at the top.
+#[derive(Debug, Clone)]
+pub struct StatsReport {
+    /// Per-operator snapshots, source-side (deepest) first.
+    pub ops: Vec<OpStats>,
+    /// Engine-wide counters at snapshot time.
+    pub engine: GlobalStats,
+}
+
+impl StatsReport {
+    /// Builds a report directly from operator snapshots (source-side
+    /// first), for pipelines assembled by hand.
+    pub fn from_ops(ops: Vec<OpStats>) -> Self {
+        Self { ops, engine: global_stats() }
+    }
+
+    /// Looks an operator up by name (first match).
+    pub fn op(&self, name: &str) -> Option<&OpStats> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+
+    /// The worst poison recorded by any operator, if one exists.
+    pub fn poison(&self) -> Option<&PoisonReason> {
+        self.ops.iter().rev().find_map(|o| o.poisoned.as_ref())
+    }
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Consumer-side operator first, each deeper stage indented, like
+        // `Query::explain`.
+        for (depth, op) in self.ops.iter().rev().enumerate() {
+            writeln!(f, "{}{op}", "  ".repeat(depth))?;
+        }
+        write!(f, "{}", self.engine)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Optional wall-clock timing.
+// ---------------------------------------------------------------------
+
+/// Parses the `AUSDB_OBS_TIMING` value: anything but unset / empty /
+/// `0` / `false` / `off` enables timing.
+pub fn parse_timing_flag(value: Option<&str>) -> bool {
+    match value {
+        None => false,
+        Some(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "" | "0" | "false" | "off"),
+    }
+}
+
+/// Whether per-operator timing is on (`AUSDB_OBS_TIMING`, read once).
+pub fn timing_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| parse_timing_flag(std::env::var("AUSDB_OBS_TIMING").ok().as_deref()))
+}
+
+/// Runs `f`, charging its wall-clock time to `metrics` when timing is on.
+/// The measurement is inclusive of input pulls (EXPLAIN-ANALYZE
+/// semantics).
+pub fn timed<T>(metrics: &OpMetrics, f: impl FnOnce() -> T) -> T {
+    if timing_enabled() {
+        let start = Instant::now();
+        let result = f();
+        metrics.add_busy(start.elapsed());
+        result
+    } else {
+        f()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Poison → EngineError bridging.
+// ---------------------------------------------------------------------
+
+/// Recovers an [`EngineError`] from a retained poison cause: a direct
+/// downcast when the operator stored one, a [`ModelError`] wrap when the
+/// source was the data model, and a descriptive `Eval` otherwise.
+pub fn poison_error(reason: &PoisonReason) -> EngineError {
+    if let Some(e) = reason.error().downcast_ref::<EngineError>() {
+        return e.clone();
+    }
+    if let Some(e) = reason.error().downcast_ref::<ModelError>() {
+        return EngineError::Model(e.clone());
+    }
+    EngineError::Eval(reason.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_counters_accumulate() {
+        let m = OpMetrics::new("Filter");
+        m.record_batch(10);
+        m.record_batch(5);
+        m.record_out(8);
+        m.record_drop(DropReason::FilteredOut);
+        m.record_drop(DropReason::FilteredOut);
+        m.record_drop(DropReason::Unsure);
+        m.record_fallback();
+        let s = m.snapshot();
+        assert_eq!(s.tuples_in, 15);
+        assert_eq!(s.tuples_out, 8);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.dropped(DropReason::FilteredOut), 2);
+        assert_eq!(s.dropped(DropReason::Unsure), 1);
+        assert_eq!(s.dropped_total(), 3);
+        assert_eq!(s.fallbacks, 1);
+        assert!(s.busy.is_none(), "timing off by default");
+        assert!(m.status().is_ok());
+    }
+
+    #[test]
+    fn record_error_degrades_status() {
+        let m = OpMetrics::new("SigFilter");
+        m.record_error(PoisonReason::new("SigFilter", EngineError::Eval("no dist".into())));
+        let status = m.status();
+        assert!(!status.is_ok());
+        assert!(status.poison().is_none(), "per-tuple errors degrade, not poison");
+        let last = status.last_error().expect("cause retained");
+        assert!(last.to_string().contains("no dist"));
+        assert_eq!(m.snapshot().dropped(DropReason::Error), 1);
+    }
+
+    #[test]
+    fn poison_sticks_and_surfaces_engine_error() {
+        let m = OpMetrics::new("WindowAgg");
+        let original = EngineError::Eval("out-of-order timestamp 5 after 10".into());
+        m.poison(PoisonReason::new("WindowAgg", original.clone()));
+        m.poison(PoisonReason::new("WindowAgg", EngineError::Eval("later".into())));
+        let status = m.status();
+        let reason = status.poison().expect("poisoned");
+        assert_eq!(poison_error(reason), original, "first poison sticks, error recoverable");
+    }
+
+    #[test]
+    fn poison_error_bridges_model_and_unknown_errors() {
+        let model = PoisonReason::new("op", ModelError::UnknownColumn("x".into()));
+        assert_eq!(poison_error(&model), EngineError::Model(ModelError::UnknownColumn("x".into())));
+        let other = PoisonReason::new("op", std::fmt::Error);
+        assert!(matches!(poison_error(&other), EngineError::Eval(_)));
+    }
+
+    #[test]
+    fn decisions_tally_by_outcome() {
+        let m = OpMetrics::new("SigFilter");
+        m.record_decision(Some(true));
+        m.record_decision(Some(true));
+        m.record_decision(Some(false));
+        m.record_decision(None);
+        let s = m.snapshot();
+        assert_eq!((s.decided_true, s.decided_false, s.decided_unsure), (2, 1, 1));
+    }
+
+    #[test]
+    fn report_renders_explain_analyze_tree() {
+        let filter = OpMetrics::new("Filter");
+        filter.record_batch(100);
+        filter.record_out(60);
+        for _ in 0..40 {
+            filter.record_drop(DropReason::FilteredOut);
+        }
+        let sig = OpMetrics::new("SigFilter");
+        sig.record_batch(60);
+        sig.record_out(30);
+        sig.record_decision(Some(true));
+        let mut registry = MetricsRegistry::new();
+        registry.register(filter);
+        registry.register(sig.clone());
+        assert_eq!(registry.len(), 2);
+        assert!(!registry.is_empty());
+        let report = registry.report();
+        let text = report.to_string();
+        // Consumer side (SigFilter) on top, Filter indented below it.
+        let sig_line = text.lines().position(|l| l.contains("SigFilter")).unwrap();
+        let filter_line = text.lines().position(|l| l.trim_start().starts_with("Filter")).unwrap();
+        assert!(sig_line < filter_line, "consumer first:\n{text}");
+        assert!(text.lines().nth(filter_line).unwrap().starts_with("  "), "depth indent");
+        assert!(text.contains("dropped=40 (filtered=40)"), "{text}");
+        assert!(text.contains("engine: mc_draws="), "{text}");
+        assert_eq!(report.op("Filter").unwrap().tuples_in, 100);
+        assert!(report.poison().is_none());
+    }
+
+    #[test]
+    fn global_counters_accumulate() {
+        let before = global_stats();
+        record_mc_draws(123);
+        record_bootstrap_resamples(7);
+        let after = global_stats();
+        assert!(after.mc_draws >= before.mc_draws + 123);
+        assert!(after.bootstrap_resamples >= before.bootstrap_resamples + 7);
+        assert!(after.to_string().contains("mc_draws="));
+    }
+
+    #[test]
+    fn timing_flag_parsing() {
+        assert!(!parse_timing_flag(None));
+        assert!(!parse_timing_flag(Some("")));
+        assert!(!parse_timing_flag(Some("0")));
+        assert!(!parse_timing_flag(Some("false")));
+        assert!(!parse_timing_flag(Some("off")));
+        assert!(parse_timing_flag(Some("1")));
+        assert!(parse_timing_flag(Some("true")));
+        assert!(parse_timing_flag(Some("nanos")));
+    }
+
+    #[test]
+    fn timed_runs_closure_regardless_of_flag() {
+        let m = OpMetrics::new("op");
+        let out = timed(&m, || 41 + 1);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn busy_time_recorded_when_added() {
+        let m = OpMetrics::new("op");
+        m.add_busy(Duration::from_millis(2));
+        let s = m.snapshot();
+        assert!(s.busy.unwrap() >= Duration::from_millis(2));
+        assert!(s.to_string().contains("time="), "{s}");
+    }
+}

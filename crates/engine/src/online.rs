@@ -213,6 +213,42 @@ mod tests {
     }
 
     #[test]
+    fn first_test_fires_at_first_multiple_of_k_at_or_above_minimum() {
+        // Contract: with min_observations = 7 and check_every = 5, the
+        // first test runs at n = 10 — the first multiple of k at or above
+        // the minimum — NOT at n = 7 (not a multiple) and not at n = 5
+        // (below the minimum).
+        let pred = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 0.0);
+        let mut t = SequentialTester::new(pred, CoupledConfig::default(), 1)
+            .with_min_observations(7)
+            .with_check_every(5);
+        // n = 1..=9 (including n = 5 and n = 7): no test can fire.
+        for i in 0..9 {
+            assert_eq!(
+                t.observe(100.0 + i as f64).unwrap(),
+                SigOutcome::Unsure,
+                "no test before n = 10 (n = {})",
+                t.n()
+            );
+            assert!(t.decision().is_none());
+        }
+        // n = 10: first multiple of 5 at or above 7 — blatant data decides.
+        assert_eq!(t.observe(109.0).unwrap(), SigOutcome::True);
+        assert_eq!(t.n(), 10);
+
+        // Exact-boundary flavor: minimum 10, k = 5 fires right at n = 10.
+        let pred = SigPredicate::m_test(Expr::col("x"), Alternative::Greater, 0.0);
+        let mut t = SequentialTester::new(pred, CoupledConfig::default(), 1)
+            .with_min_observations(10)
+            .with_check_every(5);
+        for i in 0..9 {
+            assert_eq!(t.observe(100.0 + i as f64).unwrap(), SigOutcome::Unsure);
+        }
+        assert_eq!(t.observe(109.0).unwrap(), SigOutcome::True);
+        assert_eq!(t.n(), 10);
+    }
+
+    #[test]
     fn acquisition_controller_stops_when_narrow() {
         let mut rng = seeded(7);
         let d = Normal::new(50.0, 4.0).unwrap();

@@ -1,11 +1,14 @@
 //! Probabilistic filter operator.
 
+use std::sync::Arc;
+
 use ausdb_model::schema::Schema;
-use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::stream::{Batch, PoisonReason, StreamStatus, TupleStream};
 use ausdb_model::value::Value;
 use rand::rngs::StdRng;
 
 use crate::accuracy::tuple_probability_accuracy;
+use crate::obs::{self, DropReason, OpMetrics};
 use crate::ops::AccuracyMode;
 use crate::predicate::Predicate;
 
@@ -27,6 +30,7 @@ pub struct Filter<S> {
     mode: AccuracyMode,
     mc_iters: usize,
     rng: StdRng,
+    metrics: Arc<OpMetrics>,
 }
 
 impl<S: TupleStream> Filter<S> {
@@ -39,7 +43,20 @@ impl<S: TupleStream> Filter<S> {
         mc_iters: usize,
         seed: u64,
     ) -> Self {
-        Self { input, predicate, mode, mc_iters, rng: ausdb_stats::rng::seeded(seed) }
+        Self {
+            input,
+            predicate,
+            mode,
+            mc_iters,
+            rng: ausdb_stats::rng::seeded(seed),
+            metrics: OpMetrics::new("Filter"),
+        }
+    }
+
+    /// This operator's metrics handle (clone before boxing the stream to
+    /// keep the counters reachable).
+    pub fn metrics(&self) -> Arc<OpMetrics> {
+        self.metrics.clone()
     }
 
     /// De-facto sample size of the predicate's boolean r.v. over a tuple.
@@ -64,16 +81,34 @@ impl<S: TupleStream> TupleStream for Filter<S> {
     }
 
     fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        obs::timed(&metrics, || self.next_batch_inner())
+    }
+
+    fn status(&self) -> StreamStatus {
+        self.metrics.status().combine(self.input.status())
+    }
+}
+
+impl<S: TupleStream> Filter<S> {
+    fn next_batch_inner(&mut self) -> Option<Batch> {
         loop {
             let batch = self.input.next_batch()?;
+            self.metrics.record_batch(batch.len());
             let schema = self.input.schema().clone();
             let mut out = Vec::with_capacity(batch.len());
             for mut tuple in batch {
                 let p = match self.predicate.prob(&tuple, &schema, self.mc_iters, &mut self.rng) {
                     Ok(p) => p,
-                    Err(_) => continue, // malformed tuple for this predicate
+                    Err(e) => {
+                        // Malformed tuple for this predicate: drop it, but
+                        // record the cause instead of swallowing it.
+                        self.metrics.record_error(PoisonReason::new("Filter", e));
+                        continue;
+                    }
                 };
                 if p <= 0.0 {
+                    self.metrics.record_drop(DropReason::FilteredOut);
                     continue;
                 }
                 let combined = tuple.membership.p * p;
@@ -81,8 +116,15 @@ impl<S: TupleStream> TupleStream for Filter<S> {
                     (Some(level), Some(n)) => {
                         match tuple_probability_accuracy(combined, n, level) {
                             Ok(tp) => tp,
-                            Err(_) => ausdb_model::accuracy::TupleProbability::new(combined)
-                                .expect("probability product stays in [0,1]"),
+                            Err(e) => {
+                                // Interval computation failed: keep the
+                                // clamped point probability, but count the
+                                // degradation and retain the cause.
+                                self.metrics.record_fallback();
+                                self.metrics.note_error(PoisonReason::new("Filter", e));
+                                ausdb_model::accuracy::TupleProbability::new(combined)
+                                    .expect("probability product stays in [0,1]")
+                            }
                         }
                     }
                     _ => ausdb_model::accuracy::TupleProbability::new(combined)
@@ -91,6 +133,7 @@ impl<S: TupleStream> TupleStream for Filter<S> {
                 out.push(tuple);
             }
             if !out.is_empty() {
+                self.metrics.record_out(out.len());
                 return Some(out);
             }
             // All tuples filtered out of this batch: pull the next one.
@@ -209,5 +252,36 @@ mod tests {
         let pred = Predicate::compare(Expr::col("speed"), CmpOp::Gt, 1000.0);
         let mut f = Filter::new(stream(), pred, AccuracyMode::None, 100, 7);
         assert!(f.next_batch().is_none());
+        let stats = f.metrics().snapshot();
+        assert_eq!(stats.tuples_in, 2);
+        assert_eq!(stats.tuples_out, 0);
+        assert_eq!(stats.dropped(crate::obs::DropReason::FilteredOut), 2);
+        assert!(f.status().is_ok(), "legitimate filtering is not an error");
+    }
+
+    #[test]
+    fn malformed_tuple_recorded_not_swallowed() {
+        // Tuple 0 has a string where the predicate needs a numeric/dist
+        // value: it must be counted as an errored drop with the cause
+        // retained, not silently skipped.
+        let bad = Tuple::certain(0, vec![Field::plain(1i64), Field::plain("oops")]);
+        let good = Tuple::certain(
+            1,
+            vec![
+                Field::plain(2i64),
+                Field::learned(AttrDistribution::gaussian(80.0, 16.0).unwrap(), 20),
+            ],
+        );
+        let s = VecStream::new(schema(), vec![bad, good], 4);
+        let pred = Predicate::compare(Expr::col("speed"), CmpOp::Gt, 78.0);
+        let mut f = Filter::new(s, pred, AccuracyMode::None, 100, 7);
+        let out = f.collect_all();
+        assert_eq!(out.len(), 1);
+        let stats = f.metrics().snapshot();
+        assert_eq!(stats.dropped(crate::obs::DropReason::Error), 1);
+        let status = f.status();
+        assert!(!status.is_ok());
+        assert!(status.poison().is_none(), "per-tuple errors degrade, not poison");
+        assert_eq!(status.last_error().unwrap().operator(), "Filter");
     }
 }

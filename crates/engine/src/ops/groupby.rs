@@ -15,9 +15,10 @@
 //! tuple per group, ordered by key.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ausdb_model::schema::{Column, ColumnType, Schema};
-use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::stream::{Batch, PoisonReason, StreamStatus, TupleStream};
 use ausdb_model::tuple::{Field, Tuple};
 use ausdb_model::value::Value;
 use ausdb_model::AttrDistribution;
@@ -27,6 +28,7 @@ use crate::accuracy::result_accuracy;
 use crate::bootstrap::bootstrap_accuracy_info;
 use crate::error::EngineError;
 use crate::mc::sample_distribution;
+use crate::obs::{self, OpMetrics};
 use crate::ops::AccuracyMode;
 
 /// The aggregate function of a [`GroupBy`].
@@ -100,6 +102,7 @@ pub struct GroupBy<S> {
     schema: Schema,
     rng: StdRng,
     done: bool,
+    metrics: Arc<OpMetrics>,
 }
 
 impl<S: TupleStream> GroupBy<S> {
@@ -138,13 +141,21 @@ impl<S: TupleStream> GroupBy<S> {
             schema,
             rng: ausdb_stats::rng::seeded(seed),
             done: false,
+            metrics: OpMetrics::new("GroupBy"),
         })
+    }
+
+    /// This operator's metrics handle (clone before boxing the stream to
+    /// keep the counters reachable).
+    pub fn metrics(&self) -> Arc<OpMetrics> {
+        self.metrics.clone()
     }
 
     fn accumulate(&mut self) -> Result<BTreeMap<GroupKey, GroupState>, EngineError> {
         let in_schema = self.input.schema().clone();
         let mut groups: BTreeMap<GroupKey, GroupState> = BTreeMap::new();
         while let Some(batch) = self.input.next_batch() {
+            self.metrics.record_batch(batch.len());
             for tuple in batch {
                 let key = GroupKey::from_value(&tuple.field(&in_schema, &self.key_column)?.value)?;
                 let field = tuple.field(&in_schema, &self.agg_column)?;
@@ -225,15 +236,43 @@ impl<S: TupleStream> TupleStream for GroupBy<S> {
     }
 
     fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        obs::timed(&metrics, || self.next_batch_inner())
+    }
+
+    fn status(&self) -> StreamStatus {
+        self.metrics.status().combine(self.input.status())
+    }
+}
+
+impl<S: TupleStream> GroupBy<S> {
+    fn next_batch_inner(&mut self) -> Option<Batch> {
         if self.done {
             return None;
         }
         self.done = true;
-        let groups = self.accumulate().ok()?;
+        // A blocking operator cannot skip bad tuples without corrupting the
+        // group aggregates: any error poisons the stream, cause retained.
+        let groups = match self.accumulate() {
+            Ok(groups) => groups,
+            Err(e) => {
+                self.metrics.poison(PoisonReason::new("GroupBy", e));
+                return None;
+            }
+        };
         if groups.is_empty() {
             return None;
         }
-        self.emit(groups).ok()
+        match self.emit(groups) {
+            Ok(out) => {
+                self.metrics.record_out(out.len());
+                Some(out)
+            }
+            Err(e) => {
+                self.metrics.poison(PoisonReason::new("GroupBy", e));
+                None
+            }
+        }
     }
 }
 
@@ -423,5 +462,26 @@ mod tests {
         let mut g =
             GroupBy::new(s, "road", "delay", GroupAggKind::Avg, AccuracyMode::None, 5).unwrap();
         assert!(g.next_batch().is_none());
+    }
+
+    #[test]
+    fn bad_key_poisons_with_cause() {
+        // A float smuggled into the key column at runtime cannot group;
+        // the blocking operator poisons and retains the cause.
+        let tuples = vec![Tuple::certain(
+            0,
+            vec![
+                Field::plain(1.5f64),
+                Field::learned(AttrDistribution::gaussian(1.0, 1.0).unwrap(), 10),
+            ],
+        )];
+        let s = VecStream::new(schema(), tuples, 4);
+        let mut g =
+            GroupBy::new(s, "road", "delay", GroupAggKind::Avg, AccuracyMode::None, 5).unwrap();
+        assert!(g.next_batch().is_none());
+        let status = g.status();
+        let reason = status.poison().expect("poisoned");
+        assert_eq!(reason.operator(), "GroupBy");
+        assert!(reason.to_string().contains("GROUP BY"), "{reason}");
     }
 }

@@ -16,15 +16,17 @@
 //! columns from *both* sides still get correct Lemma 3 de-facto sizes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ausdb_model::accuracy::TupleProbability;
 use ausdb_model::schema::{Column, ColumnType, Schema};
-use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::stream::{Batch, PoisonReason, StreamStatus, TupleStream};
 use ausdb_model::tuple::Tuple;
 use ausdb_model::value::Value;
 use ausdb_stats::ci::ConfidenceInterval;
 
 use crate::error::EngineError;
+use crate::obs::{self, OpMetrics};
 
 /// Join key (deterministic columns only).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -56,6 +58,7 @@ pub struct HashJoin<L, R> {
     table: Option<HashMap<JoinKey, Vec<Tuple>>>,
     right_key_idx: usize,
     left_key_idx: usize,
+    metrics: Arc<OpMetrics>,
 }
 
 impl<L: TupleStream, R: TupleStream> HashJoin<L, R> {
@@ -91,7 +94,21 @@ impl<L: TupleStream, R: TupleStream> HashJoin<L, R> {
             cols.push(c.clone());
         }
         let schema = Schema::new(cols)?;
-        Ok(Self { left, right: Some(right), schema, table: None, right_key_idx, left_key_idx })
+        Ok(Self {
+            left,
+            right: Some(right),
+            schema,
+            table: None,
+            right_key_idx,
+            left_key_idx,
+            metrics: OpMetrics::new("HashJoin"),
+        })
+    }
+
+    /// This operator's metrics handle (clone before boxing the stream to
+    /// keep the counters reachable).
+    pub fn metrics(&self) -> Arc<OpMetrics> {
+        self.metrics.clone()
     }
 
     fn build(&mut self) -> Result<(), EngineError> {
@@ -140,24 +157,53 @@ impl<L: TupleStream, R: TupleStream> TupleStream for HashJoin<L, R> {
     }
 
     fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        obs::timed(&metrics, || self.next_batch_inner())
+    }
+
+    fn status(&self) -> StreamStatus {
+        self.metrics.status().combine(self.left.status())
+    }
+}
+
+impl<L: TupleStream, R: TupleStream> HashJoin<L, R> {
+    fn next_batch_inner(&mut self) -> Option<Batch> {
+        if self.metrics.status().poison().is_some() {
+            return None;
+        }
         if self.table.is_none() {
-            self.build().ok()?;
+            // A build-side error corrupts the whole table: poison, cause
+            // retained.
+            if let Err(e) = self.build() {
+                self.metrics.poison(PoisonReason::new("HashJoin", e));
+                return None;
+            }
         }
         let table = self.table.as_ref().expect("built above");
         loop {
             let batch = self.left.next_batch()?;
+            self.metrics.record_batch(batch.len());
             let mut out = Vec::new();
             for tuple in &batch {
-                let Ok(key) = JoinKey::from_value(&tuple.fields[self.left_key_idx].value) else {
-                    continue;
+                let key = match JoinKey::from_value(&tuple.fields[self.left_key_idx].value) {
+                    Ok(key) => key,
+                    Err(e) => {
+                        // An unjoinable probe tuple is dropped, counted,
+                        // and its cause retained.
+                        self.metrics.record_error(PoisonReason::new("HashJoin", e));
+                        continue;
+                    }
                 };
                 if let Some(matches) = table.get(&key) {
                     for m in matches {
                         out.push(self.combine(tuple, m));
                     }
+                } else {
+                    self.metrics.record_drop(obs::DropReason::FilteredOut);
                 }
             }
             if !out.is_empty() {
+                self.metrics.record_out(out.len());
                 return Some(out);
             }
         }
@@ -297,5 +343,47 @@ mod tests {
         let empty = VecStream::new(schema, vec![], 4);
         let mut j = HashJoin::new(left_stream(), empty, "road").unwrap();
         assert!(j.next_batch().is_none());
+    }
+
+    #[test]
+    fn bad_probe_key_recorded_not_swallowed() {
+        let schema_l = Schema::new(vec![Column::new("road", ColumnType::Int)]).unwrap();
+        let l = VecStream::new(
+            schema_l,
+            vec![
+                Tuple::certain(0, vec![Field::plain(2.5f64)]), // float key at runtime
+                Tuple::certain(1, vec![Field::plain(1i64)]),
+            ],
+            4,
+        );
+        let mut j = HashJoin::new(l, right_stream(), "road").unwrap();
+        let out = j.collect_all();
+        assert_eq!(out.len(), 1, "the valid probe tuple still joins");
+        let stats = j.metrics().snapshot();
+        assert_eq!(stats.dropped(obs::DropReason::Error), 1);
+        let status = j.status();
+        assert!(status.poison().is_none(), "probe-side errors only degrade");
+        assert_eq!(status.last_error().unwrap().operator(), "HashJoin");
+    }
+
+    #[test]
+    fn bad_build_key_poisons_with_cause() {
+        let schema_r = Schema::new(vec![
+            Column::new("road", ColumnType::Int),
+            Column::new("rank", ColumnType::Float),
+        ])
+        .unwrap();
+        let r = VecStream::new(
+            schema_r,
+            vec![Tuple::certain(0, vec![Field::plain(2.5f64), Field::plain(1.0)])],
+            4,
+        );
+        let mut j = HashJoin::new(left_stream(), r, "road").unwrap();
+        assert!(j.next_batch().is_none());
+        assert!(j.next_batch().is_none(), "stream stays terminated");
+        let status = j.status();
+        let reason = status.poison().expect("build failure poisons");
+        assert_eq!(reason.operator(), "HashJoin");
+        assert!(reason.to_string().contains("cannot join"), "{reason}");
     }
 }

@@ -1,8 +1,10 @@
 //! Projection operator: computes SELECT-list expressions with result
 //! accuracy (Theorem 1 analytically, or `BOOTSTRAP-ACCURACY-INFO`).
 
+use std::sync::Arc;
+
 use ausdb_model::schema::{Column, ColumnType, Schema};
-use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::stream::{Batch, PoisonReason, StreamStatus, TupleStream};
 use ausdb_model::tuple::{Field, Tuple};
 use ausdb_model::AttrDistribution;
 use rand::rngs::StdRng;
@@ -13,6 +15,7 @@ use crate::dfsample::df_sample_size;
 use crate::error::EngineError;
 use crate::expr::Expr;
 use crate::mc::{monte_carlo_batch, sample_distribution};
+use crate::obs::{self, OpMetrics};
 use crate::ops::AccuracyMode;
 
 /// One SELECT-list item: an output name and its expression.
@@ -52,6 +55,7 @@ pub struct Project<S> {
     mc_values: usize,
     schema: Schema,
     rng: StdRng,
+    metrics: Arc<OpMetrics>,
 }
 
 impl<S: TupleStream> Project<S> {
@@ -94,7 +98,14 @@ impl<S: TupleStream> Project<S> {
             mc_values: mc_values.max(2),
             schema,
             rng: ausdb_stats::rng::seeded(seed),
+            metrics: OpMetrics::new("Project"),
         })
+    }
+
+    /// This operator's metrics handle (clone before boxing the stream to
+    /// keep the counters reachable).
+    pub fn metrics(&self) -> Arc<OpMetrics> {
+        self.metrics.clone()
     }
 
     fn project_tuple(&mut self, tuple: &Tuple) -> Result<Tuple, EngineError> {
@@ -183,14 +194,31 @@ impl<S: TupleStream> TupleStream for Project<S> {
     }
 
     fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        obs::timed(&metrics, || self.next_batch_inner())
+    }
+
+    fn status(&self) -> StreamStatus {
+        self.metrics.status().combine(self.input.status())
+    }
+}
+
+impl<S: TupleStream> Project<S> {
+    fn next_batch_inner(&mut self) -> Option<Batch> {
         let batch = self.input.next_batch()?;
+        self.metrics.record_batch(batch.len());
         let mut out = Vec::with_capacity(batch.len());
         for tuple in &batch {
             match self.project_tuple(tuple) {
                 Ok(t) => out.push(t),
-                Err(_) => continue,
+                Err(e) => {
+                    // The tuple could not be projected: drop it but record
+                    // the cause instead of swallowing it.
+                    self.metrics.record_error(PoisonReason::new("Project", e));
+                }
             }
         }
+        self.metrics.record_out(out.len());
         Some(out)
     }
 }
@@ -333,6 +361,39 @@ mod tests {
         assert_eq!(p.schema().column(1).ty, ColumnType::Float);
         let out = p.collect_all();
         assert_eq!(out[0].fields[0].sample_size, Some(15));
+    }
+
+    #[test]
+    fn unprojectable_tuple_recorded_not_swallowed() {
+        // A tuple whose `a` is a string cannot evaluate (A+B)/2: it is
+        // dropped, counted, and the cause surfaces via status().
+        let bad = Tuple::certain(
+            1,
+            vec![
+                Field::plain("oops"),
+                Field::learned(AttrDistribution::gaussian(20.0, 9.0).unwrap(), 10),
+                Field::plain(3.0),
+            ],
+        );
+        let good = Tuple::certain(
+            0,
+            vec![
+                Field::learned(AttrDistribution::gaussian(10.0, 4.0).unwrap(), 15),
+                Field::learned(AttrDistribution::gaussian(20.0, 9.0).unwrap(), 10),
+                Field::plain(3.0),
+            ],
+        );
+        let s = VecStream::new(schema(), vec![good, bad], 10);
+        let mut p =
+            Project::new(s, vec![Projection::new("y1", avg_ab())], AccuracyMode::None, 100, 11)
+                .unwrap();
+        let out = p.collect_all();
+        assert_eq!(out.len(), 1);
+        let stats = p.metrics().snapshot();
+        assert_eq!(stats.tuples_in, 2);
+        assert_eq!(stats.tuples_out, 1);
+        assert_eq!(stats.dropped(crate::obs::DropReason::Error), 1);
+        assert_eq!(p.status().last_error().unwrap().operator(), "Project");
     }
 
     #[test]

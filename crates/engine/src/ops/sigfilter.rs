@@ -1,9 +1,12 @@
 //! Filtering by significance predicates.
 
+use std::sync::Arc;
+
 use ausdb_model::schema::Schema;
-use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::stream::{Batch, PoisonReason, StreamStatus, TupleStream};
 use rand::rngs::StdRng;
 
+use crate::obs::{self, DropReason, OpMetrics};
 use crate::sigpred::{coupled_tests, CoupledConfig, SigOutcome, SigPredicate};
 
 /// How a [`SigFilter`] runs its predicate.
@@ -31,7 +34,9 @@ pub enum SigMode {
 ///
 /// Tuples whose evaluation errors (e.g. missing provenance) are dropped —
 /// an accuracy-aware system refuses to make significance claims about data
-/// with unknown accuracy.
+/// with unknown accuracy — but the error is *recorded*: it counts as an
+/// errored tuple (distinct from a FALSE outcome) and degrades
+/// [`TupleStream::status`] with the retained cause.
 pub struct SigFilter<S> {
     input: S,
     predicate: SigPredicate,
@@ -41,6 +46,7 @@ pub struct SigFilter<S> {
     /// Running outcome counts `(true, false, unsure)` — the statistics
     /// Figure 5(e) reports.
     counts: (usize, usize, usize),
+    metrics: Arc<OpMetrics>,
 }
 
 impl<S: TupleStream> SigFilter<S> {
@@ -59,12 +65,25 @@ impl<S: TupleStream> SigFilter<S> {
             mc_iters,
             rng: ausdb_stats::rng::seeded(seed),
             counts: (0, 0, 0),
+            metrics: OpMetrics::new("SigFilter"),
         }
     }
 
     /// Outcome counts so far: `(TRUE, FALSE, UNSURE)`.
     pub fn outcome_counts(&self) -> (usize, usize, usize) {
         self.counts
+    }
+
+    /// Tuples whose significance evaluation errored (counted separately
+    /// from the FALSE outcomes they were previously conflated with).
+    pub fn errored_count(&self) -> u64 {
+        self.metrics.snapshot().dropped(DropReason::Error)
+    }
+
+    /// This operator's metrics handle (clone before boxing the stream to
+    /// keep the counters reachable).
+    pub fn metrics(&self) -> Arc<OpMetrics> {
+        self.metrics.clone()
     }
 }
 
@@ -74,8 +93,20 @@ impl<S: TupleStream> TupleStream for SigFilter<S> {
     }
 
     fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        obs::timed(&metrics, || self.next_batch_inner())
+    }
+
+    fn status(&self) -> StreamStatus {
+        self.metrics.status().combine(self.input.status())
+    }
+}
+
+impl<S: TupleStream> SigFilter<S> {
+    fn next_batch_inner(&mut self) -> Option<Batch> {
         loop {
             let batch = self.input.next_batch()?;
+            self.metrics.record_batch(batch.len());
             let schema = self.input.schema().clone();
             let mut out = Vec::with_capacity(batch.len());
             for tuple in batch {
@@ -90,13 +121,21 @@ impl<S: TupleStream> TupleStream for SigFilter<S> {
                         ) {
                             Ok(true) => {
                                 self.counts.0 += 1;
+                                self.metrics.record_decision(Some(true));
                                 true
                             }
                             Ok(false) => {
                                 self.counts.1 += 1;
+                                self.metrics.record_decision(Some(false));
+                                self.metrics.record_drop(DropReason::FilteredOut);
                                 false
                             }
-                            Err(_) => false,
+                            Err(e) => {
+                                // Not a FALSE outcome: the test could not
+                                // run. Count it as errored and retain why.
+                                self.metrics.record_error(PoisonReason::new("SigFilter", e));
+                                false
+                            }
                         }
                     }
                     SigMode::Coupled { config, keep_unsure } => {
@@ -104,17 +143,27 @@ impl<S: TupleStream> TupleStream for SigFilter<S> {
                         {
                             Ok(SigOutcome::True) => {
                                 self.counts.0 += 1;
+                                self.metrics.record_decision(Some(true));
                                 true
                             }
                             Ok(SigOutcome::False) => {
                                 self.counts.1 += 1;
+                                self.metrics.record_decision(Some(false));
+                                self.metrics.record_drop(DropReason::FilteredOut);
                                 false
                             }
                             Ok(SigOutcome::Unsure) => {
                                 self.counts.2 += 1;
+                                self.metrics.record_decision(None);
+                                if !keep_unsure {
+                                    self.metrics.record_drop(DropReason::Unsure);
+                                }
                                 keep_unsure
                             }
-                            Err(_) => false,
+                            Err(e) => {
+                                self.metrics.record_error(PoisonReason::new("SigFilter", e));
+                                false
+                            }
                         }
                     }
                 };
@@ -123,6 +172,7 @@ impl<S: TupleStream> TupleStream for SigFilter<S> {
                 }
             }
             if !out.is_empty() {
+                self.metrics.record_out(out.len());
                 return Some(out);
             }
         }
@@ -208,5 +258,44 @@ mod tests {
         );
         let out = f.collect_all();
         assert_eq!(out.len(), 2, "TRUE + UNSURE survive");
+        let stats = f.metrics().snapshot();
+        assert_eq!(stats.decided_unsure, 1);
+        assert_eq!(stats.dropped(DropReason::Unsure), 0, "kept UNSURE is not a drop");
+    }
+
+    #[test]
+    fn evaluation_error_is_recorded_not_counted_false() {
+        // Regression: a tuple whose column is a plain value (no
+        // distribution, no provenance) used to be silently filtered as if
+        // the test returned FALSE. It must count as errored instead.
+        let tuples = vec![
+            Tuple::certain(
+                0,
+                vec![Field::learned(AttrDistribution::gaussian(110.0, 25.0).unwrap(), 100)],
+            ),
+            Tuple::certain(1, vec![Field::plain(110i64)]), // non-distribution
+        ];
+        let s = VecStream::new(schema(), tuples, 10);
+        for mode in [
+            SigMode::Basic { alpha: 0.05 },
+            SigMode::Coupled { config: CoupledConfig::default(), keep_unsure: false },
+        ] {
+            let s = s.clone();
+            let mut f = SigFilter::new(s, hot(), mode, 100, 3);
+            let out = f.collect_all();
+            assert_eq!(out.len(), 1, "only the evaluable hot tuple survives");
+            let (t, fls, u) = f.outcome_counts();
+            assert_eq!((t, fls, u), (1, 0, 0), "errored tuple is NOT a FALSE outcome");
+            assert_eq!(f.errored_count(), 1);
+            let status = f.status();
+            assert!(!status.is_ok());
+            assert!(status.poison().is_none(), "stream keeps producing");
+            let reason = status.last_error().expect("cause retained");
+            assert_eq!(reason.operator(), "SigFilter");
+            assert!(
+                reason.error().downcast_ref::<crate::EngineError>().is_some(),
+                "concrete EngineError recoverable"
+            );
+        }
     }
 }

@@ -11,9 +11,10 @@
 //! out-of-order tuple poisons the stream, which then terminates).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use ausdb_model::schema::{Column, ColumnType, Schema};
-use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::stream::{Batch, PoisonReason, StreamStatus, TupleStream};
 use ausdb_model::tuple::{Field, Tuple};
 use ausdb_model::value::Value;
 use ausdb_model::AttrDistribution;
@@ -23,6 +24,7 @@ use crate::accuracy::result_accuracy;
 use crate::bootstrap::bootstrap_accuracy_info;
 use crate::error::EngineError;
 use crate::mc::sample_distribution;
+use crate::obs::{self, OpMetrics};
 use crate::ops::{AccuracyMode, WindowAggKind};
 
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +47,7 @@ pub struct TimeWindowAgg<S> {
     window: VecDeque<Entry>,
     last_ts: Option<u64>,
     rng: StdRng,
-    poisoned: bool,
+    metrics: Arc<OpMetrics>,
 }
 
 impl<S: TupleStream> TimeWindowAgg<S> {
@@ -82,8 +84,14 @@ impl<S: TupleStream> TimeWindowAgg<S> {
             window: VecDeque::new(),
             last_ts: None,
             rng: ausdb_stats::rng::seeded(seed),
-            poisoned: false,
+            metrics: OpMetrics::new("TimeWindowAgg"),
         })
+    }
+
+    /// This operator's metrics handle (clone before boxing the stream to
+    /// keep the counters reachable).
+    pub fn metrics(&self) -> Arc<OpMetrics> {
+        self.metrics.clone()
     }
 
     fn push_tuple(
@@ -170,24 +178,40 @@ impl<S: TupleStream> TupleStream for TimeWindowAgg<S> {
     }
 
     fn next_batch(&mut self) -> Option<Batch> {
-        if self.poisoned {
+        let metrics = self.metrics.clone();
+        obs::timed(&metrics, || self.next_batch_inner())
+    }
+
+    fn status(&self) -> StreamStatus {
+        self.metrics.status().combine(self.input.status())
+    }
+}
+
+impl<S: TupleStream> TimeWindowAgg<S> {
+    fn next_batch_inner(&mut self) -> Option<Batch> {
+        if !self.metrics.status().is_ok() {
             return None;
         }
         loop {
             let batch = self.input.next_batch()?;
+            self.metrics.record_batch(batch.len());
             let in_schema = self.input.schema().clone();
             let mut out = Vec::with_capacity(batch.len());
             for tuple in &batch {
                 match self.push_tuple(tuple, &in_schema) {
                     Ok(Some(t)) => out.push(t),
                     Ok(None) => {}
-                    Err(_) => {
-                        self.poisoned = true;
+                    Err(e) => {
+                        // Poison with the cause retained (previously the
+                        // error was discarded here).
+                        self.metrics.poison(PoisonReason::new("TimeWindowAgg", e));
+                        self.metrics.record_out(out.len());
                         return if out.is_empty() { None } else { Some(out) };
                     }
                 }
             }
             if !out.is_empty() {
+                self.metrics.record_out(out.len());
                 return Some(out);
             }
         }
@@ -274,6 +298,15 @@ mod tests {
         let out = w.collect_all();
         assert_eq!(out.len(), 1, "the in-order prefix is emitted");
         assert!(w.next_batch().is_none());
+        // The poison cause is retained, names the operator, and mentions
+        // the offending timestamps (5 arrived after 10).
+        let status = w.status();
+        let reason = status.poison().expect("stream poisoned");
+        assert_eq!(reason.operator(), "TimeWindowAgg");
+        let msg = reason.to_string();
+        assert!(msg.contains("out-of-order timestamp 5 after 10"), "{msg}");
+        let err = reason.error().downcast_ref::<EngineError>().expect("EngineError retained");
+        assert!(matches!(err, EngineError::Eval(_)));
     }
 
     #[test]

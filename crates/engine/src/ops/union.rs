@@ -1,9 +1,12 @@
 //! Stream union.
 
+use std::sync::Arc;
+
 use ausdb_model::schema::Schema;
-use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::stream::{Batch, StreamStatus, TupleStream};
 
 use crate::error::EngineError;
+use crate::obs::{self, OpMetrics};
 
 /// Interleaves two same-schema streams, alternating batches (per-stream
 /// order is preserved; cross-stream order is round-robin, which is the
@@ -14,6 +17,7 @@ pub struct Union<A, B> {
     next_is_a: bool,
     a_done: bool,
     b_done: bool,
+    metrics: Arc<OpMetrics>,
 }
 
 impl<A: TupleStream, B: TupleStream> Union<A, B> {
@@ -27,7 +31,20 @@ impl<A: TupleStream, B: TupleStream> Union<A, B> {
                 b.schema().columns().iter().map(|c| (&c.name, c.ty)).collect::<Vec<_>>(),
             )));
         }
-        Ok(Self { a, b, next_is_a: true, a_done: false, b_done: false })
+        Ok(Self {
+            a,
+            b,
+            next_is_a: true,
+            a_done: false,
+            b_done: false,
+            metrics: OpMetrics::new("Union"),
+        })
+    }
+
+    /// This operator's metrics handle (clone before boxing the stream to
+    /// keep the counters reachable).
+    pub fn metrics(&self) -> Arc<OpMetrics> {
+        self.metrics.clone()
     }
 }
 
@@ -37,6 +54,23 @@ impl<A: TupleStream, B: TupleStream> TupleStream for Union<A, B> {
     }
 
     fn next_batch(&mut self) -> Option<Batch> {
+        let metrics = self.metrics.clone();
+        let out = obs::timed(&metrics, || self.next_batch_inner());
+        if let Some(batch) = &out {
+            self.metrics.record_batch(batch.len());
+            self.metrics.record_out(batch.len());
+        }
+        out
+    }
+
+    fn status(&self) -> StreamStatus {
+        // A union cannot fail itself; surface the worse of the two inputs.
+        self.metrics.status().combine(self.a.status()).combine(self.b.status())
+    }
+}
+
+impl<A: TupleStream, B: TupleStream> Union<A, B> {
+    fn next_batch_inner(&mut self) -> Option<Batch> {
         for _ in 0..2 {
             let take_a = (self.next_is_a && !self.a_done) || self.b_done;
             self.next_is_a = !self.next_is_a;

@@ -11,9 +11,10 @@
 //! the window.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use ausdb_model::schema::{Column, ColumnType, Schema};
-use ausdb_model::stream::{Batch, TupleStream};
+use ausdb_model::stream::{Batch, PoisonReason, StreamStatus, TupleStream};
 use ausdb_model::tuple::{Field, Tuple};
 use ausdb_model::value::Value;
 use ausdb_model::AttrDistribution;
@@ -23,6 +24,7 @@ use crate::accuracy::result_accuracy;
 use crate::bootstrap::bootstrap_accuracy_info;
 use crate::error::EngineError;
 use crate::mc::sample_distribution;
+use crate::obs::{self, OpMetrics};
 use crate::ops::AccuracyMode;
 
 /// The aggregate function of a [`WindowAgg`].
@@ -57,7 +59,7 @@ pub struct WindowAgg<S> {
     sum_mu: f64,
     sum_var: f64,
     rng: StdRng,
-    pending_error: bool,
+    metrics: Arc<OpMetrics>,
 }
 
 impl<S: TupleStream> WindowAgg<S> {
@@ -91,8 +93,14 @@ impl<S: TupleStream> WindowAgg<S> {
             sum_mu: 0.0,
             sum_var: 0.0,
             rng: ausdb_stats::rng::seeded(seed),
-            pending_error: false,
+            metrics: OpMetrics::new("WindowAgg"),
         })
+    }
+
+    /// This operator's metrics handle (clone before boxing the stream to
+    /// keep the counters reachable).
+    pub fn metrics(&self) -> Arc<OpMetrics> {
+        self.metrics.clone()
     }
 
     fn push_tuple(
@@ -171,26 +179,41 @@ impl<S: TupleStream> TupleStream for WindowAgg<S> {
     }
 
     fn next_batch(&mut self) -> Option<Batch> {
-        if self.pending_error {
+        let metrics = self.metrics.clone();
+        obs::timed(&metrics, || self.next_batch_inner())
+    }
+
+    fn status(&self) -> StreamStatus {
+        self.metrics.status().combine(self.input.status())
+    }
+}
+
+impl<S: TupleStream> WindowAgg<S> {
+    fn next_batch_inner(&mut self) -> Option<Batch> {
+        if !self.metrics.status().is_ok() {
             return None;
         }
         loop {
             let batch = self.input.next_batch()?;
+            self.metrics.record_batch(batch.len());
             let in_schema = self.input.schema().clone();
             let mut out = Vec::with_capacity(batch.len());
             for tuple in &batch {
                 match self.push_tuple(tuple, &in_schema) {
                     Ok(Some(t)) => out.push(t),
                     Ok(None) => {}
-                    Err(_) => {
+                    Err(e) => {
                         // Poisoned input: stop the stream rather than emit
-                        // aggregates with broken provenance.
-                        self.pending_error = true;
+                        // aggregates with broken provenance — but retain
+                        // the cause so downstream can surface it.
+                        self.metrics.poison(PoisonReason::new("WindowAgg", e));
+                        self.metrics.record_out(out.len());
                         return if out.is_empty() { None } else { Some(out) };
                     }
                 }
             }
             if !out.is_empty() {
+                self.metrics.record_out(out.len());
                 return Some(out);
             }
         }
@@ -326,5 +349,29 @@ mod tests {
             WindowAgg::new(gaussian_stream(3), "x", WindowAggKind::Avg, 10, AccuracyMode::None, 5)
                 .unwrap();
         assert!(w.next_batch().is_none());
+    }
+
+    #[test]
+    fn poison_retains_cause() {
+        // A string where a Gaussian is required poisons the stream; the
+        // EngineError must survive and surface through status().
+        let tuples = vec![
+            Tuple::certain(
+                0,
+                vec![Field::learned(AttrDistribution::gaussian(1.0, 1.0).unwrap(), 20)],
+            ),
+            Tuple::certain(1, vec![Field::plain("oops")]),
+        ];
+        let s = VecStream::new(schema(), tuples, 8);
+        let mut w = WindowAgg::new(s, "x", WindowAggKind::Avg, 1, AccuracyMode::None, 5).unwrap();
+        let out = w.collect_all();
+        assert_eq!(out.len(), 1, "outputs before the poison are delivered");
+        assert!(w.next_batch().is_none(), "stream stays terminated");
+        let status = w.status();
+        let reason = status.poison().expect("stream poisoned");
+        assert_eq!(reason.operator(), "WindowAgg");
+        let err = reason.error().downcast_ref::<EngineError>().expect("EngineError retained");
+        assert!(matches!(err, EngineError::Eval(_)), "got {err:?}");
+        assert!(reason.to_string().contains("Gaussian or scalar"), "{reason}");
     }
 }

@@ -14,6 +14,7 @@ use ausdb_model::stream::{TupleStream, VecStream};
 use ausdb_model::tuple::Tuple;
 
 use crate::error::EngineError;
+use crate::obs::{self, MetricsRegistry, StatsReport};
 use crate::ops::{
     AccuracyMode, Filter, GroupAggKind, GroupBy, HashJoin, Project, Projection, SigFilter, SigMode,
     WindowAgg, WindowAggKind,
@@ -247,73 +248,126 @@ pub fn execute<S: TupleStream + 'static>(
     execute_joined(Box::new(source), query, config)
 }
 
+/// [`execute`] that also returns a [`StatsReport`] snapshotting every
+/// operator's counters after the run — the EXPLAIN-ANALYZE companion to
+/// [`Query::explain`].
+pub fn execute_with_stats<S: TupleStream + 'static>(
+    source: S,
+    query: &Query,
+    config: QueryConfig,
+) -> Result<(Schema, Vec<Tuple>, StatsReport), EngineError> {
+    if query.join.is_some() {
+        return Err(EngineError::InvalidQuery(
+            "queries with a JOIN must run through Session::run_with_stats".into(),
+        ));
+    }
+    let mut registry = MetricsRegistry::new();
+    let result = execute_registered(Box::new(source), query, config, &mut registry);
+    let report = registry.report();
+    let (schema, tuples) = result?;
+    Ok((schema, tuples, report))
+}
+
 /// [`execute`] over an already-joined source.
 fn execute_joined(
     source: Box<dyn TupleStream>,
     query: &Query,
     config: QueryConfig,
 ) -> Result<(Schema, Vec<Tuple>), EngineError> {
+    let mut registry = MetricsRegistry::new();
+    execute_registered(source, query, config, &mut registry)
+}
+
+/// Builds the operator pipeline, registering each operator's metrics
+/// handle in construction (source-side first) order.
+fn build_pipeline(
+    source: Box<dyn TupleStream>,
+    query: &Query,
+    config: QueryConfig,
+    registry: &mut MetricsRegistry,
+) -> Result<Box<dyn TupleStream>, EngineError> {
     let mut stream: Box<dyn TupleStream> = source;
     if let Some(pred) = &query.predicate {
-        stream = Box::new(Filter::new(
-            stream,
-            pred.clone(),
-            config.accuracy,
-            config.mc_iters,
-            config.seed ^ 0x1,
-        ));
+        let op =
+            Filter::new(stream, pred.clone(), config.accuracy, config.mc_iters, config.seed ^ 0x1);
+        registry.register(op.metrics());
+        stream = Box::new(op);
     }
     if let Some(spec) = &query.window {
         stream = match spec.mode {
-            WindowMode::Count(size) => Box::new(WindowAgg::new(
-                stream,
-                spec.column.clone(),
-                spec.kind,
-                size,
-                config.accuracy,
-                config.seed ^ 0x2,
-            )?),
-            WindowMode::Time { width, min_tuples } => Box::new(crate::ops::TimeWindowAgg::new(
-                stream,
-                spec.column.clone(),
-                spec.kind,
-                width,
-                min_tuples,
-                config.accuracy,
-                config.seed ^ 0x2,
-            )?),
+            WindowMode::Count(size) => {
+                let op = WindowAgg::new(
+                    stream,
+                    spec.column.clone(),
+                    spec.kind,
+                    size,
+                    config.accuracy,
+                    config.seed ^ 0x2,
+                )?;
+                registry.register(op.metrics());
+                Box::new(op)
+            }
+            WindowMode::Time { width, min_tuples } => {
+                let op = crate::ops::TimeWindowAgg::new(
+                    stream,
+                    spec.column.clone(),
+                    spec.kind,
+                    width,
+                    min_tuples,
+                    config.accuracy,
+                    config.seed ^ 0x2,
+                )?;
+                registry.register(op.metrics());
+                Box::new(op)
+            }
         };
     }
     if let Some(spec) = &query.group_by {
-        stream = Box::new(GroupBy::new(
+        let op = GroupBy::new(
             stream,
             spec.key.clone(),
             spec.column.clone(),
             spec.kind,
             config.accuracy,
             config.seed ^ 0x5,
-        )?);
+        )?;
+        registry.register(op.metrics());
+        stream = Box::new(op);
     }
     if let Some((pred, mode)) = &query.significance {
-        stream = Box::new(SigFilter::new(
-            stream,
-            pred.clone(),
-            *mode,
-            config.mc_iters,
-            config.seed ^ 0x3,
-        ));
+        let op = SigFilter::new(stream, pred.clone(), *mode, config.mc_iters, config.seed ^ 0x3);
+        registry.register(op.metrics());
+        stream = Box::new(op);
     }
     if !query.projections.is_empty() {
-        stream = Box::new(Project::new(
+        let op = Project::new(
             stream,
             query.projections.clone(),
             config.accuracy,
             config.mc_iters,
             config.seed ^ 0x4,
-        )?);
+        )?;
+        registry.register(op.metrics());
+        stream = Box::new(op);
     }
+    Ok(stream)
+}
+
+/// Runs the pipeline and materializes results. A poisoned stream is
+/// surfaced as its retained terminal [`EngineError`] instead of silent
+/// truncation.
+fn execute_registered(
+    source: Box<dyn TupleStream>,
+    query: &Query,
+    config: QueryConfig,
+    registry: &mut MetricsRegistry,
+) -> Result<(Schema, Vec<Tuple>), EngineError> {
+    let mut stream = build_pipeline(source, query, config, registry)?;
     let schema = stream.schema().clone();
     let mut tuples = stream.collect_all();
+    if let Some(reason) = stream.status().poison() {
+        return Err(obs::poison_error(reason));
+    }
     if let Some((column, descending)) = &query.order_by {
         let idx = schema.index_of(column)?;
         let sort_key = |t: &Tuple| -> f64 {
@@ -406,13 +460,39 @@ impl Session {
         query: &Query,
         config: QueryConfig,
     ) -> Result<(Schema, Vec<Tuple>), EngineError> {
+        let mut registry = MetricsRegistry::new();
+        self.run_registered(from, query, config, &mut registry)
+    }
+
+    /// [`Session::run`] that also returns the pipeline's [`StatsReport`]
+    /// (including any join stage).
+    pub fn run_with_stats(
+        &self,
+        from: &str,
+        query: &Query,
+    ) -> Result<(Schema, Vec<Tuple>, StatsReport), EngineError> {
+        let mut registry = MetricsRegistry::new();
+        let result = self.run_registered(from, query, self.config, &mut registry);
+        let report = registry.report();
+        let (schema, tuples) = result?;
+        Ok((schema, tuples, report))
+    }
+
+    fn run_registered(
+        &self,
+        from: &str,
+        query: &Query,
+        config: QueryConfig,
+        registry: &mut MetricsRegistry,
+    ) -> Result<(Schema, Vec<Tuple>), EngineError> {
         let source = self.source(from)?;
         match &query.join {
-            None => execute_joined(Box::new(source), query, config),
+            None => execute_registered(Box::new(source), query, config, registry),
             Some(spec) => {
                 let right = self.source(&spec.right)?;
                 let joined = HashJoin::new(source, right, spec.key.clone())?;
-                execute_joined(Box::new(joined), query, config)
+                registry.register(joined.metrics());
+                execute_registered(Box::new(joined), query, config, registry)
             }
         }
     }
@@ -637,6 +717,69 @@ mod tests {
         }
         // Scan is the innermost (most indented, last) line.
         assert!(plan.lines().last().unwrap().trim_start().starts_with("Scan"));
+    }
+
+    #[test]
+    fn stats_report_for_window_sigfilter_pipeline() {
+        // The acceptance pipeline: window AVG → significance filter, with
+        // enough spread that some outcomes are TRUE and some FALSE.
+        let mut s = Session::new();
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap();
+        let tuples: Vec<Tuple> = (0..8)
+            .map(|i| {
+                let mu = if i < 4 { 100.0 } else { 60.0 };
+                Tuple::certain(
+                    i,
+                    vec![Field::learned(AttrDistribution::gaussian(mu, 4.0).unwrap(), 20)],
+                )
+            })
+            .collect();
+        s.register("s", schema, tuples);
+        let sig = SigPredicate::m_test(Expr::col("avg_x"), Alternative::Greater, 90.0);
+        let q = Query::select_all()
+            .with_window(WindowSpec::count("x", WindowAggKind::Avg, 4))
+            .with_significance(sig, SigMode::Basic { alpha: 0.05 });
+        let (_, out, report) = s.run_with_stats("s", &q).unwrap();
+        assert!(!out.is_empty());
+        let window = report.op("WindowAgg").expect("window stats present");
+        assert_eq!(window.tuples_in, 8);
+        assert_eq!(window.tuples_out, 5, "window of 4 over 8 tuples");
+        let sig = report.op("SigFilter").expect("sigfilter stats present");
+        assert_eq!(sig.tuples_in, 5);
+        assert!(sig.tuples_out > 0 && sig.tuples_out < 5);
+        assert!(sig.dropped_total() > 0, "some averages are not significant");
+        assert!(sig.decided_true > 0 && sig.decided_false > 0);
+        assert_eq!(sig.tuples_out + sig.dropped_total(), sig.tuples_in);
+        assert!(report.poison().is_none());
+        // The Display tree lists the consumer-side operator first.
+        let text = report.to_string();
+        let sig_line = text.lines().position(|l| l.contains("SigFilter")).unwrap();
+        let win_line = text.lines().position(|l| l.contains("WindowAgg")).unwrap();
+        assert!(sig_line < win_line, "{text}");
+    }
+
+    #[test]
+    fn poisoned_pipeline_surfaces_terminal_error() {
+        // An out-of-order stream through a time window: execute() must
+        // return the retained EngineError, not a silently truncated result.
+        let mut s = Session::new();
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap();
+        let mk = |ts: u64| {
+            Tuple::certain(
+                ts,
+                vec![Field::learned(AttrDistribution::gaussian(1.0, 1.0).unwrap(), 10)],
+            )
+        };
+        s.register("s", schema, vec![mk(10), mk(5)]);
+        let q = Query::select_all().with_window(WindowSpec::time("x", WindowAggKind::Avg, 10, 1));
+        let err = s.run("s", &q).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Eval(m) if m.contains("out-of-order timestamp 5 after 10")),
+            "got {err:?}"
+        );
+        // run_with_stats reports the poison too, attributed to the operator.
+        let err2 = s.run_with_stats("s", &q).unwrap_err();
+        assert_eq!(err, err2);
     }
 
     #[test]

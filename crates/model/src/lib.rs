@@ -38,6 +38,6 @@ pub use accuracy::{AccuracyInfo, TupleProbability};
 pub use dist::{AttrDistribution, Histogram};
 pub use error::ModelError;
 pub use schema::{Column, ColumnType, Schema};
-pub use stream::{Batch, TupleStream};
+pub use stream::{Batch, PoisonReason, StreamStatus, TupleStream};
 pub use tuple::{Field, Tuple};
 pub use value::Value;

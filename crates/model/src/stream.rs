@@ -1,10 +1,112 @@
 //! Streaming interface shared by the learner and the query engine.
 
+use std::sync::Arc;
+
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 
 /// A batch of tuples flowing through the system.
 pub type Batch = Vec<Tuple>;
+
+/// Why a stream (or one of its tuples) failed: the operator that hit the
+/// error and the error itself, retained rather than discarded so callers
+/// can inspect — and, in the engine, downcast — the original cause.
+#[derive(Debug, Clone)]
+pub struct PoisonReason {
+    operator: String,
+    error: Arc<dyn std::error::Error + Send + Sync + 'static>,
+}
+
+impl PoisonReason {
+    /// Records `error` as raised by `operator`.
+    pub fn new(
+        operator: impl Into<String>,
+        error: impl std::error::Error + Send + Sync + 'static,
+    ) -> Self {
+        Self { operator: operator.into(), error: Arc::new(error) }
+    }
+
+    /// The operator that raised the error.
+    pub fn operator(&self) -> &str {
+        &self.operator
+    }
+
+    /// The retained error; downcast with
+    /// [`std::error::Error::downcast_ref`] to recover the concrete type.
+    pub fn error(&self) -> &(dyn std::error::Error + Send + Sync + 'static) {
+        &*self.error
+    }
+}
+
+impl std::fmt::Display for PoisonReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.operator, self.error)
+    }
+}
+
+/// Health of a [`TupleStream`], exposed alongside the data so failures are
+/// observable facts instead of silent truncation.
+#[derive(Debug, Clone, Default)]
+pub enum StreamStatus {
+    /// No errors so far.
+    #[default]
+    Ok,
+    /// Individual tuples errored and were recorded (and dropped), but the
+    /// stream keeps producing.
+    Degraded {
+        /// How many tuples errored.
+        errored: u64,
+        /// The most recent per-tuple error.
+        last_error: PoisonReason,
+    },
+    /// The stream hit a fatal error and terminated early; the cause is
+    /// retained here.
+    Poisoned(PoisonReason),
+}
+
+impl StreamStatus {
+    /// Whether the stream is fully healthy.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, StreamStatus::Ok)
+    }
+
+    /// The terminal error, if the stream is poisoned.
+    pub fn poison(&self) -> Option<&PoisonReason> {
+        match self {
+            StreamStatus::Poisoned(reason) => Some(reason),
+            _ => None,
+        }
+    }
+
+    /// The most relevant error: the poison cause, or the last per-tuple
+    /// error of a degraded stream.
+    pub fn last_error(&self) -> Option<&PoisonReason> {
+        match self {
+            StreamStatus::Ok => None,
+            StreamStatus::Degraded { last_error, .. } => Some(last_error),
+            StreamStatus::Poisoned(reason) => Some(reason),
+        }
+    }
+
+    fn severity(&self) -> u8 {
+        match self {
+            StreamStatus::Ok => 0,
+            StreamStatus::Degraded { .. } => 1,
+            StreamStatus::Poisoned(_) => 2,
+        }
+    }
+
+    /// Merges an operator's own status with its input's: the more severe
+    /// one wins (ties prefer `self`, the operator closer to the consumer),
+    /// so a pipeline surfaces the worst failure anywhere below it.
+    pub fn combine(self, inner: StreamStatus) -> StreamStatus {
+        if inner.severity() > self.severity() {
+            inner
+        } else {
+            self
+        }
+    }
+}
 
 /// A pull-based stream of probabilistic tuples.
 ///
@@ -16,6 +118,12 @@ pub trait TupleStream {
 
     /// Pulls the next batch; `None` when the stream is exhausted.
     fn next_batch(&mut self) -> Option<Batch>;
+
+    /// Health of this stream, including everything upstream of it.
+    /// Sources that cannot fail keep the default.
+    fn status(&self) -> StreamStatus {
+        StreamStatus::Ok
+    }
 
     /// Drains the stream into a single vector (testing / small inputs).
     fn collect_all(&mut self) -> Batch {
@@ -35,6 +143,10 @@ impl TupleStream for Box<dyn TupleStream> {
 
     fn next_batch(&mut self) -> Option<Batch> {
         (**self).next_batch()
+    }
+
+    fn status(&self) -> StreamStatus {
+        (**self).status()
     }
 }
 
@@ -111,5 +223,40 @@ mod tests {
     #[should_panic]
     fn zero_batch_size_rejected() {
         VecStream::new(schema(), vec![], 0);
+    }
+
+    #[test]
+    fn default_status_is_ok() {
+        let s = VecStream::new(schema(), tuples(1), 1);
+        assert!(s.status().is_ok());
+        assert!(s.status().poison().is_none());
+        assert!(s.status().last_error().is_none());
+    }
+
+    #[test]
+    fn poison_reason_retains_error() {
+        let reason = PoisonReason::new("WindowAgg", crate::ModelError::UnknownColumn("x".into()));
+        assert_eq!(reason.operator(), "WindowAgg");
+        assert!(reason.to_string().contains("WindowAgg"));
+        assert!(reason.to_string().contains("unknown column"));
+        let downcast = reason.error().downcast_ref::<crate::ModelError>();
+        assert_eq!(downcast, Some(&crate::ModelError::UnknownColumn("x".into())));
+    }
+
+    #[test]
+    fn status_combine_prefers_severity_then_self() {
+        let err = || PoisonReason::new("op", crate::ModelError::InvalidSchema("a".into()));
+        let inner_err = || PoisonReason::new("inner", crate::ModelError::InvalidSchema("b".into()));
+        // Poisoned input outranks a merely degraded operator.
+        let s = StreamStatus::Degraded { errored: 1, last_error: err() }
+            .combine(StreamStatus::Poisoned(inner_err()));
+        assert_eq!(s.poison().unwrap().operator(), "inner");
+        // Equal severity: the outer operator's status wins.
+        let s = StreamStatus::Poisoned(err()).combine(StreamStatus::Poisoned(inner_err()));
+        assert_eq!(s.poison().unwrap().operator(), "op");
+        // Degraded survives an Ok input.
+        let s = StreamStatus::Degraded { errored: 3, last_error: err() }.combine(StreamStatus::Ok);
+        assert!(!s.is_ok());
+        assert_eq!(s.last_error().unwrap().operator(), "op");
     }
 }

@@ -159,22 +159,46 @@ fn with_quantile_cache<T>(
     CACHE.with(|c| f(&mut c.borrow_mut()))
 }
 
+/// Process-wide hit/miss tallies for the quantile memo, feeding the
+/// engine's observability report. Cumulative over the process lifetime.
+static QUANTILE_CACHE_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static QUANTILE_CACHE_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// `(hits, misses)` of the t/χ² quantile memo since process start. A high
+/// hit rate confirms streams reuse the same `(n, level)` pairs; a high
+/// miss rate flags a workload recomputing quantiles per tuple.
+pub fn quantile_cache_counters() -> (u64, u64) {
+    (
+        QUANTILE_CACHE_HITS.load(std::sync::atomic::Ordering::Relaxed),
+        QUANTILE_CACHE_MISSES.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
+/// Looks up (or computes and records) one memoized quantile, tallying the
+/// hit or miss.
+fn cached_quantile(key: (u8, usize, u64), compute: impl FnOnce() -> f64) -> f64 {
+    with_quantile_cache(|cache| match cache.get(&key) {
+        Some(&v) => {
+            QUANTILE_CACHE_HITS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            v
+        }
+        None => {
+            QUANTILE_CACHE_MISSES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let v = compute();
+            cache.insert(key, v);
+            v
+        }
+    })
+}
+
 /// Memoized `t_{q}` with `df` degrees of freedom.
 fn cached_t_upper(df: usize, q: f64) -> f64 {
-    with_quantile_cache(|cache| {
-        *cache
-            .entry((0, df, q.to_bits()))
-            .or_insert_with(|| StudentT::new(df as f64).expect("df >= 1").upper(q))
-    })
+    cached_quantile((0, df, q.to_bits()), || StudentT::new(df as f64).expect("df >= 1").upper(q))
 }
 
 /// Memoized `χ²_{q}` with `df` degrees of freedom.
 fn cached_chi2_upper(df: usize, q: f64) -> f64 {
-    with_quantile_cache(|cache| {
-        *cache
-            .entry((1, df, q.to_bits()))
-            .or_insert_with(|| ChiSquared::new(df as f64).expect("df >= 1").upper(q))
-    })
+    cached_quantile((1, df, q.to_bits()), || ChiSquared::new(df as f64).expect("df >= 1").upper(q))
 }
 
 /// Equation (4): z-based mean interval.
@@ -340,5 +364,18 @@ mod tests {
     #[should_panic]
     fn rejects_bad_level() {
         ConfidenceInterval::new(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn quantile_cache_counts_hits_and_misses() {
+        let (_, m0) = quantile_cache_counters();
+        // A (df, level) pair no other test uses: first call misses, repeats hit.
+        mean_interval_t(0.0, 1.0, 23, 0.911);
+        let (h1, m1) = quantile_cache_counters();
+        assert!(m1 > m0, "first lookup is a miss");
+        mean_interval_t(0.0, 1.0, 23, 0.911);
+        mean_interval_t(0.0, 1.0, 23, 0.911);
+        let (h2, _) = quantile_cache_counters();
+        assert!(h2 >= h1 + 2, "repeat lookups hit the memo");
     }
 }
