@@ -22,4 +22,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 echo "== obs smoke =="
 cargo test -q -p ausdb-engine obs
 
+echo "== server smoke =="
+bash scripts/server_smoke.sh
+
 echo "CI OK"

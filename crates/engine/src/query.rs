@@ -424,6 +424,12 @@ impl Session {
         v
     }
 
+    /// Schema and tuples of a registered stream, if present (used by the
+    /// server to snapshot registered stream contents).
+    pub fn stream(&self, name: &str) -> Option<(&Schema, &[Tuple])> {
+        self.streams.get(&name.to_ascii_lowercase()).map(|(s, t)| (s, t.as_slice()))
+    }
+
     /// Removes a registered stream; returns whether it existed.
     pub fn drop_stream(&mut self, name: &str) -> bool {
         self.streams.remove(&name.to_ascii_lowercase()).is_some()
@@ -471,8 +477,21 @@ impl Session {
         from: &str,
         query: &Query,
     ) -> Result<(Schema, Vec<Tuple>, StatsReport), EngineError> {
+        self.run_with_config_and_stats(from, query, self.config)
+    }
+
+    /// [`Session::run_with_stats`] with an explicit configuration. The
+    /// metrics registry is purely observational: the `(schema, tuples)`
+    /// result is bit-identical to [`Session::run_with_config`] with the
+    /// same configuration.
+    pub fn run_with_config_and_stats(
+        &self,
+        from: &str,
+        query: &Query,
+        config: QueryConfig,
+    ) -> Result<(Schema, Vec<Tuple>, StatsReport), EngineError> {
         let mut registry = MetricsRegistry::new();
-        let result = self.run_registered(from, query, self.config, &mut registry);
+        let result = self.run_registered(from, query, config, &mut registry);
         let report = registry.report();
         let (schema, tuples) = result?;
         Ok((schema, tuples, report))

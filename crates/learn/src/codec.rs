@@ -1,0 +1,180 @@
+//! Snapshot [`Codec`] implementations for learner state.
+//!
+//! The server (`ausdb-serve`) persists each stream's [`StreamLearner`] —
+//! config, output schema, and the per-key observation buffer — so a
+//! restarted process resumes with **identical** learner state: same
+//! buffered samples, hence bit-identical distributions on the next window
+//! close. The wire layer (framing, primitives, round-trip rules) lives in
+//! [`ausdb_model::codec`]; this module only adds the learn-crate types.
+
+use std::collections::BTreeMap;
+
+use ausdb_model::codec::{Codec, CodecError, Reader, Writer};
+use ausdb_model::schema::Schema;
+
+use crate::accuracy::DistKind;
+use crate::histogram::BinSpec;
+use crate::learner::{LearnerConfig, StreamLearner};
+
+impl Codec for BinSpec {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            BinSpec::Fixed(n) => {
+                w.put_u8(0);
+                w.put_u64(*n as u64);
+            }
+            BinSpec::Sturges => w.put_u8(1),
+            BinSpec::Width(width) => {
+                w.put_u8(2);
+                w.put_f64(*width);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8("bin spec tag")? {
+            0 => {
+                let n = r.get_u64("fixed bin count")? as usize;
+                if n == 0 {
+                    return Err(CodecError::Invalid("zero histogram bins".into()));
+                }
+                Ok(BinSpec::Fixed(n))
+            }
+            1 => Ok(BinSpec::Sturges),
+            2 => {
+                let width = r.get_f64("bin width")?;
+                if !(width > 0.0) || !width.is_finite() {
+                    return Err(CodecError::Invalid(format!("bad bin width {width}")));
+                }
+                Ok(BinSpec::Width(width))
+            }
+            tag => Err(CodecError::BadTag { decoding: "BinSpec", tag }),
+        }
+    }
+}
+
+impl Codec for DistKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            DistKind::Histogram(spec) => {
+                w.put_u8(0);
+                spec.encode(w);
+            }
+            DistKind::Gaussian => w.put_u8(1),
+            DistKind::Empirical => w.put_u8(2),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8("dist kind tag")? {
+            0 => Ok(DistKind::Histogram(BinSpec::decode(r)?)),
+            1 => Ok(DistKind::Gaussian),
+            2 => Ok(DistKind::Empirical),
+            tag => Err(CodecError::BadTag { decoding: "DistKind", tag }),
+        }
+    }
+}
+
+impl Codec for LearnerConfig {
+    fn encode(&self, w: &mut Writer) {
+        self.kind.encode(w);
+        w.put_f64(self.level);
+        w.put_u64(self.window_width);
+        w.put_u64(self.min_observations as u64);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let kind = DistKind::decode(r)?;
+        let level = r.get_f64("confidence level")?;
+        if !(level > 0.0 && level < 1.0) {
+            return Err(CodecError::Invalid(format!("confidence level {level} outside (0,1)")));
+        }
+        let window_width = r.get_u64("window width")?;
+        if window_width == 0 {
+            return Err(CodecError::Invalid("zero window width".into()));
+        }
+        let min_observations = r.get_u64("min observations")? as usize;
+        Ok(LearnerConfig { kind, level, window_width, min_observations })
+    }
+}
+
+impl Codec for StreamLearner {
+    fn encode(&self, w: &mut Writer) {
+        self.config().encode(w);
+        self.schema().encode(w);
+        let buffer = self.buffer();
+        w.put_len(buffer.len());
+        for (&key, obs) in buffer {
+            w.put_i64(key);
+            obs.to_vec().encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let config = LearnerConfig::decode(r)?;
+        let schema = Schema::decode(r)?;
+        let n = r.get_len("learner key count")?;
+        let mut buffer = BTreeMap::new();
+        for _ in 0..n {
+            let key = r.get_i64("learner key")?;
+            let obs = Vec::<(u64, f64)>::decode(r)?;
+            if buffer.insert(key, obs).is_some() {
+                return Err(CodecError::Invalid(format!("duplicate learner key {key}")));
+            }
+        }
+        Ok(StreamLearner::from_parts(config, schema, buffer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_model::codec::{decode_snapshot, encode_snapshot};
+
+    use crate::learner::RawObservation;
+
+    #[test]
+    fn learner_state_round_trips() {
+        let mut learner = StreamLearner::with_column_names(
+            LearnerConfig {
+                kind: DistKind::Histogram(BinSpec::Fixed(8)),
+                level: 0.95,
+                window_width: 60,
+                min_observations: 3,
+            },
+            "road_id",
+            "delay",
+        );
+        learner.observe_all([
+            RawObservation::new(19, 530, 56.0),
+            RawObservation::new(19, 531, 38.0),
+            RawObservation::new(20, 529, 72.0),
+        ]);
+        let bytes = encode_snapshot(&learner);
+        let back: StreamLearner = decode_snapshot(&bytes).expect("decodes");
+        assert_eq!(back.config(), learner.config());
+        assert_eq!(back.schema(), learner.schema());
+        assert_eq!(back.buffer(), learner.buffer());
+        // Restored learner emits the same window, bit for bit.
+        let a = learner.emit_window(500).unwrap();
+        let mut restored = back;
+        let b = restored.emit_window(500).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_learner_round_trips() {
+        let learner = StreamLearner::new(LearnerConfig::gaussian(10));
+        let bytes = encode_snapshot(&learner);
+        let back: StreamLearner = decode_snapshot(&bytes).expect("decodes");
+        assert_eq!(back.config(), learner.config());
+        assert!(back.buffer().is_empty());
+    }
+
+    #[test]
+    fn config_validation_on_decode() {
+        let mut bad = LearnerConfig::gaussian(10);
+        bad.level = 0.9;
+        let mut bytes = encode_snapshot(&bad);
+        // Corrupt the level bytes (right after magic+version+kind tag).
+        let level_off = 4 + 2 + 1;
+        bytes[level_off..level_off + 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(matches!(decode_snapshot::<LearnerConfig>(&bytes), Err(CodecError::Invalid(_))));
+    }
+}

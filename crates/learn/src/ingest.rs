@@ -124,7 +124,7 @@ pub fn parse_csv_observations(
 
 /// Parses an integer timestamp or a clock time `H:MM[:SS]` (seconds since
 /// midnight).
-fn parse_timestamp(s: &str) -> Option<u64> {
+pub fn parse_timestamp(s: &str) -> Option<u64> {
     if let Ok(v) = s.parse::<u64>() {
         return Some(v);
     }

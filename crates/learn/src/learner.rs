@@ -34,7 +34,7 @@ impl RawObservation {
 }
 
 /// Configuration of a [`StreamLearner`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LearnerConfig {
     /// Distribution family to learn per key.
     pub kind: DistKind,
@@ -91,6 +91,38 @@ impl StreamLearner {
         &self.schema
     }
 
+    /// The learner's configuration.
+    pub fn config(&self) -> &LearnerConfig {
+        &self.config
+    }
+
+    /// The earliest buffered observation timestamp, if any. A caller
+    /// advancing windows over a large time jump can skip straight to the
+    /// window containing this timestamp instead of closing empty windows
+    /// one by one.
+    pub fn min_buffered_ts(&self) -> Option<u64> {
+        self.buffer.values().flat_map(|v| v.iter().map(|&(ts, _)| ts)).min()
+    }
+
+    /// Total buffered observations across all keys.
+    pub fn buffered_len(&self) -> usize {
+        self.buffer.values().map(Vec::len).sum()
+    }
+
+    /// Raw per-key buffer contents, for snapshotting.
+    pub(crate) fn buffer(&self) -> &BTreeMap<i64, Vec<(u64, f64)>> {
+        &self.buffer
+    }
+
+    /// Rebuilds a learner from snapshot parts (config, schema, buffer).
+    pub(crate) fn from_parts(
+        config: LearnerConfig,
+        schema: Schema,
+        buffer: BTreeMap<i64, Vec<(u64, f64)>>,
+    ) -> Self {
+        Self { config, schema, buffer }
+    }
+
     /// Buffers one raw observation.
     pub fn observe(&mut self, obs: RawObservation) {
         self.buffer.entry(obs.key).or_default().push((obs.ts, obs.value));
@@ -120,6 +152,19 @@ impl StreamLearner {
     /// The emitted tuples carry `ts = window_start` and membership
     /// probability 1 (the uncertainty lives in the attribute).
     pub fn emit_window(&mut self, window_start: u64) -> Result<Vec<Tuple>, ModelError> {
+        let out = self.peek_window(window_start)?;
+        // Evict everything the window has consumed or passed.
+        let end = window_start.saturating_add(self.config.window_width);
+        for obs in self.buffer.values_mut() {
+            obs.retain(|&(ts, _)| ts >= end);
+        }
+        self.buffer.retain(|_, v| !v.is_empty());
+        Ok(out)
+    }
+
+    /// Like [`StreamLearner::emit_window`] but non-destructive: learns the
+    /// window's tuples without evicting any buffered observations.
+    pub fn peek_window(&self, window_start: u64) -> Result<Vec<Tuple>, ModelError> {
         let end = window_start.saturating_add(self.config.window_width);
         let mut out = Vec::new();
         for (&key, obs) in &self.buffer {
@@ -137,11 +182,6 @@ impl StreamLearner {
                 vec![Field::plain(key), Field::plain(dist).with_accuracy(info)],
             ));
         }
-        // Evict everything the window has consumed or passed.
-        for obs in self.buffer.values_mut() {
-            obs.retain(|&(ts, _)| ts >= end);
-        }
-        self.buffer.retain(|_, v| !v.is_empty());
         Ok(out)
     }
 }

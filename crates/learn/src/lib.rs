@@ -28,6 +28,7 @@
 
 pub mod accuracy;
 pub mod adaptive;
+pub mod codec;
 pub mod drift;
 pub mod gaussian;
 pub mod histogram;

@@ -1,0 +1,93 @@
+//! Property tests for learner-state snapshots: encode→decode is the
+//! identity, and — the property the server's kill-and-restore relies on —
+//! a restored learner's **future windows are bit-identical** to the
+//! original's.
+
+use ausdb_learn::accuracy::DistKind;
+use ausdb_learn::histogram::BinSpec;
+use ausdb_learn::learner::{LearnerConfig, RawObservation, StreamLearner};
+use ausdb_model::codec::{decode_snapshot, encode_snapshot};
+use proptest::prelude::*;
+
+fn make_kind(tag: usize, bins: usize, width: f64) -> DistKind {
+    match tag {
+        0 => DistKind::Gaussian,
+        1 => DistKind::Empirical,
+        2 => DistKind::Histogram(BinSpec::Fixed(bins.max(1))),
+        3 => DistKind::Histogram(BinSpec::Sturges),
+        _ => DistKind::Histogram(BinSpec::Width(width.abs() + 0.1)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn learner_snapshot_roundtrip_and_identical_future(
+        kind_tag in 0usize..5,
+        bins in 1usize..12,
+        bin_width in 0.1..=10.0f64,
+        level in 0.5..=0.99f64,
+        window in 5u64..200,
+        min_obs in 1usize..4,
+        keys in prop::collection::vec(-50i64..50, 1..6),
+        values in prop::collection::vec(-1e3..=1e3f64, 4..40),
+    ) {
+        let config = LearnerConfig {
+            kind: make_kind(kind_tag, bins, bin_width),
+            level,
+            window_width: window,
+            // Gaussian/histogram fits need at least 2 observations.
+            min_observations: min_obs.max(2),
+        };
+        let mut learner = StreamLearner::with_column_names(config, "road_id", "delay");
+        for (i, &v) in values.iter().enumerate() {
+            let key = keys[i % keys.len()];
+            let ts = (i as u64 * 7) % (3 * window); // spread across ~3 windows
+            learner.observe(RawObservation::new(key, ts, v));
+        }
+
+        let bytes = encode_snapshot(&learner);
+        let restored: StreamLearner = decode_snapshot(&bytes).unwrap();
+        prop_assert_eq!(restored.config(), learner.config());
+        prop_assert_eq!(restored.schema(), learner.schema());
+        prop_assert_eq!(restored.buffered_len(), learner.buffered_len());
+        prop_assert_eq!(restored.min_buffered_ts(), learner.min_buffered_ts());
+        // Re-encoding the restored learner is byte-identical: nothing was
+        // renormalized or reordered in flight.
+        prop_assert_eq!(encode_snapshot(&restored), bytes);
+
+        // The restored learner emits the same windows, bit for bit, and
+        // evicts identically.
+        let mut restored = restored;
+        for w in 0..3u64 {
+            let a = learner.emit_window(w * window).unwrap();
+            let b = restored.emit_window(w * window).unwrap();
+            prop_assert_eq!(a, b, "window {}", w);
+            prop_assert_eq!(restored.buffered_len(), learner.buffered_len());
+        }
+    }
+
+    #[test]
+    fn peek_window_matches_emit_and_preserves_buffer(
+        window in 5u64..100,
+        values in prop::collection::vec(0.0..=100.0f64, 2..30),
+    ) {
+        let config = LearnerConfig {
+            kind: DistKind::Empirical,
+            level: 0.9,
+            window_width: window,
+            min_observations: 1,
+        };
+        let mut learner = StreamLearner::new(config);
+        for (i, &v) in values.iter().enumerate() {
+            learner.observe(RawObservation::new(i as i64 % 3, i as u64 % window, v));
+        }
+        let before = learner.buffered_len();
+        let peeked = learner.peek_window(0).unwrap();
+        prop_assert_eq!(learner.buffered_len(), before, "peek must not evict");
+        let emitted = learner.emit_window(0).unwrap();
+        prop_assert_eq!(peeked, emitted);
+        prop_assert!(learner.buffered_len() < before || before == 0);
+    }
+}

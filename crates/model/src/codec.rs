@@ -1,0 +1,763 @@
+//! A hand-rolled, versioned binary codec for the data model.
+//!
+//! The repo has no serde (the build environment is registry-free), yet a
+//! restartable server needs to persist learner and distribution state.
+//! This module provides the wire layer: a little-endian [`Writer`] /
+//! [`Reader`] pair, the [`Codec`] trait, and implementations for every
+//! model type a snapshot contains. Other crates (`ausdb-learn`,
+//! `ausdb-serve`) implement [`Codec`] for their own types on top.
+//!
+//! ## Format
+//!
+//! A snapshot is framed as
+//!
+//! ```text
+//! magic "AUSB" · version u16 · payload
+//! ```
+//!
+//! via [`encode_snapshot`] / [`decode_snapshot`]. Integers are
+//! little-endian; floats are IEEE-754 bit patterns (NaN payloads survive);
+//! strings and sequences are `u32`-length-prefixed; options are a `u8`
+//! presence tag; enums are a `u8` variant tag. Decoders see the envelope
+//! version through [`Reader::version`] so a future version bump can keep
+//! reading old payloads.
+//!
+//! ## Round-trip guarantee
+//!
+//! `decode(encode(x)) == x` **exactly** (same bits) for every implemented
+//! type: decoding validates but never renormalizes, so e.g. a
+//! [`Histogram`]'s probabilities are not divided by their sum a second
+//! time. Corrupt input fails with a structured [`CodecError`] — never a
+//! panic.
+
+use ausdb_stats::ci::ConfidenceInterval;
+
+use crate::accuracy::{AccuracyInfo, TupleProbability};
+use crate::dist::{AttrDistribution, Histogram};
+use crate::schema::{Column, ColumnType, Schema};
+use crate::tuple::{Field, Tuple};
+use crate::value::Value;
+
+/// Current snapshot format version (written by [`encode_snapshot`]).
+pub const FORMAT_VERSION: u16 = 1;
+/// Oldest format version [`decode_snapshot`] still accepts.
+pub const MIN_SUPPORTED_VERSION: u16 = 1;
+/// Leading magic bytes of every snapshot.
+pub const MAGIC: [u8; 4] = *b"AUSB";
+
+/// Why decoding failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the payload was complete.
+    UnexpectedEof {
+        /// What was being decoded when the bytes ran out.
+        decoding: &'static str,
+    },
+    /// The leading magic bytes were wrong — not an ausdb snapshot.
+    BadMagic,
+    /// The snapshot version is outside the supported range.
+    UnsupportedVersion(u16),
+    /// An enum tag byte had no matching variant.
+    BadTag {
+        /// The enum being decoded.
+        decoding: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The bytes decoded structurally but failed semantic validation.
+    Invalid(String),
+    /// Bytes remained after the payload was fully decoded.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { decoding } => {
+                write!(f, "unexpected end of input while decoding {decoding}")
+            }
+            CodecError::BadMagic => write!(f, "bad magic bytes (not an ausdb snapshot)"),
+            CodecError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported snapshot version {v} (supported: {MIN_SUPPORTED_VERSION}..={FORMAT_VERSION})"
+            ),
+            CodecError::BadTag { decoding, tag } => {
+                write!(f, "bad tag {tag} while decoding {decoding}")
+            }
+            CodecError::Invalid(msg) => write!(f, "invalid snapshot payload: {msg}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Byte-buffer writer with little-endian primitives.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u32(v as u32);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor over encoded bytes with little-endian primitives.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    version: u16,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`, decoding under format `version`.
+    pub fn new(buf: &'a [u8], version: u16) -> Self {
+        Self { buf, pos: 0, version }
+    }
+
+    /// The snapshot format version being decoded (from the envelope).
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, decoding: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { decoding });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self, decoding: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, decoding)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self, decoding: &'static str) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2, decoding)?.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self, decoding: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, decoding)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self, decoding: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, decoding)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self, decoding: &'static str) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8, decoding)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self, decoding: &'static str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64(decoding)?))
+    }
+
+    /// Reads a `u32` length prefix, sanity-capped against the remaining
+    /// input so corrupt lengths fail fast instead of allocating wildly.
+    pub fn get_len(&mut self, decoding: &'static str) -> Result<usize, CodecError> {
+        let n = self.get_u32(decoding)? as usize;
+        if n > self.remaining() {
+            return Err(CodecError::UnexpectedEof { decoding });
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, decoding: &'static str) -> Result<String, CodecError> {
+        let n = self.get_len(decoding)?;
+        let bytes = self.take(n, decoding)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| CodecError::Invalid(format!("non-UTF-8 bytes in {decoding}")))
+    }
+}
+
+/// Binary encoding/decoding of one type under the snapshot format.
+pub trait Codec: Sized {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+    /// Decodes one value from `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+}
+
+/// Encodes `value` into a complete snapshot: magic, current version,
+/// payload.
+pub fn encode_snapshot<T: Codec>(value: &T) -> Vec<u8> {
+    encode_snapshot_versioned(value, FORMAT_VERSION)
+}
+
+/// [`encode_snapshot`] with an explicit envelope version (used by tests to
+/// prove old versions keep decoding).
+pub fn encode_snapshot_versioned<T: Codec>(value: &T, version: u16) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_bytes(&MAGIC);
+    w.put_u16(version);
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a complete snapshot produced by [`encode_snapshot`], rejecting
+/// bad magic, unsupported versions, and trailing garbage.
+pub fn decode_snapshot<T: Codec>(bytes: &[u8]) -> Result<T, CodecError> {
+    if bytes.len() < 6 {
+        return Err(CodecError::UnexpectedEof { decoding: "snapshot header" });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let mut r = Reader::new(&bytes[6..], version);
+    let value = T::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------
+// Generic impls.
+// ---------------------------------------------------------------------
+
+impl Codec for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_u64("u64")
+    }
+}
+
+impl Codec for i64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_i64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_i64("i64")
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_f64("f64")
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.get_str("string")
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8("option tag")? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(CodecError::BadTag { decoding: "option", tag }),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_len(self.len());
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.get_len("sequence length")?;
+        let mut out = Vec::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model types.
+// ---------------------------------------------------------------------
+
+impl Codec for ConfidenceInterval {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.lo);
+        w.put_f64(self.hi);
+        w.put_f64(self.level);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let lo = r.get_f64("ci.lo")?;
+        let hi = r.get_f64("ci.hi")?;
+        let level = r.get_f64("ci.level")?;
+        if !(level > 0.0 && level < 1.0) {
+            return Err(CodecError::Invalid(format!("confidence level {level} outside (0,1)")));
+        }
+        // Construct literally (no endpoint normalization) so the decode is
+        // bit-exact for every interval the encoder can produce.
+        Ok(ConfidenceInterval { lo, hi, level })
+    }
+}
+
+impl Codec for Histogram {
+    fn encode(&self, w: &mut Writer) {
+        self.edges().to_vec().encode(w);
+        self.probs().to_vec().encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let edges = Vec::<f64>::decode(r)?;
+        let probs = Vec::<f64>::decode(r)?;
+        Histogram::from_normalized_parts(edges, probs)
+            .map_err(|e| CodecError::Invalid(e.to_string()))
+    }
+}
+
+impl Codec for AttrDistribution {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            AttrDistribution::Point(v) => {
+                w.put_u8(0);
+                w.put_f64(*v);
+            }
+            AttrDistribution::Histogram(h) => {
+                w.put_u8(1);
+                h.encode(w);
+            }
+            AttrDistribution::Gaussian { mu, sigma2 } => {
+                w.put_u8(2);
+                w.put_f64(*mu);
+                w.put_f64(*sigma2);
+            }
+            AttrDistribution::Discrete(pairs) => {
+                w.put_u8(3);
+                pairs.encode(w);
+            }
+            AttrDistribution::Empirical(xs) => {
+                w.put_u8(4);
+                xs.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8("distribution tag")? {
+            0 => Ok(AttrDistribution::Point(r.get_f64("point value")?)),
+            1 => Ok(AttrDistribution::Histogram(Histogram::decode(r)?)),
+            2 => {
+                let mu = r.get_f64("gaussian mu")?;
+                let sigma2 = r.get_f64("gaussian sigma2")?;
+                AttrDistribution::gaussian(mu, sigma2)
+                    .map_err(|e| CodecError::Invalid(e.to_string()))
+            }
+            3 => {
+                // Already normalized at construction; decoding must not
+                // renormalize or the round-trip stops being exact.
+                let pairs = Vec::<(f64, f64)>::decode(r)?;
+                if pairs.is_empty()
+                    || pairs.iter().any(|&(v, p)| !v.is_finite() || !(p >= 0.0) || !p.is_finite())
+                {
+                    return Err(CodecError::Invalid("bad discrete distribution".into()));
+                }
+                Ok(AttrDistribution::Discrete(pairs))
+            }
+            4 => {
+                let xs = Vec::<f64>::decode(r)?;
+                if xs.is_empty() || xs.iter().any(|v| !v.is_finite()) {
+                    return Err(CodecError::Invalid("bad empirical sample".into()));
+                }
+                Ok(AttrDistribution::Empirical(xs))
+            }
+            tag => Err(CodecError::BadTag { decoding: "AttrDistribution", tag }),
+        }
+    }
+}
+
+impl Codec for AccuracyInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.sample_size as u64);
+        self.mean_ci.encode(w);
+        self.variance_ci.encode(w);
+        self.bin_cis.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(AccuracyInfo {
+            sample_size: r.get_u64("accuracy sample size")? as usize,
+            mean_ci: Option::<ConfidenceInterval>::decode(r)?,
+            variance_ci: Option::<ConfidenceInterval>::decode(r)?,
+            bin_cis: Option::<Vec<ConfidenceInterval>>::decode(r)?,
+        })
+    }
+}
+
+impl Codec for TupleProbability {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.p);
+        self.ci.encode(w);
+        self.sample_size.map(|n| n as u64).encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let p = r.get_f64("membership probability")?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CodecError::Invalid(format!("membership probability {p} outside [0,1]")));
+        }
+        let ci = Option::<ConfidenceInterval>::decode(r)?;
+        let sample_size = Option::<u64>::decode(r)?.map(|n| n as usize);
+        Ok(TupleProbability { p, ci, sample_size })
+    }
+}
+
+impl Codec for Value {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Value::Null => w.put_u8(0),
+            Value::Bool(b) => {
+                w.put_u8(1);
+                w.put_u8(u8::from(*b));
+            }
+            Value::Int(i) => {
+                w.put_u8(2);
+                w.put_i64(*i);
+            }
+            Value::Float(f) => {
+                w.put_u8(3);
+                w.put_f64(*f);
+            }
+            Value::Str(s) => {
+                w.put_u8(4);
+                w.put_str(s);
+            }
+            Value::Dist(d) => {
+                w.put_u8(5);
+                d.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8("value tag")? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(r.get_u8("bool")? != 0)),
+            2 => Ok(Value::Int(r.get_i64("int")?)),
+            3 => Ok(Value::Float(r.get_f64("float")?)),
+            4 => Ok(Value::Str(r.get_str("str")?)),
+            5 => Ok(Value::Dist(AttrDistribution::decode(r)?)),
+            tag => Err(CodecError::BadTag { decoding: "Value", tag }),
+        }
+    }
+}
+
+impl Codec for Field {
+    fn encode(&self, w: &mut Writer) {
+        self.value.encode(w);
+        self.sample_size.map(|n| n as u64).encode(w);
+        self.accuracy.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Field {
+            value: Value::decode(r)?,
+            sample_size: Option::<u64>::decode(r)?.map(|n| n as usize),
+            accuracy: Option::<AccuracyInfo>::decode(r)?,
+        })
+    }
+}
+
+impl Codec for Tuple {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.ts);
+        self.fields.encode(w);
+        self.membership.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Tuple {
+            ts: r.get_u64("tuple ts")?,
+            fields: Vec::<Field>::decode(r)?,
+            membership: TupleProbability::decode(r)?,
+        })
+    }
+}
+
+impl Codec for ColumnType {
+    fn encode(&self, w: &mut Writer) {
+        let tag = match self {
+            ColumnType::Int => 0,
+            ColumnType::Float => 1,
+            ColumnType::Bool => 2,
+            ColumnType::Str => 3,
+            ColumnType::Dist => 4,
+        };
+        w.put_u8(tag);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8("column type tag")? {
+            0 => Ok(ColumnType::Int),
+            1 => Ok(ColumnType::Float),
+            2 => Ok(ColumnType::Bool),
+            3 => Ok(ColumnType::Str),
+            4 => Ok(ColumnType::Dist),
+            tag => Err(CodecError::BadTag { decoding: "ColumnType", tag }),
+        }
+    }
+}
+
+impl Codec for Column {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        self.ty.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Column { name: r.get_str("column name")?, ty: ColumnType::decode(r)? })
+    }
+}
+
+impl Codec for Schema {
+    fn encode(&self, w: &mut Writer) {
+        self.columns().to_vec().encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let columns = Vec::<Column>::decode(r)?;
+        Schema::new(columns).map_err(|e| CodecError::Invalid(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = encode_snapshot(value);
+        let back: T = decode_snapshot(&bytes).expect("decodes");
+        assert_eq!(&back, value);
+    }
+
+    fn sample_hist() -> Histogram {
+        Histogram::new(vec![0.0, 10.0, 20.0, 30.0], vec![0.2, 0.5, 0.3]).unwrap()
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(&7u64);
+        roundtrip(&(-3i64));
+        roundtrip(&1.5f64);
+        roundtrip(&"héllo".to_string());
+        roundtrip(&Some(4u64));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&vec![1.0f64, -2.5, f64::MAX]);
+        roundtrip(&(3u64, 2.5f64));
+    }
+
+    #[test]
+    fn nan_bit_pattern_survives() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let bytes = encode_snapshot(&weird);
+        let back: f64 = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn distribution_roundtrips_every_variant() {
+        let variants = [
+            AttrDistribution::Point(7.25),
+            AttrDistribution::Histogram(sample_hist()),
+            AttrDistribution::gaussian(10.0, 4.0).unwrap(),
+            AttrDistribution::discrete(vec![(1.0, 0.25), (2.0, 0.75)]).unwrap(),
+            AttrDistribution::empirical(vec![1.0, 2.0, 3.5]).unwrap(),
+        ];
+        for d in &variants {
+            roundtrip(d);
+        }
+    }
+
+    #[test]
+    fn renormalized_histogram_is_bit_exact() {
+        // 1/3-ish probabilities that do NOT sum to exactly 1.0: the decode
+        // must not renormalize a second time.
+        let h = Histogram::new(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, 1.0, 1.0]).unwrap();
+        roundtrip(&h);
+        roundtrip(&AttrDistribution::discrete(vec![(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]).unwrap());
+    }
+
+    #[test]
+    fn tuple_with_accuracy_roundtrips() {
+        let info = AccuracyInfo::new(20)
+            .with_mean_ci(ConfidenceInterval::new(1.0, 2.0, 0.9))
+            .with_variance_ci(ConfidenceInterval::new(0.5, 4.0, 0.9))
+            .with_bin_cis(vec![ConfidenceInterval::new(0.1, 0.3, 0.95)]);
+        let t = Tuple::with_membership(
+            42,
+            vec![
+                Field::plain(19i64),
+                Field::plain("label"),
+                Field::plain(Value::Null),
+                Field::plain(true),
+                Field::learned(AttrDistribution::Histogram(sample_hist()), 20).with_accuracy(info),
+            ],
+            TupleProbability::new(0.75)
+                .unwrap()
+                .with_ci(ConfidenceInterval::new(0.6, 0.9, 0.9), 12),
+        );
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn schema_roundtrips() {
+        let s = Schema::new(vec![
+            Column::new("road_id", ColumnType::Int),
+            Column::new("delay", ColumnType::Dist),
+            Column::new("name", ColumnType::Str),
+        ])
+        .unwrap();
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_structurally() {
+        let good = encode_snapshot(&AttrDistribution::Point(1.0));
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(decode_snapshot::<AttrDistribution>(&bad), Err(CodecError::BadMagic));
+        // Unsupported versions on both sides.
+        for v in [0u16, FORMAT_VERSION + 1] {
+            let bytes = encode_snapshot_versioned(&AttrDistribution::Point(1.0), v);
+            assert_eq!(
+                decode_snapshot::<AttrDistribution>(&bytes),
+                Err(CodecError::UnsupportedVersion(v))
+            );
+        }
+        // Truncated payload.
+        assert!(matches!(
+            decode_snapshot::<AttrDistribution>(&good[..good.len() - 1]),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert_eq!(decode_snapshot::<AttrDistribution>(&long), Err(CodecError::TrailingBytes(1)));
+        // Bad enum tag.
+        let mut tagged = good;
+        tagged[6] = 250;
+        assert!(matches!(
+            decode_snapshot::<AttrDistribution>(&tagged),
+            Err(CodecError::BadTag { decoding: "AttrDistribution", tag: 250 })
+        ));
+        // Semantic validation: a Gaussian with sigma2 <= 0.
+        let mut w = Writer::new();
+        w.put_u8(2);
+        w.put_f64(0.0);
+        w.put_f64(-1.0);
+        let mut framed = Vec::from(MAGIC);
+        framed.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        framed.extend_from_slice(&w.into_bytes());
+        assert!(matches!(
+            decode_snapshot::<AttrDistribution>(&framed),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_fails_fast() {
+        // An empirical dist claiming 2^31 samples with 3 bytes of payload.
+        let mut w = Writer::new();
+        w.put_u8(4);
+        w.put_u32(u32::MAX);
+        w.put_bytes(&[1, 2, 3]);
+        let mut framed = Vec::from(MAGIC);
+        framed.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        framed.extend_from_slice(&w.into_bytes());
+        assert!(matches!(
+            decode_snapshot::<AttrDistribution>(&framed),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+    }
+}

@@ -64,6 +64,36 @@ impl Histogram {
         Ok(Self { edges, probs, alias })
     }
 
+    /// Rebuilds a histogram from already-normalized parts **without** the
+    /// renormalization division, so decoding a snapshot reproduces the
+    /// original bit-for-bit (the codec's round-trip guarantee). Validates
+    /// shape and edge monotonicity like [`Histogram::new`].
+    pub(crate) fn from_normalized_parts(
+        edges: Vec<f64>,
+        probs: Vec<f64>,
+    ) -> Result<Self, ModelError> {
+        if probs.is_empty() || edges.len() != probs.len() + 1 {
+            return Err(ModelError::InvalidDistribution(format!(
+                "histogram needs |edges| = |probs|+1 >= 2, got {} edges / {} probs",
+                edges.len(),
+                probs.len()
+            )));
+        }
+        if edges.windows(2).any(|w| !(w[0] < w[1])) || edges.iter().any(|e| !e.is_finite()) {
+            return Err(ModelError::InvalidDistribution(
+                "histogram edges must be finite and strictly increasing".into(),
+            ));
+        }
+        if probs.iter().any(|&p| !(p >= 0.0) || !p.is_finite()) || probs.iter().sum::<f64>() <= 0.0
+        {
+            return Err(ModelError::InvalidDistribution(
+                "histogram probabilities must be nonnegative with a positive sum".into(),
+            ));
+        }
+        let alias = AliasTable::new(&probs).expect("validated positive-sum probabilities");
+        Ok(Self { edges, probs, alias })
+    }
+
     /// Number of buckets `b`.
     pub fn num_bins(&self) -> usize {
         self.probs.len()

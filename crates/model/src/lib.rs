@@ -27,6 +27,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod accuracy;
+pub mod codec;
 pub mod dist;
 pub mod error;
 pub mod schema;

@@ -1,0 +1,53 @@
+//! `ausdb-serve` — the continuous-query server the paper's premise implies.
+//!
+//! "Accuracy-Aware Uncertain Stream Databases" (Ge & Liu, ICDE 2012)
+//! describes a *stream database*: raw observations arrive continuously,
+//! per-key distributions are learned per time window **with accuracy
+//! information**, and queries run against the resulting probabilistic
+//! relations. The rest of this repository implements the learning and
+//! query layers as one-shot pipelines; this crate turns them into a
+//! long-running service:
+//!
+//! * [`protocol`] — the line-oriented text protocol (`INGEST`, `QUERY`,
+//!   `SUBSCRIBE`, `STATS`, `SNAPSHOT`, `RESTORE`, `SHUTDOWN`, `PING`).
+//! * [`state`] — shared engine state: per-stream [`ausdb_learn`] learners,
+//!   the [`ausdb_engine`] session holding each stream's last closed
+//!   window, subscription registry, snapshot model.
+//! * [`subscriber`] — bounded per-subscriber queues: slow consumers get
+//!   `DROPPED <n>` notices, never unbounded memory.
+//! * [`render`] — injective text rendering of result rows, so bit-identical
+//!   results render to byte-identical protocol lines.
+//! * [`snapshot`] — atomic snapshot files over the hand-rolled versioned
+//!   binary codec in [`ausdb_model::codec`].
+//! * [`server`] — the std-only, thread-per-connection TCP transport with
+//!   graceful (join-everything) shutdown.
+//! * [`signal`] — a minimal Ctrl-C hook for the `ausdb serve` binary.
+//!
+//! Determinism carries through: a server-side `QUERY` runs the exact same
+//! `run_sql` path as the CLI, so with the same seed it returns
+//! bit-identical results — the loopback integration test proves it.
+//!
+//! ```no_run
+//! use ausdb_serve::server::{Server, ServerConfig};
+//!
+//! let handle = Server::start(ServerConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! handle.stop(); // graceful: drains subscribers, joins threads
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)] // overridden only in `signal::imp` for `signal(2)`
+
+pub mod protocol;
+pub mod render;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+pub mod state;
+pub mod subscriber;
+
+pub use protocol::{parse_request, Request};
+pub use render::{render_row, render_rows, render_schema};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use state::{EngineConfig, EngineState, ServerSnapshot};
+pub use subscriber::SubscriberQueue;

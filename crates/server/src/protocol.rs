@@ -1,0 +1,153 @@
+//! The line-oriented text protocol.
+//!
+//! Every request is one line; every response is one or more lines. The
+//! grammar (also documented in DESIGN.md §5):
+//!
+//! ```text
+//! request   := INGEST <stream> <csv-row>
+//!            | QUERY <sql>
+//!            | SUBSCRIBE <sql>
+//!            | UNSUBSCRIBE <id>
+//!            | STATS
+//!            | SNAPSHOT
+//!            | RESTORE
+//!            | SHUTDOWN
+//!            | PING
+//! csv-row   := <key> ',' <ts> ',' <value>      (ts: integer or H:MM[:SS])
+//! ```
+//!
+//! Responses start with `OK` or `ERR`; `QUERY` answers with a `SCHEMA`
+//! line, `ROW` lines, and a final `END <n>`. Subscribers additionally
+//! receive unsolicited `EVENT`/`ROW`/`DROPPED` lines when windows close.
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `INGEST <stream> <key,ts,value>` — feed one raw observation.
+    Ingest {
+        /// Target stream name.
+        stream: String,
+        /// The raw CSV cells after the stream name.
+        row: String,
+    },
+    /// `QUERY <sql>` — one-shot query over current stream contents.
+    Query(String),
+    /// `SUBSCRIBE <sql>` — standing query re-evaluated per closed window.
+    Subscribe(String),
+    /// `UNSUBSCRIBE <id>` — cancel a subscription owned by this connection.
+    Unsubscribe(u64),
+    /// `STATS` — server counters plus the last query's operator stats.
+    Stats,
+    /// `SNAPSHOT` — persist engine state to the configured snapshot path.
+    Snapshot,
+    /// `RESTORE` — reload engine state from the configured snapshot path.
+    Restore,
+    /// `SHUTDOWN` — gracefully stop the server.
+    Shutdown,
+    /// `PING` — liveness check.
+    Ping,
+}
+
+/// Parses one request line. Keywords are case-insensitive; payloads are
+/// passed through verbatim.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let need = |what: &str| -> Result<(), String> {
+        if rest.is_empty() {
+            Err(format!("{what} expects an argument"))
+        } else {
+            Ok(())
+        }
+    };
+    let bare = |req: Request| -> Result<Request, String> {
+        if rest.is_empty() {
+            Ok(req)
+        } else {
+            Err(format!("{verb} takes no arguments"))
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "INGEST" => {
+            need("INGEST")?;
+            let (stream, row) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "INGEST expects <stream> <key,ts,value>".to_string())?;
+            Ok(Request::Ingest { stream: stream.to_string(), row: row.trim().to_string() })
+        }
+        "QUERY" => {
+            need("QUERY")?;
+            Ok(Request::Query(rest.to_string()))
+        }
+        "SUBSCRIBE" => {
+            need("SUBSCRIBE")?;
+            Ok(Request::Subscribe(rest.to_string()))
+        }
+        "UNSUBSCRIBE" => {
+            need("UNSUBSCRIBE")?;
+            rest.parse::<u64>()
+                .map(Request::Unsubscribe)
+                .map_err(|_| format!("bad subscription id '{rest}'"))
+        }
+        "STATS" => bare(Request::Stats),
+        "SNAPSHOT" => bare(Request::Snapshot),
+        "RESTORE" => bare(Request::Restore),
+        "SHUTDOWN" => bare(Request::Shutdown),
+        "PING" => bare(Request::Ping),
+        "" => Err("empty request".to_string()),
+        other => Err(format!(
+            "unknown command '{other}' (try INGEST, QUERY, SUBSCRIBE, UNSUBSCRIBE, STATS, \
+             SNAPSHOT, RESTORE, PING, SHUTDOWN)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_request("INGEST traffic 19,530,56"),
+            Ok(Request::Ingest { stream: "traffic".into(), row: "19,530,56".into() })
+        );
+        assert_eq!(
+            parse_request("query SELECT * FROM traffic"),
+            Ok(Request::Query("SELECT * FROM traffic".into()))
+        );
+        assert_eq!(
+            parse_request("SUBSCRIBE SELECT * FROM traffic"),
+            Ok(Request::Subscribe("SELECT * FROM traffic".into()))
+        );
+        assert_eq!(parse_request("UNSUBSCRIBE 3"), Ok(Request::Unsubscribe(3)));
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
+        assert_eq!(parse_request("RESTORE"), Ok(Request::Restore));
+        assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
+        assert_eq!(parse_request("PING"), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FROBNICATE").is_err());
+        assert!(parse_request("INGEST").is_err());
+        assert!(parse_request("INGEST onlystream").is_err());
+        assert!(parse_request("QUERY").is_err());
+        assert!(parse_request("UNSUBSCRIBE x").is_err());
+        assert!(parse_request("STATS now").is_err());
+        assert!(parse_request("PING pong").is_err());
+    }
+
+    #[test]
+    fn whitespace_and_case_tolerant() {
+        assert_eq!(
+            parse_request("  iNgEsT   s   1,2,3  "),
+            Ok(Request::Ingest { stream: "s".into(), row: "1,2,3".into() })
+        );
+    }
+}

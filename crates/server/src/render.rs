@@ -1,0 +1,188 @@
+//! Injective text rendering of query results.
+//!
+//! `QUERY` responses must let a client prove bit-identical results across
+//! processes, so this renderer is **injective on bits**: every `f64` is
+//! formatted with Rust's shortest-round-trip `Display` (distinct bit
+//! patterns always produce distinct text), and every structural component
+//! (accuracy intervals, membership CI, distribution parameters) is
+//! included. Two tuples render to the same line iff they are equal.
+
+use std::fmt::Write as _;
+
+use ausdb_model::accuracy::{AccuracyInfo, TupleProbability};
+use ausdb_model::dist::AttrDistribution;
+use ausdb_model::schema::Schema;
+use ausdb_model::tuple::{Field, Tuple};
+use ausdb_model::value::Value;
+use ausdb_stats::ci::ConfidenceInterval;
+
+/// Renders a schema as one line: `SCHEMA name:type ...`.
+pub fn render_schema(schema: &Schema) -> String {
+    let mut out = String::from("SCHEMA");
+    for col in schema.columns() {
+        let ty = match col.ty {
+            ausdb_model::schema::ColumnType::Int => "int",
+            ausdb_model::schema::ColumnType::Float => "float",
+            ausdb_model::schema::ColumnType::Bool => "bool",
+            ausdb_model::schema::ColumnType::Str => "str",
+            ausdb_model::schema::ColumnType::Dist => "dist",
+        };
+        let _ = write!(out, " {}:{}", col.name, ty);
+    }
+    out
+}
+
+/// Renders one tuple as a `ROW` line.
+pub fn render_row(tuple: &Tuple) -> String {
+    let mut out = String::from("ROW");
+    let _ = write!(out, " ts={}", tuple.ts);
+    let _ = write!(out, " {}", render_membership(&tuple.membership));
+    for field in &tuple.fields {
+        let _ = write!(out, " {}", render_field(field));
+    }
+    out
+}
+
+/// Renders all tuples of a result, one line each, in order.
+pub fn render_rows(tuples: &[Tuple]) -> Vec<String> {
+    tuples.iter().map(render_row).collect()
+}
+
+fn render_membership(m: &TupleProbability) -> String {
+    let mut out = format!("p={}", m.p);
+    if let Some(ci) = &m.ci {
+        let _ = write!(out, "{}", render_ci(ci));
+    }
+    if let Some(n) = m.sample_size {
+        let _ = write!(out, "@n={n}");
+    }
+    out
+}
+
+fn render_ci(ci: &ConfidenceInterval) -> String {
+    format!("[{},{};{}]", ci.lo, ci.hi, ci.level)
+}
+
+fn render_field(field: &Field) -> String {
+    let mut out = render_value(&field.value);
+    if let Some(n) = field.sample_size {
+        let _ = write!(out, "|n={n}");
+    }
+    if let Some(acc) = &field.accuracy {
+        let _ = write!(out, "|{}", render_accuracy(acc));
+    }
+    out
+}
+
+fn render_accuracy(acc: &AccuracyInfo) -> String {
+    let mut out = format!("acc(n={}", acc.sample_size);
+    if let Some(ci) = &acc.mean_ci {
+        let _ = write!(out, ",mean={}", render_ci(ci));
+    }
+    if let Some(ci) = &acc.variance_ci {
+        let _ = write!(out, ",var={}", render_ci(ci));
+    }
+    if let Some(bins) = &acc.bin_cis {
+        out.push_str(",bins=");
+        for (i, ci) in bins.iter().enumerate() {
+            if i > 0 {
+                out.push('+');
+            }
+            out.push_str(&render_ci(ci));
+        }
+    }
+    out.push(')');
+    out
+}
+
+fn render_value(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => f.to_string(),
+        // Escape whitespace so a string can never forge field boundaries.
+        Value::Str(s) => format!("{:?}", s),
+        Value::Dist(d) => render_dist(d),
+    }
+}
+
+fn render_dist(d: &AttrDistribution) -> String {
+    let join = |xs: &[f64], sep: char| -> String {
+        let mut out = String::new();
+        for (i, x) in xs.iter().enumerate() {
+            if i > 0 {
+                out.push(sep);
+            }
+            let _ = write!(out, "{x}");
+        }
+        out
+    };
+    match d {
+        AttrDistribution::Point(v) => format!("point({v})"),
+        AttrDistribution::Gaussian { mu, sigma2 } => format!("gauss({mu},{sigma2})"),
+        AttrDistribution::Histogram(h) => {
+            format!("hist(edges={};probs={})", join(h.edges(), ','), join(h.probs(), ','))
+        }
+        AttrDistribution::Discrete(pairs) => {
+            let mut out = String::from("disc(");
+            for (i, (v, p)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(';');
+                }
+                let _ = write!(out, "{v}:{p}");
+            }
+            out.push(')');
+            out
+        }
+        AttrDistribution::Empirical(xs) => format!("emp({})", join(xs, ',')),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_model::schema::{Column, ColumnType};
+
+    #[test]
+    fn distinct_bits_render_distinctly() {
+        // f64 Display is shortest-round-trip: nextafter(1.0) ≠ "1".
+        let a = Tuple::certain(0, vec![Field::plain(1.0f64)]);
+        let b = Tuple::certain(0, vec![Field::plain(f64::from_bits(1.0f64.to_bits() + 1))]);
+        assert_ne!(render_row(&a), render_row(&b));
+    }
+
+    #[test]
+    fn renders_every_component() {
+        let t = Tuple::with_membership(
+            7,
+            vec![
+                Field::plain(19i64),
+                Field::learned(AttrDistribution::gaussian(2.0, 0.5).unwrap(), 3).with_accuracy(
+                    AccuracyInfo::new(3).with_mean_ci(ConfidenceInterval::new(1.0, 3.0, 0.9)),
+                ),
+            ],
+            TupleProbability::new(0.5).unwrap().with_ci(ConfidenceInterval::new(0.4, 0.6, 0.9), 10),
+        );
+        let line = render_row(&t);
+        assert!(line.starts_with("ROW ts=7 p=0.5[0.4,0.6;0.9]@n=10 19 "), "got: {line}");
+        assert!(line.contains("gauss(2,0.5)|n=3|acc(n=3,mean=[1,3;0.9])"), "got: {line}");
+    }
+
+    #[test]
+    fn schema_line() {
+        let s = Schema::new(vec![
+            Column::new("road_id", ColumnType::Int),
+            Column::new("delay", ColumnType::Dist),
+        ])
+        .unwrap();
+        assert_eq!(render_schema(&s), "SCHEMA road_id:int delay:dist");
+    }
+
+    #[test]
+    fn strings_cannot_forge_protocol_lines() {
+        let t = Tuple::certain(0, vec![Field::plain("evil\nROW injected")]);
+        let line = render_row(&t);
+        assert!(!line.contains('\n'), "got: {line}");
+    }
+}

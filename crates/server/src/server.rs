@@ -1,0 +1,375 @@
+//! The TCP server: thread-per-connection transport over [`EngineState`].
+//!
+//! One accept thread spawns one thread per client; all of them share the
+//! engine behind a single mutex (queries dominate hold time; ingest is
+//! microseconds). Connection threads run a tick loop — read with a short
+//! timeout, drain this connection's subscriber queues, check the shutdown
+//! flag — so subscriber fan-out and graceful shutdown need no extra
+//! threads and no async runtime (the build is std-only by constraint).
+//!
+//! Shutdown (client `SHUTDOWN`, [`ServerHandle::shutdown`], or Ctrl-C via
+//! the binary) is cooperative: the flag flips, the acceptor is woken by a
+//! loopback connect, every connection flushes its queues and says `BYE`,
+//! the acceptor **joins every connection thread**, and a final snapshot is
+//! written. Nothing detaches.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{parse_request, Request};
+use crate::render::{render_rows, render_schema};
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::state::{EngineConfig, EngineState};
+use crate::subscriber::SubscriberQueue;
+
+/// Longest accepted request line; protects against a client streaming
+/// bytes with no newline.
+const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Transport + engine configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Snapshot file: restored on startup if present, written on shutdown
+    /// and on `SNAPSHOT`. `None` disables persistence.
+    pub snapshot_path: Option<PathBuf>,
+    /// Engine settings (learner, subscriber limits).
+    pub engine: EngineConfig,
+    /// Tick interval for connection loops (read timeout granularity).
+    pub tick: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            snapshot_path: None,
+            engine: EngineConfig::default(),
+            tick: Duration::from_millis(25),
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<EngineState>,
+    shutdown: AtomicBool,
+    snapshot_path: Option<PathBuf>,
+    tick: Duration,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Locks the engine, recovering from a poisoned mutex (a panicking
+    /// connection thread must not take the whole server down).
+    fn state(&self) -> MutexGuard<'_, EngineState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Binds, restores any existing snapshot, and starts the accept
+    /// thread. Returns a handle for shutdown/join.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let mut state = EngineState::new(config.engine);
+        let mut restored_streams = 0;
+        if let Some(path) = &config.snapshot_path {
+            match read_snapshot(path) {
+                Ok(snap) => {
+                    restored_streams = state
+                        .restore(snap)
+                        .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+                }
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            shutdown: AtomicBool::new(false),
+            snapshot_path: config.snapshot_path,
+            tick: config.tick,
+            addr,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("ausdb-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(ServerHandle { shared, accept: Some(accept), restored_streams })
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::join`] shuts the server down and joins it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    restored_streams: usize,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Streams restored from the snapshot at startup.
+    pub fn restored_streams(&self) -> usize {
+        self.restored_streams
+    }
+
+    /// Whether the accept thread has exited.
+    pub fn is_finished(&self) -> bool {
+        self.accept.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    /// Requests shutdown: sets the flag and wakes the blocking acceptor.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shared);
+    }
+
+    /// Blocks until the accept thread (and therefore every connection
+    /// thread) has exited and the final snapshot is written.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+    pub fn stop(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            request_shutdown(&self.shared);
+            let _ = handle.join();
+        }
+    }
+}
+
+fn request_shutdown(shared: &Shared) {
+    if !shared.shutdown.swap(true, Ordering::SeqCst) {
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for incoming in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match incoming {
+            Ok(stream) => {
+                let conn_shared = Arc::clone(&shared);
+                match std::thread::Builder::new()
+                    .name("ausdb-conn".to_string())
+                    .spawn(move || handle_connection(stream, conn_shared))
+                {
+                    Ok(handle) => connections.push(handle),
+                    Err(_) => continue, // spawn failure: drop the connection
+                }
+                // Reap finished connection threads so the vec stays small.
+                let (done, live): (Vec<_>, Vec<_>) =
+                    connections.drain(..).partition(JoinHandle::is_finished);
+                for handle in done {
+                    let _ = handle.join();
+                }
+                connections = live;
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    // Graceful drain: every connection sees the flag within one tick.
+    for handle in connections {
+        let _ = handle.join();
+    }
+    if let Some(path) = &shared.snapshot_path {
+        let snapshot = shared.state().to_snapshot();
+        let _ = write_snapshot(path, &snapshot);
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// Protocol lines produced by one request, plus whether to close after.
+struct Reply {
+    lines: Vec<String>,
+    close: bool,
+}
+
+impl Reply {
+    fn one(line: impl Into<String>) -> Self {
+        Self { lines: vec![line.into()], close: false }
+    }
+    fn err(msg: impl std::fmt::Display) -> Self {
+        Self::one(format!("ERR {msg}"))
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.tick));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    if write_line(&mut stream, "OK ausdb-serve 1 ready").is_err() {
+        return;
+    }
+    let mut subscriptions: Vec<(u64, Arc<SubscriberQueue>)> = Vec::new();
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'conn: loop {
+        // Fan-out: deliver queued subscriber events (with any DROPPED
+        // notice) before reading the next request.
+        for (_, queue) in &subscriptions {
+            for line in queue.drain() {
+                if write_line(&mut stream, &line).is_err() {
+                    break 'conn;
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            for (_, queue) in &subscriptions {
+                for line in queue.drain() {
+                    let _ = write_line(&mut stream, &line);
+                }
+            }
+            let _ = write_line(&mut stream, "BYE server shutting down");
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                if pending.len() > MAX_LINE_BYTES {
+                    let _ = write_line(&mut stream, "ERR request line too long");
+                    break;
+                }
+                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                    let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line_bytes);
+                    let line = line.trim_end_matches(['\n', '\r']);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let reply = handle_line(line, &shared, &mut subscriptions);
+                    for out in &reply.lines {
+                        if write_line(&mut stream, out).is_err() {
+                            break 'conn;
+                        }
+                    }
+                    if reply.close {
+                        break 'conn;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    if !subscriptions.is_empty() {
+        let mut state = shared.state();
+        for (id, _) in &subscriptions {
+            state.unsubscribe(*id);
+        }
+    }
+}
+
+fn handle_line(
+    line: &str,
+    shared: &Shared,
+    subscriptions: &mut Vec<(u64, Arc<SubscriberQueue>)>,
+) -> Reply {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return Reply::err(e),
+    };
+    match request {
+        Request::Ping => Reply::one("OK PONG"),
+        Request::Ingest { stream, row } => match shared.state().ingest(&stream, &row) {
+            Ok(outcome) => Reply::one(format!(
+                "OK INGESTED {stream} windows_emitted={}",
+                outcome.windows_emitted
+            )),
+            Err(e) => Reply::err(format!("ingest: {e}")),
+        },
+        Request::Query(sql) => match shared.state().query(&sql) {
+            Ok((schema, tuples)) => {
+                let mut lines = vec![render_schema(&schema)];
+                lines.extend(render_rows(&tuples));
+                lines.push(format!("END {}", tuples.len()));
+                Reply { lines, close: false }
+            }
+            Err(e) => Reply::err(format!("query: {e}")),
+        },
+        Request::Subscribe(sql) => match shared.state().subscribe(&sql) {
+            Ok((id, stream, queue)) => {
+                subscriptions.push((id, queue));
+                Reply::one(format!("OK SUBSCRIBED {id} {stream}"))
+            }
+            Err(e) => Reply::err(format!("subscribe: {e}")),
+        },
+        Request::Unsubscribe(id) => {
+            if let Some(pos) = subscriptions.iter().position(|(owned, _)| *owned == id) {
+                subscriptions.remove(pos);
+                shared.state().unsubscribe(id);
+                Reply::one(format!("OK UNSUBSCRIBED {id}"))
+            } else {
+                Reply::err(format!("subscription {id} is not owned by this connection"))
+            }
+        }
+        Request::Stats => {
+            let mut lines = shared.state().stats_lines();
+            lines.push("END".to_string());
+            Reply { lines, close: false }
+        }
+        Request::Snapshot => match &shared.snapshot_path {
+            None => Reply::err("no snapshot path configured (start with --snapshot-path)"),
+            Some(path) => {
+                let snapshot = shared.state().to_snapshot();
+                match write_snapshot(path, &snapshot) {
+                    Ok(bytes) => {
+                        Reply::one(format!("OK SNAPSHOT {} {bytes} bytes", path.display()))
+                    }
+                    Err(e) => Reply::err(format!("snapshot: {e}")),
+                }
+            }
+        },
+        Request::Restore => match &shared.snapshot_path {
+            None => Reply::err("no snapshot path configured (start with --snapshot-path)"),
+            Some(path) => match read_snapshot(path) {
+                Ok(snap) => match shared.state().restore(snap) {
+                    Ok(n) => Reply::one(format!("OK RESTORED {n} streams")),
+                    Err(e) => Reply::err(format!("restore: {e}")),
+                },
+                Err(e) => Reply::err(format!("restore: {e}")),
+            },
+        },
+        Request::Shutdown => {
+            request_shutdown(shared);
+            Reply { lines: vec!["OK shutting down".to_string()], close: true }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Minimal Ctrl-C (SIGINT) hook — no signal-handling crate available, so
+//! a single libc `signal(2)` registration flips an [`AtomicBool`] the
+//! serve loop polls. The handler body is async-signal-safe (one relaxed
+//! atomic store, nothing else).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT has been received since [`install_sigint_handler`].
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Installs the SIGINT handler. Safe to call more than once; a no-op on
+/// non-Unix targets (where `interrupted()` simply stays false and the
+/// server is stopped via the `SHUTDOWN` command instead).
+pub fn install_sigint_handler() {
+    imp::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{AtomicBool, Ordering, INTERRUPTED};
+
+    const SIGINT: i32 = 2;
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    unsafe extern "C" {
+        // POSIX `signal(2)`; the return value (previous disposition) is
+        // deliberately ignored, so it is declared opaque.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // SAFETY: registering an async-signal-safe handler (a single
+        // atomic store) for SIGINT; `signal` is callable from any thread.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn installs_without_firing() {
+        install_sigint_handler();
+        install_sigint_handler(); // idempotent
+        assert!(!interrupted());
+    }
+}

@@ -1,0 +1,57 @@
+//! Snapshot persistence: atomic write / read of [`ServerSnapshot`] files.
+
+use std::io;
+use std::path::Path;
+
+use ausdb_model::codec::{decode_snapshot, encode_snapshot};
+
+use crate::state::ServerSnapshot;
+
+/// Writes `snapshot` to `path` atomically (temp file + rename), returning
+/// the encoded size in bytes.
+pub fn write_snapshot(path: &Path, snapshot: &ServerSnapshot) -> io::Result<usize> {
+    let bytes = encode_snapshot(snapshot);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len())
+}
+
+/// Reads a snapshot from `path`. Decode failures surface as
+/// `InvalidData` I/O errors so callers can distinguish "no snapshot"
+/// (`NotFound`) from "corrupt snapshot".
+pub fn read_snapshot(path: &Path) -> io::Result<ServerSnapshot> {
+    let bytes = std::fs::read(path)?;
+    decode_snapshot(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{EngineConfig, EngineState};
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ausdb_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+
+        let mut state = EngineState::new(EngineConfig::default());
+        state.ingest("traffic", "19,100,56").unwrap();
+        state.ingest("traffic", "19,101,38").unwrap();
+        let snap = state.to_snapshot();
+        let n = write_snapshot(&path, &snap).unwrap();
+        assert!(n > 6, "wrote {n} bytes");
+        assert_eq!(read_snapshot(&path).unwrap(), snap);
+
+        // Corrupt file → InvalidData, not a panic.
+        std::fs::write(&path, b"AUSBgarbage").unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Missing file → NotFound.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap_err().kind(), std::io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,561 @@
+//! The server's shared engine state: per-stream learners, the query
+//! session, subscriptions, and snapshot/restore.
+//!
+//! This is the glue the paper's Figure 1 implies but the one-shot CLI
+//! never needed: raw rows stream in per connection, per-key learners
+//! buffer them, and each **closed window** turns into a registered
+//! probabilistic relation that one-shot `QUERY`s and standing
+//! `SUBSCRIBE`s evaluate against — with the learned distributions
+//! carrying their accuracy information end to end.
+//!
+//! ## Window semantics
+//!
+//! Windows are aligned: observation `ts` belongs to the window starting at
+//! `ts - ts % width`. A window *closes* when an observation at or past its
+//! end arrives on the same stream; closing learns one probabilistic tuple
+//! per key (`emit_window`), registers the result as the stream's current
+//! content, and fans events out to subscribers. Ingest that jumps far
+//! ahead in time skips empty windows via
+//! [`StreamLearner::min_buffered_ts`] instead of closing them one by one.
+//! Observations older than the current window are dropped at the next
+//! close (counted as `late_rows` in `STATS`).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ausdb_engine::obs::StatsReport;
+use ausdb_engine::query::Session;
+use ausdb_learn::ingest::parse_timestamp;
+use ausdb_learn::learner::{LearnerConfig, RawObservation, StreamLearner};
+use ausdb_model::codec::{Codec, CodecError, Reader, Writer};
+use ausdb_model::schema::Schema;
+use ausdb_model::tuple::Tuple;
+use ausdb_sql::parser::parse;
+use ausdb_sql::planner::{run_sql, run_sql_with_stats};
+
+use crate::render::render_rows;
+use crate::subscriber::SubscriberQueue;
+
+/// Engine-level configuration (the server's `ServerConfig` carries this
+/// plus the transport settings).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Learner settings applied to every new stream.
+    pub learner: LearnerConfig,
+    /// Maximum concurrent subscriptions across all connections.
+    pub max_subscribers: usize,
+    /// Per-subscriber queue capacity in protocol lines.
+    pub queue_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self { learner: LearnerConfig::gaussian(60), max_subscribers: 64, queue_cap: 256 }
+    }
+}
+
+/// One stream's learner plus its window cursor.
+#[derive(Debug)]
+struct StreamState {
+    learner: StreamLearner,
+    /// Start of the currently open window; `None` until the first row.
+    window_start: Option<u64>,
+}
+
+/// A standing query owned by some connection.
+#[derive(Debug)]
+pub struct Subscription {
+    /// The FROM stream (lowercased) whose window closes trigger this query.
+    pub stream: String,
+    /// The SQL text, re-evaluated per closed window.
+    pub sql: String,
+    /// The subscriber's bounded event queue.
+    pub queue: Arc<SubscriberQueue>,
+}
+
+/// Monotonic server counters, surfaced by `STATS`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counters {
+    /// Raw rows accepted by `INGEST`.
+    pub rows_ingested: u64,
+    /// Rows whose timestamp predated the open window (dropped at close).
+    pub late_rows: u64,
+    /// Windows closed with at least one learned tuple.
+    pub windows_emitted: u64,
+    /// One-shot `QUERY` statements executed.
+    pub queries_run: u64,
+    /// Subscriber event blocks generated (before any queue drops).
+    pub events_emitted: u64,
+}
+
+/// What one `INGEST` did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Windows that closed with learned tuples as a result of this row.
+    pub windows_emitted: u64,
+}
+
+/// The engine state shared by all connection threads (behind one mutex).
+pub struct EngineState {
+    config: EngineConfig,
+    session: Session,
+    streams: BTreeMap<String, StreamState>,
+    subscriptions: BTreeMap<u64, Subscription>,
+    next_subscription_id: u64,
+    counters: Counters,
+    last_stats: Option<StatsReport>,
+}
+
+impl EngineState {
+    /// Creates an empty state.
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            config,
+            session: Session::new(),
+            streams: BTreeMap::new(),
+            subscriptions: BTreeMap::new(),
+            next_subscription_id: 1,
+            counters: Counters::default(),
+            last_stats: None,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// The query session (registered streams = last closed windows).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Ingests one `key,ts,value` row into `stream`, closing windows and
+    /// fanning out subscriber events as needed.
+    pub fn ingest(&mut self, stream: &str, row: &str) -> Result<IngestOutcome, String> {
+        let obs = parse_observation(row)?;
+        let name = normalize_stream_name(stream)?;
+        let learner_config = self.config.learner;
+        let width = learner_config.window_width;
+        {
+            let state = self.streams.entry(name.clone()).or_insert_with(|| StreamState {
+                learner: StreamLearner::new(learner_config),
+                window_start: None,
+            });
+            if state.window_start.is_some_and(|ws| obs.ts < ws) {
+                self.counters.late_rows += 1;
+            }
+            state.learner.observe(obs);
+            if state.window_start.is_none() {
+                state.window_start = Some(align(obs.ts, width));
+            }
+        }
+        self.counters.rows_ingested += 1;
+        let mut emitted = 0u64;
+        // Close every window the new observation has moved past. The jump
+        // via `min_buffered_ts` bounds iterations by the number of
+        // *non-empty* windows, so a large time skip is O(1), not O(Δt).
+        loop {
+            let (tuples, schema, closed_ws) = {
+                let state = self.streams.get_mut(&name).expect("stream exists");
+                let ws = state.window_start.expect("window cursor set on first row");
+                if obs.ts < ws.saturating_add(width) {
+                    break;
+                }
+                let tuples = state.learner.emit_window(ws).map_err(|e| format!("learn: {e}"))?;
+                let next = ws.saturating_add(width);
+                state.window_start = Some(match state.learner.min_buffered_ts() {
+                    Some(min_ts) if min_ts >= next => align(min_ts, width),
+                    _ => next,
+                });
+                (tuples, state.learner.schema().clone(), ws)
+            };
+            if !tuples.is_empty() {
+                emitted += 1;
+                self.counters.windows_emitted += 1;
+                self.session.register(&name, schema, tuples);
+                self.fire_events(&name, closed_ws);
+            }
+        }
+        Ok(IngestOutcome { windows_emitted: emitted })
+    }
+
+    /// Runs a one-shot query against the current stream contents,
+    /// recording its operator stats for `STATS`.
+    pub fn query(&mut self, sql: &str) -> Result<(Schema, Vec<Tuple>), String> {
+        let (schema, tuples, report) =
+            run_sql_with_stats(&self.session, sql).map_err(|e| e.to_string())?;
+        self.counters.queries_run += 1;
+        self.last_stats = Some(report);
+        Ok((schema, tuples))
+    }
+
+    /// Registers a standing query. Returns `(id, stream)` on success.
+    pub fn subscribe(&mut self, sql: &str) -> Result<(u64, String, Arc<SubscriberQueue>), String> {
+        if self.subscriptions.len() >= self.config.max_subscribers {
+            return Err(format!("subscriber limit {} reached", self.config.max_subscribers));
+        }
+        let stmt = parse(sql).map_err(|e| e.to_string())?;
+        let stream = stmt.from.to_ascii_lowercase();
+        let id = self.next_subscription_id;
+        self.next_subscription_id += 1;
+        let queue = Arc::new(SubscriberQueue::new(self.config.queue_cap));
+        self.subscriptions.insert(
+            id,
+            Subscription {
+                stream: stream.clone(),
+                sql: sql.to_string(),
+                queue: Arc::clone(&queue),
+            },
+        );
+        Ok((id, stream, queue))
+    }
+
+    /// Cancels a subscription; returns whether it existed.
+    pub fn unsubscribe(&mut self, id: u64) -> bool {
+        self.subscriptions.remove(&id).is_some()
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Re-evaluates every subscription on `stream` and pushes the result
+    /// into its queue as an `EVENT` block.
+    fn fire_events(&mut self, stream: &str, window_start: u64) {
+        for (&id, sub) in &self.subscriptions {
+            if sub.stream != stream {
+                continue;
+            }
+            self.counters.events_emitted += 1;
+            match run_sql(&self.session, &sub.sql) {
+                Ok((_, tuples)) => {
+                    let rows = render_rows(&tuples);
+                    let header = format!("EVENT {id} WINDOW {window_start} ROWS {}", rows.len());
+                    sub.queue.push_all(std::iter::once(header).chain(rows));
+                }
+                Err(e) => {
+                    sub.queue.push(format!("EVENT {id} ERR {e}"));
+                }
+            }
+        }
+    }
+
+    /// `STATS` payload: server counters, per-stream and per-subscriber
+    /// lines, then the last query's operator report.
+    pub fn stats_lines(&self) -> Vec<String> {
+        let c = self.counters;
+        let mut out = vec![format!(
+            "server rows_ingested={} late_rows={} windows_emitted={} queries={} events={} \
+             subscribers={} streams={}",
+            c.rows_ingested,
+            c.late_rows,
+            c.windows_emitted,
+            c.queries_run,
+            c.events_emitted,
+            self.subscriptions.len(),
+            self.streams.len()
+        )];
+        for (name, st) in &self.streams {
+            let registered = self.session.stream(name).map(|(_, t)| t.len()).unwrap_or(0);
+            out.push(format!(
+                "stream {name} buffered={} window_start={} registered_rows={registered}",
+                st.learner.buffered_len(),
+                st.window_start.map_or_else(|| "-".to_string(), |ws| ws.to_string()),
+            ));
+        }
+        for (id, sub) in &self.subscriptions {
+            out.push(format!(
+                "subscriber {id} stream={} queued={} dropped_pending={}",
+                sub.stream,
+                sub.queue.len(),
+                sub.queue.dropped()
+            ));
+        }
+        if let Some(report) = &self.last_stats {
+            out.push("last query:".to_string());
+            out.extend(report.to_string().lines().map(|l| format!("  {l}")));
+        }
+        out
+    }
+
+    // -- snapshot / restore ------------------------------------------------
+
+    /// Captures everything a restart needs: each stream's learner (with
+    /// its buffered observations), window cursor, and currently registered
+    /// window contents. Subscriptions are connection-scoped and deliberately
+    /// not persisted.
+    pub fn to_snapshot(&self) -> ServerSnapshot {
+        let streams = self
+            .streams
+            .iter()
+            .map(|(name, st)| StreamSnapshot {
+                name: name.clone(),
+                learner: encode_learner(&st.learner),
+                window_start: st.window_start,
+                registered: self
+                    .session
+                    .stream(name)
+                    .map(|(schema, tuples)| (schema.clone(), tuples.to_vec())),
+            })
+            .collect();
+        ServerSnapshot { streams }
+    }
+
+    /// Replaces all stream/learner/session state with the snapshot's.
+    /// Counters and live subscriptions are untouched; the session keeps
+    /// its current `QueryConfig` (seeds are not part of a snapshot).
+    pub fn restore(&mut self, snapshot: ServerSnapshot) -> Result<usize, String> {
+        let mut streams = BTreeMap::new();
+        let mut session = Session::new();
+        session.config = self.session.config;
+        session.batch_size = self.session.batch_size;
+        for s in snapshot.streams {
+            let learner = decode_learner(&s.learner).map_err(|e| e.to_string())?;
+            if let Some((schema, tuples)) = s.registered {
+                session.register(&s.name, schema, tuples);
+            }
+            streams.insert(s.name, StreamState { learner, window_start: s.window_start });
+        }
+        let n = streams.len();
+        self.streams = streams;
+        self.session = session;
+        Ok(n)
+    }
+}
+
+/// Serialized form of one stream's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSnapshot {
+    /// Stream name (lowercased).
+    pub name: String,
+    /// The learner's own encoded snapshot payload.
+    pub learner: Vec<u8>,
+    /// Open-window cursor.
+    pub window_start: Option<u64>,
+    /// The stream's registered content (last non-empty closed window).
+    pub registered: Option<(Schema, Vec<Tuple>)>,
+}
+
+/// Serialized form of the whole engine: the unit [`crate::snapshot`]
+/// writes to disk.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServerSnapshot {
+    /// Every known stream.
+    pub streams: Vec<StreamSnapshot>,
+}
+
+// The learner lives in another crate; nest its encoding as a byte payload
+// so each crate owns its own format.
+fn encode_learner(learner: &StreamLearner) -> Vec<u8> {
+    let mut w = Writer::new();
+    learner.encode(&mut w);
+    w.into_bytes()
+}
+
+fn decode_learner(bytes: &[u8]) -> Result<StreamLearner, CodecError> {
+    let mut r = Reader::new(bytes, ausdb_model::codec::FORMAT_VERSION);
+    let learner = StreamLearner::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok(learner)
+}
+
+impl Codec for StreamSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put_len(self.learner.len());
+        w.put_bytes(&self.learner);
+        self.window_start.encode(w);
+        self.registered.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let name = r.get_str("stream name")?;
+        let n = r.get_len("learner payload length")?;
+        let mut learner = Vec::with_capacity(n);
+        for _ in 0..n {
+            learner.push(r.get_u8("learner payload")?);
+        }
+        Ok(Self {
+            name,
+            learner,
+            window_start: Option::<u64>::decode(r)?,
+            registered: Option::<(Schema, Vec<Tuple>)>::decode(r)?,
+        })
+    }
+}
+
+impl Codec for ServerSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        self.streams.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self { streams: Vec::<StreamSnapshot>::decode(r)? })
+    }
+}
+
+/// Aligns a timestamp down to its window's start.
+fn align(ts: u64, width: u64) -> u64 {
+    ts - ts % width.max(1)
+}
+
+/// Validates a stream name: SQL-identifier-shaped, lowercased.
+fn normalize_stream_name(name: &str) -> Result<String, String> {
+    let ok = !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if ok {
+        Ok(name.to_ascii_lowercase())
+    } else {
+        Err(format!("bad stream name '{name}' (want [A-Za-z_][A-Za-z0-9_]*)"))
+    }
+}
+
+/// Parses an `INGEST` row: `key,ts,value` with the same timestamp forms as
+/// CSV ingestion (integer or `H:MM[:SS]`).
+fn parse_observation(row: &str) -> Result<RawObservation, String> {
+    let cells: Vec<&str> = row.split(',').map(str::trim).collect();
+    if cells.len() != 3 {
+        return Err(format!("expected key,ts,value — got {} cells", cells.len()));
+    }
+    let key: i64 = cells[0].parse().map_err(|_| format!("bad key '{}'", cells[0]))?;
+    let ts = parse_timestamp(cells[1]).ok_or_else(|| format!("bad timestamp '{}'", cells[1]))?;
+    let value: f64 = cells[2].parse().map_err(|_| format!("bad value '{}'", cells[2]))?;
+    if !value.is_finite() {
+        return Err(format!("non-finite value {value}"));
+    }
+    Ok(RawObservation::new(key, ts, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_learn::accuracy::DistKind;
+
+    fn test_config() -> EngineConfig {
+        EngineConfig {
+            learner: LearnerConfig {
+                kind: DistKind::Empirical,
+                level: 0.9,
+                window_width: 10,
+                min_observations: 2,
+            },
+            max_subscribers: 4,
+            queue_cap: 64,
+        }
+    }
+
+    fn ingest_window(state: &mut EngineState, base_ts: u64) -> IngestOutcome {
+        state.ingest("traffic", &format!("19,{},56", base_ts)).unwrap();
+        state.ingest("traffic", &format!("19,{},38", base_ts + 1)).unwrap();
+        state.ingest("traffic", &format!("19,{},97", base_ts + 1)).unwrap();
+        // This row is in the next window: closes the previous one.
+        state.ingest("traffic", &format!("19,{},60", base_ts + 10)).unwrap()
+    }
+
+    #[test]
+    fn window_close_registers_stream() {
+        let mut state = EngineState::new(test_config());
+        let out = ingest_window(&mut state, 100);
+        assert_eq!(out.windows_emitted, 1);
+        let (schema, tuples) = state.session().stream("traffic").expect("registered");
+        assert_eq!(schema.columns().len(), 2);
+        assert_eq!(tuples.len(), 1, "one key in the window");
+        assert_eq!(state.counters().rows_ingested, 4);
+    }
+
+    #[test]
+    fn large_time_jump_is_single_close() {
+        let mut state = EngineState::new(test_config());
+        state.ingest("s", "1,0,5").unwrap();
+        state.ingest("s", "1,1,6").unwrap();
+        // Jump ~10^15 windows ahead: must close exactly one non-empty
+        // window (and return promptly — O(non-empty), not O(Δt)).
+        let out = state.ingest("s", "1,10000000000000000,7").unwrap();
+        assert_eq!(out.windows_emitted, 1);
+        assert_eq!(state.counters().windows_emitted, 1);
+    }
+
+    #[test]
+    fn late_rows_counted_not_emitted() {
+        let mut state = EngineState::new(test_config());
+        ingest_window(&mut state, 100);
+        state.ingest("traffic", "19,50,1").unwrap(); // long before the open window
+        assert_eq!(state.counters().late_rows, 1);
+    }
+
+    #[test]
+    fn subscribe_fires_on_window_close() {
+        let mut state = EngineState::new(test_config());
+        let (id, stream, queue) = state.subscribe("SELECT * FROM traffic").unwrap();
+        assert_eq!(stream, "traffic");
+        assert!(queue.is_empty(), "no events before any window closes");
+        ingest_window(&mut state, 100);
+        let lines = queue.drain();
+        assert!(
+            lines[0].starts_with(&format!("EVENT {id} WINDOW 100 ROWS ")),
+            "got: {:?}",
+            lines[0]
+        );
+        assert!(lines.len() >= 2, "header plus at least one row");
+        assert!(state.unsubscribe(id));
+        assert!(!state.unsubscribe(id));
+    }
+
+    #[test]
+    fn subscriber_limit_enforced() {
+        let mut state = EngineState::new(test_config());
+        for _ in 0..4 {
+            state.subscribe("SELECT * FROM traffic").unwrap();
+        }
+        assert!(state.subscribe("SELECT * FROM traffic").is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_is_identical() {
+        let mut state = EngineState::new(test_config());
+        ingest_window(&mut state, 100);
+        state.ingest("traffic", "19,111,42").unwrap(); // buffered, window open
+        let snap = state.to_snapshot();
+
+        let mut restored = EngineState::new(test_config());
+        restored.restore(snap.clone()).unwrap();
+        assert_eq!(restored.to_snapshot(), snap, "restore is lossless");
+
+        // Same subsequent ingest ⇒ same registered tuples, bit for bit.
+        state.ingest("traffic", "19,120,9").unwrap();
+        restored.ingest("traffic", "19,120,9").unwrap();
+        let (_, a) = state.session().stream("traffic").unwrap();
+        let (_, b) = restored.session().stream("traffic").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_rows_and_names_rejected() {
+        let mut state = EngineState::new(test_config());
+        assert!(state.ingest("s", "1,2").is_err());
+        assert!(state.ingest("s", "x,2,3").is_err());
+        assert!(state.ingest("s", "1,zz,3").is_err());
+        assert!(state.ingest("s", "1,2,inf").is_err());
+        assert!(state.ingest("9bad", "1,2,3").is_err());
+        assert!(state.ingest("", "1,2,3").is_err());
+        assert_eq!(state.counters().rows_ingested, 0);
+    }
+
+    #[test]
+    fn query_records_stats() {
+        let mut state = EngineState::new(test_config());
+        ingest_window(&mut state, 100);
+        let (_, tuples) = state.query("SELECT * FROM traffic").unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert!(state.stats_lines().iter().any(|l| l.contains("last query:")));
+        assert!(state.query("SELECT * FROM nosuch").is_err());
+    }
+}

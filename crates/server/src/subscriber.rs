@@ -1,0 +1,128 @@
+//! Bounded per-subscriber event queues (backpressure).
+//!
+//! Window-close events are pushed by whichever connection thread ingested
+//! the closing observation; each subscriber's own connection thread drains
+//! its queue on its next tick. A slow (or stalled) consumer must never
+//! grow server memory without bound, so the queue has a hard capacity:
+//! once full, new lines are **dropped, newest first**, and a counter
+//! records how many. The next successful drain prepends a single
+//! `DROPPED <n>` notice so the client knows its view has gaps — the same
+//! contract as `pg` replication slots or Redis client-output-buffer
+//! limits, chosen over disconnecting because continuous accuracy-aware
+//! results are re-derivable from later windows.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded FIFO of protocol lines for one subscriber.
+#[derive(Debug)]
+pub struct SubscriberQueue {
+    inner: Mutex<QueueInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    lines: VecDeque<String>,
+    dropped: u64,
+}
+
+impl SubscriberQueue {
+    /// Creates a queue holding at most `capacity` lines (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { inner: Mutex::new(QueueInner::default()), capacity: capacity.max(1) }
+    }
+
+    /// The queue's capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues one line, dropping it (and counting the drop) if the queue
+    /// is full. Returns whether the line was accepted.
+    pub fn push(&self, line: String) -> bool {
+        let mut inner = self.inner.lock().expect("subscriber queue poisoned");
+        if inner.lines.len() >= self.capacity {
+            inner.dropped += 1;
+            false
+        } else {
+            inner.lines.push_back(line);
+            true
+        }
+    }
+
+    /// Enqueues a batch of lines; stops counting-in once full so an event
+    /// block is cut off rather than interleaved.
+    pub fn push_all(&self, lines: impl IntoIterator<Item = String>) {
+        for line in lines {
+            self.push(line);
+        }
+    }
+
+    /// Takes every queued line. If drops occurred since the last drain, the
+    /// first returned line is `DROPPED <n>` and the counter resets.
+    pub fn drain(&self) -> Vec<String> {
+        let mut inner = self.inner.lock().expect("subscriber queue poisoned");
+        if inner.lines.is_empty() && inner.dropped == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(inner.lines.len() + 1);
+        if inner.dropped > 0 {
+            out.push(format!("DROPPED {}", inner.dropped));
+            inner.dropped = 0;
+        }
+        out.extend(inner.lines.drain(..));
+        out
+    }
+
+    /// Lines currently queued (for stats and tests).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("subscriber queue poisoned").lines.len()
+    }
+
+    /// Whether the queue holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops recorded since the last drain (for stats and tests).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("subscriber queue poisoned").dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_with_drop_notice() {
+        let q = SubscriberQueue::new(3);
+        for i in 0..10 {
+            q.push(format!("line {i}"));
+        }
+        assert_eq!(q.len(), 3, "capacity is a hard bound");
+        assert_eq!(q.dropped(), 7);
+        let drained = q.drain();
+        assert_eq!(drained[0], "DROPPED 7");
+        assert_eq!(drained[1..], ["line 0", "line 1", "line 2"]);
+        // Counter reset after the notice.
+        assert_eq!(q.dropped(), 0);
+        assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order() {
+        let q = SubscriberQueue::new(16);
+        q.push_all(["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(q.drain(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let q = SubscriberQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.push("x".into()));
+        assert!(!q.push("y".into()));
+    }
+}

@@ -29,4 +29,4 @@ pub mod planner;
 
 pub use error::SqlError;
 pub use parser::parse;
-pub use planner::{plan, PlannedQuery};
+pub use planner::{plan, run_sql, run_sql_with_stats, PlannedQuery};

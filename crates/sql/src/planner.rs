@@ -254,6 +254,24 @@ pub fn run_sql(
     Ok(session.run_with_config(&planned.from, &planned.query, config)?)
 }
 
+/// [`run_sql`] that also returns the pipeline's
+/// [`StatsReport`](ausdb_engine::obs::StatsReport). The stats registry is
+/// observational only — the `(schema, tuples)` result is bit-identical to
+/// [`run_sql`] on the same session and statement.
+pub fn run_sql_with_stats(
+    session: &Session,
+    sql: &str,
+) -> Result<(Schema, Vec<Tuple>, ausdb_engine::obs::StatsReport), Box<dyn std::error::Error>> {
+    let stmt = parse(sql)?;
+    let schema = session.schema_of(&stmt.from)?.clone();
+    let planned = plan(&stmt, Some(&schema))?;
+    let mut config = session.config;
+    if let Some(mode) = planned.accuracy {
+        config = QueryConfig { accuracy: mode, ..config };
+    }
+    Ok(session.run_with_config_and_stats(&planned.from, &planned.query, config)?)
+}
+
 fn lower_expr(e: &SqlExpr, check: &dyn Fn(&str) -> Result<(), SqlError>) -> Result<Expr, SqlError> {
     Ok(match e {
         SqlExpr::Column(name) => {

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for `ausdb serve`: start, ingest, query, stats,
+# snapshot, shutdown — then restart against the snapshot and verify the
+# restored state answers the same query identically.
+#
+# Uses bash's /dev/tcp so no netcat is required. Run from anywhere:
+#   bash scripts/server_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${AUSDB_BIN:-target/release/ausdb}
+if [[ ! -x "$BIN" ]]; then
+    echo "== building $BIN =="
+    cargo build --release --bin ausdb
+fi
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+SNAP="$WORK/state.snap"
+
+fail() {
+    echo "SMOKE FAIL: $*" >&2
+    echo "--- server stdout ---" >&2 && cat "$WORK"/out* >&2 || true
+    echo "--- server stderr ---" >&2 && cat "$WORK"/err* >&2 || true
+    exit 1
+}
+
+start_server() { # start_server <out-suffix>
+    "$BIN" serve --addr 127.0.0.1:0 --snapshot-path "$SNAP" --window 10 \
+        >"$WORK/out$1" 2>"$WORK/err$1" &
+    SERVER_PID=$!
+    for _ in $(seq 1 200); do
+        grep -q "^listening on " "$WORK/out$1" 2>/dev/null && break
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before announcing"
+        sleep 0.05
+    done
+    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/out$1" | head -1)
+    [[ -n "$PORT" ]] || fail "no 'listening on' line"
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+    expect "OK ausdb-serve 1 ready"
+}
+
+send() { printf '%s\n' "$1" >&3; }
+
+read_reply() { # one line from the server -> $REPLY_LINE
+    IFS= read -r -u 3 -t 10 REPLY_LINE || fail "no reply from server"
+    REPLY_LINE=${REPLY_LINE%$'\r'}
+}
+
+expect() { # expect <glob> — next line must match
+    read_reply
+    # shellcheck disable=SC2254
+    case "$REPLY_LINE" in
+        $1) ;;
+        *) fail "got '$REPLY_LINE', wanted '$1'" ;;
+    esac
+}
+
+read_block() { # read lines into file $1 until END/ERR terminator
+    : >"$1"
+    while read_reply; do
+        printf '%s\n' "$REPLY_LINE" >>"$1"
+        case "$REPLY_LINE" in
+            END*) return 0 ;;
+            ERR*) fail "error reply: $REPLY_LINE" ;;
+        esac
+    done
+}
+
+echo "== phase 1: start, ingest, query, stats, snapshot, shutdown =="
+start_server 1
+send "PING"
+expect "OK PONG"
+# Three observations in window [100,110); the fourth (ts=112) closes it.
+for row in "19,100,56" "19,101,38.5" "19,103,97.25" "19,112,41"; do
+    send "INGEST traffic $row"
+    expect "OK INGESTED traffic*"
+done
+send "QUERY SELECT * FROM traffic"
+read_block "$WORK/query_before"
+grep -q "^SCHEMA " "$WORK/query_before" || fail "query reply lacks SCHEMA"
+grep -q "^ROW " "$WORK/query_before" || fail "query reply lacks ROW"
+send "STATS"
+read_block "$WORK/stats"
+grep -q "rows_ingested=4" "$WORK/stats" || fail "stats missing rows_ingested=4"
+send "SNAPSHOT"
+expect "OK SNAPSHOT*"
+[[ -s "$SNAP" ]] || fail "snapshot file missing or empty"
+send "SHUTDOWN"
+expect "OK shutting down"
+exec 3<&- 3>&-
+wait "$SERVER_PID" || fail "server exited non-zero after SHUTDOWN"
+SERVER_PID=""
+
+echo "== phase 2: restart from snapshot, verify identical state =="
+start_server 2
+grep -q "restored 1 streams from snapshot" "$WORK/err2" || fail "no restore message"
+send "QUERY SELECT * FROM traffic"
+read_block "$WORK/query_after"
+diff -u "$WORK/query_before" "$WORK/query_after" ||
+    fail "restored state answers the query differently"
+send "SHUTDOWN"
+expect "OK shutting down"
+exec 3<&- 3>&-
+wait "$SERVER_PID" || fail "restarted server exited non-zero"
+SERVER_PID=""
+
+echo "server smoke OK"

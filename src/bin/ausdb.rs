@@ -1,10 +1,12 @@
-//! `ausdb` — the interactive shell.
+//! `ausdb` — the interactive shell and server launcher.
 //!
-//! A small REPL over an accuracy-aware session:
+//! Two subcommands:
 //!
 //! ```text
-//! $ cargo run --bin ausdb                       # empty session
-//! $ cargo run --bin ausdb -- --demo             # with a simulated network
+//! $ cargo run --bin ausdb                       # shell, empty session
+//! $ cargo run --bin ausdb -- --demo             # shell with a simulated network
+//! $ cargo run --bin ausdb -- serve --addr 127.0.0.1:7878 \
+//!       --snapshot-path state.snap              # continuous-query server
 //! ausdb> \load traffic.csv roads Segment_ID Time Delay
 //! ausdb> SELECT road_id FROM roads HAVING PTEST(delay > 50, 0.66, 0.05);
 //! ausdb> EXPLAIN SELECT * FROM roads WHERE delay > 50 PROB 0.66;
@@ -12,16 +14,101 @@
 //! ausdb> \quit
 //! ```
 //!
-//! Meta-commands start with `\`; anything else is parsed as extended SQL.
-//! `EXPLAIN <query>` prints the physical plan instead of running it.
+//! In the shell, meta-commands start with `\`; anything else is parsed as
+//! extended SQL. `EXPLAIN <query>` prints the physical plan instead of
+//! running it. `serve` starts `ausdb-serve` (see `DESIGN.md` §5 for the
+//! wire protocol) and runs until `SHUTDOWN` or Ctrl-C.
 
 use std::io::{BufRead, Write};
 
 use ausdb::datagen::cartel::CartelSim;
 use ausdb::prelude::*;
+use ausdb::serve::server::{Server, ServerConfig};
+use ausdb::serve::signal::{install_sigint_handler, interrupted};
+use ausdb::serve::state::EngineConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => run_serve(&args[1..]),
+        Some("shell") => run_shell(&args[1..]),
+        None => run_shell(&[]),
+        // Back-compat: bare flags (e.g. `ausdb --demo`) mean the shell.
+        Some(flag) if flag.starts_with("--") => run_shell(&args),
+        Some(other) => {
+            eprintln!("error: unknown subcommand '{other}'\n");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: ausdb [shell] [--demo]");
+    eprintln!("       ausdb serve [--addr HOST:PORT] [--snapshot-path FILE]");
+    eprintln!("                   [--max-subscribers N] [--queue-cap N] [--window SECONDS]");
+    eprintln!();
+    eprintln!("  shell   interactive SQL shell (default); --demo preloads a simulated network");
+    eprintln!("  serve   continuous-query TCP server (INGEST/QUERY/SUBSCRIBE/STATS/");
+    eprintln!("          SNAPSHOT/RESTORE/SHUTDOWN; see DESIGN.md section 5)");
+}
+
+fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ServerConfig { addr: "127.0.0.1:7878".to_string(), ..Default::default() };
+    let mut engine = EngineConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{what} expects a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?.clone(),
+            "--snapshot-path" => {
+                config.snapshot_path = Some(std::path::PathBuf::from(value("--snapshot-path")?))
+            }
+            "--max-subscribers" => {
+                engine.max_subscribers = value("--max-subscribers")?
+                    .parse()
+                    .map_err(|_| "bad --max-subscribers value")?
+            }
+            "--queue-cap" => {
+                engine.queue_cap =
+                    value("--queue-cap")?.parse().map_err(|_| "bad --queue-cap value")?
+            }
+            "--window" => {
+                let width: u64 = value("--window")?.parse().map_err(|_| "bad --window value")?;
+                if width == 0 {
+                    return Err("--window must be positive".into());
+                }
+                engine.learner.window_width = width;
+            }
+            other => {
+                eprintln!("error: unknown serve flag '{other}'\n");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    config.engine = engine;
+    let handle = Server::start(config)?;
+    if handle.restored_streams() > 0 {
+        eprintln!("restored {} streams from snapshot", handle.restored_streams());
+    }
+    // The smoke test and users scrape this exact line for the bound port.
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush()?;
+    install_sigint_handler();
+    while !handle.is_finished() && !interrupted() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    // Ctrl-C and client SHUTDOWN land in the same place: drain subscriber
+    // queues, join every connection thread, write the final snapshot.
+    handle.stop();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+fn run_shell(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut session = Session::new();
     if args.iter().any(|a| a == "--demo") {
         load_demo(&mut session)?;

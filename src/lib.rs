@@ -66,6 +66,7 @@
 //! | [`learn`] | `ausdb-learn` | histogram/Gaussian learning + Lemma 1/2 accuracy attachment |
 //! | [`engine`] | `ausdb-engine` | expressions, predicates, significance tests, operators, executor |
 //! | [`sql`] | `ausdb-sql` | extended-SQL lexer/parser/planner |
+//! | [`serve`] | `ausdb-serve` | continuous-query TCP server: live ingest, fan-out, snapshots |
 //! | [`datagen`] | `ausdb-datagen` | synthetic families, CarTel-style simulator, workloads |
 
 #![warn(missing_docs)]
@@ -75,6 +76,7 @@ pub use ausdb_datagen as datagen;
 pub use ausdb_engine as engine;
 pub use ausdb_learn as learn;
 pub use ausdb_model as model;
+pub use ausdb_serve as serve;
 pub use ausdb_sql as sql;
 pub use ausdb_stats as stats;
 

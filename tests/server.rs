@@ -1,0 +1,71 @@
+//! Integration tests for the `ausdb` binary's subcommand handling and the
+//! crate-level `serve` re-export.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use ausdb::serve::server::{Server, ServerConfig};
+
+#[test]
+fn unknown_subcommand_exits_nonzero_with_usage() {
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_ausdb")).arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success(), "unknown subcommand must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand 'frobnicate'"), "got: {stderr}");
+    assert!(stderr.contains("usage: ausdb"), "usage text expected, got: {stderr}");
+}
+
+#[test]
+fn unknown_serve_flag_exits_nonzero_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ausdb"))
+        .args(["serve", "--bogus-flag"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown serve flag '--bogus-flag'"), "got: {stderr}");
+}
+
+#[test]
+fn serve_binary_speaks_the_protocol_and_shuts_down() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ausdb"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--window", "10"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server starts");
+    // The serve subcommand prints "listening on HOST:PORT" on stdout.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout);
+    let mut announce = String::new();
+    lines.read_line(&mut announce).unwrap();
+    let addr = announce.trim().strip_prefix("listening on ").expect("announce line").to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect to announced addr");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK ausdb-serve 1 ready");
+    writer.write_all(b"PING\nSHUTDOWN\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK PONG");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK shutting down");
+
+    let status = child.wait().expect("server exits after SHUTDOWN");
+    assert!(status.success(), "clean exit, got {status:?}");
+}
+
+#[test]
+fn serve_reexport_is_usable_from_the_facade() {
+    let handle = Server::start(ServerConfig::default()).expect("start via ausdb::serve");
+    assert_ne!(handle.addr().port(), 0, "a real port was bound");
+    handle.stop();
+}
