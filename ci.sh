@@ -21,6 +21,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo "== obs smoke =="
 cargo test -q -p ausdb-engine obs
+cargo test -q -p ausdb-obs
+
+echo "== telemetry: server tests + determinism invariant =="
+cargo test -q -p ausdb-serve
+cargo test -q -p ausdb-serve --test loopback telemetry_flag_does_not_affect_results
 
 echo "== server smoke =="
 bash scripts/server_smoke.sh

@@ -1,0 +1,151 @@
+//! Telemetry-overhead benchmark for the observability subsystem (PR 4).
+//!
+//! Proves the headline claim: recording latency/accuracy telemetry costs
+//! the ingest hot path **under 3%**. Writes `BENCH_pr4.json` (in the
+//! current directory):
+//!
+//! * **ingest rows/s** — the same in-process parse → learn →
+//!   window-close pipeline as `pr3_bench`, once with telemetry enabled
+//!   and once disabled, plus the derived overhead percentage;
+//! * **histogram observe** — one `Histogram::observe` (atomic bucket
+//!   increment + CAS sum) in ns;
+//! * **journal record** — one filtered-in trace entry (lazy message
+//!   build + ring push under a mutex) in ns;
+//! * **metrics render** — a full `METRICS` exposition (per-server and
+//!   engine-wide registries merged) in µs.
+//!
+//! Usage: `cargo run --release -p ausdb-bench --bin pr4_bench`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use ausdb_learn::accuracy::DistKind;
+use ausdb_learn::learner::LearnerConfig;
+use ausdb_obs::{Histogram, Journal, Level};
+use ausdb_serve::state::{EngineConfig, EngineState};
+
+/// Window width in timestamp units; with `KEYS` keys a window closes
+/// every `KEYS * WINDOW` rows.
+const WINDOW: u64 = 60;
+const KEYS: u64 = 32;
+/// Rows per in-process ingest repetition (~10 window closes).
+const INGEST_ROWS: u64 = 20_000;
+/// Timing repetitions; the best (least-interfered) one is kept. Higher
+/// than pr3's 3 because the verdict here is a small *difference*.
+const REPS: usize = 5;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        learner: LearnerConfig {
+            kind: DistKind::Empirical,
+            level: 0.9,
+            window_width: WINDOW,
+            min_observations: 2,
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// Deterministic synthetic observation stream: `KEYS` road segments, one
+/// timestamp tick per full key sweep, varied delay values.
+fn observation(i: u64) -> (i64, u64, f64) {
+    let key = (i % KEYS) as i64;
+    let ts = i / KEYS;
+    let value = 40.0 + ((i.wrapping_mul(37)) % 100) as f64 * 0.5;
+    (key, ts, value)
+}
+
+/// Best-of-`REPS` seconds for one repetition of `f` (warm-up run first).
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn ingest_rows_per_sec(telemetry_on: bool) -> f64 {
+    ausdb_obs::set_enabled(telemetry_on);
+    let secs = time_best(|| {
+        let mut state = EngineState::new(engine_config());
+        for i in 0..INGEST_ROWS {
+            let (key, ts, value) = observation(i);
+            state.ingest("traffic", &format!("{key},{ts},{value}")).expect("ingest");
+        }
+        black_box(state.counters().windows_emitted);
+    });
+    INGEST_ROWS as f64 / secs
+}
+
+fn main() {
+    // --- ingest with telemetry off, then on (off first: the comparison
+    // baseline should not benefit from extra cache warm-up) ---
+    let off_rps = ingest_rows_per_sec(false);
+    let on_rps = ingest_rows_per_sec(true);
+    let overhead_pct = (off_rps - on_rps) / off_rps * 100.0;
+    ausdb_obs::set_enabled(true);
+
+    // --- single-op micro-costs ---
+    let hist = Histogram::log_linear(-6, 1);
+    let hist_ops = 1_000_000u64;
+    let hist_secs = time_best(|| {
+        for i in 0..hist_ops {
+            hist.observe(black_box(((i % 997) as f64 + 1.0) * 1e-5));
+        }
+    });
+    let observe_ns = hist_secs / hist_ops as f64 * 1e9;
+
+    let journal = Journal::new(512, Level::Info);
+    let journal_ops = 100_000u64;
+    let journal_secs = time_best(|| {
+        for i in 0..journal_ops {
+            journal.record(Level::Info, "bench", || format!("op={i}"));
+        }
+    });
+    let record_ns = journal_secs / journal_ops as f64 * 1e9;
+
+    // --- METRICS render over a populated state ---
+    let mut state = EngineState::new(engine_config());
+    for i in 0..INGEST_ROWS {
+        let (key, ts, value) = observation(i);
+        state.ingest("traffic", &format!("{key},{ts},{value}")).expect("ingest");
+    }
+    state.query("SELECT * FROM traffic").expect("query");
+    let renders = 100u32;
+    let render_secs = time_best(|| {
+        for _ in 0..renders {
+            black_box(state.metrics_text());
+        }
+    });
+    let render_us = render_secs / renders as f64 * 1e6;
+    let exposition_bytes = state.metrics_text().len();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"workload\": \"telemetry overhead on ausdb-serve hot paths\",\n");
+    let _ = writeln!(json, "  \"keys\": {KEYS},");
+    let _ = writeln!(json, "  \"window_width\": {WINDOW},");
+    let _ = writeln!(json, "  \"ingest_rows\": {INGEST_ROWS},");
+    json.push_str("  \"ingest_rows_per_sec\": {\n");
+    let _ = writeln!(json, "    \"telemetry_off\": {off_rps:.0},");
+    let _ = writeln!(json, "    \"telemetry_on\": {on_rps:.0},");
+    let _ = writeln!(json, "    \"overhead_pct\": {overhead_pct:.2}");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"histogram_observe_ns\": {observe_ns:.1},");
+    let _ = writeln!(json, "  \"journal_record_ns\": {record_ns:.1},");
+    json.push_str("  \"metrics_render\": {\n");
+    let _ = writeln!(json, "    \"render_us\": {render_us:.1},");
+    let _ = writeln!(json, "    \"exposition_bytes\": {exposition_bytes}");
+    json.push_str("  }\n}\n");
+
+    std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
+    print!("{json}");
+    eprintln!(
+        "ingest: {off_rps:.0} rows/s off vs {on_rps:.0} rows/s on ({overhead_pct:.2}% overhead); \
+         observe {observe_ns:.0} ns, render {render_us:.0} us"
+    );
+}

@@ -40,6 +40,7 @@ pub fn result_accuracy(
             h.probs().iter().map(|&p| proportion_interval(p, df_n, level)).collect::<Vec<_>>();
         info = info.with_bin_cis(bin_cis);
     }
+    crate::obs::telemetry::global().record_accuracy(&info);
     Ok(info)
 }
 

@@ -166,6 +166,9 @@ pub fn bootstrap_accuracy_info_with_threads(
         info = info.with_bin_cis(cis);
     }
     crate::obs::record_bootstrap_resamples(r);
+    let telemetry = crate::obs::telemetry::global();
+    telemetry.resample_count.observe(r as f64);
+    telemetry.record_accuracy(&info);
     Ok(info)
 }
 

@@ -24,13 +24,11 @@ pub const MC_CHUNK: usize = 1024;
 
 /// Worker count used by the parallel paths when the caller does not pin
 /// one: the `AUSDB_THREADS` environment variable if set and positive,
-/// otherwise the machine's available parallelism.
+/// otherwise the machine's available parallelism. Parsed through the
+/// central [`crate::obs::knobs`] layer, which warns once on invalid
+/// values instead of silently ignoring them.
 pub fn default_threads() -> usize {
-    std::env::var("AUSDB_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    crate::obs::knobs::threads()
 }
 
 /// Produces `m` Monte-Carlo values of `expr` over `tuple` — the sequence

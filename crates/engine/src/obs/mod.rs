@@ -21,15 +21,23 @@
 //! any value other than `0`/`false`/`off` to record it. Reported times are
 //! **inclusive**: an operator's clock runs while it pulls from its input,
 //! exactly like EXPLAIN ANALYZE.
+//!
+//! The telemetry core (histograms, labeled metric families, the trace
+//! journal, env knobs) lives in the [`ausdb_obs`] crate and is re-exported
+//! here; [`telemetry`] holds the engine's process-global registry.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ausdb_model::stream::{PoisonReason, StreamStatus};
 use ausdb_model::ModelError;
 
 use crate::error::EngineError;
+
+pub mod telemetry;
+
+pub use ausdb_obs::{enabled, hist, journal, knobs, now_if_enabled, set_enabled};
 
 /// Why an operator dropped a tuple. "Dropped" covers everything that
 /// entered but did not leave, so intended filtering and failures are
@@ -136,7 +144,8 @@ impl OpMetrics {
     }
 
     /// Records a significance outcome: `Some(true)` / `Some(false)` for a
-    /// decision, `None` for UNSURE.
+    /// decision, `None` for UNSURE. Also tallied into the engine-wide
+    /// `ausdb_sig_verdicts_total` counter family.
     pub fn record_decision(&self, decided: Option<bool>) {
         match decided {
             Some(true) => &self.decided_true,
@@ -144,6 +153,7 @@ impl OpMetrics {
             None => &self.decided_unsure,
         }
         .fetch_add(1, Ordering::Relaxed);
+        telemetry::global().verdict(decided).inc();
     }
 
     /// Records an accuracy-computation fallback (e.g. a membership
@@ -296,18 +306,16 @@ impl std::fmt::Display for OpStats {
 // Global (engine-wide) counters.
 // ---------------------------------------------------------------------
 
-static MC_DRAWS: AtomicU64 = AtomicU64::new(0);
-static BOOTSTRAP_RESAMPLES: AtomicU64 = AtomicU64::new(0);
-
-/// Tallies `n` Monte-Carlo values drawn (called by [`crate::mc`]).
+/// Tallies `n` Monte-Carlo values drawn (called by [`crate::mc`]). Backed
+/// by the `ausdb_mc_draws_total` counter in [`telemetry::global`].
 pub fn record_mc_draws(n: usize) {
-    MC_DRAWS.fetch_add(n as u64, Ordering::Relaxed);
+    telemetry::global().mc_draws.add(n as u64);
 }
 
 /// Tallies `n` de-facto bootstrap resamples (called by
-/// [`crate::bootstrap`]).
+/// [`crate::bootstrap`]). Backed by `ausdb_bootstrap_resamples_total`.
 pub fn record_bootstrap_resamples(n: usize) {
-    BOOTSTRAP_RESAMPLES.fetch_add(n as u64, Ordering::Relaxed);
+    telemetry::global().bootstrap_resamples.add(n as u64);
 }
 
 /// Engine-wide counters, cumulative over the process lifetime.
@@ -327,9 +335,10 @@ pub struct GlobalStats {
 /// quantile-cache tallies).
 pub fn global_stats() -> GlobalStats {
     let (hits, misses) = ausdb_stats::ci::quantile_cache_counters();
+    let telemetry = telemetry::global();
     GlobalStats {
-        mc_draws: MC_DRAWS.load(Ordering::Relaxed),
-        bootstrap_resamples: BOOTSTRAP_RESAMPLES.load(Ordering::Relaxed),
+        mc_draws: telemetry.mc_draws.get(),
+        bootstrap_resamples: telemetry.bootstrap_resamples.get(),
         quantile_cache_hits: hits,
         quantile_cache_misses: misses,
     }
@@ -433,18 +442,15 @@ impl std::fmt::Display for StatsReport {
 // ---------------------------------------------------------------------
 
 /// Parses the `AUSDB_OBS_TIMING` value: anything but unset / empty /
-/// `0` / `false` / `off` enables timing.
+/// `0` / `false` / `off` enables timing. Delegates to
+/// [`knobs::parse_flag`], the one flag grammar every knob shares.
 pub fn parse_timing_flag(value: Option<&str>) -> bool {
-    match value {
-        None => false,
-        Some(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "" | "0" | "false" | "off"),
-    }
+    knobs::parse_flag(value)
 }
 
 /// Whether per-operator timing is on (`AUSDB_OBS_TIMING`, read once).
 pub fn timing_enabled() -> bool {
-    static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| parse_timing_flag(std::env::var("AUSDB_OBS_TIMING").ok().as_deref()))
+    knobs::timing_enabled()
 }
 
 /// Runs `f`, charging its wall-clock time to `metrics` when timing is on.

@@ -73,6 +73,7 @@ pub fn field_stats<R: Rng + ?Sized>(
             "de-facto sample size {n} too small for a hypothesis test"
         )));
     }
+    crate::obs::telemetry::global().df_sample_size.observe(n as f64);
     // Bare column: use the learned distribution's own parameters.
     if let Expr::Column(name) = expr {
         if let Value::Dist(d) = &tuple.field(schema, name)?.value {

@@ -1,0 +1,255 @@
+//! A bounded ring-buffer trace journal.
+//!
+//! Spans (query, window close, re-learn, snapshot, fan-out, …) record one
+//! [`Entry`] each: a monotonic sequence number, microseconds since
+//! process start, a severity [`Level`], a static span name, and a lazily
+//! formatted message. The ring keeps the last `capacity` entries; older
+//! ones fall off — this is a flight recorder, not a log file.
+//!
+//! Severity filtering follows the `AUSDB_LOG` knob (default `info`):
+//! entries *more verbose* than the configured level are skipped before
+//! their message closure ever runs, and the whole journal is off while
+//! [`crate::enabled`] is off. Entries never contain newlines (messages
+//! are sanitized), so one entry is always one protocol line when drained
+//! over the wire (`TRACE <n>`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Entry severity, most severe first. Filtering keeps entries with
+/// `level <= max_level` (e.g. `Info` keeps `Error`/`Warn`/`Info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Something failed.
+    Error,
+    /// Something looks wrong but the system continues.
+    Warn,
+    /// Normal operational landmarks (default cutoff).
+    Info,
+    /// Per-window / per-operation detail.
+    Debug,
+    /// Maximum verbosity.
+    Trace,
+}
+
+impl Level {
+    const ALL: [Level; 5] = [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace];
+
+    /// Parses a level name (case-insensitive): `error`, `warn`, `info`,
+    /// `debug`, `trace`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn rank(self) -> u8 {
+        self as u8
+    }
+
+    fn from_rank(rank: u8) -> Level {
+        Self::ALL[usize::from(rank).min(Self::ALL.len() - 1)]
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded span event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Monotonic per-journal sequence number (gaps reveal ring evictions).
+    pub seq: u64,
+    /// Microseconds since the journal was created.
+    pub micros: u64,
+    /// Severity.
+    pub level: Level,
+    /// Static span name (`query`, `window_close`, `relearn`, `snapshot`,
+    /// `fanout`, …).
+    pub span: &'static str,
+    /// Free-form detail; never contains newlines.
+    pub message: String,
+}
+
+impl std::fmt::Display for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} +{}us {} {}: {}", self.seq, self.micros, self.level, self.span, self.message)
+    }
+}
+
+struct Inner {
+    entries: VecDeque<Entry>,
+    next_seq: u64,
+}
+
+/// The bounded trace ring. See the module docs.
+pub struct Journal {
+    capacity: usize,
+    epoch: Instant,
+    max_level: AtomicU8,
+    inner: Mutex<Inner>,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` entries, filtering at `max`.
+    pub fn new(capacity: usize, max: Level) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            max_level: AtomicU8::new(max.rank()),
+            inner: Mutex::new(Inner { entries: VecDeque::new(), next_seq: 1 }),
+        }
+    }
+
+    /// The configured severity cutoff.
+    pub fn level(&self) -> Level {
+        Level::from_rank(self.max_level.load(Ordering::Relaxed))
+    }
+
+    /// Changes the severity cutoff at runtime.
+    pub fn set_level(&self, max: Level) {
+        self.max_level.store(max.rank(), Ordering::Relaxed);
+    }
+
+    /// Whether an entry at `level` would currently be recorded.
+    pub fn enabled_at(&self, level: Level) -> bool {
+        crate::enabled() && level.rank() <= self.max_level.load(Ordering::Relaxed)
+    }
+
+    /// Records one entry; `message` runs only if the entry passes the
+    /// severity filter and telemetry is enabled.
+    pub fn record(&self, level: Level, span: &'static str, message: impl FnOnce() -> String) {
+        if !self.enabled_at(level) {
+            return;
+        }
+        let micros = self.epoch.elapsed().as_micros() as u64;
+        let message = message().replace(['\n', '\r'], " ");
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.entries.len() == self.capacity {
+            inner.entries.pop_front();
+        }
+        inner.entries.push_back(Entry { seq, micros, level, span, message });
+    }
+
+    /// The last `n` entries, oldest first.
+    pub fn last(&self, n: usize) -> Vec<Entry> {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.entries.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).entries.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-wide journal: 512 entries, severity from `AUSDB_LOG`.
+pub fn global() -> &'static Journal {
+    static GLOBAL: OnceLock<Journal> = OnceLock::new();
+    GLOBAL.get_or_init(|| Journal::new(512, crate::knobs::log_level()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_seq_monotonic() {
+        let _guard = crate::test_flag_guard();
+        crate::set_enabled(true);
+        let j = Journal::new(3, Level::Trace);
+        for i in 0..5 {
+            j.record(Level::Info, "t", || format!("msg {i}"));
+        }
+        assert_eq!(j.len(), 3);
+        let last = j.last(10);
+        assert_eq!(last.len(), 3);
+        assert_eq!(
+            last.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "oldest evicted, sequence numbers reveal the gap"
+        );
+        assert_eq!(j.last(2).len(), 2);
+        assert_eq!(last[2].message, "msg 4");
+    }
+
+    #[test]
+    fn severity_filter_skips_verbose_entries() {
+        let _guard = crate::test_flag_guard();
+        crate::set_enabled(true);
+        let j = Journal::new(8, Level::Warn);
+        let mut ran = false;
+        j.record(Level::Debug, "t", || {
+            ran = true;
+            String::new()
+        });
+        assert!(!ran, "filtered message closures never run");
+        assert!(j.is_empty());
+        j.record(Level::Error, "t", || "boom".to_string());
+        assert_eq!(j.len(), 1);
+        j.set_level(Level::Debug);
+        assert!(j.enabled_at(Level::Debug));
+        j.record(Level::Debug, "t", || "now kept".to_string());
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn disabled_telemetry_mutes_the_journal() {
+        let _guard = crate::test_flag_guard();
+        let j = Journal::new(8, Level::Trace);
+        crate::set_enabled(false);
+        j.record(Level::Error, "t", || "dropped".to_string());
+        crate::set_enabled(true);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn entries_render_on_one_line() {
+        let _guard = crate::test_flag_guard();
+        crate::set_enabled(true);
+        let j = Journal::new(2, Level::Info);
+        j.record(Level::Info, "query", || "evil\nmulti\rline".to_string());
+        let e = &j.last(1)[0];
+        let line = e.to_string();
+        assert!(!line.contains('\n') && !line.contains('\r'), "{line}");
+        assert!(line.starts_with(&format!("#{} +", e.seq)), "{line}");
+        assert!(line.contains(" info query: evil multi line"), "{line}");
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for level in Level::ALL {
+            assert_eq!(Level::parse(level.name()), Some(level));
+        }
+        assert_eq!(Level::parse(" WARN "), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+}

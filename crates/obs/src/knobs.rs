@@ -1,0 +1,154 @@
+//! Centralized environment-knob parsing with warn-once diagnostics.
+//!
+//! Every execution knob the system reads from the environment goes
+//! through one [`Knob`] per variable, so an invalid value produces
+//! exactly one `warning:` line on stderr (then the fallback applies)
+//! instead of being silently ignored — a typo in `AUSDB_THREADS=8x`
+//! should be visible, not mysterious.
+//!
+//! | Variable          | Meaning                                   | Default |
+//! |-------------------|-------------------------------------------|---------|
+//! | `AUSDB_THREADS`   | worker count for parallel MC/bootstrap    | machine parallelism |
+//! | `AUSDB_OBS_TIMING`| per-operator wall-clock timing            | off |
+//! | `AUSDB_LOG`       | trace-journal severity cutoff             | `info` |
+//! | `AUSDB_TELEMETRY` | optional telemetry recording master switch| on |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crate::journal::Level;
+
+/// One environment knob: a name plus its warn-once state.
+#[derive(Debug)]
+pub struct Knob {
+    name: &'static str,
+    warned: AtomicBool,
+}
+
+impl Knob {
+    /// A knob for the environment variable `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, warned: AtomicBool::new(false) }
+    }
+
+    /// Parses `raw` with `parse`; unset ⇒ `fallback`, invalid ⇒ one
+    /// warning on stderr (per knob, ever) and then `fallback`.
+    pub fn parse<T>(&self, raw: Option<&str>, parse: impl Fn(&str) -> Option<T>, fallback: T) -> T {
+        match raw {
+            None => fallback,
+            Some(s) => match parse(s) {
+                Some(v) => v,
+                None => {
+                    if !self.warned.swap(true, Ordering::Relaxed) {
+                        eprintln!(
+                            "warning: ignoring invalid {}='{}' (falling back to the default)",
+                            self.name, s
+                        );
+                    }
+                    fallback
+                }
+            },
+        }
+    }
+
+    /// Reads the knob's environment variable and parses it.
+    pub fn from_env<T>(&self, parse: impl Fn(&str) -> Option<T>, fallback: T) -> T {
+        self.parse(std::env::var(self.name).ok().as_deref(), parse, fallback)
+    }
+
+    /// Whether this knob has already warned about an invalid value.
+    pub fn warned(&self) -> bool {
+        self.warned.load(Ordering::Relaxed)
+    }
+}
+
+/// Parses an on/off flag value: anything but empty / `0` / `false` /
+/// `off` (case-insensitive) is on. Never fails, so flag knobs never warn.
+pub fn parse_flag(value: Option<&str>) -> bool {
+    match value {
+        None => false,
+        Some(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "" | "0" | "false" | "off"),
+    }
+}
+
+/// `AUSDB_THREADS`: worker count for the parallel Monte-Carlo and
+/// bootstrap paths. Re-read on every call (tests and long-running
+/// processes may change it); invalid or non-positive values warn once
+/// and fall back to the machine's available parallelism.
+pub fn threads() -> usize {
+    static KNOB: Knob = Knob::new("AUSDB_THREADS");
+    let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
+    KNOB.from_env(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0), fallback)
+}
+
+/// `AUSDB_OBS_TIMING`: per-operator wall-clock timing (off by default;
+/// an `Instant::now()` pair per batch is not free). Read once and cached.
+pub fn timing_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| parse_flag(std::env::var("AUSDB_OBS_TIMING").ok().as_deref()))
+}
+
+/// `AUSDB_LOG`: the trace journal's severity cutoff (`error`, `warn`,
+/// `info`, `debug`, `trace`; default `info`). Read once at journal
+/// creation; use [`crate::Journal::set_level`] to change it later.
+pub fn log_level() -> Level {
+    static KNOB: Knob = Knob::new("AUSDB_LOG");
+    KNOB.from_env(Level::parse, Level::Info)
+}
+
+/// `AUSDB_TELEMETRY`: the initial value of the [`crate::enabled`] master
+/// switch — on unless explicitly `0`/`false`/`off`.
+pub(crate) fn telemetry_env_default() -> bool {
+    match std::env::var("AUSDB_TELEMETRY").ok() {
+        None => true,
+        some => parse_flag(some.as_deref()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_uses_fallback_without_warning() {
+        let knob = Knob::new("AUSDB_TEST_UNSET");
+        assert_eq!(knob.parse(None, |s| s.parse::<u32>().ok(), 7), 7);
+        assert!(!knob.warned());
+    }
+
+    #[test]
+    fn valid_values_parse_without_warning() {
+        let knob = Knob::new("AUSDB_TEST_VALID");
+        assert_eq!(knob.parse(Some("42"), |s| s.parse::<u32>().ok(), 7), 42);
+        assert!(!knob.warned());
+    }
+
+    #[test]
+    fn invalid_values_warn_once_then_fall_back() {
+        let knob = Knob::new("AUSDB_TEST_INVALID");
+        assert_eq!(knob.parse(Some("8x"), |s| s.parse::<u32>().ok(), 7), 7);
+        assert!(knob.warned(), "first invalid value flips the warn state");
+        // A second (even different) invalid value falls back silently.
+        assert_eq!(knob.parse(Some("-3"), |s| s.parse::<u32>().ok(), 7), 7);
+        assert!(knob.warned());
+        // Valid values still work after a warning.
+        assert_eq!(knob.parse(Some("9"), |s| s.parse::<u32>().ok(), 7), 9);
+    }
+
+    #[test]
+    fn flag_parsing() {
+        assert!(!parse_flag(None));
+        assert!(!parse_flag(Some("")));
+        assert!(!parse_flag(Some("0")));
+        assert!(!parse_flag(Some("false")));
+        assert!(!parse_flag(Some("OFF")));
+        assert!(parse_flag(Some("1")));
+        assert!(parse_flag(Some("true")));
+        assert!(parse_flag(Some("nanos")));
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

@@ -9,7 +9,8 @@
 //! long-running service:
 //!
 //! * [`protocol`] — the line-oriented text protocol (`INGEST`, `QUERY`,
-//!   `SUBSCRIBE`, `STATS`, `SNAPSHOT`, `RESTORE`, `SHUTDOWN`, `PING`).
+//!   `SUBSCRIBE`, `STATS`, `METRICS`, `TRACE`, `SNAPSHOT`, `RESTORE`,
+//!   `SHUTDOWN`, `PING`).
 //! * [`state`] — shared engine state: per-stream [`ausdb_learn`] learners,
 //!   the [`ausdb_engine`] session holding each stream's last closed
 //!   window, subscription registry, snapshot model.
@@ -22,6 +23,13 @@
 //! * [`server`] — the std-only, thread-per-connection TCP transport with
 //!   graceful (join-everything) shutdown.
 //! * [`signal`] — a minimal Ctrl-C hook for the `ausdb serve` binary.
+//!
+//! Telemetry rides along on every path: each [`state::EngineState`] owns
+//! an [`ausdb_obs`] metric registry (latency histograms, per-stream
+//! labeled counters, subscriber queue depth) that `METRICS` renders as a
+//! Prometheus text exposition — merged with the engine-wide accuracy
+//! registry — and `TRACE <n>` drains the bounded trace journal
+//! (`AUSDB_LOG` sets its severity cutoff).
 //!
 //! Determinism carries through: a server-side `QUERY` runs the exact same
 //! `run_sql` path as the CLI, so with the same seed it returns

@@ -9,6 +9,8 @@
 //!            | SUBSCRIBE <sql>
 //!            | UNSUBSCRIBE <id>
 //!            | STATS
+//!            | METRICS
+//!            | TRACE [<n>]
 //!            | SNAPSHOT
 //!            | RESTORE
 //!            | SHUTDOWN
@@ -38,6 +40,10 @@ pub enum Request {
     Unsubscribe(u64),
     /// `STATS` — server counters plus the last query's operator stats.
     Stats,
+    /// `METRICS` — Prometheus text exposition of all metric families.
+    Metrics,
+    /// `TRACE [<n>]` — the last `n` trace-journal entries (default 20).
+    Trace(usize),
     /// `SNAPSHOT` — persist engine state to the configured snapshot path.
     Snapshot,
     /// `RESTORE` — reload engine state from the configured snapshot path.
@@ -93,6 +99,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .map_err(|_| format!("bad subscription id '{rest}'"))
         }
         "STATS" => bare(Request::Stats),
+        "METRICS" => bare(Request::Metrics),
+        "TRACE" => {
+            if rest.is_empty() {
+                Ok(Request::Trace(20))
+            } else {
+                rest.parse::<usize>()
+                    .map(Request::Trace)
+                    .map_err(|_| format!("bad trace entry count '{rest}'"))
+            }
+        }
         "SNAPSHOT" => bare(Request::Snapshot),
         "RESTORE" => bare(Request::Restore),
         "SHUTDOWN" => bare(Request::Shutdown),
@@ -100,7 +116,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "" => Err("empty request".to_string()),
         other => Err(format!(
             "unknown command '{other}' (try INGEST, QUERY, SUBSCRIBE, UNSUBSCRIBE, STATS, \
-             SNAPSHOT, RESTORE, PING, SHUTDOWN)"
+             METRICS, TRACE, SNAPSHOT, RESTORE, PING, SHUTDOWN)"
         )),
     }
 }
@@ -125,6 +141,9 @@ mod tests {
         );
         assert_eq!(parse_request("UNSUBSCRIBE 3"), Ok(Request::Unsubscribe(3)));
         assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+        assert_eq!(parse_request("TRACE"), Ok(Request::Trace(20)));
+        assert_eq!(parse_request("trace 5"), Ok(Request::Trace(5)));
         assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
         assert_eq!(parse_request("RESTORE"), Ok(Request::Restore));
         assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
@@ -140,6 +159,9 @@ mod tests {
         assert!(parse_request("QUERY").is_err());
         assert!(parse_request("UNSUBSCRIBE x").is_err());
         assert!(parse_request("STATS now").is_err());
+        assert!(parse_request("METRICS all").is_err());
+        assert!(parse_request("TRACE many").is_err());
+        assert!(parse_request("TRACE -1").is_err());
         assert!(parse_request("PING pong").is_err());
     }
 

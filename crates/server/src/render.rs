@@ -48,6 +48,12 @@ pub fn render_rows(tuples: &[Tuple]) -> Vec<String> {
     tuples.iter().map(render_row).collect()
 }
 
+/// Renders one trace-journal entry as a `TRACE` protocol line. Journal
+/// messages are newline-free by construction, so one entry is one line.
+pub fn render_trace_entry(entry: &ausdb_obs::journal::Entry) -> String {
+    format!("TRACE {entry}")
+}
+
 fn render_membership(m: &TupleProbability) -> String {
     let mut out = format!("p={}", m.p);
     if let Some(ci) = &m.ci {

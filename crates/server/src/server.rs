@@ -22,7 +22,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{parse_request, Request};
-use crate::render::{render_rows, render_schema};
+use crate::render::{render_rows, render_schema, render_trace_entry};
 use crate::snapshot::{read_snapshot, write_snapshot};
 use crate::state::{EngineConfig, EngineState};
 use crate::subscriber::SubscriberQueue;
@@ -131,6 +131,13 @@ impl ServerHandle {
     /// Whether the accept thread has exited.
     pub fn is_finished(&self) -> bool {
         self.accept.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    /// The current `METRICS` exposition — what a `METRICS` request would
+    /// return, minus the `END` terminator. Used by `ausdb serve --metrics`
+    /// to dump final metrics on shutdown.
+    pub fn metrics_text(&self) -> String {
+        self.shared.state().metrics_text()
     }
 
     /// Requests shutdown: sets the flag and wakes the blocking acceptor.
@@ -343,6 +350,18 @@ fn handle_line(
         Request::Stats => {
             let mut lines = shared.state().stats_lines();
             lines.push("END".to_string());
+            Reply { lines, close: false }
+        }
+        Request::Metrics => {
+            let text = shared.state().metrics_text();
+            let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+            lines.push("END".to_string());
+            Reply { lines, close: false }
+        }
+        Request::Trace(n) => {
+            let entries = ausdb_obs::journal::global().last(n);
+            let mut lines: Vec<String> = entries.iter().map(render_trace_entry).collect();
+            lines.push(format!("END {}", entries.len()));
             Reply { lines, close: false }
         }
         Request::Snapshot => match &shared.snapshot_path {

@@ -30,6 +30,8 @@ use ausdb_learn::learner::{LearnerConfig, RawObservation, StreamLearner};
 use ausdb_model::codec::{Codec, CodecError, Reader, Writer};
 use ausdb_model::schema::Schema;
 use ausdb_model::tuple::Tuple;
+use ausdb_obs::hist::log_linear_bounds;
+use ausdb_obs::{journal, Counter, Gauge, Histogram, Level, Registry};
 use ausdb_sql::parser::parse;
 use ausdb_sql::planner::{run_sql, run_sql_with_stats};
 
@@ -60,6 +62,108 @@ struct StreamState {
     learner: StreamLearner,
     /// Start of the currently open window; `None` until the first row.
     window_start: Option<u64>,
+    /// Cached metric handles for this stream's labeled counters.
+    counters: StreamCounters,
+}
+
+/// Per-stream counter handles (labeled `{stream="<name>"}`), cached at
+/// stream creation so the ingest hot path is one atomic increment and
+/// never a registry lock.
+#[derive(Debug)]
+struct StreamCounters {
+    rows: Arc<Counter>,
+    late: Arc<Counter>,
+    windows: Arc<Counter>,
+}
+
+/// This engine instance's metric registry plus cached handles. Every
+/// [`EngineState`] owns its own registry, so embedded instances and tests
+/// stay isolated; [`EngineState::metrics_text`] merges it with the
+/// process-wide engine registry for the `METRICS` exposition.
+#[derive(Debug)]
+struct ServerTelemetry {
+    registry: Registry,
+    queries: Arc<Counter>,
+    events: Arc<Counter>,
+    query_latency: Arc<Histogram>,
+    window_close: Arc<Histogram>,
+    snapshot_encode: Arc<Histogram>,
+    snapshot_decode: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl ServerTelemetry {
+    fn new() -> Self {
+        let registry = Registry::new();
+        // 1µs .. 90s covers a tick-resolution server comfortably.
+        let latency = log_linear_bounds(-6, 1);
+        Self {
+            queries: registry.counter(
+                "ausdb_queries_total",
+                "One-shot QUERY statements executed",
+                &[],
+            ),
+            events: registry.counter(
+                "ausdb_subscriber_events_total",
+                "Subscriber event blocks generated (before any queue drops)",
+                &[],
+            ),
+            query_latency: registry.histogram(
+                "ausdb_query_latency_seconds",
+                "One-shot query latency",
+                &latency,
+                &[],
+            ),
+            window_close: registry.histogram(
+                "ausdb_window_close_seconds",
+                "Window-close latency (learn + register + fan-out)",
+                &latency,
+                &[],
+            ),
+            snapshot_encode: registry.histogram(
+                "ausdb_snapshot_encode_seconds",
+                "Snapshot capture (encode) time",
+                &latency,
+                &[],
+            ),
+            snapshot_decode: registry.histogram(
+                "ausdb_snapshot_decode_seconds",
+                "Snapshot restore (decode) time",
+                &latency,
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "ausdb_subscriber_queue_depth",
+                "Total protocol lines queued across subscriber queues",
+                &[],
+            ),
+            registry,
+        }
+    }
+
+    /// Fetches (or creates) the labeled counter handles for `name`. A
+    /// stream re-created under the same name resumes its counts — the
+    /// series, not the handle, owns the value.
+    fn stream(&self, name: &str) -> StreamCounters {
+        let labels = [("stream", name)];
+        StreamCounters {
+            rows: self.registry.counter(
+                "ausdb_rows_ingested_total",
+                "Raw rows accepted by INGEST",
+                &labels,
+            ),
+            late: self.registry.counter(
+                "ausdb_late_rows_total",
+                "Rows whose timestamp predated the open window",
+                &labels,
+            ),
+            windows: self.registry.counter(
+                "ausdb_windows_emitted_total",
+                "Windows closed with at least one learned tuple",
+                &labels,
+            ),
+        }
+    }
 }
 
 /// A standing query owned by some connection.
@@ -73,7 +177,10 @@ pub struct Subscription {
     pub queue: Arc<SubscriberQueue>,
 }
 
-/// Monotonic server counters, surfaced by `STATS`.
+/// A point-in-time summary of the server's monotonic counters, surfaced
+/// by `STATS`. Computed from the metric registry's counter series (the
+/// registry is the single source of truth; this struct is the stable
+/// programmatic view of it).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Counters {
     /// Raw rows accepted by `INGEST`.
@@ -102,7 +209,7 @@ pub struct EngineState {
     streams: BTreeMap<String, StreamState>,
     subscriptions: BTreeMap<u64, Subscription>,
     next_subscription_id: u64,
-    counters: Counters,
+    telemetry: ServerTelemetry,
     last_stats: Option<StatsReport>,
 }
 
@@ -115,7 +222,7 @@ impl EngineState {
             streams: BTreeMap::new(),
             subscriptions: BTreeMap::new(),
             next_subscription_id: 1,
-            counters: Counters::default(),
+            telemetry: ServerTelemetry::new(),
             last_stats: None,
         }
     }
@@ -125,9 +232,31 @@ impl EngineState {
         &self.config
     }
 
-    /// Current counters.
+    /// Current counters, summed across streams from the metric registry.
     pub fn counters(&self) -> Counters {
-        self.counters
+        let mut c = Counters {
+            queries_run: self.telemetry.queries.get(),
+            events_emitted: self.telemetry.events.get(),
+            ..Counters::default()
+        };
+        for st in self.streams.values() {
+            c.rows_ingested += st.counters.rows.get();
+            c.late_rows += st.counters.late.get();
+            c.windows_emitted += st.counters.windows.get();
+        }
+        c
+    }
+
+    /// The Prometheus text exposition: this instance's registry (with the
+    /// subscriber queue-depth gauge freshly sampled) merged with the
+    /// process-wide engine accuracy registry.
+    pub fn metrics_text(&self) -> String {
+        let depth: usize = self.subscriptions.values().map(|s| s.queue.len()).sum();
+        self.telemetry.queue_depth.set(depth as f64);
+        ausdb_obs::metrics::render_merged(&[
+            &self.telemetry.registry,
+            ausdb_engine::obs::telemetry::global().registry(),
+        ])
     }
 
     /// The query session (registered streams = last closed windows).
@@ -142,44 +271,66 @@ impl EngineState {
         let name = normalize_stream_name(stream)?;
         let learner_config = self.config.learner;
         let width = learner_config.window_width;
+        if !self.streams.contains_key(&name) {
+            let counters = self.telemetry.stream(&name);
+            self.streams.insert(
+                name.clone(),
+                StreamState {
+                    learner: StreamLearner::new(learner_config),
+                    window_start: None,
+                    counters,
+                },
+            );
+        }
         {
-            let state = self.streams.entry(name.clone()).or_insert_with(|| StreamState {
-                learner: StreamLearner::new(learner_config),
-                window_start: None,
-            });
+            let state = self.streams.get_mut(&name).expect("stream just ensured");
             if state.window_start.is_some_and(|ws| obs.ts < ws) {
-                self.counters.late_rows += 1;
+                state.counters.late.inc();
             }
             state.learner.observe(obs);
             if state.window_start.is_none() {
                 state.window_start = Some(align(obs.ts, width));
             }
+            state.counters.rows.inc();
         }
-        self.counters.rows_ingested += 1;
         let mut emitted = 0u64;
         // Close every window the new observation has moved past. The jump
         // via `min_buffered_ts` bounds iterations by the number of
         // *non-empty* windows, so a large time skip is O(1), not O(Δt).
         loop {
-            let (tuples, schema, closed_ws) = {
-                let state = self.streams.get_mut(&name).expect("stream exists");
+            let closing = {
+                let state = self.streams.get(&name).expect("stream exists");
                 let ws = state.window_start.expect("window cursor set on first row");
-                if obs.ts < ws.saturating_add(width) {
-                    break;
-                }
+                (obs.ts >= ws.saturating_add(width)).then_some(ws)
+            };
+            let Some(ws) = closing else { break };
+            let start = ausdb_obs::now_if_enabled();
+            let (tuples, schema, windows_counter) = {
+                let state = self.streams.get_mut(&name).expect("stream exists");
                 let tuples = state.learner.emit_window(ws).map_err(|e| format!("learn: {e}"))?;
                 let next = ws.saturating_add(width);
                 state.window_start = Some(match state.learner.min_buffered_ts() {
                     Some(min_ts) if min_ts >= next => align(min_ts, width),
                     _ => next,
                 });
-                (tuples, state.learner.schema().clone(), ws)
+                (tuples, state.learner.schema().clone(), Arc::clone(&state.counters.windows))
             };
+            let learned = tuples.len();
             if !tuples.is_empty() {
                 emitted += 1;
-                self.counters.windows_emitted += 1;
+                windows_counter.inc();
                 self.session.register(&name, schema, tuples);
-                self.fire_events(&name, closed_ws);
+                self.fire_events(&name, ws);
+            }
+            if let Some(t0) = start {
+                let elapsed = t0.elapsed();
+                self.telemetry.window_close.observe_duration(elapsed);
+                journal::global().record(Level::Info, "window_close", || {
+                    format!(
+                        "stream={name} window_start={ws} tuples={learned} took={}us",
+                        elapsed.as_micros()
+                    )
+                });
             }
         }
         Ok(IngestOutcome { windows_emitted: emitted })
@@ -188,11 +339,25 @@ impl EngineState {
     /// Runs a one-shot query against the current stream contents,
     /// recording its operator stats for `STATS`.
     pub fn query(&mut self, sql: &str) -> Result<(Schema, Vec<Tuple>), String> {
-        let (schema, tuples, report) =
-            run_sql_with_stats(&self.session, sql).map_err(|e| e.to_string())?;
-        self.counters.queries_run += 1;
-        self.last_stats = Some(report);
-        Ok((schema, tuples))
+        let start = ausdb_obs::now_if_enabled();
+        match run_sql_with_stats(&self.session, sql) {
+            Ok((schema, tuples, report)) => {
+                self.telemetry.queries.inc();
+                if let Some(t0) = start {
+                    let elapsed = t0.elapsed();
+                    self.telemetry.query_latency.observe_duration(elapsed);
+                    journal::global().record(Level::Info, "query", || {
+                        format!("rows={} took={}us", tuples.len(), elapsed.as_micros())
+                    });
+                }
+                self.last_stats = Some(report);
+                Ok((schema, tuples))
+            }
+            Err(e) => {
+                journal::global().record(Level::Warn, "query", || format!("error: {e}"));
+                Err(e.to_string())
+            }
+        }
     }
 
     /// Registers a standing query. Returns `(id, stream)` on success.
@@ -228,12 +393,14 @@ impl EngineState {
 
     /// Re-evaluates every subscription on `stream` and pushes the result
     /// into its queue as an `EVENT` block.
-    fn fire_events(&mut self, stream: &str, window_start: u64) {
+    fn fire_events(&self, stream: &str, window_start: u64) {
+        let mut matched = 0usize;
         for (&id, sub) in &self.subscriptions {
             if sub.stream != stream {
                 continue;
             }
-            self.counters.events_emitted += 1;
+            matched += 1;
+            self.telemetry.events.inc();
             match run_sql(&self.session, &sub.sql) {
                 Ok((_, tuples)) => {
                     let rows = render_rows(&tuples);
@@ -245,12 +412,17 @@ impl EngineState {
                 }
             }
         }
+        if matched > 0 {
+            journal::global().record(Level::Info, "fanout", || {
+                format!("stream={stream} window_start={window_start} subscribers={matched}")
+            });
+        }
     }
 
     /// `STATS` payload: server counters, per-stream and per-subscriber
     /// lines, then the last query's operator report.
     pub fn stats_lines(&self) -> Vec<String> {
-        let c = self.counters;
+        let c = self.counters();
         let mut out = vec![format!(
             "server rows_ingested={} late_rows={} windows_emitted={} queries={} events={} \
              subscribers={} streams={}",
@@ -265,9 +437,12 @@ impl EngineState {
         for (name, st) in &self.streams {
             let registered = self.session.stream(name).map(|(_, t)| t.len()).unwrap_or(0);
             out.push(format!(
-                "stream {name} buffered={} window_start={} registered_rows={registered}",
+                "stream {name} buffered={} window_start={} registered_rows={registered} rows={} \
+                 late_rows={}",
                 st.learner.buffered_len(),
                 st.window_start.map_or_else(|| "-".to_string(), |ws| ws.to_string()),
+                st.counters.rows.get(),
+                st.counters.late.get(),
             ));
         }
         for (id, sub) in &self.subscriptions {
@@ -292,7 +467,8 @@ impl EngineState {
     /// window contents. Subscriptions are connection-scoped and deliberately
     /// not persisted.
     pub fn to_snapshot(&self) -> ServerSnapshot {
-        let streams = self
+        let start = ausdb_obs::now_if_enabled();
+        let streams: Vec<StreamSnapshot> = self
             .streams
             .iter()
             .map(|(name, st)| StreamSnapshot {
@@ -305,6 +481,13 @@ impl EngineState {
                     .map(|(schema, tuples)| (schema.clone(), tuples.to_vec())),
             })
             .collect();
+        if let Some(t0) = start {
+            let elapsed = t0.elapsed();
+            self.telemetry.snapshot_encode.observe_duration(elapsed);
+            journal::global().record(Level::Info, "snapshot", || {
+                format!("encode streams={} took={}us", streams.len(), elapsed.as_micros())
+            });
+        }
         ServerSnapshot { streams }
     }
 
@@ -312,6 +495,7 @@ impl EngineState {
     /// Counters and live subscriptions are untouched; the session keeps
     /// its current `QueryConfig` (seeds are not part of a snapshot).
     pub fn restore(&mut self, snapshot: ServerSnapshot) -> Result<usize, String> {
+        let start = ausdb_obs::now_if_enabled();
         let mut streams = BTreeMap::new();
         let mut session = Session::new();
         session.config = self.session.config;
@@ -321,11 +505,22 @@ impl EngineState {
             if let Some((schema, tuples)) = s.registered {
                 session.register(&s.name, schema, tuples);
             }
-            streams.insert(s.name, StreamState { learner, window_start: s.window_start });
+            // Counter handles are re-fetched by name: a stream that
+            // existed before the restore keeps its series (and counts) in
+            // this instance's registry.
+            let counters = self.telemetry.stream(&s.name);
+            streams.insert(s.name, StreamState { learner, window_start: s.window_start, counters });
         }
         let n = streams.len();
         self.streams = streams;
         self.session = session;
+        if let Some(t0) = start {
+            let elapsed = t0.elapsed();
+            self.telemetry.snapshot_decode.observe_duration(elapsed);
+            journal::global().record(Level::Info, "snapshot", || {
+                format!("decode streams={n} took={}us", elapsed.as_micros())
+            });
+        }
         Ok(n)
     }
 }
@@ -547,6 +742,45 @@ mod tests {
         assert!(state.ingest("9bad", "1,2,3").is_err());
         assert!(state.ingest("", "1,2,3").is_err());
         assert_eq!(state.counters().rows_ingested, 0);
+    }
+
+    #[test]
+    fn metrics_text_reports_per_stream_counters() {
+        ausdb_obs::set_enabled(true);
+        let mut state = EngineState::new(test_config());
+        ingest_window(&mut state, 100);
+        state.ingest("traffic", "19,50,1").unwrap(); // late row
+        state.query("SELECT * FROM traffic").unwrap();
+        let text = state.metrics_text();
+        assert!(text.contains("ausdb_rows_ingested_total{stream=\"traffic\"} 5"), "{text}");
+        assert!(text.contains("ausdb_late_rows_total{stream=\"traffic\"} 1"), "{text}");
+        assert!(text.contains("ausdb_windows_emitted_total{stream=\"traffic\"} 1"), "{text}");
+        assert!(text.contains("ausdb_queries_total 1"), "{text}");
+        assert!(text.contains("# TYPE ausdb_query_latency_seconds histogram"), "{text}");
+        assert!(text.contains("ausdb_subscriber_queue_depth 0"), "{text}");
+        // Engine-wide accuracy families are merged into the exposition.
+        assert!(text.contains("# TYPE ausdb_sig_verdicts_total counter"), "{text}");
+        assert!(text.contains("# TYPE ausdb_ci_relative_width histogram"), "{text}");
+        // The STATS view is computed from the same registry.
+        let c = state.counters();
+        assert_eq!((c.rows_ingested, c.late_rows, c.windows_emitted, c.queries_run), (5, 1, 1, 1));
+        let stats = state.stats_lines();
+        assert!(
+            stats.iter().any(|l| l.starts_with("stream traffic") && l.contains("late_rows=1")),
+            "per-stream late_rows in STATS: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn restored_stream_resumes_its_counter_series() {
+        let mut state = EngineState::new(test_config());
+        ingest_window(&mut state, 100);
+        let snap = state.to_snapshot();
+        assert_eq!(state.counters().rows_ingested, 4);
+        state.restore(snap).unwrap();
+        // Same registry, same series: counts survive the restore.
+        state.ingest("traffic", "19,200,3").unwrap();
+        assert_eq!(state.counters().rows_ingested, 5);
     }
 
     #[test]

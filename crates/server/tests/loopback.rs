@@ -270,6 +270,162 @@ fn graceful_shutdown_notifies_connected_clients() {
     handle.join();
 }
 
+/// Serializes tests that flip or depend on the process-wide telemetry
+/// enable flag. Counters are unaffected by the flag, but histogram and
+/// journal assertions need it held steady.
+fn telemetry_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Splits a `METRICS` body into `series -> value` samples and
+/// `family -> kind` TYPE declarations, asserting every line is either a
+/// `# HELP`/`# TYPE` comment or a sample with a parsable float value.
+fn parse_exposition(
+    body: &[String],
+) -> (std::collections::BTreeMap<String, f64>, std::collections::BTreeMap<String, String>) {
+    let mut samples = std::collections::BTreeMap::new();
+    let mut types = std::collections::BTreeMap::new();
+    for line in body {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            types.insert(it.next().unwrap().to_string(), it.next().unwrap().to_string());
+        } else if line.starts_with('#') {
+            assert!(line.starts_with("# HELP "), "unexpected comment line: {line}");
+        } else {
+            let (series, value) =
+                line.rsplit_once(' ').unwrap_or_else(|| panic!("malformed sample line: {line}"));
+            let value: f64 =
+                value.parse().unwrap_or_else(|_| panic!("unparsable sample value: {line}"));
+            samples.insert(series.to_string(), value);
+        }
+    }
+    (samples, types)
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_cross_checks() {
+    let _guard = telemetry_lock();
+    ausdb_obs::set_enabled(true);
+    // Engine-wide counters are process-global and shared with concurrent
+    // tests, so they get sandwich (before <= reported <= after) asserts;
+    // the per-server registry values are exact.
+    let resamples_before = ausdb_engine::obs::telemetry::global().bootstrap_resamples.get();
+
+    let handle = start_server(None, Duration::from_millis(25));
+    let mut client = Client::connect(&handle);
+    let rows = observation_rows();
+    ingest_rows_via(&mut client, &rows);
+    // GROUP BY + AVG computes a result distribution per key, which the
+    // BOOTSTRAP accuracy mode resamples (r = m/n per group) — so this
+    // query must move the engine-wide resample counter.
+    let reply = client.request(
+        "QUERY SELECT key, AVG(value) FROM traffic GROUP BY key \
+         WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 200",
+    );
+    assert!(reply[0].starts_with("SCHEMA"), "got {reply:?}");
+
+    let metrics = client.request("METRICS");
+    assert_eq!(metrics.last().unwrap(), "END");
+    let body = &metrics[..metrics.len() - 1];
+    let (samples, types) = parse_exposition(body);
+    let resamples_after = ausdb_engine::obs::telemetry::global().bootstrap_resamples.get();
+
+    for (family, kind) in [
+        ("ausdb_query_latency_seconds", "histogram"),
+        ("ausdb_ci_relative_width", "histogram"),
+        ("ausdb_sig_verdicts_total", "counter"),
+        ("ausdb_subscriber_queue_depth", "gauge"),
+        ("ausdb_rows_ingested_total", "counter"),
+        ("ausdb_bootstrap_resamples_total", "counter"),
+    ] {
+        assert_eq!(types.get(family).map(String::as_str), Some(kind), "TYPE of {family}");
+    }
+
+    // Exact cross-checks against what this client actually did (the
+    // server owns a fresh per-instance registry).
+    assert_eq!(samples["ausdb_rows_ingested_total{stream=\"traffic\"}"], rows.len() as f64);
+    assert_eq!(samples["ausdb_late_rows_total{stream=\"traffic\"}"], 0.0);
+    assert_eq!(samples["ausdb_windows_emitted_total{stream=\"traffic\"}"], 2.0);
+    assert_eq!(samples["ausdb_queries_total"], 1.0);
+    assert_eq!(samples["ausdb_query_latency_seconds_count"], 1.0);
+
+    // Sandwich on the shared engine-wide resample counter (other tests in
+    // this binary may also bootstrap concurrently, so bounds, not
+    // equality): our query must have moved it.
+    let reported = samples["ausdb_bootstrap_resamples_total"] as u64;
+    assert!(
+        resamples_before < reported && reported <= resamples_after,
+        "resamples: before={resamples_before} reported={reported} after={resamples_after}"
+    );
+
+    // Histogram buckets are cumulative: counts non-decreasing in `le`,
+    // with the +Inf bucket equal to `_count`.
+    let buckets: Vec<f64> = body
+        .iter()
+        .filter(|l| l.starts_with("ausdb_query_latency_seconds_bucket{le="))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+        .collect();
+    assert!(buckets.len() > 2, "expected bucket series, got {buckets:?}");
+    assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "non-cumulative buckets: {buckets:?}");
+    assert_eq!(*buckets.last().unwrap(), samples["ausdb_query_latency_seconds_count"]);
+    assert!(
+        body.iter().any(|l| l.starts_with("ausdb_query_latency_seconds_bucket{le=\"+Inf\"}")),
+        "missing +Inf bucket"
+    );
+    handle.stop();
+}
+
+#[test]
+fn trace_drains_recent_journal_entries() {
+    let _guard = telemetry_lock();
+    ausdb_obs::set_enabled(true);
+    let handle = start_server(None, Duration::from_millis(25));
+    let mut client = Client::connect(&handle);
+    ingest_rows_via(&mut client, &observation_rows());
+    let reply = client.request("QUERY SELECT * FROM traffic");
+    assert!(reply[0].starts_with("SCHEMA"), "got {reply:?}");
+
+    let trace = client.request("TRACE 5");
+    let last = trace.last().unwrap();
+    let n: usize = last.strip_prefix("END ").expect("END <n>").parse().unwrap();
+    assert_eq!(n, trace.len() - 1, "END count matches entry lines");
+    assert!((1..=5).contains(&n), "expected 1..=5 entries, got {trace:?}");
+    for line in &trace[..n] {
+        // `TRACE #<seq> +<micros>us <LEVEL> <span>: <message>`
+        assert!(line.starts_with("TRACE #"), "malformed entry: {line}");
+        assert!(line.contains("us "), "missing relative timestamp: {line}");
+    }
+    // Our ingest closed windows and ran a query just now; with only this
+    // client talking to the journal since, the tail must include one.
+    assert!(
+        trace[..n].iter().any(|l| l.contains(" query: ") || l.contains(" window_close: ")),
+        "expected a query/window_close span in {trace:?}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn telemetry_flag_does_not_affect_results() {
+    let _guard = telemetry_lock();
+    let rows = observation_rows();
+    let sql = "SELECT * FROM traffic WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 200";
+
+    ausdb_obs::set_enabled(true);
+    let mut on = EngineState::new(engine_config());
+    ingest_rows_inproc(&mut on, &rows);
+    let with_telemetry = expected_reply(&on, sql);
+
+    ausdb_obs::set_enabled(false);
+    let mut off = EngineState::new(engine_config());
+    ingest_rows_inproc(&mut off, &rows);
+    let without_telemetry = expected_reply(&off, sql);
+    ausdb_obs::set_enabled(true);
+
+    assert!(with_telemetry.len() > 2, "query returned rows: {with_telemetry:?}");
+    assert_eq!(with_telemetry, without_telemetry, "telemetry must be purely observational");
+}
+
 #[test]
 fn protocol_errors_are_structured() {
     let handle = start_server(None, Duration::from_millis(25));

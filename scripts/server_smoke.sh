@@ -88,6 +88,15 @@ grep -q "^ROW " "$WORK/query_before" || fail "query reply lacks ROW"
 send "STATS"
 read_block "$WORK/stats"
 grep -q "rows_ingested=4" "$WORK/stats" || fail "stats missing rows_ingested=4"
+send "METRICS"
+read_block "$WORK/metrics"
+grep -q '^# TYPE ausdb_query_latency_seconds histogram$' "$WORK/metrics" ||
+    fail "METRICS missing the query latency histogram TYPE line"
+grep -q '^ausdb_rows_ingested_total{stream="traffic"} 4$' "$WORK/metrics" ||
+    fail "METRICS missing the per-stream ingest counter"
+send "TRACE 5"
+read_block "$WORK/trace"
+grep -q '^TRACE #' "$WORK/trace" || fail "TRACE returned no journal entries"
 send "SNAPSHOT"
 expect "OK SNAPSHOT*"
 [[ -s "$SNAP" ]] || fail "snapshot file missing or empty"

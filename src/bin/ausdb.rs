@@ -47,15 +47,18 @@ fn print_usage() {
     eprintln!("usage: ausdb [shell] [--demo]");
     eprintln!("       ausdb serve [--addr HOST:PORT] [--snapshot-path FILE]");
     eprintln!("                   [--max-subscribers N] [--queue-cap N] [--window SECONDS]");
+    eprintln!("                   [--metrics]");
     eprintln!();
     eprintln!("  shell   interactive SQL shell (default); --demo preloads a simulated network");
-    eprintln!("  serve   continuous-query TCP server (INGEST/QUERY/SUBSCRIBE/STATS/");
-    eprintln!("          SNAPSHOT/RESTORE/SHUTDOWN; see DESIGN.md section 5)");
+    eprintln!("  serve   continuous-query TCP server (INGEST/QUERY/SUBSCRIBE/STATS/METRICS/");
+    eprintln!("          TRACE/SNAPSHOT/RESTORE/SHUTDOWN; see DESIGN.md section 5);");
+    eprintln!("          --metrics dumps the final Prometheus exposition on shutdown");
 }
 
 fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut config = ServerConfig { addr: "127.0.0.1:7878".to_string(), ..Default::default() };
     let mut engine = EngineConfig::default();
+    let mut dump_metrics = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| -> Result<&String, String> {
@@ -82,6 +85,7 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 }
                 engine.learner.window_width = width;
             }
+            "--metrics" => dump_metrics = true,
             other => {
                 eprintln!("error: unknown serve flag '{other}'\n");
                 print_usage();
@@ -103,8 +107,12 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     // Ctrl-C and client SHUTDOWN land in the same place: drain subscriber
     // queues, join every connection thread, write the final snapshot.
+    let final_metrics = dump_metrics.then(|| handle.metrics_text());
     handle.stop();
     eprintln!("server stopped");
+    if let Some(text) = final_metrics {
+        print!("{text}");
+    }
     Ok(())
 }
 
