@@ -19,6 +19,9 @@ cargo test -q --workspace
 echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
+echo "== explain golden file =="
+cargo test -q --test explain_golden
+
 echo "== obs smoke =="
 cargo test -q -p ausdb-engine obs
 cargo test -q -p ausdb-obs

@@ -22,16 +22,34 @@
 //! **inclusive**: an operator's clock runs while it pulls from its input,
 //! exactly like EXPLAIN ANALYZE.
 //!
+//! ## Query-grain tracing
+//!
+//! A [`MetricsRegistry`] built with [`MetricsRegistry::traced`] also
+//! records a hierarchical span tree ([`ausdb_obs::span`]): one root span
+//! for the query, one child per registered operator, and grandchildren
+//! around hot paths opened with [`OpMetrics::with_span`] (bootstrap
+//! accuracy, Monte-Carlo evaluation). When the query finishes,
+//! [`MetricsRegistry::finish_trace`] stamps each operator span with its
+//! counters — rows in/out, drops by reason, busy time, and the paper's
+//! accuracy attributes (`ci_width`, `df_n`, `resamples`) — and returns a
+//! frozen [`Trace`] that feeds `EXPLAIN ANALYZE`, the Chrome trace
+//! export, and the `AUSDB_SLOW_QUERY_MS` slow-query log. Tracing is
+//! observational (clocks and counters only, never an RNG or a seed), so
+//! results stay bit-identical traced or untraced.
+//!
 //! The telemetry core (histograms, labeled metric families, the trace
 //! journal, env knobs) lives in the [`ausdb_obs`] crate and is re-exported
 //! here; [`telemetry`] holds the engine's process-global registry.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ausdb_model::accuracy::AccuracyInfo;
 use ausdb_model::stream::{PoisonReason, StreamStatus};
 use ausdb_model::ModelError;
+use ausdb_obs::span::{AttrValue, SpanId, Trace, Tracer};
+use ausdb_obs::Level;
 
 use crate::error::EngineError;
 
@@ -67,6 +85,15 @@ impl DropReason {
         }
     }
 
+    /// Static span-attribute key for this reason's drop counter.
+    pub fn attr_key(&self) -> &'static str {
+        match self {
+            DropReason::FilteredOut => "dropped_filtered",
+            DropReason::Unsure => "dropped_unsure",
+            DropReason::Error => "dropped_error",
+        }
+    }
+
     fn index(&self) -> usize {
         match self {
             DropReason::FilteredOut => 0,
@@ -74,6 +101,26 @@ impl DropReason {
             DropReason::Error => 2,
         }
     }
+}
+
+/// Adds `delta` to an `f64` accumulated in an `AtomicU64` as raw bits.
+fn add_f64(cell: &AtomicU64, delta: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + delta).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// An operator's hook into a query's span tree: the shared tracer plus
+/// this operator's own span.
+#[derive(Debug, Clone)]
+struct TraceCtx {
+    tracer: Arc<Tracer>,
+    span: SpanId,
 }
 
 /// Live counters of one operator. Cheap to update (relaxed atomics), and
@@ -91,8 +138,16 @@ pub struct OpMetrics {
     decided_unsure: AtomicU64,
     fallbacks: AtomicU64,
     busy_nanos: AtomicU64,
+    acc_count: AtomicU64,
+    ci_width_sum: AtomicU64,
+    ci_count: AtomicU64,
+    df_n_min: AtomicU64,
+    resamples: AtomicU64,
+    timing_forced: AtomicBool,
+    traced: AtomicBool,
     last_error: Mutex<Option<PoisonReason>>,
     poison: Mutex<Option<PoisonReason>>,
+    trace: Mutex<Option<TraceCtx>>,
 }
 
 impl OpMetrics {
@@ -109,8 +164,16 @@ impl OpMetrics {
             decided_unsure: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
+            acc_count: AtomicU64::new(0),
+            ci_width_sum: AtomicU64::new(0),
+            ci_count: AtomicU64::new(0),
+            df_n_min: AtomicU64::new(u64::MAX),
+            resamples: AtomicU64::new(0),
+            timing_forced: AtomicBool::new(false),
+            traced: AtomicBool::new(false),
             last_error: Mutex::new(None),
             poison: Mutex::new(None),
+            trace: Mutex::new(None),
         })
     }
 
@@ -162,6 +225,107 @@ impl OpMetrics {
         self.fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records the accuracy information attached to one emitted result:
+    /// the minimum de-facto sample size `n` seen and the running mean CI
+    /// width. These are plain counters (always on), so `STATS` and
+    /// `EXPLAIN ANALYZE` stay correct even with telemetry disabled.
+    pub fn record_accuracy(&self, info: &AccuracyInfo) {
+        self.acc_count.fetch_add(1, Ordering::Relaxed);
+        self.df_n_min.fetch_min(info.sample_size as u64, Ordering::Relaxed);
+        if let Some(ci) = &info.mean_ci {
+            let width = ci.hi - ci.lo;
+            if width.is_finite() {
+                add_f64(&self.ci_width_sum, width);
+                self.ci_count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records `r` de-facto bootstrap resamples attributed to this
+    /// operator (the engine-wide total is tallied separately by
+    /// [`record_bootstrap_resamples`]).
+    pub fn record_resamples(&self, r: u64) {
+        self.resamples.fetch_add(r, Ordering::Relaxed);
+    }
+
+    /// Hooks this operator into a query's span tree. Forces wall-clock
+    /// timing on for the duration (an `EXPLAIN ANALYZE` without timings
+    /// would be useless), released again by [`OpMetrics::finish_span`].
+    pub fn attach_span(&self, tracer: Arc<Tracer>, span: SpanId) {
+        *self.trace.lock().expect("metrics mutex") = Some(TraceCtx { tracer, span });
+        self.timing_forced.store(true, Ordering::Relaxed);
+        self.traced.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`timed`] must measure even though `AUSDB_OBS_TIMING` is
+    /// off — true while a span is attached.
+    pub fn timing_forced(&self) -> bool {
+        self.timing_forced.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` inside a child span named `name` when this operator is
+    /// traced; plain call otherwise. The fast path is one relaxed load.
+    /// Only the executor thread opens spans (Monte-Carlo worker threads
+    /// never do), so parents are always open when children start.
+    pub fn with_span<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        if !self.traced.load(Ordering::Relaxed) {
+            return f();
+        }
+        let ctx = self.trace.lock().expect("metrics mutex").clone();
+        match ctx {
+            Some(ctx) => {
+                let child = ctx.tracer.start(name, Some(ctx.span));
+                let result = f();
+                ctx.tracer.end(child);
+                result
+            }
+            None => f(),
+        }
+    }
+
+    /// Detaches and closes this operator's span, stamping it with the
+    /// final counters: rows, drops by reason, decisions, busy time, and
+    /// the accuracy attributes (`ci_width`, `df_n`, `resamples`).
+    pub fn finish_span(&self) {
+        let Some(ctx) = self.trace.lock().expect("metrics mutex").take() else { return };
+        self.traced.store(false, Ordering::Relaxed);
+        self.timing_forced.store(false, Ordering::Relaxed);
+        let stats = self.snapshot();
+        let tracer = &ctx.tracer;
+        tracer.attr(ctx.span, "rows_in", AttrValue::U64(stats.tuples_in));
+        tracer.attr(ctx.span, "rows_out", AttrValue::U64(stats.tuples_out));
+        tracer.attr(ctx.span, "batches", AttrValue::U64(stats.batches));
+        for reason in DropReason::ALL {
+            if stats.dropped(reason) > 0 {
+                tracer.attr(ctx.span, reason.attr_key(), AttrValue::U64(stats.dropped(reason)));
+            }
+        }
+        if stats.decided_true + stats.decided_false + stats.decided_unsure > 0 {
+            tracer.attr(ctx.span, "decided_true", AttrValue::U64(stats.decided_true));
+            tracer.attr(ctx.span, "decided_false", AttrValue::U64(stats.decided_false));
+            tracer.attr(ctx.span, "decided_unsure", AttrValue::U64(stats.decided_unsure));
+        }
+        if stats.fallbacks > 0 {
+            tracer.attr(ctx.span, "fallbacks", AttrValue::U64(stats.fallbacks));
+        }
+        if let Some(busy) = stats.busy {
+            tracer.attr(ctx.span, "busy_ms", AttrValue::F64(busy.as_secs_f64() * 1e3));
+        }
+        if let Some(df_n) = stats.df_n_min {
+            tracer.attr(ctx.span, "df_n", AttrValue::U64(df_n));
+        }
+        if let Some(width) = stats.ci_width_mean {
+            tracer.attr(ctx.span, "ci_width", AttrValue::F64(width));
+        }
+        if stats.resamples > 0 {
+            tracer.attr(ctx.span, "resamples", AttrValue::U64(stats.resamples));
+        }
+        if let Some(poison) = &stats.poisoned {
+            tracer.attr(ctx.span, "poisoned", AttrValue::Str(poison.to_string()));
+        }
+        tracer.end(ctx.span);
+    }
+
     /// Retains an error cause for the snapshot without counting a
     /// dropped tuple — for tuples that survived in degraded form (e.g.
     /// kept with a point probability after the interval computation
@@ -201,6 +365,8 @@ impl OpMetrics {
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> OpStats {
         let busy = self.busy_nanos.load(Ordering::Relaxed);
+        let ci_count = self.ci_count.load(Ordering::Relaxed);
+        let df_n_min = self.df_n_min.load(Ordering::Relaxed);
         OpStats {
             name: self.name.clone(),
             tuples_in: self.tuples_in.load(Ordering::Relaxed),
@@ -216,6 +382,12 @@ impl OpMetrics {
             decided_unsure: self.decided_unsure.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             busy: (busy > 0).then(|| Duration::from_nanos(busy)),
+            acc_count: self.acc_count.load(Ordering::Relaxed),
+            ci_width_mean: (ci_count > 0).then(|| {
+                f64::from_bits(self.ci_width_sum.load(Ordering::Relaxed)) / ci_count as f64
+            }),
+            df_n_min: (df_n_min != u64::MAX).then_some(df_n_min),
+            resamples: self.resamples.load(Ordering::Relaxed),
             last_error: self.last_error.lock().expect("metrics mutex").clone(),
             poisoned: self.poison.lock().expect("metrics mutex").clone(),
         }
@@ -243,8 +415,17 @@ pub struct OpStats {
     pub decided_unsure: u64,
     /// Accuracy-computation fallbacks.
     pub fallbacks: u64,
-    /// Inclusive busy time, when `AUSDB_OBS_TIMING` was on.
+    /// Inclusive busy time, when `AUSDB_OBS_TIMING` was on (or forced by
+    /// an attached span).
     pub busy: Option<Duration>,
+    /// Results emitted with accuracy information attached.
+    pub acc_count: u64,
+    /// Mean width of the mean-CIs this operator attached to results.
+    pub ci_width_mean: Option<f64>,
+    /// Minimum de-facto sample size `n` seen in accuracy computations.
+    pub df_n_min: Option<u64>,
+    /// De-facto bootstrap resamples attributed to this operator.
+    pub resamples: u64,
     /// Most recent per-tuple error, retained.
     pub last_error: Option<PoisonReason>,
     /// Terminal error, if the operator poisoned the stream.
@@ -261,44 +442,58 @@ impl OpStats {
     pub fn dropped_total(&self) -> u64 {
         self.dropped.iter().sum()
     }
-}
 
-impl std::fmt::Display for OpStats {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} [in={} out={} batches={}",
-            self.name, self.tuples_in, self.tuples_out, self.batches
-        )?;
+    /// The bracketed annotation without the operator name — what
+    /// `EXPLAIN ANALYZE` appends to each plan line.
+    pub fn details(&self) -> String {
+        let mut out =
+            format!("[in={} out={} batches={}", self.tuples_in, self.tuples_out, self.batches);
         if self.dropped_total() > 0 {
-            write!(f, " dropped={}", self.dropped_total())?;
+            out.push_str(&format!(" dropped={}", self.dropped_total()));
             let parts: Vec<String> = DropReason::ALL
                 .iter()
                 .filter(|r| self.dropped(**r) > 0)
                 .map(|r| format!("{}={}", r.label(), self.dropped(*r)))
                 .collect();
-            write!(f, " ({})", parts.join(", "))?;
+            out.push_str(&format!(" ({})", parts.join(", ")));
         }
         if self.decided_true + self.decided_false + self.decided_unsure > 0 {
-            write!(
-                f,
+            out.push_str(&format!(
                 " decided: true={} false={} unsure={}",
                 self.decided_true, self.decided_false, self.decided_unsure
-            )?;
+            ));
         }
         if self.fallbacks > 0 {
-            write!(f, " fallbacks={}", self.fallbacks)?;
+            out.push_str(&format!(" fallbacks={}", self.fallbacks));
         }
         if let Some(busy) = self.busy {
-            write!(f, " time={:.3}ms", busy.as_secs_f64() * 1e3)?;
+            out.push_str(&format!(" time={:.3}ms", busy.as_secs_f64() * 1e3));
         }
-        write!(f, "]")?;
+        if self.acc_count > 0 {
+            out.push_str(&format!(" acc={}", self.acc_count));
+            if let Some(width) = self.ci_width_mean {
+                out.push_str(&format!(" ci_width={width:.4}"));
+            }
+            if let Some(df_n) = self.df_n_min {
+                out.push_str(&format!(" df_n={df_n}"));
+            }
+            if self.resamples > 0 {
+                out.push_str(&format!(" resamples={}", self.resamples));
+            }
+        }
+        out.push(']');
         if let Some(p) = &self.poisoned {
-            write!(f, " POISONED: {p}")?;
+            out.push_str(&format!(" POISONED: {p}"));
         } else if let Some(e) = &self.last_error {
-            write!(f, " last_error: {e}")?;
+            out.push_str(&format!(" last_error: {e}"));
         }
-        Ok(())
+        out
+    }
+}
+
+impl std::fmt::Display for OpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.name, self.details())
     }
 }
 
@@ -363,10 +558,12 @@ impl std::fmt::Display for GlobalStats {
 // ---------------------------------------------------------------------
 
 /// Metrics handles of one pipeline, registered source-side first (the
-/// order the executor wraps operators in).
+/// order the executor wraps operators in). Built with
+/// [`MetricsRegistry::traced`], it additionally records a span tree.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     ops: Vec<Arc<OpMetrics>>,
+    trace: Option<(Arc<Tracer>, SpanId)>,
 }
 
 impl MetricsRegistry {
@@ -375,10 +572,68 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// A registry that also records a span tree rooted at `root_name`
+    /// (registered operators become child spans). Falls back to a plain
+    /// registry while [`enabled`] is off — all span recording stays
+    /// behind `AUSDB_TELEMETRY`.
+    pub fn traced(root_name: &str) -> Self {
+        if !enabled() {
+            return Self::new();
+        }
+        let tracer = Tracer::new();
+        let root = tracer.start(root_name, None);
+        Self { ops: Vec::new(), trace: Some((tracer, root)) }
+    }
+
+    /// Whether this registry records a span tree.
+    pub fn is_traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Attaches an attribute to the query's root span (no-op untraced).
+    pub fn root_attr(&self, key: &'static str, value: AttrValue) {
+        if let Some((tracer, root)) = &self.trace {
+            tracer.attr(*root, key, value);
+        }
+    }
+
     /// Adds one operator's handle. Call in pipeline construction order —
-    /// deepest (closest to the source) first.
+    /// deepest (closest to the source) first. When tracing, the operator
+    /// gets a child span under the query root and timing is forced on
+    /// for it.
     pub fn register(&mut self, metrics: Arc<OpMetrics>) {
+        if let Some((tracer, root)) = &self.trace {
+            let span = tracer.start(metrics.name(), Some(*root));
+            metrics.attach_span(Arc::clone(tracer), span);
+        }
         self.ops.push(metrics);
+    }
+
+    /// Ends the query: stamps and closes every operator span, closes the
+    /// root, and freezes the tree. When the root outlasted
+    /// `AUSDB_SLOW_QUERY_MS`, the rendered tree is journaled at WARN
+    /// under the `slow_query` span. Returns `None` for untraced
+    /// registries; idempotent (the second call returns `None`).
+    pub fn finish_trace(&mut self) -> Option<Trace> {
+        let (tracer, root) = self.trace.take()?;
+        for op in &self.ops {
+            op.finish_span();
+        }
+        tracer.end(root);
+        let trace = tracer.finish();
+        if let Some(threshold_ms) = knobs::slow_query_ms() {
+            let root_us = trace.duration_us();
+            if root_us >= threshold_ms.saturating_mul(1000) {
+                journal::global().record(Level::Warn, "slow_query", || {
+                    format!(
+                        "root span took {:.3}ms (threshold {threshold_ms}ms): {}",
+                        root_us as f64 / 1e3,
+                        trace.render_tree()
+                    )
+                });
+            }
+        }
+        Some(trace)
     }
 
     /// Number of registered operators.
@@ -453,11 +708,12 @@ pub fn timing_enabled() -> bool {
     knobs::timing_enabled()
 }
 
-/// Runs `f`, charging its wall-clock time to `metrics` when timing is on.
-/// The measurement is inclusive of input pulls (EXPLAIN-ANALYZE
-/// semantics).
+/// Runs `f`, charging its wall-clock time to `metrics` when timing is on
+/// — globally via `AUSDB_OBS_TIMING`, or forced per-operator while a
+/// trace span is attached. The measurement is inclusive of input pulls
+/// (EXPLAIN-ANALYZE semantics).
 pub fn timed<T>(metrics: &OpMetrics, f: impl FnOnce() -> T) -> T {
-    if timing_enabled() {
+    if timing_enabled() || metrics.timing_forced() {
         let start = Instant::now();
         let result = f();
         metrics.add_busy(start.elapsed());
@@ -482,6 +738,13 @@ pub fn poison_error(reason: &PoisonReason) -> EngineError {
         return EngineError::Model(e.clone());
     }
     EngineError::Eval(reason.to_string())
+}
+
+/// Serializes unit tests that flip the process-wide [`enabled`] flag.
+#[cfg(test)]
+pub(crate) fn test_flag_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -619,5 +882,92 @@ mod tests {
         let s = m.snapshot();
         assert!(s.busy.unwrap() >= Duration::from_millis(2));
         assert!(s.to_string().contains("time="), "{s}");
+    }
+
+    #[test]
+    fn accuracy_counters_track_min_n_and_mean_width() {
+        use ausdb_stats::ci::ConfidenceInterval;
+        let m = OpMetrics::new("WindowAgg");
+        assert!(m.snapshot().df_n_min.is_none(), "no accuracy recorded yet");
+        m.record_accuracy(
+            &AccuracyInfo::new(25).with_mean_ci(ConfidenceInterval::new(9.0, 11.0, 0.9)),
+        );
+        m.record_accuracy(
+            &AccuracyInfo::new(10).with_mean_ci(ConfidenceInterval::new(8.0, 12.0, 0.9)),
+        );
+        m.record_accuracy(&AccuracyInfo::new(40)); // no interval: n still counts
+        m.record_resamples(100);
+        m.record_resamples(50);
+        let s = m.snapshot();
+        assert_eq!(s.acc_count, 3);
+        assert_eq!(s.df_n_min, Some(10), "minimum de-facto n");
+        assert!((s.ci_width_mean.unwrap() - 3.0).abs() < 1e-12, "mean of widths 2 and 4");
+        assert_eq!(s.resamples, 150);
+        let text = s.details();
+        assert!(text.contains("acc=3"), "{text}");
+        assert!(text.contains("ci_width=3.0000"), "{text}");
+        assert!(text.contains("df_n=10"), "{text}");
+        assert!(text.contains("resamples=150"), "{text}");
+    }
+
+    #[test]
+    fn traced_registry_builds_well_formed_span_tree() {
+        use ausdb_stats::ci::ConfidenceInterval;
+        let _guard = test_flag_guard();
+        let was_enabled = enabled();
+        set_enabled(true);
+        let mut registry = MetricsRegistry::traced("query t");
+        assert!(registry.is_traced());
+        let filter = OpMetrics::new("Filter");
+        let agg = OpMetrics::new("WindowAgg");
+        registry.register(filter.clone());
+        registry.register(agg.clone());
+        assert!(filter.timing_forced(), "tracing forces per-op timing");
+        filter.record_batch(100);
+        filter.record_out(60);
+        agg.record_batch(60);
+        agg.record_out(6);
+        agg.with_span("bootstrap_accuracy", || {
+            agg.record_accuracy(
+                &AccuracyInfo::new(12).with_mean_ci(ConfidenceInterval::new(1.0, 2.0, 0.9)),
+            );
+            agg.record_resamples(83);
+        });
+        registry.root_attr("rows", AttrValue::U64(6));
+        let trace = registry.finish_trace().expect("traced registry yields a trace");
+        assert!(registry.finish_trace().is_none(), "second finish is None");
+        assert!(!filter.timing_forced(), "forcing released after finish");
+        trace.check_well_formed().unwrap();
+        let root = trace.root().unwrap();
+        assert_eq!(root.name, "query t");
+        assert_eq!(root.attr("rows"), Some(&AttrValue::U64(6)));
+        let ops: Vec<&str> = trace.children(root.id).iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(ops, ["Filter", "WindowAgg"]);
+        let agg_span = trace.children(root.id)[1];
+        assert_eq!(agg_span.attr("rows_in"), Some(&AttrValue::U64(60)));
+        assert_eq!(agg_span.attr("df_n"), Some(&AttrValue::U64(12)));
+        assert_eq!(agg_span.attr("ci_width"), Some(&AttrValue::F64(1.0)));
+        assert_eq!(agg_span.attr("resamples"), Some(&AttrValue::U64(83)));
+        let grandchildren = trace.children(agg_span.id);
+        assert_eq!(grandchildren.len(), 1);
+        assert_eq!(grandchildren[0].name, "bootstrap_accuracy");
+        set_enabled(was_enabled);
+    }
+
+    #[test]
+    fn disabled_telemetry_yields_plain_registry() {
+        let _guard = test_flag_guard();
+        let was_enabled = enabled();
+        set_enabled(false);
+        let mut registry = MetricsRegistry::traced("query t");
+        assert!(!registry.is_traced());
+        let op = OpMetrics::new("Filter");
+        registry.register(op.clone());
+        assert!(!op.timing_forced());
+        registry.root_attr("rows", AttrValue::U64(1));
+        assert!(registry.finish_trace().is_none());
+        // with_span outside a trace is a plain call.
+        assert_eq!(op.with_span("mc_eval", || 7), 7);
+        set_enabled(was_enabled);
     }
 }

@@ -174,6 +174,7 @@ mod tests {
 
     #[test]
     fn record_accuracy_observes_widths() {
+        let _guard = crate::obs::test_flag_guard();
         ausdb_obs::set_enabled(true);
         // A private instance: exact assertions, no races with concurrent
         // tests hitting the process-global registry.

@@ -97,41 +97,49 @@ impl<S: TupleStream> Filter<S> {
             self.metrics.record_batch(batch.len());
             let schema = self.input.schema().clone();
             let mut out = Vec::with_capacity(batch.len());
-            for mut tuple in batch {
-                let p = match self.predicate.prob(&tuple, &schema, self.mc_iters, &mut self.rng) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        // Malformed tuple for this predicate: drop it, but
-                        // record the cause instead of swallowing it.
-                        self.metrics.record_error(PoisonReason::new("Filter", e));
+            // One span per batch (not per tuple) keeps traced queries at
+            // a sane span count while still exposing MC evaluation cost.
+            let metrics = Arc::clone(&self.metrics);
+            metrics.with_span("mc_eval", || {
+                for mut tuple in batch {
+                    let p = match self.predicate.prob(&tuple, &schema, self.mc_iters, &mut self.rng)
+                    {
+                        Ok(p) => p,
+                        Err(e) => {
+                            // Malformed tuple for this predicate: drop
+                            // it, but record the cause instead of
+                            // swallowing it.
+                            self.metrics.record_error(PoisonReason::new("Filter", e));
+                            continue;
+                        }
+                    };
+                    if p <= 0.0 {
+                        self.metrics.record_drop(DropReason::FilteredOut);
                         continue;
                     }
-                };
-                if p <= 0.0 {
-                    self.metrics.record_drop(DropReason::FilteredOut);
-                    continue;
-                }
-                let combined = tuple.membership.p * p;
-                tuple.membership = match (self.mode.level(), self.boolean_df_n(&tuple, &schema)) {
-                    (Some(level), Some(n)) => {
-                        match tuple_probability_accuracy(combined, n, level) {
-                            Ok(tp) => tp,
-                            Err(e) => {
-                                // Interval computation failed: keep the
-                                // clamped point probability, but count the
-                                // degradation and retain the cause.
-                                self.metrics.record_fallback();
-                                self.metrics.note_error(PoisonReason::new("Filter", e));
-                                ausdb_model::accuracy::TupleProbability::new(combined)
-                                    .expect("probability product stays in [0,1]")
+                    let combined = tuple.membership.p * p;
+                    tuple.membership = match (self.mode.level(), self.boolean_df_n(&tuple, &schema))
+                    {
+                        (Some(level), Some(n)) => {
+                            match tuple_probability_accuracy(combined, n, level) {
+                                Ok(tp) => tp,
+                                Err(e) => {
+                                    // Interval computation failed: keep the
+                                    // clamped point probability, but count
+                                    // the degradation and retain the cause.
+                                    self.metrics.record_fallback();
+                                    self.metrics.note_error(PoisonReason::new("Filter", e));
+                                    ausdb_model::accuracy::TupleProbability::new(combined)
+                                        .expect("probability product stays in [0,1]")
+                                }
                             }
                         }
-                    }
-                    _ => ausdb_model::accuracy::TupleProbability::new(combined)
-                        .expect("probability product stays in [0,1]"),
-                };
-                out.push(tuple);
-            }
+                        _ => ausdb_model::accuracy::TupleProbability::new(combined)
+                            .expect("probability product stays in [0,1]"),
+                    };
+                    out.push(tuple);
+                }
+            });
             if !out.is_empty() {
                 self.metrics.record_out(out.len());
                 return Some(out);

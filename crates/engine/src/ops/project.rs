@@ -119,6 +119,7 @@ impl<S: TupleStream> Project<S> {
                 self.mode,
                 self.mc_values,
                 &mut self.rng,
+                Some(&self.metrics),
             )?);
         }
         Ok(Tuple::with_membership(tuple.ts, fields, tuple.membership.clone()))
@@ -127,7 +128,9 @@ impl<S: TupleStream> Project<S> {
 
 /// Projects one expression over one tuple (see [`Project`] for the
 /// strategy). Exposed within the crate so the window operator and the
-/// executor reuse the same logic.
+/// executor reuse the same logic; `metrics`, when given, receives the
+/// accuracy attribution (and traced callers get `bootstrap_accuracy` /
+/// `mc_eval` child spans).
 pub(crate) fn project_field(
     expr: &Expr,
     tuple: &Tuple,
@@ -135,6 +138,7 @@ pub(crate) fn project_field(
     mode: AccuracyMode,
     default_mc_values: usize,
     rng: &mut StdRng,
+    metrics: Option<&OpMetrics>,
 ) -> Result<Field, EngineError> {
     // 1. Pass-through for bare columns.
     if let Expr::Column(name) = expr {
@@ -157,13 +161,30 @@ pub(crate) fn project_field(
         match mode {
             AccuracyMode::None => {}
             AccuracyMode::Analytical { level } => {
-                field = field.with_accuracy(result_accuracy(&dist, df_n, level)?);
+                let info = result_accuracy(&dist, df_n, level)?;
+                if let Some(m) = metrics {
+                    m.record_accuracy(&info);
+                }
+                field = field.with_accuracy(info);
             }
             AccuracyMode::Bootstrap { level, mc_values } => {
                 // Category 2 of Section III-B: sample the closed-form
                 // result distribution into a value sequence.
-                let v = sample_distribution(&dist, mc_values.max(2 * df_n), rng);
-                field = field.with_accuracy(bootstrap_accuracy_info(&v, df_n, level, None)?);
+                let compute = |rng: &mut StdRng| {
+                    let v = sample_distribution(&dist, mc_values.max(2 * df_n), rng);
+                    let r = (v.len() / df_n.max(1)) as u64;
+                    bootstrap_accuracy_info(&v, df_n, level, None).map(|info| (info, r))
+                };
+                let info = match metrics {
+                    Some(op) => {
+                        let (info, r) = op.with_span("bootstrap_accuracy", || compute(rng))?;
+                        op.record_accuracy(&info);
+                        op.record_resamples(r);
+                        info
+                    }
+                    None => compute(rng)?.0,
+                };
+                field = field.with_accuracy(info);
             }
         }
         return Ok(field);
@@ -173,16 +194,38 @@ pub(crate) fn project_field(
         AccuracyMode::Bootstrap { mc_values, .. } => mc_values.max(2 * df_n),
         _ => default_mc_values.max(2 * df_n),
     };
-    let values = monte_carlo_batch(expr, tuple, in_schema, m, rng)?;
+    let values = match metrics {
+        Some(op) => {
+            op.with_span("mc_eval", || monte_carlo_batch(expr, tuple, in_schema, m, rng))?
+        }
+        None => monte_carlo_batch(expr, tuple, in_schema, m, rng)?,
+    };
     let dist = AttrDistribution::empirical(values.clone())?;
     let mut field = Field::learned(dist.clone(), df_n);
     match mode {
         AccuracyMode::None => {}
         AccuracyMode::Analytical { level } => {
-            field = field.with_accuracy(result_accuracy(&dist, df_n, level)?);
+            let info = result_accuracy(&dist, df_n, level)?;
+            if let Some(op) = metrics {
+                op.record_accuracy(&info);
+            }
+            field = field.with_accuracy(info);
         }
         AccuracyMode::Bootstrap { level, .. } => {
-            field = field.with_accuracy(bootstrap_accuracy_info(&values, df_n, level, None)?);
+            let compute = || {
+                let r = (values.len() / df_n.max(1)) as u64;
+                bootstrap_accuracy_info(&values, df_n, level, None).map(|info| (info, r))
+            };
+            let info = match metrics {
+                Some(op) => {
+                    let (info, r) = op.with_span("bootstrap_accuracy", compute)?;
+                    op.record_accuracy(&info);
+                    op.record_resamples(r);
+                    info
+                }
+                None => compute()?.0,
+            };
+            field = field.with_accuracy(info);
         }
     }
     Ok(field)

@@ -160,11 +160,20 @@ impl<S: TupleStream> TimeWindowAgg<S> {
             match self.mode {
                 AccuracyMode::None => {}
                 AccuracyMode::Analytical { level } => {
-                    field = field.with_accuracy(result_accuracy(&dist, df_n, level)?);
+                    let info = result_accuracy(&dist, df_n, level)?;
+                    self.metrics.record_accuracy(&info);
+                    field = field.with_accuracy(info);
                 }
                 AccuracyMode::Bootstrap { level, mc_values } => {
-                    let v = sample_distribution(&dist, mc_values.max(2 * df_n), &mut self.rng);
-                    field = field.with_accuracy(bootstrap_accuracy_info(&v, df_n, level, None)?);
+                    let metrics = Arc::clone(&self.metrics);
+                    let (info, r) = metrics.with_span("bootstrap_accuracy", || {
+                        let v = sample_distribution(&dist, mc_values.max(2 * df_n), &mut self.rng);
+                        let r = (v.len() / df_n.max(1)) as u64;
+                        bootstrap_accuracy_info(&v, df_n, level, None).map(|info| (info, r))
+                    })?;
+                    metrics.record_accuracy(&info);
+                    metrics.record_resamples(r);
+                    field = field.with_accuracy(info);
                 }
             }
         }

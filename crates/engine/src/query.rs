@@ -497,6 +497,35 @@ impl Session {
         Ok((schema, tuples, report))
     }
 
+    /// [`Session::run_with_config_and_stats`] that additionally records a
+    /// hierarchical span tree for the query (one root span, one child per
+    /// operator, grandchildren around bootstrap / Monte-Carlo hot paths).
+    /// Returns `None` for the trace while telemetry is disabled. The
+    /// finished trace is also pushed into the process-global
+    /// [`ausdb_obs::span::ring`] for `TRACEX` / `--trace-json` export.
+    /// Purely observational: `(schema, tuples)` stays bit-identical to
+    /// [`Session::run_with_config`].
+    pub fn run_with_config_traced(
+        &self,
+        from: &str,
+        query: &Query,
+        config: QueryConfig,
+    ) -> Result<(Schema, Vec<Tuple>, StatsReport, Option<ausdb_obs::span::Trace>), EngineError>
+    {
+        let mut registry = MetricsRegistry::traced(&format!("query {from}"));
+        let result = self.run_registered(from, query, config, &mut registry);
+        if let Ok((_, tuples)) = &result {
+            registry.root_attr("rows", ausdb_obs::span::AttrValue::U64(tuples.len() as u64));
+        }
+        let trace = registry.finish_trace();
+        let report = registry.report();
+        if let Some(trace) = &trace {
+            ausdb_obs::span::ring().push(trace.clone());
+        }
+        let (schema, tuples) = result?;
+        Ok((schema, tuples, report, trace))
+    }
+
     fn run_registered(
         &self,
         from: &str,
@@ -799,6 +828,64 @@ mod tests {
         // run_with_stats reports the poison too, attributed to the operator.
         let err2 = s.run_with_stats("s", &q).unwrap_err();
         assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_yields_span_tree() {
+        use ausdb_obs::span::AttrValue;
+        let _guard = crate::obs::test_flag_guard();
+        ausdb_obs::set_enabled(true);
+        let mut s = Session::new();
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap();
+        let tuples: Vec<Tuple> = (0..8)
+            .map(|i| {
+                Tuple::certain(
+                    i,
+                    vec![Field::learned(
+                        AttrDistribution::gaussian(10.0 + i as f64, 1.0).unwrap(),
+                        30,
+                    )],
+                )
+            })
+            .collect();
+        s.register("s", schema, tuples);
+        let q = Query::select_all()
+            .with_predicate(Predicate::compare(Expr::col("x"), CmpOp::Gt, 0.0))
+            .with_window(WindowSpec::count("x", WindowAggKind::Avg, 4));
+        let config = QueryConfig {
+            accuracy: crate::ops::AccuracyMode::Bootstrap { level: 0.9, mc_values: 200 },
+            ..QueryConfig::default()
+        };
+        let plain = s.run_with_config("s", &q, config).unwrap();
+        let (schema2, tuples2, report, trace) = s.run_with_config_traced("s", &q, config).unwrap();
+        assert_eq!(plain, (schema2, tuples2.clone()), "tracing never changes results");
+        let trace = trace.expect("telemetry on yields a trace");
+        trace.check_well_formed().unwrap();
+        let root = trace.root().unwrap();
+        assert_eq!(root.name, "query s");
+        assert_eq!(root.attr("rows"), Some(&AttrValue::U64(tuples2.len() as u64)));
+        let ops: Vec<&str> = trace.children(root.id).iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(ops, ["Filter", "WindowAgg"]);
+        let agg = trace.children(root.id)[1];
+        // The accuracy attributes of the paper ride on the operator span.
+        assert_eq!(agg.attr("df_n"), Some(&AttrValue::U64(30)));
+        assert!(agg.attr("ci_width").is_some(), "{}", trace.render_tree());
+        assert!(agg.attr("resamples").is_some(), "{}", trace.render_tree());
+        assert!(agg.attr("busy_ms").is_some(), "tracing forces per-op timing");
+        assert!(
+            trace.children(agg.id).iter().any(|s| s.name == "bootstrap_accuracy"),
+            "{}",
+            trace.render_tree()
+        );
+        // The stats report carries the same accuracy aggregates.
+        let agg_stats = report.op("WindowAgg").unwrap();
+        assert_eq!(agg_stats.df_n_min, Some(30));
+        assert!(agg_stats.ci_width_mean.is_some());
+        // The finished trace landed in the process-global ring.
+        assert!(ausdb_obs::span::ring()
+            .snapshot()
+            .iter()
+            .any(|t| t.root().is_some_and(|r| r.name == "query s")));
     }
 
     #[test]

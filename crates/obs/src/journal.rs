@@ -171,10 +171,11 @@ impl Journal {
     }
 }
 
-/// The process-wide journal: 512 entries, severity from `AUSDB_LOG`.
+/// The process-wide journal: capacity from `AUSDB_TRACE_CAP` (default
+/// 512), severity from `AUSDB_LOG`.
 pub fn global() -> &'static Journal {
     static GLOBAL: OnceLock<Journal> = OnceLock::new();
-    GLOBAL.get_or_init(|| Journal::new(512, crate::knobs::log_level()))
+    GLOBAL.get_or_init(|| Journal::new(crate::knobs::trace_cap(), crate::knobs::log_level()))
 }
 
 #[cfg(test)]

@@ -12,6 +12,8 @@
 //! | `AUSDB_OBS_TIMING`| per-operator wall-clock timing            | off |
 //! | `AUSDB_LOG`       | trace-journal severity cutoff             | `info` |
 //! | `AUSDB_TELEMETRY` | optional telemetry recording master switch| on |
+//! | `AUSDB_TRACE_CAP` | journal / trace-ring capacity (entries)   | 512 |
+//! | `AUSDB_SLOW_QUERY_MS` | slow-query log threshold in ms        | off |
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -96,6 +98,24 @@ pub fn log_level() -> Level {
     KNOB.from_env(Level::parse, Level::Info)
 }
 
+/// `AUSDB_TRACE_CAP`: capacity (in entries) of the bounded telemetry
+/// rings — the trace journal and the finished-span trace ring. Read once
+/// at ring creation; invalid or zero values warn once and fall back to
+/// 512.
+pub fn trace_cap() -> usize {
+    static KNOB: Knob = Knob::new("AUSDB_TRACE_CAP");
+    KNOB.from_env(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0), 512)
+}
+
+/// `AUSDB_SLOW_QUERY_MS`: root-span duration threshold above which a
+/// finished query trace is journaled at WARN with its rendered tree.
+/// Unset ⇒ `None` (the slow-query log is off). Re-read on every call so
+/// long-running processes can be tuned live.
+pub fn slow_query_ms() -> Option<u64> {
+    static KNOB: Knob = Knob::new("AUSDB_SLOW_QUERY_MS");
+    KNOB.from_env(|s| s.trim().parse::<u64>().ok().map(Some), None)
+}
+
 /// `AUSDB_TELEMETRY`: the initial value of the [`crate::enabled`] master
 /// switch — on unless explicitly `0`/`false`/`off`.
 pub(crate) fn telemetry_env_default() -> bool {
@@ -150,5 +170,10 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn trace_cap_is_positive() {
+        assert!(trace_cap() >= 1);
     }
 }

@@ -13,6 +13,9 @@
 //!   severity filtering (`AUSDB_LOG`), drainable over the wire.
 //! * [`knobs`] — centralized environment-knob parsing that warns **once**
 //!   per knob on invalid values instead of silently ignoring them.
+//! * [`span`] — hierarchical per-query [`span::Tracer`] spans with typed
+//!   accuracy attributes, a bounded finished-trace ring, and a Chrome
+//!   trace-event JSON exporter.
 //!
 //! ## The enable toggle and determinism
 //!
@@ -36,10 +39,12 @@ pub mod hist;
 pub mod journal;
 pub mod knobs;
 pub mod metrics;
+pub mod span;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use journal::{Journal, Level};
 pub use metrics::{Counter, Gauge, Registry};
+pub use span::{AttrValue, Span, SpanId, Trace, Tracer};
 
 fn enabled_cell() -> &'static AtomicBool {
     static CELL: OnceLock<AtomicBool> = OnceLock::new();

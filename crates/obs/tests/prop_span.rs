@@ -1,0 +1,358 @@
+//! Property tests for span-tree well-formedness and the Chrome
+//! trace-event export.
+//!
+//! Random span trees built through the public [`Tracer`] API must always
+//! freeze into well-formed [`Trace`]s (every non-root parent exists and
+//! precedes its child; child intervals nest within parents), and the
+//! Chrome trace JSON must round-trip through a strict JSON parser with
+//! every name, timestamp, duration, and attribute intact.
+
+use ausdb_obs::span::{chrome_trace_json, AttrValue, SpanId, Trace, Tracer};
+use proptest::prelude::*;
+
+/// One scripted tracer action, interpreted against the ids allocated so
+/// far (indices are taken modulo what exists, so every script is valid).
+#[derive(Debug, Clone)]
+enum Action {
+    /// Start a span; `parent_pick` selects a prior span (or root).
+    Start { name_pick: usize, parent_pick: usize },
+    /// Attach an attribute to a previously started span.
+    Attr { span_pick: usize, value: u64 },
+    /// End a previously started span.
+    End { span_pick: usize },
+}
+
+/// Builds an action script from three parallel generated streams (the
+/// vendored proptest shim has no `prop_map`, so composition happens
+/// here): `kinds[i]` selects the action type, `picks[i]` the target
+/// span, `values[i]` the name or attribute payload.
+fn script(kinds: &[usize], picks: &[usize], values: &[u64]) -> Vec<Action> {
+    let n = kinds.len().min(picks.len()).min(values.len());
+    (0..n)
+        .map(|i| match kinds[i] {
+            0 => Action::Start { name_pick: values[i] as usize, parent_pick: picks[i] },
+            1 => Action::Attr { span_pick: picks[i], value: values[i] },
+            _ => Action::End { span_pick: picks[i] },
+        })
+        .collect()
+}
+
+const NAMES: [&str; 6] =
+    ["query t", "Filter", "WindowAgg", "bootstrap_accuracy", "mc_eval", "weird \"na\\me\"\n"];
+
+fn run_script(actions: &[Action]) -> Trace {
+    let tracer = Tracer::new();
+    let mut ids: Vec<SpanId> = Vec::new();
+    for action in actions {
+        match action {
+            Action::Start { name_pick, parent_pick } => {
+                // Bias toward nesting: even picks use the latest span as
+                // parent, odd picks select an arbitrary earlier one.
+                let parent = if ids.is_empty() {
+                    None
+                } else if parent_pick % 2 == 0 {
+                    ids.last().copied()
+                } else {
+                    Some(ids[parent_pick % ids.len()])
+                };
+                ids.push(tracer.start(NAMES[name_pick % NAMES.len()], parent));
+            }
+            Action::Attr { span_pick, value } => {
+                if !ids.is_empty() {
+                    let id = ids[span_pick % ids.len()];
+                    tracer.attr(id, "rows_in", AttrValue::U64(*value));
+                    tracer.attr(id, "ci_width", AttrValue::F64(*value as f64 / 7.0));
+                }
+            }
+            Action::End { span_pick } => {
+                if !ids.is_empty() {
+                    tracer.end(ids[span_pick % ids.len()]);
+                }
+            }
+        }
+    }
+    tracer.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn random_scripts_yield_well_formed_trees(
+        kinds in prop::collection::vec(0usize..3, 0..60),
+        picks in prop::collection::vec(0usize..64, 0..60),
+        values in prop::collection::vec(0u64..1000, 0..60),
+    ) {
+        let trace = run_script(&script(&kinds, &picks, &values));
+        if let Err(why) = trace.check_well_formed() {
+            prop_assert!(false, "ill-formed trace: {} in\n{}", why, trace.render_tree());
+        }
+        // Every span renders exactly once in the tree view.
+        let rendered = trace.render_tree();
+        let lines = if rendered.is_empty() { 0 } else { rendered.lines().count() };
+        prop_assert_eq!(lines, trace.spans.len());
+    }
+
+    #[test]
+    fn chrome_json_round_trips(
+        kinds in prop::collection::vec(0usize..3, 0..40),
+        picks in prop::collection::vec(0usize..64, 0..40),
+        values in prop::collection::vec(0u64..1000, 0..40),
+    ) {
+        let trace = run_script(&script(&kinds, &picks, &values));
+        let expected = trace.spans.len();
+        let json = chrome_trace_json(std::slice::from_ref(&trace));
+        let events = match parse_events(&json) {
+            Ok(events) => events,
+            Err(why) => return Err(TestCaseError::fail(format!("bad JSON: {why}\n{json}"))),
+        };
+        prop_assert_eq!(events.len(), expected);
+        for (span, event) in trace.spans.iter().zip(&events) {
+            prop_assert_eq!(&span.name, &event.name);
+            prop_assert_eq!(span.start_us, event.ts);
+            prop_assert_eq!(span.duration_us(), event.dur);
+            prop_assert_eq!(event.tid, 1);
+            // span_id + optional parent + two JSON fields per attribute.
+            let expected_args =
+                1 + usize::from(span.parent.is_some()) + span.attrs.len();
+            prop_assert_eq!(event.args.len(), expected_args);
+            prop_assert_eq!(event.args[0].clone(), ("span_id".to_string(), Json::Num(span.id.get() as f64)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// A strict, minimal JSON parser — rejects anything malformed rather than
+// guessing, so a round-trip failure in the exporter cannot hide.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+struct ChromeEvent {
+    name: String,
+    ts: u64,
+    dur: u64,
+    tid: u64,
+    args: Vec<(String, Json)>,
+}
+
+fn parse_events(json: &str) -> Result<Vec<ChromeEvent>, String> {
+    let mut p = Parser { bytes: json.as_bytes(), i: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.i != p.bytes.len() {
+        return Err(format!("trailing bytes at {}", p.i));
+    }
+    let Json::Arr(items) = value else { return Err("top level is not an array".into()) };
+    items
+        .into_iter()
+        .map(|item| {
+            let name = match item.get("name") {
+                Some(Json::Str(s)) => s.clone(),
+                other => return Err(format!("bad name: {other:?}")),
+            };
+            match item.get("ph") {
+                Some(Json::Str(ph)) if ph == "X" => {}
+                other => return Err(format!("bad ph: {other:?}")),
+            }
+            let grab = |key: &str| {
+                item.get(key).and_then(Json::as_u64).ok_or_else(|| format!("bad {key}"))
+            };
+            let args = match item.get("args") {
+                Some(Json::Obj(fields)) => fields.clone(),
+                other => return Err(format!("bad args: {other:?}")),
+            };
+            Ok(ChromeEvent { name, ts: grab("ts")?, dur: grab("dur")?, tid: grab("tid")?, args })
+        })
+        .collect()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.i).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.i))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.i).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.i..].starts_with(b"null") {
+                    self.i += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err(format!("bad literal at byte {}", self.i))
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.i)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("bad array separator {other:?} at {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("bad object separator {other:?} at {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.i).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.bytes.get(self.i).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(b) if b < 0x20 => return Err(format!("raw control byte 0x{b:02x} in string")),
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let s =
+                        std::str::from_utf8(&self.bytes[self.i..]).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().ok_or("empty scalar")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.bytes.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .bytes
+            .get(self.i)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at {start}: {e}"))
+    }
+}
+
+#[test]
+fn strict_parser_rejects_malformed_json() {
+    for bad in
+        ["[", "[{]", "[{\"a\":}]", "[1,]", "{\"k\":1}", "[\"\\q\"]", "[\"\u{1}\"]", "[] trailing"]
+    {
+        assert!(parse_events(bad).is_err(), "parser accepted malformed {bad:?}");
+    }
+    // Well-formed but not a Chrome event: parse_events still rejects it.
+    assert!(parse_events("[{\"a\":1}]").is_err());
+    assert!(parse_events("[]").unwrap().is_empty());
+}

@@ -9,8 +9,8 @@
 //! long-running service:
 //!
 //! * [`protocol`] — the line-oriented text protocol (`INGEST`, `QUERY`,
-//!   `SUBSCRIBE`, `STATS`, `METRICS`, `TRACE`, `SNAPSHOT`, `RESTORE`,
-//!   `SHUTDOWN`, `PING`).
+//!   `SUBSCRIBE`, `STATS`, `METRICS`, `TRACE`, `TRACEX`, `SNAPSHOT`,
+//!   `RESTORE`, `HELP`, `SHUTDOWN`, `PING`).
 //! * [`state`] — shared engine state: per-stream [`ausdb_learn`] learners,
 //!   the [`ausdb_engine`] session holding each stream's last closed
 //!   window, subscription registry, snapshot model.
@@ -29,7 +29,12 @@
 //! labeled counters, subscriber queue depth) that `METRICS` renders as a
 //! Prometheus text exposition — merged with the engine-wide accuracy
 //! registry — and `TRACE <n>` drains the bounded trace journal
-//! (`AUSDB_LOG` sets its severity cutoff).
+//! (`AUSDB_LOG` sets its severity cutoff). The same exposition is
+//! additionally scrape-able over plain HTTP (`GET /metrics`) when
+//! [`server::ServerConfig::http_addr`] is set, and `TRACEX` exports the
+//! span trees of recently traced queries as Chrome trace-event JSON.
+//! `QUERY` accepts `EXPLAIN` / `EXPLAIN ANALYZE` statements, answering
+//! with `PLAN` lines instead of rows.
 //!
 //! Determinism carries through: a server-side `QUERY` runs the exact same
 //! `run_sql` path as the CLI, so with the same seed it returns
@@ -54,8 +59,8 @@ pub mod snapshot;
 pub mod state;
 pub mod subscriber;
 
-pub use protocol::{parse_request, Request};
+pub use protocol::{help_lines, parse_request, Request};
 pub use render::{render_row, render_rows, render_schema};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use state::{EngineConfig, EngineState, ServerSnapshot};
+pub use state::{EngineConfig, EngineState, QueryReply, ServerSnapshot};
 pub use subscriber::SubscriberQueue;

@@ -11,15 +11,20 @@
 //!            | STATS
 //!            | METRICS
 //!            | TRACE [<n>]
+//!            | TRACEX
 //!            | SNAPSHOT
 //!            | RESTORE
+//!            | HELP
 //!            | SHUTDOWN
 //!            | PING
 //! csv-row   := <key> ',' <ts> ',' <value>      (ts: integer or H:MM[:SS])
 //! ```
 //!
 //! Responses start with `OK` or `ERR`; `QUERY` answers with a `SCHEMA`
-//! line, `ROW` lines, and a final `END <n>`. Subscribers additionally
+//! line, `ROW` lines, and a final `END <n>` — or, for `EXPLAIN` /
+//! `EXPLAIN ANALYZE` statements, `PLAN` lines and `END <n>`. `TRACEX`
+//! answers with the Chrome trace-event JSON of recently traced queries
+//! (load it in `chrome://tracing` or Perfetto). Subscribers additionally
 //! receive unsolicited `EVENT`/`ROW`/`DROPPED` lines when windows close.
 
 /// A parsed client request.
@@ -44,6 +49,10 @@ pub enum Request {
     Metrics,
     /// `TRACE [<n>]` — the last `n` trace-journal entries (default 20).
     Trace(usize),
+    /// `TRACEX` — Chrome trace-event JSON of recently traced queries.
+    TraceExport,
+    /// `HELP` — one usage line per protocol verb.
+    Help,
     /// `SNAPSHOT` — persist engine state to the configured snapshot path.
     Snapshot,
     /// `RESTORE` — reload engine state from the configured snapshot path.
@@ -109,16 +118,37 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .map_err(|_| format!("bad trace entry count '{rest}'"))
             }
         }
+        "TRACEX" => bare(Request::TraceExport),
         "SNAPSHOT" => bare(Request::Snapshot),
         "RESTORE" => bare(Request::Restore),
+        "HELP" => bare(Request::Help),
         "SHUTDOWN" => bare(Request::Shutdown),
         "PING" => bare(Request::Ping),
         "" => Err("empty request".to_string()),
         other => Err(format!(
-            "unknown command '{other}' (try INGEST, QUERY, SUBSCRIBE, UNSUBSCRIBE, STATS, \
-             METRICS, TRACE, SNAPSHOT, RESTORE, PING, SHUTDOWN)"
+            "unknown command '{other}' (try HELP, or: INGEST, QUERY, SUBSCRIBE, UNSUBSCRIBE, \
+             STATS, METRICS, TRACE, TRACEX, SNAPSHOT, RESTORE, PING, SHUTDOWN)"
         )),
     }
+}
+
+/// One usage line per protocol verb, served by `HELP`.
+pub fn help_lines() -> &'static [&'static str] {
+    &[
+        "INGEST <stream> <key,ts,value> — feed one raw observation (ts: integer or H:MM[:SS])",
+        "QUERY <sql> — one-shot query (SCHEMA/ROW/END); EXPLAIN [ANALYZE] <sql> returns PLAN lines",
+        "SUBSCRIBE <sql> — standing query re-evaluated per closed window (EVENT/ROW lines)",
+        "UNSUBSCRIBE <id> — cancel a subscription owned by this connection",
+        "STATS — server counters plus the last query's operator stats",
+        "METRICS — Prometheus text exposition of all metric families",
+        "TRACE [<n>] — the last n trace-journal entries (default 20)",
+        "TRACEX — Chrome trace-event JSON of recently traced queries (chrome://tracing)",
+        "SNAPSHOT — persist engine state to the configured snapshot path",
+        "RESTORE — reload engine state from the configured snapshot path",
+        "HELP — this listing",
+        "PING — liveness check",
+        "SHUTDOWN — gracefully stop the server",
+    ]
 }
 
 #[cfg(test)]
@@ -144,10 +174,42 @@ mod tests {
         assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
         assert_eq!(parse_request("TRACE"), Ok(Request::Trace(20)));
         assert_eq!(parse_request("trace 5"), Ok(Request::Trace(5)));
+        assert_eq!(parse_request("tracex"), Ok(Request::TraceExport));
         assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
         assert_eq!(parse_request("RESTORE"), Ok(Request::Restore));
+        assert_eq!(parse_request("help"), Ok(Request::Help));
         assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
         assert_eq!(parse_request("PING"), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn help_covers_every_verb() {
+        // Every verb `parse_request` accepts must have exactly one usage
+        // line, so HELP can never drift behind the parser.
+        let verbs = [
+            "INGEST",
+            "QUERY",
+            "SUBSCRIBE",
+            "UNSUBSCRIBE",
+            "STATS",
+            "METRICS",
+            "TRACE",
+            "TRACEX",
+            "SNAPSHOT",
+            "RESTORE",
+            "HELP",
+            "PING",
+            "SHUTDOWN",
+        ];
+        let lines = help_lines();
+        assert_eq!(lines.len(), verbs.len());
+        for verb in verbs {
+            assert_eq!(
+                lines.iter().filter(|l| l.split([' ', '\u{a0}']).next() == Some(verb)).count(),
+                1,
+                "exactly one HELP line for {verb}"
+            );
+        }
     }
 
     #[test]
@@ -162,6 +224,8 @@ mod tests {
         assert!(parse_request("METRICS all").is_err());
         assert!(parse_request("TRACE many").is_err());
         assert!(parse_request("TRACE -1").is_err());
+        assert!(parse_request("TRACEX all").is_err());
+        assert!(parse_request("HELP me").is_err());
         assert!(parse_request("PING pong").is_err());
     }
 

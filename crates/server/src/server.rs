@@ -21,10 +21,10 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::protocol::{parse_request, Request};
+use crate::protocol::{help_lines, parse_request, Request};
 use crate::render::{render_rows, render_schema, render_trace_entry};
 use crate::snapshot::{read_snapshot, write_snapshot};
-use crate::state::{EngineConfig, EngineState};
+use crate::state::{EngineConfig, EngineState, QueryReply};
 use crate::subscriber::SubscriberQueue;
 
 /// Longest accepted request line; protects against a client streaming
@@ -43,6 +43,10 @@ pub struct ServerConfig {
     pub engine: EngineConfig,
     /// Tick interval for connection loops (read timeout granularity).
     pub tick: Duration,
+    /// Optional HTTP bind address (e.g. `127.0.0.1:9100`) serving
+    /// `GET /metrics` — the same exposition as the `METRICS` protocol
+    /// command, scrape-able by Prometheus. `None` disables the listener.
+    pub http_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +56,7 @@ impl Default for ServerConfig {
             snapshot_path: None,
             engine: EngineConfig::default(),
             tick: Duration::from_millis(25),
+            http_addr: None,
         }
     }
 }
@@ -62,6 +67,7 @@ struct Shared {
     snapshot_path: Option<PathBuf>,
     tick: Duration,
     addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
 }
 
 impl Shared {
@@ -94,13 +100,28 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
+        let http_listener = match &config.http_addr {
+            Some(spec) => Some(TcpListener::bind(spec)?),
+            None => None,
+        };
+        let http_addr = match &http_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
             shutdown: AtomicBool::new(false),
             snapshot_path: config.snapshot_path,
             tick: config.tick,
             addr,
+            http_addr,
         });
+        if let Some(listener) = http_listener {
+            let http_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ausdb-http".to_string())
+                .spawn(move || http_loop(listener, http_shared))?;
+        }
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("ausdb-accept".to_string())
@@ -121,6 +142,11 @@ impl ServerHandle {
     /// The actually bound address (resolves `:0`).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The bound HTTP metrics address, if the listener was configured.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.shared.http_addr
     }
 
     /// Streams restored from the snapshot at startup.
@@ -171,8 +197,11 @@ impl Drop for ServerHandle {
 
 fn request_shutdown(shared: &Shared) {
     if !shared.shutdown.swap(true, Ordering::SeqCst) {
-        // Wake the acceptor out of its blocking accept().
+        // Wake the acceptors out of their blocking accept().
         let _ = TcpStream::connect(shared.addr);
+        if let Some(http) = shared.http_addr {
+            let _ = TcpStream::connect(http);
+        }
     }
 }
 
@@ -323,10 +352,17 @@ fn handle_line(
             Err(e) => Reply::err(format!("ingest: {e}")),
         },
         Request::Query(sql) => match shared.state().query(&sql) {
-            Ok((schema, tuples)) => {
+            Ok(QueryReply::Rows(schema, tuples)) => {
                 let mut lines = vec![render_schema(&schema)];
                 lines.extend(render_rows(&tuples));
                 lines.push(format!("END {}", tuples.len()));
+                Reply { lines, close: false }
+            }
+            Ok(QueryReply::Plan(plan)) => {
+                let n = plan.len();
+                let mut lines: Vec<String> =
+                    plan.into_iter().map(|l| format!("PLAN {l}")).collect();
+                lines.push(format!("END {n}"));
                 Reply { lines, close: false }
             }
             Err(e) => Reply::err(format!("query: {e}")),
@@ -364,6 +400,18 @@ fn handle_line(
             lines.push(format!("END {}", entries.len()));
             Reply { lines, close: false }
         }
+        Request::TraceExport => {
+            let traces = ausdb_obs::span::ring().snapshot();
+            let json = ausdb_obs::span::chrome_trace_json(&traces);
+            let mut lines: Vec<String> = json.lines().map(str::to_string).collect();
+            lines.push(format!("END {}", traces.len()));
+            Reply { lines, close: false }
+        }
+        Request::Help => {
+            let mut lines: Vec<String> = help_lines().iter().map(|l| l.to_string()).collect();
+            lines.push("END".to_string());
+            Reply { lines, close: false }
+        }
         Request::Snapshot => match &shared.snapshot_path {
             None => Reply::err("no snapshot path configured (start with --snapshot-path)"),
             Some(path) => {
@@ -389,6 +437,72 @@ fn handle_line(
         Request::Shutdown => {
             request_shutdown(shared);
             Reply { lines: vec!["OK shutting down".to_string()], close: true }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP metrics endpoint.
+// ---------------------------------------------------------------------
+
+/// Longest accepted HTTP request head; a scrape is a one-line GET, so
+/// anything bigger is either broken or hostile.
+const MAX_HTTP_HEAD_BYTES: usize = 8 * 1024;
+
+/// Minimal std-only HTTP/1.1 responder: `GET /metrics` answers with the
+/// same exposition body as the `METRICS` protocol command (minus the
+/// `END` terminator), so Prometheus and the line protocol can never
+/// disagree. Every response closes the connection — scrapers reconnect
+/// per scrape, which keeps this loop single-threaded and unpollable
+/// state out of the server.
+fn http_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for incoming in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = incoming else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let Some(head) = read_http_head(&mut stream) else { continue };
+        let request_line = head.lines().next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        let (status, body) = if method == "GET" && (target == "/metrics" || target == "/metrics/") {
+            ("200 OK", shared.state().metrics_text())
+        } else if method != "GET" {
+            ("405 Method Not Allowed", "only GET is supported\n".to_string())
+        } else {
+            ("404 Not Found", "try GET /metrics\n".to_string())
+        };
+        let response = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
+}
+
+/// Reads until the blank line ending the request head, bounded by
+/// [`MAX_HTTP_HEAD_BYTES`]. Returns `None` on EOF, timeout, or oversize.
+fn read_http_head(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    return Some(String::from_utf8_lossy(&head).into_owned());
+                }
+                if head.len() > MAX_HTTP_HEAD_BYTES {
+                    return None;
+                }
+            }
+            Err(_) => return None,
         }
     }
 }

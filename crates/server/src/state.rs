@@ -33,7 +33,7 @@ use ausdb_model::tuple::Tuple;
 use ausdb_obs::hist::log_linear_bounds;
 use ausdb_obs::{journal, Counter, Gauge, Histogram, Level, Registry};
 use ausdb_sql::parser::parse;
-use ausdb_sql::planner::{run_sql, run_sql_with_stats};
+use ausdb_sql::planner::{run_sql, run_statement_with_stats, SqlOutput};
 
 use crate::render::render_rows;
 use crate::subscriber::SubscriberQueue;
@@ -195,6 +195,16 @@ pub struct Counters {
     pub events_emitted: u64,
 }
 
+/// What one `QUERY` statement produced: rows for a SELECT, rendered plan
+/// lines for `EXPLAIN` / `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone)]
+pub enum QueryReply {
+    /// SELECT results.
+    Rows(Schema, Vec<Tuple>),
+    /// Plan text, one operator per line.
+    Plan(Vec<String>),
+}
+
 /// What one `INGEST` did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestOutcome {
@@ -336,22 +346,34 @@ impl EngineState {
         Ok(IngestOutcome { windows_emitted: emitted })
     }
 
-    /// Runs a one-shot query against the current stream contents,
-    /// recording its operator stats for `STATS`.
-    pub fn query(&mut self, sql: &str) -> Result<(Schema, Vec<Tuple>), String> {
+    /// Runs a one-shot statement against the current stream contents,
+    /// recording its operator stats for `STATS` when it executed (SELECT
+    /// and `EXPLAIN ANALYZE`; a plain `EXPLAIN` only plans).
+    pub fn query(&mut self, sql: &str) -> Result<QueryReply, String> {
         let start = ausdb_obs::now_if_enabled();
-        match run_sql_with_stats(&self.session, sql) {
-            Ok((schema, tuples, report)) => {
+        match run_statement_with_stats(&self.session, sql) {
+            Ok((out, report)) => {
                 self.telemetry.queries.inc();
                 if let Some(t0) = start {
                     let elapsed = t0.elapsed();
                     self.telemetry.query_latency.observe_duration(elapsed);
                     journal::global().record(Level::Info, "query", || {
-                        format!("rows={} took={}us", tuples.len(), elapsed.as_micros())
+                        let what = match &out {
+                            SqlOutput::Rows { tuples, .. } => format!("rows={}", tuples.len()),
+                            SqlOutput::Plan(_) => "plan".to_string(),
+                        };
+                        format!("{what} took={}us", elapsed.as_micros())
                     });
                 }
-                self.last_stats = Some(report);
-                Ok((schema, tuples))
+                if let Some(report) = report {
+                    self.last_stats = Some(report);
+                }
+                Ok(match out {
+                    SqlOutput::Rows { schema, tuples } => QueryReply::Rows(schema, tuples),
+                    SqlOutput::Plan(text) => {
+                        QueryReply::Plan(text.lines().map(str::to_string).collect())
+                    }
+                })
             }
             Err(e) => {
                 journal::global().record(Level::Warn, "query", || format!("error: {e}"));
@@ -787,9 +809,32 @@ mod tests {
     fn query_records_stats() {
         let mut state = EngineState::new(test_config());
         ingest_window(&mut state, 100);
-        let (_, tuples) = state.query("SELECT * FROM traffic").unwrap();
+        let QueryReply::Rows(_, tuples) = state.query("SELECT * FROM traffic").unwrap() else {
+            panic!("SELECT returns rows");
+        };
         assert_eq!(tuples.len(), 1);
         assert!(state.stats_lines().iter().any(|l| l.contains("last query:")));
         assert!(state.query("SELECT * FROM nosuch").is_err());
+    }
+
+    #[test]
+    fn explain_statements_return_plans() {
+        let mut state = EngineState::new(test_config());
+        ingest_window(&mut state, 100);
+        let QueryReply::Plan(plan) = state.query("EXPLAIN SELECT * FROM traffic").unwrap() else {
+            panic!("EXPLAIN returns a plan");
+        };
+        assert!(plan.iter().any(|l| l.contains("Scan [traffic]")), "{plan:?}");
+        // Plain EXPLAIN does not execute, so it leaves no operator stats.
+        assert!(!state.stats_lines().iter().any(|l| l.contains("last query:")));
+        let QueryReply::Plan(plan) =
+            state.query("EXPLAIN ANALYZE SELECT * FROM traffic WHERE value > 40").unwrap()
+        else {
+            panic!("EXPLAIN ANALYZE returns a plan");
+        };
+        assert!(plan.iter().any(|l| l.contains("Filter") && l.contains("in=")), "{plan:?}");
+        assert!(plan.iter().any(|l| l.starts_with("total:")), "{plan:?}");
+        // ANALYZE executed, so STATS now carries the operator report.
+        assert!(state.stats_lines().iter().any(|l| l.contains("last query:")));
     }
 }

@@ -42,6 +42,7 @@ fn start_server(snapshot: Option<std::path::PathBuf>, tick: Duration) -> ServerH
         snapshot_path: snapshot,
         engine: engine_config(),
         tick,
+        http_addr: None,
     })
     .expect("server starts")
 }
@@ -424,6 +425,166 @@ fn telemetry_flag_does_not_affect_results() {
 
     assert!(with_telemetry.len() > 2, "query returned rows: {with_telemetry:?}");
     assert_eq!(with_telemetry, without_telemetry, "telemetry must be purely observational");
+}
+
+#[test]
+fn help_lists_every_verb() {
+    let handle = start_server(None, Duration::from_millis(25));
+    let mut client = Client::connect(&handle);
+    let reply = client.request("HELP");
+    assert_eq!(reply.last().unwrap(), "END");
+    let body = &reply[..reply.len() - 1];
+    for verb in [
+        "INGEST",
+        "QUERY",
+        "SUBSCRIBE",
+        "UNSUBSCRIBE",
+        "STATS",
+        "METRICS",
+        "TRACE",
+        "TRACEX",
+        "SNAPSHOT",
+        "RESTORE",
+        "HELP",
+        "PING",
+        "SHUTDOWN",
+    ] {
+        assert!(
+            body.iter().any(|l| l.starts_with(verb) && l.contains('—')),
+            "missing usage line for {verb} in {body:?}"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn explain_over_the_wire_returns_plan_lines() {
+    let _guard = telemetry_lock();
+    ausdb_obs::set_enabled(true);
+    let handle = start_server(None, Duration::from_millis(25));
+    let mut client = Client::connect(&handle);
+    ingest_rows_via(&mut client, &observation_rows());
+
+    let reply = client.request("QUERY EXPLAIN SELECT * FROM traffic WHERE value > 50");
+    assert!(reply.last().unwrap().starts_with("END "), "got {reply:?}");
+    let body = &reply[..reply.len() - 1];
+    assert!(!body.is_empty() && body.iter().all(|l| l.starts_with("PLAN ")), "got {body:?}");
+    assert!(body.iter().any(|l| l.contains("Scan [traffic]")), "got {body:?}");
+    assert!(body.iter().any(|l| l.contains("Filter")), "got {body:?}");
+
+    // The ANALYZE form executes and annotates with observed counters,
+    // accuracy attributes, and timing.
+    let reply = client.request(
+        "QUERY EXPLAIN ANALYZE SELECT * FROM traffic \
+         WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 200",
+    );
+    let body = &reply[..reply.len() - 1];
+    assert!(body.iter().all(|l| l.starts_with("PLAN ")), "got {body:?}");
+    assert!(body.iter().any(|l| l.contains("engine:")), "got {body:?}");
+    assert!(body.iter().any(|l| l.contains("total:")), "got {body:?}");
+    handle.stop();
+}
+
+#[test]
+fn tracex_exports_chrome_trace_json() {
+    let _guard = telemetry_lock();
+    ausdb_obs::set_enabled(true);
+    let handle = start_server(None, Duration::from_millis(25));
+    let mut client = Client::connect(&handle);
+    ingest_rows_via(&mut client, &observation_rows());
+    let reply = client.request("QUERY SELECT * FROM traffic");
+    assert!(reply[0].starts_with("SCHEMA"), "got {reply:?}");
+
+    let reply = client.request("TRACEX");
+    let n: usize = reply.last().unwrap().strip_prefix("END ").expect("END <n>").parse().unwrap();
+    assert!(n >= 1, "the query above must have left a trace in the ring: {reply:?}");
+    let body = &reply[..reply.len() - 1];
+    assert_eq!(body.first().map(String::as_str), Some("["));
+    assert_eq!(body.last().map(String::as_str), Some("]"));
+    assert!(
+        body.iter().any(|l| l.contains("\"ph\":\"X\"") && l.contains("query traffic")),
+        "expected a root query span event in {body:?}"
+    );
+    handle.stop();
+}
+
+#[test]
+fn http_metrics_scrape_matches_protocol_metrics() {
+    let _guard = telemetry_lock();
+    ausdb_obs::set_enabled(true);
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        snapshot_path: None,
+        engine: engine_config(),
+        tick: Duration::from_millis(25),
+        http_addr: Some("127.0.0.1:0".to_string()),
+    })
+    .expect("server starts");
+    let http = handle.http_addr().expect("http listener bound");
+    let mut client = Client::connect(&handle);
+    ingest_rows_via(&mut client, &observation_rows());
+    let reply = client.request("QUERY SELECT * FROM traffic");
+    assert!(reply[0].starts_with("SCHEMA"), "got {reply:?}");
+
+    let (status, headers, body) = http_get(http, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let content_type =
+        headers.iter().find_map(|h| h.strip_prefix("Content-Type: ")).expect("Content-Type header");
+    assert_eq!(content_type, "text/plain; version=0.0.4; charset=utf-8");
+    let content_length: usize = headers
+        .iter()
+        .find_map(|h| h.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .unwrap();
+    assert_eq!(content_length, body.len(), "Content-Length matches the body");
+
+    // The body is the METRICS reply minus the END terminator. Values of
+    // process-global engine counters can move between the two requests
+    // (other tests in this binary bootstrap concurrently), so the
+    // comparison is: identical series/comment structure, byte-identical
+    // per-instance sample lines.
+    let metrics = client.request("METRICS");
+    assert_eq!(metrics.last().unwrap(), "END");
+    let proto_body = &metrics[..metrics.len() - 1];
+    let http_lines: Vec<&str> = body.lines().collect();
+    assert_eq!(http_lines.len(), proto_body.len(), "same line count");
+    let series_name = |l: &str| l.split([' ', '{']).next().unwrap_or("").to_string();
+    for (h, p) in http_lines.iter().zip(proto_body) {
+        assert_eq!(series_name(h), series_name(p), "same series order: {h} vs {p}");
+    }
+    for prefix in
+        ["ausdb_rows_ingested_total", "ausdb_windows_emitted_total", "ausdb_queries_total"]
+    {
+        let from_http: Vec<&&str> = http_lines.iter().filter(|l| l.starts_with(prefix)).collect();
+        assert!(!from_http.is_empty(), "HTTP body has {prefix}");
+        for line in from_http {
+            assert!(proto_body.iter().any(|p| p == *line), "METRICS lacks line {line}");
+        }
+    }
+
+    // Other targets 404; non-GET 405; the TCP protocol side still works.
+    let (status, _, _) = http_get(http, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    assert_eq!(client.request("PING")[0], "OK PONG");
+    handle.stop();
+}
+
+/// Minimal HTTP/1.0-style GET over a raw socket: returns (status line,
+/// header lines, body bytes as text).
+fn http_get(addr: std::net::SocketAddr, target: &str) -> (String, Vec<String>, String) {
+    let mut stream = TcpStream::connect(addr).expect("http connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body separator");
+    let mut lines = head.lines();
+    let status = lines.next().unwrap_or("").to_string();
+    (status, lines.map(str::to_string).collect(), body.to_string())
 }
 
 #[test]

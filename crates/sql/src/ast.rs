@@ -171,6 +171,22 @@ pub struct SqlJoin {
     pub key: String,
 }
 
+/// A top-level statement: either a query to execute or a
+/// plan-introspection request wrapping one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A plain SELECT.
+    Select(SelectStmt),
+    /// `EXPLAIN <select>` (plan only) or `EXPLAIN ANALYZE <select>`
+    /// (execute, then annotate the plan with observed statistics).
+    Explain {
+        /// `true` for the ANALYZE form.
+        analyze: bool,
+        /// The statement being explained.
+        stmt: SelectStmt,
+    },
+}
+
 /// A parsed SELECT statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {

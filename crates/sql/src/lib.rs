@@ -17,6 +17,12 @@
 //!
 //! Pipeline: [`lexer`] → [`parser`] (AST in [`ast`]) → [`planner`]
 //! (producing an [`ausdb_engine::query::Query`]).
+//!
+//! Plan introspection: [`parse_statement`] additionally accepts
+//! `EXPLAIN <select>` (render the plan without executing) and
+//! `EXPLAIN ANALYZE <select>` (execute, then annotate each plan line with
+//! the observed per-operator counters, timing, and accuracy attributes);
+//! [`run_statement`] executes either form against a session.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -27,6 +33,10 @@ pub mod lexer;
 pub mod parser;
 pub mod planner;
 
+pub use ast::Statement;
 pub use error::SqlError;
-pub use parser::parse;
-pub use planner::{plan, run_sql, run_sql_with_stats, PlannedQuery};
+pub use parser::{parse, parse_statement};
+pub use planner::{
+    plan, run_sql, run_sql_with_stats, run_statement, run_statement_with_stats, PlannedQuery,
+    SqlOutput,
+};

@@ -3,6 +3,7 @@
 //! Grammar (keywords case-insensitive):
 //!
 //! ```text
+//! statement := [EXPLAIN [ANALYZE]] select
 //! select    := SELECT list FROM ident [window] [where] [having] [with] [';']
 //! list      := '*' | item (',' item)*
 //! item      := expr [AS ident]
@@ -37,6 +38,24 @@ pub fn parse(input: &str) -> Result<SelectStmt, SqlError> {
     let mut p = Parser { tokens, i: 0 };
     let stmt = p.select()?;
     // Optional trailing semicolon, then end of input.
+    p.eat_if(&Token::Semi);
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+/// Parses a top-level statement: a SELECT, optionally wrapped in
+/// `EXPLAIN` / `EXPLAIN ANALYZE`.
+pub fn parse_statement(input: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, i: 0 };
+    let stmt = if p.eat_kw("EXPLAIN") {
+        let analyze = p.eat_kw("ANALYZE");
+        Statement::Explain { analyze, stmt: p.select()? }
+    } else {
+        Statement::Select(p.select()?)
+    };
     p.eat_if(&Token::Semi);
     if !p.at_end() {
         return Err(p.err("trailing tokens after statement"));
@@ -655,5 +674,27 @@ mod tests {
     fn trailing_semicolon_ok() {
         assert!(parse("SELECT * FROM s;").is_ok());
         assert!(parse("SELECT * FROM s;;").is_err());
+    }
+
+    #[test]
+    fn explain_statements() {
+        match parse_statement("SELECT * FROM s").unwrap() {
+            Statement::Select(sel) => assert_eq!(sel.from, "s"),
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("EXPLAIN SELECT * FROM s WHERE x > 1;").unwrap() {
+            Statement::Explain { analyze: false, stmt } => assert!(stmt.predicate.is_some()),
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("explain analyze SELECT * FROM s").unwrap() {
+            Statement::Explain { analyze: true, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        // EXPLAIN wraps exactly one statement; garbage still rejected.
+        assert!(parse_statement("EXPLAIN").is_err());
+        assert!(parse_statement("EXPLAIN SELECT * FROM s extra").is_err());
+        // `parse` itself does not accept EXPLAIN (callers wanting it use
+        // `parse_statement`).
+        assert!(parse("EXPLAIN SELECT * FROM s").is_err());
     }
 }

@@ -15,7 +15,7 @@ use ausdb_stats::htest::Alternative;
 
 use crate::ast::*;
 use crate::error::SqlError;
-use crate::parser::parse;
+use crate::parser::{parse, parse_statement};
 
 /// A planned query: the source stream name, the engine query, and an
 /// optional accuracy-mode override from the `WITH ACCURACY` clause.
@@ -270,6 +270,116 @@ pub fn run_sql_with_stats(
         config = QueryConfig { accuracy: mode, ..config };
     }
     Ok(session.run_with_config_and_stats(&planned.from, &planned.query, config)?)
+}
+
+/// What a top-level statement produced: result rows for a SELECT, or
+/// rendered plan text for `EXPLAIN` / `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone)]
+pub enum SqlOutput {
+    /// SELECT results.
+    Rows {
+        /// Result schema.
+        schema: Schema,
+        /// Result tuples.
+        tuples: Vec<Tuple>,
+    },
+    /// Plan text, one operator per line (ANALYZE appends observed
+    /// statistics to each line plus engine totals at the end).
+    Plan(String),
+}
+
+/// Parses and runs a top-level statement ([`parse_statement`] grammar):
+/// a SELECT executes and returns rows; `EXPLAIN` returns the plan without
+/// executing; `EXPLAIN ANALYZE` executes the query and returns the plan
+/// annotated with per-operator counters, drop reasons, accuracy
+/// attributes (`ci_width`, `df_n`, `resamples`), and timing.
+pub fn run_statement(
+    session: &Session,
+    sql: &str,
+) -> Result<SqlOutput, Box<dyn std::error::Error>> {
+    run_statement_with_stats(session, sql).map(|(out, _)| out)
+}
+
+/// [`run_statement`] that also surfaces the pipeline's
+/// [`StatsReport`](ausdb_engine::obs::StatsReport) when the statement
+/// executed (SELECT and EXPLAIN ANALYZE; plain EXPLAIN yields `None`).
+/// Execution is observational only: the rows are bit-identical to
+/// [`run_sql`] on the same session and statement.
+pub fn run_statement_with_stats(
+    session: &Session,
+    sql: &str,
+) -> Result<(SqlOutput, Option<ausdb_engine::obs::StatsReport>), Box<dyn std::error::Error>> {
+    match parse_statement(sql)? {
+        Statement::Select(sel) => {
+            let (planned, config) = prepare(session, &sel)?;
+            let (schema, tuples, report, _trace) =
+                session.run_with_config_traced(&planned.from, &planned.query, config)?;
+            Ok((SqlOutput::Rows { schema, tuples }, Some(report)))
+        }
+        Statement::Explain { analyze: false, stmt: sel } => {
+            let (planned, _) = prepare(session, &sel)?;
+            Ok((SqlOutput::Plan(planned.query.explain(&planned.from)), None))
+        }
+        Statement::Explain { analyze: true, stmt: sel } => {
+            let (planned, config) = prepare(session, &sel)?;
+            let (_, tuples, report, trace) =
+                session.run_with_config_traced(&planned.from, &planned.query, config)?;
+            let plan_text = planned.query.explain(&planned.from);
+            let total_us = trace.as_ref().map(|t| t.duration_us());
+            let rendered = render_analyze(&plan_text, &report, total_us, tuples.len());
+            Ok((SqlOutput::Plan(rendered), Some(report)))
+        }
+    }
+}
+
+fn prepare(
+    session: &Session,
+    sel: &SelectStmt,
+) -> Result<(PlannedQuery, QueryConfig), Box<dyn std::error::Error>> {
+    let schema = session.schema_of(&sel.from)?.clone();
+    let planned = plan(sel, Some(&schema))?;
+    let mut config = session.config;
+    if let Some(mode) = planned.accuracy {
+        config = QueryConfig { accuracy: mode, ..config };
+    }
+    Ok((planned, config))
+}
+
+/// Annotates a rendered plan with observed per-operator statistics.
+///
+/// Each plan line names its stage (`Filter [...]`, `WindowAgg [...]`, …);
+/// the first not-yet-consumed [`OpStats`](ausdb_engine::obs::OpStats)
+/// with the same operator name is appended to that line. The plan always
+/// says `WindowAgg` while the engine reports time-based windows as
+/// `TimeWindowAgg`, so that pair is treated as one name. Stages without a
+/// metrics-bearing operator (Scan, Sort, Limit) pass through untouched.
+fn render_analyze(
+    plan: &str,
+    report: &ausdb_engine::obs::StatsReport,
+    total_us: Option<u64>,
+    rows: usize,
+) -> String {
+    let mut used = vec![false; report.ops.len()];
+    let mut out = String::new();
+    for line in plan.lines() {
+        out.push_str(line);
+        let stage = line.trim_start().split([' ', '[']).next().unwrap_or("");
+        let hit = report.ops.iter().enumerate().find(|(i, op)| {
+            !used[*i] && (op.name == stage || (stage == "WindowAgg" && op.name == "TimeWindowAgg"))
+        });
+        if let Some((i, op)) = hit {
+            used[i] = true;
+            out.push(' ');
+            out.push_str(&op.details());
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{}\n", report.engine));
+    match total_us {
+        Some(us) => out.push_str(&format!("total: {:.3}ms rows={rows}", us as f64 / 1e3)),
+        None => out.push_str(&format!("total: rows={rows}")),
+    }
+    out
 }
 
 fn lower_expr(e: &SqlExpr, check: &dyn Fn(&str) -> Result<(), SqlError>) -> Result<Expr, SqlError> {
@@ -766,6 +876,84 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].fields[0].value, Value::Int(2), "hottest first");
         assert_eq!(out[1].fields[0].value, Value::Int(3));
+    }
+
+    #[test]
+    fn explain_returns_plan_without_executing() {
+        let s = road_session();
+        let out = run_statement(&s, "EXPLAIN SELECT road_id FROM t WHERE delay > 50").unwrap();
+        let SqlOutput::Plan(plan) = out else { panic!("expected a plan") };
+        assert!(plan.contains("Scan [t]"), "{plan}");
+        assert!(plan.contains("Filter"), "{plan}");
+        // No execution: no annotations, no totals line.
+        assert!(!plan.contains("total:"), "{plan}");
+        assert!(!plan.contains("in="), "{plan}");
+        // Plain SELECT still returns rows through the same entry point.
+        let (out, stats) =
+            run_statement_with_stats(&s, "SELECT road_id FROM t WHERE delay > 50 PROB 0.66")
+                .unwrap();
+        let SqlOutput::Rows { tuples, .. } = out else { panic!("expected rows") };
+        assert_eq!(tuples.len(), 2);
+        assert!(stats.unwrap().op("Filter").is_some());
+    }
+
+    #[test]
+    fn explain_analyze_annotates_bootstrap_query() {
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap();
+        let tuples: Vec<Tuple> = (0..6)
+            .map(|i| {
+                Tuple::certain(
+                    i,
+                    vec![Field::learned(AttrDistribution::gaussian(10.0, 1.0).unwrap(), 30)],
+                )
+            })
+            .collect();
+        let mut s = Session::new();
+        s.register("s", schema, tuples);
+        let out = run_statement(
+            &s,
+            "EXPLAIN ANALYZE SELECT avg_x FROM s WHERE x > 0 WINDOW AVG(x) SIZE 4              WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 200",
+        )
+        .unwrap();
+        let SqlOutput::Plan(plan) = out else { panic!("expected a plan") };
+        // Every executed operator line carries its observed counters; the
+        // window line additionally carries the accuracy attributes.
+        let window = plan.lines().find(|l| l.trim_start().starts_with("WindowAgg")).unwrap();
+        for needle in ["in=", "out=", "time=", "ci_width=", "df_n=30", "resamples="] {
+            assert!(window.contains(needle), "missing {needle} in: {window}");
+        }
+        let filter = plan.lines().find(|l| l.trim_start().starts_with("Filter")).unwrap();
+        assert!(filter.contains("in=6 out=6"), "{filter}");
+        assert!(plan.contains("engine:"), "{plan}");
+        assert!(plan.contains("rows=3"), "{plan}");
+        // ANALYZE is observational: the rows match a plain run.
+        let (_, plain) = run_sql(
+            &s,
+            "SELECT avg_x FROM s WHERE x > 0 WINDOW AVG(x) SIZE 4              WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 200",
+        )
+        .unwrap();
+        assert_eq!(plain.len(), 3);
+    }
+
+    #[test]
+    fn explain_analyze_aliases_time_window() {
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Dist)]).unwrap();
+        let mk = |ts: u64| {
+            Tuple::certain(
+                ts,
+                vec![Field::learned(AttrDistribution::gaussian(5.0, 1.0).unwrap(), 10)],
+            )
+        };
+        let mut s = Session::new();
+        s.register("s", schema, vec![mk(0), mk(30), mk(100)]);
+        let out =
+            run_statement(&s, "EXPLAIN ANALYZE SELECT avg_x FROM s WINDOW AVG(x) RANGE 60 MIN 1")
+                .unwrap();
+        let SqlOutput::Plan(plan) = out else { panic!("expected a plan") };
+        // The plan says WindowAgg; the engine op is TimeWindowAgg. The
+        // annotation must still land on the window line.
+        let window = plan.lines().find(|l| l.trim_start().starts_with("WindowAgg")).unwrap();
+        assert!(window.contains("in=3 out=3"), "{window}");
     }
 
     #[test]

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for `ausdb serve`: start, ingest, query, stats,
 # snapshot, shutdown — then restart against the snapshot and verify the
-# restored state answers the same query identically.
+# restored state answers the same query identically. Along the way it
+# scrapes `GET /metrics` over plain HTTP and asserts the body is
+# byte-identical to the `METRICS` protocol reply, checks `HELP`, and
+# verifies `--trace-json` writes Chrome trace-event JSON on shutdown.
 #
 # Uses bash's /dev/tcp so no netcat is required. Run from anywhere:
 #   bash scripts/server_smoke.sh
@@ -32,17 +35,30 @@ fail() {
 
 start_server() { # start_server <out-suffix>
     "$BIN" serve --addr 127.0.0.1:0 --snapshot-path "$SNAP" --window 10 \
+        --http-addr 127.0.0.1:0 --trace-json "$WORK/trace$1.json" \
         >"$WORK/out$1" 2>"$WORK/err$1" &
     SERVER_PID=$!
     for _ in $(seq 1 200); do
-        grep -q "^listening on " "$WORK/out$1" 2>/dev/null && break
+        grep -q "^metrics listening on " "$WORK/out$1" 2>/dev/null && break
         kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before announcing"
         sleep 0.05
     done
     PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/out$1" | head -1)
     [[ -n "$PORT" ]] || fail "no 'listening on' line"
+    HTTP_PORT=$(sed -n 's/^metrics listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/out$1" | head -1)
+    [[ -n "$HTTP_PORT" ]] || fail "no 'metrics listening on' line"
     exec 3<>"/dev/tcp/127.0.0.1/$PORT"
     expect "OK ausdb-serve 1 ready"
+}
+
+http_get_metrics() { # scrape GET /metrics -> body in file $1, status in $HTTP_STATUS
+    exec 4<>"/dev/tcp/127.0.0.1/$HTTP_PORT"
+    printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' >&4
+    cat <&4 >"$WORK/http_raw" # server closes after the response
+    exec 4<&- 4>&-
+    HTTP_STATUS=$(head -1 "$WORK/http_raw" | tr -d '\r')
+    # The body starts after the first blank (header-terminating) line.
+    awk 'body { print } /^\r?$/ { body = 1 }' "$WORK/http_raw" >"$1"
 }
 
 send() { printf '%s\n' "$1" >&3; }
@@ -94,6 +110,17 @@ grep -q '^# TYPE ausdb_query_latency_seconds histogram$' "$WORK/metrics" ||
     fail "METRICS missing the query latency histogram TYPE line"
 grep -q '^ausdb_rows_ingested_total{stream="traffic"} 4$' "$WORK/metrics" ||
     fail "METRICS missing the per-stream ingest counter"
+# The HTTP scrape must serve the same exposition as the METRICS verb:
+# byte-for-byte identical bodies (METRICS adds only the END terminator).
+http_get_metrics "$WORK/http_body"
+[[ "$HTTP_STATUS" == "HTTP/1.1 200 OK" ]] || fail "GET /metrics status: $HTTP_STATUS"
+sed '$d' "$WORK/metrics" >"$WORK/metrics_body" # drop the END line
+diff -u "$WORK/metrics_body" "$WORK/http_body" ||
+    fail "GET /metrics body differs from the METRICS protocol reply"
+send "HELP"
+read_block "$WORK/help"
+grep -q '^QUERY ' "$WORK/help" || fail "HELP does not document QUERY"
+grep -q '^TRACEX ' "$WORK/help" || fail "HELP does not document TRACEX"
 send "TRACE 5"
 read_block "$WORK/trace"
 grep -q '^TRACE #' "$WORK/trace" || fail "TRACE returned no journal entries"
@@ -105,6 +132,11 @@ expect "OK shutting down"
 exec 3<&- 3>&-
 wait "$SERVER_PID" || fail "server exited non-zero after SHUTDOWN"
 SERVER_PID=""
+# --trace-json writes the span ring as Chrome trace-event JSON on exit.
+[[ -s "$WORK/trace1.json" ]] || fail "--trace-json wrote no file"
+head -1 "$WORK/trace1.json" | grep -q '^\[' || fail "trace JSON does not open an array"
+tail -1 "$WORK/trace1.json" | grep -q '^\]' || fail "trace JSON does not close an array"
+grep -q '"ph":"X"' "$WORK/trace1.json" || fail "trace JSON has no complete-span events"
 
 echo "== phase 2: restart from snapshot, verify identical state =="
 start_server 2

@@ -16,8 +16,13 @@
 //!
 //! In the shell, meta-commands start with `\`; anything else is parsed as
 //! extended SQL. `EXPLAIN <query>` prints the physical plan instead of
-//! running it. `serve` starts `ausdb-serve` (see `DESIGN.md` §5 for the
-//! wire protocol) and runs until `SHUTDOWN` or Ctrl-C.
+//! running it, and `EXPLAIN ANALYZE <query>` runs the query and annotates
+//! each operator with timing, row counts, and accuracy attributes.
+//! `serve` starts `ausdb-serve` (see `DESIGN.md` §5 for the wire
+//! protocol) and runs until `SHUTDOWN` or Ctrl-C; `--http-addr` exposes
+//! `GET /metrics` over plain HTTP and `--trace-json FILE` writes the
+//! recently traced query spans as Chrome trace-event JSON on shutdown
+//! (load it in `chrome://tracing` or Perfetto).
 
 use std::io::{BufRead, Write};
 
@@ -47,18 +52,21 @@ fn print_usage() {
     eprintln!("usage: ausdb [shell] [--demo]");
     eprintln!("       ausdb serve [--addr HOST:PORT] [--snapshot-path FILE]");
     eprintln!("                   [--max-subscribers N] [--queue-cap N] [--window SECONDS]");
-    eprintln!("                   [--metrics]");
+    eprintln!("                   [--metrics] [--http-addr HOST:PORT] [--trace-json FILE]");
     eprintln!();
     eprintln!("  shell   interactive SQL shell (default); --demo preloads a simulated network");
     eprintln!("  serve   continuous-query TCP server (INGEST/QUERY/SUBSCRIBE/STATS/METRICS/");
-    eprintln!("          TRACE/SNAPSHOT/RESTORE/SHUTDOWN; see DESIGN.md section 5);");
-    eprintln!("          --metrics dumps the final Prometheus exposition on shutdown");
+    eprintln!("          TRACE/TRACEX/SNAPSHOT/RESTORE/HELP/SHUTDOWN; see DESIGN.md section 5);");
+    eprintln!("          --metrics dumps the final Prometheus exposition on shutdown;");
+    eprintln!("          --http-addr serves the same exposition at GET /metrics;");
+    eprintln!("          --trace-json writes queued query spans as Chrome trace JSON on exit");
 }
 
 fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut config = ServerConfig { addr: "127.0.0.1:7878".to_string(), ..Default::default() };
     let mut engine = EngineConfig::default();
     let mut dump_metrics = false;
+    let mut trace_json: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| -> Result<&String, String> {
@@ -86,6 +94,8 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 engine.learner.window_width = width;
             }
             "--metrics" => dump_metrics = true,
+            "--http-addr" => config.http_addr = Some(value("--http-addr")?.clone()),
+            "--trace-json" => trace_json = Some(std::path::PathBuf::from(value("--trace-json")?)),
             other => {
                 eprintln!("error: unknown serve flag '{other}'\n");
                 print_usage();
@@ -100,6 +110,9 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     // The smoke test and users scrape this exact line for the bound port.
     println!("listening on {}", handle.addr());
+    if let Some(http) = handle.http_addr() {
+        println!("metrics listening on {http}");
+    }
     std::io::stdout().flush()?;
     install_sigint_handler();
     while !handle.is_finished() && !interrupted() {
@@ -112,6 +125,12 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("server stopped");
     if let Some(text) = final_metrics {
         print!("{text}");
+    }
+    if let Some(path) = trace_json {
+        let traces = ausdb::obs::span::ring().snapshot();
+        let json = ausdb::obs::span::chrome_trace_json(&traces);
+        std::fs::write(&path, json)?;
+        eprintln!("wrote {} traced queries to {}", traces.len(), path.display());
     }
     Ok(())
 }
@@ -177,6 +196,8 @@ fn run_meta(session: &mut Session, line: &str) -> MetaResult {
             println!("  \\help, \\quit");
             println!("anything else: extended SQL terminated by ';'");
             println!("  EXPLAIN SELECT ...;               show the physical plan");
+            println!("  EXPLAIN ANALYZE SELECT ...;       run it, annotate per-operator timing,");
+            println!("                                    rows, and accuracy attributes");
         }
         "\\streams" => {
             for (name, n) in session.streams() {
@@ -239,25 +260,11 @@ fn load_csv(
 }
 
 fn run_statement(session: &Session, stmt: &str) {
-    let stmt = stmt.strip_suffix(';').unwrap_or(stmt).trim();
-    if let Some(sql) = stmt.strip_prefix("EXPLAIN ").or_else(|| stmt.strip_prefix("explain ")) {
-        match explain(session, sql) {
-            Ok(plan) => println!("{plan}"),
-            Err(e) => println!("error: {e}"),
-        }
-        return;
-    }
-    match run_sql(session, stmt) {
-        Ok((schema, rows)) => print_rows(&schema, &rows),
+    match ausdb::sql::run_statement(session, stmt) {
+        Ok(ausdb::sql::SqlOutput::Rows { schema, tuples }) => print_rows(&schema, &tuples),
+        Ok(ausdb::sql::SqlOutput::Plan(plan)) => println!("{plan}"),
         Err(e) => println!("error: {e}"),
     }
-}
-
-fn explain(session: &Session, sql: &str) -> Result<String, Box<dyn std::error::Error>> {
-    let stmt = ausdb::sql::parse(sql)?;
-    let schema = session.schema_of(&stmt.from)?.clone();
-    let planned = ausdb::sql::plan(&stmt, Some(&schema))?;
-    Ok(planned.query.explain(&planned.from))
 }
 
 fn print_rows(schema: &Schema, rows: &[Tuple]) {
@@ -291,9 +298,10 @@ fn print_rows(schema: &Schema, rows: &[Tuple]) {
 fn load_demo(session: &mut Session) -> Result<(), Box<dyn std::error::Error>> {
     let sim = CartelSim::new(40, 2012);
     let obs = sim.fleet_observations(600, 4.0, 1);
+    // Gaussian (not empirical) so windowed aggregates work in the demo.
     let mut learner = StreamLearner::with_column_names(
         LearnerConfig {
-            kind: DistKind::Empirical,
+            kind: DistKind::Gaussian,
             level: 0.9,
             window_width: 600,
             min_observations: 3,

@@ -61,6 +61,7 @@
 //!
 //! | Module | Re-export of | Contents |
 //! |---|---|---|
+//! | [`obs`] | `ausdb-obs` | metrics, trace journal, query-grain spans, env knobs |
 //! | [`stats`] | `ausdb-stats` | special functions, distributions, CIs, hypothesis tests, bootstrap |
 //! | [`model`] | `ausdb-model` | values, attribute distributions, accuracy info, tuples, schemas |
 //! | [`learn`] | `ausdb-learn` | histogram/Gaussian learning + Lemma 1/2 accuracy attachment |
@@ -76,6 +77,7 @@ pub use ausdb_datagen as datagen;
 pub use ausdb_engine as engine;
 pub use ausdb_learn as learn;
 pub use ausdb_model as model;
+pub use ausdb_obs as obs;
 pub use ausdb_serve as serve;
 pub use ausdb_sql as sql;
 pub use ausdb_stats as stats;

@@ -1,0 +1,114 @@
+//! Golden-file test for `EXPLAIN` plan rendering.
+//!
+//! `EXPLAIN` output is part of the user-facing surface (shell, server
+//! `PLAN` lines, docs); this test pins its exact text so accidental
+//! renderer changes show up as a reviewable diff. To accept a deliberate
+//! change, regenerate the golden file:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test explain_golden
+//! ```
+
+use ausdb::prelude::*;
+use ausdb::sql::{run_statement, SqlOutput};
+
+const GOLDEN: &str = "tests/golden/explain.txt";
+
+/// One query per operator shape: probabilistic filter, significance
+/// filter, count window + bootstrap accuracy, group-by with sort/limit,
+/// join with a derived-expression predicate, and a time window.
+const QUERIES: &[&str] = &[
+    "SELECT road_id FROM t WHERE delay > 50 PROB 0.66",
+    "SELECT road_id FROM t HAVING PTEST(delay > 50, 0.66, 0.05)",
+    "SELECT avg_delay FROM t WINDOW AVG(delay) SIZE 4 WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 50",
+    "SELECT road_id, AVG(delay) FROM t GROUP BY road_id ORDER BY avg_delay DESC LIMIT 2",
+    "SELECT road_id, delay, speed_limit FROM t JOIN limits ON road_id \
+     WHERE delay - speed_limit > 0 PROB 0.9",
+    "SELECT avg_delay FROM t WINDOW AVG(delay) RANGE 60 MIN 1",
+];
+
+fn session() -> Session {
+    let roads = Schema::new(vec![
+        Column::new("road_id", ColumnType::Int),
+        Column::new("delay", ColumnType::Dist),
+    ])
+    .unwrap();
+    let tuples = vec![
+        Tuple::certain(
+            0,
+            vec![
+                Field::plain(19i64),
+                Field::learned(AttrDistribution::gaussian(64.0, 900.0).unwrap(), 3),
+            ],
+        ),
+        Tuple::certain(
+            1,
+            vec![
+                Field::plain(20i64),
+                Field::learned(AttrDistribution::gaussian(65.0, 100.0).unwrap(), 50),
+            ],
+        ),
+    ];
+    let limits = Schema::new(vec![
+        Column::new("road_id", ColumnType::Int),
+        Column::new("speed_limit", ColumnType::Float),
+    ])
+    .unwrap();
+    let mut s = Session::new();
+    s.register("t", roads, tuples);
+    s.register(
+        "limits",
+        limits,
+        vec![Tuple::certain(0, vec![Field::plain(20i64), Field::plain(30.0)])],
+    );
+    s
+}
+
+#[test]
+fn explain_plans_match_golden_file() {
+    let session = session();
+    let mut actual = String::new();
+    for q in QUERIES {
+        actual.push_str(&format!("-- EXPLAIN {q}\n"));
+        match run_statement(&session, &format!("EXPLAIN {q}")) {
+            Ok(SqlOutput::Plan(plan)) => {
+                actual.push_str(&plan);
+                if !plan.ends_with('\n') {
+                    actual.push('\n');
+                }
+            }
+            Ok(SqlOutput::Rows { .. }) => panic!("EXPLAIN returned rows for: {q}"),
+            Err(e) => panic!("EXPLAIN failed for {q}: {e}"),
+        }
+        actual.push('\n');
+    }
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", GOLDEN)
+    });
+    assert_eq!(
+        actual, expected,
+        "EXPLAIN output drifted from {GOLDEN}; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test explain_golden"
+    );
+}
+
+#[test]
+fn explain_analyze_smoke_through_facade() {
+    // Timings vary run to run, so ANALYZE is asserted structurally rather
+    // than pinned in the golden file.
+    let session = session();
+    let sql = "EXPLAIN ANALYZE SELECT avg_delay FROM t WINDOW AVG(delay) SIZE 2 \
+               WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 30";
+    let Ok(SqlOutput::Plan(plan)) = run_statement(&session, sql) else {
+        panic!("EXPLAIN ANALYZE did not return a plan");
+    };
+    for needle in ["WindowAgg", "in=", "out=", "time=", "ci_width=", "resamples=", "total:"] {
+        assert!(plan.contains(needle), "missing {needle:?} in:\n{plan}");
+    }
+}
