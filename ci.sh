@@ -33,4 +33,7 @@ cargo test -q -p ausdb-serve --test loopback telemetry_flag_does_not_affect_resu
 echo "== server smoke =="
 bash scripts/server_smoke.sh
 
+echo "== pr6 bench: network ingest (INGESTB + shards) =="
+bash scripts/pr6_bench
+
 echo "CI OK"

@@ -1,0 +1,205 @@
+//! Network-ingest benchmark for the binary batch protocol and the
+//! sharded engine (PR 6).
+//!
+//! PR 3 measured a ~6x gap between in-process ingest and the line
+//! protocol over loopback TCP (one `INGEST` text line and one `OK` reply
+//! per row). This bench shows the gap closing: `INGESTB` frames carry
+//! up to 2²⁰ rows per round trip, and `--shards N` spreads the learn /
+//! window-close work over independent engine shards. Writes
+//! `BENCH_pr6.json` (in the current directory) with rows/sec for three
+//! paths at 1, 2, 4, and 8 shards:
+//!
+//! * **in_process** — `ShardSet::ingest_batch`, no socket at all (the
+//!   ceiling);
+//! * **tcp_line** — the PR 3 pipelined text path (the floor);
+//! * **tcp_batch** — `INGESTB` frames via [`BatchClient`] (the point of
+//!   this PR; target ≥ ~1.75M rows/s, within 2x of in-process).
+//!
+//! Usage: `cargo run --release -p ausdb-bench --bin pr6_bench`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ausdb_learn::accuracy::DistKind;
+use ausdb_learn::learner::{LearnerConfig, RawObservation};
+use ausdb_serve::client::BatchClient;
+use ausdb_serve::server::{Server, ServerConfig};
+use ausdb_serve::shard::ShardSet;
+use ausdb_serve::state::EngineConfig;
+
+/// Window width in timestamp units; with `KEYS` keys a window closes
+/// every `KEYS * WINDOW` rows. Mirrors `pr3_bench` so the line-protocol
+/// numbers are directly comparable.
+const WINDOW: u64 = 60;
+const KEYS: u64 = 32;
+/// Rows per in-process repetition.
+const INPROC_ROWS: u64 = 100_000;
+/// Rows pushed through the pipelined text path (slow: one reply/row).
+const TCP_LINE_ROWS: u64 = 20_000;
+/// Rows pushed through the binary batch path.
+const TCP_BATCH_ROWS: u64 = 200_000;
+/// Rows per `INGESTB` frame (one round trip each).
+const FRAME_ROWS: usize = 16_384;
+/// Timing repetitions for in-process runs; best one kept.
+const REPS: usize = 3;
+/// Shard counts measured for every path.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn engine_config(shards: usize) -> EngineConfig {
+    EngineConfig {
+        learner: LearnerConfig {
+            kind: DistKind::Empirical,
+            level: 0.9,
+            window_width: WINDOW,
+            min_observations: 2,
+        },
+        shards,
+        ..EngineConfig::default()
+    }
+}
+
+/// Deterministic synthetic observation stream (same as `pr3_bench`).
+fn observation(i: u64) -> (i64, u64, f64) {
+    let key = (i % KEYS) as i64;
+    let ts = i / KEYS;
+    let value = 40.0 + ((i.wrapping_mul(37)) % 100) as f64 * 0.5;
+    (key, ts, value)
+}
+
+fn raw_rows(n: u64) -> Vec<RawObservation> {
+    (0..n)
+        .map(|i| {
+            let (key, ts, value) = observation(i);
+            RawObservation::new(key, ts, value)
+        })
+        .collect()
+}
+
+/// Best-of-`REPS` seconds for one repetition of `f` (warm-up run first).
+fn time_best<F: FnMut()>(mut f: F) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn inproc_rows_per_sec(shards: usize) -> f64 {
+    let rows = raw_rows(INPROC_ROWS);
+    let secs = time_best(|| {
+        let set = ShardSet::new(engine_config(shards));
+        let outcome = set.ingest_batch("bench", &rows).expect("batch ingest");
+        black_box(outcome.windows_emitted);
+    });
+    INPROC_ROWS as f64 / secs
+}
+
+fn start_server(shards: usize) -> ausdb_serve::server::ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: engine_config(shards),
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// The PR 3 text path: every row is one `INGEST` line and one reply,
+/// pipelined in a single burst write.
+fn tcp_line_rows_per_sec(shards: usize) -> f64 {
+    let handle = start_server(shards);
+    let mut burst = String::new();
+    for i in 0..TCP_LINE_ROWS {
+        let (key, ts, value) = observation(i);
+        let _ = writeln!(burst, "INGEST bench {key},{ts},{value}");
+    }
+    let secs = {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("greeting");
+        let start = Instant::now();
+        writer.write_all(burst.as_bytes()).expect("write burst");
+        for _ in 0..TCP_LINE_ROWS {
+            line.clear();
+            reader.read_line(&mut line).expect("reply");
+            assert!(line.starts_with("OK INGESTED"), "got {line}");
+        }
+        start.elapsed().as_secs_f64()
+    };
+    handle.stop();
+    TCP_LINE_ROWS as f64 / secs
+}
+
+/// The binary path: `INGESTB` frames of `FRAME_ROWS` rows, one reply per
+/// frame instead of one per row.
+fn tcp_batch_rows_per_sec(shards: usize) -> f64 {
+    let handle = start_server(shards);
+    let rows = raw_rows(TCP_BATCH_ROWS);
+    let secs = {
+        let mut client = BatchClient::connect(&handle.addr().to_string()).expect("batch connect");
+        let start = Instant::now();
+        let mut accepted = 0u64;
+        for chunk in rows.chunks(FRAME_ROWS) {
+            accepted += client.ingest_batch("bench", chunk).expect("batch ingest").accepted;
+        }
+        assert_eq!(accepted, TCP_BATCH_ROWS);
+        start.elapsed().as_secs_f64()
+    };
+    handle.stop();
+    TCP_BATCH_ROWS as f64 / secs
+}
+
+fn main() {
+    let mut results = Vec::new();
+    for shards in SHARD_COUNTS {
+        let inproc = inproc_rows_per_sec(shards);
+        let line = tcp_line_rows_per_sec(shards);
+        let batch = tcp_batch_rows_per_sec(shards);
+        eprintln!(
+            "shards={shards}: in-process {inproc:.0} rows/s, tcp line {line:.0} rows/s, \
+             tcp batch {batch:.0} rows/s"
+        );
+        results.push((shards, inproc, line, batch));
+    }
+
+    let (_, inproc_1, line_1, batch_1) = results[0];
+    let speedup = batch_1 / line_1;
+    let inproc_ratio = batch_1 / inproc_1;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"workload\": \"network ingest: INGESTB frames + sharded engine vs the line protocol\",\n");
+    let _ = writeln!(json, "  \"keys\": {KEYS},");
+    let _ = writeln!(json, "  \"window_width\": {WINDOW},");
+    let _ = writeln!(json, "  \"tcp_line_rows\": {TCP_LINE_ROWS},");
+    let _ = writeln!(json, "  \"tcp_batch_rows\": {TCP_BATCH_ROWS},");
+    let _ = writeln!(json, "  \"frame_rows\": {FRAME_ROWS},");
+    json.push_str("  \"rows_per_sec\": {\n");
+    for (i, (shards, inproc, line, batch)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"shards_{shards}\": {{ \"in_process\": {inproc:.0}, \
+             \"tcp_line\": {line:.0}, \"tcp_batch\": {batch:.0} }}{comma}"
+        );
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"tcp_batch_vs_line_speedup\": {speedup:.2},");
+    let _ = writeln!(json, "  \"tcp_batch_vs_in_process_ratio\": {inproc_ratio:.2}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_pr6.json", &json).expect("write BENCH_pr6.json");
+    print!("{json}");
+    eprintln!(
+        "tcp batch is {speedup:.1}x the line protocol and {:.0}% of in-process at 1 shard",
+        inproc_ratio * 100.0
+    );
+}

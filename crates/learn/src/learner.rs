@@ -109,13 +109,20 @@ impl StreamLearner {
         self.buffer.values().map(Vec::len).sum()
     }
 
-    /// Raw per-key buffer contents, for snapshotting.
-    pub(crate) fn buffer(&self) -> &BTreeMap<i64, Vec<(u64, f64)>> {
+    /// Raw per-key buffer contents — each key's `(ts, value)` observations
+    /// in arrival order. Used for snapshotting and for splitting/merging a
+    /// learner across key-hash shards.
+    pub fn buffer(&self) -> &BTreeMap<i64, Vec<(u64, f64)>> {
         &self.buffer
     }
 
-    /// Rebuilds a learner from snapshot parts (config, schema, buffer).
-    pub(crate) fn from_parts(
+    /// Rebuilds a learner from its parts (config, schema, per-key buffer).
+    /// The inverse of reading [`StreamLearner::config`],
+    /// [`StreamLearner::schema`], and [`StreamLearner::buffer`]: round-
+    /// tripping through `from_parts` preserves every observation bit and
+    /// its arrival order, which is what keeps shard merge/split and
+    /// snapshot restore exact.
+    pub fn from_parts(
         config: LearnerConfig,
         schema: Schema,
         buffer: BTreeMap<i64, Vec<(u64, f64)>>,

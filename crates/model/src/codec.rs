@@ -22,6 +22,12 @@
 //! version through [`Reader::version`] so a future version bump can keep
 //! reading old payloads.
 //!
+//! The same envelope discipline frames the server's binary batch-ingest
+//! path: [`encode_ingest_frame`] / [`decode_ingest_frame`] carry raw
+//! `(key, ts, value)` rows with a trailing [`crc32`] checksum, so a
+//! corrupted or truncated `INGESTB` payload is rejected structurally
+//! instead of poisoning learner state.
+//!
 //! ## Round-trip guarantee
 //!
 //! `decode(encode(x)) == x` **exactly** (same bits) for every implemented
@@ -68,6 +74,13 @@ pub enum CodecError {
     Invalid(String),
     /// Bytes remained after the payload was fully decoded.
     TrailingBytes(usize),
+    /// A checksummed frame's CRC did not match its contents.
+    BadChecksum {
+        /// CRC the frame claimed.
+        expected: u32,
+        /// CRC computed over the received bytes.
+        found: u32,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -86,6 +99,9 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::Invalid(msg) => write!(f, "invalid snapshot payload: {msg}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot payload"),
+            CodecError::BadChecksum { expected, found } => {
+                write!(f, "frame checksum mismatch (expected {expected:#010x}, found {found:#010x})")
+            }
         }
     }
 }
@@ -281,6 +297,125 @@ pub fn decode_snapshot<T: Codec>(bytes: &[u8]) -> Result<T, CodecError> {
         return Err(CodecError::TrailingBytes(r.remaining()));
     }
     Ok(value)
+}
+
+// ---------------------------------------------------------------------
+// Binary ingest frames (`INGESTB`).
+// ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected, init/final `0xFFFF_FFFF`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) of `bytes` — the checksum guarding [`decode_ingest_frame`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// One raw ingest row on the wire: `(key, ts, value)`.
+pub type FrameRow = (i64, u64, f64);
+
+/// Fixed encoded size of one [`FrameRow`].
+const FRAME_ROW_BYTES: usize = 8 + 8 + 8;
+/// Frame header: magic (4) + version (2) + row count (4).
+const FRAME_HEADER_BYTES: usize = 4 + 2 + 4;
+/// Largest row count one frame may carry (sanity cap; a frame this size
+/// is ~24 MB and anything larger is either broken or hostile).
+pub const MAX_FRAME_ROWS: usize = 1 << 20;
+
+/// Encodes a binary batch-ingest frame:
+///
+/// ```text
+/// magic "AUSB" · version u16 · count u32 · count × (key i64 · ts u64 ·
+/// value f64-bits) · crc32 u32        (all little-endian)
+/// ```
+///
+/// The trailing CRC-32 covers every preceding byte. Values are IEEE-754
+/// bit patterns, so the frame codec is injective: NaN payloads, ±inf and
+/// `-0.0` all round-trip exactly.
+///
+/// # Panics
+///
+/// Panics if `rows.len()` exceeds [`MAX_FRAME_ROWS`] — callers chunk
+/// their batches.
+pub fn encode_ingest_frame(rows: &[FrameRow]) -> Vec<u8> {
+    assert!(rows.len() <= MAX_FRAME_ROWS, "frame of {} rows exceeds MAX_FRAME_ROWS", rows.len());
+    let mut w = Writer::new();
+    w.buf.reserve(FRAME_HEADER_BYTES + rows.len() * FRAME_ROW_BYTES + 4);
+    w.put_bytes(&MAGIC);
+    w.put_u16(FORMAT_VERSION);
+    w.put_u32(rows.len() as u32);
+    for &(key, ts, value) in rows {
+        w.put_i64(key);
+        w.put_u64(ts);
+        w.put_f64(value);
+    }
+    let crc = crc32(&w.buf);
+    w.put_u32(crc);
+    w.into_bytes()
+}
+
+/// Decodes a frame produced by [`encode_ingest_frame`], rejecting bad
+/// magic, unsupported versions, truncated payloads, trailing garbage,
+/// oversized row counts, and CRC mismatches — never panicking on
+/// arbitrary input.
+pub fn decode_ingest_frame(bytes: &[u8]) -> Result<Vec<FrameRow>, CodecError> {
+    if bytes.len() < FRAME_HEADER_BYTES + 4 {
+        return Err(CodecError::UnexpectedEof { decoding: "ingest frame header" });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let count = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")) as usize;
+    if count > MAX_FRAME_ROWS {
+        return Err(CodecError::Invalid(format!(
+            "frame claims {count} rows (cap {MAX_FRAME_ROWS})"
+        )));
+    }
+    let expected_len = FRAME_HEADER_BYTES + count * FRAME_ROW_BYTES + 4;
+    if bytes.len() < expected_len {
+        return Err(CodecError::UnexpectedEof { decoding: "ingest frame rows" });
+    }
+    if bytes.len() > expected_len {
+        return Err(CodecError::TrailingBytes(bytes.len() - expected_len));
+    }
+    let body = &bytes[..expected_len - 4];
+    let found = crc32(body);
+    let expected = u32::from_le_bytes(bytes[expected_len - 4..].try_into().expect("4 bytes"));
+    if found != expected {
+        return Err(CodecError::BadChecksum { expected, found });
+    }
+    let mut r = Reader::new(&bytes[FRAME_HEADER_BYTES..expected_len - 4], version);
+    let mut rows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let key = r.get_i64("frame row key")?;
+        let ts = r.get_u64("frame row ts")?;
+        let value = r.get_f64("frame row value")?;
+        rows.push((key, ts, value));
+    }
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------
@@ -743,6 +878,70 @@ mod tests {
             decode_snapshot::<AttrDistribution>(&framed),
             Err(CodecError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn ingest_frame_roundtrips_bit_exactly() {
+        let rows: Vec<FrameRow> = vec![
+            (19, 100, 56.0),
+            (-4, 0, -0.0),
+            (i64::MAX, u64::MAX, f64::INFINITY),
+            (i64::MIN, 1, f64::NEG_INFINITY),
+            (0, 2, f64::from_bits(0x7ff8_dead_beef_0001)),
+        ];
+        let bytes = encode_ingest_frame(&rows);
+        let back = decode_ingest_frame(&bytes).expect("decodes");
+        assert_eq!(back.len(), rows.len());
+        for ((k1, t1, v1), (k2, t2, v2)) in rows.iter().zip(&back) {
+            assert_eq!((k1, t1), (k2, t2));
+            assert_eq!(v1.to_bits(), v2.to_bits(), "values must round-trip bit-exactly");
+        }
+        assert!(decode_ingest_frame(&encode_ingest_frame(&[])).expect("empty frame").is_empty());
+    }
+
+    #[test]
+    fn ingest_frame_rejects_corruption() {
+        let good = encode_ingest_frame(&[(1, 2, 3.0), (4, 5, 6.0)]);
+        // Truncated payload.
+        assert!(matches!(
+            decode_ingest_frame(&good[..good.len() - 5]),
+            Err(CodecError::UnexpectedEof { .. })
+        ));
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert_eq!(decode_ingest_frame(&long), Err(CodecError::TrailingBytes(1)));
+        // A flipped payload byte fails the CRC.
+        let mut corrupt = good.clone();
+        corrupt[12] ^= 0x40;
+        assert!(matches!(decode_ingest_frame(&corrupt), Err(CodecError::BadChecksum { .. })));
+        // A flipped CRC byte fails too.
+        let mut bad_crc = good.clone();
+        let last = bad_crc.len() - 1;
+        bad_crc[last] ^= 1;
+        assert!(matches!(decode_ingest_frame(&bad_crc), Err(CodecError::BadChecksum { .. })));
+        // Bad magic and unsupported version.
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(decode_ingest_frame(&bad_magic), Err(CodecError::BadMagic));
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xFF;
+        bad_version[5] = 0xFF;
+        assert!(matches!(
+            decode_ingest_frame(&bad_version),
+            Err(CodecError::UnsupportedVersion(_))
+        ));
+        // An absurd row count is rejected before any allocation.
+        let mut huge = good;
+        huge[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_ingest_frame(&huge), Err(CodecError::Invalid(_))));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `AUSDB_TELEMETRY` | optional telemetry recording master switch| on |
 //! | `AUSDB_TRACE_CAP` | journal / trace-ring capacity (entries)   | 512 |
 //! | `AUSDB_SLOW_QUERY_MS` | slow-query log threshold in ms        | off |
+//! | `AUSDB_SHARDS`    | key-sharded engine states in the server   | 1 |
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -116,6 +117,15 @@ pub fn slow_query_ms() -> Option<u64> {
     KNOB.from_env(|s| s.trim().parse::<u64>().ok().map(Some), None)
 }
 
+/// `AUSDB_SHARDS`: how many key-sharded engine states the server runs
+/// (rows are routed by a stable hash of their key; 1 = the classic
+/// single-engine layout). Re-read on every call; invalid or zero values
+/// warn once and fall back to 1.
+pub fn shards() -> usize {
+    static KNOB: Knob = Knob::new("AUSDB_SHARDS");
+    KNOB.from_env(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0), 1)
+}
+
 /// `AUSDB_TELEMETRY`: the initial value of the [`crate::enabled`] master
 /// switch — on unless explicitly `0`/`false`/`off`.
 pub(crate) fn telemetry_env_default() -> bool {
@@ -175,5 +185,10 @@ mod tests {
     #[test]
     fn trace_cap_is_positive() {
         assert!(trace_cap() >= 1);
+    }
+
+    #[test]
+    fn shards_is_positive() {
+        assert!(shards() >= 1);
     }
 }

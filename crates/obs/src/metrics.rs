@@ -242,53 +242,94 @@ fn format_labels(labels: &LabelSet, extra: Option<(&str, &str)>) -> String {
     out
 }
 
+/// Renders one histogram series from its (possibly merged) snapshot.
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &LabelSet,
+    snap: &crate::hist::HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for (bound, count) in snap.bounds.iter().zip(&snap.counts) {
+        cumulative += count;
+        let le = format!("{bound}");
+        let _ =
+            writeln!(out, "{name}_bucket{} {cumulative}", format_labels(labels, Some(("le", &le))));
+    }
+    cumulative += snap.counts.last().copied().unwrap_or(0);
+    let _ =
+        writeln!(out, "{name}_bucket{} {cumulative}", format_labels(labels, Some(("le", "+Inf"))));
+    let _ = writeln!(out, "{name}_sum{} {}", format_labels(labels, None), snap.sum);
+    let _ = writeln!(out, "{name}_count{} {cumulative}", format_labels(labels, None));
+}
+
 /// Renders several registries as one Prometheus text exposition with
-/// globally sorted family names (names must not collide across
-/// registries; a collision keeps the first registry's family).
+/// globally sorted family names.
+///
+/// Families and series may repeat across registries (e.g. one registry
+/// per engine shard): duplicate **counter** and **gauge** series are
+/// *summed*, duplicate **histogram** series are merged bucket-by-bucket
+/// (via [`crate::hist::HistogramSnapshot::merge`]; series with mismatched
+/// bounds fall back to the first registry's buckets). The first
+/// registry's `HELP` text and type win for a shared family name, and a
+/// series whose instrument kind disagrees with the family's is skipped.
 pub fn render_merged(registries: &[&Registry]) -> String {
+    struct MergedFamily<'a> {
+        help: &'a str,
+        kind: &'static str,
+        series: BTreeMap<&'a LabelSet, Vec<&'a Instrument>>,
+    }
     let mut out = String::new();
     let guards: Vec<_> = registries
         .iter()
         .map(|r| r.families.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
         .collect();
-    let mut families: BTreeMap<&str, &Family> = BTreeMap::new();
+    let mut families: BTreeMap<&str, MergedFamily<'_>> = BTreeMap::new();
     for guard in &guards {
         for (name, family) in guard.iter() {
-            families.entry(name.as_str()).or_insert(family);
+            let merged = families.entry(name.as_str()).or_insert_with(|| MergedFamily {
+                help: &family.help,
+                kind: family.kind,
+                series: BTreeMap::new(),
+            });
+            for (labels, instrument) in &family.series {
+                merged.series.entry(labels).or_default().push(instrument);
+            }
         }
     }
     for (name, family) in families {
-        let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(family.help));
         let _ = writeln!(out, "# TYPE {name} {}", family.kind);
-        for (labels, instrument) in &family.series {
-            match instrument {
-                Instrument::Counter(c) => {
-                    let _ = writeln!(out, "{name}{} {}", format_labels(labels, None), c.get());
+        for (labels, instruments) in &family.series {
+            match family.kind {
+                "counter" => {
+                    let total: u64 = instruments
+                        .iter()
+                        .filter_map(|i| match i {
+                            Instrument::Counter(c) => Some(c.get()),
+                            _ => None,
+                        })
+                        .sum();
+                    let _ = writeln!(out, "{name}{} {total}", format_labels(labels, None));
                 }
-                Instrument::Gauge(g) => {
-                    let _ = writeln!(out, "{name}{} {}", format_labels(labels, None), g.get());
+                "gauge" => {
+                    let total: f64 = instruments
+                        .iter()
+                        .filter_map(|i| match i {
+                            Instrument::Gauge(g) => Some(g.get()),
+                            _ => None,
+                        })
+                        .sum();
+                    let _ = writeln!(out, "{name}{} {total}", format_labels(labels, None));
                 }
-                Instrument::Histogram(h) => {
-                    let snap = h.snapshot();
-                    let mut cumulative = 0u64;
-                    for (bound, count) in snap.bounds.iter().zip(&snap.counts) {
-                        cumulative += count;
-                        let le = format!("{bound}");
-                        let _ = writeln!(
-                            out,
-                            "{name}_bucket{} {cumulative}",
-                            format_labels(labels, Some(("le", &le)))
-                        );
-                    }
-                    cumulative += snap.counts.last().copied().unwrap_or(0);
-                    let _ = writeln!(
-                        out,
-                        "{name}_bucket{} {cumulative}",
-                        format_labels(labels, Some(("le", "+Inf")))
-                    );
-                    let _ = writeln!(out, "{name}_sum{} {}", format_labels(labels, None), snap.sum);
-                    let _ =
-                        writeln!(out, "{name}_count{} {cumulative}", format_labels(labels, None));
+                _ => {
+                    let mut snaps = instruments.iter().filter_map(|i| match i {
+                        Instrument::Histogram(h) => Some(h.snapshot()),
+                        _ => None,
+                    });
+                    let Some(first) = snaps.next() else { continue };
+                    let merged = snaps.fold(first, |acc, s| acc.merge(&s).unwrap_or(acc));
+                    render_histogram(&mut out, name, labels, &merged);
                 }
             }
         }
@@ -374,6 +415,36 @@ mod tests {
             .parse()
             .expect("sum parses");
         assert!((sum - 6.05).abs() < 1e-9, "{text}");
+    }
+
+    #[test]
+    fn merged_render_sums_duplicate_series() {
+        let _guard = crate::test_flag_guard();
+        crate::set_enabled(true);
+        // One registry per "shard": the exposition must sum counter and
+        // gauge series and merge histogram buckets across registries.
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        r1.counter("ausdb_rows_total", "rows", &[("stream", "s")]).add(3);
+        r2.counter("ausdb_rows_total", "rows", &[("stream", "s")]).add(4);
+        r2.counter("ausdb_rows_total", "rows", &[("stream", "other")]).add(9);
+        r1.gauge("ausdb_depth", "depth", &[]).set(1.5);
+        r2.gauge("ausdb_depth", "depth", &[]).set(2.0);
+        let h1 = r1.histogram("ausdb_lat_seconds", "latency", &[0.1, 1.0], &[]);
+        let h2 = r2.histogram("ausdb_lat_seconds", "latency", &[0.1, 1.0], &[]);
+        h1.observe(0.05);
+        h2.observe(0.5);
+        h2.observe(5.0);
+        let text = render_merged(&[&r1, &r2]);
+        assert!(text.contains("ausdb_rows_total{stream=\"s\"} 7"), "{text}");
+        assert!(text.contains("ausdb_rows_total{stream=\"other\"} 9"), "{text}");
+        assert!(text.contains("ausdb_depth 3.5"), "{text}");
+        assert!(text.contains("ausdb_lat_seconds_bucket{le=\"0.1\"} 1"), "{text}");
+        assert!(text.contains("ausdb_lat_seconds_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("ausdb_lat_seconds_count 3"), "{text}");
+        // Exactly one exposition line (and one HELP/TYPE pair) per series.
+        assert_eq!(text.matches("ausdb_rows_total{stream=\"s\"}").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE ausdb_rows_total").count(), 1, "{text}");
     }
 
     #[test]

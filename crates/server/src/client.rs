@@ -1,0 +1,137 @@
+//! A small blocking client for the binary batch-ingest protocol.
+//!
+//! [`BatchClient`] is what `ausdb ingest` and the benchmarks use to push
+//! rows at a server: it encodes up to 2²⁰ rows into one `AUSB` frame,
+//! writes the `INGESTB` announcement line **and** the frame payload with
+//! a single `write_all` (one syscall per batch instead of one per row),
+//! and reads back the single `OK` reply. Text commands ride on the same
+//! connection via [`BatchClient::request_line`].
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use ausdb_learn::learner::RawObservation;
+use ausdb_model::codec::{encode_ingest_frame, FrameRow, MAX_FRAME_ROWS};
+
+use crate::state::BatchOutcome;
+
+/// A blocking connection speaking the ausdb line + batch protocol.
+pub struct BatchClient {
+    stream: TcpStream,
+    /// Bytes read past the last consumed line.
+    pending: Vec<u8>,
+}
+
+impl BatchClient {
+    /// Connects and consumes the server greeting line.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Self { stream, pending: Vec::new() };
+        let greeting = client.read_line()?;
+        if !greeting.starts_with("OK") {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected greeting: {greeting}"),
+            ));
+        }
+        Ok(client)
+    }
+
+    /// Sends one batch of rows as a single `INGESTB` frame and parses the
+    /// server's `OK INGESTED` reply. Batches larger than
+    /// [`MAX_FRAME_ROWS`] are split into successive frames transparently;
+    /// the returned outcome sums over them.
+    pub fn ingest_batch(
+        &mut self,
+        stream: &str,
+        rows: &[RawObservation],
+    ) -> std::io::Result<BatchOutcome> {
+        let mut total = BatchOutcome::default();
+        for chunk in rows.chunks(MAX_FRAME_ROWS.max(1)) {
+            let frame_rows: Vec<FrameRow> = chunk.iter().map(|r| (r.key, r.ts, r.value)).collect();
+            let frame = encode_ingest_frame(&frame_rows);
+            // Announcement line and payload in one buffer → one syscall.
+            let mut wire = Vec::with_capacity(frame.len() + stream.len() + 32);
+            wire.extend_from_slice(format!("INGESTB {stream} {}\n", frame.len()).as_bytes());
+            wire.extend_from_slice(&frame);
+            self.stream.write_all(&wire)?;
+            let reply = self.read_line()?;
+            let outcome = parse_ingested_reply(&reply).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected INGESTB reply: {reply}"),
+                )
+            })?;
+            total.accepted += outcome.accepted;
+            total.late += outcome.late;
+            total.windows_emitted += outcome.windows_emitted;
+        }
+        Ok(total)
+    }
+
+    /// Sends one text request line and returns the first reply line
+    /// (sufficient for `PING`, `INGEST`, `SHUTDOWN`; multi-line replies
+    /// can be drained with repeated [`BatchClient::read_line`] calls).
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.read_line()
+    }
+
+    /// Reads one `\n`-terminated line (CR stripped).
+    pub fn read_line(&mut self) -> std::io::Result<String> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line);
+                return Ok(text.trim_end_matches(['\n', '\r']).to_string());
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ));
+            }
+            self.pending.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// Parses `OK INGESTED <stream> rows=<n> late=<l> windows_emitted=<w>`.
+fn parse_ingested_reply(reply: &str) -> Option<BatchOutcome> {
+    let mut parts = reply.split_whitespace();
+    if parts.next() != Some("OK") || parts.next() != Some("INGESTED") {
+        return None;
+    }
+    let _stream = parts.next()?;
+    let mut out = BatchOutcome::default();
+    for part in parts {
+        let (k, v) = part.split_once('=')?;
+        let v: u64 = v.parse().ok()?;
+        match k {
+            "rows" => out.accepted = v,
+            "late" => out.late = v,
+            "windows_emitted" => out.windows_emitted = v,
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_parsing() {
+        let out =
+            parse_ingested_reply("OK INGESTED traffic rows=4096 late=3 windows_emitted=7").unwrap();
+        assert_eq!((out.accepted, out.late, out.windows_emitted), (4096, 3, 7));
+        assert!(parse_ingested_reply("ERR ingest: boom").is_none());
+        assert!(parse_ingested_reply("OK PONG").is_none());
+        assert!(parse_ingested_reply("OK INGESTED s rows=x").is_none());
+    }
+}

@@ -8,12 +8,21 @@
 //! query layers as one-shot pipelines; this crate turns them into a
 //! long-running service:
 //!
-//! * [`protocol`] — the line-oriented text protocol (`INGEST`, `QUERY`,
-//!   `SUBSCRIBE`, `STATS`, `METRICS`, `TRACE`, `TRACEX`, `SNAPSHOT`,
-//!   `RESTORE`, `HELP`, `SHUTDOWN`, `PING`).
+//! * [`protocol`] — the line-oriented text protocol (`INGEST`, `INGESTB`,
+//!   `QUERY`, `SUBSCRIBE`, `STATS`, `METRICS`, `TRACE`, `TRACEX`,
+//!   `SNAPSHOT`, `RESTORE`, `HELP`, `SHUTDOWN`, `PING`). `INGESTB` is the
+//!   binary batch-ingest frame: a length-prefixed `AUSB` envelope carrying
+//!   up to 2²⁰ `(key, ts, value)` rows, CRC-checked, answered by one `OK`
+//!   line per frame instead of one per row.
 //! * [`state`] — shared engine state: per-stream [`ausdb_learn`] learners,
 //!   the [`ausdb_engine`] session holding each stream's last closed
 //!   window, subscription registry, snapshot model.
+//! * [`shard`] — key-sharded engine states ([`shard::ShardSet`]):
+//!   `--shards N` splits ingest across `N` independently locked engines
+//!   while queries, stats, and snapshots merge back **bit-identically**
+//!   to the unsharded engine.
+//! * [`client`] — a small blocking client helper that speaks the binary
+//!   batch protocol with single-syscall frame writes.
 //! * [`subscriber`] — bounded per-subscriber queues: slow consumers get
 //!   `DROPPED <n>` notices, never unbounded memory.
 //! * [`render`] — injective text rendering of result rows, so bit-identical
@@ -51,16 +60,20 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)] // overridden only in `signal::imp` for `signal(2)`
 
+pub mod client;
 pub mod protocol;
 pub mod render;
 pub mod server;
+pub mod shard;
 pub mod signal;
 pub mod snapshot;
 pub mod state;
 pub mod subscriber;
 
+pub use client::BatchClient;
 pub use protocol::{help_lines, parse_request, Request};
 pub use render::{render_row, render_rows, render_schema};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use state::{EngineConfig, EngineState, QueryReply, ServerSnapshot};
+pub use shard::{shard_of, ShardSet};
+pub use state::{BatchOutcome, EngineConfig, EngineState, QueryReply, ServerSnapshot};
 pub use subscriber::SubscriberQueue;

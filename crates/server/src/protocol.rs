@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! request   := INGEST <stream> <csv-row>
+//!            | INGESTB <stream> <nbytes>       (followed by <nbytes> of frame)
 //!            | QUERY <sql>
 //!            | SUBSCRIBE <sql>
 //!            | UNSUBSCRIBE <id>
@@ -26,6 +27,14 @@
 //! answers with the Chrome trace-event JSON of recently traced queries
 //! (load it in `chrome://tracing` or Perfetto). Subscribers additionally
 //! receive unsolicited `EVENT`/`ROW`/`DROPPED` lines when windows close.
+//!
+//! `INGESTB` is the one request that is not a single line: its line
+//! announces `<nbytes>` of binary payload that follow immediately — an
+//! `AUSB` frame (see [`ausdb_model::codec::encode_ingest_frame`]) holding
+//! up to 2²⁰ `(key, ts, value)` rows, CRC-32 checked. The server answers
+//! one `OK INGESTED <stream> rows=<n> late=<l> windows_emitted=<w>` per
+//! frame, which is what turns the per-row request/reply round-trip of
+//! line ingest into a single round-trip per batch.
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +45,14 @@ pub enum Request {
         stream: String,
         /// The raw CSV cells after the stream name.
         row: String,
+    },
+    /// `INGESTB <stream> <nbytes>` — announce a binary batch-ingest frame
+    /// of `nbytes` bytes following this line on the wire.
+    IngestBatch {
+        /// Target stream name.
+        stream: String,
+        /// Size of the binary frame that follows, in bytes.
+        nbytes: usize,
     },
     /// `QUERY <sql>` — one-shot query over current stream contents.
     Query(String),
@@ -93,6 +110,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .ok_or_else(|| "INGEST expects <stream> <key,ts,value>".to_string())?;
             Ok(Request::Ingest { stream: stream.to_string(), row: row.trim().to_string() })
         }
+        "INGESTB" => {
+            need("INGESTB")?;
+            let (stream, nbytes) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "INGESTB expects <stream> <nbytes>".to_string())?;
+            let nbytes = nbytes
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad frame size '{}'", nbytes.trim()))?;
+            Ok(Request::IngestBatch { stream: stream.to_string(), nbytes })
+        }
         "QUERY" => {
             need("QUERY")?;
             Ok(Request::Query(rest.to_string()))
@@ -126,8 +154,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PING" => bare(Request::Ping),
         "" => Err("empty request".to_string()),
         other => Err(format!(
-            "unknown command '{other}' (try HELP, or: INGEST, QUERY, SUBSCRIBE, UNSUBSCRIBE, \
-             STATS, METRICS, TRACE, TRACEX, SNAPSHOT, RESTORE, PING, SHUTDOWN)"
+            "unknown command '{other}' (try HELP, or: INGEST, INGESTB, QUERY, SUBSCRIBE, \
+             UNSUBSCRIBE, STATS, METRICS, TRACE, TRACEX, SNAPSHOT, RESTORE, HELP, PING, SHUTDOWN)"
         )),
     }
 }
@@ -136,6 +164,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 pub fn help_lines() -> &'static [&'static str] {
     &[
         "INGEST <stream> <key,ts,value> — feed one raw observation (ts: integer or H:MM[:SS])",
+        "INGESTB <stream> <nbytes> — binary batch ingest: an AUSB frame of nbytes follows; \
+         one OK per frame",
         "QUERY <sql> — one-shot query (SCHEMA/ROW/END); EXPLAIN [ANALYZE] <sql> returns PLAN lines",
         "SUBSCRIBE <sql> — standing query re-evaluated per closed window (EVENT/ROW lines)",
         "UNSUBSCRIBE <id> — cancel a subscription owned by this connection",
@@ -160,6 +190,10 @@ mod tests {
         assert_eq!(
             parse_request("INGEST traffic 19,530,56"),
             Ok(Request::Ingest { stream: "traffic".into(), row: "19,530,56".into() })
+        );
+        assert_eq!(
+            parse_request("INGESTB traffic 1024"),
+            Ok(Request::IngestBatch { stream: "traffic".into(), nbytes: 1024 })
         );
         assert_eq!(
             parse_request("query SELECT * FROM traffic"),
@@ -188,6 +222,7 @@ mod tests {
         // line, so HELP can never drift behind the parser.
         let verbs = [
             "INGEST",
+            "INGESTB",
             "QUERY",
             "SUBSCRIBE",
             "UNSUBSCRIBE",
@@ -218,6 +253,10 @@ mod tests {
         assert!(parse_request("FROBNICATE").is_err());
         assert!(parse_request("INGEST").is_err());
         assert!(parse_request("INGEST onlystream").is_err());
+        assert!(parse_request("INGESTB").is_err());
+        assert!(parse_request("INGESTB onlystream").is_err());
+        assert!(parse_request("INGESTB s notanumber").is_err());
+        assert!(parse_request("INGESTB s -4").is_err());
         assert!(parse_request("QUERY").is_err());
         assert!(parse_request("UNSUBSCRIBE x").is_err());
         assert!(parse_request("STATS now").is_err());

@@ -1,11 +1,19 @@
-//! The TCP server: thread-per-connection transport over [`EngineState`].
+//! The TCP server: thread-per-connection transport over a
+//! [`ShardSet`] of engine states.
 //!
 //! One accept thread spawns one thread per client; all of them share the
-//! engine behind a single mutex (queries dominate hold time; ingest is
-//! microseconds). Connection threads run a tick loop — read with a short
-//! timeout, drain this connection's subscriber queues, check the shutdown
-//! flag — so subscriber fan-out and graceful shutdown need no extra
-//! threads and no async runtime (the build is std-only by constraint).
+//! engine through a [`ShardSet`] — with `--shards 1` (the default) that
+//! is the classic single mutex, with more shards ingest for different
+//! keys contends on different locks. Connection threads run a tick loop —
+//! read with a short timeout, drain this connection's subscriber queues,
+//! check the shutdown flag — so subscriber fan-out and graceful shutdown
+//! need no extra threads and no async runtime (the build is std-only by
+//! constraint).
+//!
+//! Replies are written with one syscall per request (and one per tick
+//! for all queued subscriber events together), and the `INGESTB` binary
+//! frame path amortizes the request/reply round-trip over thousands of
+//! rows — see DESIGN.md §8 for the wire layout.
 //!
 //! Shutdown (client `SHUTDOWN`, [`ServerHandle::shutdown`], or Ctrl-C via
 //! the binary) is cooperative: the flag flips, the acceptor is woken by a
@@ -17,19 +25,29 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ausdb_learn::learner::RawObservation;
+use ausdb_model::codec::decode_ingest_frame;
+
 use crate::protocol::{help_lines, parse_request, Request};
 use crate::render::{render_rows, render_schema, render_trace_entry};
+use crate::shard::ShardSet;
 use crate::snapshot::{read_snapshot, write_snapshot};
-use crate::state::{EngineConfig, EngineState, QueryReply};
+use crate::state::{EngineConfig, QueryReply};
 use crate::subscriber::SubscriberQueue;
 
 /// Longest accepted request line; protects against a client streaming
 /// bytes with no newline.
 const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Largest accepted `INGESTB` frame: the codec's row cap plus envelope.
+/// An announced size beyond this is rejected **and closes the
+/// connection** — the client's framing is untrusted at that point, so
+/// resynchronizing on the byte stream would be guesswork.
+const MAX_FRAME_BYTES: usize = ausdb_model::codec::MAX_FRAME_ROWS * 24 + 64;
 
 /// Transport + engine configuration for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -62,20 +80,13 @@ impl Default for ServerConfig {
 }
 
 struct Shared {
-    state: Mutex<EngineState>,
+    /// The key-sharded engine; its methods lock internally.
+    state: ShardSet,
     shutdown: AtomicBool,
     snapshot_path: Option<PathBuf>,
     tick: Duration,
     addr: SocketAddr,
     http_addr: Option<SocketAddr>,
-}
-
-impl Shared {
-    /// Locks the engine, recovering from a poisoned mutex (a panicking
-    /// connection thread must not take the whole server down).
-    fn state(&self) -> MutexGuard<'_, EngineState> {
-        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
 }
 
 /// The server entry point.
@@ -87,7 +98,7 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let mut state = EngineState::new(config.engine);
+        let state = ShardSet::new(config.engine);
         let mut restored_streams = 0;
         if let Some(path) = &config.snapshot_path {
             match read_snapshot(path) {
@@ -109,7 +120,7 @@ impl Server {
             None => None,
         };
         let shared = Arc::new(Shared {
-            state: Mutex::new(state),
+            state,
             shutdown: AtomicBool::new(false),
             snapshot_path: config.snapshot_path,
             tick: config.tick,
@@ -163,7 +174,7 @@ impl ServerHandle {
     /// return, minus the `END` terminator. Used by `ausdb serve --metrics`
     /// to dump final metrics on shutdown.
     pub fn metrics_text(&self) -> String {
-        self.shared.state().metrics_text()
+        self.shared.state.metrics_text()
     }
 
     /// Requests shutdown: sets the flag and wakes the blocking acceptor.
@@ -241,7 +252,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         let _ = handle.join();
     }
     if let Some(path) = &shared.snapshot_path {
-        let snapshot = shared.state().to_snapshot();
+        let snapshot = shared.state.to_snapshot();
         let _ = write_snapshot(path, &snapshot);
     }
 }
@@ -266,6 +277,19 @@ impl Reply {
     }
 }
 
+/// What the connection loop expects next from the byte stream.
+enum ReadMode {
+    /// Newline-delimited request lines.
+    Lines,
+    /// `want` bytes of binary `INGESTB` frame for `stream`.
+    Frame {
+        /// Target stream from the announcement line.
+        stream: String,
+        /// Frame size announced, in bytes.
+        want: usize,
+    },
+}
+
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.tick));
@@ -275,49 +299,121 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     }
     let mut subscriptions: Vec<(u64, Arc<SubscriberQueue>)> = Vec::new();
     let mut pending: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
+    let mut chunk = [0u8; 64 * 1024];
+    let mut mode = ReadMode::Lines;
+    let mut fanout = String::new();
     'conn: loop {
         // Fan-out: deliver queued subscriber events (with any DROPPED
-        // notice) before reading the next request.
+        // notice) before reading the next request — all queues batched
+        // into one buffer, one write syscall per tick.
+        fanout.clear();
         for (_, queue) in &subscriptions {
-            for line in queue.drain() {
-                if write_line(&mut stream, &line).is_err() {
-                    break 'conn;
-                }
-            }
+            queue.drain_into(&mut fanout);
+        }
+        if !fanout.is_empty() && stream.write_all(fanout.as_bytes()).is_err() {
+            break 'conn;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
+            fanout.clear();
             for (_, queue) in &subscriptions {
-                for line in queue.drain() {
-                    let _ = write_line(&mut stream, &line);
-                }
+                queue.drain_into(&mut fanout);
             }
-            let _ = write_line(&mut stream, "BYE server shutting down");
+            fanout.push_str("BYE server shutting down\n");
+            let _ = stream.write_all(fanout.as_bytes());
             break;
         }
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
                 pending.extend_from_slice(&chunk[..n]);
-                if pending.len() > MAX_LINE_BYTES {
-                    let _ = write_line(&mut stream, "ERR request line too long");
-                    break;
-                }
-                while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
-                    let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
-                    let line = String::from_utf8_lossy(&line_bytes);
-                    let line = line.trim_end_matches(['\n', '\r']);
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    let reply = handle_line(line, &shared, &mut subscriptions);
-                    for out in &reply.lines {
-                        if write_line(&mut stream, out).is_err() {
-                            break 'conn;
+                loop {
+                    match mode {
+                        ReadMode::Lines => {
+                            let Some(pos) = pending.iter().position(|&b| b == b'\n') else {
+                                if pending.len() > MAX_LINE_BYTES {
+                                    let _ = write_line(&mut stream, "ERR request line too long");
+                                    break 'conn;
+                                }
+                                break;
+                            };
+                            let line_bytes: Vec<u8> = pending.drain(..=pos).collect();
+                            let line = String::from_utf8_lossy(&line_bytes);
+                            let line = line.trim_end_matches(['\n', '\r']);
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            let request = match parse_request(line) {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    if write_line(&mut stream, &format!("ERR {e}")).is_err() {
+                                        break 'conn;
+                                    }
+                                    continue;
+                                }
+                            };
+                            match request {
+                                Request::IngestBatch { stream: target, nbytes } => {
+                                    if nbytes > MAX_FRAME_BYTES {
+                                        // The announced frame cannot be valid
+                                        // and skipping it wholesale is the only
+                                        // way to resync — refuse and close.
+                                        let _ = write_line(
+                                            &mut stream,
+                                            &format!(
+                                                "ERR frame of {nbytes} bytes exceeds the \
+                                                 {MAX_FRAME_BYTES}-byte limit"
+                                            ),
+                                        );
+                                        break 'conn;
+                                    }
+                                    mode = ReadMode::Frame { stream: target, want: nbytes };
+                                }
+                                other => {
+                                    let reply = handle_request(other, &shared, &mut subscriptions);
+                                    let mut buf = String::with_capacity(
+                                        reply.lines.iter().map(|l| l.len() + 1).sum(),
+                                    );
+                                    for out in &reply.lines {
+                                        buf.push_str(out);
+                                        buf.push('\n');
+                                    }
+                                    if stream.write_all(buf.as_bytes()).is_err() {
+                                        break 'conn;
+                                    }
+                                    if reply.close {
+                                        break 'conn;
+                                    }
+                                }
+                            }
                         }
-                    }
-                    if reply.close {
-                        break 'conn;
+                        ReadMode::Frame { stream: _, want } if pending.len() < want => break,
+                        ReadMode::Frame { stream: ref target, want } => {
+                            let frame: Vec<u8> = pending.drain(..want).collect();
+                            let target = target.clone();
+                            mode = ReadMode::Lines;
+                            let reply = match decode_ingest_frame(&frame) {
+                                Ok(rows) => {
+                                    let rows: Vec<RawObservation> = rows
+                                        .into_iter()
+                                        .map(|(key, ts, value)| RawObservation::new(key, ts, value))
+                                        .collect();
+                                    match shared.state.ingest_batch(&target, &rows) {
+                                        Ok(out) => format!(
+                                            "OK INGESTED {target} rows={} late={} \
+                                             windows_emitted={}",
+                                            out.accepted, out.late, out.windows_emitted
+                                        ),
+                                        Err(e) => format!("ERR ingest: {e}"),
+                                    }
+                                }
+                                // The payload was fully consumed, so the byte
+                                // stream stays in sync: report and carry on.
+                                Err(e) => format!("ERR frame: {e}"),
+                            };
+                            if write_line(&mut stream, &reply).is_err() {
+                                break 'conn;
+                            }
+                        }
                     }
                 }
             }
@@ -325,33 +421,29 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             Err(_) => break,
         }
     }
-    if !subscriptions.is_empty() {
-        let mut state = shared.state();
-        for (id, _) in &subscriptions {
-            state.unsubscribe(*id);
-        }
+    for (id, _) in &subscriptions {
+        shared.state.unsubscribe(*id);
     }
 }
 
-fn handle_line(
-    line: &str,
+fn handle_request(
+    request: Request,
     shared: &Shared,
     subscriptions: &mut Vec<(u64, Arc<SubscriberQueue>)>,
 ) -> Reply {
-    let request = match parse_request(line) {
-        Ok(r) => r,
-        Err(e) => return Reply::err(e),
-    };
     match request {
         Request::Ping => Reply::one("OK PONG"),
-        Request::Ingest { stream, row } => match shared.state().ingest(&stream, &row) {
+        Request::IngestBatch { .. } => {
+            unreachable!("INGESTB switches the connection into frame mode before dispatch")
+        }
+        Request::Ingest { stream, row } => match shared.state.ingest(&stream, &row) {
             Ok(outcome) => Reply::one(format!(
                 "OK INGESTED {stream} windows_emitted={}",
                 outcome.windows_emitted
             )),
             Err(e) => Reply::err(format!("ingest: {e}")),
         },
-        Request::Query(sql) => match shared.state().query(&sql) {
+        Request::Query(sql) => match shared.state.query(&sql) {
             Ok(QueryReply::Rows(schema, tuples)) => {
                 let mut lines = vec![render_schema(&schema)];
                 lines.extend(render_rows(&tuples));
@@ -367,7 +459,7 @@ fn handle_line(
             }
             Err(e) => Reply::err(format!("query: {e}")),
         },
-        Request::Subscribe(sql) => match shared.state().subscribe(&sql) {
+        Request::Subscribe(sql) => match shared.state.subscribe(&sql) {
             Ok((id, stream, queue)) => {
                 subscriptions.push((id, queue));
                 Reply::one(format!("OK SUBSCRIBED {id} {stream}"))
@@ -377,19 +469,19 @@ fn handle_line(
         Request::Unsubscribe(id) => {
             if let Some(pos) = subscriptions.iter().position(|(owned, _)| *owned == id) {
                 subscriptions.remove(pos);
-                shared.state().unsubscribe(id);
+                shared.state.unsubscribe(id);
                 Reply::one(format!("OK UNSUBSCRIBED {id}"))
             } else {
                 Reply::err(format!("subscription {id} is not owned by this connection"))
             }
         }
         Request::Stats => {
-            let mut lines = shared.state().stats_lines();
+            let mut lines = shared.state.stats_lines();
             lines.push("END".to_string());
             Reply { lines, close: false }
         }
         Request::Metrics => {
-            let text = shared.state().metrics_text();
+            let text = shared.state.metrics_text();
             let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
             lines.push("END".to_string());
             Reply { lines, close: false }
@@ -415,7 +507,7 @@ fn handle_line(
         Request::Snapshot => match &shared.snapshot_path {
             None => Reply::err("no snapshot path configured (start with --snapshot-path)"),
             Some(path) => {
-                let snapshot = shared.state().to_snapshot();
+                let snapshot = shared.state.to_snapshot();
                 match write_snapshot(path, &snapshot) {
                     Ok(bytes) => {
                         Reply::one(format!("OK SNAPSHOT {} {bytes} bytes", path.display()))
@@ -427,7 +519,7 @@ fn handle_line(
         Request::Restore => match &shared.snapshot_path {
             None => Reply::err("no snapshot path configured (start with --snapshot-path)"),
             Some(path) => match read_snapshot(path) {
-                Ok(snap) => match shared.state().restore(snap) {
+                Ok(snap) => match shared.state.restore(snap) {
                     Ok(n) => Reply::one(format!("OK RESTORED {n} streams")),
                     Err(e) => Reply::err(format!("restore: {e}")),
                 },
@@ -468,7 +560,7 @@ fn http_loop(listener: TcpListener, shared: Arc<Shared>) {
         let mut parts = request_line.split_whitespace();
         let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
         let (status, body) = if method == "GET" && (target == "/metrics" || target == "/metrics/") {
-            ("200 OK", shared.state().metrics_text())
+            ("200 OK", shared.state.metrics_text())
         } else if method != "GET" {
             ("405 Method Not Allowed", "only GET is supported\n".to_string())
         } else {

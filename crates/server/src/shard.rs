@@ -1,0 +1,666 @@
+//! Key-sharded engine states behind one logical engine.
+//!
+//! With `--shards N` (or `AUSDB_SHARDS=N`) the server runs `N`
+//! independent [`EngineState`]s, each behind its own mutex, and routes
+//! every observation to the shard owning its key (a stable hash, so the
+//! assignment survives restarts and is identical across processes).
+//! Ingest for *different* keys then contends on different locks, which is
+//! what lets a multi-connection ingest load scale past the single global
+//! mutex the server started with.
+//!
+//! ## The merge invariant
+//!
+//! Sharding is an implementation detail, never a semantic one: for any
+//! shard count, `QUERY` replies, `STATS` counts, and snapshot bytes are
+//! **bit-identical** to the unsharded engine fed the same rows in the
+//! same order. Three design rules make that hold:
+//!
+//! 1. **Shards only buffer.** A shard's per-stream learner accumulates
+//!    observations but never advances a window cursor and never registers
+//!    query content. The per-stream *coordinator* ([`StreamMeta`]) owns
+//!    the one global cursor.
+//! 2. **The coordinator drives every close with the global cursor.** A
+//!    window closes exactly when an observation at/past its end arrives —
+//!    the same rule as the unsharded engine — and the empty-window jump
+//!    uses the *minimum* buffered timestamp across all shards. (Letting
+//!    each shard keep its own cursor is provably wrong: a shard that only
+//!    holds old keys would lag, mis-classify late rows, and emit windows
+//!    the unsharded engine never emits.)
+//! 3. **Merged output is key-sorted.** Each learner emits one tuple per
+//!    key in key order and a key lives on exactly one shard, so sorting
+//!    the concatenated per-shard tuples by key reproduces the unsharded
+//!    learner's `BTreeMap` iteration order exactly.
+//!
+//! One extra `core` state owns everything cross-key: the query session
+//! (registered closed windows), subscriptions, and query/event telemetry.
+//!
+//! Lock order (strict, deadlock-free): stream map → stream coordinator →
+//! shard mutexes in ascending index → core. No path acquires an
+//! earlier-order lock while holding a later one.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ausdb_learn::learner::{RawObservation, StreamLearner};
+use ausdb_model::schema::Schema;
+use ausdb_model::tuple::Tuple;
+use ausdb_model::value::Value;
+use ausdb_obs::{Counter, Registry};
+
+use crate::state::{
+    align, decode_learner, encode_learner, normalize_stream_name, parse_observation, BatchOutcome,
+    Counters, EngineConfig, EngineState, IngestOutcome, QueryReply, ServerSnapshot, StreamSnapshot,
+};
+use crate::subscriber::SubscriberQueue;
+
+/// Routes `key` to one of `n` shards with a stable 64-bit mix
+/// (SplitMix64 finalizer). Stable across processes and architectures, so
+/// snapshot restore onto a different shard count re-partitions exactly.
+pub fn shard_of(key: i64, n: usize) -> usize {
+    let mut x = (key as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % n.max(1) as u64) as usize
+}
+
+/// Per-stream coordination state: the single global window cursor plus
+/// the stream's `windows_emitted` counter handle (a series in the core
+/// registry, so it renders in `METRICS` and survives restore).
+#[derive(Debug)]
+struct StreamMeta {
+    /// Start of the currently open window; `None` until the first row.
+    cursor: Option<u64>,
+    /// `ausdb_windows_emitted_total{stream=...}` handle in the core registry.
+    windows: Arc<Counter>,
+}
+
+/// `N` key-sharded [`EngineState`]s presenting as one engine.
+///
+/// With one shard every call delegates straight to that shard — the
+/// classic single-mutex layout, byte-for-byte. With more, ingest routes
+/// by key hash and reads merge across shards (see the module docs for
+/// the invariant that keeps the merge exact).
+pub struct ShardSet {
+    config: EngineConfig,
+    nshards: usize,
+    shards: Vec<Mutex<EngineState>>,
+    /// Per-stream coordinators, created on a stream's first valid row.
+    streams: Mutex<BTreeMap<String, Arc<Mutex<StreamMeta>>>>,
+    /// Cross-key state: query session, subscriptions, query telemetry.
+    core: Mutex<EngineState>,
+}
+
+/// Locks a mutex, recovering from poisoning (a panicking connection
+/// thread must not take the server down).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ShardSet {
+    /// Creates `config.shards` engine states (minimum 1).
+    pub fn new(config: EngineConfig) -> Self {
+        let nshards = config.shards.max(1);
+        Self {
+            config,
+            nshards,
+            shards: (0..nshards).map(|_| Mutex::new(EngineState::new(config))).collect(),
+            streams: Mutex::new(BTreeMap::new()),
+            core: Mutex::new(EngineState::new(config)),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.nshards
+    }
+
+    /// Fetches (or creates) the coordinator for stream `name`.
+    fn stream_meta(&self, name: &str) -> Arc<Mutex<StreamMeta>> {
+        let mut map = lock(&self.streams);
+        if let Some(meta) = map.get(name) {
+            return Arc::clone(meta);
+        }
+        let windows = lock(&self.core).windows_counter(name);
+        let meta = Arc::new(Mutex::new(StreamMeta { cursor: None, windows }));
+        map.insert(name.to_string(), Arc::clone(&meta));
+        meta
+    }
+
+    /// Ingests one `key,ts,value` row into `stream`.
+    pub fn ingest(&self, stream: &str, row: &str) -> Result<IngestOutcome, String> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).ingest(stream, row);
+        }
+        let obs = parse_observation(row)?;
+        let name = normalize_stream_name(stream)?;
+        let meta_arc = self.stream_meta(&name);
+        let mut meta = lock(&meta_arc);
+        let late = meta.cursor.is_some_and(|ws| obs.ts < ws);
+        lock(&self.shards[shard_of(obs.key, self.nshards)]).observe_sharded(&name, obs, late);
+        if meta.cursor.is_none() {
+            meta.cursor = Some(align(obs.ts, self.config.learner.window_width));
+        }
+        let windows_emitted = self.close_global(&name, &mut meta, obs.ts)?;
+        Ok(IngestOutcome { windows_emitted })
+    }
+
+    /// Ingests a pre-parsed batch as if each row arrived as its own
+    /// `INGEST` line, in order. Rows are applied in the longest runs that
+    /// cannot close the open window, so each such run takes one shard
+    /// lock per shard instead of one per row — the serial equivalence is
+    /// by construction (a row that cannot close a window only buffers,
+    /// and the late verdict is constant while the cursor is).
+    pub fn ingest_batch(
+        &self,
+        stream: &str,
+        rows: &[RawObservation],
+    ) -> Result<BatchOutcome, String> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).ingest_batch(stream, rows);
+        }
+        let name = normalize_stream_name(stream)?;
+        for (i, r) in rows.iter().enumerate() {
+            if !r.value.is_finite() {
+                return Err(format!("row {i}: non-finite value {}", r.value));
+            }
+        }
+        let width = self.config.learner.window_width;
+        let meta_arc = self.stream_meta(&name);
+        let mut meta = lock(&meta_arc);
+        let mut out = BatchOutcome::default();
+        let mut by_shard: Vec<Vec<(RawObservation, bool)>> = vec![Vec::new(); self.nshards];
+        let mut i = 0;
+        while i < rows.len() {
+            if meta.cursor.is_none() {
+                meta.cursor = Some(align(rows[i].ts, width));
+            }
+            let ws = meta.cursor.expect("cursor just ensured");
+            let end = ws.saturating_add(width);
+            // Longest prefix that only buffers (no row at/past the window end).
+            let mut j = i;
+            while j < rows.len() && rows[j].ts < end {
+                j += 1;
+            }
+            if j > i {
+                for s in &mut by_shard {
+                    s.clear();
+                }
+                for &obs in &rows[i..j] {
+                    let late = obs.ts < ws;
+                    out.late += u64::from(late);
+                    by_shard[shard_of(obs.key, self.nshards)].push((obs, late));
+                }
+                for (sh, batch) in by_shard.iter().enumerate() {
+                    if !batch.is_empty() {
+                        let mut guard = lock(&self.shards[sh]);
+                        for &(obs, late) in batch {
+                            guard.observe_sharded(&name, obs, late);
+                        }
+                    }
+                }
+                out.accepted += (j - i) as u64;
+            }
+            if j < rows.len() {
+                // The closing row: buffer it (never late — its timestamp is
+                // at/past the window end), then drive the global close.
+                let obs = rows[j];
+                lock(&self.shards[shard_of(obs.key, self.nshards)])
+                    .observe_sharded(&name, obs, false);
+                out.accepted += 1;
+                out.windows_emitted += self.close_global(&name, &mut meta, obs.ts)?;
+                j += 1;
+            }
+            i = j;
+        }
+        Ok(out)
+    }
+
+    /// Closes every window `through_ts` has moved past, merging each
+    /// window's tuples across shards and registering non-empty ones on
+    /// the core. Caller holds the stream's coordinator lock.
+    fn close_global(
+        &self,
+        name: &str,
+        meta: &mut StreamMeta,
+        through_ts: u64,
+    ) -> Result<u64, String> {
+        let width = self.config.learner.window_width;
+        let mut emitted = 0u64;
+        loop {
+            let ws = meta.cursor.expect("cursor set on first row");
+            if through_ts < ws.saturating_add(width) {
+                break;
+            }
+            let (merged, schema, global_min) = {
+                let mut guards: Vec<MutexGuard<'_, EngineState>> =
+                    self.shards.iter().map(lock).collect();
+                let mut merged = Vec::new();
+                let mut schema: Option<Schema> = None;
+                for g in guards.iter_mut() {
+                    let tuples = g.emit_stream_window(name, ws)?;
+                    if schema.is_none() {
+                        if let Some(l) = g.learner_for(name) {
+                            schema = Some(l.schema().clone());
+                        }
+                    }
+                    merged.extend(tuples);
+                }
+                // One tuple per key, each key on exactly one shard: sorting
+                // by key reproduces the unsharded BTreeMap emission order.
+                merged.sort_unstable_by_key(tuple_key);
+                let global_min = guards.iter().filter_map(|g| g.min_buffered_ts_for(name)).min();
+                (merged, schema, global_min)
+            };
+            let next = ws.saturating_add(width);
+            meta.cursor = Some(match global_min {
+                Some(min_ts) if min_ts >= next => align(min_ts, width),
+                _ => next,
+            });
+            if !merged.is_empty() {
+                emitted += 1;
+                meta.windows.inc();
+                let schema = schema.expect("a non-empty merged window has a learner");
+                lock(&self.core).register_closed_window(name, schema, merged, ws);
+            }
+        }
+        Ok(emitted)
+    }
+
+    /// Runs a one-shot statement against the merged session.
+    pub fn query(&self, sql: &str) -> Result<QueryReply, String> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).query(sql);
+        }
+        lock(&self.core).query(sql)
+    }
+
+    /// Registers a standing query.
+    pub fn subscribe(&self, sql: &str) -> Result<(u64, String, Arc<SubscriberQueue>), String> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).subscribe(sql);
+        }
+        lock(&self.core).subscribe(sql)
+    }
+
+    /// Cancels a subscription; returns whether it existed.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).unsubscribe(id);
+        }
+        lock(&self.core).unsubscribe(id)
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).subscriber_count();
+        }
+        lock(&self.core).subscriber_count()
+    }
+
+    /// Current counters, merged across shards.
+    pub fn counters(&self) -> Counters {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).counters();
+        }
+        let metas = self.meta_list();
+        let mut c = Counters::default();
+        for (name, meta_arc) in &metas {
+            c.windows_emitted += lock(meta_arc).windows.get();
+            let _ = name;
+        }
+        for shard in &self.shards {
+            let g = lock(shard);
+            let shard_counts = g.counters();
+            c.rows_ingested += shard_counts.rows_ingested;
+            c.late_rows += shard_counts.late_rows;
+        }
+        let core = lock(&self.core).counters();
+        c.queries_run = core.queries_run;
+        c.events_emitted = core.events_emitted;
+        c
+    }
+
+    /// `STATS` payload, identical line formats to the unsharded engine.
+    pub fn stats_lines(&self) -> Vec<String> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).stats_lines();
+        }
+        let metas = self.meta_list();
+        let cursors: Vec<(String, Option<u64>, u64)> = metas
+            .iter()
+            .map(|(name, meta_arc)| {
+                let meta = lock(meta_arc);
+                (name.clone(), meta.cursor, meta.windows.get())
+            })
+            .collect();
+        let guards: Vec<MutexGuard<'_, EngineState>> = self.shards.iter().map(lock).collect();
+        let core = lock(&self.core);
+        let core_counts = core.counters();
+        let mut rows_total = 0u64;
+        let mut late_total = 0u64;
+        let mut windows_total = 0u64;
+        let mut stream_lines = Vec::new();
+        for (name, cursor, windows) in &cursors {
+            let mut buffered = 0usize;
+            let mut rows = 0u64;
+            let mut late = 0u64;
+            for g in &guards {
+                buffered += g.buffered_len_for(name);
+                let (r, l) = g.stream_counts(name);
+                rows += r;
+                late += l;
+            }
+            rows_total += rows;
+            late_total += late;
+            windows_total += windows;
+            let registered = core.session().stream(name).map(|(_, t)| t.len()).unwrap_or(0);
+            stream_lines.push(format!(
+                "stream {name} buffered={buffered} window_start={} \
+                 registered_rows={registered} rows={rows} late_rows={late}",
+                cursor.map_or_else(|| "-".to_string(), |ws| ws.to_string()),
+            ));
+        }
+        let mut out = vec![format!(
+            "server rows_ingested={rows_total} late_rows={late_total} \
+             windows_emitted={windows_total} queries={} events={} subscribers={} streams={}",
+            core_counts.queries_run,
+            core_counts.events_emitted,
+            core.subscriber_count(),
+            cursors.len()
+        )];
+        out.extend(stream_lines);
+        out.extend(core.subscriber_and_query_stat_lines());
+        out
+    }
+
+    /// The Prometheus exposition, merged (summed) across every shard
+    /// registry, the core registry, and the process-wide engine registry.
+    pub fn metrics_text(&self) -> String {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).metrics_text();
+        }
+        let guards: Vec<MutexGuard<'_, EngineState>> = self.shards.iter().map(lock).collect();
+        let core = lock(&self.core);
+        core.sample_queue_depth();
+        let mut regs: Vec<&Registry> = guards.iter().map(|g| g.registry()).collect();
+        regs.push(core.registry());
+        regs.push(ausdb_engine::obs::telemetry::global().registry());
+        ausdb_obs::metrics::render_merged(&regs)
+    }
+
+    // -- snapshot / restore ------------------------------------------------
+
+    /// Captures a **canonical** snapshot: per-shard learner buffers are
+    /// merged back into one learner per stream before encoding, so the
+    /// bytes are identical to the unsharded engine's snapshot of the same
+    /// rows — a snapshot taken at 8 shards restores at 1 (or 2, or 13)
+    /// exactly.
+    pub fn to_snapshot(&self) -> ServerSnapshot {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).to_snapshot();
+        }
+        let metas = self.meta_list();
+        let cursors: Vec<(String, Option<u64>)> =
+            metas.iter().map(|(name, meta_arc)| (name.clone(), lock(meta_arc).cursor)).collect();
+        let guards: Vec<MutexGuard<'_, EngineState>> = self.shards.iter().map(lock).collect();
+        let core = lock(&self.core);
+        let streams = cursors
+            .into_iter()
+            .map(|(name, window_start)| {
+                let donor = guards
+                    .iter()
+                    .find_map(|g| g.learner_for(&name))
+                    .expect("a coordinated stream exists on at least one shard");
+                let config = *donor.config();
+                let schema = donor.schema().clone();
+                let mut buffer: BTreeMap<i64, Vec<(u64, f64)>> = BTreeMap::new();
+                for g in &guards {
+                    if let Some(l) = g.learner_for(&name) {
+                        for (&k, v) in l.buffer() {
+                            buffer.insert(k, v.clone());
+                        }
+                    }
+                }
+                let merged = StreamLearner::from_parts(config, schema, buffer);
+                StreamSnapshot {
+                    learner: encode_learner(&merged),
+                    window_start,
+                    registered: core
+                        .session()
+                        .stream(&name)
+                        .map(|(schema, tuples)| (schema.clone(), tuples.to_vec())),
+                    name,
+                }
+            })
+            .collect();
+        ServerSnapshot { streams }
+    }
+
+    /// Replaces all stream state with the snapshot's, re-partitioning
+    /// each learner's buffer by key hash. Restores a snapshot taken at
+    /// any shard count.
+    pub fn restore(&self, snapshot: ServerSnapshot) -> Result<usize, String> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).restore(snapshot);
+        }
+        // Decode everything first so a corrupt snapshot mutates nothing.
+        let mut decoded = Vec::with_capacity(snapshot.streams.len());
+        for s in snapshot.streams {
+            let learner = decode_learner(&s.learner).map_err(|e| e.to_string())?;
+            decoded.push((s.name, learner, s.window_start, s.registered));
+        }
+        let mut map = lock(&self.streams);
+        let mut guards: Vec<MutexGuard<'_, EngineState>> = self.shards.iter().map(lock).collect();
+        let mut core = lock(&self.core);
+        for g in guards.iter_mut() {
+            g.clear_streams();
+        }
+        core.clear_streams();
+        core.reset_session();
+        let mut new_map = BTreeMap::new();
+        for (name, learner, window_start, registered) in decoded {
+            let config = *learner.config();
+            let schema = learner.schema().clone();
+            let mut parts: Vec<BTreeMap<i64, Vec<(u64, f64)>>> =
+                vec![BTreeMap::new(); self.nshards];
+            for (&k, v) in learner.buffer() {
+                parts[shard_of(k, self.nshards)].insert(k, v.clone());
+            }
+            for (g, part) in guards.iter_mut().zip(parts) {
+                g.install_stream(&name, StreamLearner::from_parts(config, schema.clone(), part));
+            }
+            if let Some((schema, tuples)) = registered {
+                core.register_stream_content(&name, schema, tuples);
+            }
+            // Counter handles are re-fetched by name: a stream that existed
+            // before the restore keeps its series in the core registry.
+            let windows = core.windows_counter(&name);
+            new_map
+                .insert(name, Arc::new(Mutex::new(StreamMeta { cursor: window_start, windows })));
+        }
+        let n = new_map.len();
+        *map = new_map;
+        Ok(n)
+    }
+
+    /// Snapshot of the coordinator map: `(name, meta)` pairs in name order.
+    fn meta_list(&self) -> Vec<(String, Arc<Mutex<StreamMeta>>)> {
+        lock(&self.streams).iter().map(|(n, m)| (n.clone(), Arc::clone(m))).collect()
+    }
+}
+
+/// The grouping key a learner emitted a tuple for (field 0 is always the
+/// key column).
+fn tuple_key(t: &Tuple) -> i64 {
+    match t.fields[0].value {
+        Value::Int(k) => k,
+        _ => i64::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ausdb_learn::accuracy::DistKind;
+    use ausdb_learn::learner::LearnerConfig;
+    use ausdb_model::codec::{Codec, Writer};
+
+    fn config(shards: usize) -> EngineConfig {
+        EngineConfig {
+            learner: LearnerConfig {
+                kind: DistKind::Empirical,
+                level: 0.9,
+                window_width: 10,
+                min_observations: 2,
+            },
+            max_subscribers: 4,
+            queue_cap: 64,
+            shards,
+        }
+    }
+
+    fn snapshot_bytes(snap: &ServerSnapshot) -> Vec<u8> {
+        let mut w = Writer::new();
+        snap.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// A row mix that exercises multiple keys, a late row, and a time jump.
+    fn rows() -> Vec<String> {
+        let mut rows = Vec::new();
+        for i in 0..40u64 {
+            let key = (i % 7) as i64;
+            let ts = 100 + i;
+            rows.push(format!("{key},{ts},{}", 40.0 + (i % 11) as f64 * 0.5));
+        }
+        rows.push("3,95,1.5".to_string()); // late: before the open window
+        rows.push("5,500,9.0".to_string()); // jump: closes + skips empties
+        for i in 0..10u64 {
+            rows.push(format!("{},{},{}", (i % 3) as i64, 500 + i, 60.0 + i as f64));
+        }
+        rows
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for n in [1usize, 2, 8, 13] {
+            for key in [-5i64, 0, 1, 19, i64::MIN, i64::MAX] {
+                let s = shard_of(key, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(key, n), "stable");
+            }
+        }
+        // Keys actually spread across shards (not all on one).
+        let hits: std::collections::BTreeSet<usize> = (0..100i64).map(|k| shard_of(k, 8)).collect();
+        assert!(hits.len() > 4, "100 keys land on >4 of 8 shards: {hits:?}");
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_bit_for_bit() {
+        let mut reference = EngineState::new(config(1));
+        for row in rows() {
+            reference.ingest("traffic", &row).unwrap();
+        }
+        let ref_snap = reference.to_snapshot();
+        for n in [2usize, 3, 8] {
+            let set = ShardSet::new(config(n));
+            let mut emitted = 0;
+            for row in rows() {
+                emitted += set.ingest("traffic", &row).unwrap().windows_emitted;
+            }
+            assert_eq!(emitted, reference.counters().windows_emitted, "shards={n}");
+            let c = set.counters();
+            let r = reference.counters();
+            assert_eq!(
+                (c.rows_ingested, c.late_rows, c.windows_emitted),
+                (r.rows_ingested, r.late_rows, r.windows_emitted),
+                "shards={n}"
+            );
+            assert_eq!(
+                snapshot_bytes(&set.to_snapshot()),
+                snapshot_bytes(&ref_snap),
+                "snapshot bytes differ at shards={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_line_ingest_across_shards() {
+        let parsed: Vec<RawObservation> = rows()
+            .iter()
+            .map(|r| {
+                let cells: Vec<&str> = r.split(',').collect();
+                RawObservation::new(
+                    cells[0].parse().unwrap(),
+                    cells[1].parse().unwrap(),
+                    cells[2].parse().unwrap(),
+                )
+            })
+            .collect();
+        let line = ShardSet::new(config(4));
+        for row in rows() {
+            line.ingest("traffic", &row).unwrap();
+        }
+        let batch = ShardSet::new(config(4));
+        let out = batch.ingest_batch("traffic", &parsed).unwrap();
+        assert_eq!(out.accepted, parsed.len() as u64);
+        let c = line.counters();
+        assert_eq!((out.late, out.windows_emitted), (c.late_rows, c.windows_emitted));
+        assert_eq!(snapshot_bytes(&batch.to_snapshot()), snapshot_bytes(&line.to_snapshot()));
+        assert_eq!(batch.stats_lines(), line.stats_lines());
+    }
+
+    #[test]
+    fn restore_across_shard_counts_is_exact() {
+        let eight = ShardSet::new(config(8));
+        for row in rows() {
+            eight.ingest("traffic", &row).unwrap();
+        }
+        let snap = eight.to_snapshot();
+        let bytes = snapshot_bytes(&snap);
+        for n in [1usize, 2, 5] {
+            let other = ShardSet::new(config(n));
+            other.restore(snap.clone()).unwrap();
+            assert_eq!(snapshot_bytes(&other.to_snapshot()), bytes, "restore at shards={n}");
+            // Subsequent ingest diverges nowhere: feed one more closing row.
+            other.ingest("traffic", "1,9999,5.0").unwrap();
+            eight_like(&other);
+        }
+        fn eight_like(set: &ShardSet) {
+            // The merged query view stays well-formed after restore+ingest.
+            let QueryReply::Rows(_, tuples) = set.query("SELECT * FROM traffic").unwrap() else {
+                panic!("SELECT returns rows");
+            };
+            assert!(!tuples.is_empty());
+        }
+    }
+
+    #[test]
+    fn query_and_subscribe_work_sharded() {
+        let set = ShardSet::new(config(4));
+        let (id, stream, queue) = set.subscribe("SELECT * FROM traffic").unwrap();
+        assert_eq!(stream, "traffic");
+        for row in rows() {
+            set.ingest("traffic", &row).unwrap();
+        }
+        assert!(!queue.drain().is_empty(), "subscriber saw window closes");
+        assert!(set.unsubscribe(id));
+        let QueryReply::Rows(schema, tuples) = set.query("SELECT * FROM traffic").unwrap() else {
+            panic!("SELECT returns rows");
+        };
+        assert_eq!(schema.columns().len(), 2);
+        assert!(!tuples.is_empty());
+        let text = set.metrics_text();
+        assert!(text.contains("ausdb_rows_ingested_total{stream=\"traffic\"}"), "{text}");
+        assert!(text.contains("ausdb_queries_total 1"), "{text}");
+    }
+}

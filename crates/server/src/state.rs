@@ -48,11 +48,20 @@ pub struct EngineConfig {
     pub max_subscribers: usize,
     /// Per-subscriber queue capacity in protocol lines.
     pub queue_cap: usize,
+    /// Key-sharded engine states in the server (`AUSDB_SHARDS` /
+    /// `--shards`; 1 = the classic single-engine layout). Read by
+    /// [`crate::shard::ShardSet`]; a standalone [`EngineState`] ignores it.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { learner: LearnerConfig::gaussian(60), max_subscribers: 64, queue_cap: 256 }
+        Self {
+            learner: LearnerConfig::gaussian(60),
+            max_subscribers: 64,
+            queue_cap: 256,
+            shards: ausdb_obs::knobs::shards(),
+        }
     }
 }
 
@@ -212,6 +221,17 @@ pub struct IngestOutcome {
     pub windows_emitted: u64,
 }
 
+/// What one `INGESTB` batch frame did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Rows accepted from the frame.
+    pub accepted: u64,
+    /// Rows whose timestamp predated the then-open window.
+    pub late: u64,
+    /// Windows that closed with learned tuples while applying the frame.
+    pub windows_emitted: u64,
+}
+
 /// The engine state shared by all connection threads (behind one mutex).
 pub struct EngineState {
     config: EngineConfig,
@@ -261,8 +281,7 @@ impl EngineState {
     /// subscriber queue-depth gauge freshly sampled) merged with the
     /// process-wide engine accuracy registry.
     pub fn metrics_text(&self) -> String {
-        let depth: usize = self.subscriptions.values().map(|s| s.queue.len()).sum();
-        self.telemetry.queue_depth.set(depth as f64);
+        self.sample_queue_depth();
         ausdb_obs::metrics::render_merged(&[
             &self.telemetry.registry,
             ausdb_engine::obs::telemetry::global().registry(),
@@ -279,22 +298,51 @@ impl EngineState {
     pub fn ingest(&mut self, stream: &str, row: &str) -> Result<IngestOutcome, String> {
         let obs = parse_observation(row)?;
         let name = normalize_stream_name(stream)?;
-        let learner_config = self.config.learner;
-        let width = learner_config.window_width;
-        if !self.streams.contains_key(&name) {
-            let counters = self.telemetry.stream(&name);
-            self.streams.insert(
-                name.clone(),
-                StreamState {
-                    learner: StreamLearner::new(learner_config),
-                    window_start: None,
-                    counters,
-                },
-            );
+        let (_, windows_emitted) = self.ingest_observation(&name, obs)?;
+        Ok(IngestOutcome { windows_emitted })
+    }
+
+    /// Ingests a pre-parsed batch of observations into `stream` as if each
+    /// arrived as its own `INGEST` line, in order. The whole batch is
+    /// validated first (any non-finite value rejects the entire frame, so
+    /// a partially applied batch is impossible to observe at the protocol
+    /// level), then applied row by row — serially identical to the line
+    /// path by construction.
+    pub fn ingest_batch(
+        &mut self,
+        stream: &str,
+        rows: &[RawObservation],
+    ) -> Result<BatchOutcome, String> {
+        let name = normalize_stream_name(stream)?;
+        for (i, r) in rows.iter().enumerate() {
+            if !r.value.is_finite() {
+                return Err(format!("row {i}: non-finite value {}", r.value));
+            }
         }
-        {
-            let state = self.streams.get_mut(&name).expect("stream just ensured");
-            if state.window_start.is_some_and(|ws| obs.ts < ws) {
+        let mut out = BatchOutcome::default();
+        for &obs in rows {
+            let (late, emitted) = self.ingest_observation(&name, obs)?;
+            out.accepted += 1;
+            out.late += u64::from(late);
+            out.windows_emitted += emitted;
+        }
+        Ok(out)
+    }
+
+    /// Ingests one parsed observation into the (already normalized)
+    /// stream `name`: buffers it, bumps counters, and closes every window
+    /// its timestamp has moved past. Returns `(was_late, windows_emitted)`.
+    pub(crate) fn ingest_observation(
+        &mut self,
+        name: &str,
+        obs: RawObservation,
+    ) -> Result<(bool, u64), String> {
+        self.ensure_stream(name);
+        let width = self.config.learner.window_width;
+        let late = {
+            let state = self.streams.get_mut(name).expect("stream just ensured");
+            let late = state.window_start.is_some_and(|ws| obs.ts < ws);
+            if late {
                 state.counters.late.inc();
             }
             state.learner.observe(obs);
@@ -302,21 +350,33 @@ impl EngineState {
                 state.window_start = Some(align(obs.ts, width));
             }
             state.counters.rows.inc();
-        }
+            late
+        };
+        let emitted = self.close_windows_through(name, obs.ts)?;
+        Ok((late, emitted))
+    }
+
+    /// Closes every window `through_ts` has moved past on stream `name`,
+    /// registering each non-empty one and firing subscriber events. The
+    /// jump via `min_buffered_ts` bounds iterations by the number of
+    /// *non-empty* windows, so a large time skip is O(1), not O(Δt).
+    pub(crate) fn close_windows_through(
+        &mut self,
+        name: &str,
+        through_ts: u64,
+    ) -> Result<u64, String> {
+        let width = self.config.learner.window_width;
         let mut emitted = 0u64;
-        // Close every window the new observation has moved past. The jump
-        // via `min_buffered_ts` bounds iterations by the number of
-        // *non-empty* windows, so a large time skip is O(1), not O(Δt).
         loop {
             let closing = {
-                let state = self.streams.get(&name).expect("stream exists");
+                let state = self.streams.get(name).expect("stream exists");
                 let ws = state.window_start.expect("window cursor set on first row");
-                (obs.ts >= ws.saturating_add(width)).then_some(ws)
+                (through_ts >= ws.saturating_add(width)).then_some(ws)
             };
             let Some(ws) = closing else { break };
             let start = ausdb_obs::now_if_enabled();
             let (tuples, schema, windows_counter) = {
-                let state = self.streams.get_mut(&name).expect("stream exists");
+                let state = self.streams.get_mut(name).expect("stream exists");
                 let tuples = state.learner.emit_window(ws).map_err(|e| format!("learn: {e}"))?;
                 let next = ws.saturating_add(width);
                 state.window_start = Some(match state.learner.min_buffered_ts() {
@@ -329,8 +389,8 @@ impl EngineState {
             if !tuples.is_empty() {
                 emitted += 1;
                 windows_counter.inc();
-                self.session.register(&name, schema, tuples);
-                self.fire_events(&name, ws);
+                self.session.register(name, schema, tuples);
+                self.fire_events(name, ws);
             }
             if let Some(t0) = start {
                 let elapsed = t0.elapsed();
@@ -343,7 +403,170 @@ impl EngineState {
                 });
             }
         }
-        Ok(IngestOutcome { windows_emitted: emitted })
+        Ok(emitted)
+    }
+
+    /// Creates the stream's learner and counter handles if absent.
+    fn ensure_stream(&mut self, name: &str) {
+        if !self.streams.contains_key(name) {
+            let counters = self.telemetry.stream(name);
+            self.streams.insert(
+                name.to_string(),
+                StreamState {
+                    learner: StreamLearner::new(self.config.learner),
+                    window_start: None,
+                    counters,
+                },
+            );
+        }
+    }
+
+    // -- shard hooks -------------------------------------------------------
+    //
+    // `crate::shard::ShardSet` splits one logical engine across several
+    // `EngineState`s by key hash. A shard only *buffers* (it never advances
+    // a window cursor or registers content — the coordinator drives closes
+    // with the global cursor so emission order and late accounting are
+    // bit-identical to the unsharded engine), while the coordinator's core
+    // state owns the merged session, subscriptions and query telemetry.
+
+    /// Buffers one observation on a shard without touching any window
+    /// cursor. `late` is the coordinator's global verdict for the row.
+    pub(crate) fn observe_sharded(&mut self, name: &str, obs: RawObservation, late: bool) {
+        self.ensure_stream(name);
+        let state = self.streams.get_mut(name).expect("stream just ensured");
+        if late {
+            state.counters.late.inc();
+        }
+        state.learner.observe(obs);
+        state.counters.rows.inc();
+    }
+
+    /// Emits (and evicts) the window starting at `ws` from the shard's
+    /// learner, returning the learned tuples without registering them or
+    /// bumping any counter. A stream this shard never saw yields no tuples.
+    pub(crate) fn emit_stream_window(&mut self, name: &str, ws: u64) -> Result<Vec<Tuple>, String> {
+        match self.streams.get_mut(name) {
+            Some(state) => state.learner.emit_window(ws).map_err(|e| format!("learn: {e}")),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Registers a merged closed window on the core state: session content,
+    /// subscriber fan-out, and window-close telemetry (the per-stream
+    /// `windows_emitted` counter is the coordinator's to bump).
+    pub(crate) fn register_closed_window(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        tuples: Vec<Tuple>,
+        ws: u64,
+    ) {
+        let start = ausdb_obs::now_if_enabled();
+        let learned = tuples.len();
+        self.session.register(name, schema, tuples);
+        self.fire_events(name, ws);
+        if let Some(t0) = start {
+            let elapsed = t0.elapsed();
+            self.telemetry.window_close.observe_duration(elapsed);
+            journal::global().record(Level::Info, "window_close", || {
+                format!(
+                    "stream={name} window_start={ws} tuples={learned} took={}us",
+                    elapsed.as_micros()
+                )
+            });
+        }
+    }
+
+    /// The earliest buffered observation timestamp on this shard's copy of
+    /// `name`, if any.
+    pub(crate) fn min_buffered_ts_for(&self, name: &str) -> Option<u64> {
+        self.streams.get(name).and_then(|s| s.learner.min_buffered_ts())
+    }
+
+    /// Buffered observations on this shard's copy of `name`.
+    pub(crate) fn buffered_len_for(&self, name: &str) -> usize {
+        self.streams.get(name).map_or(0, |s| s.learner.buffered_len())
+    }
+
+    /// `(rows, late)` counter values for this shard's copy of `name`.
+    pub(crate) fn stream_counts(&self, name: &str) -> (u64, u64) {
+        self.streams.get(name).map_or((0, 0), |s| (s.counters.rows.get(), s.counters.late.get()))
+    }
+
+    /// The learner behind `name`, if this shard has seen the stream.
+    pub(crate) fn learner_for(&self, name: &str) -> Option<&StreamLearner> {
+        self.streams.get(name).map(|s| &s.learner)
+    }
+
+    /// Installs a rebuilt learner for `name` (restore path). Any previous
+    /// state for the stream is replaced; counter series are re-fetched by
+    /// name so a restored stream resumes its counts.
+    pub(crate) fn install_stream(&mut self, name: &str, learner: StreamLearner) {
+        let counters = self.telemetry.stream(name);
+        self.streams
+            .insert(name.to_string(), StreamState { learner, window_start: None, counters });
+    }
+
+    /// Drops every stream (restore path; counters and session untouched).
+    pub(crate) fn clear_streams(&mut self) {
+        self.streams.clear();
+    }
+
+    /// Resets the query session, keeping its config and batch size
+    /// (restore path for the coordinator's core state).
+    pub(crate) fn reset_session(&mut self) {
+        let mut session = Session::new();
+        session.config = self.session.config;
+        session.batch_size = self.session.batch_size;
+        self.session = session;
+    }
+
+    /// Registers content for `name` in the query session without firing
+    /// events (restore path).
+    pub(crate) fn register_stream_content(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        tuples: Vec<Tuple>,
+    ) {
+        self.session.register(name, schema, tuples);
+    }
+
+    /// This instance's metric registry.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.telemetry.registry
+    }
+
+    /// The per-stream `windows_emitted` counter handle (creating the
+    /// stream's series if needed).
+    pub(crate) fn windows_counter(&self, name: &str) -> Arc<Counter> {
+        self.telemetry.stream(name).windows
+    }
+
+    /// Samples the subscriber queue-depth gauge from current queue sizes.
+    pub(crate) fn sample_queue_depth(&self) {
+        let depth: usize = self.subscriptions.values().map(|s| s.queue.len()).sum();
+        self.telemetry.queue_depth.set(depth as f64);
+    }
+
+    /// The `STATS` per-subscriber lines plus the last-query block, without
+    /// the server/stream lines (the coordinator renders those itself).
+    pub(crate) fn subscriber_and_query_stat_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (id, sub) in &self.subscriptions {
+            out.push(format!(
+                "subscriber {id} stream={} queued={} dropped_pending={}",
+                sub.stream,
+                sub.queue.len(),
+                sub.queue.dropped()
+            ));
+        }
+        if let Some(report) = &self.last_stats {
+            out.push("last query:".to_string());
+            out.extend(report.to_string().lines().map(|l| format!("  {l}")));
+        }
+        out
     }
 
     /// Runs a one-shot statement against the current stream contents,
@@ -570,13 +793,13 @@ pub struct ServerSnapshot {
 
 // The learner lives in another crate; nest its encoding as a byte payload
 // so each crate owns its own format.
-fn encode_learner(learner: &StreamLearner) -> Vec<u8> {
+pub(crate) fn encode_learner(learner: &StreamLearner) -> Vec<u8> {
     let mut w = Writer::new();
     learner.encode(&mut w);
     w.into_bytes()
 }
 
-fn decode_learner(bytes: &[u8]) -> Result<StreamLearner, CodecError> {
+pub(crate) fn decode_learner(bytes: &[u8]) -> Result<StreamLearner, CodecError> {
     let mut r = Reader::new(bytes, ausdb_model::codec::FORMAT_VERSION);
     let learner = StreamLearner::decode(&mut r)?;
     if r.remaining() > 0 {
@@ -619,12 +842,12 @@ impl Codec for ServerSnapshot {
 }
 
 /// Aligns a timestamp down to its window's start.
-fn align(ts: u64, width: u64) -> u64 {
+pub(crate) fn align(ts: u64, width: u64) -> u64 {
     ts - ts % width.max(1)
 }
 
 /// Validates a stream name: SQL-identifier-shaped, lowercased.
-fn normalize_stream_name(name: &str) -> Result<String, String> {
+pub(crate) fn normalize_stream_name(name: &str) -> Result<String, String> {
     let ok = !name.is_empty()
         && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
@@ -637,7 +860,7 @@ fn normalize_stream_name(name: &str) -> Result<String, String> {
 
 /// Parses an `INGEST` row: `key,ts,value` with the same timestamp forms as
 /// CSV ingestion (integer or `H:MM[:SS]`).
-fn parse_observation(row: &str) -> Result<RawObservation, String> {
+pub(crate) fn parse_observation(row: &str) -> Result<RawObservation, String> {
     let cells: Vec<&str> = row.split(',').map(str::trim).collect();
     if cells.len() != 3 {
         return Err(format!("expected key,ts,value — got {} cells", cells.len()));
@@ -666,6 +889,7 @@ mod tests {
             },
             max_subscribers: 4,
             queue_cap: 64,
+            shards: 1,
         }
     }
 
@@ -752,6 +976,33 @@ mod tests {
         let (_, a) = state.session().stream("traffic").unwrap();
         let (_, b) = restored.session().stream("traffic").unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ingest_batch_matches_serial_ingest() {
+        let rows = [
+            RawObservation::new(19, 100, 56.0),
+            RawObservation::new(7, 101, 38.5),
+            RawObservation::new(19, 103, 97.25),
+            RawObservation::new(19, 95, 1.0), // late once the window opens at 100
+            RawObservation::new(7, 112, 41.0),
+            RawObservation::new(19, 131, 9.0),
+        ];
+        let mut serial = EngineState::new(test_config());
+        for r in rows {
+            serial.ingest("traffic", &format!("{},{},{}", r.key, r.ts, r.value)).unwrap();
+        }
+        let mut batched = EngineState::new(test_config());
+        let out = batched.ingest_batch("traffic", &rows).unwrap();
+        assert_eq!(out.accepted, rows.len() as u64);
+        assert_eq!(out.late, serial.counters().late_rows);
+        assert_eq!(out.windows_emitted, serial.counters().windows_emitted);
+        assert_eq!(batched.to_snapshot(), serial.to_snapshot(), "bit-identical state");
+        // A non-finite value anywhere rejects the whole frame.
+        let mut state = EngineState::new(test_config());
+        let bad = [RawObservation::new(1, 0, 1.0), RawObservation::new(1, 1, f64::NAN)];
+        assert!(state.ingest_batch("traffic", &bad).is_err());
+        assert_eq!(state.counters().rows_ingested, 0, "nothing applied");
     }
 
     #[test]

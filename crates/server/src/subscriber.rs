@@ -75,6 +75,33 @@ impl SubscriberQueue {
         out
     }
 
+    /// Drains like [`SubscriberQueue::drain`] but appends each line (with
+    /// a trailing `\n`) to `out` instead of allocating a vector — the
+    /// fan-out path batches every queue's lines into one buffer and
+    /// flushes it with a single write syscall per tick. Returns the
+    /// number of lines appended. The `DROPPED <n>` gap notice keeps its
+    /// exact semantics: emitted first, counter reset.
+    pub fn drain_into(&self, out: &mut String) -> usize {
+        let mut inner = self.inner.lock().expect("subscriber queue poisoned");
+        if inner.lines.is_empty() && inner.dropped == 0 {
+            return 0;
+        }
+        let mut n = 0;
+        if inner.dropped > 0 {
+            out.push_str("DROPPED ");
+            out.push_str(&inner.dropped.to_string());
+            out.push('\n');
+            inner.dropped = 0;
+            n += 1;
+        }
+        for line in inner.lines.drain(..) {
+            out.push_str(&line);
+            out.push('\n');
+            n += 1;
+        }
+        n
+    }
+
     /// Lines currently queued (for stats and tests).
     pub fn len(&self) -> usize {
         self.inner.lock().expect("subscriber queue poisoned").lines.len()
@@ -109,6 +136,22 @@ mod tests {
         // Counter reset after the notice.
         assert_eq!(q.dropped(), 0);
         assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_into_matches_drain_semantics() {
+        let q = SubscriberQueue::new(3);
+        for i in 0..10 {
+            q.push(format!("line {i}"));
+        }
+        let mut buf = String::from("EVENT 1 WINDOW 0 ROWS 0\n");
+        let n = q.drain_into(&mut buf);
+        assert_eq!(n, 4, "DROPPED notice plus three lines");
+        assert_eq!(buf, "EVENT 1 WINDOW 0 ROWS 0\nDROPPED 7\nline 0\nline 1\nline 2\n");
+        assert_eq!(q.dropped(), 0, "gap counter reset exactly like drain()");
+        let mut empty = String::new();
+        assert_eq!(q.drain_into(&mut empty), 0);
+        assert!(empty.is_empty(), "no output when nothing is queued");
     }
 
     #[test]

@@ -33,14 +33,23 @@ fn engine_config() -> EngineConfig {
         },
         max_subscribers: 8,
         queue_cap: 6,
+        shards: 1,
     }
 }
 
 fn start_server(snapshot: Option<std::path::PathBuf>, tick: Duration) -> ServerHandle {
+    start_sharded_server(snapshot, tick, 1)
+}
+
+fn start_sharded_server(
+    snapshot: Option<std::path::PathBuf>,
+    tick: Duration,
+    shards: usize,
+) -> ServerHandle {
     Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         snapshot_path: snapshot,
-        engine: engine_config(),
+        engine: EngineConfig { shards, ..engine_config() },
         tick,
         http_addr: None,
     })
@@ -436,6 +445,7 @@ fn help_lists_every_verb() {
     let body = &reply[..reply.len() - 1];
     for verb in [
         "INGEST",
+        "INGESTB",
         "QUERY",
         "SUBSCRIBE",
         "UNSUBSCRIBE",
@@ -599,4 +609,104 @@ fn protocol_errors_are_structured() {
     // The connection survives every error.
     assert_eq!(client.request("PING")[0], "OK PONG");
     handle.stop();
+}
+
+/// The binary batch path must be observably identical to line-at-a-time
+/// ingest: same `OK INGESTED` totals, same query results, same windows.
+#[test]
+fn ingestb_batch_matches_line_ingest() {
+    use ausdb_learn::learner::RawObservation;
+    use ausdb_serve::client::BatchClient;
+
+    let handle = start_server(None, Duration::from_millis(25));
+    let rows = observation_rows();
+
+    let mut batch = BatchClient::connect(&handle.addr().to_string()).expect("batch connect");
+    let raw: Vec<RawObservation> =
+        rows.iter().map(|&(key, ts, value)| RawObservation::new(key, ts, value)).collect();
+    let outcome = batch.ingest_batch("traffic", &raw).expect("batch ingest");
+    assert_eq!(outcome.accepted, rows.len() as u64);
+    assert_eq!(outcome.late, 0);
+    assert_eq!(outcome.windows_emitted, 2, "two full windows close during the batch");
+
+    // Bit-identical to the in-process line path for every query shape.
+    let mut state = EngineState::new(engine_config());
+    ingest_rows_inproc(&mut state, &rows);
+    let mut client = Client::connect(&handle);
+    for sql in [
+        "SELECT * FROM traffic",
+        "SELECT * FROM traffic WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 200",
+    ] {
+        assert_eq!(
+            client.request(&format!("QUERY {sql}")),
+            expected_reply(&state, sql),
+            "batch-ingested server vs in-process mismatch for {sql}"
+        );
+    }
+
+    // The same connection still speaks the line protocol afterwards.
+    assert_eq!(batch.request_line("PING").unwrap(), "OK PONG");
+    handle.stop();
+}
+
+/// Frame-level protocol errors: a corrupt frame is rejected without
+/// killing the connection; an oversize announcement closes it.
+#[test]
+fn ingestb_frame_errors_are_structured() {
+    use ausdb_model::codec::encode_ingest_frame;
+
+    let handle = start_server(None, Duration::from_millis(25));
+    let mut client = Client::connect(&handle);
+
+    // Corrupt the CRC: ERR, but the connection survives.
+    let mut frame = encode_ingest_frame(&[(19, 100, 56.0)]);
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF;
+    client.send(&format!("INGESTB traffic {}", frame.len()));
+    client.stream.write_all(&frame).unwrap();
+    assert!(client.read_line().starts_with("ERR frame:"));
+    assert_eq!(client.request("PING")[0], "OK PONG");
+
+    // An absurd announced size is refused up front and closes the socket.
+    client.send("INGESTB traffic 999999999");
+    assert!(client.read_line().starts_with("ERR frame"));
+    let mut probe = String::new();
+    let n = client.reader.read_line(&mut probe).unwrap_or(0);
+    assert_eq!(n, 0, "oversize frame announcement closes the connection");
+    handle.stop();
+}
+
+/// A sharded server must answer queries bit-identically to the
+/// single-engine in-process path — the tentpole's hard invariant, proven
+/// over the wire.
+#[test]
+fn sharded_server_is_bit_identical_to_unsharded() {
+    use ausdb_learn::learner::RawObservation;
+    use ausdb_serve::client::BatchClient;
+
+    let rows = observation_rows();
+    let mut state = EngineState::new(engine_config());
+    ingest_rows_inproc(&mut state, &rows);
+
+    for shards in [2usize, 8] {
+        let handle = start_sharded_server(None, Duration::from_millis(25), shards);
+        let mut batch = BatchClient::connect(&handle.addr().to_string()).expect("batch connect");
+        let raw: Vec<RawObservation> =
+            rows.iter().map(|&(key, ts, value)| RawObservation::new(key, ts, value)).collect();
+        let outcome = batch.ingest_batch("traffic", &raw).expect("batch ingest");
+        assert_eq!(outcome.accepted, rows.len() as u64);
+
+        let mut client = Client::connect(&handle);
+        for sql in [
+            "SELECT * FROM traffic",
+            "SELECT * FROM traffic WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 200",
+        ] {
+            assert_eq!(
+                client.request(&format!("QUERY {sql}")),
+                expected_reply(&state, sql),
+                "{shards}-shard server vs unsharded in-process mismatch for {sql}"
+            );
+        }
+        handle.stop();
+    }
 }

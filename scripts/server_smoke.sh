@@ -33,19 +33,21 @@ fail() {
     exit 1
 }
 
-start_server() { # start_server <out-suffix>
+start_server() { # start_server <out-suffix> [extra serve flags...]
+    local suffix=$1
+    shift
     "$BIN" serve --addr 127.0.0.1:0 --snapshot-path "$SNAP" --window 10 \
-        --http-addr 127.0.0.1:0 --trace-json "$WORK/trace$1.json" \
-        >"$WORK/out$1" 2>"$WORK/err$1" &
+        --http-addr 127.0.0.1:0 --trace-json "$WORK/trace$suffix.json" "$@" \
+        >"$WORK/out$suffix" 2>"$WORK/err$suffix" &
     SERVER_PID=$!
     for _ in $(seq 1 200); do
-        grep -q "^metrics listening on " "$WORK/out$1" 2>/dev/null && break
+        grep -q "^metrics listening on " "$WORK/out$suffix" 2>/dev/null && break
         kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before announcing"
         sleep 0.05
     done
-    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/out$1" | head -1)
+    PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/out$suffix" | head -1)
     [[ -n "$PORT" ]] || fail "no 'listening on' line"
-    HTTP_PORT=$(sed -n 's/^metrics listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/out$1" | head -1)
+    HTTP_PORT=$(sed -n 's/^metrics listening on .*:\([0-9][0-9]*\)$/\1/p' "$WORK/out$suffix" | head -1)
     [[ -n "$HTTP_PORT" ]] || fail "no 'metrics listening on' line"
     exec 3<>"/dev/tcp/127.0.0.1/$PORT"
     expect "OK ausdb-serve 1 ready"
@@ -121,6 +123,7 @@ send "HELP"
 read_block "$WORK/help"
 grep -q '^QUERY ' "$WORK/help" || fail "HELP does not document QUERY"
 grep -q '^TRACEX ' "$WORK/help" || fail "HELP does not document TRACEX"
+grep -q '^INGESTB ' "$WORK/help" || fail "HELP does not document INGESTB"
 send "TRACE 5"
 read_block "$WORK/trace"
 grep -q '^TRACE #' "$WORK/trace" || fail "TRACE returned no journal entries"
@@ -149,6 +152,48 @@ send "SHUTDOWN"
 expect "OK shutting down"
 exec 3<&- 3>&-
 wait "$SERVER_PID" || fail "restarted server exited non-zero"
+SERVER_PID=""
+
+# The same four observations phases 1–2 pushed line-by-line, now fed to
+# `ausdb ingest` (the INGESTB binary batch client) via stdin.
+ROWS_FILE="$WORK/rows.csv"
+printf '%s\n' "19,100,56" "19,101,38.5" "19,103,97.25" "19,112,41" >"$ROWS_FILE"
+
+echo "== phase 3: INGESTB batch ingest answers identically to line ingest =="
+SNAP="$WORK/state3.snap"
+start_server 3
+"$BIN" ingest --addr "127.0.0.1:$PORT" --stream traffic <"$ROWS_FILE" \
+    >"$WORK/ingest3" 2>&1 || fail "ausdb ingest failed: $(cat "$WORK/ingest3")"
+grep -q "ingested 4 rows" "$WORK/ingest3" || fail "batch client did not report 4 rows"
+send "QUERY SELECT * FROM traffic"
+read_block "$WORK/query_batch"
+diff -u "$WORK/query_before" "$WORK/query_batch" ||
+    fail "INGESTB-ingested state answers the query differently from line ingest"
+send "STATS"
+read_block "$WORK/stats3"
+grep -q "rows_ingested=4" "$WORK/stats3" || fail "batch stats missing rows_ingested=4"
+send "SHUTDOWN"
+expect "OK shutting down"
+exec 3<&- 3>&-
+wait "$SERVER_PID" || fail "phase-3 server exited non-zero"
+SERVER_PID=""
+
+echo "== phase 4: sharded server (--shards 4) is bit-identical too =="
+SNAP="$WORK/state4.snap"
+start_server 4 --shards 4
+"$BIN" ingest --addr "127.0.0.1:$PORT" --stream traffic <"$ROWS_FILE" \
+    >"$WORK/ingest4" 2>&1 || fail "sharded ausdb ingest failed: $(cat "$WORK/ingest4")"
+send "QUERY SELECT * FROM traffic"
+read_block "$WORK/query_sharded"
+diff -u "$WORK/query_before" "$WORK/query_sharded" ||
+    fail "4-shard state answers the query differently from the single engine"
+send "SNAPSHOT"
+expect "OK SNAPSHOT*"
+[[ -s "$SNAP" ]] || fail "sharded snapshot file missing or empty"
+send "SHUTDOWN"
+expect "OK shutting down"
+exec 3<&- 3>&-
+wait "$SERVER_PID" || fail "phase-4 server exited non-zero"
 SERVER_PID=""
 
 echo "server smoke OK"

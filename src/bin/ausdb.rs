@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => run_serve(&args[1..]),
+        Some("ingest") => run_ingest(&args[1..]),
         Some("shell") => run_shell(&args[1..]),
         None => run_shell(&[]),
         // Back-compat: bare flags (e.g. `ausdb --demo`) mean the shell.
@@ -52,14 +53,19 @@ fn print_usage() {
     eprintln!("usage: ausdb [shell] [--demo]");
     eprintln!("       ausdb serve [--addr HOST:PORT] [--snapshot-path FILE]");
     eprintln!("                   [--max-subscribers N] [--queue-cap N] [--window SECONDS]");
-    eprintln!("                   [--metrics] [--http-addr HOST:PORT] [--trace-json FILE]");
+    eprintln!("                   [--shards N] [--metrics] [--http-addr HOST:PORT]");
+    eprintln!("                   [--trace-json FILE]");
+    eprintln!("       ausdb ingest [--addr HOST:PORT] [--stream NAME] [--batch N]");
     eprintln!();
     eprintln!("  shell   interactive SQL shell (default); --demo preloads a simulated network");
-    eprintln!("  serve   continuous-query TCP server (INGEST/QUERY/SUBSCRIBE/STATS/METRICS/");
-    eprintln!("          TRACE/TRACEX/SNAPSHOT/RESTORE/HELP/SHUTDOWN; see DESIGN.md section 5);");
+    eprintln!("  serve   continuous-query TCP server (INGEST/INGESTB/QUERY/SUBSCRIBE/STATS/");
+    eprintln!("          METRICS/TRACE/TRACEX/SNAPSHOT/RESTORE/HELP/SHUTDOWN; DESIGN.md §5);");
+    eprintln!("          --shards N splits ingest across N key-sharded engine states;");
     eprintln!("          --metrics dumps the final Prometheus exposition on shutdown;");
     eprintln!("          --http-addr serves the same exposition at GET /metrics;");
     eprintln!("          --trace-json writes queued query spans as Chrome trace JSON on exit");
+    eprintln!("  ingest  read key,ts,value lines from stdin and push them to a server as");
+    eprintln!("          binary INGESTB frames of --batch rows (default 4096)");
 }
 
 fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -92,6 +98,13 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     return Err("--window must be positive".into());
                 }
                 engine.learner.window_width = width;
+            }
+            "--shards" => {
+                let shards: usize = value("--shards")?.parse().map_err(|_| "bad --shards value")?;
+                if shards == 0 {
+                    return Err("--shards must be positive".into());
+                }
+                engine.shards = shards;
             }
             "--metrics" => dump_metrics = true,
             "--http-addr" => config.http_addr = Some(value("--http-addr")?.clone()),
@@ -133,6 +146,90 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("wrote {} traced queries to {}", traces.len(), path.display());
     }
     Ok(())
+}
+
+/// `ausdb ingest`: stream `key,ts,value` lines from stdin to a server as
+/// binary `INGESTB` frames.
+fn run_ingest(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut stream = "traffic".to_string();
+    let mut batch: usize = 4096;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{what} expects a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?.clone(),
+            "--stream" => stream = value("--stream")?.clone(),
+            "--batch" => {
+                batch = value("--batch")?.parse().map_err(|_| "bad --batch value")?;
+                if batch == 0 {
+                    return Err("--batch must be positive".into());
+                }
+            }
+            other => {
+                eprintln!("error: unknown ingest flag '{other}'\n");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut client = ausdb::serve::BatchClient::connect(&addr)?;
+    let mut rows: Vec<RawObservation> = Vec::with_capacity(batch);
+    let mut total_rows = 0u64;
+    let mut total_late = 0u64;
+    let mut total_windows = 0u64;
+    let mut bad_lines = 0u64;
+    let stdin = std::io::stdin();
+    let mut flush = |rows: &mut Vec<RawObservation>| -> Result<(), Box<dyn std::error::Error>> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let out = client.ingest_batch(&stream, rows)?;
+        total_rows += out.accepted;
+        total_late += out.late;
+        total_windows += out.windows_emitted;
+        rows.clear();
+        Ok(())
+    };
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_ingest_line(line) {
+            Some(obs) => {
+                rows.push(obs);
+                if rows.len() >= batch {
+                    flush(&mut rows)?;
+                }
+            }
+            None => {
+                bad_lines += 1;
+                eprintln!("skipping malformed line: {line}");
+            }
+        }
+    }
+    flush(&mut rows)?;
+    println!(
+        "ingested {total_rows} rows into '{stream}' \
+         (late={total_late} windows_emitted={total_windows} skipped={bad_lines})"
+    );
+    Ok(())
+}
+
+/// Parses a `key,ts,value` stdin line for `ausdb ingest`.
+fn parse_ingest_line(line: &str) -> Option<RawObservation> {
+    let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+    if cells.len() != 3 {
+        return None;
+    }
+    let key: i64 = cells[0].parse().ok()?;
+    let ts: u64 = cells[1].parse().ok()?;
+    let value: f64 = cells[2].parse().ok()?;
+    value.is_finite().then(|| RawObservation::new(key, ts, value))
 }
 
 fn run_shell(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
