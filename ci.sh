@@ -36,4 +36,7 @@ bash scripts/server_smoke.sh
 echo "== pr6 bench: network ingest (INGESTB + shards) =="
 bash scripts/pr6_bench
 
+echo "== pr8 bench: WAL durability (fsync policies, recovery, replication) =="
+bash scripts/pr8_bench
+
 echo "CI OK"

@@ -1,0 +1,274 @@
+//! Durability benchmark for the write-ahead log (PR 8).
+//!
+//! Measures what the WAL costs on the hot ingest path and what it buys
+//! back on the failure path. Writes `BENCH_pr8.json` (in the current
+//! directory) with:
+//!
+//! * **ingest rows/s** over `INGESTB` frames with no WAL vs a WAL under
+//!   each `AUSDB_FSYNC` policy (`never` / `batch` / `always`) — the
+//!   acceptance bar is `batch` within 25% of the no-WAL rate;
+//! * **recovery** — wall-clock to restart after a simulated `kill -9`
+//!   (no final snapshot, no WAL truncation) and replay the whole log;
+//! * **replication** — wall-clock for a fresh follower to bootstrap from
+//!   a primary holding the same workload and drain its lag to zero.
+//!
+//! Usage: `cargo run --release -p ausdb-bench --bin pr8_bench`
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ausdb_learn::accuracy::DistKind;
+use ausdb_learn::learner::{LearnerConfig, RawObservation};
+use ausdb_serve::client::BatchClient;
+use ausdb_serve::server::{Server, ServerConfig, ServerHandle};
+use ausdb_serve::state::EngineConfig;
+
+/// Window width in timestamp units (same shape as `pr6_bench`).
+const WINDOW: u64 = 60;
+const KEYS: u64 = 32;
+/// Rows per ingest measurement run. Sized so one run takes ~100ms+ —
+/// long enough that a single slow fdatasync (VM disks spike) cannot
+/// swing the measured ratio.
+const ROWS: u64 = 1_000_000;
+/// Rows per `INGESTB` frame. Also the WAL-record granularity, so the
+/// `always` policy fsyncs once per frame.
+const FRAME_ROWS: usize = 16_384;
+/// Timing repetitions per configuration; best one kept. Five, because
+/// a single repetition that lands on a kernel writeback stall can be
+/// 30% slow, and the acceptance ratio compares two best-of runs.
+const REPS: usize = 5;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        learner: LearnerConfig {
+            kind: DistKind::Empirical,
+            level: 0.9,
+            window_width: WINDOW,
+            min_observations: 2,
+        },
+        ..EngineConfig::default()
+    }
+}
+
+/// Deterministic synthetic observation stream (same as `pr3_bench`).
+fn observation(i: u64) -> (i64, u64, f64) {
+    let key = (i % KEYS) as i64;
+    let ts = i / KEYS;
+    let value = 40.0 + ((i.wrapping_mul(37)) % 100) as f64 * 0.5;
+    (key, ts, value)
+}
+
+fn raw_rows(n: u64) -> Vec<RawObservation> {
+    (0..n)
+        .map(|i| {
+            let (key, ts, value) = observation(i);
+            RawObservation::new(key, ts, value)
+        })
+        .collect()
+}
+
+/// Flushes dirty pages before a timed run. Earlier pipeline stages (or
+/// the previous repetition's WAL) can leave enough dirty data behind
+/// that kernel writeback throttling taxes the measured writes — which
+/// shows up as `fsync=never` losing to no-WAL by far more than the
+/// write itself costs. A `sync` puts every configuration on the same
+/// clean-cache footing.
+fn quiesce() {
+    let _ = std::process::Command::new("sync").status();
+    std::thread::sleep(Duration::from_millis(100));
+}
+
+/// Scratch directory under the system temp dir; recreated empty.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ausdb_pr8_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn start_server(wal_dir: Option<PathBuf>, replicate_from: Option<String>) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: engine_config(),
+        snapshot_path: wal_dir.as_ref().map(|d| d.join("bench.snap")),
+        wal_dir,
+        replicate_from,
+        tick: Duration::from_millis(5),
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+/// Pushes `rows` through `INGESTB` frames and returns elapsed seconds.
+fn push_rows(addr: &str, rows: &[RawObservation]) -> f64 {
+    let mut client = BatchClient::connect(addr).expect("batch connect");
+    let start = Instant::now();
+    let mut accepted = 0u64;
+    for chunk in rows.chunks(FRAME_ROWS) {
+        accepted += client.ingest_batch("bench", chunk).expect("batch ingest").accepted;
+    }
+    assert_eq!(accepted, rows.len() as u64);
+    start.elapsed().as_secs_f64()
+}
+
+/// Best-of-`REPS` ingest rate against a fresh server per repetition.
+/// `policy` is exported via `AUSDB_FSYNC` before each start (the WAL
+/// reads it when the server opens the log).
+fn ingest_rows_per_sec(wal: bool, policy: &str) -> f64 {
+    std::env::set_var("AUSDB_FSYNC", policy);
+    let rows = raw_rows(ROWS);
+    let mut best = f64::INFINITY;
+    for rep in 0..=REPS {
+        quiesce();
+        let dir = wal.then(|| scratch("ingest"));
+        let handle = start_server(dir.clone(), None);
+        let secs = push_rows(&handle.addr().to_string(), &rows);
+        handle.stop();
+        if let Some(dir) = dir {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        if rep > 0 {
+            // rep 0 is the warm-up.
+            best = best.min(secs);
+        }
+    }
+    ROWS as f64 / best
+}
+
+/// Kill -9 recovery: ingest the workload with the WAL on, crash without
+/// a final snapshot, and time the restart that replays the whole log.
+fn recovery(policy: &str) -> (usize, f64) {
+    std::env::set_var("AUSDB_FSYNC", policy);
+    let dir = scratch("recover");
+    let rows = raw_rows(ROWS);
+    let handle = start_server(Some(dir.clone()), None);
+    push_rows(&handle.addr().to_string(), &rows);
+    handle.kill();
+    quiesce();
+
+    let start = Instant::now();
+    let handle = start_server(Some(dir.clone()), None);
+    let secs = start.elapsed().as_secs_f64();
+    let replayed = handle.replayed_records();
+    assert_eq!(replayed, ROWS.div_ceil(FRAME_ROWS as u64) as usize, "replay covers every frame");
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+    (replayed, secs)
+}
+
+/// One text-protocol exchange: connect, skip the greeting, send `line`,
+/// return the reply line.
+fn oneshot(addr: &str, line: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut buf = String::new();
+    reader.read_line(&mut buf).expect("greeting");
+    writer.write_all(format!("{line}\n").as_bytes()).expect("write");
+    buf.clear();
+    reader.read_line(&mut buf).expect("reply");
+    buf.trim_end().to_string()
+}
+
+fn walstat_field(reply: &str, key: &str) -> u64 {
+    reply
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no {key}= in {reply:?}"))
+}
+
+/// Follower bootstrap + catch-up: a primary holds the full workload in
+/// its WAL; a fresh follower starts, pulls, and drains its lag to zero.
+fn replication(policy: &str) -> (u64, f64) {
+    std::env::set_var("AUSDB_FSYNC", policy);
+    let pdir = scratch("repl_primary");
+    let fdir = scratch("repl_follower");
+    let rows = raw_rows(ROWS);
+    let primary = start_server(Some(pdir.clone()), None);
+    let paddr = primary.addr().to_string();
+    push_rows(&paddr, &rows);
+    let target = walstat_field(&oneshot(&paddr, "WALSTAT"), "last_seq");
+    quiesce();
+
+    let start = Instant::now();
+    let follower = start_server(Some(fdir.clone()), Some(paddr));
+    let faddr = follower.addr().to_string();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if walstat_field(&oneshot(&faddr, "WALSTAT"), "last_seq") >= target {
+            break;
+        }
+        assert!(Instant::now() < deadline, "follower never caught up to seq {target}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    follower.stop();
+    primary.stop();
+    std::fs::remove_dir_all(&pdir).ok();
+    std::fs::remove_dir_all(&fdir).ok();
+    (target, secs)
+}
+
+fn main() {
+    let no_wal = ingest_rows_per_sec(false, "batch");
+    eprintln!("no WAL: {no_wal:.0} rows/s");
+    let fsync_never = ingest_rows_per_sec(true, "never");
+    eprintln!("fsync=never: {fsync_never:.0} rows/s");
+    let fsync_batch = ingest_rows_per_sec(true, "batch");
+    eprintln!("fsync=batch: {fsync_batch:.0} rows/s");
+    let fsync_always = ingest_rows_per_sec(true, "always");
+    eprintln!("fsync=always: {fsync_always:.0} rows/s");
+
+    let ratio = fsync_batch / no_wal;
+    let within = ratio >= 0.75;
+
+    let (replayed, recovery_secs) = recovery("batch");
+    eprintln!("recovery: replayed {replayed} records in {:.0} ms", recovery_secs * 1e3);
+    let (repl_records, catchup_secs) = replication("batch");
+    eprintln!(
+        "replication: follower caught up to seq {repl_records} in {:.0} ms",
+        catchup_secs * 1e3
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"workload\": \"INGESTB ingest with a WAL under each fsync policy, \
+         plus kill -9 recovery and follower catch-up\",\n",
+    );
+    let _ = writeln!(json, "  \"rows\": {ROWS},");
+    let _ = writeln!(json, "  \"frame_rows\": {FRAME_ROWS},");
+    json.push_str("  \"rows_per_sec\": {\n");
+    let _ = writeln!(json, "    \"no_wal\": {no_wal:.0},");
+    let _ = writeln!(json, "    \"fsync_never\": {fsync_never:.0},");
+    let _ = writeln!(json, "    \"fsync_batch\": {fsync_batch:.0},");
+    let _ = writeln!(json, "    \"fsync_always\": {fsync_always:.0}");
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"batch_vs_nowal_ratio\": {ratio:.3},");
+    let _ = writeln!(json, "  \"batch_within_25pct\": {within},");
+    json.push_str("  \"recovery\": {\n");
+    let _ = writeln!(json, "    \"wal_records\": {replayed},");
+    let _ = writeln!(json, "    \"seconds\": {recovery_secs:.4},");
+    let _ =
+        writeln!(json, "    \"records_per_sec\": {:.0}", replayed as f64 / recovery_secs.max(1e-9));
+    json.push_str("  },\n");
+    json.push_str("  \"replication\": {\n");
+    let _ = writeln!(json, "    \"wal_records\": {repl_records},");
+    let _ = writeln!(json, "    \"catchup_seconds\": {catchup_secs:.4},");
+    json.push_str("    \"final_lag\": 0\n");
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
+    print!("{json}");
+    eprintln!(
+        "WAL (fsync=batch) runs at {:.0}% of the no-WAL ingest rate{}",
+        ratio * 100.0,
+        if within { " (within the 25% budget)" } else { " (OVER the 25% budget)" }
+    );
+}

@@ -45,7 +45,9 @@ use crate::tuple::{Field, Tuple};
 use crate::value::Value;
 
 /// Current snapshot format version (written by [`encode_snapshot`]).
-pub const FORMAT_VERSION: u16 = 1;
+/// Version history: 1 = initial; 2 = `ServerSnapshot` gained a trailing
+/// WAL watermark (`wal_seq`, decoded as 0 from version-1 payloads).
+pub const FORMAT_VERSION: u16 = 2;
 /// Oldest format version [`decode_snapshot`] still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 1;
 /// Leading magic bytes of every snapshot.
@@ -303,10 +305,13 @@ pub fn decode_snapshot<T: Codec>(bytes: &[u8]) -> Result<T, CodecError> {
 // Binary ingest frames (`INGESTB`).
 // ---------------------------------------------------------------------
 
-/// CRC-32 (IEEE 802.3, reflected, init/final `0xFFFF_FFFF`) lookup table,
-/// built at compile time.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// CRC-32 (IEEE 802.3, reflected, init/final `0xFFFF_FFFF`) lookup
+/// tables, built at compile time. `CRC32_TABLES[0]` is the classic
+/// byte-at-a-time table; tables 1..8 extend it for the slicing-by-8
+/// kernel below (each maps "this byte, `k` positions further from the
+/// end of the 8-byte chunk").
+const CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -315,17 +320,47 @@ const CRC32_TABLE: [u32; 256] = {
             crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 };
 
-/// CRC-32 (IEEE 802.3) of `bytes` — the checksum guarding [`decode_ingest_frame`].
+/// CRC-32 (IEEE 802.3) of `bytes` — the checksum guarding
+/// [`decode_ingest_frame`] and the WAL record codec.
+///
+/// Uses slicing-by-8: each iteration folds eight input bytes through
+/// eight precomputed tables instead of updating the register one byte at
+/// a time. This sits on the hot ingest path twice (frame verify + WAL
+/// record encode), so the ~5x over the classic table loop matters.
 pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC32_TABLES;
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -885,6 +920,22 @@ mod tests {
         // The canonical IEEE 802.3 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_sliced_agrees_with_the_bytewise_loop_at_every_alignment() {
+        // The slicing-by-8 kernel must match the classic table loop for
+        // lengths that hit the chunked path, the remainder path, and
+        // both (incl. lengths 0..8 that skip the chunked path entirely).
+        let data: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(167) ^ 0x5A) as u8).collect();
+        for len in 0..=data.len() {
+            let bytes = &data[..len];
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc = (crc >> 8) ^ CRC32_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+            }
+            assert_eq!(crc32(bytes), !crc, "length {len}");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `AUSDB_TRACE_CAP` | journal / trace-ring capacity (entries)   | 512 |
 //! | `AUSDB_SLOW_QUERY_MS` | slow-query log threshold in ms        | off |
 //! | `AUSDB_SHARDS`    | key-sharded engine states in the server   | 1 |
+//! | `AUSDB_FSYNC`     | WAL sync policy (`always`/`batch`/`never`)| `batch` |
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

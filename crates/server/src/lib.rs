@@ -10,10 +10,11 @@
 //!
 //! * [`protocol`] — the line-oriented text protocol (`INGEST`, `INGESTB`,
 //!   `QUERY`, `SUBSCRIBE`, `STATS`, `METRICS`, `TRACE`, `TRACEX`,
-//!   `SNAPSHOT`, `RESTORE`, `HELP`, `SHUTDOWN`, `PING`). `INGESTB` is the
-//!   binary batch-ingest frame: a length-prefixed `AUSB` envelope carrying
-//!   up to 2²⁰ `(key, ts, value)` rows, CRC-checked, answered by one `OK`
-//!   line per frame instead of one per row.
+//!   `SNAPSHOT`, `RESTORE`, `WALSTAT`, `REPLICATE`, `PROMOTE`, `HELP`,
+//!   `SHUTDOWN`, `PING`). `INGESTB` is the binary batch-ingest frame: a
+//!   length-prefixed `AUSB` envelope carrying up to 2²⁰ `(key, ts, value)`
+//!   rows, CRC-checked, answered by one `OK` line per frame instead of
+//!   one per row.
 //! * [`state`] — shared engine state: per-stream [`ausdb_learn`] learners,
 //!   the [`ausdb_engine`] session holding each stream's last closed
 //!   window, subscription registry, snapshot model.
@@ -27,8 +28,18 @@
 //!   `DROPPED <n>` notices, never unbounded memory.
 //! * [`render`] — injective text rendering of result rows, so bit-identical
 //!   results render to byte-identical protocol lines.
-//! * [`snapshot`] — atomic snapshot files over the hand-rolled versioned
-//!   binary codec in [`ausdb_model::codec`].
+//! * [`snapshot`] — fsync-safe atomic snapshot files over the hand-rolled
+//!   versioned binary codec in [`ausdb_model::codec`].
+//! * [`repl`] — the pull-based replication wire format: a follower started
+//!   with [`server::ServerConfig::replicate_from`] polls
+//!   `REPLICATE <from_seq>`, bootstraps from a snapshot when it is behind
+//!   the primary's truncation horizon, and applies raw [`ausdb_wal`]
+//!   records so its log mirrors the primary's sequence numbers; `PROMOTE`
+//!   turns it into a writable primary. With
+//!   [`server::ServerConfig::wal_dir`] set, every accepted ingest batch is
+//!   logged **before** apply and startup replays records past the
+//!   snapshot's watermark — `kill -9` recovery is byte-identical
+//!   (DESIGN.md §9).
 //! * [`server`] — the std-only, thread-per-connection TCP transport with
 //!   graceful (join-everything) shutdown.
 //! * [`signal`] — a minimal Ctrl-C hook for the `ausdb serve` binary.
@@ -63,6 +74,7 @@
 pub mod client;
 pub mod protocol;
 pub mod render;
+pub mod repl;
 pub mod server;
 pub mod shard;
 pub mod signal;

@@ -15,6 +15,9 @@
 //!            | TRACEX
 //!            | SNAPSHOT
 //!            | RESTORE
+//!            | WALSTAT
+//!            | REPLICATE <from_seq>
+//!            | PROMOTE
 //!            | HELP
 //!            | SHUTDOWN
 //!            | PING
@@ -74,6 +77,15 @@ pub enum Request {
     Snapshot,
     /// `RESTORE` — reload engine state from the configured snapshot path.
     Restore,
+    /// `WALSTAT` — durability status: role, WAL segments/bytes/sequence
+    /// numbers, fsync policy, replication lag.
+    WalStat,
+    /// `REPLICATE <from_seq>` — stream the snapshot (if needed) and WAL
+    /// records after `from_seq` to a catching-up follower. The reply is
+    /// partially binary; see `repl` module docs for the wire format.
+    Replicate(u64),
+    /// `PROMOTE` — turn a read-only follower into a writable primary.
+    Promote,
     /// `SHUTDOWN` — gracefully stop the server.
     Shutdown,
     /// `PING` — liveness check.
@@ -149,13 +161,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "TRACEX" => bare(Request::TraceExport),
         "SNAPSHOT" => bare(Request::Snapshot),
         "RESTORE" => bare(Request::Restore),
+        "WALSTAT" => bare(Request::WalStat),
+        "REPLICATE" => {
+            need("REPLICATE")?;
+            rest.parse::<u64>()
+                .map(Request::Replicate)
+                .map_err(|_| format!("bad replication start sequence '{rest}'"))
+        }
+        "PROMOTE" => bare(Request::Promote),
         "HELP" => bare(Request::Help),
         "SHUTDOWN" => bare(Request::Shutdown),
         "PING" => bare(Request::Ping),
         "" => Err("empty request".to_string()),
         other => Err(format!(
             "unknown command '{other}' (try HELP, or: INGEST, INGESTB, QUERY, SUBSCRIBE, \
-             UNSUBSCRIBE, STATS, METRICS, TRACE, TRACEX, SNAPSHOT, RESTORE, HELP, PING, SHUTDOWN)"
+             UNSUBSCRIBE, STATS, METRICS, TRACE, TRACEX, SNAPSHOT, RESTORE, WALSTAT, REPLICATE, \
+             PROMOTE, HELP, PING, SHUTDOWN)"
         )),
     }
 }
@@ -175,6 +196,9 @@ pub fn help_lines() -> &'static [&'static str] {
         "TRACEX — Chrome trace-event JSON of recently traced queries (chrome://tracing)",
         "SNAPSHOT — persist engine state to the configured snapshot path",
         "RESTORE — reload engine state from the configured snapshot path",
+        "WALSTAT — durability status: role, WAL segments/bytes/seqs, fsync policy, lag",
+        "REPLICATE <from_seq> — stream snapshot + WAL records after from_seq (follower catch-up)",
+        "PROMOTE — turn a read-only follower into a writable primary",
         "HELP — this listing",
         "PING — liveness check",
         "SHUTDOWN — gracefully stop the server",
@@ -211,6 +235,11 @@ mod tests {
         assert_eq!(parse_request("tracex"), Ok(Request::TraceExport));
         assert_eq!(parse_request("SNAPSHOT"), Ok(Request::Snapshot));
         assert_eq!(parse_request("RESTORE"), Ok(Request::Restore));
+        assert_eq!(parse_request("WALSTAT"), Ok(Request::WalStat));
+        assert_eq!(parse_request("walstat"), Ok(Request::WalStat));
+        assert_eq!(parse_request("REPLICATE 0"), Ok(Request::Replicate(0)));
+        assert_eq!(parse_request("replicate 1234"), Ok(Request::Replicate(1234)));
+        assert_eq!(parse_request("PROMOTE"), Ok(Request::Promote));
         assert_eq!(parse_request("help"), Ok(Request::Help));
         assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
         assert_eq!(parse_request("PING"), Ok(Request::Ping));
@@ -232,6 +261,9 @@ mod tests {
             "TRACEX",
             "SNAPSHOT",
             "RESTORE",
+            "WALSTAT",
+            "REPLICATE",
+            "PROMOTE",
             "HELP",
             "PING",
             "SHUTDOWN",
@@ -264,6 +296,11 @@ mod tests {
         assert!(parse_request("TRACE many").is_err());
         assert!(parse_request("TRACE -1").is_err());
         assert!(parse_request("TRACEX all").is_err());
+        assert!(parse_request("WALSTAT verbose").is_err());
+        assert!(parse_request("REPLICATE").is_err());
+        assert!(parse_request("REPLICATE notanumber").is_err());
+        assert!(parse_request("REPLICATE -1").is_err());
+        assert!(parse_request("PROMOTE now").is_err());
         assert!(parse_request("HELP me").is_err());
         assert!(parse_request("PING pong").is_err());
     }

@@ -1,0 +1,205 @@
+//! Replication wire format: how a primary answers `REPLICATE <from_seq>`
+//! and how a follower consumes the answer.
+//!
+//! Replication is **pull-based**: the follower connects with the normal
+//! line protocol and polls `REPLICATE <from_seq>` with the last WAL
+//! sequence number it holds. The primary answers with everything needed
+//! to catch up one chunk:
+//!
+//! ```text
+//! OK REPLICATE last=<primary_last_seq>
+//! SNAP <nbytes> <wal_seq>\n<nbytes of snapshot>     (only when needed)
+//! REC <nbytes>\n<nbytes of WAL record>              (repeated, ≤ CHUNK_RECORDS)
+//! END <record_count>
+//! ```
+//!
+//! The `SNAP` section appears only when the follower is too far behind —
+//! the primary has already truncated the records it would need — and
+//! carries a consistent snapshot plus its watermark; the follower
+//! restores it, resets its own WAL to the watermark, and the records
+//! that follow (and every later chunk) apply on top. Records are raw
+//! [`encode_record`] bytes, so the follower's log is a byte-identical
+//! suffix of the primary's — promotion needs no renumbering.
+//!
+//! All binary sections are length-prefixed in the announcement line, so
+//! the stream stays in sync even if the follower rejects a payload.
+
+use std::io::{self, BufRead, Write};
+
+use ausdb_wal::{decode_record, encode_record, WalRecord};
+
+/// Records per `REPLICATE` reply. Bounds primary memory and write-burst
+/// size; a lagging follower just polls again immediately.
+pub const CHUNK_RECORDS: usize = 1024;
+
+/// Largest accepted `REC` payload: the codec's frame-row cap plus
+/// record envelope (seq, stream name, length/CRC framing).
+pub const MAX_REC_BYTES: usize = ausdb_model::codec::MAX_FRAME_ROWS * 24 + 1024;
+
+/// Largest accepted `SNAP` payload. Snapshots are compact (one merged
+/// learner per stream), so a gigabyte is far past any honest payload.
+pub const MAX_SNAP_BYTES: usize = 1 << 30;
+
+/// One primary → follower catch-up chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplReply {
+    /// `(snapshot bytes, wal watermark)` when the follower must bootstrap.
+    pub snapshot: Option<(Vec<u8>, u64)>,
+    /// WAL records strictly after the follower's (post-snapshot) position.
+    pub records: Vec<WalRecord>,
+    /// The primary's newest WAL sequence number at reply time — the
+    /// follower's replication lag is `primary_last - local last`.
+    pub primary_last: u64,
+}
+
+impl ReplReply {
+    /// Whether this chunk leaves the follower caught up (no snapshot, no
+    /// records — poll again after a tick rather than immediately).
+    pub fn caught_up(&self) -> bool {
+        self.snapshot.is_none() && self.records.is_empty()
+    }
+}
+
+/// Writes one reply in wire order. The caller already sent nothing else
+/// for this request; the reply is self-delimiting via `END`.
+pub fn write_reply<W: Write>(w: &mut W, reply: &ReplReply) -> io::Result<()> {
+    writeln!(w, "OK REPLICATE last={}", reply.primary_last)?;
+    if let Some((bytes, wal_seq)) = &reply.snapshot {
+        writeln!(w, "SNAP {} {wal_seq}", bytes.len())?;
+        w.write_all(bytes)?;
+    }
+    for rec in &reply.records {
+        let bytes = encode_record(rec);
+        writeln!(w, "REC {}", bytes.len())?;
+        w.write_all(&bytes)?;
+    }
+    writeln!(w, "END {}", reply.records.len())
+}
+
+/// Reads one reply (the follower side). `r` must be positioned at the
+/// `OK REPLICATE` line. Malformed framing or oversized payloads are
+/// `InvalidData` — the follower drops the connection and redials.
+pub fn read_reply<R: BufRead>(r: &mut R) -> io::Result<ReplReply> {
+    let first = read_line(r)?;
+    let primary_last = first
+        .strip_prefix("OK REPLICATE last=")
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .ok_or_else(|| bad(format!("expected OK REPLICATE, got {first:?}")))?;
+    let mut snapshot = None;
+    let mut records = Vec::new();
+    loop {
+        let line = read_line(r)?;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("SNAP") => {
+                let nbytes = parse_len(parts.next(), MAX_SNAP_BYTES, "SNAP")?;
+                let wal_seq = parts
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| bad(format!("SNAP line missing watermark: {line:?}")))?;
+                let mut bytes = vec![0u8; nbytes];
+                r.read_exact(&mut bytes)?;
+                snapshot = Some((bytes, wal_seq));
+            }
+            Some("REC") => {
+                let nbytes = parse_len(parts.next(), MAX_REC_BYTES, "REC")?;
+                let mut bytes = vec![0u8; nbytes];
+                r.read_exact(&mut bytes)?;
+                let (rec, used) =
+                    decode_record(&bytes).map_err(|e| bad(format!("REC payload: {e}")))?;
+                if used != nbytes {
+                    return Err(bad(format!("REC payload has {} trailing bytes", nbytes - used)));
+                }
+                records.push(rec);
+            }
+            Some("END") => {
+                let count = parse_len(parts.next(), usize::MAX, "END")?;
+                if count != records.len() {
+                    return Err(bad(format!(
+                        "END claims {count} records, stream carried {}",
+                        records.len()
+                    )));
+                }
+                return Ok(ReplReply { snapshot, records, primary_last });
+            }
+            Some("ERR") => return Err(bad(line)),
+            _ => return Err(bad(format!("unexpected replication line {line:?}"))),
+        }
+    }
+}
+
+fn read_line<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "primary closed connection"));
+    }
+    Ok(line.trim_end_matches(['\n', '\r']).to_string())
+}
+
+fn parse_len(tok: Option<&str>, cap: usize, what: &str) -> io::Result<usize> {
+    let n = tok
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| bad(format!("{what} line missing byte count")))?;
+    if n > cap {
+        return Err(bad(format!("{what} payload of {n} bytes exceeds the {cap}-byte cap")));
+    }
+    Ok(n)
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn rec(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            stream: "traffic".to_string(),
+            rows: vec![(seq as i64, 100 + seq, 0.5 * seq as f64)],
+        }
+    }
+
+    #[test]
+    fn reply_round_trips_with_and_without_snapshot() {
+        for snapshot in [None, Some((b"snapbytes".to_vec(), 7u64))] {
+            let reply =
+                ReplReply { snapshot, records: vec![rec(8), rec(9), rec(10)], primary_last: 10 };
+            let mut wire = Vec::new();
+            write_reply(&mut wire, &reply).unwrap();
+            let got = read_reply(&mut BufReader::new(&wire[..])).unwrap();
+            assert_eq!(got, reply);
+            assert!(!got.caught_up());
+        }
+    }
+
+    #[test]
+    fn empty_reply_means_caught_up() {
+        let reply = ReplReply { snapshot: None, records: Vec::new(), primary_last: 42 };
+        let mut wire = Vec::new();
+        write_reply(&mut wire, &reply).unwrap();
+        let got = read_reply(&mut BufReader::new(&wire[..])).unwrap();
+        assert!(got.caught_up());
+        assert_eq!(got.primary_last, 42);
+    }
+
+    #[test]
+    fn framing_errors_are_invalid_data_not_panics() {
+        for wire in [
+            &b"NOPE\n"[..],
+            &b"OK REPLICATE last=xyz\n"[..],
+            &b"OK REPLICATE last=3\nREC 10\nshort"[..],
+            &b"OK REPLICATE last=3\nEND 5\n"[..],
+            &b"OK REPLICATE last=3\nERR wal disabled\n"[..],
+        ] {
+            let err = read_reply(&mut BufReader::new(wire)).unwrap_err();
+            assert!(
+                matches!(err.kind(), io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof),
+                "{err:?}"
+            );
+        }
+    }
+}

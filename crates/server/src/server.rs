@@ -21,21 +21,24 @@
 //! the acceptor **joins every connection thread**, and a final snapshot is
 //! written. Nothing detaches.
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ausdb_learn::learner::RawObservation;
-use ausdb_model::codec::decode_ingest_frame;
+use ausdb_model::codec::{decode_ingest_frame, decode_snapshot, encode_snapshot};
+use ausdb_obs::{journal, Gauge, Level, Registry};
+use ausdb_wal::{Wal, WalOptions, WalTelemetry};
 
 use crate::protocol::{help_lines, parse_request, Request};
 use crate::render::{render_rows, render_schema, render_trace_entry};
+use crate::repl::{self, ReplReply};
 use crate::shard::ShardSet;
-use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::snapshot::{clean_stale_temps, read_snapshot, write_snapshot};
 use crate::state::{EngineConfig, QueryReply};
 use crate::subscriber::SubscriberQueue;
 
@@ -65,6 +68,15 @@ pub struct ServerConfig {
     /// `GET /metrics` — the same exposition as the `METRICS` protocol
     /// command, scrape-able by Prometheus. `None` disables the listener.
     pub http_addr: Option<String>,
+    /// Write-ahead log directory. When set, every accepted ingest batch
+    /// is logged before it is applied, and startup replays records past
+    /// the snapshot's watermark — so a crash loses at most the unsynced
+    /// tail (`AUSDB_FSYNC` controls that window). `None` disables the WAL.
+    pub wal_dir: Option<PathBuf>,
+    /// Start as a read-only follower replicating from this primary
+    /// address. Requires `wal_dir`. `PROMOTE` turns the follower into a
+    /// writable primary.
+    pub replicate_from: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +87,8 @@ impl Default for ServerConfig {
             engine: EngineConfig::default(),
             tick: Duration::from_millis(25),
             http_addr: None,
+            wal_dir: None,
+            replicate_from: None,
         }
     }
 }
@@ -83,26 +97,62 @@ struct Shared {
     /// The key-sharded engine; its methods lock internally.
     state: ShardSet,
     shutdown: AtomicBool,
+    /// Set by [`ServerHandle::kill`]: skip the final snapshot and WAL
+    /// flush/truncate so the on-disk state is what a real `kill -9`
+    /// would leave behind.
+    crashed: AtomicBool,
+    /// Read-only follower mode; `PROMOTE` flips it off.
+    follower: AtomicBool,
+    /// Primary address when started with `replicate_from`.
+    primary_addr: Option<String>,
     snapshot_path: Option<PathBuf>,
     tick: Duration,
     addr: SocketAddr,
     http_addr: Option<SocketAddr>,
+    /// Server-scope metric registry: WAL telemetry (fsync latency,
+    /// segment/byte gauges) and the replication-lag gauge. Merged into
+    /// every `METRICS` / HTTP exposition.
+    srv_registry: Registry,
+    /// `ausdb_replication_lag_records`: how many WAL records this
+    /// follower is behind its primary (0 on a primary).
+    repl_lag: Arc<Gauge>,
+}
+
+/// Locks the WAL mutex, recovering from poisoning.
+fn lock_wal(m: &Mutex<Wal>) -> MutexGuard<'_, Wal> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// The server entry point.
 pub struct Server;
 
 impl Server {
-    /// Binds, restores any existing snapshot, and starts the accept
-    /// thread. Returns a handle for shutdown/join.
+    /// Binds, recovers (cleans stale snapshot temps, restores the latest
+    /// snapshot, replays WAL records past its watermark), and starts the
+    /// accept thread. Returns a handle for shutdown/join.
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        if config.replicate_from.is_some() && config.wal_dir.is_none() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "--replicate-from requires --wal-dir (the follower mirrors the primary's log)",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let state = ShardSet::new(config.engine);
+        let srv_registry = Registry::new();
+        let repl_lag = srv_registry.gauge(
+            "ausdb_replication_lag_records",
+            "WAL records this follower is behind its primary (0 on a primary)",
+            &[],
+        );
         let mut restored_streams = 0;
+        let mut watermark = 0u64;
         if let Some(path) = &config.snapshot_path {
+            clean_stale_temps(path);
             match read_snapshot(path) {
                 Ok(snap) => {
+                    watermark = snap.wal_seq;
                     restored_streams = state
                         .restore(snap)
                         .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
@@ -110,6 +160,38 @@ impl Server {
                 Err(e) if e.kind() == ErrorKind::NotFound => {}
                 Err(e) => return Err(e),
             }
+        }
+        let mut replayed_records = 0usize;
+        if let Some(dir) = &config.wal_dir {
+            std::fs::create_dir_all(dir)?;
+            let mut options = WalOptions::new();
+            options.telemetry = Some(WalTelemetry::new(&srv_registry));
+            let wal = Wal::open(dir, options)?;
+            // Replay everything past the snapshot watermark, in chunks so
+            // a long log never materializes in memory at once. Apply
+            // errors are warned and skipped: the record was accepted by a
+            // previous run, and an uninterrupted server would also have
+            // carried on past a failed batch.
+            let mut from = watermark;
+            loop {
+                let records = wal.read_from(from, 4096)?;
+                if records.is_empty() {
+                    break;
+                }
+                for rec in &records {
+                    from = rec.seq;
+                    let rows: Vec<RawObservation> =
+                        rec.rows.iter().map(|&(k, t, v)| RawObservation::new(k, t, v)).collect();
+                    if let Err(e) = state.apply_replayed(&rec.stream, &rows) {
+                        journal::global().record(Level::Warn, "wal", || {
+                            format!("replay of record {} skipped: {e}", rec.seq)
+                        });
+                    } else {
+                        replayed_records += 1;
+                    }
+                }
+            }
+            state.attach_wal(wal);
         }
         let http_listener = match &config.http_addr {
             Some(spec) => Some(TcpListener::bind(spec)?),
@@ -122,11 +204,22 @@ impl Server {
         let shared = Arc::new(Shared {
             state,
             shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            follower: AtomicBool::new(config.replicate_from.is_some()),
+            primary_addr: config.replicate_from.clone(),
             snapshot_path: config.snapshot_path,
             tick: config.tick,
             addr,
             http_addr,
+            srv_registry,
+            repl_lag,
         });
+        if let Some(primary) = config.replicate_from {
+            let repl_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ausdb-repl".to_string())
+                .spawn(move || follower_loop(repl_shared, primary))?;
+        }
         if let Some(listener) = http_listener {
             let http_shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -137,7 +230,7 @@ impl Server {
         let accept = std::thread::Builder::new()
             .name("ausdb-accept".to_string())
             .spawn(move || accept_loop(listener, accept_shared))?;
-        Ok(ServerHandle { shared, accept: Some(accept), restored_streams })
+        Ok(ServerHandle { shared, accept: Some(accept), restored_streams, replayed_records })
     }
 }
 
@@ -147,6 +240,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     restored_streams: usize,
+    replayed_records: usize,
 }
 
 impl ServerHandle {
@@ -165,6 +259,16 @@ impl ServerHandle {
         self.restored_streams
     }
 
+    /// WAL records replayed past the snapshot watermark at startup.
+    pub fn replayed_records(&self) -> usize {
+        self.replayed_records
+    }
+
+    /// Whether this server is currently a read-only follower.
+    pub fn is_follower(&self) -> bool {
+        self.shared.follower.load(Ordering::SeqCst)
+    }
+
     /// Whether the accept thread has exited.
     pub fn is_finished(&self) -> bool {
         self.accept.as_ref().is_none_or(JoinHandle::is_finished)
@@ -174,12 +278,25 @@ impl ServerHandle {
     /// return, minus the `END` terminator. Used by `ausdb serve --metrics`
     /// to dump final metrics on shutdown.
     pub fn metrics_text(&self) -> String {
-        self.shared.state.metrics_text()
+        self.shared.state.metrics_text_with(&[&self.shared.srv_registry])
     }
 
     /// Requests shutdown: sets the flag and wakes the blocking acceptor.
     pub fn shutdown(&self) {
         request_shutdown(&self.shared);
+    }
+
+    /// Simulates `kill -9`: stops every thread **without** the final
+    /// snapshot or the WAL flush/truncate a graceful shutdown performs.
+    /// WAL bytes already handed to the OS survive (as they would a real
+    /// process kill); bytes still unsynced under `AUSDB_FSYNC=never`
+    /// semantics are the crash-loss window under test.
+    pub fn kill(mut self) {
+        self.shared.crashed.store(true, Ordering::SeqCst);
+        request_shutdown(&self.shared);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
     }
 
     /// Blocks until the accept thread (and therefore every connection
@@ -251,9 +368,21 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     for handle in connections {
         let _ = handle.join();
     }
+    if shared.crashed.load(Ordering::SeqCst) {
+        return; // simulated kill -9: no final snapshot, no WAL flush
+    }
     if let Some(path) = &shared.snapshot_path {
-        let snapshot = shared.state.to_snapshot();
-        let _ = write_snapshot(path, &snapshot);
+        let snapshot = shared.state.snapshot_with_wal_seq();
+        let wal_seq = snapshot.wal_seq;
+        if write_snapshot(path, &snapshot).is_ok() {
+            if let Some(wal) = shared.state.wal() {
+                let mut wal = lock_wal(wal);
+                let _ = wal.flush();
+                let _ = wal.truncate_through(wal_seq);
+            }
+        }
+    } else if let Some(wal) = shared.state.wal() {
+        let _ = lock_wal(wal).flush();
     }
 }
 
@@ -368,6 +497,19 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                                     }
                                     mode = ReadMode::Frame { stream: target, want: nbytes };
                                 }
+                                Request::Replicate(from_seq) => {
+                                    // The reply mixes lines and binary
+                                    // payloads, so it bypasses `Reply`.
+                                    let ok = match build_repl_reply(&shared, from_seq) {
+                                        Ok(reply) => repl::write_reply(&mut stream, &reply).is_ok(),
+                                        Err(e) => {
+                                            write_line(&mut stream, &format!("ERR {e}")).is_ok()
+                                        }
+                                    };
+                                    if !ok {
+                                        break 'conn;
+                                    }
+                                }
                                 other => {
                                     let reply = handle_request(other, &shared, &mut subscriptions);
                                     let mut buf = String::with_capacity(
@@ -392,6 +534,12 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                             let target = target.clone();
                             mode = ReadMode::Lines;
                             let reply = match decode_ingest_frame(&frame) {
+                                // The payload is consumed either way, so
+                                // the follower rejection keeps the byte
+                                // stream in sync.
+                                Ok(_) if shared.follower.load(Ordering::SeqCst) => {
+                                    follower_rejection(&shared)
+                                }
                                 Ok(rows) => {
                                     let rows: Vec<RawObservation> = rows
                                         .into_iter()
@@ -435,6 +583,12 @@ fn handle_request(
         Request::Ping => Reply::one("OK PONG"),
         Request::IngestBatch { .. } => {
             unreachable!("INGESTB switches the connection into frame mode before dispatch")
+        }
+        Request::Replicate(_) => {
+            unreachable!("REPLICATE writes a binary reply in the connection loop")
+        }
+        Request::Ingest { .. } | Request::Restore if shared.follower.load(Ordering::SeqCst) => {
+            Reply::one(follower_rejection(shared))
         }
         Request::Ingest { stream, row } => match shared.state.ingest(&stream, &row) {
             Ok(outcome) => Reply::one(format!(
@@ -481,10 +635,19 @@ fn handle_request(
             Reply { lines, close: false }
         }
         Request::Metrics => {
-            let text = shared.state.metrics_text();
+            let text = shared.state.metrics_text_with(&[&shared.srv_registry]);
             let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
             lines.push("END".to_string());
             Reply { lines, close: false }
+        }
+        Request::WalStat => Reply::one(walstat_line(shared)),
+        Request::Promote => {
+            if shared.follower.swap(false, Ordering::SeqCst) {
+                shared.repl_lag.set(0.0);
+                Reply::one("OK PROMOTED primary (replication stopped, writes accepted)")
+            } else {
+                Reply::one("OK PROMOTED (was already primary)")
+            }
         }
         Request::Trace(n) => {
             let entries = ausdb_obs::journal::global().last(n);
@@ -507,9 +670,17 @@ fn handle_request(
         Request::Snapshot => match &shared.snapshot_path {
             None => Reply::err("no snapshot path configured (start with --snapshot-path)"),
             Some(path) => {
-                let snapshot = shared.state.to_snapshot();
+                let snapshot = shared.state.snapshot_with_wal_seq();
+                let wal_seq = snapshot.wal_seq;
                 match write_snapshot(path, &snapshot) {
                     Ok(bytes) => {
+                        // The snapshot is durable, so every WAL record it
+                        // covers is obsolete — reclaim those segments.
+                        if let Some(wal) = shared.state.wal() {
+                            let mut wal = lock_wal(wal);
+                            let _ = wal.flush();
+                            let _ = wal.truncate_through(wal_seq);
+                        }
                         Reply::one(format!("OK SNAPSHOT {} {bytes} bytes", path.display()))
                     }
                     Err(e) => Reply::err(format!("snapshot: {e}")),
@@ -529,6 +700,120 @@ fn handle_request(
         Request::Shutdown => {
             request_shutdown(shared);
             Reply { lines: vec!["OK shutting down".to_string()], close: true }
+        }
+    }
+}
+
+/// The `ERR` line a read-only follower answers every write with.
+fn follower_rejection(shared: &Shared) -> String {
+    let primary = shared.primary_addr.as_deref().unwrap_or("?");
+    format!("ERR read-only follower (replicating from {primary}; PROMOTE to accept writes)")
+}
+
+/// The one-line `WALSTAT` status reply.
+fn walstat_line(shared: &Shared) -> String {
+    let role = if shared.follower.load(Ordering::SeqCst) { "follower" } else { "primary" };
+    match shared.state.wal() {
+        None => format!("OK WALSTAT role={role} wal=off"),
+        Some(wal) => {
+            let wal = lock_wal(wal);
+            let stats = wal.stats();
+            format!(
+                "OK WALSTAT role={role} wal=on policy={} segments={} bytes={} \
+                 first_seq={} last_seq={} fsyncs={} lag={}",
+                wal.policy().as_str(),
+                stats.segments,
+                stats.bytes,
+                stats.first_seq,
+                stats.last_seq,
+                stats.fsyncs,
+                shared.repl_lag.get() as u64,
+            )
+        }
+    }
+}
+
+/// Builds one `REPLICATE` catch-up chunk for a follower at `from_seq`:
+/// a snapshot bootstrap when the records it needs are already truncated,
+/// then up to [`repl::CHUNK_RECORDS`] raw WAL records.
+fn build_repl_reply(shared: &Shared, from_seq: u64) -> Result<ReplReply, String> {
+    let Some(wal) = shared.state.wal() else {
+        return Err("replication requires a primary started with --wal-dir".to_string());
+    };
+    let first_available = lock_wal(wal).first_available_seq();
+    let (snapshot, effective_from) = if from_seq + 1 < first_available {
+        let snap = shared.state.snapshot_with_wal_seq();
+        let wal_seq = snap.wal_seq;
+        (Some((encode_snapshot(&snap), wal_seq)), wal_seq)
+    } else {
+        (None, from_seq)
+    };
+    let wal = lock_wal(wal);
+    let records =
+        wal.read_from(effective_from, repl::CHUNK_RECORDS).map_err(|e| format!("wal read: {e}"))?;
+    let primary_last = wal.last_seq();
+    Ok(ReplReply { snapshot, records, primary_last })
+}
+
+/// The follower's replication thread: dial the primary, poll
+/// `REPLICATE <local last seq>`, apply what comes back, repeat until
+/// shutdown or promotion. Connection failures redial after one tick —
+/// the primary being down just freezes the follower at its current
+/// state, it never aborts.
+fn follower_loop(shared: Arc<Shared>, primary: String) {
+    while !shared.shutdown.load(Ordering::SeqCst) && shared.follower.load(Ordering::SeqCst) {
+        if let Ok(stream) = TcpStream::connect(&primary) {
+            if let Err(e) = follow(&shared, stream) {
+                journal::global().record(Level::Warn, "repl", || {
+                    format!("replication stream from {primary} dropped: {e}")
+                });
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) || !shared.follower.load(Ordering::SeqCst) {
+            break;
+        }
+        std::thread::sleep(shared.tick);
+    }
+    shared.repl_lag.set(0.0);
+}
+
+/// One replication session over one connection; returns on any I/O or
+/// decode error (the caller redials).
+fn follow(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting)?; // "OK ausdb-serve 1 ready"
+    let wal = shared.state.wal().expect("follower mode requires a WAL");
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || !shared.follower.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let local_last = lock_wal(wal).last_seq();
+        writer.write_all(format!("REPLICATE {local_last}\n").as_bytes())?;
+        let reply = repl::read_reply(&mut reader)?;
+        if let Some((bytes, wal_seq)) = &reply.snapshot {
+            let snap = decode_snapshot(bytes)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+            shared
+                .state
+                .restore(snap)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+            lock_wal(wal).reset_to(*wal_seq)?;
+        }
+        for rec in &reply.records {
+            shared
+                .state
+                .apply_replicated(rec)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e))?;
+        }
+        let local_last = lock_wal(wal).last_seq();
+        shared.repl_lag.set(reply.primary_last.saturating_sub(local_last) as f64);
+        if reply.caught_up() {
+            std::thread::sleep(shared.tick);
         }
     }
 }
@@ -560,7 +845,7 @@ fn http_loop(listener: TcpListener, shared: Arc<Shared>) {
         let mut parts = request_line.split_whitespace();
         let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
         let (status, body) = if method == "GET" && (target == "/metrics" || target == "/metrics/") {
-            ("200 OK", shared.state.metrics_text())
+            ("200 OK", shared.state.metrics_text_with(&[&shared.srv_registry]))
         } else if method != "GET" {
             ("405 Method Not Allowed", "only GET is supported\n".to_string())
         } else {

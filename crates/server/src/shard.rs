@@ -34,18 +34,32 @@
 //! One extra `core` state owns everything cross-key: the query session
 //! (registered closed windows), subscriptions, and query/event telemetry.
 //!
+//! ## Durability hook
+//!
+//! When a [`Wal`] is attached ([`ShardSet::attach_wal`]), every accepted
+//! batch is appended to it **inside** the same critical section that
+//! applies it (the shard mutex at one shard, the stream coordinator lock
+//! otherwise) and **before** any row touches a learner — so log order
+//! equals apply order, and the log stores the raw pre-routing
+//! `(stream, rows)` pair so replay re-splits correctly under any shard
+//! count. [`ShardSet::snapshot_with_wal_seq`] captures a snapshot plus
+//! the WAL watermark under the same locks, which is what makes
+//! "snapshot + replay of records past the watermark" exact.
+//!
 //! Lock order (strict, deadlock-free): stream map → stream coordinator →
-//! shard mutexes in ascending index → core. No path acquires an
+//! WAL → shard mutexes in ascending index → core. No path acquires an
 //! earlier-order lock while holding a later one.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use ausdb_learn::learner::{RawObservation, StreamLearner};
+use ausdb_model::codec::FrameRow;
 use ausdb_model::schema::Schema;
 use ausdb_model::tuple::Tuple;
 use ausdb_model::value::Value;
 use ausdb_obs::{Counter, Registry};
+use ausdb_wal::{Wal, WalRecord};
 
 use crate::state::{
     align, decode_learner, encode_learner, normalize_stream_name, parse_observation, BatchOutcome,
@@ -91,6 +105,21 @@ pub struct ShardSet {
     streams: Mutex<BTreeMap<String, Arc<Mutex<StreamMeta>>>>,
     /// Cross-key state: query session, subscriptions, query telemetry.
     core: Mutex<EngineState>,
+    /// Write-ahead log, attached once after recovery replay (so replay
+    /// itself never re-logs). Absent when the server runs without
+    /// `--wal-dir`.
+    wal: OnceLock<Mutex<Wal>>,
+}
+
+/// How [`ShardSet::ingest_batch_inner`] treats the WAL for one batch.
+#[derive(Debug, Clone, Copy)]
+enum WalMode {
+    /// Append with the next sequence number (live ingest).
+    Log,
+    /// Append with exactly this sequence number (follower replication).
+    At(u64),
+    /// Do not touch the log (recovery replay — the record is already there).
+    Skip,
 }
 
 /// Locks a mutex, recovering from poisoning (a panicking connection
@@ -109,7 +138,49 @@ impl ShardSet {
             shards: (0..nshards).map(|_| Mutex::new(EngineState::new(config))).collect(),
             streams: Mutex::new(BTreeMap::new()),
             core: Mutex::new(EngineState::new(config)),
+            wal: OnceLock::new(),
         }
+    }
+
+    /// Attaches the write-ahead log. Call once, after recovery replay —
+    /// every subsequent accepted batch is logged before it is applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a WAL is already attached.
+    pub fn attach_wal(&self, wal: Wal) {
+        assert!(self.wal.set(Mutex::new(wal)).is_ok(), "attach_wal called twice");
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Mutex<Wal>> {
+        self.wal.get()
+    }
+
+    /// Appends one accepted batch to the WAL per `mode`. Callers hold the
+    /// critical-section lock (shard 0's mutex or the stream coordinator),
+    /// so log order equals apply order.
+    fn wal_append(&self, name: &str, rows: &[RawObservation], mode: WalMode) -> Result<(), String> {
+        if matches!(mode, WalMode::Skip) || rows.is_empty() {
+            return Ok(());
+        }
+        let Some(wal) = self.wal.get() else { return Ok(()) };
+        let mut wal = lock(wal);
+        match mode {
+            WalMode::Log => {
+                // Encode straight from the observations — no intermediate
+                // row vector on the hot path.
+                wal.append_iter(name, rows.iter().map(|r| (r.key, r.ts, r.value)))
+                    .map_err(|e| format!("wal append: {e}"))?;
+            }
+            WalMode::At(seq) => {
+                let frame: Vec<FrameRow> = rows.iter().map(|r| (r.key, r.ts, r.value)).collect();
+                let rec = WalRecord { seq, stream: name.to_string(), rows: frame };
+                wal.append_at(&rec).map_err(|e| format!("wal append: {e}"))?;
+            }
+            WalMode::Skip => unreachable!("handled above"),
+        }
+        Ok(())
     }
 
     /// The engine configuration.
@@ -136,13 +207,17 @@ impl ShardSet {
 
     /// Ingests one `key,ts,value` row into `stream`.
     pub fn ingest(&self, stream: &str, row: &str) -> Result<IngestOutcome, String> {
-        if self.nshards == 1 {
-            return lock(&self.shards[0]).ingest(stream, row);
-        }
         let obs = parse_observation(row)?;
         let name = normalize_stream_name(stream)?;
+        if self.nshards == 1 {
+            let mut g = lock(&self.shards[0]);
+            self.wal_append(&name, std::slice::from_ref(&obs), WalMode::Log)?;
+            let (_, windows_emitted) = g.ingest_observation(&name, obs)?;
+            return Ok(IngestOutcome { windows_emitted });
+        }
         let meta_arc = self.stream_meta(&name);
         let mut meta = lock(&meta_arc);
+        self.wal_append(&name, std::slice::from_ref(&obs), WalMode::Log)?;
         let late = meta.cursor.is_some_and(|ws| obs.ts < ws);
         lock(&self.shards[shard_of(obs.key, self.nshards)]).observe_sharded(&name, obs, late);
         if meta.cursor.is_none() {
@@ -163,18 +238,51 @@ impl ShardSet {
         stream: &str,
         rows: &[RawObservation],
     ) -> Result<BatchOutcome, String> {
-        if self.nshards == 1 {
-            return lock(&self.shards[0]).ingest_batch(stream, rows);
-        }
+        self.ingest_batch_inner(stream, rows, WalMode::Log)
+    }
+
+    /// Re-applies a batch during crash recovery. Identical to
+    /// [`ShardSet::ingest_batch`] except the WAL is left untouched — the
+    /// record being replayed is already in it.
+    pub fn apply_replayed(
+        &self,
+        stream: &str,
+        rows: &[RawObservation],
+    ) -> Result<BatchOutcome, String> {
+        self.ingest_batch_inner(stream, rows, WalMode::Skip)
+    }
+
+    /// Applies a record streamed from a replication primary, logging it
+    /// locally **at the primary's sequence number** so the follower's WAL
+    /// is a byte-identical suffix of the primary's and promotion needs no
+    /// renumbering.
+    pub fn apply_replicated(&self, rec: &WalRecord) -> Result<BatchOutcome, String> {
+        let rows: Vec<RawObservation> =
+            rec.rows.iter().map(|&(k, t, v)| RawObservation::new(k, t, v)).collect();
+        self.ingest_batch_inner(&rec.stream, &rows, WalMode::At(rec.seq))
+    }
+
+    fn ingest_batch_inner(
+        &self,
+        stream: &str,
+        rows: &[RawObservation],
+        mode: WalMode,
+    ) -> Result<BatchOutcome, String> {
         let name = normalize_stream_name(stream)?;
         for (i, r) in rows.iter().enumerate() {
             if !r.value.is_finite() {
                 return Err(format!("row {i}: non-finite value {}", r.value));
             }
         }
+        if self.nshards == 1 {
+            let mut g = lock(&self.shards[0]);
+            self.wal_append(&name, rows, mode)?;
+            return g.ingest_batch(&name, rows);
+        }
         let width = self.config.learner.window_width;
         let meta_arc = self.stream_meta(&name);
         let mut meta = lock(&meta_arc);
+        self.wal_append(&name, rows, mode)?;
         let mut out = BatchOutcome::default();
         let mut by_shard: Vec<Vec<(RawObservation, bool)>> = vec![Vec::new(); self.nshards];
         let mut i = 0;
@@ -385,8 +493,19 @@ impl ShardSet {
     /// The Prometheus exposition, merged (summed) across every shard
     /// registry, the core registry, and the process-wide engine registry.
     pub fn metrics_text(&self) -> String {
+        self.metrics_text_with(&[])
+    }
+
+    /// Like [`ShardSet::metrics_text`], with extra registries merged in —
+    /// WAL and replication telemetry live outside the engine states.
+    pub fn metrics_text_with(&self, extra: &[&Registry]) -> String {
         if self.nshards == 1 {
-            return lock(&self.shards[0]).metrics_text();
+            let g = lock(&self.shards[0]);
+            g.sample_queue_depth();
+            let mut regs: Vec<&Registry> =
+                vec![g.registry(), ausdb_engine::obs::telemetry::global().registry()];
+            regs.extend_from_slice(extra);
+            return ausdb_obs::metrics::render_merged(&regs);
         }
         let guards: Vec<MutexGuard<'_, EngineState>> = self.shards.iter().map(lock).collect();
         let core = lock(&self.core);
@@ -394,6 +513,7 @@ impl ShardSet {
         let mut regs: Vec<&Registry> = guards.iter().map(|g| g.registry()).collect();
         regs.push(core.registry());
         regs.push(ausdb_engine::obs::telemetry::global().registry());
+        regs.extend_from_slice(extra);
         ausdb_obs::metrics::render_merged(&regs)
     }
 
@@ -411,6 +531,44 @@ impl ShardSet {
         let metas = self.meta_list();
         let cursors: Vec<(String, Option<u64>)> =
             metas.iter().map(|(name, meta_arc)| (name.clone(), lock(meta_arc).cursor)).collect();
+        self.snapshot_from_cursors(cursors, 0)
+    }
+
+    /// Captures a snapshot plus the WAL watermark as one **consistent
+    /// cut**: the stream map (which every ingest consults first) and all
+    /// coordinator locks are held while the watermark is read and shard
+    /// state captured, so the snapshot contains exactly the effects of
+    /// WAL records `≤ wal_seq` — replaying strictly-later records on top
+    /// of it reproduces the live state bit for bit. Falls back to
+    /// [`ShardSet::to_snapshot`] (watermark 0) when no WAL is attached.
+    pub fn snapshot_with_wal_seq(&self) -> ServerSnapshot {
+        let Some(wal) = self.wal.get() else { return self.to_snapshot() };
+        if self.nshards == 1 {
+            let g = lock(&self.shards[0]);
+            let wal_seq = lock(wal).last_seq();
+            let mut snap = g.to_snapshot();
+            snap.wal_seq = wal_seq;
+            return snap;
+        }
+        let map = lock(&self.streams);
+        let metas: Vec<(String, Arc<Mutex<StreamMeta>>)> =
+            map.iter().map(|(n, m)| (n.clone(), Arc::clone(m))).collect();
+        let meta_guards: Vec<MutexGuard<'_, StreamMeta>> =
+            metas.iter().map(|(_, m)| lock(m)).collect();
+        let wal_seq = lock(wal).last_seq();
+        let cursors: Vec<(String, Option<u64>)> =
+            metas.iter().zip(&meta_guards).map(|((name, _), g)| (name.clone(), g.cursor)).collect();
+        self.snapshot_from_cursors(cursors, wal_seq)
+    }
+
+    /// Shared merge body for the snapshot paths: locks every shard plus
+    /// the core and merges per-shard buffers back into one canonical
+    /// learner per stream.
+    fn snapshot_from_cursors(
+        &self,
+        cursors: Vec<(String, Option<u64>)>,
+        wal_seq: u64,
+    ) -> ServerSnapshot {
         let guards: Vec<MutexGuard<'_, EngineState>> = self.shards.iter().map(lock).collect();
         let core = lock(&self.core);
         let streams = cursors
@@ -442,7 +600,7 @@ impl ShardSet {
                 }
             })
             .collect();
-        ServerSnapshot { streams }
+        ServerSnapshot { streams, wal_seq }
     }
 
     /// Replaces all stream state with the snapshot's, re-partitioning

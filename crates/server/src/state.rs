@@ -733,7 +733,7 @@ impl EngineState {
                 format!("encode streams={} took={}us", streams.len(), elapsed.as_micros())
             });
         }
-        ServerSnapshot { streams }
+        ServerSnapshot { streams, wal_seq: 0 }
     }
 
     /// Replaces all stream/learner/session state with the snapshot's.
@@ -789,6 +789,11 @@ pub struct StreamSnapshot {
 pub struct ServerSnapshot {
     /// Every known stream.
     pub streams: Vec<StreamSnapshot>,
+    /// WAL watermark: the sequence number of the last WAL record whose
+    /// effects this snapshot contains. Recovery replays only records with
+    /// `seq > wal_seq`. Zero when no WAL was attached (and in every
+    /// pre-WAL, format-version-1 snapshot).
+    pub wal_seq: u64,
 }
 
 // The learner lives in another crate; nest its encoding as a byte payload
@@ -835,9 +840,14 @@ impl Codec for StreamSnapshot {
 impl Codec for ServerSnapshot {
     fn encode(&self, w: &mut Writer) {
         self.streams.encode(w);
+        w.put_u64(self.wal_seq);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(Self { streams: Vec::<StreamSnapshot>::decode(r)? })
+        let streams = Vec::<StreamSnapshot>::decode(r)?;
+        // The watermark arrived with format version 2; a version-1
+        // snapshot predates the WAL, so nothing is replay-covered.
+        let wal_seq = if r.version() >= 2 { r.get_u64("wal watermark")? } else { 0 };
+        Ok(Self { streams, wal_seq })
     }
 }
 

@@ -51,7 +51,7 @@ fn start_sharded_server(
         snapshot_path: snapshot,
         engine: EngineConfig { shards, ..engine_config() },
         tick,
-        http_addr: None,
+        ..ServerConfig::default()
     })
     .expect("server starts")
 }
@@ -528,6 +528,7 @@ fn http_metrics_scrape_matches_protocol_metrics() {
         engine: engine_config(),
         tick: Duration::from_millis(25),
         http_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let http = handle.http_addr().expect("http listener bound");

@@ -1,0 +1,324 @@
+//! Durability and replication acceptance tests:
+//!
+//! 1. **Crash equivalence**: a server killed (`kill -9` semantics — no
+//!    final snapshot, no WAL flush) mid-window and restarted answers the
+//!    next window close **byte-identically** to a server that was never
+//!    interrupted — query lines and snapshot file bytes — at 1 shard and
+//!    at 4.
+//! 2. **Follower equivalence**: a read-only follower catches up over
+//!    `REPLICATE` (snapshot bootstrap + record streaming), rejects
+//!    writes, serves the same query bytes as its primary, and — after
+//!    the primary dies and the follower is `PROMOTE`d — finishes the
+//!    workload byte-identically to an uninterrupted single server.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ausdb_learn::accuracy::DistKind;
+use ausdb_learn::learner::LearnerConfig;
+use ausdb_serve::server::{Server, ServerConfig, ServerHandle};
+use ausdb_serve::state::EngineConfig;
+
+const WINDOW: u64 = 10;
+
+fn engine_config(shards: usize) -> EngineConfig {
+    EngineConfig {
+        learner: LearnerConfig {
+            kind: DistKind::Empirical,
+            level: 0.9,
+            window_width: WINDOW,
+            min_observations: 2,
+        },
+        max_subscribers: 8,
+        queue_cap: 64,
+        shards,
+    }
+}
+
+/// A scratch directory holding one server's snapshot + WAL.
+struct Dirs {
+    root: PathBuf,
+}
+
+impl Dirs {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir()
+            .join(format!(
+                "ausdb_repl_{tag}_{}_{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ))
+            .join("d");
+        std::fs::create_dir_all(&root).unwrap();
+        Self { root }
+    }
+    fn snapshot(&self) -> PathBuf {
+        self.root.join("state.snap")
+    }
+    fn wal(&self) -> PathBuf {
+        self.root.join("wal")
+    }
+}
+
+impl Drop for Dirs {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(self.root.parent().unwrap_or(&self.root)).ok();
+    }
+}
+
+fn start(dirs: &Dirs, shards: usize, replicate_from: Option<String>) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        snapshot_path: Some(dirs.snapshot()),
+        engine: engine_config(shards),
+        tick: Duration::from_millis(5),
+        wal_dir: Some(dirs.wal()),
+        replicate_from,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Self {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        let mut client = Self { stream, reader };
+        assert_eq!(client.read_line(), "OK ausdb-serve 1 ready");
+        client
+    }
+
+    fn read_line(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read line");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        line.trim_end_matches(['\n', '\r']).to_string()
+    }
+
+    fn request(&mut self, line: &str) -> Vec<String> {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        let first = self.read_line();
+        let mut lines = vec![first.clone()];
+        if first.starts_with("OK") || first.starts_with("ERR") || first.starts_with("BYE") {
+            return lines;
+        }
+        while !lines.last().unwrap().starts_with("END") {
+            lines.push(self.read_line());
+        }
+        lines
+    }
+}
+
+/// The workload: multiple keys, two full windows, a late row, buffered
+/// leftovers in a third open window. Each row is one `INGEST` line, so
+/// the WAL sequence numbering is identical in every run that feeds the
+/// same prefix.
+fn workload() -> Vec<(i64, u64, f64)> {
+    let mut rows = Vec::new();
+    for w in 0..2u64 {
+        let base = 100 + w * WINDOW;
+        rows.push((19, base, 56.0 + w as f64));
+        rows.push((19, base + 1, 38.5));
+        rows.push((19, base + 3, 97.25));
+        for i in 0..8u64 {
+            rows.push((20, base + (i % WINDOW), 60.0 + (i as f64) * 1.5));
+        }
+    }
+    rows.push((19, 95, 1.5)); // late
+    rows.push((19, 120, 41.0)); // third window, buffered only
+    rows.push((20, 121, 62.5));
+    rows.push((20, 130, 70.0)); // closes the third window
+    rows.push((19, 131, 44.0));
+    rows
+}
+
+fn ingest(client: &mut Client, rows: &[(i64, u64, f64)]) {
+    for (key, ts, value) in rows {
+        let reply = client.request(&format!("INGEST traffic {key},{ts},{value}"));
+        assert!(reply[0].starts_with("OK INGESTED"), "got {reply:?}");
+    }
+}
+
+/// `QUERY` lines + `STATS` stream lines + the snapshot file bytes after
+/// an explicit `SNAPSHOT` — the full observable surface compared across
+/// runs.
+fn observe(client: &mut Client, snapshot_path: &std::path::Path) -> (Vec<String>, Vec<u8>) {
+    let mut lines = client.request("QUERY SELECT * FROM traffic");
+    lines.extend(client.request("QUERY SELECT key, avg FROM traffic WHERE avg > 0.0"));
+    let snap_reply = client.request("SNAPSHOT");
+    assert!(snap_reply[0].starts_with("OK SNAPSHOT"), "got {snap_reply:?}");
+    let bytes = std::fs::read(snapshot_path).expect("snapshot file exists");
+    (lines, bytes)
+}
+
+#[test]
+fn kill_9_mid_window_then_restart_is_byte_identical() {
+    for shards in [1usize, 4] {
+        let rows = workload();
+        let cut = 14; // mid-window: window 1 is open with buffered rows
+
+        // Reference: one uninterrupted server over the whole workload.
+        let ref_dirs = Dirs::new(&format!("ref{shards}"));
+        let ref_server = start(&ref_dirs, shards, None);
+        let mut c = Client::connect(&ref_server);
+        ingest(&mut c, &rows);
+        let (ref_lines, ref_bytes) = observe(&mut c, &ref_dirs.snapshot());
+        drop(c);
+        ref_server.stop();
+
+        // Crashed: ingest a prefix, kill -9, restart, finish the workload.
+        let dirs = Dirs::new(&format!("crash{shards}"));
+        let server = start(&dirs, shards, None);
+        let mut c = Client::connect(&server);
+        ingest(&mut c, &rows[..cut]);
+        drop(c);
+        server.kill();
+        assert!(!dirs.snapshot().exists(), "kill -9 must not write a snapshot");
+
+        let server = start(&dirs, shards, None);
+        assert_eq!(server.replayed_records(), cut, "shards={shards}");
+        let mut c = Client::connect(&server);
+        ingest(&mut c, &rows[cut..]);
+        let (lines, bytes) = observe(&mut c, &dirs.snapshot());
+        drop(c);
+        server.stop();
+
+        assert_eq!(lines, ref_lines, "query divergence after crash at shards={shards}");
+        assert_eq!(bytes, ref_bytes, "snapshot bytes diverge after crash at shards={shards}");
+    }
+}
+
+#[test]
+fn restart_after_graceful_stop_replays_nothing() {
+    let dirs = Dirs::new("graceful");
+    let server = start(&dirs, 1, None);
+    let mut c = Client::connect(&server);
+    ingest(&mut c, &workload());
+    drop(c);
+    server.stop(); // writes snapshot, truncates covered WAL records
+
+    let server = start(&dirs, 1, None);
+    assert_eq!(server.replayed_records(), 0, "snapshot already covers the whole log");
+    assert!(server.restored_streams() > 0);
+    server.stop();
+}
+
+fn wait_for_catchup(follower: &mut Client, want_last: u64) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let line = &follower.request("WALSTAT")[0];
+        let last: u64 = line
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("last_seq="))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("malformed WALSTAT: {line}"));
+        if last >= want_last {
+            return;
+        }
+        assert!(Instant::now() < deadline, "follower stuck at {last}/{want_last}: {line}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn follower_bootstraps_replicates_and_promotes_byte_identically() {
+    for shards in [1usize, 4] {
+        let rows = workload();
+        let (half, cut) = (11, 17);
+
+        // Reference: one uninterrupted server over the whole workload.
+        let ref_dirs = Dirs::new(&format!("pref{shards}"));
+        let ref_server = start(&ref_dirs, shards, None);
+        let mut c = Client::connect(&ref_server);
+        ingest(&mut c, &rows);
+        let (ref_lines, ref_bytes) = observe(&mut c, &ref_dirs.snapshot());
+        drop(c);
+        ref_server.stop();
+
+        // Primary: ingest half, snapshot (truncates the WAL, forcing the
+        // follower through the SNAP bootstrap path), ingest more.
+        let p_dirs = Dirs::new(&format!("prim{shards}"));
+        let primary = start(&p_dirs, shards, None);
+        let mut pc = Client::connect(&primary);
+        ingest(&mut pc, &rows[..half]);
+        assert!(pc.request("SNAPSHOT")[0].starts_with("OK SNAPSHOT"));
+        ingest(&mut pc, &rows[half..cut]);
+
+        // Follower: catches up through snapshot + records.
+        let f_dirs = Dirs::new(&format!("foll{shards}"));
+        let follower = start(&f_dirs, shards, Some(primary.addr().to_string()));
+        assert!(follower.is_follower());
+        let mut fc = Client::connect(&follower);
+        wait_for_catchup(&mut fc, cut as u64);
+
+        // Read-only: every write path answers a clear ERR.
+        let rej = fc.request("INGEST traffic 1,999,1.0");
+        assert!(rej[0].starts_with("ERR read-only follower"), "got {rej:?}");
+        assert!(fc.request("RESTORE")[0].starts_with("ERR read-only follower"));
+        let walstat = &fc.request("WALSTAT")[0];
+        assert!(walstat.contains("role=follower"), "{walstat}");
+
+        // The follower serves the primary's query bytes.
+        let q = "QUERY SELECT * FROM traffic";
+        assert_eq!(fc.request(q), pc.request(q), "follower diverges at shards={shards}");
+
+        // Primary dies; promote the follower and finish the workload on it.
+        drop(pc);
+        primary.kill();
+        assert!(fc.request("PROMOTE")[0].starts_with("OK PROMOTED"));
+        assert!(!follower.is_follower());
+        assert!(fc.request("WALSTAT")[0].contains("role=primary"));
+        ingest(&mut fc, &rows[cut..]);
+        let (lines, bytes) = observe(&mut fc, &f_dirs.snapshot());
+        drop(fc);
+        follower.stop();
+
+        assert_eq!(lines, ref_lines, "promoted follower diverges at shards={shards}");
+        assert_eq!(bytes, ref_bytes, "snapshot bytes diverge at shards={shards}");
+    }
+}
+
+#[test]
+fn follower_requires_wal_dir() {
+    match Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        replicate_from: Some("127.0.0.1:1".to_string()),
+        ..ServerConfig::default()
+    }) {
+        Ok(_) => panic!("--replicate-from without --wal-dir must be refused"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+    }
+}
+
+#[test]
+fn snapshot_truncates_the_wal() {
+    let dirs = Dirs::new("trunc");
+    let server = start(&dirs, 1, None);
+    let mut c = Client::connect(&server);
+    ingest(&mut c, &workload());
+    let before = c.request("WALSTAT")[0].clone();
+    assert!(before.contains("wal=on"), "{before}");
+    assert!(c.request("SNAPSHOT")[0].starts_with("OK SNAPSHOT"));
+    let after = c.request("WALSTAT")[0].clone();
+    let bytes = |s: &str| -> u64 {
+        s.split_whitespace()
+            .find_map(|t| t.strip_prefix("bytes="))
+            .and_then(|v| v.parse().ok())
+            .unwrap()
+    };
+    assert!(
+        bytes(&after) < bytes(&before),
+        "snapshot should reclaim WAL bytes: {before} -> {after}"
+    );
+    drop(c);
+    server.stop();
+}

@@ -1,0 +1,1001 @@
+//! `ausdb-wal` — a segmented, append-only write-ahead log of ingest
+//! batches.
+//!
+//! Snapshots give the server bit-exact kill-and-restore, but every row
+//! ingested since the last snapshot dies with the process. This crate
+//! closes that gap: the server appends every accepted `INGEST`/`INGESTB`
+//! batch here **before** applying it, so recovery is
+//!
+//! ```text
+//! latest snapshot  +  replay of WAL records with seq > snapshot watermark
+//! ```
+//!
+//! and a `kill -9` mid-window answers the next window close byte-
+//! identically to an uninterrupted run.
+//!
+//! ## Record format
+//!
+//! Records reuse the AUSB frame discipline from [`ausdb_model::codec`]:
+//! little-endian integers, `f64` bit patterns (NaN payloads, ±inf and
+//! `-0.0` survive exactly), and a per-record CRC-32:
+//!
+//! ```text
+//! len u32 · body · crc32(body) u32
+//! body := seq u64 · stream str · count u32 · count × (key i64 · ts u64 · value f64-bits)
+//! ```
+//!
+//! Batches are logged **pre-routing** — the raw `(stream, rows)` pair as
+//! accepted from the wire, before any key-shard split — so replay
+//! re-partitions correctly under any `--shards N`.
+//!
+//! ## Segments
+//!
+//! Records append to `wal-<first_seq>.ausw` files (20-digit zero-padded
+//! sequence numbers, so lexicographic order is replay order). Each
+//! segment starts with an `AUSW` header carrying the format version and
+//! the first sequence number it holds; when the active segment passes
+//! [`WalOptions::segment_bytes`] it is sealed and a new one starts.
+//! [`Wal::truncate_through`] (called after a successful snapshot) deletes
+//! every segment made obsolete by the snapshot watermark.
+//!
+//! ## Torn tails
+//!
+//! [`Wal::open`] scans every segment. A record in the *last* segment that
+//! is incomplete or fails its CRC is a torn tail from a crash mid-write:
+//! the file is truncated back to the last valid record and appends
+//! resume from there — replay stops cleanly at the last record that was
+//! fully on disk, never at garbage. Corruption in a *sealed* segment is
+//! not a torn write and refuses to open (`InvalidData`).
+//!
+//! ## Fsync policy
+//!
+//! `AUSDB_FSYNC` picks the durability/throughput trade
+//! ([`FsyncPolicy::from_env`]):
+//!
+//! | value    | behavior                                                      |
+//! |----------|---------------------------------------------------------------|
+//! | `always` | fsync after every record — no accepted batch is ever lost     |
+//! | `batch`  | group commit: background fdatasync every [`WalOptions::batch_bytes`]; sync on seal/flush (default) |
+//! | `never`  | leave write-back to the OS; crash may lose the page-cache tail|
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ausdb_model::codec::{crc32, CodecError, FrameRow, Reader, Writer, FORMAT_VERSION};
+use ausdb_obs::hist::log_linear_bounds;
+use ausdb_obs::{journal, Counter, Gauge, Histogram, Level, Registry};
+
+/// Leading magic bytes of every WAL segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"AUSW";
+/// Segment file extension.
+pub const SEGMENT_EXT: &str = "ausw";
+/// Segment header: magic (4) + version (2) + first_seq (8).
+const SEGMENT_HEADER_BYTES: u64 = 4 + 2 + 8;
+/// Sanity cap on one record's encoded body (a full 2²⁰-row frame is
+/// ~24 MB; anything bigger is broken or hostile).
+const MAX_RECORD_BYTES: usize = ausdb_model::codec::MAX_FRAME_ROWS * 24 + 1024;
+
+/// One logged ingest batch: the exact `(stream, rows)` pair the server
+/// accepted, stamped with its WAL sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotone sequence number (1-based across the whole log).
+    pub seq: u64,
+    /// Target stream name as accepted (already normalized by the server).
+    pub stream: String,
+    /// Raw `(key, ts, value)` rows, pre-routing.
+    pub rows: Vec<FrameRow>,
+}
+
+/// When the log fsyncs (`AUSDB_FSYNC`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Fsync after every appended record.
+    Always,
+    /// Group commit (the default): once [`WalOptions::batch_bytes`] of
+    /// unsynced log accumulate, an fdatasync is *initiated* on a cloned
+    /// file handle in a background thread so appends keep flowing while
+    /// the disk catches up. Segment seal and [`Wal::flush`] still sync
+    /// synchronously (they are durability points); a background sync
+    /// failure poisons the log, surfacing on the next append or flush.
+    #[default]
+    Batch,
+    /// Never fsync (explicit [`Wal::flush`] still syncs); the OS decides
+    /// when bytes hit the platter.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Reads `AUSDB_FSYNC` (`always` | `batch` | `never`, case-insensitive);
+    /// unset or invalid values fall back to `batch` (invalid warns once).
+    pub fn from_env() -> Self {
+        static KNOB: ausdb_obs::knobs::Knob = ausdb_obs::knobs::Knob::new("AUSDB_FSYNC");
+        KNOB.from_env(Self::parse, FsyncPolicy::Batch)
+    }
+
+    /// Parses a policy name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "always" => Some(FsyncPolicy::Always),
+            "batch" => Some(FsyncPolicy::Batch),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+
+    /// The canonical knob value for this policy.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// Metric handles the log updates as it runs; create one per registry
+/// with [`WalTelemetry::new`] and pass it in [`WalOptions::telemetry`].
+#[derive(Debug, Clone)]
+pub struct WalTelemetry {
+    fsync_latency: Arc<Histogram>,
+    segments: Arc<Gauge>,
+    bytes: Arc<Gauge>,
+    records: Arc<Counter>,
+    fsyncs: Arc<Counter>,
+}
+
+impl WalTelemetry {
+    /// Registers the WAL metric families on `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        let latency = log_linear_bounds(-6, 1);
+        Self {
+            fsync_latency: registry.histogram(
+                "ausdb_wal_fsync_seconds",
+                "WAL fsync latency",
+                &latency,
+                &[],
+            ),
+            segments: registry.gauge(
+                "ausdb_wal_segments",
+                "WAL segment files on disk (including the active one)",
+                &[],
+            ),
+            bytes: registry.gauge("ausdb_wal_bytes", "Total WAL bytes on disk", &[]),
+            records: registry.counter(
+                "ausdb_wal_records_total",
+                "Ingest batches appended to the WAL",
+                &[],
+            ),
+            fsyncs: registry.counter("ausdb_wal_fsyncs_total", "WAL fsync calls", &[]),
+        }
+    }
+}
+
+/// Tunables for [`Wal::open`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// When to fsync (see [`FsyncPolicy`]).
+    pub policy: FsyncPolicy,
+    /// Seal the active segment once it exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// Under [`FsyncPolicy::Batch`], fsync once this many unsynced bytes
+    /// accumulate.
+    pub batch_bytes: u64,
+    /// Metric handles to keep updated (optional).
+    pub telemetry: Option<WalTelemetry>,
+}
+
+impl WalOptions {
+    /// Defaults: `batch` policy (or `AUSDB_FSYNC`), 64 MiB segments,
+    /// 4 MiB fsync batches, no telemetry. The batch window is sized so
+    /// grouped syncs stay well off the ingest hot path at full INGESTB
+    /// rate (callers wanting a tighter crash window use `always` or
+    /// shrink `batch_bytes`); segments are large because every seal is a
+    /// *synchronous* sync — sealed segments must be durable before later
+    /// ones fill, or a crash could leave a hole mid-log.
+    pub fn new() -> Self {
+        Self {
+            policy: FsyncPolicy::from_env(),
+            segment_bytes: 64 * 1024 * 1024,
+            batch_bytes: 4 * 1024 * 1024,
+            telemetry: None,
+        }
+    }
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time WAL state, surfaced by the server's `WALSTAT` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Segment files on disk, including the active one.
+    pub segments: usize,
+    /// Total bytes across all segment files.
+    pub bytes: u64,
+    /// Sequence number of the newest record ever appended (0 if none).
+    pub last_seq: u64,
+    /// Sequence number of the oldest record still on disk, or
+    /// `last_seq + 1` when the log holds no records.
+    pub first_seq: u64,
+    /// Fsync calls issued so far.
+    pub fsyncs: u64,
+}
+
+/// A sealed (no longer written) segment.
+#[derive(Debug)]
+struct SealedSegment {
+    path: PathBuf,
+    first_seq: u64,
+    last_seq: u64,
+    bytes: u64,
+}
+
+/// The append-only log: one active segment plus zero or more sealed ones.
+///
+/// Not internally locked — the server wraps it in a mutex and holds it
+/// across the append-then-apply critical section so log order equals
+/// apply order.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    options: WalOptions,
+    sealed: Vec<SealedSegment>,
+    active: File,
+    active_path: PathBuf,
+    active_first: u64,
+    active_len: u64,
+    active_records: u64,
+    next_seq: u64,
+    unsynced: u64,
+    fsyncs: u64,
+    /// Reused encode scratch — appends on the hot path allocate nothing.
+    encode_buf: Vec<u8>,
+    /// A background group-commit fdatasync is still running.
+    sync_in_flight: Arc<AtomicBool>,
+    /// A background fdatasync failed; the log is poisoned until reopened.
+    sync_failed: Arc<AtomicBool>,
+}
+
+/// What a startup scan of one segment found.
+struct SegmentScan {
+    first_seq: u64,
+    records: u64,
+    last_seq: u64,
+    /// Bytes up to and including the last valid record.
+    valid_bytes: u64,
+    /// Bytes actually in the file (> `valid_bytes` means a torn tail).
+    file_bytes: u64,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+/// Encodes one record with its length prefix and trailing CRC-32.
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_record_into(&mut buf, rec.seq, &rec.stream, rec.rows.iter().copied());
+    buf
+}
+
+/// Encodes one record straight into `buf` (cleared first) in a single
+/// pass — the body length is computable upfront, so there is no
+/// intermediate body buffer and no second copy. Byte-identical to what
+/// [`Writer`]-based encoding produced ([`decode_record`] is the oracle;
+/// the unit tests pin the layout).
+fn encode_record_into<I>(buf: &mut Vec<u8>, seq: u64, stream: &str, rows: I)
+where
+    I: ExactSizeIterator<Item = FrameRow>,
+{
+    buf.clear();
+    // body: seq u64 · (len u32 + bytes) stream · count u32 · count × 24.
+    let body_len = 8 + 4 + stream.len() + 4 + rows.len() * 24;
+    buf.reserve(4 + body_len + 4);
+    buf.extend_from_slice(&(body_len as u32).to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+    buf.extend_from_slice(stream.as_bytes());
+    buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for (key, ts, value) in rows {
+        buf.extend_from_slice(&key.to_le_bytes());
+        buf.extend_from_slice(&ts.to_le_bytes());
+        buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+    debug_assert_eq!(buf.len(), 4 + body_len);
+    let crc = crc32(&buf[4..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes one record from the front of `bytes`, returning it with the
+/// number of bytes consumed. Fails structurally (never panics) on
+/// truncation, oversized lengths, CRC mismatch, or malformed bodies.
+pub fn decode_record(bytes: &[u8]) -> Result<(WalRecord, usize), CodecError> {
+    if bytes.len() < 4 {
+        return Err(CodecError::UnexpectedEof { decoding: "wal record length" });
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_RECORD_BYTES {
+        return Err(CodecError::Invalid(format!("wal record claims {len} bytes")));
+    }
+    let total = 4 + len + 4;
+    if bytes.len() < total {
+        return Err(CodecError::UnexpectedEof { decoding: "wal record body" });
+    }
+    let body = &bytes[4..4 + len];
+    let expected = u32::from_le_bytes(bytes[4 + len..total].try_into().expect("4 bytes"));
+    let found = crc32(body);
+    if found != expected {
+        return Err(CodecError::BadChecksum { expected, found });
+    }
+    let mut r = Reader::new(body, FORMAT_VERSION);
+    let seq = r.get_u64("wal record seq")?;
+    let stream = r.get_str("wal record stream")?;
+    let count = r.get_u32("wal record row count")? as usize;
+    if count > ausdb_model::codec::MAX_FRAME_ROWS {
+        return Err(CodecError::Invalid(format!("wal record claims {count} rows")));
+    }
+    let mut rows = Vec::with_capacity(count.min(r.remaining() / 24 + 1));
+    for _ in 0..count {
+        let key = r.get_i64("wal row key")?;
+        let ts = r.get_u64("wal row ts")?;
+        let value = r.get_f64("wal row value")?;
+        rows.push((key, ts, value));
+    }
+    if r.remaining() > 0 {
+        return Err(CodecError::TrailingBytes(r.remaining()));
+    }
+    Ok((WalRecord { seq, stream, rows }, total))
+}
+
+fn segment_file_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.{SEGMENT_EXT}")
+}
+
+/// Parses `wal-<seq>.ausw` back into its first sequence number.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(&format!(".{SEGMENT_EXT}"))?;
+    if rest.len() != 20 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Fsyncs a directory so entry creates/renames/deletes are durable.
+/// Ignored on platforms where directories cannot be opened for sync.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `dir`: scans every segment, truncates
+    /// a torn tail on the last one, and positions the next append after
+    /// the newest valid record.
+    pub fn open(dir: impl Into<PathBuf>, options: WalOptions) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut segs: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(first) = name.to_str().and_then(parse_segment_name) {
+                segs.push((first, entry.path()));
+            }
+        }
+        segs.sort_unstable_by_key(|&(first, _)| first);
+        let mut sealed = Vec::new();
+        let mut next_seq = 1u64;
+        let mut active: Option<(PathBuf, SegmentScan)> = None;
+        for (i, (first, path)) in segs.iter().enumerate() {
+            let last = i + 1 == segs.len();
+            let scan = scan_segment(path)
+                .map_err(|e| invalid(format!("wal segment {}: {e}", path.display())))?;
+            if scan.first_seq != *first {
+                return Err(invalid(format!(
+                    "wal segment {} header says first_seq={} but the name says {first}",
+                    path.display(),
+                    scan.first_seq
+                )));
+            }
+            if scan.valid_bytes < scan.file_bytes && !last {
+                return Err(invalid(format!(
+                    "wal segment {} is corrupt mid-log (valid to byte {} of {})",
+                    path.display(),
+                    scan.valid_bytes,
+                    scan.file_bytes
+                )));
+            }
+            if i > 0 && scan.first_seq < next_seq {
+                return Err(invalid(format!(
+                    "wal segment {} overlaps the previous one",
+                    path.display()
+                )));
+            }
+            // The header's first_seq carries numbering intent even for a
+            // record-free segment (a fresh active one after a truncate).
+            next_seq = next_seq.max(scan.first_seq);
+            if scan.records > 0 {
+                next_seq = scan.last_seq + 1;
+            }
+            if last {
+                if scan.valid_bytes < scan.file_bytes {
+                    journal::global().record(Level::Warn, "wal", || {
+                        format!(
+                            "torn tail in {}: truncating {} bytes back to the last valid record",
+                            path.display(),
+                            scan.file_bytes - scan.valid_bytes
+                        )
+                    });
+                    let f = OpenOptions::new().write(true).open(path)?;
+                    f.set_len(scan.valid_bytes)?;
+                    f.sync_all()?;
+                }
+                active = Some((path.clone(), scan));
+            } else {
+                sealed.push(SealedSegment {
+                    path: path.clone(),
+                    first_seq: scan.first_seq,
+                    last_seq: scan.last_seq,
+                    bytes: scan.valid_bytes,
+                });
+            }
+        }
+        let wal = match active {
+            Some((path, scan)) => {
+                let file = OpenOptions::new().append(true).open(&path)?;
+                Self {
+                    dir,
+                    options,
+                    sealed,
+                    active: file,
+                    active_path: path,
+                    active_first: scan.first_seq,
+                    active_len: scan.valid_bytes,
+                    active_records: scan.records,
+                    next_seq,
+                    unsynced: 0,
+                    fsyncs: 0,
+                    encode_buf: Vec::new(),
+                    sync_in_flight: Arc::new(AtomicBool::new(false)),
+                    sync_failed: Arc::new(AtomicBool::new(false)),
+                }
+            }
+            None => {
+                let (path, file) = create_segment(&dir, next_seq)?;
+                let wal = Self {
+                    dir,
+                    options,
+                    sealed,
+                    active: file,
+                    active_path: path,
+                    active_first: next_seq,
+                    active_len: SEGMENT_HEADER_BYTES,
+                    active_records: 0,
+                    next_seq,
+                    unsynced: 0,
+                    fsyncs: 0,
+                    encode_buf: Vec::new(),
+                    sync_in_flight: Arc::new(AtomicBool::new(false)),
+                    sync_failed: Arc::new(AtomicBool::new(false)),
+                };
+                sync_dir(&wal.dir);
+                wal
+            }
+        };
+        wal.update_gauges();
+        Ok(wal)
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.options.policy
+    }
+
+    /// Sequence number of the newest record ever appended (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sequence number of the oldest record still on disk, or
+    /// `last_seq() + 1` when the log holds no records (everything a
+    /// snapshot covered has been truncated away).
+    pub fn first_available_seq(&self) -> u64 {
+        if let Some(s) = self.sealed.first() {
+            return s.first_seq;
+        }
+        if self.active_records > 0 {
+            return self.active_first;
+        }
+        self.next_seq
+    }
+
+    /// Appends one batch with the next sequence number; returns that
+    /// number. Fsyncs and rotates per the configured policy.
+    pub fn append(&mut self, stream: &str, rows: &[FrameRow]) -> io::Result<u64> {
+        self.append_iter(stream, rows.iter().copied())
+    }
+
+    /// Like [`Wal::append`] but takes the rows as an iterator, so callers
+    /// holding them in another representation (the server's raw
+    /// observations) encode straight into the log without building an
+    /// intermediate `Vec<FrameRow>` first. This is the hot ingest path.
+    pub fn append_iter<I>(&mut self, stream: &str, rows: I) -> io::Result<u64>
+    where
+        I: ExactSizeIterator<Item = FrameRow>,
+    {
+        let seq = self.next_seq;
+        let mut buf = std::mem::take(&mut self.encode_buf);
+        encode_record_into(&mut buf, seq, stream, rows);
+        let res = self.append_encoded(&buf);
+        self.encode_buf = buf;
+        res?;
+        Ok(seq)
+    }
+
+    /// Appends a record that must carry exactly the next sequence number —
+    /// the follower replication path, which mirrors the primary's
+    /// numbering so a promoted follower's log lines up with its state.
+    pub fn append_at(&mut self, rec: &WalRecord) -> io::Result<()> {
+        if rec.seq != self.next_seq {
+            return Err(invalid(format!(
+                "replicated record seq {} does not follow local seq {}",
+                rec.seq,
+                self.last_seq()
+            )));
+        }
+        let mut buf = std::mem::take(&mut self.encode_buf);
+        encode_record_into(&mut buf, rec.seq, &rec.stream, rec.rows.iter().copied());
+        let res = self.append_encoded(&buf);
+        self.encode_buf = buf;
+        res
+    }
+
+    fn append_encoded(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.check_poisoned()?;
+        self.active.write_all(bytes)?;
+        self.active_len += bytes.len() as u64;
+        self.active_records += 1;
+        self.next_seq += 1;
+        self.unsynced += bytes.len() as u64;
+        if let Some(t) = &self.options.telemetry {
+            t.records.inc();
+        }
+        match self.options.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch if self.unsynced >= self.options.batch_bytes => {
+                self.sync_background()?
+            }
+            _ => {}
+        }
+        if self.active_len >= self.options.segment_bytes {
+            self.seal_active()?;
+        }
+        self.update_gauges();
+        Ok(())
+    }
+
+    /// Fsyncs any unsynced bytes (regardless of policy — an explicit
+    /// flush is a durability point, e.g. before a snapshot). Also covers
+    /// bytes handed to a still-running background group commit: the
+    /// synchronous fdatasync here includes everything written so far.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.check_poisoned()?;
+        if self.unsynced > 0 || self.sync_in_flight.load(Ordering::Acquire) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    fn check_poisoned(&self) -> io::Result<()> {
+        if self.sync_failed.load(Ordering::Acquire) {
+            return Err(io::Error::other("a background WAL fsync failed; reopen the log"));
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let t0 = Instant::now();
+        self.active.sync_data()?;
+        self.fsyncs += 1;
+        self.unsynced = 0;
+        if let Some(t) = &self.options.telemetry {
+            t.fsyncs.inc();
+            t.fsync_latency.observe_duration(t0.elapsed());
+        }
+        Ok(())
+    }
+
+    /// Group commit: initiate an fdatasync on a cloned handle off-thread
+    /// so the append path keeps flowing while the disk catches up. At
+    /// most one is in flight; while one runs, further batch thresholds
+    /// just keep accumulating (the next dispatch covers them — an
+    /// fdatasync covers every write made before the call). Falls back to
+    /// a synchronous sync if the handle cannot be cloned.
+    fn sync_background(&mut self) -> io::Result<()> {
+        if self.sync_in_flight.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let file = match self.active.try_clone() {
+            Ok(f) => f,
+            Err(_) => {
+                self.sync_in_flight.store(false, Ordering::Release);
+                return self.sync();
+            }
+        };
+        let in_flight = Arc::clone(&self.sync_in_flight);
+        let failed = Arc::clone(&self.sync_failed);
+        let telemetry = self.options.telemetry.clone();
+        let spawned =
+            std::thread::Builder::new().name("ausdb-wal-sync".to_string()).spawn(move || {
+                let t0 = Instant::now();
+                if file.sync_data().is_err() {
+                    failed.store(true, Ordering::Release);
+                }
+                if let Some(t) = telemetry {
+                    t.fsyncs.inc();
+                    t.fsync_latency.observe_duration(t0.elapsed());
+                }
+                in_flight.store(false, Ordering::Release);
+            });
+        match spawned {
+            Ok(_) => {
+                self.unsynced = 0;
+                self.fsyncs += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.sync_in_flight.store(false, Ordering::Release);
+                Err(e)
+            }
+        }
+    }
+
+    /// Seals the active segment and starts a fresh one at `next_seq`.
+    fn seal_active(&mut self) -> io::Result<()> {
+        if self.options.policy != FsyncPolicy::Never {
+            self.sync()?;
+        }
+        let (path, file) = create_segment(&self.dir, self.next_seq)?;
+        sync_dir(&self.dir);
+        let old = std::mem::replace(&mut self.active_path, path);
+        self.sealed.push(SealedSegment {
+            path: old,
+            first_seq: self.active_first,
+            last_seq: self.last_seq(),
+            bytes: self.active_len,
+        });
+        self.active = file;
+        self.active_first = self.next_seq;
+        self.active_len = SEGMENT_HEADER_BYTES;
+        self.active_records = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Reads every record with `seq > from_seq`, oldest first, up to
+    /// `max` of them. Re-reads segment files, so a concurrent reader (the
+    /// replication path) sees exactly what `append` wrote.
+    pub fn read_from(&self, from_seq: u64, max: usize) -> io::Result<Vec<WalRecord>> {
+        let mut out = Vec::new();
+        let active = if self.active_records > 0 {
+            vec![(self.active_path.clone(), self.last_seq())]
+        } else {
+            Vec::new()
+        };
+        let all = self.sealed.iter().map(|s| (s.path.clone(), s.last_seq)).chain(active);
+        for (path, last) in all {
+            if out.len() >= max {
+                break;
+            }
+            if last <= from_seq {
+                continue;
+            }
+            read_segment_records(&path, from_seq, max, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Deletes every segment whose records are all `<= seq` (the snapshot
+    /// watermark). If that covers the active segment too, it is replaced
+    /// by a fresh one so the log never re-replays snapshotted batches.
+    pub fn truncate_through(&mut self, seq: u64) -> io::Result<()> {
+        let mut kept = Vec::new();
+        for s in self.sealed.drain(..) {
+            if s.last_seq <= seq {
+                std::fs::remove_file(&s.path)?;
+            } else {
+                kept.push(s);
+            }
+        }
+        self.sealed = kept;
+        if self.sealed.is_empty() && self.active_records > 0 && self.last_seq() <= seq {
+            // Everything in the active segment is covered: restart it.
+            self.replace_active(self.next_seq)?;
+        }
+        sync_dir(&self.dir);
+        self.update_gauges();
+        Ok(())
+    }
+
+    /// Drops every segment and restarts the log so the next append gets
+    /// `seq + 1` — the follower bootstrap path after installing a
+    /// primary snapshot with watermark `seq`.
+    pub fn reset_to(&mut self, seq: u64) -> io::Result<()> {
+        for s in self.sealed.drain(..) {
+            std::fs::remove_file(&s.path)?;
+        }
+        self.next_seq = seq + 1;
+        self.replace_active(self.next_seq)?;
+        sync_dir(&self.dir);
+        self.update_gauges();
+        Ok(())
+    }
+
+    /// Swaps the active segment for a fresh, empty one named for
+    /// `first_seq`, deleting the old file (which may be the same path —
+    /// `create_segment` truncates in place then).
+    fn replace_active(&mut self, first_seq: u64) -> io::Result<()> {
+        let new_path = self.dir.join(segment_file_name(first_seq));
+        if new_path != self.active_path {
+            std::fs::remove_file(&self.active_path)?;
+        }
+        let (path, file) = create_segment(&self.dir, first_seq)?;
+        self.active = file;
+        self.active_path = path;
+        self.active_first = first_seq;
+        self.active_len = SEGMENT_HEADER_BYTES;
+        self.active_records = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Current log shape.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            segments: self.sealed.len() + 1,
+            bytes: self.sealed.iter().map(|s| s.bytes).sum::<u64>() + self.active_len,
+            last_seq: self.last_seq(),
+            first_seq: self.first_available_seq(),
+            fsyncs: self.fsyncs,
+        }
+    }
+
+    fn update_gauges(&self) {
+        if let Some(t) = &self.options.telemetry {
+            let stats = self.stats();
+            t.segments.set(stats.segments as f64);
+            t.bytes.set(stats.bytes as f64);
+        }
+    }
+}
+
+/// Creates a fresh segment file with its header written.
+fn create_segment(dir: &Path, first_seq: u64) -> io::Result<(PathBuf, File)> {
+    let path = dir.join(segment_file_name(first_seq));
+    let mut file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
+    write_segment_header(&mut file, first_seq)?;
+    Ok((path, file))
+}
+
+fn write_segment_header(file: &mut File, first_seq: u64) -> io::Result<()> {
+    let mut w = Writer::new();
+    w.put_bytes(&SEGMENT_MAGIC);
+    w.put_u16(FORMAT_VERSION);
+    w.put_u64(first_seq);
+    file.write_all(&w.into_bytes())
+}
+
+/// Scans one segment file: validates the header and walks records until
+/// the first invalid one (torn tail) or EOF.
+fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let first_seq = parse_segment_header(&bytes).map_err(|e| invalid(e.to_string()))?;
+    let mut pos = SEGMENT_HEADER_BYTES as usize;
+    let mut records = 0u64;
+    let mut last_seq = 0u64;
+    let mut expect = first_seq;
+    while pos < bytes.len() {
+        match decode_record(&bytes[pos..]) {
+            Ok((rec, consumed)) if rec.seq == expect => {
+                last_seq = rec.seq;
+                expect += 1;
+                records += 1;
+                pos += consumed;
+            }
+            // A wrong seq or any decode failure ends the valid prefix.
+            _ => break,
+        }
+    }
+    Ok(SegmentScan {
+        first_seq,
+        records,
+        last_seq,
+        valid_bytes: pos as u64,
+        file_bytes: bytes.len() as u64,
+    })
+}
+
+fn parse_segment_header(bytes: &[u8]) -> Result<u64, CodecError> {
+    if bytes.len() < SEGMENT_HEADER_BYTES as usize {
+        return Err(CodecError::UnexpectedEof { decoding: "wal segment header" });
+    }
+    if bytes[..4] != SEGMENT_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if !(ausdb_model::codec::MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    Ok(u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes")))
+}
+
+/// Appends every record in `path` with `seq > from_seq` to `out`, up to
+/// `max` total.
+fn read_segment_records(
+    path: &Path,
+    from_seq: u64,
+    max: usize,
+    out: &mut Vec<WalRecord>,
+) -> io::Result<()> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    parse_segment_header(&bytes).map_err(|e| invalid(e.to_string()))?;
+    let mut pos = SEGMENT_HEADER_BYTES as usize;
+    while pos < bytes.len() && out.len() < max {
+        let Ok((rec, consumed)) = decode_record(&bytes[pos..]) else { break };
+        pos += consumed;
+        if rec.seq > from_seq {
+            out.push(rec);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ausdb_wal_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_options() -> WalOptions {
+        WalOptions {
+            policy: FsyncPolicy::Never,
+            segment_bytes: 256,
+            batch_bytes: 64,
+            telemetry: None,
+        }
+    }
+
+    #[test]
+    fn record_roundtrip_is_bit_exact() {
+        let rec = WalRecord {
+            seq: 7,
+            stream: "traffic".into(),
+            rows: vec![
+                (19, 100, 56.0),
+                (-4, 0, -0.0),
+                (i64::MAX, u64::MAX, f64::NEG_INFINITY),
+                (0, 1, f64::from_bits(0x7ff8_dead_beef_0001)),
+            ],
+        };
+        let bytes = encode_record(&rec);
+        let (back, consumed) = decode_record(&bytes).expect("decodes");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!((back.seq, back.stream.as_str()), (7, "traffic"));
+        for ((k1, t1, v1), (k2, t2, v2)) in rec.rows.iter().zip(&back.rows) {
+            assert_eq!((k1, t1), (k2, t2));
+            assert_eq!(v1.to_bits(), v2.to_bits());
+        }
+    }
+
+    #[test]
+    fn append_reopen_read_roundtrip() {
+        let dir = tmpdir("reopen");
+        {
+            let mut wal = Wal::open(&dir, small_options()).unwrap();
+            for i in 1..=10u64 {
+                let seq = wal.append("s", &[(i as i64, 100 + i, i as f64)]).unwrap();
+                assert_eq!(seq, i);
+            }
+            assert_eq!(wal.last_seq(), 10);
+            wal.flush().unwrap();
+        }
+        let wal = Wal::open(&dir, small_options()).unwrap();
+        assert_eq!(wal.last_seq(), 10);
+        assert_eq!(wal.first_available_seq(), 1);
+        let recs = wal.read_from(0, usize::MAX).unwrap();
+        assert_eq!(recs.len(), 10);
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), (1..=10).collect::<Vec<_>>());
+        let tail = wal.read_from(7, usize::MAX).unwrap();
+        assert_eq!(tail.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![8, 9, 10]);
+        assert!(wal.stats().segments > 1, "256-byte segments must have rotated");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_through_deletes_covered_segments() {
+        let dir = tmpdir("truncate");
+        let mut wal = Wal::open(&dir, small_options()).unwrap();
+        for i in 1..=20u64 {
+            wal.append("s", &[(1, i, 1.0)]).unwrap();
+        }
+        let before = wal.stats();
+        assert!(before.segments > 2);
+        wal.truncate_through(wal.last_seq()).unwrap();
+        let after = wal.stats();
+        assert_eq!(after.segments, 1, "everything covered: only a fresh active segment remains");
+        assert_eq!(after.last_seq, 20, "sequence numbering continues");
+        assert_eq!(wal.first_available_seq(), 21);
+        // Appends continue seamlessly and survive a reopen.
+        assert_eq!(wal.append("s", &[(1, 99, 2.0)]).unwrap(), 21);
+        wal.flush().unwrap();
+        drop(wal);
+        let wal = Wal::open(&dir, small_options()).unwrap();
+        assert_eq!(wal.last_seq(), 21);
+        assert_eq!(wal.read_from(0, usize::MAX).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_to_restarts_numbering() {
+        let dir = tmpdir("reset");
+        let mut wal = Wal::open(&dir, small_options()).unwrap();
+        for i in 1..=5u64 {
+            wal.append("s", &[(1, i, 1.0)]).unwrap();
+        }
+        wal.reset_to(42).unwrap();
+        assert_eq!(wal.next_seq(), 43);
+        assert_eq!(wal.read_from(0, usize::MAX).unwrap().len(), 0);
+        wal.append_at(&WalRecord { seq: 43, stream: "s".into(), rows: vec![(1, 1, 1.0)] }).unwrap();
+        // A gap is rejected.
+        let gap = WalRecord { seq: 45, stream: "s".into(), rows: vec![] };
+        assert!(wal.append_at(&gap).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse(" Batch "), Some(FsyncPolicy::Batch));
+        assert_eq!(FsyncPolicy::parse("NEVER"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+        for p in [FsyncPolicy::Always, FsyncPolicy::Batch, FsyncPolicy::Never] {
+            assert_eq!(FsyncPolicy::parse(p.as_str()), Some(p));
+        }
+    }
+
+    #[test]
+    fn segment_names_roundtrip() {
+        assert_eq!(parse_segment_name(&segment_file_name(1)), Some(1));
+        assert_eq!(parse_segment_name(&segment_file_name(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_segment_name("wal-123.ausw"), None, "unpadded names are foreign");
+        assert_eq!(parse_segment_name("state.snap"), None);
+    }
+}

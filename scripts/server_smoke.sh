@@ -19,8 +19,10 @@ fi
 
 WORK=$(mktemp -d)
 SERVER_PID=""
+PRIMARY_PID=""
 cleanup() {
     [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    [[ -n "$PRIMARY_PID" ]] && kill "$PRIMARY_PID" 2>/dev/null || true
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -194,6 +196,78 @@ send "SHUTDOWN"
 expect "OK shutting down"
 exec 3<&- 3>&-
 wait "$SERVER_PID" || fail "phase-4 server exited non-zero"
+SERVER_PID=""
+
+echo "== phase 5: kill -9 mid-window, WAL replay answers identically =="
+SNAP="$WORK/state5.snap"
+start_server 5 --wal-dir "$WORK/wal5"
+# Three observations land in window [100,110); no close yet, so nothing
+# is in the snapshot — only the WAL holds them when we pull the plug.
+for row in "19,100,56" "19,101,38.5" "19,103,97.25"; do
+    send "INGEST traffic $row"
+    expect "OK INGESTED traffic*"
+done
+send "WALSTAT"
+expect "OK WALSTAT role=primary wal=on*last_seq=3*"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+exec 3<&- 3>&-
+[[ ! -s "$SNAP" ]] || fail "kill -9 still produced a snapshot"
+start_server 5b --wal-dir "$WORK/wal5"
+grep -q "replayed 3 WAL records" "$WORK/err5b" || fail "no WAL replay message"
+send "INGEST traffic 19,112,41"
+expect "OK INGESTED traffic*"
+send "QUERY SELECT * FROM traffic"
+read_block "$WORK/query_recovered"
+diff -u "$WORK/query_before" "$WORK/query_recovered" ||
+    fail "state recovered from the WAL answers the query differently"
+send "SHUTDOWN"
+expect "OK shutting down"
+exec 3<&- 3>&-
+wait "$SERVER_PID" || fail "phase-5 server exited non-zero"
+SERVER_PID=""
+
+echo "== phase 6: follower replicates, rejects writes, promotes =="
+SNAP="$WORK/state6p.snap"
+start_server 6p --wal-dir "$WORK/wal6p"
+for row in "19,100,56" "19,101,38.5" "19,103,97.25" "19,112,41"; do
+    send "INGEST traffic $row"
+    expect "OK INGESTED traffic*"
+done
+PRIMARY_PID=$SERVER_PID
+PRIMARY_PORT=$PORT
+exec 3<&- 3>&-
+SNAP="$WORK/state6f.snap"
+start_server 6f --wal-dir "$WORK/wal6f" --replicate-from "127.0.0.1:$PRIMARY_PORT"
+grep -q "running as read-only follower" "$WORK/err6f" || fail "no follower banner"
+for _ in $(seq 1 200); do
+    send "WALSTAT"
+    read_reply
+    case "$REPLY_LINE" in *"last_seq=4"*) break ;; esac
+    sleep 0.05
+done
+case "$REPLY_LINE" in
+    "OK WALSTAT role=follower"*"last_seq=4"*) ;;
+    *) fail "follower never caught up: $REPLY_LINE" ;;
+esac
+send "INGEST traffic 1,1,1"
+expect "ERR read-only follower*"
+send "QUERY SELECT * FROM traffic"
+read_block "$WORK/query_follower"
+diff -u "$WORK/query_before" "$WORK/query_follower" ||
+    fail "follower answers the query differently from the primary workload"
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+PRIMARY_PID=""
+send "PROMOTE"
+expect "OK*"
+send "INGEST traffic 19,120,50"
+expect "OK INGESTED traffic*"
+send "SHUTDOWN"
+expect "OK shutting down"
+exec 3<&- 3>&-
+wait "$SERVER_PID" || fail "phase-6 follower exited non-zero"
 SERVER_PID=""
 
 echo "server smoke OK"

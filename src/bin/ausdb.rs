@@ -51,16 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 fn print_usage() {
     eprintln!("usage: ausdb [shell] [--demo]");
-    eprintln!("       ausdb serve [--addr HOST:PORT] [--snapshot-path FILE]");
-    eprintln!("                   [--max-subscribers N] [--queue-cap N] [--window SECONDS]");
-    eprintln!("                   [--shards N] [--metrics] [--http-addr HOST:PORT]");
-    eprintln!("                   [--trace-json FILE]");
+    eprintln!("       ausdb serve [--addr HOST:PORT] [--snapshot-path FILE] [--wal-dir DIR]");
+    eprintln!("                   [--replicate-from HOST:PORT] [--max-subscribers N]");
+    eprintln!("                   [--queue-cap N] [--window SECONDS] [--shards N] [--metrics]");
+    eprintln!("                   [--http-addr HOST:PORT] [--trace-json FILE]");
     eprintln!("       ausdb ingest [--addr HOST:PORT] [--stream NAME] [--batch N]");
     eprintln!();
     eprintln!("  shell   interactive SQL shell (default); --demo preloads a simulated network");
     eprintln!("  serve   continuous-query TCP server (INGEST/INGESTB/QUERY/SUBSCRIBE/STATS/");
     eprintln!("          METRICS/TRACE/TRACEX/SNAPSHOT/RESTORE/HELP/SHUTDOWN; DESIGN.md §5);");
     eprintln!("          --shards N splits ingest across N key-sharded engine states;");
+    eprintln!("          --wal-dir logs every accepted batch before apply and replays it");
+    eprintln!("          after a crash (AUSDB_FSYNC=always|batch|never sets the sync policy);");
+    eprintln!("          --replicate-from starts a read-only follower of that primary");
+    eprintln!("          (requires --wal-dir; send PROMOTE to make it writable);");
     eprintln!("          --metrics dumps the final Prometheus exposition on shutdown;");
     eprintln!("          --http-addr serves the same exposition at GET /metrics;");
     eprintln!("          --trace-json writes queued query spans as Chrome trace JSON on exit");
@@ -83,6 +87,8 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--snapshot-path" => {
                 config.snapshot_path = Some(std::path::PathBuf::from(value("--snapshot-path")?))
             }
+            "--wal-dir" => config.wal_dir = Some(std::path::PathBuf::from(value("--wal-dir")?)),
+            "--replicate-from" => config.replicate_from = Some(value("--replicate-from")?.clone()),
             "--max-subscribers" => {
                 engine.max_subscribers = value("--max-subscribers")?
                     .parse()
@@ -120,6 +126,12 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let handle = Server::start(config)?;
     if handle.restored_streams() > 0 {
         eprintln!("restored {} streams from snapshot", handle.restored_streams());
+    }
+    if handle.replayed_records() > 0 {
+        eprintln!("replayed {} WAL records past the snapshot watermark", handle.replayed_records());
+    }
+    if handle.is_follower() {
+        eprintln!("running as read-only follower (send PROMOTE to accept writes)");
     }
     // The smoke test and users scrape this exact line for the bound port.
     println!("listening on {}", handle.addr());
