@@ -196,7 +196,7 @@ pub fn help_lines() -> &'static [&'static str] {
         "TRACEX — Chrome trace-event JSON of recently traced queries (chrome://tracing)",
         "SNAPSHOT — persist engine state to the configured snapshot path",
         "RESTORE — reload engine state from the configured snapshot path",
-        "WALSTAT — durability status: role, WAL segments/bytes/seqs, fsync policy, lag",
+        "WALSTAT — durability status: role, WAL segments/bytes/unsynced/seqs, fsync policy, lag",
         "REPLICATE <from_seq> — stream snapshot + WAL records after from_seq (follower catch-up)",
         "PROMOTE — turn a read-only follower into a writable primary",
         "HELP — this listing",

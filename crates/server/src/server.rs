@@ -137,6 +137,14 @@ impl Server {
                 "--replicate-from requires --wal-dir (the follower mirrors the primary's log)",
             ));
         }
+        if config.replicate_from.is_some() && config.snapshot_path.is_none() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "--replicate-from requires --snapshot-path (a bootstrap snapshot must be \
+                 persisted locally, or a follower restart would replay only the WAL tail \
+                 and silently lose everything the bootstrap covered)",
+            ));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let state = ShardSet::new(config.engine);
@@ -166,7 +174,40 @@ impl Server {
             std::fs::create_dir_all(dir)?;
             let mut options = WalOptions::new();
             options.telemetry = Some(WalTelemetry::new(&srv_registry));
-            let wal = Wal::open(dir, options)?;
+            let mut wal = Wal::open(dir, options)?;
+            // Recovery is snapshot + replay of records past its watermark,
+            // which only reconstructs state when the log actually extends
+            // the snapshot. A log that is *behind* the watermark (follower
+            // crashed between persisting a bootstrap snapshot and resetting
+            // its WAL) or *gapped* past it (records between the watermark
+            // and the oldest on disk are missing) cannot.
+            let first = wal.first_available_seq();
+            let behind = wal.last_seq() < watermark;
+            let gapped = first > watermark + 1 && wal.last_seq() > watermark;
+            if behind || gapped {
+                if config.replicate_from.is_some() {
+                    // A follower re-fetches everything past the watermark
+                    // from its primary anyway: drop the useless tail so
+                    // replication resumes exactly at the snapshot.
+                    journal::global().record(Level::Warn, "wal", || {
+                        format!(
+                            "local WAL (seqs {first}..={}) cannot extend the snapshot \
+                             watermark {watermark}; resetting it and re-syncing from the primary",
+                            wal.last_seq()
+                        )
+                    });
+                    wal.reset_to(watermark)?;
+                } else if gapped {
+                    journal::global().record(Level::Warn, "wal", || {
+                        format!(
+                            "WAL records {}..{first} past the snapshot watermark are missing \
+                             (truncated by a snapshot this file predates?); recovered state \
+                             may be incomplete",
+                            watermark + 1
+                        )
+                    });
+                }
+            }
             // Replay everything past the snapshot watermark, in chunks so
             // a long log never materializes in memory at once. Apply
             // errors are warned and skipped: the record was accepted by a
@@ -719,11 +760,12 @@ fn walstat_line(shared: &Shared) -> String {
             let wal = lock_wal(wal);
             let stats = wal.stats();
             format!(
-                "OK WALSTAT role={role} wal=on policy={} segments={} bytes={} \
+                "OK WALSTAT role={role} wal=on policy={} segments={} bytes={} unsynced={} \
                  first_seq={} last_seq={} fsyncs={} lag={}",
                 wal.policy().as_str(),
                 stats.segments,
                 stats.bytes,
+                stats.unsynced,
                 stats.first_seq,
                 stats.last_seq,
                 stats.fsyncs,
@@ -740,19 +782,33 @@ fn build_repl_reply(shared: &Shared, from_seq: u64) -> Result<ReplReply, String>
     let Some(wal) = shared.state.wal() else {
         return Err("replication requires a primary started with --wal-dir".to_string());
     };
-    let first_available = lock_wal(wal).first_available_seq();
-    let (snapshot, effective_from) = if from_seq + 1 < first_available {
-        let snap = shared.state.snapshot_with_wal_seq();
-        let wal_seq = snap.wal_seq;
-        (Some((encode_snapshot(&snap), wal_seq)), wal_seq)
-    } else {
-        (None, from_seq)
-    };
-    let wal = lock_wal(wal);
-    let records =
-        wal.read_from(effective_from, repl::CHUNK_RECORDS).map_err(|e| format!("wal read: {e}"))?;
-    let primary_last = wal.last_seq();
-    Ok(ReplReply { snapshot, records, primary_last })
+    // The horizon check and the record read take the WAL lock separately —
+    // a consistent snapshot must lock the stream coordinators *before*
+    // the WAL, so the lock cannot be held across snapshot_with_wal_seq.
+    // A concurrent SNAPSHOT can therefore truncate records in between;
+    // re-verify the horizon under the read lock and retry with a fresh
+    // bootstrap if it moved, rather than shipping a gapped chunk the
+    // follower would reject (dropping and redialing the session).
+    for _ in 0..4 {
+        let first_available = lock_wal(wal).first_available_seq();
+        let (snapshot, effective_from) = if from_seq + 1 < first_available {
+            let snap = shared.state.snapshot_with_wal_seq();
+            let wal_seq = snap.wal_seq;
+            (Some((encode_snapshot(&snap), wal_seq)), wal_seq)
+        } else {
+            (None, from_seq)
+        };
+        let wal = lock_wal(wal);
+        if effective_from + 1 < wal.first_available_seq() {
+            continue; // truncated under us; next attempt bootstraps fresh
+        }
+        let records = wal
+            .read_from(effective_from, repl::CHUNK_RECORDS)
+            .map_err(|e| format!("wal read: {e}"))?;
+        let primary_last = wal.last_seq();
+        return Ok(ReplReply { snapshot, records, primary_last });
+    }
+    Err("REPLICATE kept racing concurrent snapshot truncations; retry".to_string())
 }
 
 /// The follower's replication thread: dial the primary, poll
@@ -798,6 +854,17 @@ fn follow(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
         if let Some((bytes, wal_seq)) = &reply.snapshot {
             let snap = decode_snapshot(bytes)
                 .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+            // Persist the bootstrap BEFORE adopting it: local recovery is
+            // snapshot + WAL tail, so once the WAL resets to the watermark
+            // a restart without this snapshot on disk would replay only
+            // the tail and silently lose everything the bootstrap covered
+            // (while the high last_seq makes the primary believe the
+            // follower is caught up). Ordering also covers a crash in
+            // between: a persisted snapshot with a still-stale WAL is
+            // detected at startup and the WAL reset then.
+            let path =
+                shared.snapshot_path.as_ref().expect("follower mode requires a snapshot path");
+            write_snapshot(path, &snap)?;
             shared
                 .state
                 .restore(snap)

@@ -287,6 +287,68 @@ fn follower_bootstraps_replicates_and_promotes_byte_identically() {
     }
 }
 
+/// The bug this guards against: the bootstrap snapshot lived only in
+/// memory, so a restarted follower replayed just its WAL tail — losing
+/// everything the bootstrap covered — while its high `last_seq` made the
+/// primary believe it was caught up (so it never re-sent the data).
+#[test]
+fn follower_restart_after_bootstrap_keeps_snapshot_covered_state() {
+    let rows = workload();
+    let (half, cut) = (11, 17);
+
+    // Primary: snapshot after half the rows (truncating the WAL, which
+    // forces the follower through the SNAP bootstrap path), then more.
+    let p_dirs = Dirs::new("rsprim");
+    let primary = start(&p_dirs, 1, None);
+    let mut pc = Client::connect(&primary);
+    ingest(&mut pc, &rows[..half]);
+    assert!(pc.request("SNAPSHOT")[0].starts_with("OK SNAPSHOT"));
+    ingest(&mut pc, &rows[half..cut]);
+
+    // Follower catches up (bootstrap + records), then dies hard — the
+    // only state that survives is what replication persisted.
+    let f_dirs = Dirs::new("rsfoll");
+    let follower = start(&f_dirs, 1, Some(primary.addr().to_string()));
+    let mut fc = Client::connect(&follower);
+    wait_for_catchup(&mut fc, cut as u64);
+    drop(fc);
+    follower.kill();
+    assert!(
+        f_dirs.snapshot().exists(),
+        "the bootstrap snapshot must be persisted when it is installed"
+    );
+    // Let the killed server's replication thread notice the shutdown flag
+    // before a second server opens the same WAL directory.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The restarted follower must answer from snapshot + WAL tail alone:
+    // its WAL already holds every sequence number, so the primary will
+    // never re-send the bootstrap-covered records.
+    let follower = start(&f_dirs, 1, Some(primary.addr().to_string()));
+    let mut fc = Client::connect(&follower);
+    wait_for_catchup(&mut fc, cut as u64);
+    let q = "QUERY SELECT * FROM traffic";
+    assert_eq!(fc.request(q), pc.request(q), "restarted follower lost bootstrap-covered state");
+    drop(pc);
+    drop(fc);
+    follower.stop();
+    primary.stop();
+}
+
+#[test]
+fn follower_requires_snapshot_path() {
+    let dirs = Dirs::new("nosnap");
+    match Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        wal_dir: Some(dirs.wal()),
+        replicate_from: Some("127.0.0.1:1".to_string()),
+        ..ServerConfig::default()
+    }) {
+        Ok(_) => panic!("--replicate-from without --snapshot-path must be refused"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+    }
+}
+
 #[test]
 fn follower_requires_wal_dir() {
     match Server::start(ServerConfig {

@@ -64,7 +64,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -228,8 +228,12 @@ pub struct WalStats {
     /// Sequence number of the oldest record still on disk, or
     /// `last_seq + 1` when the log holds no records.
     pub first_seq: u64,
-    /// Fsync calls issued so far.
+    /// Fsync calls **completed** so far (a background group commit
+    /// counts only once its fdatasync returns).
     pub fsyncs: u64,
+    /// Bytes appended but not yet confirmed durable, including bytes
+    /// handed to a still-running background group commit.
+    pub unsynced: u64,
 }
 
 /// A sealed (no longer written) segment.
@@ -258,7 +262,14 @@ pub struct Wal {
     active_records: u64,
     next_seq: u64,
     unsynced: u64,
-    fsyncs: u64,
+    /// Bytes handed to the in-flight background group commit; not yet
+    /// durable, so still reported as unsynced until the fdatasync
+    /// completes (observed via `sync_in_flight` clearing).
+    bg_dispatched: u64,
+    /// Completed fsync calls. Shared with the group-commit thread so the
+    /// count only moves when an fdatasync actually returns, never when
+    /// one is merely initiated.
+    fsyncs: Arc<AtomicU64>,
     /// Reused encode scratch — appends on the hot path allocate nothing.
     encode_buf: Vec<u8>,
     /// A background group-commit fdatasync is still running.
@@ -400,6 +411,22 @@ impl Wal {
         let mut active: Option<(PathBuf, SegmentScan)> = None;
         for (i, (first, path)) in segs.iter().enumerate() {
             let last = i + 1 == segs.len();
+            // A newest segment shorter than its header is a torn creation:
+            // the process died between creating the file and its header
+            // sync landing. It never held a record, so delete it and let
+            // a fresh active segment be created below — refusing to open
+            // would brick the server on a crash-timing accident.
+            if last && std::fs::metadata(path)?.len() < SEGMENT_HEADER_BYTES {
+                journal::global().record(Level::Warn, "wal", || {
+                    format!(
+                        "removing {}: shorter than a segment header (torn creation)",
+                        path.display()
+                    )
+                });
+                std::fs::remove_file(path)?;
+                sync_dir(&dir);
+                continue;
+            }
             let scan = scan_segment(path)
                 .map_err(|e| invalid(format!("wal segment {}: {e}", path.display())))?;
             if scan.first_seq != *first {
@@ -466,7 +493,8 @@ impl Wal {
                     active_records: scan.records,
                     next_seq,
                     unsynced: 0,
-                    fsyncs: 0,
+                    bg_dispatched: 0,
+                    fsyncs: Arc::new(AtomicU64::new(0)),
                     encode_buf: Vec::new(),
                     sync_in_flight: Arc::new(AtomicBool::new(false)),
                     sync_failed: Arc::new(AtomicBool::new(false)),
@@ -485,7 +513,8 @@ impl Wal {
                     active_records: 0,
                     next_seq,
                     unsynced: 0,
-                    fsyncs: 0,
+                    bg_dispatched: 0,
+                    fsyncs: Arc::new(AtomicU64::new(0)),
                     encode_buf: Vec::new(),
                     sync_in_flight: Arc::new(AtomicBool::new(false)),
                     sync_failed: Arc::new(AtomicBool::new(false)),
@@ -618,8 +647,11 @@ impl Wal {
     fn sync(&mut self) -> io::Result<()> {
         let t0 = Instant::now();
         self.active.sync_data()?;
-        self.fsyncs += 1;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.unsynced = 0;
+        // A synchronous fdatasync covers every prior write, including
+        // bytes a still-running background commit was dispatched for.
+        self.bg_dispatched = 0;
         if let Some(t) = &self.options.telemetry {
             t.fsyncs.inc();
             t.fsync_latency.observe_duration(t0.elapsed());
@@ -646,23 +678,31 @@ impl Wal {
         };
         let in_flight = Arc::clone(&self.sync_in_flight);
         let failed = Arc::clone(&self.sync_failed);
+        let fsyncs = Arc::clone(&self.fsyncs);
         let telemetry = self.options.telemetry.clone();
         let spawned =
             std::thread::Builder::new().name("ausdb-wal-sync".to_string()).spawn(move || {
                 let t0 = Instant::now();
-                if file.sync_data().is_err() {
-                    failed.store(true, Ordering::Release);
-                }
-                if let Some(t) = telemetry {
-                    t.fsyncs.inc();
-                    t.fsync_latency.observe_duration(t0.elapsed());
+                // Counters move only on completion: a dispatched-but-
+                // unfinished (or failed) fdatasync made nothing durable.
+                match file.sync_data() {
+                    Ok(()) => {
+                        fsyncs.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = telemetry {
+                            t.fsyncs.inc();
+                            t.fsync_latency.observe_duration(t0.elapsed());
+                        }
+                    }
+                    Err(_) => failed.store(true, Ordering::Release),
                 }
                 in_flight.store(false, Ordering::Release);
             });
         match spawned {
             Ok(_) => {
+                // The dispatched bytes stay accounted as unsynced (via
+                // `bg_dispatched`) until the thread confirms the sync.
+                self.bg_dispatched = self.unsynced;
                 self.unsynced = 0;
-                self.fsyncs += 1;
                 Ok(())
             }
             Err(e) => {
@@ -773,12 +813,17 @@ impl Wal {
 
     /// Current log shape.
     pub fn stats(&self) -> WalStats {
+        // Dispatched bytes count as unsynced until the background
+        // fdatasync completes (observed as `sync_in_flight` clearing).
+        let in_flight =
+            if self.sync_in_flight.load(Ordering::Acquire) { self.bg_dispatched } else { 0 };
         WalStats {
             segments: self.sealed.len() + 1,
             bytes: self.sealed.iter().map(|s| s.bytes).sum::<u64>() + self.active_len,
             last_seq: self.last_seq(),
             first_seq: self.first_available_seq(),
-            fsyncs: self.fsyncs,
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            unsynced: self.unsynced + in_flight,
         }
     }
 
@@ -791,11 +836,15 @@ impl Wal {
     }
 }
 
-/// Creates a fresh segment file with its header written.
+/// Creates a fresh segment file with its header written and synced —
+/// segment creation is rare (open/seal/reset), and an unsynced header
+/// is a file a power cut can leave empty or partial, which the next
+/// open would have to special-case as a torn creation.
 fn create_segment(dir: &Path, first_seq: u64) -> io::Result<(PathBuf, File)> {
     let path = dir.join(segment_file_name(first_seq));
     let mut file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
     write_segment_header(&mut file, first_seq)?;
+    file.sync_data()?;
     Ok((path, file))
 }
 
@@ -977,6 +1026,55 @@ mod tests {
         // A gap is rejected.
         let gap = WalRecord { seq: 45, stream: "s".into(), rows: vec![] };
         assert!(wal.append_at(&gap).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_segment_header_is_discarded_on_open() {
+        let dir = tmpdir("torn_header");
+        {
+            let mut wal = Wal::open(&dir, small_options()).unwrap();
+            for i in 1..=6u64 {
+                wal.append("s", &[(1, i, i as f64)]).unwrap();
+            }
+            wal.flush().unwrap();
+        }
+        // A crash between creating a fresh segment and its header landing
+        // leaves a zero-length or partial-header newest file; open must
+        // discard it and carry on, not refuse with InvalidData.
+        for (last, partial) in (6u64..).zip([&b""[..], &b"AU"[..], &b"AUSW\x02\x00"[..]]) {
+            let torn = dir.join(segment_file_name(100));
+            std::fs::write(&torn, partial).unwrap();
+            let mut wal = Wal::open(&dir, small_options()).unwrap();
+            assert!(!torn.exists(), "torn segment must be removed");
+            assert_eq!(wal.last_seq(), last, "records before the torn creation survive");
+            assert_eq!(wal.read_from(0, usize::MAX).unwrap().len(), last as usize);
+            assert_eq!(wal.append("s", &[(1, last + 1, 1.0)]).unwrap(), last + 1);
+            wal.flush().unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsyncs_and_unsynced_count_completions_not_dispatches() {
+        let dir = tmpdir("accounting");
+        // Batch policy with a huge threshold: appends never trigger a
+        // sync, so only the explicit flush moves the counters.
+        let options = WalOptions {
+            policy: FsyncPolicy::Batch,
+            segment_bytes: 1 << 20,
+            batch_bytes: 1 << 20,
+            telemetry: None,
+        };
+        let mut wal = Wal::open(&dir, options).unwrap();
+        assert_eq!(wal.stats().unsynced, 0);
+        wal.append("s", &[(1, 1, 1.0)]).unwrap();
+        let mid = wal.stats();
+        assert!(mid.unsynced > 0, "appended bytes are unsynced until a sync completes");
+        wal.flush().unwrap();
+        let after = wal.stats();
+        assert_eq!(after.unsynced, 0);
+        assert_eq!(after.fsyncs, mid.fsyncs + 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

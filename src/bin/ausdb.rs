@@ -64,7 +64,7 @@ fn print_usage() {
     eprintln!("          --wal-dir logs every accepted batch before apply and replays it");
     eprintln!("          after a crash (AUSDB_FSYNC=always|batch|never sets the sync policy);");
     eprintln!("          --replicate-from starts a read-only follower of that primary");
-    eprintln!("          (requires --wal-dir; send PROMOTE to make it writable);");
+    eprintln!("          (requires --wal-dir and --snapshot-path; PROMOTE makes it writable);");
     eprintln!("          --metrics dumps the final Prometheus exposition on shutdown;");
     eprintln!("          --http-addr serves the same exposition at GET /metrics;");
     eprintln!("          --trace-json writes queued query spans as Chrome trace JSON on exit");
