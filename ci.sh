@@ -39,4 +39,7 @@ bash scripts/pr6_bench
 echo "== pr8 bench: WAL durability (fsync policies, recovery, replication) =="
 bash scripts/pr8_bench
 
+echo "== pr9 bench: observability overhead (lag telemetry + SLO watchdog) =="
+bash scripts/pr9_bench
+
 echo "CI OK"

@@ -1,0 +1,197 @@
+//! Liveness/readiness probe aggregation.
+//!
+//! A [`HealthRegistry`] holds named probes — closures returning
+//! `Ok(detail)` or `Err(reason)` — tagged as [`ProbeKind::Liveness`]
+//! ("is the process alive and serving") or [`ProbeKind::Readiness`]
+//! ("is it safe to send traffic here", e.g. a follower that finished
+//! its snapshot bootstrap). Evaluating the registry yields a
+//! [`HealthReport`] that renders as JSON for the HTTP `/healthz` and
+//! `/readyz` endpoints.
+//!
+//! The split follows the usual orchestration contract:
+//!
+//! * **liveness** evaluates only liveness probes — failing it means the
+//!   process should be restarted;
+//! * **readiness** evaluates *all* probes — a live-but-bootstrapping
+//!   replica is unready (503) without being unhealthy.
+//!
+//! Probes are observational: evaluating them must not mutate engine
+//! state, touch an RNG, or otherwise influence query results.
+
+use std::sync::Mutex;
+
+use crate::span::json_escape;
+
+/// Which endpoint(s) a probe participates in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Counts toward `/healthz` (and, like all probes, `/readyz`).
+    Liveness,
+    /// Counts toward `/readyz` only.
+    Readiness,
+}
+
+/// One evaluated probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// The probe's registered name.
+    pub name: String,
+    /// Whether the probe passed.
+    pub ok: bool,
+    /// `Ok` detail or `Err` reason from the check closure.
+    pub detail: String,
+}
+
+/// An evaluated set of probes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// True iff every evaluated probe passed.
+    pub healthy: bool,
+    /// Per-probe outcomes, in registration order.
+    pub probes: Vec<ProbeResult>,
+}
+
+impl HealthReport {
+    /// Renders the report as one JSON object:
+    /// `{"status":"ok","probes":[{"name":...,"ok":true,"detail":...},…]}`
+    /// with `status` `"ok"` or `"unavailable"`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"status\":\"");
+        out.push_str(if self.healthy { "ok" } else { "unavailable" });
+        out.push_str("\",\"probes\":[");
+        for (i, probe) in self.probes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ok\":{},\"detail\":\"{}\"}}",
+                json_escape(&probe.name),
+                probe.ok,
+                json_escape(&probe.detail)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+type Check = Box<dyn Fn() -> Result<String, String> + Send + Sync>;
+
+struct Probe {
+    name: String,
+    kind: ProbeKind,
+    check: Check,
+}
+
+/// A registry of named health probes. See the module docs.
+#[derive(Default)]
+pub struct HealthRegistry {
+    probes: Mutex<Vec<Probe>>,
+}
+
+impl HealthRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a probe. `check` returns `Ok(detail)` when passing or
+    /// `Err(reason)` when failing; it runs on every evaluation and must
+    /// be cheap and side-effect free.
+    pub fn register(
+        &self,
+        name: &str,
+        kind: ProbeKind,
+        check: impl Fn() -> Result<String, String> + Send + Sync + 'static,
+    ) {
+        let mut probes = self.probes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        probes.push(Probe { name: name.to_string(), kind, check: Box::new(check) });
+    }
+
+    fn evaluate(&self, include: impl Fn(ProbeKind) -> bool) -> HealthReport {
+        let probes = self.probes.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut results = Vec::new();
+        for probe in probes.iter().filter(|p| include(p.kind)) {
+            let (ok, detail) = match (probe.check)() {
+                Ok(detail) => (true, detail),
+                Err(reason) => (false, reason),
+            };
+            results.push(ProbeResult { name: probe.name.clone(), ok, detail });
+        }
+        HealthReport { healthy: results.iter().all(|r| r.ok), probes: results }
+    }
+
+    /// Evaluates liveness probes only (the `/healthz` contract).
+    pub fn liveness(&self) -> HealthReport {
+        self.evaluate(|kind| kind == ProbeKind::Liveness)
+    }
+
+    /// Evaluates every probe (the `/readyz` contract).
+    pub fn readiness(&self) -> HealthReport {
+        self.evaluate(|_| true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn empty_registry_is_healthy() {
+        let reg = HealthRegistry::new();
+        assert!(reg.liveness().healthy);
+        assert!(reg.readiness().healthy);
+        assert_eq!(reg.readiness().to_json(), "{\"status\":\"ok\",\"probes\":[]}");
+    }
+
+    #[test]
+    fn readiness_includes_liveness_but_not_vice_versa() {
+        let reg = HealthRegistry::new();
+        reg.register("process", ProbeKind::Liveness, || Ok("serving".to_string()));
+        reg.register("bootstrap", ProbeKind::Readiness, || Err("catching up".to_string()));
+        let live = reg.liveness();
+        assert!(live.healthy, "readiness failures do not kill liveness");
+        assert_eq!(live.probes.len(), 1);
+        let ready = reg.readiness();
+        assert!(!ready.healthy);
+        assert_eq!(ready.probes.len(), 2);
+        assert_eq!(ready.probes[1].detail, "catching up");
+    }
+
+    #[test]
+    fn probes_flip_with_shared_state() {
+        let reg = HealthRegistry::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let probe_flag = Arc::clone(&flag);
+        reg.register("bootstrap", ProbeKind::Readiness, move || {
+            if probe_flag.load(Ordering::Relaxed) {
+                Ok("caught up".to_string())
+            } else {
+                Err("bootstrapping".to_string())
+            }
+        });
+        assert!(!reg.readiness().healthy);
+        flag.store(true, Ordering::Relaxed);
+        assert!(reg.readiness().healthy);
+    }
+
+    #[test]
+    fn report_renders_escaped_json() {
+        let report = HealthReport {
+            healthy: false,
+            probes: vec![ProbeResult {
+                name: "wal".to_string(),
+                ok: false,
+                detail: "path \"x\" bad".to_string(),
+            }],
+        };
+        assert_eq!(
+            report.to_json(),
+            "{\"status\":\"unavailable\",\"probes\":[{\"name\":\"wal\",\"ok\":false,\
+             \"detail\":\"path \\\"x\\\" bad\"}]}"
+        );
+    }
+}

@@ -12,11 +12,22 @@
 //! [`crate::enabled`] is off. Entries never contain newlines (messages
 //! are sanitized), so one entry is always one protocol line when drained
 //! over the wire (`TRACE <n>`).
+//!
+//! Because the ring is a flight recorder, evictions are normal — but
+//! they should never be *silent*. [`Journal::dropped`] counts entries
+//! that fell off the ring, and the optional structured sink
+//! (`AUSDB_LOG_JSON=stderr|<path>`) mirrors every recorded entry as one
+//! JSON object per line for log shippers, so nothing is lost even when
+//! the ring wraps.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::fs::File;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+use crate::span::json_escape;
 
 /// Entry severity, most severe first. Filtering keeps entries with
 /// `level <= max_level` (e.g. `Info` keeps `Error`/`Warn`/`Info`).
@@ -98,6 +109,44 @@ impl std::fmt::Display for Entry {
     }
 }
 
+impl Entry {
+    /// Renders the entry as one JSON object (no trailing newline), the
+    /// line format of the `AUSDB_LOG_JSON` structured sink.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"micros\":{},\"level\":\"{}\",\"span\":\"{}\",\"message\":\"{}\"}}",
+            self.seq,
+            self.micros,
+            self.level.name(),
+            json_escape(self.span),
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Where the structured JSON log sink writes, if anywhere.
+enum JsonSink {
+    Stderr,
+    File(Mutex<File>),
+}
+
+impl JsonSink {
+    /// Best-effort write of one line; sink errors never disturb the
+    /// recording path.
+    fn write_line(&self, line: &str) {
+        match self {
+            JsonSink::Stderr => {
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+            }
+            JsonSink::File(file) => {
+                let mut file = file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let _ = writeln!(file, "{line}");
+            }
+        }
+    }
+}
+
 struct Inner {
     entries: VecDeque<Entry>,
     next_seq: u64,
@@ -108,6 +157,8 @@ pub struct Journal {
     capacity: usize,
     epoch: Instant,
     max_level: AtomicU8,
+    dropped: AtomicU64,
+    json_sink: Option<JsonSink>,
     inner: Mutex<Inner>,
 }
 
@@ -118,8 +169,28 @@ impl Journal {
             capacity: capacity.max(1),
             epoch: Instant::now(),
             max_level: AtomicU8::new(max.rank()),
+            dropped: AtomicU64::new(0),
+            json_sink: None,
             inner: Mutex::new(Inner { entries: VecDeque::new(), next_seq: 1 }),
         }
+    }
+
+    /// Attaches the structured JSON sink: `"stderr"` mirrors entries to
+    /// stderr, any other value is treated as a file path opened in
+    /// append mode. An unopenable path warns on stderr and leaves the
+    /// sink off (recording must never fail because logging does).
+    pub fn with_json_target(mut self, target: &str) -> Self {
+        self.json_sink = match target {
+            "stderr" => Some(JsonSink::Stderr),
+            path => match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                Ok(file) => Some(JsonSink::File(Mutex::new(file))),
+                Err(err) => {
+                    eprintln!("warning: AUSDB_LOG_JSON: cannot open '{path}': {err}");
+                    None
+                }
+            },
+        };
+        self
     }
 
     /// The configured severity cutoff.
@@ -146,12 +217,22 @@ impl Journal {
         let micros = self.epoch.elapsed().as_micros() as u64;
         let message = message().replace(['\n', '\r'], " ");
         let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        let seq = inner.next_seq;
+        let entry = Entry { seq: inner.next_seq, micros, level, span, message };
         inner.next_seq += 1;
         if inner.entries.len() == self.capacity {
             inner.entries.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        inner.entries.push_back(Entry { seq, micros, level, span, message });
+        if let Some(sink) = &self.json_sink {
+            sink.write_line(&entry.to_json());
+        }
+        inner.entries.push_back(entry);
+    }
+
+    /// How many entries have fallen off the ring since creation. Gaps in
+    /// `TRACE` output are expected once this is nonzero.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// The last `n` entries, oldest first.
@@ -172,10 +253,17 @@ impl Journal {
 }
 
 /// The process-wide journal: capacity from `AUSDB_TRACE_CAP` (default
-/// 512), severity from `AUSDB_LOG`.
+/// 512), severity from `AUSDB_LOG`, structured sink from
+/// `AUSDB_LOG_JSON` (unset ⇒ no sink).
 pub fn global() -> &'static Journal {
     static GLOBAL: OnceLock<Journal> = OnceLock::new();
-    GLOBAL.get_or_init(|| Journal::new(crate::knobs::trace_cap(), crate::knobs::log_level()))
+    GLOBAL.get_or_init(|| {
+        let journal = Journal::new(crate::knobs::trace_cap(), crate::knobs::log_level());
+        match crate::knobs::log_json() {
+            Some(target) => journal.with_json_target(&target),
+            None => journal,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -243,6 +331,67 @@ mod tests {
         assert!(!line.contains('\n') && !line.contains('\r'), "{line}");
         assert!(line.starts_with(&format!("#{} +", e.seq)), "{line}");
         assert!(line.contains(" info query: evil multi line"), "{line}");
+    }
+
+    #[test]
+    fn dropped_counts_ring_evictions() {
+        let _guard = crate::test_flag_guard();
+        crate::set_enabled(true);
+        let j = Journal::new(2, Level::Trace);
+        assert_eq!(j.dropped(), 0);
+        for i in 0..5 {
+            j.record(Level::Info, "t", || format!("msg {i}"));
+        }
+        assert_eq!(j.dropped(), 3, "5 recorded into a 2-slot ring drops 3");
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn entry_renders_as_escaped_json() {
+        let _guard = crate::test_flag_guard();
+        crate::set_enabled(true);
+        let j = Journal::new(2, Level::Info);
+        j.record(Level::Warn, "slo", || "width=\"0.5\" \\ over".to_string());
+        let e = &j.last(1)[0];
+        assert_eq!(
+            e.to_json(),
+            format!(
+                "{{\"seq\":1,\"micros\":{},\"level\":\"warn\",\"span\":\"slo\",\
+                 \"message\":\"width=\\\"0.5\\\" \\\\ over\"}}",
+                e.micros
+            )
+        );
+    }
+
+    #[test]
+    fn json_file_sink_appends_one_object_per_line() {
+        let _guard = crate::test_flag_guard();
+        crate::set_enabled(true);
+        let path = std::env::temp_dir().join(format!("ausdb_jsonlog_{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let j = Journal::new(4, Level::Info).with_json_target(path.to_str().unwrap());
+        j.record(Level::Info, "a", || "first".to_string());
+        j.record(Level::Error, "b", || "second".to_string());
+        j.record(Level::Debug, "c", || "filtered — must not reach the sink".to_string());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"span\":\"a\"") && lines[0].contains("\"message\":\"first\""));
+        assert!(lines[1].contains("\"level\":\"error\""), "{}", lines[1]);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn unopenable_json_target_disables_the_sink() {
+        let _guard = crate::test_flag_guard();
+        crate::set_enabled(true);
+        let j = Journal::new(2, Level::Info)
+            .with_json_target("/nonexistent-dir-ausdb/notwritable.jsonl");
+        j.record(Level::Info, "t", || "still records".to_string());
+        assert_eq!(j.len(), 1, "a broken sink never blocks the ring");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `AUSDB_SLOW_QUERY_MS` | slow-query log threshold in ms        | off |
 //! | `AUSDB_SHARDS`    | key-sharded engine states in the server   | 1 |
 //! | `AUSDB_FSYNC`     | WAL sync policy (`always`/`batch`/`never`)| `batch` |
+//! | `AUSDB_LOG_JSON`  | structured JSON log sink (`stderr`/path)  | off |
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -125,6 +126,14 @@ pub fn slow_query_ms() -> Option<u64> {
 pub fn shards() -> usize {
     static KNOB: Knob = Knob::new("AUSDB_SHARDS");
     KNOB.from_env(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0), 1)
+}
+
+/// `AUSDB_LOG_JSON`: target of the structured JSON log sink mirroring
+/// every journal entry as one JSON object per line — `stderr`, or a file
+/// path opened in append mode. Unset or empty ⇒ `None` (sink off). Read
+/// once at global-journal creation.
+pub fn log_json() -> Option<String> {
+    std::env::var("AUSDB_LOG_JSON").ok().filter(|v| !v.trim().is_empty())
 }
 
 /// `AUSDB_TELEMETRY`: the initial value of the [`crate::enabled`] master

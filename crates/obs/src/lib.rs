@@ -16,6 +16,8 @@
 //! * [`span`] — hierarchical per-query [`span::Tracer`] spans with typed
 //!   accuracy attributes, a bounded finished-trace ring, and a Chrome
 //!   trace-event JSON exporter.
+//! * [`health`] — liveness/readiness probe aggregation behind the
+//!   server's `/healthz` + `/readyz` endpoints.
 //!
 //! ## The enable toggle and determinism
 //!
@@ -35,12 +37,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub mod health;
 pub mod hist;
 pub mod journal;
 pub mod knobs;
 pub mod metrics;
 pub mod span;
 
+pub use health::{HealthRegistry, HealthReport, ProbeKind, ProbeResult};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use journal::{Journal, Level};
 pub use metrics::{Counter, Gauge, Registry};

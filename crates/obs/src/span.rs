@@ -365,7 +365,7 @@ pub fn chrome_trace_json(traces: &[Trace]) -> String {
 }
 
 /// Escapes a string for a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -10,8 +10,8 @@
 //!
 //! * [`protocol`] — the line-oriented text protocol (`INGEST`, `INGESTB`,
 //!   `QUERY`, `SUBSCRIBE`, `STATS`, `METRICS`, `TRACE`, `TRACEX`,
-//!   `SNAPSHOT`, `RESTORE`, `WALSTAT`, `REPLICATE`, `PROMOTE`, `HELP`,
-//!   `SHUTDOWN`, `PING`). `INGESTB` is the binary batch-ingest frame: a
+//!   `SNAPSHOT`, `RESTORE`, `WALSTAT`, `REPLICATE`, `PROMOTE`, `HEALTH`,
+//!   `SLO`, `HELP`, `SHUTDOWN`, `PING`). `INGESTB` is the binary batch-ingest frame: a
 //!   length-prefixed `AUSB` envelope carrying up to 2²⁰ `(key, ts, value)`
 //!   rows, CRC-checked, answered by one `OK` line per frame instead of
 //!   one per row.
@@ -51,8 +51,16 @@
 //! registry — and `TRACE <n>` drains the bounded trace journal
 //! (`AUSDB_LOG` sets its severity cutoff). The same exposition is
 //! additionally scrape-able over plain HTTP (`GET /metrics`) when
-//! [`server::ServerConfig::http_addr`] is set, and `TRACEX` exports the
-//! span trees of recently traced queries as Chrome trace-event JSON.
+//! [`server::ServerConfig::http_addr`] is set — which also serves
+//! liveness/readiness probes at `GET /healthz` / `GET /readyz` (a
+//! bootstrapping follower answers `503` until its first applied
+//! replication reply) — and `TRACEX` exports the span trees of recently
+//! traced queries as Chrome trace-event JSON. `HEALTH` reports the same
+//! probe state plus per-stream watermarks over the line protocol, and
+//! `SLO SET <query-id> <max-ci-width>` arms an accuracy-SLO watchdog on
+//! a subscription: every window close whose widest confidence interval
+//! exceeds the target pushes an `ACCURACY` notice to the subscriber and
+//! bumps `ausdb_accuracy_slo_violations_total` (DESIGN.md §10).
 //! `QUERY` accepts `EXPLAIN` / `EXPLAIN ANALYZE` statements, answering
 //! with `PLAN` lines instead of rows.
 //!

@@ -18,6 +18,9 @@
 //!            | WALSTAT
 //!            | REPLICATE <from_seq>
 //!            | PROMOTE
+//!            | HEALTH
+//!            | SLO SET <query-id> <max-ci-width>
+//!            | SLO LIST
 //!            | HELP
 //!            | SHUTDOWN
 //!            | PING
@@ -86,6 +89,21 @@ pub enum Request {
     Replicate(u64),
     /// `PROMOTE` — turn a read-only follower into a writable primary.
     Promote,
+    /// `HEALTH` — role, readiness, uptime, per-stream watermark age, WAL
+    /// unsynced count, follower apply lag, subscriber backlog high-water.
+    Health,
+    /// `SLO SET <query-id> <max-ci-width>` — register an accuracy SLO on
+    /// a standing query: every window-close evaluation whose widest CI
+    /// exceeds the target counts a violation and pushes an `ACCURACY`
+    /// notice on the subscriber channel.
+    SloSet {
+        /// The standing query (subscription) id the target applies to.
+        id: u64,
+        /// Maximum acceptable CI width.
+        width: f64,
+    },
+    /// `SLO LIST` — one line per registered accuracy SLO.
+    SloList,
     /// `SHUTDOWN` — gracefully stop the server.
     Shutdown,
     /// `PING` — liveness check.
@@ -169,6 +187,38 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .map_err(|_| format!("bad replication start sequence '{rest}'"))
         }
         "PROMOTE" => bare(Request::Promote),
+        "HEALTH" => bare(Request::Health),
+        "SLO" => {
+            need("SLO")?;
+            let (sub, args) = match rest.split_once(char::is_whitespace) {
+                Some((s, a)) => (s, a.trim()),
+                None => (rest, ""),
+            };
+            match sub.to_ascii_uppercase().as_str() {
+                "SET" => {
+                    let (id, width) = args
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| "SLO SET expects <query-id> <max-ci-width>".to_string())?;
+                    let id = id
+                        .trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad query id '{}'", id.trim()))?;
+                    let width = width
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad CI width '{}'", width.trim()))?;
+                    Ok(Request::SloSet { id, width })
+                }
+                "LIST" => {
+                    if args.is_empty() {
+                        Ok(Request::SloList)
+                    } else {
+                        Err("SLO LIST takes no arguments".to_string())
+                    }
+                }
+                other => Err(format!("unknown SLO subcommand '{other}' (try SET or LIST)")),
+            }
+        }
         "HELP" => bare(Request::Help),
         "SHUTDOWN" => bare(Request::Shutdown),
         "PING" => bare(Request::Ping),
@@ -176,7 +226,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         other => Err(format!(
             "unknown command '{other}' (try HELP, or: INGEST, INGESTB, QUERY, SUBSCRIBE, \
              UNSUBSCRIBE, STATS, METRICS, TRACE, TRACEX, SNAPSHOT, RESTORE, WALSTAT, REPLICATE, \
-             PROMOTE, HELP, PING, SHUTDOWN)"
+             PROMOTE, HEALTH, SLO, HELP, PING, SHUTDOWN)"
         )),
     }
 }
@@ -199,6 +249,8 @@ pub fn help_lines() -> &'static [&'static str] {
         "WALSTAT — durability status: role, WAL segments/bytes/unsynced/seqs, fsync policy, lag",
         "REPLICATE <from_seq> — stream snapshot + WAL records after from_seq (follower catch-up)",
         "PROMOTE — turn a read-only follower into a writable primary",
+        "HEALTH — role, readiness, uptime, per-stream watermark age, WAL/replication lag, backlog",
+        "SLO SET <query-id> <max-ci-width> | SLO LIST — accuracy-SLO watchdog on standing queries",
         "HELP — this listing",
         "PING — liveness check",
         "SHUTDOWN — gracefully stop the server",
@@ -240,6 +292,12 @@ mod tests {
         assert_eq!(parse_request("REPLICATE 0"), Ok(Request::Replicate(0)));
         assert_eq!(parse_request("replicate 1234"), Ok(Request::Replicate(1234)));
         assert_eq!(parse_request("PROMOTE"), Ok(Request::Promote));
+        assert_eq!(parse_request("HEALTH"), Ok(Request::Health));
+        assert_eq!(parse_request("health"), Ok(Request::Health));
+        assert_eq!(parse_request("SLO SET 3 0.05"), Ok(Request::SloSet { id: 3, width: 0.05 }));
+        assert_eq!(parse_request("slo set 12 1e-3"), Ok(Request::SloSet { id: 12, width: 1e-3 }));
+        assert_eq!(parse_request("SLO LIST"), Ok(Request::SloList));
+        assert_eq!(parse_request("slo list"), Ok(Request::SloList));
         assert_eq!(parse_request("help"), Ok(Request::Help));
         assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
         assert_eq!(parse_request("PING"), Ok(Request::Ping));
@@ -264,12 +322,19 @@ mod tests {
             "WALSTAT",
             "REPLICATE",
             "PROMOTE",
+            "HEALTH",
+            "SLO",
             "HELP",
             "PING",
             "SHUTDOWN",
         ];
         let lines = help_lines();
         assert_eq!(lines.len(), verbs.len());
+        // The unknown-command hint must name every verb as well.
+        let hint = parse_request("FROBNICATE").unwrap_err();
+        for verb in verbs {
+            assert!(hint.contains(verb), "unknown-command hint omits {verb}");
+        }
         for verb in verbs {
             assert_eq!(
                 lines.iter().filter(|l| l.split([' ', '\u{a0}']).next() == Some(verb)).count(),
@@ -301,6 +366,14 @@ mod tests {
         assert!(parse_request("REPLICATE notanumber").is_err());
         assert!(parse_request("REPLICATE -1").is_err());
         assert!(parse_request("PROMOTE now").is_err());
+        assert!(parse_request("HEALTH now").is_err());
+        assert!(parse_request("SLO").is_err());
+        assert!(parse_request("SLO SET").is_err());
+        assert!(parse_request("SLO SET 1").is_err());
+        assert!(parse_request("SLO SET x 0.1").is_err());
+        assert!(parse_request("SLO SET 1 notanumber").is_err());
+        assert!(parse_request("SLO LIST extra").is_err());
+        assert!(parse_request("SLO FROB").is_err());
         assert!(parse_request("HELP me").is_err());
         assert!(parse_request("PING pong").is_err());
     }

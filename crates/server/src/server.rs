@@ -27,11 +27,11 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ausdb_learn::learner::RawObservation;
 use ausdb_model::codec::{decode_ingest_frame, decode_snapshot, encode_snapshot};
-use ausdb_obs::{journal, Gauge, Level, Registry};
+use ausdb_obs::{journal, Counter, Gauge, HealthRegistry, Level, ProbeKind, Registry};
 use ausdb_wal::{Wal, WalOptions, WalTelemetry};
 
 use crate::protocol::{help_lines, parse_request, Request};
@@ -116,6 +116,17 @@ struct Shared {
     /// `ausdb_replication_lag_records`: how many WAL records this
     /// follower is behind its primary (0 on a primary).
     repl_lag: Arc<Gauge>,
+    /// When the server finished recovery and started accepting.
+    started: Instant,
+    /// Readiness: true on a primary from startup, on a follower once the
+    /// first replication reply (snapshot bootstrap + records) is fully
+    /// applied. Drives `/readyz` and the `HEALTH` `ready=` field.
+    ready: Arc<AtomicBool>,
+    /// Liveness/readiness probes behind `/healthz` + `/readyz`.
+    health: HealthRegistry,
+    /// `ausdb_journal_dropped_total`, synced from the journal's ring
+    /// eviction count whenever metrics render.
+    journal_dropped: Arc<Counter>,
 }
 
 /// Locks the WAL mutex, recovering from poisoning.
@@ -154,6 +165,27 @@ impl Server {
             "WAL records this follower is behind its primary (0 on a primary)",
             &[],
         );
+        let journal_dropped = srv_registry.counter(
+            "ausdb_journal_dropped_total",
+            "Journal ring entries overwritten before being drained",
+            &[],
+        );
+        // A primary is ready as soon as recovery completes (below); a
+        // follower stays unready until its replication thread has fully
+        // applied the first reply from the primary (snapshot bootstrap
+        // included), so load balancers never route reads to a replica
+        // that is still empty.
+        let ready = Arc::new(AtomicBool::new(false));
+        let health = HealthRegistry::new();
+        health.register("process", ProbeKind::Liveness, || Ok("serving".to_string()));
+        let probe_ready = Arc::clone(&ready);
+        health.register("bootstrap", ProbeKind::Readiness, move || {
+            if probe_ready.load(Ordering::SeqCst) {
+                Ok("bootstrapped".to_string())
+            } else {
+                Err("bootstrapping (no replication reply applied yet)".to_string())
+            }
+        });
         let mut restored_streams = 0;
         let mut watermark = 0u64;
         if let Some(path) = &config.snapshot_path {
@@ -242,6 +274,9 @@ impl Server {
             Some(l) => Some(l.local_addr()?),
             None => None,
         };
+        if config.replicate_from.is_none() {
+            ready.store(true, Ordering::SeqCst);
+        }
         let shared = Arc::new(Shared {
             state,
             shutdown: AtomicBool::new(false),
@@ -254,6 +289,10 @@ impl Server {
             http_addr,
             srv_registry,
             repl_lag,
+            started: Instant::now(),
+            ready,
+            health,
+            journal_dropped,
         });
         if let Some(primary) = config.replicate_from {
             let repl_shared = Arc::clone(&shared);
@@ -319,7 +358,7 @@ impl ServerHandle {
     /// return, minus the `END` terminator. Used by `ausdb serve --metrics`
     /// to dump final metrics on shutdown.
     pub fn metrics_text(&self) -> String {
-        self.shared.state.metrics_text_with(&[&self.shared.srv_registry])
+        metrics_body(&self.shared)
     }
 
     /// Requests shutdown: sets the flag and wakes the blocking acceptor.
@@ -676,13 +715,26 @@ fn handle_request(
             Reply { lines, close: false }
         }
         Request::Metrics => {
-            let text = shared.state.metrics_text_with(&[&shared.srv_registry]);
+            let text = metrics_body(shared);
             let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
             lines.push("END".to_string());
             Reply { lines, close: false }
         }
         Request::WalStat => Reply::one(walstat_line(shared)),
+        Request::Health => Reply { lines: health_lines(shared), close: false },
+        Request::SloSet { id, width } => match shared.state.set_slo(id, width) {
+            Ok(()) => Reply::one(format!("OK SLO {id} target={width}")),
+            Err(e) => Reply::err(format!("slo: {e}")),
+        },
+        Request::SloList => {
+            let mut lines = shared.state.slo_lines();
+            lines.push(format!("END {}", lines.len()));
+            Reply { lines, close: false }
+        }
         Request::Promote => {
+            // A promoted follower serves as primary from here on, so it
+            // is ready by definition even if it never finished bootstrap.
+            shared.ready.store(true, Ordering::SeqCst);
             if shared.follower.swap(false, Ordering::SeqCst) {
                 shared.repl_lag.set(0.0);
                 Reply::one("OK PROMOTED primary (replication stopped, writes accepted)")
@@ -692,7 +744,9 @@ fn handle_request(
         }
         Request::Trace(n) => {
             let entries = ausdb_obs::journal::global().last(n);
-            let mut lines: Vec<String> = entries.iter().map(render_trace_entry).collect();
+            let mut lines =
+                vec![format!("TRACE dropped={}", ausdb_obs::journal::global().dropped())];
+            lines.extend(entries.iter().map(render_trace_entry));
             lines.push(format!("END {}", entries.len()));
             Reply { lines, close: false }
         }
@@ -773,6 +827,53 @@ fn walstat_line(shared: &Shared) -> String {
             )
         }
     }
+}
+
+/// The multi-line `HEALTH` reply: a summary line (role, readiness,
+/// uptime, WAL/replication/backlog state), one `STREAM` line per stream
+/// with its event-time watermark, ingest age, and open-window buffer,
+/// then `END <streams>`. The reply deliberately does not start with
+/// `OK` — it is a report, not an acknowledgement.
+fn health_lines(shared: &Shared) -> Vec<String> {
+    let role = if shared.follower.load(Ordering::SeqCst) { "follower" } else { "primary" };
+    let ready = shared.ready.load(Ordering::SeqCst);
+    let (wal, unsynced) = match shared.state.wal() {
+        None => ("off", 0),
+        Some(wal) => ("on", lock_wal(wal).stats().unsynced),
+    };
+    let streams = shared.state.stream_health();
+    let mut lines = vec![format!(
+        "HEALTH role={role} ready={ready} uptime_us={} wal={wal} unsynced={unsynced} \
+         repl_lag={} backlog_highwater={} streams={} subscribers={}",
+        shared.started.elapsed().as_micros(),
+        shared.repl_lag.get() as u64,
+        shared.state.backlog_highwater(),
+        streams.len(),
+        shared.state.subscriber_count(),
+    )];
+    let count = streams.len();
+    for sh in streams {
+        let watermark = sh.watermark.map_or_else(|| "-".to_string(), |w| w.to_string());
+        let age = sh.age_us.map_or_else(|| "-".to_string(), |a| a.to_string());
+        lines.push(format!(
+            "STREAM {} watermark={watermark} age_us={age} buffered={}",
+            sh.name, sh.buffered
+        ));
+    }
+    lines.push(format!("END {count}"));
+    lines
+}
+
+/// Renders the merged metrics exposition, first syncing the journal's
+/// ring-eviction count into `ausdb_journal_dropped_total` (the journal
+/// counts internally; the metric catches up at scrape time).
+fn metrics_body(shared: &Shared) -> String {
+    let dropped = journal::global().dropped();
+    let counted = shared.journal_dropped.get();
+    if dropped > counted {
+        shared.journal_dropped.add(dropped - counted);
+    }
+    shared.state.metrics_text_with(&[&shared.srv_registry])
 }
 
 /// Builds one `REPLICATE` catch-up chunk for a follower at `from_seq`:
@@ -879,6 +980,10 @@ fn follow(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
         }
         let local_last = lock_wal(wal).last_seq();
         shared.repl_lag.set(reply.primary_last.saturating_sub(local_last) as f64);
+        // One reply fully applied (snapshot bootstrap included): this
+        // replica now serves a consistent — if possibly lagging — view,
+        // so it is ready for read traffic.
+        shared.ready.store(true, Ordering::SeqCst);
         if reply.caught_up() {
             std::thread::sleep(shared.tick);
         }
@@ -893,12 +998,21 @@ fn follow(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
 /// anything bigger is either broken or hostile.
 const MAX_HTTP_HEAD_BYTES: usize = 8 * 1024;
 
-/// Minimal std-only HTTP/1.1 responder: `GET /metrics` answers with the
-/// same exposition body as the `METRICS` protocol command (minus the
-/// `END` terminator), so Prometheus and the line protocol can never
-/// disagree. Every response closes the connection — scrapers reconnect
-/// per scrape, which keeps this loop single-threaded and unpollable
-/// state out of the server.
+/// `Content-Type` for the Prometheus text exposition.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Minimal std-only HTTP/1.1 responder serving three endpoints:
+///
+/// * `GET /metrics` — the same exposition body as the `METRICS` protocol
+///   command (minus the `END` terminator), so Prometheus and the line
+///   protocol can never disagree;
+/// * `GET /healthz` — liveness probes as JSON (200 while serving);
+/// * `GET /readyz` — every probe as JSON; 503 until a follower finishes
+///   its replication bootstrap, 200 after (and always 200 on a primary).
+///
+/// Every response closes the connection — scrapers reconnect per scrape,
+/// which keeps this loop single-threaded and unpollable state out of the
+/// server.
 fn http_loop(listener: TcpListener, shared: Arc<Shared>) {
     for incoming in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -911,16 +1025,31 @@ fn http_loop(listener: TcpListener, shared: Arc<Shared>) {
         let request_line = head.lines().next().unwrap_or("");
         let mut parts = request_line.split_whitespace();
         let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-        let (status, body) = if method == "GET" && (target == "/metrics" || target == "/metrics/") {
-            ("200 OK", shared.state.metrics_text_with(&[&shared.srv_registry]))
-        } else if method != "GET" {
-            ("405 Method Not Allowed", "only GET is supported\n".to_string())
+        let target = target.strip_suffix('/').filter(|t| !t.is_empty()).unwrap_or(target);
+        let (status, content_type, body) = if method != "GET" {
+            ("405 Method Not Allowed", "text/plain", "only GET is supported\n".to_string())
         } else {
-            ("404 Not Found", "try GET /metrics\n".to_string())
+            match target {
+                "/metrics" => ("200 OK", METRICS_CONTENT_TYPE, metrics_body(&shared)),
+                "/healthz" | "/readyz" => {
+                    let report = if target == "/healthz" {
+                        shared.health.liveness()
+                    } else {
+                        shared.health.readiness()
+                    };
+                    let status = if report.healthy { "200 OK" } else { "503 Service Unavailable" };
+                    (status, "application/json", report.to_json() + "\n")
+                }
+                _ => (
+                    "404 Not Found",
+                    "text/plain",
+                    "try GET /metrics, /healthz, or /readyz\n".to_string(),
+                ),
+            }
         };
         let response = format!(
-            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
             body.len()
         );
         let _ = stream.write_all(response.as_bytes());

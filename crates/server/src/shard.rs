@@ -52,18 +52,20 @@
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 use ausdb_learn::learner::{RawObservation, StreamLearner};
 use ausdb_model::codec::FrameRow;
 use ausdb_model::schema::Schema;
 use ausdb_model::tuple::Tuple;
 use ausdb_model::value::Value;
-use ausdb_obs::{Counter, Registry};
+use ausdb_obs::{Counter, Histogram, Registry};
 use ausdb_wal::{Wal, WalRecord};
 
 use crate::state::{
     align, decode_learner, encode_learner, normalize_stream_name, parse_observation, BatchOutcome,
-    Counters, EngineConfig, EngineState, IngestOutcome, QueryReply, ServerSnapshot, StreamSnapshot,
+    Counters, EngineConfig, EngineState, IngestOutcome, QueryReply, ServerSnapshot, StreamHealth,
+    StreamSnapshot,
 };
 use crate::subscriber::SubscriberQueue;
 
@@ -87,8 +89,35 @@ pub fn shard_of(key: i64, n: usize) -> usize {
 struct StreamMeta {
     /// Start of the currently open window; `None` until the first row.
     cursor: Option<u64>,
+    /// Event-time watermark (largest timestamp seen); observational only.
+    max_ts: Option<u64>,
+    /// Wall-clock of the last ingest call (telemetry-gated; `HEALTH` age).
+    last_ingest: Option<Instant>,
+    /// Wall-clock when the open window started accumulating rows
+    /// (telemetry-gated; observed into `ingest_to_close` at close).
+    opened_at: Option<Instant>,
     /// `ausdb_windows_emitted_total{stream=...}` handle in the core registry.
     windows: Arc<Counter>,
+    /// `ausdb_event_time_lag_seconds{stream=...}` handle in the core registry.
+    event_lag: Arc<Histogram>,
+    /// `ausdb_ingest_to_close_seconds{stream=...}` handle in the core registry.
+    ingest_to_close: Arc<Histogram>,
+}
+
+impl StreamMeta {
+    /// A fresh coordinator with its metric handles fetched from `core`.
+    fn new(cursor: Option<u64>, core: &EngineState, name: &str) -> Self {
+        let (event_lag, ingest_to_close) = core.lag_histograms(name);
+        Self {
+            cursor,
+            max_ts: None,
+            last_ingest: None,
+            opened_at: None,
+            windows: core.windows_counter(name),
+            event_lag,
+            ingest_to_close,
+        }
+    }
 }
 
 /// `N` key-sharded [`EngineState`]s presenting as one engine.
@@ -199,8 +228,7 @@ impl ShardSet {
         if let Some(meta) = map.get(name) {
             return Arc::clone(meta);
         }
-        let windows = lock(&self.core).windows_counter(name);
-        let meta = Arc::new(Mutex::new(StreamMeta { cursor: None, windows }));
+        let meta = Arc::new(Mutex::new(StreamMeta::new(None, &lock(&self.core), name)));
         map.insert(name.to_string(), Arc::clone(&meta));
         meta
     }
@@ -213,6 +241,7 @@ impl ShardSet {
             let mut g = lock(&self.shards[0]);
             self.wal_append(&name, std::slice::from_ref(&obs), WalMode::Log)?;
             let (_, windows_emitted) = g.ingest_observation(&name, obs)?;
+            g.note_ingest(&name);
             return Ok(IngestOutcome { windows_emitted });
         }
         let meta_arc = self.stream_meta(&name);
@@ -222,6 +251,11 @@ impl ShardSet {
         lock(&self.shards[shard_of(obs.key, self.nshards)]).observe_sharded(&name, obs, late);
         if meta.cursor.is_none() {
             meta.cursor = Some(align(obs.ts, self.config.learner.window_width));
+        }
+        meta.max_ts = Some(meta.max_ts.map_or(obs.ts, |m| m.max(obs.ts)));
+        meta.last_ingest = ausdb_obs::now_if_enabled();
+        if meta.opened_at.is_none() {
+            meta.opened_at = meta.last_ingest;
         }
         let windows_emitted = self.close_global(&name, &mut meta, obs.ts)?;
         Ok(IngestOutcome { windows_emitted })
@@ -283,6 +317,13 @@ impl ShardSet {
         let meta_arc = self.stream_meta(&name);
         let mut meta = lock(&meta_arc);
         self.wal_append(&name, rows, mode)?;
+        if let Some(batch_max) = rows.iter().map(|r| r.ts).max() {
+            meta.max_ts = Some(meta.max_ts.map_or(batch_max, |m| m.max(batch_max)));
+            meta.last_ingest = ausdb_obs::now_if_enabled();
+            if meta.opened_at.is_none() {
+                meta.opened_at = meta.last_ingest;
+            }
+        }
         let mut out = BatchOutcome::default();
         let mut by_shard: Vec<Vec<(RawObservation, bool)>> = vec![Vec::new(); self.nshards];
         let mut i = 0;
@@ -372,6 +413,18 @@ impl ShardSet {
                 Some(min_ts) if min_ts >= next => align(min_ts, width),
                 _ => next,
             });
+            // Lag telemetry, same two observations the unsharded close
+            // makes: watermark overrun in event time, first-buffered-row
+            // to close in wall time.
+            meta.event_lag.observe(through_ts.saturating_sub(next) as f64);
+            if let Some(t0) = meta.opened_at.take() {
+                meta.ingest_to_close.observe_duration(t0.elapsed());
+            }
+            if global_min.is_some() {
+                // Buffered rows (the closing one, at least) started
+                // accumulating the next window just now.
+                meta.opened_at = ausdb_obs::now_if_enabled();
+            }
             if !merged.is_empty() {
                 emitted += 1;
                 meta.windows.inc();
@@ -412,6 +465,50 @@ impl ShardSet {
             return lock(&self.shards[0]).subscriber_count();
         }
         lock(&self.core).subscriber_count()
+    }
+
+    /// Registers (or replaces) an accuracy SLO on standing query `id`.
+    pub fn set_slo(&self, id: u64, width: f64) -> Result<(), String> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).set_slo(id, width);
+        }
+        lock(&self.core).set_slo(id, width)
+    }
+
+    /// The `SLO LIST` payload.
+    pub fn slo_lines(&self) -> Vec<String> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).slo_lines();
+        }
+        lock(&self.core).slo_lines()
+    }
+
+    /// The highest total subscriber queue depth observed since start.
+    pub fn backlog_highwater(&self) -> u64 {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).backlog_highwater();
+        }
+        lock(&self.core).backlog_highwater()
+    }
+
+    /// Per-stream health snapshots (watermark, ingest age, buffered
+    /// rows) for the `HEALTH` verb, in stream-name order.
+    pub(crate) fn stream_health(&self) -> Vec<StreamHealth> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).stream_health();
+        }
+        self.meta_list()
+            .into_iter()
+            .map(|(name, meta_arc)| {
+                let (watermark, age_us) = {
+                    let meta = lock(&meta_arc);
+                    (meta.max_ts, meta.last_ingest.map(|t| t.elapsed().as_micros() as u64))
+                };
+                let buffered =
+                    self.shards.iter().map(|s| lock(s).buffered_len_for(&name)).sum::<usize>();
+                StreamHealth { name, watermark, age_us, buffered }
+            })
+            .collect()
     }
 
     /// Current counters, merged across shards.
@@ -639,11 +736,10 @@ impl ShardSet {
             if let Some((schema, tuples)) = registered {
                 core.register_stream_content(&name, schema, tuples);
             }
-            // Counter handles are re-fetched by name: a stream that existed
+            // Metric handles are re-fetched by name: a stream that existed
             // before the restore keeps its series in the core registry.
-            let windows = core.windows_counter(&name);
-            new_map
-                .insert(name, Arc::new(Mutex::new(StreamMeta { cursor: window_start, windows })));
+            let meta = StreamMeta::new(window_start, &core, &name);
+            new_map.insert(name, Arc::new(Mutex::new(meta)));
         }
         let n = new_map.len();
         *map = new_map;
@@ -799,6 +895,54 @@ mod tests {
                 panic!("SELECT returns rows");
             };
             assert!(!tuples.is_empty());
+        }
+    }
+
+    #[test]
+    fn slo_and_health_are_shard_count_invariant() {
+        ausdb_obs::set_enabled(true);
+        let mut queues = Vec::new();
+        let sets: Vec<ShardSet> = [1usize, 4]
+            .into_iter()
+            .map(|n| {
+                let set = ShardSet::new(config(n));
+                let (id, _, queue) = set.subscribe("SELECT * FROM traffic").unwrap();
+                set.set_slo(id, 1e-9).unwrap();
+                assert!(set.set_slo(id + 1, 0.5).is_err(), "unknown id rejected sharded too");
+                for row in rows() {
+                    set.ingest("traffic", &row).unwrap();
+                }
+                queues.push(queue);
+                set
+            })
+            .collect();
+        // The watchdog fires identically at any shard count: same
+        // subscriber byte stream (EVENT blocks + ACCURACY notices), same
+        // SLO LIST lines, same snapshot bytes.
+        let drained: Vec<Vec<String>> = queues.iter().map(|q| q.drain()).collect();
+        assert_eq!(drained[0], drained[1], "subscriber streams diverge across shard counts");
+        assert!(drained[0].iter().any(|l| l.starts_with("ACCURACY ")), "{:?}", drained[0]);
+        assert_eq!(sets[0].slo_lines(), sets[1].slo_lines());
+        assert!(sets[0].slo_lines()[0].contains("violations="), "{:?}", sets[0].slo_lines());
+        assert_eq!(snapshot_bytes(&sets[0].to_snapshot()), snapshot_bytes(&sets[1].to_snapshot()));
+        // Health: watermark and buffered counts agree (ages are wall
+        // clocks, so only their presence is comparable).
+        let healths: Vec<Vec<StreamHealth>> = sets.iter().map(|s| s.stream_health()).collect();
+        for h in &healths {
+            assert_eq!(h.len(), 1);
+            assert_eq!(h[0].name, "traffic");
+            assert!(h[0].age_us.is_some());
+        }
+        assert_eq!(healths[0][0].watermark, healths[1][0].watermark);
+        assert_eq!(healths[0][0].buffered, healths[1][0].buffered);
+        // The violation counter renders per query id in both layouts.
+        for set in &sets {
+            let text = set.metrics_text();
+            assert!(text.contains("ausdb_accuracy_slo_violations_total{query=\"1\"}"), "{text}");
+            assert!(
+                text.contains("ausdb_event_time_lag_seconds_count{stream=\"traffic\"}"),
+                "{text}"
+            );
         }
     }
 

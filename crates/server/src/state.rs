@@ -20,8 +20,10 @@
 //! Observations older than the current window are dropped at the next
 //! close (counted as `late_rows` in `STATS`).
 
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use ausdb_engine::obs::StatsReport;
 use ausdb_engine::query::Session;
@@ -71,6 +73,15 @@ struct StreamState {
     learner: StreamLearner,
     /// Start of the currently open window; `None` until the first row.
     window_start: Option<u64>,
+    /// Event-time watermark: the largest timestamp seen on the stream.
+    /// Observational only (never in snapshots or query results).
+    max_ts: Option<u64>,
+    /// Wall-clock of the last ingest call that touched the stream
+    /// (telemetry-gated; powers the `HEALTH` watermark age).
+    last_ingest: Option<Instant>,
+    /// Wall-clock when the currently open window started accumulating
+    /// rows (telemetry-gated; observed into `ingest_to_close` at close).
+    opened_at: Option<Instant>,
     /// Cached metric handles for this stream's labeled counters.
     counters: StreamCounters,
 }
@@ -78,11 +89,16 @@ struct StreamState {
 /// Per-stream counter handles (labeled `{stream="<name>"}`), cached at
 /// stream creation so the ingest hot path is one atomic increment and
 /// never a registry lock.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StreamCounters {
     rows: Arc<Counter>,
     late: Arc<Counter>,
     windows: Arc<Counter>,
+    /// Event-time distance the watermark ran past each closed window's
+    /// end (how out-of-order / bursty the stream's clock is).
+    event_lag: Arc<Histogram>,
+    /// Wall-clock from the open window's first buffered row to its close.
+    ingest_to_close: Arc<Histogram>,
 }
 
 /// This engine instance's metric registry plus cached handles. Every
@@ -98,8 +114,17 @@ struct ServerTelemetry {
     window_close: Arc<Histogram>,
     snapshot_encode: Arc<Histogram>,
     snapshot_decode: Arc<Histogram>,
-    queue_depth: Arc<Gauge>,
+    /// Streams that ever had a `ausdb_subscriber_queue_depth{stream=…}`
+    /// series, so sampling can pin a now-subscriber-less stream back to
+    /// 0 instead of leaving its last depth frozen in the exposition.
+    queue_streams: Mutex<BTreeSet<String>>,
+    /// Raw backlog high-water mark (gauges have no `fetch_max`).
+    backlog_highwater_raw: AtomicU64,
+    backlog_highwater: Arc<Gauge>,
 }
+
+/// Help text for the per-stream subscriber queue-depth gauge family.
+const QUEUE_DEPTH_HELP: &str = "Protocol lines queued across the stream's subscriber queues";
 
 impl ServerTelemetry {
     fn new() -> Self {
@@ -141,13 +166,39 @@ impl ServerTelemetry {
                 &latency,
                 &[],
             ),
-            queue_depth: registry.gauge(
-                "ausdb_subscriber_queue_depth",
-                "Total protocol lines queued across subscriber queues",
+            queue_streams: Mutex::new(BTreeSet::new()),
+            backlog_highwater_raw: AtomicU64::new(0),
+            backlog_highwater: registry.gauge(
+                "ausdb_subscriber_backlog_highwater",
+                "Highest total subscriber queue depth observed since start",
                 &[],
             ),
             registry,
         }
+    }
+
+    /// Folds `total` queued lines into the backlog high-water mark.
+    fn note_backlog(&self, total: u64) {
+        let prev = self.backlog_highwater_raw.fetch_max(total, Ordering::Relaxed);
+        self.backlog_highwater.set(prev.max(total) as f64);
+    }
+
+    /// Fetches (or creates) the SLO series for standing query `id`.
+    fn slo(&self, id: u64) -> (Arc<Counter>, Arc<Gauge>) {
+        let query = id.to_string();
+        let labels = [("query", query.as_str())];
+        (
+            self.registry.counter(
+                "ausdb_accuracy_slo_violations_total",
+                "Window closes where a standing query's CI width exceeded its SLO target",
+                &labels,
+            ),
+            self.registry.gauge(
+                "ausdb_ci_width_over_target",
+                "How far the last evaluated CI width sat above the SLO target (0 = compliant)",
+                &labels,
+            ),
+        )
     }
 
     /// Fetches (or creates) the labeled counter handles for `name`. A
@@ -171,8 +222,49 @@ impl ServerTelemetry {
                 "Windows closed with at least one learned tuple",
                 &labels,
             ),
+            // Event-time units: 1 .. 9·10⁵ covers in-order streams (lag
+            // 0-1 windows) through day-scale replays.
+            event_lag: self.registry.histogram(
+                "ausdb_event_time_lag_seconds",
+                "Event-time distance the watermark ran past each closed window's end",
+                &log_linear_bounds(0, 5),
+                &labels,
+            ),
+            // Wall-clock: 1µs .. 90s, same shape as the latency families.
+            ingest_to_close: self.registry.histogram(
+                "ausdb_ingest_to_close_seconds",
+                "Wall-clock from a window's first buffered row to its close",
+                &log_linear_bounds(-6, 1),
+                &labels,
+            ),
         }
     }
+}
+
+/// One standing query's accuracy SLO: the CI-width ceiling plus its
+/// cached metric handles (fetched once at `SLO SET`, because evaluation
+/// happens in `fire_events`, which holds only `&self`).
+#[derive(Debug)]
+struct SloTarget {
+    /// Maximum acceptable CI width across the query's result tuples.
+    width: f64,
+    violations: Arc<Counter>,
+    over: Arc<Gauge>,
+}
+
+/// One stream's health snapshot, rendered as a `STREAM` line by the
+/// `HEALTH` protocol verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct StreamHealth {
+    /// Stream name (lowercased).
+    pub(crate) name: String,
+    /// Event-time watermark (largest timestamp seen), if any row arrived.
+    pub(crate) watermark: Option<u64>,
+    /// Microseconds since the last ingest touched the stream; `None`
+    /// with telemetry off (no wall clocks are read).
+    pub(crate) age_us: Option<u64>,
+    /// Observations buffered in the open window.
+    pub(crate) buffered: usize,
 }
 
 /// A standing query owned by some connection.
@@ -239,6 +331,7 @@ pub struct EngineState {
     streams: BTreeMap<String, StreamState>,
     subscriptions: BTreeMap<u64, Subscription>,
     next_subscription_id: u64,
+    slo_targets: BTreeMap<u64, SloTarget>,
     telemetry: ServerTelemetry,
     last_stats: Option<StatsReport>,
 }
@@ -252,6 +345,7 @@ impl EngineState {
             streams: BTreeMap::new(),
             subscriptions: BTreeMap::new(),
             next_subscription_id: 1,
+            slo_targets: BTreeMap::new(),
             telemetry: ServerTelemetry::new(),
             last_stats: None,
         }
@@ -299,6 +393,7 @@ impl EngineState {
         let obs = parse_observation(row)?;
         let name = normalize_stream_name(stream)?;
         let (_, windows_emitted) = self.ingest_observation(&name, obs)?;
+        self.note_ingest(&name);
         Ok(IngestOutcome { windows_emitted })
     }
 
@@ -326,6 +421,9 @@ impl EngineState {
             out.late += u64::from(late);
             out.windows_emitted += emitted;
         }
+        if !rows.is_empty() {
+            self.note_ingest(&name);
+        }
         Ok(out)
     }
 
@@ -348,6 +446,12 @@ impl EngineState {
             state.learner.observe(obs);
             if state.window_start.is_none() {
                 state.window_start = Some(align(obs.ts, width));
+            }
+            // Watermark: one u64 compare per row, cheap enough to be
+            // unconditional (purely observational, never snapshotted).
+            state.max_ts = Some(state.max_ts.map_or(obs.ts, |m| m.max(obs.ts)));
+            if state.opened_at.is_none() {
+                state.opened_at = ausdb_obs::now_if_enabled();
             }
             state.counters.rows.inc();
             late
@@ -375,7 +479,7 @@ impl EngineState {
             };
             let Some(ws) = closing else { break };
             let start = ausdb_obs::now_if_enabled();
-            let (tuples, schema, windows_counter) = {
+            let (tuples, schema, counters, opened_at) = {
                 let state = self.streams.get_mut(name).expect("stream exists");
                 let tuples = state.learner.emit_window(ws).map_err(|e| format!("learn: {e}"))?;
                 let next = ws.saturating_add(width);
@@ -383,12 +487,24 @@ impl EngineState {
                     Some(min_ts) if min_ts >= next => align(min_ts, width),
                     _ => next,
                 });
-                (tuples, state.learner.schema().clone(), Arc::clone(&state.counters.windows))
+                let opened_at = state.opened_at.take();
+                // Rows left buffered (the closing row, at least) started
+                // accumulating the next window just now.
+                if state.learner.buffered_len() > 0 {
+                    state.opened_at = start;
+                }
+                (tuples, state.learner.schema().clone(), state.counters.clone(), opened_at)
             };
+            // Event-time lag: how far past this window's end the
+            // watermark had run when the close fired.
+            counters.event_lag.observe(through_ts.saturating_sub(ws.saturating_add(width)) as f64);
+            if let Some(t0) = opened_at {
+                counters.ingest_to_close.observe_duration(t0.elapsed());
+            }
             let learned = tuples.len();
             if !tuples.is_empty() {
                 emitted += 1;
-                windows_counter.inc();
+                counters.windows.inc();
                 self.session.register(name, schema, tuples);
                 self.fire_events(name, ws);
             }
@@ -415,6 +531,9 @@ impl EngineState {
                 StreamState {
                     learner: StreamLearner::new(self.config.learner),
                     window_start: None,
+                    max_ts: None,
+                    last_ingest: None,
+                    opened_at: None,
                     counters,
                 },
             );
@@ -504,8 +623,17 @@ impl EngineState {
     /// name so a restored stream resumes its counts.
     pub(crate) fn install_stream(&mut self, name: &str, learner: StreamLearner) {
         let counters = self.telemetry.stream(name);
-        self.streams
-            .insert(name.to_string(), StreamState { learner, window_start: None, counters });
+        self.streams.insert(
+            name.to_string(),
+            StreamState {
+                learner,
+                window_start: None,
+                max_ts: None,
+                last_ingest: None,
+                opened_at: None,
+                counters,
+            },
+        );
     }
 
     /// Drops every stream (restore path; counters and session untouched).
@@ -544,10 +672,62 @@ impl EngineState {
         self.telemetry.stream(name).windows
     }
 
-    /// Samples the subscriber queue-depth gauge from current queue sizes.
+    /// The per-stream `(event_lag, ingest_to_close)` histogram handles
+    /// (creating the stream's series if needed) — the sharded
+    /// coordinator caches these next to its windows counter.
+    pub(crate) fn lag_histograms(&self, name: &str) -> (Arc<Histogram>, Arc<Histogram>) {
+        let c = self.telemetry.stream(name);
+        (c.event_lag, c.ingest_to_close)
+    }
+
+    /// Stamps the stream's last-ingest wall clock (telemetry-gated; one
+    /// `Instant` read per ingest *call*, not per row, so batch frames pay
+    /// it once).
+    pub(crate) fn note_ingest(&mut self, name: &str) {
+        if let Some(now) = ausdb_obs::now_if_enabled() {
+            if let Some(state) = self.streams.get_mut(name) {
+                state.last_ingest = Some(now);
+            }
+        }
+    }
+
+    /// Per-stream health snapshots for the `HEALTH` verb.
+    pub(crate) fn stream_health(&self) -> Vec<StreamHealth> {
+        self.streams
+            .iter()
+            .map(|(name, st)| StreamHealth {
+                name: name.clone(),
+                watermark: st.max_ts,
+                age_us: st.last_ingest.map(|t| t.elapsed().as_micros() as u64),
+                buffered: st.learner.buffered_len(),
+            })
+            .collect()
+    }
+
+    /// The highest total subscriber queue depth observed since start.
+    pub(crate) fn backlog_highwater(&self) -> u64 {
+        self.telemetry.backlog_highwater_raw.load(Ordering::Relaxed)
+    }
+
+    /// Samples the per-stream subscriber queue-depth gauges (and the
+    /// backlog high-water mark) from current queue sizes. Streams that
+    /// lost their last subscriber are pinned back to 0.
     pub(crate) fn sample_queue_depth(&self) {
-        let depth: usize = self.subscriptions.values().map(|s| s.queue.len()).sum();
-        self.telemetry.queue_depth.set(depth as f64);
+        let mut per_stream: BTreeMap<String, usize> = BTreeMap::new();
+        for sub in self.subscriptions.values() {
+            *per_stream.entry(sub.stream.clone()).or_default() += sub.queue.len();
+        }
+        self.telemetry.note_backlog(per_stream.values().map(|&n| n as u64).sum());
+        let mut known =
+            self.telemetry.queue_streams.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        known.extend(per_stream.keys().cloned());
+        for name in known.iter() {
+            let depth = per_stream.get(name).copied().unwrap_or(0);
+            self.telemetry
+                .registry
+                .gauge("ausdb_subscriber_queue_depth", QUEUE_DEPTH_HELP, &[("stream", name)])
+                .set(depth as f64);
+        }
     }
 
     /// The `STATS` per-subscriber lines plus the last-query block, without
@@ -626,9 +806,62 @@ impl EngineState {
         Ok((id, stream, queue))
     }
 
-    /// Cancels a subscription; returns whether it existed.
+    /// Cancels a subscription (and any SLO attached to it); returns
+    /// whether it existed.
     pub fn unsubscribe(&mut self, id: u64) -> bool {
+        self.slo_targets.remove(&id);
         self.subscriptions.remove(&id).is_some()
+    }
+
+    /// Registers (or replaces) an accuracy SLO on standing query `id`:
+    /// from now on, every window-close evaluation whose widest CI
+    /// exceeds `width` counts a violation, pushes an `ACCURACY` notice
+    /// on the subscriber's queue, and journals a WARN `slo` span.
+    pub fn set_slo(&mut self, id: u64, width: f64) -> Result<(), String> {
+        if !(width.is_finite() && width > 0.0) {
+            return Err(format!("bad SLO width {width} (want a finite value > 0)"));
+        }
+        if !self.subscriptions.contains_key(&id) {
+            return Err(format!("no subscription {id}"));
+        }
+        let (violations, over) = self.telemetry.slo(id);
+        self.slo_targets.insert(id, SloTarget { width, violations, over });
+        Ok(())
+    }
+
+    /// The `SLO LIST` payload: one line per registered target.
+    pub fn slo_lines(&self) -> Vec<String> {
+        self.slo_targets
+            .iter()
+            .map(|(id, t)| {
+                let stream = self.subscriptions.get(id).map_or("-", |s| s.stream.as_str());
+                format!(
+                    "SLO {id} stream={stream} target={} violations={}",
+                    t.width,
+                    t.violations.get()
+                )
+            })
+            .collect()
+    }
+
+    /// Evaluates query `id`'s SLO against freshly computed result tuples,
+    /// returning the `ACCURACY` notice line on a violation. Reads only
+    /// already-computed accuracy info — results are never touched.
+    fn check_slo(&self, id: u64, tuples: &[Tuple], window_start: u64) -> Option<String> {
+        let target = self.slo_targets.get(&id)?;
+        let width = max_ci_width(tuples);
+        target.over.set((width - target.width).max(0.0));
+        if width <= target.width {
+            return None;
+        }
+        target.violations.inc();
+        journal::global().record(Level::Warn, "slo", || {
+            format!(
+                "query={id} window_start={window_start} width={width} target={} violated",
+                target.width
+            )
+        });
+        Some(format!("ACCURACY {id} width={width} target={}", target.width))
     }
 
     /// Number of active subscriptions.
@@ -648,9 +881,10 @@ impl EngineState {
             self.telemetry.events.inc();
             match run_sql(&self.session, &sub.sql) {
                 Ok((_, tuples)) => {
+                    let notice = self.check_slo(id, &tuples, window_start);
                     let rows = render_rows(&tuples);
                     let header = format!("EVENT {id} WINDOW {window_start} ROWS {}", rows.len());
-                    sub.queue.push_all(std::iter::once(header).chain(rows));
+                    sub.queue.push_all(std::iter::once(header).chain(rows).chain(notice));
                 }
                 Err(e) => {
                     sub.queue.push(format!("EVENT {id} ERR {e}"));
@@ -658,6 +892,8 @@ impl EngineState {
             }
         }
         if matched > 0 {
+            let backlog: usize = self.subscriptions.values().map(|s| s.queue.len()).sum();
+            self.telemetry.note_backlog(backlog as u64);
             journal::global().record(Level::Info, "fanout", || {
                 format!("stream={stream} window_start={window_start} subscribers={matched}")
             });
@@ -754,7 +990,17 @@ impl EngineState {
             // existed before the restore keeps its series (and counts) in
             // this instance's registry.
             let counters = self.telemetry.stream(&s.name);
-            streams.insert(s.name, StreamState { learner, window_start: s.window_start, counters });
+            streams.insert(
+                s.name,
+                StreamState {
+                    learner,
+                    window_start: s.window_start,
+                    max_ts: None,
+                    last_ingest: None,
+                    opened_at: None,
+                    counters,
+                },
+            );
         }
         let n = streams.len();
         self.streams = streams;
@@ -854,6 +1100,29 @@ impl Codec for ServerSnapshot {
 /// Aligns a timestamp down to its window's start.
 pub(crate) fn align(ts: u64, width: u64) -> u64 {
     ts - ts % width.max(1)
+}
+
+/// The widest confidence interval advertised anywhere in a result set:
+/// tuple membership CIs plus every field's mean/variance/bin CIs. A
+/// result with no accuracy info has width 0 (an exact answer trivially
+/// meets any SLO).
+pub(crate) fn max_ci_width(tuples: &[Tuple]) -> f64 {
+    let mut width = 0.0f64;
+    for t in tuples {
+        if let Some(ci) = &t.membership.ci {
+            width = width.max(ci.length());
+        }
+        for field in &t.fields {
+            let Some(acc) = &field.accuracy else { continue };
+            for ci in acc.mean_ci.iter().chain(acc.variance_ci.iter()) {
+                width = width.max(ci.length());
+            }
+            for ci in acc.bin_cis.iter().flatten() {
+                width = width.max(ci.length());
+            }
+        }
+    }
+    width
 }
 
 /// Validates a stream name: SQL-identifier-shaped, lowercased.
@@ -1040,7 +1309,10 @@ mod tests {
         assert!(text.contains("ausdb_windows_emitted_total{stream=\"traffic\"} 1"), "{text}");
         assert!(text.contains("ausdb_queries_total 1"), "{text}");
         assert!(text.contains("# TYPE ausdb_query_latency_seconds histogram"), "{text}");
-        assert!(text.contains("ausdb_subscriber_queue_depth 0"), "{text}");
+        assert!(text.contains("ausdb_subscriber_backlog_highwater 0"), "{text}");
+        // The new lag families appear per stream once a window closed.
+        assert!(text.contains("ausdb_event_time_lag_seconds_count{stream=\"traffic\"}"), "{text}");
+        assert!(text.contains("ausdb_ingest_to_close_seconds_count{stream=\"traffic\"}"), "{text}");
         // Engine-wide accuracy families are merged into the exposition.
         assert!(text.contains("# TYPE ausdb_sig_verdicts_total counter"), "{text}");
         assert!(text.contains("# TYPE ausdb_ci_relative_width histogram"), "{text}");
@@ -1052,6 +1324,128 @@ mod tests {
             stats.iter().any(|l| l.starts_with("stream traffic") && l.contains("late_rows=1")),
             "per-stream late_rows in STATS: {stats:?}"
         );
+    }
+
+    #[test]
+    fn queue_depth_gauges_are_per_stream_with_highwater() {
+        ausdb_obs::set_enabled(true);
+        let mut state = EngineState::new(test_config());
+        let (_, _, queue) = state.subscribe("SELECT * FROM traffic").unwrap();
+        ingest_window(&mut state, 100); // one EVENT block queued, never drained
+        let queued = queue.len();
+        assert!(queued >= 2, "header plus rows");
+        let text = state.metrics_text();
+        assert!(
+            text.contains(&format!("ausdb_subscriber_queue_depth{{stream=\"traffic\"}} {queued}")),
+            "{text}"
+        );
+        assert!(text.contains(&format!("ausdb_subscriber_backlog_highwater {queued}")), "{text}");
+        assert!(state.backlog_highwater() as usize >= queued);
+        // Draining (and dropping the subscriber) pins the series to 0 —
+        // but the high-water mark keeps the peak.
+        queue.drain();
+        let text = state.metrics_text();
+        assert!(text.contains("ausdb_subscriber_queue_depth{stream=\"traffic\"} 0"), "{text}");
+        assert!(text.contains(&format!("ausdb_subscriber_backlog_highwater {queued}")), "{text}");
+    }
+
+    #[test]
+    fn slo_violation_fires_notice_counter_and_gauge() {
+        ausdb_obs::set_enabled(true);
+        let mut state = EngineState::new(test_config());
+        let (id, _, queue) = state.subscribe("SELECT * FROM traffic").unwrap();
+        // SLO management: unknown id / bad widths rejected.
+        assert!(state.set_slo(id + 1, 0.5).is_err());
+        assert!(state.set_slo(id, 0.0).is_err());
+        assert!(state.set_slo(id, f64::NAN).is_err());
+        // An unreachably tight target: any learned CI is wider than 1e-9.
+        state.set_slo(id, 1e-9).unwrap();
+        assert_eq!(state.slo_lines().len(), 1);
+        assert!(state.slo_lines()[0].contains("violations=0"), "{:?}", state.slo_lines());
+        ingest_window(&mut state, 100);
+        let lines = queue.drain();
+        let notice = lines.iter().find(|l| l.starts_with("ACCURACY ")).expect("notice pushed");
+        assert!(notice.starts_with(&format!("ACCURACY {id} width=")), "{notice}");
+        assert!(notice.ends_with("target=0.000000001"), "{notice}");
+        assert!(
+            lines.iter().position(|l| l.starts_with("ACCURACY"))
+                > lines.iter().position(|l| l.starts_with("EVENT")),
+            "notice follows the EVENT block: {lines:?}"
+        );
+        assert!(state.slo_lines()[0].contains("violations=1"), "{:?}", state.slo_lines());
+        let text = state.metrics_text();
+        assert!(
+            text.contains(&format!("ausdb_accuracy_slo_violations_total{{query=\"{id}\"}} 1")),
+            "{text}"
+        );
+        assert!(text.contains(&format!("ausdb_ci_width_over_target{{query=\"{id}\"}}")), "{text}");
+        // A loose target stops violating and zeroes the over-target gauge.
+        state.set_slo(id, 1e9).unwrap();
+        ingest_window(&mut state, 300);
+        assert!(!queue.drain().iter().any(|l| l.starts_with("ACCURACY")), "loose SLO is quiet");
+        let text = state.metrics_text();
+        assert!(
+            text.contains(&format!("ausdb_ci_width_over_target{{query=\"{id}\"}} 0")),
+            "{text}"
+        );
+        // Unsubscribing tears the target down.
+        state.unsubscribe(id);
+        assert!(state.slo_lines().is_empty());
+    }
+
+    #[test]
+    fn slo_watchdog_leaves_query_results_byte_identical() {
+        ausdb_obs::set_enabled(true);
+        let sql = "SELECT * FROM traffic";
+        let mut plain = EngineState::new(test_config());
+        let mut watched = EngineState::new(test_config());
+        let (id, _, _queue) = watched.subscribe(sql).unwrap();
+        watched.set_slo(id, 1e-9).unwrap();
+        ingest_window(&mut plain, 100);
+        ingest_window(&mut watched, 100);
+        let QueryReply::Rows(_, a) = plain.query(sql).unwrap() else { panic!("rows") };
+        let QueryReply::Rows(_, b) = watched.query(sql).unwrap() else { panic!("rows") };
+        assert_eq!(a, b, "the watchdog observes, it never perturbs");
+        assert_eq!(plain.to_snapshot(), watched.to_snapshot());
+    }
+
+    #[test]
+    fn stream_health_tracks_watermark_and_buffer() {
+        ausdb_obs::set_enabled(true);
+        let mut state = EngineState::new(test_config());
+        assert!(state.stream_health().is_empty());
+        ingest_window(&mut state, 100);
+        let health = state.stream_health();
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].name, "traffic");
+        assert_eq!(health[0].watermark, Some(110), "largest ts seen");
+        assert_eq!(health[0].buffered, 1, "the closing row stays buffered");
+        assert!(health[0].age_us.is_some(), "telemetry on ⇒ ages are tracked");
+        // A late row never drags the watermark backwards.
+        state.ingest("traffic", "19,50,1").unwrap();
+        assert_eq!(state.stream_health()[0].watermark, Some(110));
+    }
+
+    #[test]
+    fn max_ci_width_spans_membership_and_field_cis() {
+        use ausdb_model::accuracy::TupleProbability;
+        use ausdb_model::tuple::Field;
+        use ausdb_stats::ci::ConfidenceInterval;
+        assert_eq!(max_ci_width(&[]), 0.0);
+        let plain = Tuple::certain(1, vec![Field::plain(1.0)]);
+        assert_eq!(max_ci_width(std::slice::from_ref(&plain)), 0.0, "no accuracy info = exact");
+        let mut t = plain;
+        t.membership = TupleProbability {
+            p: 0.5,
+            ci: Some(ConfidenceInterval::new(0.4, 0.6, 0.9)),
+            sample_size: Some(10),
+        };
+        t.fields[0].accuracy = Some(
+            ausdb_model::accuracy::AccuracyInfo::new(10)
+                .with_mean_ci(ConfidenceInterval::new(1.0, 2.5, 0.9)),
+        );
+        let width = max_ci_width(&[t]);
+        assert!((width - 1.5).abs() < 1e-12, "widest CI wins: {width}");
     }
 
     #[test]

@@ -334,6 +334,10 @@ fn metrics_exposition_is_valid_and_cross_checks() {
          WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 200",
     );
     assert!(reply[0].starts_with("SCHEMA"), "got {reply:?}");
+    // The queue-depth gauge family is per-stream now, so its series only
+    // exist once a stream has (or had) a subscriber.
+    let sub = client.request("SUBSCRIBE SELECT * FROM traffic");
+    assert!(sub[0].starts_with("OK SUBSCRIBED"), "got {sub:?}");
 
     let metrics = client.request("METRICS");
     assert_eq!(metrics.last().unwrap(), "END");
@@ -397,11 +401,16 @@ fn trace_drains_recent_journal_entries() {
     assert!(reply[0].starts_with("SCHEMA"), "got {reply:?}");
 
     let trace = client.request("TRACE 5");
+    // Header first: `TRACE dropped=<ring evictions>`.
+    assert!(trace[0].starts_with("TRACE dropped="), "missing header: {trace:?}");
+    let dropped: u64 =
+        trace[0].strip_prefix("TRACE dropped=").unwrap().parse().expect("numeric dropped count");
+    let _ = dropped; // any u64 is valid; other tests may have churned the ring
     let last = trace.last().unwrap();
     let n: usize = last.strip_prefix("END ").expect("END <n>").parse().unwrap();
-    assert_eq!(n, trace.len() - 1, "END count matches entry lines");
+    assert_eq!(n, trace.len() - 2, "END count matches entry lines");
     assert!((1..=5).contains(&n), "expected 1..=5 entries, got {trace:?}");
-    for line in &trace[..n] {
+    for line in &trace[1..=n] {
         // `TRACE #<seq> +<micros>us <LEVEL> <span>: <message>`
         assert!(line.starts_with("TRACE #"), "malformed entry: {line}");
         assert!(line.contains("us "), "missing relative timestamp: {line}");
@@ -409,7 +418,7 @@ fn trace_drains_recent_journal_entries() {
     // Our ingest closed windows and ran a query just now; with only this
     // client talking to the journal since, the tail must include one.
     assert!(
-        trace[..n].iter().any(|l| l.contains(" query: ") || l.contains(" window_close: ")),
+        trace[1..=n].iter().any(|l| l.contains(" query: ") || l.contains(" window_close: ")),
         "expected a query/window_close span in {trace:?}"
     );
     handle.stop();
@@ -455,6 +464,11 @@ fn help_lists_every_verb() {
         "TRACEX",
         "SNAPSHOT",
         "RESTORE",
+        "WALSTAT",
+        "REPLICATE",
+        "PROMOTE",
+        "HEALTH",
+        "SLO",
         "HELP",
         "PING",
         "SHUTDOWN",
@@ -574,11 +588,163 @@ fn http_metrics_scrape_matches_protocol_metrics() {
         }
     }
 
+    // Health endpoints: a primary is live and ready from startup, and
+    // both answer JSON with per-probe detail.
+    for target in ["/healthz", "/readyz"] {
+        let (status, headers, body) = http_get(http, target);
+        assert_eq!(status, "HTTP/1.1 200 OK", "{target}");
+        let content_type = headers
+            .iter()
+            .find_map(|h| h.strip_prefix("Content-Type: "))
+            .expect("Content-Type header");
+        assert_eq!(content_type, "application/json", "{target}");
+        assert!(body.starts_with("{\"status\":\"ok\",\"probes\":["), "{target} body: {body}");
+        assert!(body.contains("\"name\":\"process\""), "{target} body: {body}");
+    }
+    // /readyz evaluates the bootstrap probe too; /healthz does not.
+    assert!(http_get(http, "/readyz").2.contains("\"name\":\"bootstrap\""));
+    assert!(!http_get(http, "/healthz").2.contains("\"name\":\"bootstrap\""));
+
     // Other targets 404; non-GET 405; the TCP protocol side still works.
     let (status, _, _) = http_get(http, "/nope");
     assert_eq!(status, "HTTP/1.1 404 Not Found");
     assert_eq!(client.request("PING")[0], "OK PONG");
     handle.stop();
+}
+
+#[test]
+fn health_verb_reports_role_streams_and_readiness() {
+    let _guard = telemetry_lock();
+    ausdb_obs::set_enabled(true);
+    let handle = start_server(None, Duration::from_millis(25));
+    let mut client = Client::connect(&handle);
+    ingest_rows_via(&mut client, &observation_rows());
+
+    let reply = client.request("HEALTH");
+    let head = &reply[0];
+    assert!(head.starts_with("HEALTH role=primary ready=true uptime_us="), "got {head}");
+    assert!(head.contains(" wal=off "), "got {head}");
+    assert!(head.contains(" repl_lag=0 "), "got {head}");
+    assert!(head.contains(" streams=1 "), "got {head}");
+    assert!(head.ends_with(" subscribers=0"), "got {head}");
+    assert_eq!(reply.last().unwrap(), "END 1");
+    // Watermark 121 = the open third window's newest row; two rows are
+    // buffered there, and telemetry-on means the ingest age is a number.
+    let stream_line = &reply[1];
+    assert!(stream_line.starts_with("STREAM traffic watermark=121 age_us="), "got {stream_line}");
+    assert!(stream_line.ends_with(" buffered=2"), "got {stream_line}");
+    assert!(!stream_line.contains("age_us=-"), "telemetry on must report an age: {stream_line}");
+    handle.stop();
+
+    // With telemetry off no wall clocks are read, so the age is `-` —
+    // but the watermark (pure event time) still advances.
+    ausdb_obs::set_enabled(false);
+    let handle = start_server(None, Duration::from_millis(25));
+    let mut client = Client::connect(&handle);
+    ingest_rows_via(&mut client, &observation_rows());
+    let reply = client.request("HEALTH");
+    assert!(
+        reply[1].starts_with("STREAM traffic watermark=121 age_us=- buffered=2"),
+        "got {:?}",
+        reply[1]
+    );
+    ausdb_obs::set_enabled(true);
+    handle.stop();
+}
+
+/// Everything a client observes from one SLO-watchdog session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SloRun {
+    events: Vec<String>,
+    slo_list: Vec<String>,
+    violations: String,
+    query: Vec<String>,
+}
+
+/// One SLO-watchdog session: subscribe, arm an impossible-to-meet CI
+/// width target, close two windows, and report everything observable —
+/// the subscriber's event/notice lines, the `SLO LIST` reply, the
+/// violation counter sample, and the full query reply.
+fn slo_session(shards: usize) -> SloRun {
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        snapshot_path: None,
+        // Room for both windows' events + notices without DROPPED races.
+        engine: EngineConfig { shards, queue_cap: 64, ..engine_config() },
+        tick: Duration::from_millis(25),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut sub = Client::connect(&handle);
+    let reply = sub.request("SUBSCRIBE SELECT * FROM traffic");
+    assert!(reply[0].starts_with("OK SUBSCRIBED 1"), "got {reply:?}");
+    let reply = sub.request("SLO SET 1 0.000000001");
+    assert_eq!(reply[0], "OK SLO 1 target=0.000000001");
+
+    let mut producer = Client::connect(&handle);
+    ingest_rows_via(&mut producer, &observation_rows());
+
+    // Both window closes queued their events (and notices) before the
+    // producer's last OK, so they drain before the PONG below.
+    sub.send("PING");
+    let mut events = Vec::new();
+    loop {
+        let line = sub.read_line();
+        if line == "OK PONG" {
+            break;
+        }
+        events.push(line);
+    }
+    let slo_list = sub.request("SLO LIST");
+    let metrics = sub.request("METRICS");
+    let violations = metrics
+        .iter()
+        .find(|l| l.starts_with("ausdb_accuracy_slo_violations_total{query=\"1\"}"))
+        .expect("violation counter series")
+        .clone();
+    let query =
+        sub.request("QUERY SELECT * FROM traffic WITH ACCURACY BOOTSTRAP LEVEL 0.9 SAMPLES 200");
+    handle.stop();
+    SloRun { events, slo_list, violations, query }
+}
+
+#[test]
+fn slo_watchdog_fires_identically_across_telemetry_and_shards() {
+    let _guard = telemetry_lock();
+    let mut baseline: Option<SloRun> = None;
+    for (telemetry, shards) in [(true, 1), (false, 1), (true, 4), (false, 4)] {
+        ausdb_obs::set_enabled(telemetry);
+        let got = slo_session(shards);
+        let SloRun { events, slo_list, violations, query } = &got;
+
+        // Two windows closed, each violating the 1e-9 target: an
+        // ACCURACY notice follows each EVENT block.
+        let notices: Vec<&String> =
+            events.iter().filter(|l| l.starts_with("ACCURACY 1 width=")).collect();
+        assert_eq!(notices.len(), 2, "one notice per violated close: {events:?}");
+        for notice in &notices {
+            assert!(notice.ends_with(" target=0.000000001"), "got {notice}");
+        }
+        assert!(events.iter().any(|l| l.starts_with("EVENT")), "got {events:?}");
+        assert_eq!(violations.as_str(), "ausdb_accuracy_slo_violations_total{query=\"1\"} 2");
+        assert_eq!(slo_list.len(), 2, "one SLO line + END: {slo_list:?}");
+        assert!(
+            slo_list[0].starts_with("SLO 1 stream=traffic target=0.000000001 violations=2"),
+            "got {slo_list:?}"
+        );
+        assert!(query[0].starts_with("SCHEMA"), "got {query:?}");
+
+        // The watchdog is observational: every byte the client sees is
+        // identical with telemetry on or off, sharded or not.
+        match &baseline {
+            None => baseline = Some(got.clone()),
+            Some(want) => assert_eq!(
+                &got, want,
+                "SLO watchdog output differs (telemetry={telemetry}, shards={shards})"
+            ),
+        }
+    }
+    ausdb_obs::set_enabled(true);
 }
 
 /// Minimal HTTP/1.0-style GET over a raw socket: returns (status line,

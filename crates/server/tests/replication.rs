@@ -335,6 +335,85 @@ fn follower_restart_after_bootstrap_keeps_snapshot_covered_state() {
     primary.stop();
 }
 
+/// Minimal HTTP GET over a raw socket: returns (status line, body).
+fn http_get(addr: std::net::SocketAddr, target: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("http connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header/body separator");
+    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+}
+
+fn start_follower_with_http(dirs: &Dirs, primary: String) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        snapshot_path: Some(dirs.snapshot()),
+        engine: engine_config(1),
+        tick: Duration::from_millis(5),
+        http_addr: Some("127.0.0.1:0".to_string()),
+        wal_dir: Some(dirs.wal()),
+        replicate_from: Some(primary),
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn follower_readyz_is_503_until_bootstrapped() {
+    // Phase 1: a follower whose "primary" never answers (a bound listener
+    // that never accepts the greeting exchange) can never bootstrap — it
+    // stays live (healthz 200) but unready (readyz 503) indefinitely.
+    let mute = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let d1 = Dirs::new("ready503");
+    let follower = start_follower_with_http(&d1, mute.local_addr().unwrap().to_string());
+    let http = follower.http_addr().expect("http listener bound");
+    let (status, _) = http_get(http, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK", "liveness is independent of bootstrap");
+    let (status, body) = http_get(http, "/readyz");
+    assert_eq!(status, "HTTP/1.1 503 Service Unavailable");
+    assert!(body.contains("\"status\":\"unavailable\""), "got {body}");
+    assert!(body.contains("bootstrapping"), "got {body}");
+    let mut fc = Client::connect(&follower);
+    let health = fc.request("HEALTH");
+    assert!(health[0].starts_with("HEALTH role=follower ready=false"), "got {:?}", health[0]);
+    // PROMOTE makes the node serve as primary, which implies readiness.
+    assert!(fc.request("PROMOTE")[0].starts_with("OK PROMOTED"));
+    let (status, _) = http_get(http, "/readyz");
+    assert_eq!(status, "HTTP/1.1 200 OK", "a promoted node is ready by definition");
+    drop(fc);
+    follower.stop();
+    drop(mute);
+
+    // Phase 2: against a real primary the follower flips to ready once
+    // the first replication reply — snapshot bootstrap included — has
+    // been fully applied.
+    let p_dirs = Dirs::new("readyprim");
+    let primary = start(&p_dirs, 1, None);
+    let mut pc = Client::connect(&primary);
+    let rows = workload();
+    ingest(&mut pc, &rows[..11]);
+    assert!(pc.request("SNAPSHOT")[0].starts_with("OK SNAPSHOT"));
+    ingest(&mut pc, &rows[11..17]);
+
+    let d2 = Dirs::new("ready200");
+    let follower = start_follower_with_http(&d2, primary.addr().to_string());
+    let http = follower.http_addr().expect("http listener bound");
+    let mut fc = Client::connect(&follower);
+    wait_for_catchup(&mut fc, 17);
+    let (status, body) = http_get(http, "/readyz");
+    assert_eq!(status, "HTTP/1.1 200 OK", "bootstrapped follower is ready: {body}");
+    let health = fc.request("HEALTH");
+    assert!(health[0].starts_with("HEALTH role=follower ready=true"), "got {:?}", health[0]);
+    drop(fc);
+    drop(pc);
+    follower.stop();
+    primary.stop();
+}
+
 #[test]
 fn follower_requires_snapshot_path() {
     let dirs = Dirs::new("nosnap");

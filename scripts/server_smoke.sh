@@ -5,6 +5,10 @@
 # scrapes `GET /metrics` over plain HTTP and asserts the body is
 # byte-identical to the `METRICS` protocol reply, checks `HELP`, and
 # verifies `--trace-json` writes Chrome trace-event JSON on shutdown.
+# The final phase probes `GET /healthz` / `GET /readyz` and drives an
+# accuracy-SLO violation end to end: subscribe, arm an impossibly tight
+# `SLO SET`, close a window, and watch the `ACCURACY` notice plus the
+# violation counter land.
 #
 # Uses bash's /dev/tcp so no netcat is required. Run from anywhere:
 #   bash scripts/server_smoke.sh
@@ -55,14 +59,14 @@ start_server() { # start_server <out-suffix> [extra serve flags...]
     expect "OK ausdb-serve 1 ready"
 }
 
-http_get_metrics() { # scrape GET /metrics -> body in file $1, status in $HTTP_STATUS
+http_get() { # http_get <target> <body-file> -> status line in $HTTP_STATUS
     exec 4<>"/dev/tcp/127.0.0.1/$HTTP_PORT"
-    printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' >&4
+    printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' "$1" >&4
     cat <&4 >"$WORK/http_raw" # server closes after the response
     exec 4<&- 4>&-
     HTTP_STATUS=$(head -1 "$WORK/http_raw" | tr -d '\r')
     # The body starts after the first blank (header-terminating) line.
-    awk 'body { print } /^\r?$/ { body = 1 }' "$WORK/http_raw" >"$1"
+    awk 'body { print } /^\r?$/ { body = 1 }' "$WORK/http_raw" >"$2"
 }
 
 send() { printf '%s\n' "$1" >&3; }
@@ -116,7 +120,7 @@ grep -q '^ausdb_rows_ingested_total{stream="traffic"} 4$' "$WORK/metrics" ||
     fail "METRICS missing the per-stream ingest counter"
 # The HTTP scrape must serve the same exposition as the METRICS verb:
 # byte-for-byte identical bodies (METRICS adds only the END terminator).
-http_get_metrics "$WORK/http_body"
+http_get /metrics "$WORK/http_body"
 [[ "$HTTP_STATUS" == "HTTP/1.1 200 OK" ]] || fail "GET /metrics status: $HTTP_STATUS"
 sed '$d' "$WORK/metrics" >"$WORK/metrics_body" # drop the END line
 diff -u "$WORK/metrics_body" "$WORK/http_body" ||
@@ -268,6 +272,64 @@ send "SHUTDOWN"
 expect "OK shutting down"
 exec 3<&- 3>&-
 wait "$SERVER_PID" || fail "phase-6 follower exited non-zero"
+SERVER_PID=""
+
+echo "== phase 7: health endpoints and the accuracy-SLO watchdog =="
+SNAP="$WORK/state7.snap"
+start_server 7
+http_get /healthz "$WORK/healthz"
+[[ "$HTTP_STATUS" == "HTTP/1.1 200 OK" ]] || fail "GET /healthz status: $HTTP_STATUS"
+grep -q '"status":"ok"' "$WORK/healthz" || fail "/healthz body not ok: $(cat "$WORK/healthz")"
+http_get /readyz "$WORK/readyz"
+[[ "$HTTP_STATUS" == "HTTP/1.1 200 OK" ]] || fail "GET /readyz status: $HTTP_STATUS"
+grep -q '"name":"bootstrap","ok":true' "$WORK/readyz" ||
+    fail "/readyz lacks a passing bootstrap probe: $(cat "$WORK/readyz")"
+send "HEALTH"
+read_block "$WORK/health"
+grep -q '^HEALTH role=primary ready=true ' "$WORK/health" ||
+    fail "HEALTH summary line wrong: $(head -1 "$WORK/health")"
+# A second connection subscribes and arms an SLO no window can meet;
+# the control connection then ingests a window's worth of observations.
+exec 5<>"/dev/tcp/127.0.0.1/$PORT"
+IFS= read -r -u 5 -t 10 GREETING || fail "no greeting on the subscriber connection"
+printf 'SUBSCRIBE SELECT * FROM traffic\n' >&5
+IFS= read -r -u 5 -t 10 SUBLINE || fail "no SUBSCRIBE reply"
+case "${SUBLINE%$'\r'}" in
+    "OK SUBSCRIBED 1 traffic") ;;
+    *) fail "unexpected SUBSCRIBE reply: $SUBLINE" ;;
+esac
+printf 'SLO SET 1 0.000000001\n' >&5
+IFS= read -r -u 5 -t 10 SLOLINE || fail "no SLO SET reply"
+case "${SLOLINE%$'\r'}" in
+    "OK SLO 1 target=0.000000001") ;;
+    *) fail "unexpected SLO SET reply: $SLOLINE" ;;
+esac
+for row in "19,100,56" "19,101,38.5" "19,103,97.25" "19,112,41"; do
+    send "INGEST traffic $row"
+    expect "OK INGESTED traffic*"
+done
+# The window close pushes the EVENT block and, since its CI width can
+# never beat a 1e-9 target, an ACCURACY notice right behind it.
+: >"$WORK/sub7"
+for _ in $(seq 1 200); do
+    IFS= read -r -u 5 -t 10 NOTICE || fail "subscriber connection closed early"
+    printf '%s\n' "${NOTICE%$'\r'}" >>"$WORK/sub7"
+    case "$NOTICE" in ACCURACY*) break ;; esac
+done
+grep -q '^ACCURACY 1 width=.* target=0.000000001$' "$WORK/sub7" ||
+    fail "no ACCURACY notice after the window close: $(cat "$WORK/sub7")"
+grep -q '^EVENT ' "$WORK/sub7" || fail "subscriber got no EVENT block"
+send "SLO LIST"
+read_block "$WORK/slo_list"
+grep -q '^SLO 1 stream=traffic target=0.000000001 violations=[1-9]' "$WORK/slo_list" ||
+    fail "SLO LIST shows no violation: $(cat "$WORK/slo_list")"
+http_get /metrics "$WORK/metrics7"
+grep -q '^ausdb_accuracy_slo_violations_total{query="1"} [1-9]' "$WORK/metrics7" ||
+    fail "violation counter not exported"
+send "SHUTDOWN"
+expect "OK shutting down"
+exec 3<&- 3>&- 5<&- 5>&-
+wait "$SERVER_PID" || fail "phase-7 server exited non-zero"
 SERVER_PID=""
 
 echo "server smoke OK"

@@ -59,15 +59,18 @@ fn print_usage() {
     eprintln!();
     eprintln!("  shell   interactive SQL shell (default); --demo preloads a simulated network");
     eprintln!("  serve   continuous-query TCP server (INGEST/INGESTB/QUERY/SUBSCRIBE/STATS/");
-    eprintln!("          METRICS/TRACE/TRACEX/SNAPSHOT/RESTORE/HELP/SHUTDOWN; DESIGN.md §5);");
+    eprintln!("          METRICS/TRACE/TRACEX/SNAPSHOT/RESTORE/HEALTH/SLO/HELP/SHUTDOWN;");
+    eprintln!("          DESIGN.md §5);");
     eprintln!("          --shards N splits ingest across N key-sharded engine states;");
     eprintln!("          --wal-dir logs every accepted batch before apply and replays it");
     eprintln!("          after a crash (AUSDB_FSYNC=always|batch|never sets the sync policy);");
     eprintln!("          --replicate-from starts a read-only follower of that primary");
     eprintln!("          (requires --wal-dir and --snapshot-path; PROMOTE makes it writable);");
     eprintln!("          --metrics dumps the final Prometheus exposition on shutdown;");
-    eprintln!("          --http-addr serves the same exposition at GET /metrics;");
-    eprintln!("          --trace-json writes queued query spans as Chrome trace JSON on exit");
+    eprintln!("          --http-addr serves the same exposition at GET /metrics plus");
+    eprintln!("          liveness/readiness probes at GET /healthz and GET /readyz;");
+    eprintln!("          --trace-json writes queued query spans as Chrome trace JSON on exit;");
+    eprintln!("          AUSDB_LOG_JSON=stderr|FILE mirrors the journal as JSON lines");
     eprintln!("  ingest  read key,ts,value lines from stdin and push them to a server as");
     eprintln!("          binary INGESTB frames of --batch rows (default 4096)");
 }
