@@ -42,4 +42,7 @@ bash scripts/pr8_bench
 echo "== pr9 bench: observability overhead (lag telemetry + SLO watchdog) =="
 bash scripts/pr9_bench
 
+echo "== pr10 bench: history retention overhead (accuracy trajectory + sampler) =="
+bash scripts/pr10_bench
+
 echo "CI OK"

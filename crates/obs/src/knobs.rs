@@ -17,6 +17,10 @@
 //! | `AUSDB_SHARDS`    | key-sharded engine states in the server   | 1 |
 //! | `AUSDB_FSYNC`     | WAL sync policy (`always`/`batch`/`never`)| `batch` |
 //! | `AUSDB_LOG_JSON`  | structured JSON log sink (`stderr`/path)  | off |
+//! | `AUSDB_HISTORY`   | metric/accuracy history retention switch  | on |
+//! | `AUSDB_HISTORY_TIERS` | retention tiers as `step:cap,…`       | `1s:120,10s:180,1m:240` |
+//! | `AUSDB_HISTORY_SAMPLE_MS` | sampler cadence in ms (0 = off)   | 1000 |
+//! | `AUSDB_HISTORY_EVENTS` | accuracy points kept per standing query | 512 |
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -143,6 +147,58 @@ pub(crate) fn telemetry_env_default() -> bool {
         None => true,
         some => parse_flag(some.as_deref()),
     }
+}
+
+/// `AUSDB_HISTORY`: whether the metric/accuracy history retention layer
+/// records at all — on unless explicitly `0`/`false`/`off`. Re-read on
+/// every call (store construction), never warns.
+pub fn history_enabled() -> bool {
+    match std::env::var("AUSDB_HISTORY").ok() {
+        None => true,
+        some => parse_flag(some.as_deref()),
+    }
+}
+
+/// `AUSDB_HISTORY_TIERS`: the retention tier layout as a comma list of
+/// `step:cap` pairs (step is a duration — `1s`, `10s`, `1m` — cap a
+/// bucket count), e.g. `1s:120,10s:180,1m:240`. Steps must ascend, each
+/// a multiple of the previous, with every fine ring able to cover one
+/// coarse bucket; invalid layouts warn once and fall back to the
+/// default ([`crate::series::default_tiers`]).
+pub fn history_tiers() -> Vec<crate::series::TierSpec> {
+    static KNOB: Knob = Knob::new("AUSDB_HISTORY_TIERS");
+    KNOB.from_env(
+        |s| {
+            let tiers: Option<Vec<crate::series::TierSpec>> = s
+                .split(',')
+                .map(|pair| {
+                    let (step, cap) = pair.trim().split_once(':')?;
+                    Some(crate::series::TierSpec {
+                        step: crate::series::parse_ticks(step)?,
+                        cap: cap.trim().parse::<usize>().ok().filter(|&c| c > 0)?,
+                    })
+                })
+                .collect();
+            tiers.filter(|t| crate::series::valid_tiers(t))
+        },
+        crate::series::default_tiers(),
+    )
+}
+
+/// `AUSDB_HISTORY_SAMPLE_MS`: the server-side sampler cadence in
+/// milliseconds (one store tick per scrape). `0` disables the sampler
+/// while keeping event-driven accuracy points. Invalid values warn once
+/// and fall back to 1000.
+pub fn history_sample_ms() -> u64 {
+    static KNOB: Knob = Knob::new("AUSDB_HISTORY_SAMPLE_MS");
+    KNOB.from_env(|s| s.trim().parse::<u64>().ok(), 1000)
+}
+
+/// `AUSDB_HISTORY_EVENTS`: accuracy points retained per standing query.
+/// Invalid or zero values warn once and fall back to 512.
+pub fn history_events_cap() -> usize {
+    static KNOB: Knob = Knob::new("AUSDB_HISTORY_EVENTS");
+    KNOB.from_env(|s| s.trim().parse::<usize>().ok().filter(|&n| n > 0), 512)
 }
 
 #[cfg(test)]

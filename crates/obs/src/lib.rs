@@ -18,6 +18,10 @@
 //!   trace-event JSON exporter.
 //! * [`health`] — liveness/readiness probe aggregation behind the
 //!   server's `/healthz` + `/readyz` endpoints.
+//! * [`series`] — the bounded multi-resolution retention store
+//!   ([`series::SeriesStore`]) keeping counter-delta / gauge / histogram
+//!   history plus per-query accuracy trajectories, with coarse tiers
+//!   built by exact merge-rollup of fine buckets.
 //!
 //! ## The enable toggle and determinism
 //!
@@ -42,12 +46,14 @@ pub mod hist;
 pub mod journal;
 pub mod knobs;
 pub mod metrics;
+pub mod series;
 pub mod span;
 
 pub use health::{HealthRegistry, HealthReport, ProbeKind, ProbeResult};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use journal::{Journal, Level};
-pub use metrics::{Counter, Gauge, Registry};
+pub use metrics::{Counter, Gauge, Registry, Sample, SampleValue};
+pub use series::{AccuracyPoint, Point, SeriesSlice, SeriesStore, TierSpec};
 pub use span::{AttrValue, Span, SpanId, Trace, Tracer};
 
 fn enabled_cell() -> &'static AtomicBool {

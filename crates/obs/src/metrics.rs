@@ -337,6 +337,85 @@ pub fn render_merged(registries: &[&Registry]) -> String {
     out
 }
 
+/// One scraped series value; see [`collect_merged`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Cumulative counter value.
+    Counter(u64),
+    /// Instantaneous gauge value.
+    Gauge(f64),
+    /// Cumulative histogram snapshot.
+    Histogram(crate::hist::HistogramSnapshot),
+}
+
+/// One scraped series: the full name (labels rendered `{k="v",…}`) plus
+/// its merged value. The programmatic twin of one exposition line group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// `family{label="value",…}` — unique and stable across scrapes.
+    pub name: String,
+    /// The merged value.
+    pub value: SampleValue,
+}
+
+/// Scrapes several registries into typed samples with the same merge
+/// semantics as [`render_merged`] (duplicate counter/gauge series sum,
+/// duplicate histogram series merge bucket-by-bucket) and the same
+/// deterministic ordering (family name, then label set). This is the
+/// feed for [`crate::series::SeriesStore`] retention.
+pub fn collect_merged(registries: &[&Registry]) -> Vec<Sample> {
+    let guards: Vec<_> = registries
+        .iter()
+        .map(|r| r.families.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+        .collect();
+    let mut families: BTreeMap<&str, (&'static str, BTreeMap<&LabelSet, Vec<&Instrument>>)> =
+        BTreeMap::new();
+    for guard in &guards {
+        for (name, family) in guard.iter() {
+            let merged =
+                families.entry(name.as_str()).or_insert_with(|| (family.kind, BTreeMap::new()));
+            for (labels, instrument) in &family.series {
+                merged.1.entry(labels).or_default().push(instrument);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (name, (kind, series)) in families {
+        for (labels, instruments) in series {
+            let value = match kind {
+                "counter" => SampleValue::Counter(
+                    instruments
+                        .iter()
+                        .filter_map(|i| match i {
+                            Instrument::Counter(c) => Some(c.get()),
+                            _ => None,
+                        })
+                        .sum(),
+                ),
+                "gauge" => SampleValue::Gauge(
+                    instruments
+                        .iter()
+                        .filter_map(|i| match i {
+                            Instrument::Gauge(g) => Some(g.get()),
+                            _ => None,
+                        })
+                        .sum(),
+                ),
+                _ => {
+                    let mut snaps = instruments.iter().filter_map(|i| match i {
+                        Instrument::Histogram(h) => Some(h.snapshot()),
+                        _ => None,
+                    });
+                    let Some(first) = snaps.next() else { continue };
+                    SampleValue::Histogram(snaps.fold(first, |acc, s| acc.merge(&s).unwrap_or(acc)))
+                }
+            };
+            out.push(Sample { name: format!("{name}{}", format_labels(labels, None)), value });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +524,34 @@ mod tests {
         // Exactly one exposition line (and one HELP/TYPE pair) per series.
         assert_eq!(text.matches("ausdb_rows_total{stream=\"s\"}").count(), 1, "{text}");
         assert_eq!(text.matches("# TYPE ausdb_rows_total").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn collect_merged_mirrors_render_semantics() {
+        let _guard = crate::test_flag_guard();
+        crate::set_enabled(true);
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        r1.counter("ausdb_rows_total", "rows", &[("stream", "s")]).add(3);
+        r2.counter("ausdb_rows_total", "rows", &[("stream", "s")]).add(4);
+        r1.gauge("ausdb_depth", "depth", &[]).set(1.5);
+        r2.gauge("ausdb_depth", "depth", &[]).set(2.0);
+        let h1 = r1.histogram("ausdb_lat_seconds", "latency", &[0.1, 1.0], &[]);
+        h1.observe(0.05);
+        h1.observe(0.5);
+        let samples = collect_merged(&[&r1, &r2]);
+        let names: Vec<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["ausdb_depth", "ausdb_lat_seconds", "ausdb_rows_total{stream=\"s\"}"],
+            "sorted by family then labels"
+        );
+        assert_eq!(samples[0].value, SampleValue::Gauge(3.5));
+        match &samples[1].value {
+            SampleValue::Histogram(snap) => assert_eq!(snap.count(), 2),
+            other => panic!("unexpected value {other:?}"),
+        }
+        assert_eq!(samples[2].value, SampleValue::Counter(7));
     }
 
     #[test]

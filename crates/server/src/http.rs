@@ -1,0 +1,291 @@
+//! Minimal std-only HTTP/1.1 request routing for the server's scrape
+//! endpoints.
+//!
+//! The server's HTTP side is deliberately tiny — a handful of GET
+//! endpoints, one response per connection — but it outgrew the original
+//! hand-matched `if method != "GET" { … } else { match target { … } }`
+//! block the moment an endpoint needed query parameters. This module
+//! owns the request-head parsing (method, path, percent-decoded query
+//! pairs) and a [`Router`] that dispatches to plain function handlers,
+//! answering `405` for non-GET methods and `404` (listing the registered
+//! paths) for unknown targets, so every endpoint gets those behaviours
+//! for free and `server.rs` only writes handlers.
+
+/// One parsed HTTP request head: the request line only (headers are
+/// ignored — no endpoint needs them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, e.g. `GET`.
+    pub method: String,
+    /// Decoded path with any trailing `/` normalized away (`/metrics/`
+    /// routes like `/metrics`; `/` stays `/`).
+    pub path: String,
+    /// Decoded query parameters in order of appearance. A key without
+    /// `=` maps to an empty value.
+    pub query: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// The first value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses the request line out of a request head (`GET /a?b=c HTTP/1.1`
+/// plus ignored header lines). Returns `None` when the line has no
+/// method/target pair.
+pub fn parse_head(head: &str) -> Option<HttpRequest> {
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let raw_path = raw_path.strip_suffix('/').filter(|p| !p.is_empty()).unwrap_or(raw_path);
+    let query = raw_query
+        .map(|q| {
+            q.split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(pair), String::new()),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Some(HttpRequest { method: method.to_string(), path: percent_decode(raw_path), query })
+}
+
+/// Percent-decodes one query component; `+` means space. Invalid escapes
+/// pass through verbatim (this is a scrape endpoint, not a browser).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// One HTTP response: status, content type, body. Rendering adds
+/// `Content-Length` and `Connection: close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code (200, 400, 404, 405, 503).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A `200 OK` response.
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Self {
+        Self { status: 200, content_type, body: body.into() }
+    }
+
+    /// A `400 Bad Request` with a plain-text explanation.
+    pub fn bad_request(msg: impl std::fmt::Display) -> Self {
+        Self { status: 400, content_type: "text/plain", body: format!("{msg}\n") }
+    }
+
+    /// The reason phrase for this response's status code.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+
+    /// The full HTTP/1.1 response bytes.
+    pub fn render(&self) -> String {
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{}",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            self.body
+        )
+    }
+}
+
+/// A GET handler: shared server context plus the parsed request.
+pub type Handler<C> = fn(&C, &HttpRequest) -> HttpResponse;
+
+/// GET-only path router. Paths are matched exactly (after trailing-`/`
+/// normalization); methods other than GET answer `405`, unknown paths
+/// `404` listing every registered endpoint.
+pub struct Router<C> {
+    routes: Vec<(&'static str, Handler<C>)>,
+}
+
+impl<C> Router<C> {
+    /// An empty router.
+    pub fn new() -> Self {
+        Self { routes: Vec::new() }
+    }
+
+    /// Registers a GET route for `path` (no trailing slash).
+    pub fn get(mut self, path: &'static str, handler: Handler<C>) -> Self {
+        self.routes.push((path, handler));
+        self
+    }
+
+    /// Parses `head` and dispatches: `400` on an unparseable request
+    /// line, `405` for non-GET methods, `404` for unregistered paths.
+    pub fn handle(&self, ctx: &C, head: &str) -> HttpResponse {
+        let Some(request) = parse_head(head) else {
+            return HttpResponse::bad_request("malformed request line");
+        };
+        self.dispatch(ctx, &request)
+    }
+
+    /// Dispatches an already-parsed request.
+    pub fn dispatch(&self, ctx: &C, request: &HttpRequest) -> HttpResponse {
+        if request.method != "GET" {
+            return HttpResponse {
+                status: 405,
+                content_type: "text/plain",
+                body: "only GET is supported\n".to_string(),
+            };
+        }
+        match self.routes.iter().find(|(path, _)| *path == request.path) {
+            Some((_, handler)) => handler(ctx, request),
+            None => HttpResponse {
+                status: 404,
+                content_type: "text/plain",
+                body: format!("try GET {}\n", self.paths_for_hint()),
+            },
+        }
+    }
+
+    /// `"a, b, or c"` over the registered paths, for the 404 body.
+    fn paths_for_hint(&self) -> String {
+        let paths: Vec<&str> = self.routes.iter().map(|(p, _)| *p).collect();
+        match paths.len() {
+            0 => "(no endpoints registered)".to_string(),
+            1 => paths[0].to_string(),
+            n => format!("{}, or {}", paths[..n - 1].join(", "), paths[n - 1]),
+        }
+    }
+}
+
+impl<C> Default for Router<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router<()> {
+        Router::new().get("/metrics", |(), _| HttpResponse::ok("text/plain", "m")).get(
+            "/history",
+            |(), req| match req.param("series") {
+                Some("bad") => HttpResponse::bad_request("bad series"),
+                Some(s) => HttpResponse::ok("application/json", format!("{{\"series\":\"{s}\"}}")),
+                None => HttpResponse::ok("application/json", "{}"),
+            },
+        )
+    }
+
+    #[test]
+    fn parses_method_path_and_query() {
+        let req = parse_head("GET /history?series=a%20b&step=10s&flag HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/history");
+        assert_eq!(req.param("series"), Some("a b"));
+        assert_eq!(req.param("step"), Some("10s"));
+        assert_eq!(req.param("flag"), Some(""));
+        assert_eq!(req.param("absent"), None);
+    }
+
+    #[test]
+    fn normalizes_trailing_slash_and_decodes_plus() {
+        let req = parse_head("GET /metrics/?q=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.param("q"), Some("a b"));
+        // A bare "/" survives normalization (it would otherwise be empty).
+        assert_eq!(parse_head("GET / HTTP/1.1\r\n\r\n").unwrap().path, "/");
+        // Invalid escapes pass through instead of erroring a scrape.
+        assert_eq!(percent_decode("100%25"), "100%");
+        assert_eq!(percent_decode("100%2"), "100%2");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn unknown_path_is_404_listing_endpoints() {
+        let resp = router().handle(&(), "GET /nope HTTP/1.1\r\n\r\n");
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body, "try GET /metrics, or /history\n");
+        assert!(resp.render().starts_with("HTTP/1.1 404 Not Found\r\n"));
+    }
+
+    #[test]
+    fn non_get_is_405() {
+        let resp = router().handle(&(), "POST /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(resp.status, 405);
+        assert!(resp.render().starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert_eq!(resp.body, "only GET is supported\n");
+    }
+
+    #[test]
+    fn bad_query_flows_to_handler_as_400() {
+        let resp = router().handle(&(), "GET /history?series=bad HTTP/1.1\r\n\r\n");
+        assert_eq!(resp.status, 400);
+        assert_eq!(resp.body, "bad series\n");
+        let ok = router().handle(&(), "GET /history?series=x HTTP/1.1\r\n\r\n");
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, "{\"series\":\"x\"}");
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        assert_eq!(router().handle(&(), "GARBAGE").status, 400);
+        assert_eq!(router().handle(&(), "").status, 400);
+    }
+
+    #[test]
+    fn content_length_matches_body() {
+        let resp = router().handle(&(), "GET /metrics HTTP/1.1\r\n\r\n");
+        let rendered = resp.render();
+        assert!(rendered.contains("Content-Length: 1\r\n"), "{rendered}");
+        assert!(rendered.ends_with("\r\n\r\nm"), "{rendered}");
+    }
+}

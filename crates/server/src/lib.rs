@@ -11,7 +11,7 @@
 //! * [`protocol`] — the line-oriented text protocol (`INGEST`, `INGESTB`,
 //!   `QUERY`, `SUBSCRIBE`, `STATS`, `METRICS`, `TRACE`, `TRACEX`,
 //!   `SNAPSHOT`, `RESTORE`, `WALSTAT`, `REPLICATE`, `PROMOTE`, `HEALTH`,
-//!   `SLO`, `HELP`, `SHUTDOWN`, `PING`). `INGESTB` is the binary batch-ingest frame: a
+//!   `SLO`, `HISTORY`, `HELP`, `SHUTDOWN`, `PING`). `INGESTB` is the binary batch-ingest frame: a
 //!   length-prefixed `AUSB` envelope carrying up to 2²⁰ `(key, ts, value)`
 //!   rows, CRC-checked, answered by one `OK` line per frame instead of
 //!   one per row.
@@ -22,6 +22,9 @@
 //!   `--shards N` splits ingest across `N` independently locked engines
 //!   while queries, stats, and snapshots merge back **bit-identically**
 //!   to the unsharded engine.
+//! * [`http`] — the std-only GET router behind the HTTP listener:
+//!   request-line parsing with percent-decoded query parameters, exact
+//!   path dispatch, and shared `404`/`405` behaviour for every endpoint.
 //! * [`client`] — a small blocking client helper that speaks the binary
 //!   batch protocol with single-syscall frame writes.
 //! * [`subscriber`] — bounded per-subscriber queues: slow consumers get
@@ -64,6 +67,17 @@
 //! `QUERY` accepts `EXPLAIN` / `EXPLAIN ANALYZE` statements, answering
 //! with `PLAN` lines instead of rows.
 //!
+//! The server also *retains* its telemetry: a background sampler scrapes
+//! the merged registries into a bounded multi-resolution
+//! [`ausdb_obs::SeriesStore`] (1s/10s/1m tiers by default; the
+//! `AUSDB_HISTORY_*` knobs tune it), and every window close appends an
+//! accuracy point per standing query — widest CI, de-facto `n`, resample
+//! spend, coupled-test verdicts, late rows. `HISTORY <series>` queries
+//! the trajectory over the line protocol, `GET /history` serves it as
+//! JSON, and `HISTORY EXPORT` / `ausdb serve --history-export` dump the
+//! whole store (DESIGN.md §11). Retention is strictly observational:
+//! query and subscription output is byte-identical with it on or off.
+//!
 //! Determinism carries through: a server-side `QUERY` runs the exact same
 //! `run_sql` path as the CLI, so with the same seed it returns
 //! bit-identical results — the loopback integration test proves it.
@@ -80,6 +94,7 @@
 #![deny(unsafe_code)] // overridden only in `signal::imp` for `signal(2)`
 
 pub mod client;
+pub mod http;
 pub mod protocol;
 pub mod render;
 pub mod repl;

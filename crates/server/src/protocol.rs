@@ -21,6 +21,7 @@
 //!            | HEALTH
 //!            | SLO SET <query-id> <max-ci-width>
 //!            | SLO LIST
+//!            | HISTORY [EXPORT | <series> [LAST <dur>] [STEP <dur>]]
 //!            | HELP
 //!            | SHUTDOWN
 //!            | PING
@@ -104,6 +105,22 @@ pub enum Request {
     },
     /// `SLO LIST` — one line per registered accuracy SLO.
     SloList,
+    /// `HISTORY [<series> [LAST <dur>] [STEP <dur>]]` — the retention
+    /// store: with no arguments, one `SERIES` line per retained series;
+    /// with a series name, `POINT` lines from the finest tier that
+    /// covers the request (durations like `90s`, `5m`, `2h`, or bare
+    /// ticks). `STEP` regroups fine buckets by exact merge-rollup.
+    History {
+        /// Series name (`None` lists all retained series).
+        series: Option<String>,
+        /// `LAST <dur>` — only points newer than this many ticks.
+        last: Option<u64>,
+        /// `STEP <dur>` — regroup buckets to this step (ticks).
+        step: Option<u64>,
+    },
+    /// `HISTORY EXPORT` — one consolidated JSON document of every
+    /// retained series (same shape as `GET /history`).
+    HistoryExport,
     /// `SHUTDOWN` — gracefully stop the server.
     Shutdown,
     /// `PING` — liveness check.
@@ -219,6 +236,40 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 other => Err(format!("unknown SLO subcommand '{other}' (try SET or LIST)")),
             }
         }
+        "HISTORY" => {
+            if rest.is_empty() {
+                return Ok(Request::History { series: None, last: None, step: None });
+            }
+            let mut parts = rest.split_whitespace();
+            let series = parts.next().expect("rest is non-empty").to_string();
+            if series.eq_ignore_ascii_case("EXPORT") {
+                return if parts.next().is_none() {
+                    Ok(Request::HistoryExport)
+                } else {
+                    Err("HISTORY EXPORT takes no arguments".to_string())
+                };
+            }
+            let mut last = None;
+            let mut step = None;
+            while let Some(kw) = parts.next() {
+                let slot = match kw.to_ascii_uppercase().as_str() {
+                    "LAST" => &mut last,
+                    "STEP" => &mut step,
+                    other => {
+                        return Err(format!("unknown HISTORY clause '{other}' (try LAST or STEP)"))
+                    }
+                };
+                if slot.is_some() {
+                    return Err(format!("duplicate HISTORY clause '{}'", kw.to_ascii_uppercase()));
+                }
+                let dur = parts.next().ok_or_else(|| format!("{kw} expects a duration"))?;
+                *slot = Some(
+                    ausdb_obs::series::parse_ticks(dur)
+                        .ok_or_else(|| format!("bad duration '{dur}' (try 90s, 5m, 2h)"))?,
+                );
+            }
+            Ok(Request::History { series: Some(series), last, step })
+        }
         "HELP" => bare(Request::Help),
         "SHUTDOWN" => bare(Request::Shutdown),
         "PING" => bare(Request::Ping),
@@ -226,7 +277,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         other => Err(format!(
             "unknown command '{other}' (try HELP, or: INGEST, INGESTB, QUERY, SUBSCRIBE, \
              UNSUBSCRIBE, STATS, METRICS, TRACE, TRACEX, SNAPSHOT, RESTORE, WALSTAT, REPLICATE, \
-             PROMOTE, HEALTH, SLO, HELP, PING, SHUTDOWN)"
+             PROMOTE, HEALTH, SLO, HISTORY, HELP, PING, SHUTDOWN)"
         )),
     }
 }
@@ -251,6 +302,8 @@ pub fn help_lines() -> &'static [&'static str] {
         "PROMOTE — turn a read-only follower into a writable primary",
         "HEALTH — role, readiness, uptime, per-stream watermark age, WAL/replication lag, backlog",
         "SLO SET <query-id> <max-ci-width> | SLO LIST — accuracy-SLO watchdog on standing queries",
+        "HISTORY [EXPORT | <series> [LAST <dur>] [STEP <dur>]] — retained metric/accuracy history \
+         (SERIES or POINT lines; EXPORT dumps consolidated JSON)",
         "HELP — this listing",
         "PING — liveness check",
         "SHUTDOWN — gracefully stop the server",
@@ -298,6 +351,28 @@ mod tests {
         assert_eq!(parse_request("slo set 12 1e-3"), Ok(Request::SloSet { id: 12, width: 1e-3 }));
         assert_eq!(parse_request("SLO LIST"), Ok(Request::SloList));
         assert_eq!(parse_request("slo list"), Ok(Request::SloList));
+        assert_eq!(
+            parse_request("HISTORY"),
+            Ok(Request::History { series: None, last: None, step: None })
+        );
+        assert_eq!(
+            parse_request("history ausdb_rows_ingested_total"),
+            Ok(Request::History {
+                series: Some("ausdb_rows_ingested_total".into()),
+                last: None,
+                step: None
+            })
+        );
+        assert_eq!(
+            parse_request("HISTORY s LAST 90s STEP 10s"),
+            Ok(Request::History { series: Some("s".into()), last: Some(90), step: Some(10) })
+        );
+        assert_eq!(
+            parse_request("HISTORY s step 5m"),
+            Ok(Request::History { series: Some("s".into()), last: None, step: Some(300) })
+        );
+        assert_eq!(parse_request("HISTORY EXPORT"), Ok(Request::HistoryExport));
+        assert_eq!(parse_request("history export"), Ok(Request::HistoryExport));
         assert_eq!(parse_request("help"), Ok(Request::Help));
         assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
         assert_eq!(parse_request("PING"), Ok(Request::Ping));
@@ -324,6 +399,7 @@ mod tests {
             "PROMOTE",
             "HEALTH",
             "SLO",
+            "HISTORY",
             "HELP",
             "PING",
             "SHUTDOWN",
@@ -374,6 +450,12 @@ mod tests {
         assert!(parse_request("SLO SET 1 notanumber").is_err());
         assert!(parse_request("SLO LIST extra").is_err());
         assert!(parse_request("SLO FROB").is_err());
+        assert!(parse_request("HISTORY EXPORT extra").is_err());
+        assert!(parse_request("HISTORY s LAST").is_err());
+        assert!(parse_request("HISTORY s LAST soon").is_err());
+        assert!(parse_request("HISTORY s STEP 0").is_err());
+        assert!(parse_request("HISTORY s LAST 10s LAST 20s").is_err());
+        assert!(parse_request("HISTORY s FROB 10s").is_err());
         assert!(parse_request("HELP me").is_err());
         assert!(parse_request("PING pong").is_err());
     }

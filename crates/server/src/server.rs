@@ -31,9 +31,10 @@ use std::time::{Duration, Instant};
 
 use ausdb_learn::learner::RawObservation;
 use ausdb_model::codec::{decode_ingest_frame, decode_snapshot, encode_snapshot};
-use ausdb_obs::{journal, Counter, Gauge, HealthRegistry, Level, ProbeKind, Registry};
+use ausdb_obs::{journal, Counter, Gauge, HealthRegistry, Level, ProbeKind, Registry, SeriesStore};
 use ausdb_wal::{Wal, WalOptions, WalTelemetry};
 
+use crate::http::{HttpRequest, HttpResponse, Router};
 use crate::protocol::{help_lines, parse_request, Request};
 use crate::render::{render_rows, render_schema, render_trace_entry};
 use crate::repl::{self, ReplReply};
@@ -77,6 +78,15 @@ pub struct ServerConfig {
     /// address. Requires `wal_dir`. `PROMOTE` turns the follower into a
     /// writable primary.
     pub replicate_from: Option<String>,
+    /// Whether the metric/accuracy retention layer records (the
+    /// `HISTORY` verb and `GET /history` read regardless — a disabled
+    /// store just stays empty). Defaults to the `AUSDB_HISTORY` knob.
+    pub history: bool,
+    /// Sampler cadence in milliseconds (one retention-store tick per
+    /// scrape of the merged registries); `Some(0)` disables the sampler
+    /// thread while keeping event-driven accuracy points. `None` reads
+    /// the `AUSDB_HISTORY_SAMPLE_MS` knob.
+    pub history_sample_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +99,8 @@ impl Default for ServerConfig {
             http_addr: None,
             wal_dir: None,
             replicate_from: None,
+            history: ausdb_obs::knobs::history_enabled(),
+            history_sample_ms: None,
         }
     }
 }
@@ -127,6 +139,10 @@ struct Shared {
     /// `ausdb_journal_dropped_total`, synced from the journal's ring
     /// eviction count whenever metrics render.
     journal_dropped: Arc<Counter>,
+    /// The retention store behind `HISTORY` / `GET /history` — the same
+    /// store the engine appends accuracy points to at window close; the
+    /// sampler thread feeds it metric scrapes.
+    history: Arc<SeriesStore>,
 }
 
 /// Locks the WAL mutex, recovering from poisoning.
@@ -277,6 +293,8 @@ impl Server {
         if config.replicate_from.is_none() {
             ready.store(true, Ordering::SeqCst);
         }
+        let history = state.history();
+        history.set_enabled(config.history);
         let shared = Arc::new(Shared {
             state,
             shutdown: AtomicBool::new(false),
@@ -293,7 +311,16 @@ impl Server {
             ready,
             health,
             journal_dropped,
+            history,
         });
+        let sample_ms =
+            config.history_sample_ms.unwrap_or_else(ausdb_obs::knobs::history_sample_ms);
+        if config.history && sample_ms > 0 {
+            let sampler_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ausdb-sampler".to_string())
+                .spawn(move || sampler_loop(sampler_shared, sample_ms))?;
+        }
         if let Some(primary) = config.replicate_from {
             let repl_shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -359,6 +386,14 @@ impl ServerHandle {
     /// to dump final metrics on shutdown.
     pub fn metrics_text(&self) -> String {
         metrics_body(&self.shared)
+    }
+
+    /// The consolidated history dump — what `HISTORY EXPORT` and a
+    /// series-less `GET /history` return. Used by
+    /// `ausdb serve --history-export` to persist the accuracy trajectory
+    /// on shutdown.
+    pub fn history_json(&self) -> String {
+        self.shared.history.export_json()
     }
 
     /// Requests shutdown: sets the flag and wakes the blocking acceptor.
@@ -757,6 +792,38 @@ fn handle_request(
             lines.push(format!("END {}", traces.len()));
             Reply { lines, close: false }
         }
+        Request::History { series: None, .. } => {
+            let infos = shared.history.list();
+            let mut lines: Vec<String> = infos
+                .iter()
+                .map(|s| format!("SERIES {} kind={} points={}", s.name, s.kind, s.points))
+                .collect();
+            lines.push(format!("END {}", infos.len()));
+            Reply { lines, close: false }
+        }
+        Request::History { series: Some(name), last, step } => {
+            match shared.history.query(&name, last, step) {
+                Ok(slice) => {
+                    let mut lines = vec![format!(
+                        "SERIES {} kind={} step={} points={}",
+                        slice.name,
+                        slice.kind,
+                        slice.step,
+                        slice.points.len()
+                    )];
+                    lines.extend(slice.points.iter().map(|p| format!("POINT {}", p.render_kv())));
+                    lines.push(format!("END {}", slice.points.len()));
+                    Reply { lines, close: false }
+                }
+                Err(e) => Reply::err(format!("history: {e}")),
+            }
+        }
+        Request::HistoryExport => {
+            let json = shared.history.export_json();
+            let mut lines: Vec<String> = json.lines().map(str::to_string).collect();
+            lines.push("END".to_string());
+            Reply { lines, close: false }
+        }
         Request::Help => {
             let mut lines: Vec<String> = help_lines().iter().map(|l| l.to_string()).collect();
             lines.push("END".to_string());
@@ -830,10 +897,12 @@ fn walstat_line(shared: &Shared) -> String {
 }
 
 /// The multi-line `HEALTH` reply: a summary line (role, readiness,
-/// uptime, WAL/replication/backlog state), one `STREAM` line per stream
-/// with its event-time watermark, ingest age, and open-window buffer,
-/// then `END <streams>`. The reply deliberately does not start with
-/// `OK` — it is a report, not an acknowledgement.
+/// uptime, WAL/replication/backlog state, accuracy-SLO target and
+/// violation totals), one `STREAM` line per stream with its event-time
+/// watermark, ingest age, and open-window buffer, one `SLO` line per
+/// registered accuracy target (the `SLO LIST` shape), then
+/// `END <streams>`. The reply deliberately does not start with `OK` —
+/// it is a report, not an acknowledgement.
 fn health_lines(shared: &Shared) -> Vec<String> {
     let role = if shared.follower.load(Ordering::SeqCst) { "follower" } else { "primary" };
     let ready = shared.ready.load(Ordering::SeqCst);
@@ -842,9 +911,11 @@ fn health_lines(shared: &Shared) -> Vec<String> {
         Some(wal) => ("on", lock_wal(wal).stats().unsynced),
     };
     let streams = shared.state.stream_health();
+    let (slo_targets, slo_violations) = shared.state.slo_summary();
     let mut lines = vec![format!(
         "HEALTH role={role} ready={ready} uptime_us={} wal={wal} unsynced={unsynced} \
-         repl_lag={} backlog_highwater={} streams={} subscribers={}",
+         repl_lag={} backlog_highwater={} streams={} subscribers={} \
+         slo_targets={slo_targets} slo_violations={slo_violations}",
         shared.started.elapsed().as_micros(),
         shared.repl_lag.get() as u64,
         shared.state.backlog_highwater(),
@@ -860,19 +931,25 @@ fn health_lines(shared: &Shared) -> Vec<String> {
             sh.name, sh.buffered
         ));
     }
+    lines.extend(shared.state.slo_lines());
     lines.push(format!("END {count}"));
     lines
 }
 
-/// Renders the merged metrics exposition, first syncing the journal's
-/// ring-eviction count into `ausdb_journal_dropped_total` (the journal
-/// counts internally; the metric catches up at scrape time).
-fn metrics_body(shared: &Shared) -> String {
+/// Syncs the journal's ring-eviction count into
+/// `ausdb_journal_dropped_total` (the journal counts internally; the
+/// metric catches up whenever something scrapes).
+fn sync_journal_dropped(shared: &Shared) {
     let dropped = journal::global().dropped();
     let counted = shared.journal_dropped.get();
     if dropped > counted {
         shared.journal_dropped.add(dropped - counted);
     }
+}
+
+/// Renders the merged metrics exposition.
+fn metrics_body(shared: &Shared) -> String {
+    sync_journal_dropped(shared);
     shared.state.metrics_text_with(&[&shared.srv_registry])
 }
 
@@ -991,7 +1068,37 @@ fn follow(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
 }
 
 // ---------------------------------------------------------------------
-// HTTP metrics endpoint.
+// Retention sampler.
+// ---------------------------------------------------------------------
+
+/// The background sampler: scrapes the merged metric registries into the
+/// retention store once per cadence, advancing the store's tick counter
+/// so bucket starts are proportional to wall time. Sleeps in short
+/// slices so shutdown is seen within one server tick; a stall (suspend,
+/// scheduler hiccup) advances the tick count by the elapsed cadences so
+/// retained history never stretches time.
+fn sampler_loop(shared: Arc<Shared>, sample_ms: u64) {
+    let cadence = Duration::from_millis(sample_ms);
+    let mut tick = 0u64;
+    let mut next = Instant::now() + cadence;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep((next - now).min(shared.tick));
+            continue;
+        }
+        while next <= now {
+            next += cadence;
+            tick += 1;
+        }
+        sync_journal_dropped(&shared);
+        let samples = shared.state.collect_samples(&[&shared.srv_registry]);
+        shared.history.record_samples(tick, &samples);
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP endpoints.
 // ---------------------------------------------------------------------
 
 /// Longest accepted HTTP request head; a scrape is a one-line GET, so
@@ -1001,19 +1108,67 @@ const MAX_HTTP_HEAD_BYTES: usize = 8 * 1024;
 /// `Content-Type` for the Prometheus text exposition.
 const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
-/// Minimal std-only HTTP/1.1 responder serving three endpoints:
+/// The server's HTTP routes:
 ///
 /// * `GET /metrics` — the same exposition body as the `METRICS` protocol
 ///   command (minus the `END` terminator), so Prometheus and the line
 ///   protocol can never disagree;
 /// * `GET /healthz` — liveness probes as JSON (200 while serving);
 /// * `GET /readyz` — every probe as JSON; 503 until a follower finishes
-///   its replication bootstrap, 200 after (and always 200 on a primary).
-///
-/// Every response closes the connection — scrapers reconnect per scrape,
-/// which keeps this loop single-threaded and unpollable state out of the
+///   its replication bootstrap, 200 after (and always 200 on a primary);
+/// * `GET /history` — the retention store: with `?series=` (plus
+///   optional `last`/`step` durations) one series as JSON, without it
+///   the consolidated `HISTORY EXPORT` dump.
+fn http_router() -> Router<Shared> {
+    Router::new()
+        .get("/metrics", |shared, _| HttpResponse::ok(METRICS_CONTENT_TYPE, metrics_body(shared)))
+        .get("/healthz", |shared, _| probe_response(shared.health.liveness()))
+        .get("/readyz", |shared, _| probe_response(shared.health.readiness()))
+        .get("/history", history_endpoint)
+}
+
+/// Renders a health probe report: 200 when healthy, 503 when not.
+fn probe_response(report: ausdb_obs::HealthReport) -> HttpResponse {
+    HttpResponse {
+        status: if report.healthy { 200 } else { 503 },
+        content_type: "application/json",
+        body: report.to_json() + "\n",
+    }
+}
+
+/// `GET /history[?series=…[&last=…][&step=…]]`: one series slice (the
+/// same points the `HISTORY <series>` verb renders, as JSON) or, with no
+/// `series` parameter, the consolidated export dump. Unknown series and
+/// bad durations are 400s.
+fn history_endpoint(shared: &Shared, req: &HttpRequest) -> HttpResponse {
+    let Some(series) = req.param("series") else {
+        return HttpResponse::ok("application/json", shared.history.export_json());
+    };
+    let mut durations = [None, None];
+    for (slot, name) in durations.iter_mut().zip(["last", "step"]) {
+        if let Some(raw) = req.param(name) {
+            match ausdb_obs::series::parse_ticks(raw) {
+                Some(n) => *slot = Some(n),
+                None => {
+                    return HttpResponse::bad_request(format!(
+                        "bad {name} '{raw}' (try 90s, 5m, 2h)"
+                    ));
+                }
+            }
+        }
+    }
+    match shared.history.query(series, durations[0], durations[1]) {
+        Ok(slice) => HttpResponse::ok("application/json", slice.render_json() + "\n"),
+        Err(e) => HttpResponse::bad_request(e),
+    }
+}
+
+/// Minimal std-only HTTP/1.1 responder over [`http_router`]. Every
+/// response closes the connection — scrapers reconnect per scrape, which
+/// keeps this loop single-threaded and unpollable state out of the
 /// server.
 fn http_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let router = http_router();
     for incoming in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -1022,37 +1177,8 @@ fn http_loop(listener: TcpListener, shared: Arc<Shared>) {
         let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
         let Some(head) = read_http_head(&mut stream) else { continue };
-        let request_line = head.lines().next().unwrap_or("");
-        let mut parts = request_line.split_whitespace();
-        let (method, target) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-        let target = target.strip_suffix('/').filter(|t| !t.is_empty()).unwrap_or(target);
-        let (status, content_type, body) = if method != "GET" {
-            ("405 Method Not Allowed", "text/plain", "only GET is supported\n".to_string())
-        } else {
-            match target {
-                "/metrics" => ("200 OK", METRICS_CONTENT_TYPE, metrics_body(&shared)),
-                "/healthz" | "/readyz" => {
-                    let report = if target == "/healthz" {
-                        shared.health.liveness()
-                    } else {
-                        shared.health.readiness()
-                    };
-                    let status = if report.healthy { "200 OK" } else { "503 Service Unavailable" };
-                    (status, "application/json", report.to_json() + "\n")
-                }
-                _ => (
-                    "404 Not Found",
-                    "text/plain",
-                    "try GET /metrics, /healthz, or /readyz\n".to_string(),
-                ),
-            }
-        };
-        let response = format!(
-            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
-             Connection: close\r\n\r\n{body}",
-            body.len()
-        );
-        let _ = stream.write_all(response.as_bytes());
+        let response = router.handle(&shared, &head);
+        let _ = stream.write_all(response.render().as_bytes());
     }
 }
 

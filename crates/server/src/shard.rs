@@ -59,7 +59,7 @@ use ausdb_model::codec::FrameRow;
 use ausdb_model::schema::Schema;
 use ausdb_model::tuple::Tuple;
 use ausdb_model::value::Value;
-use ausdb_obs::{Counter, Histogram, Registry};
+use ausdb_obs::{Counter, Histogram, Registry, Sample, SeriesStore};
 use ausdb_wal::{Wal, WalRecord};
 
 use crate::state::{
@@ -388,7 +388,7 @@ impl ShardSet {
             if through_ts < ws.saturating_add(width) {
                 break;
             }
-            let (merged, schema, global_min) = {
+            let (merged, schema, global_min, late_rows) = {
                 let mut guards: Vec<MutexGuard<'_, EngineState>> =
                     self.shards.iter().map(lock).collect();
                 let mut merged = Vec::new();
@@ -406,7 +406,13 @@ impl ShardSet {
                 // by key reproduces the unsharded BTreeMap emission order.
                 merged.sort_unstable_by_key(tuple_key);
                 let global_min = guards.iter().filter_map(|g| g.min_buffered_ts_for(name)).min();
-                (merged, schema, global_min)
+                // Cumulative late rows at this close: summed inside the
+                // same critical section as the merge, so the value equals
+                // the unsharded engine's per-stream late counter at the
+                // equivalent moment (the accuracy trajectory stays
+                // shard-count invariant).
+                let late_rows = guards.iter().map(|g| g.stream_counts(name).1).sum::<u64>();
+                (merged, schema, global_min, late_rows)
             };
             let next = ws.saturating_add(width);
             meta.cursor = Some(match global_min {
@@ -429,7 +435,7 @@ impl ShardSet {
                 emitted += 1;
                 meta.windows.inc();
                 let schema = schema.expect("a non-empty merged window has a learner");
-                lock(&self.core).register_closed_window(name, schema, merged, ws);
+                lock(&self.core).register_closed_window(name, schema, merged, ws, late_rows);
             }
         }
         Ok(emitted)
@@ -481,6 +487,25 @@ impl ShardSet {
             return lock(&self.shards[0]).slo_lines();
         }
         lock(&self.core).slo_lines()
+    }
+
+    /// `(registered targets, total violations)` across every accuracy SLO.
+    pub fn slo_summary(&self) -> (usize, u64) {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).slo_summary();
+        }
+        lock(&self.core).slo_summary()
+    }
+
+    /// The retention store accuracy points land in — the core's store
+    /// when sharded (subscriptions and closes live there), shard 0's in
+    /// the classic layout. The server's sampler feeds metric scrapes
+    /// into the same store.
+    pub fn history(&self) -> Arc<SeriesStore> {
+        if self.nshards == 1 {
+            return lock(&self.shards[0]).history();
+        }
+        lock(&self.core).history()
     }
 
     /// The highest total subscriber queue depth observed since start.
@@ -612,6 +637,29 @@ impl ShardSet {
         regs.push(ausdb_engine::obs::telemetry::global().registry());
         regs.extend_from_slice(extra);
         ausdb_obs::metrics::render_merged(&regs)
+    }
+
+    /// One structured metric scrape for the retention sampler — the same
+    /// registries, merge semantics, and ordering as
+    /// [`ShardSet::metrics_text_with`], as typed samples instead of
+    /// exposition text.
+    pub fn collect_samples(&self, extra: &[&Registry]) -> Vec<Sample> {
+        if self.nshards == 1 {
+            let g = lock(&self.shards[0]);
+            g.sample_queue_depth();
+            let mut regs: Vec<&Registry> =
+                vec![g.registry(), ausdb_engine::obs::telemetry::global().registry()];
+            regs.extend_from_slice(extra);
+            return ausdb_obs::metrics::collect_merged(&regs);
+        }
+        let guards: Vec<MutexGuard<'_, EngineState>> = self.shards.iter().map(lock).collect();
+        let core = lock(&self.core);
+        core.sample_queue_depth();
+        let mut regs: Vec<&Registry> = guards.iter().map(|g| g.registry()).collect();
+        regs.push(core.registry());
+        regs.push(ausdb_engine::obs::telemetry::global().registry());
+        regs.extend_from_slice(extra);
+        ausdb_obs::metrics::collect_merged(&regs)
     }
 
     // -- snapshot / restore ------------------------------------------------

@@ -33,7 +33,7 @@ use ausdb_model::codec::{Codec, CodecError, Reader, Writer};
 use ausdb_model::schema::Schema;
 use ausdb_model::tuple::Tuple;
 use ausdb_obs::hist::log_linear_bounds;
-use ausdb_obs::{journal, Counter, Gauge, Histogram, Level, Registry};
+use ausdb_obs::{journal, AccuracyPoint, Counter, Gauge, Histogram, Level, Registry, SeriesStore};
 use ausdb_sql::parser::parse;
 use ausdb_sql::planner::{run_sql, run_statement_with_stats, SqlOutput};
 
@@ -334,6 +334,11 @@ pub struct EngineState {
     slo_targets: BTreeMap<u64, SloTarget>,
     telemetry: ServerTelemetry,
     last_stats: Option<StatsReport>,
+    /// The accuracy-trajectory / metric retention store. Strictly
+    /// observational: written on window closes (accuracy points) and by
+    /// the server's sampler thread (metric buckets), never read on the
+    /// query path.
+    history: Arc<SeriesStore>,
 }
 
 impl EngineState {
@@ -348,7 +353,13 @@ impl EngineState {
             slo_targets: BTreeMap::new(),
             telemetry: ServerTelemetry::new(),
             last_stats: None,
+            history: Arc::new(SeriesStore::with_default_tiers()),
         }
+    }
+
+    /// The retention store behind `HISTORY` / `GET /history`.
+    pub fn history(&self) -> Arc<SeriesStore> {
+        Arc::clone(&self.history)
     }
 
     /// The engine configuration.
@@ -506,7 +517,7 @@ impl EngineState {
                 emitted += 1;
                 counters.windows.inc();
                 self.session.register(name, schema, tuples);
-                self.fire_events(name, ws);
+                self.fire_events(name, ws, counters.late.get());
             }
             if let Some(t0) = start {
                 let elapsed = t0.elapsed();
@@ -580,11 +591,12 @@ impl EngineState {
         schema: Schema,
         tuples: Vec<Tuple>,
         ws: u64,
+        late_rows: u64,
     ) {
         let start = ausdb_obs::now_if_enabled();
         let learned = tuples.len();
         self.session.register(name, schema, tuples);
-        self.fire_events(name, ws);
+        self.fire_events(name, ws, late_rows);
         if let Some(t0) = start {
             let elapsed = t0.elapsed();
             self.telemetry.window_close.observe_duration(elapsed);
@@ -829,6 +841,12 @@ impl EngineState {
         Ok(())
     }
 
+    /// `(registered targets, total violations)` across every accuracy
+    /// SLO — the `HEALTH` summary fields.
+    pub fn slo_summary(&self) -> (usize, u64) {
+        (self.slo_targets.len(), self.slo_targets.values().map(|t| t.violations.get()).sum())
+    }
+
     /// The `SLO LIST` payload: one line per registered target.
     pub fn slo_lines(&self) -> Vec<String> {
         self.slo_targets
@@ -870,18 +888,41 @@ impl EngineState {
     }
 
     /// Re-evaluates every subscription on `stream` and pushes the result
-    /// into its queue as an `EVENT` block.
-    fn fire_events(&self, stream: &str, window_start: u64) {
+    /// into its queue as an `EVENT` block. `late_rows` is the stream's
+    /// cumulative late count at this close (shard-count invariant by the
+    /// merge invariant), recorded into the accuracy trajectory.
+    fn fire_events(&self, stream: &str, window_start: u64, late_rows: u64) {
         let mut matched = 0usize;
+        let engine = ausdb_engine::obs::telemetry::global();
         for (&id, sub) in &self.subscriptions {
             if sub.stream != stream {
                 continue;
             }
             matched += 1;
             self.telemetry.events.inc();
+            // Engine counter baselines: the deltas across this evaluation
+            // are the per-window resample / coupled-verdict costs that go
+            // into the accuracy trajectory. Counters always count, so the
+            // point is identical with telemetry on or off.
+            let resamples0 = engine.bootstrap_resamples.get();
+            let true0 = engine.verdict(Some(true)).get();
+            let false0 = engine.verdict(Some(false)).get();
             match run_sql(&self.session, &sub.sql) {
                 Ok((_, tuples)) => {
                     let notice = self.check_slo(id, &tuples, window_start);
+                    self.history.record_accuracy(
+                        id,
+                        AccuracyPoint {
+                            window_start,
+                            ci_width: max_ci_width(&tuples),
+                            df_n: max_sample_size(&tuples),
+                            resamples: engine.bootstrap_resamples.get() - resamples0,
+                            verdicts_true: engine.verdict(Some(true)).get() - true0,
+                            verdicts_false: engine.verdict(Some(false)).get() - false0,
+                            rows: tuples.len() as u64,
+                            late_rows,
+                        },
+                    );
                     let rows = render_rows(&tuples);
                     let header = format!("EVENT {id} WINDOW {window_start} ROWS {}", rows.len());
                     sub.queue.push_all(std::iter::once(header).chain(rows).chain(notice));
@@ -1123,6 +1164,23 @@ pub(crate) fn max_ci_width(tuples: &[Tuple]) -> f64 {
         }
     }
     width
+}
+
+/// The de-facto sample size behind a result set: the largest `n`
+/// advertised by any tuple's membership probability, field, or field
+/// accuracy info. 0 when the result carries no sample-size information.
+pub(crate) fn max_sample_size(tuples: &[Tuple]) -> u64 {
+    let mut n = 0usize;
+    for t in tuples {
+        n = n.max(t.membership.sample_size.unwrap_or(0));
+        for field in &t.fields {
+            n = n.max(field.sample_size.unwrap_or(0));
+            if let Some(acc) = &field.accuracy {
+                n = n.max(acc.sample_size);
+            }
+        }
+    }
+    n as u64
 }
 
 /// Validates a stream name: SQL-identifier-shaped, lowercased.

@@ -626,7 +626,8 @@ fn health_verb_reports_role_streams_and_readiness() {
     assert!(head.contains(" wal=off "), "got {head}");
     assert!(head.contains(" repl_lag=0 "), "got {head}");
     assert!(head.contains(" streams=1 "), "got {head}");
-    assert!(head.ends_with(" subscribers=0"), "got {head}");
+    assert!(head.contains(" subscribers=0 "), "got {head}");
+    assert!(head.ends_with(" slo_targets=0 slo_violations=0"), "got {head}");
     assert_eq!(reply.last().unwrap(), "END 1");
     // Watermark 121 = the open third window's newest row; two rows are
     // buffered there, and telemetry-on means the ingest age is a number.

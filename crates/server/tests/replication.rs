@@ -358,6 +358,7 @@ fn start_follower_with_http(dirs: &Dirs, primary: String) -> ServerHandle {
         http_addr: Some("127.0.0.1:0".to_string()),
         wal_dir: Some(dirs.wal()),
         replicate_from: Some(primary),
+        ..ServerConfig::default()
     })
     .expect("server starts")
 }

@@ -5,10 +5,13 @@
 # scrapes `GET /metrics` over plain HTTP and asserts the body is
 # byte-identical to the `METRICS` protocol reply, checks `HELP`, and
 # verifies `--trace-json` writes Chrome trace-event JSON on shutdown.
-# The final phase probes `GET /healthz` / `GET /readyz` and drives an
+# Phase 7 probes `GET /healthz` / `GET /readyz` and drives an
 # accuracy-SLO violation end to end: subscribe, arm an impossibly tight
 # `SLO SET`, close a window, and watch the `ACCURACY` notice plus the
-# violation counter land.
+# violation counter land. Phase 8 exercises the history retention
+# surfaces: the `HISTORY` verb, the `GET /history` endpoint (which must
+# agree byte-for-byte with `HISTORY EXPORT`), and the
+# `--history-export` shutdown dump.
 #
 # Uses bash's /dev/tcp so no netcat is required. Run from anywhere:
 #   bash scripts/server_smoke.sh
@@ -331,5 +334,64 @@ expect "OK shutting down"
 exec 3<&- 3>&- 5<&- 5>&-
 wait "$SERVER_PID" || fail "phase-7 server exited non-zero"
 SERVER_PID=""
+
+echo "== phase 8: history retention: verb, HTTP endpoint, export file =="
+SNAP="$WORK/state8.snap"
+# Sampler off (AUSDB_HISTORY_SAMPLE_MS=0) so the store holds only the
+# deterministic accuracy trajectory: the verb reply, the HTTP body, and
+# the shutdown export must then all agree byte-for-byte.
+export AUSDB_HISTORY_SAMPLE_MS=0
+start_server 8 --history-export "$WORK/history8.json"
+unset AUSDB_HISTORY_SAMPLE_MS
+# A standing query must exist before the window closes for an accuracy
+# point to be retained; its event queue is simply never drained.
+exec 5<>"/dev/tcp/127.0.0.1/$PORT"
+IFS= read -r -u 5 -t 10 GREETING || fail "no greeting on the subscriber connection"
+printf 'SUBSCRIBE SELECT * FROM traffic\n' >&5
+IFS= read -r -u 5 -t 10 SUBLINE || fail "no SUBSCRIBE reply"
+case "${SUBLINE%$'\r'}" in
+    "OK SUBSCRIBED 1 traffic") ;;
+    *) fail "unexpected SUBSCRIBE reply: $SUBLINE" ;;
+esac
+for row in "19,100,56" "19,101,38.5" "19,103,97.25" "19,112,41"; do
+    send "INGEST traffic $row"
+    expect "OK INGESTED traffic*"
+done
+# Poll until the window-close accuracy point has landed in the store.
+for _ in $(seq 1 200); do
+    send "HISTORY"
+    read_block "$WORK/hist_list"
+    grep -q 'kind=accuracy points=1$' "$WORK/hist_list" && break
+    sleep 0.05
+done
+grep -q '^SERIES ausdb_accuracy{query="1"} kind=accuracy points=1$' "$WORK/hist_list" ||
+    fail "HISTORY does not list the accuracy trajectory: $(cat "$WORK/hist_list")"
+send 'HISTORY ausdb_accuracy{query="1"} LAST 2h'
+read_block "$WORK/hist_series"
+grep -q '^POINT t=100 .*df_n=3 .*rows=1 late_rows=0$' "$WORK/hist_series" ||
+    fail "accuracy point for window 100 missing: $(cat "$WORK/hist_series")"
+send "HISTORY EXPORT"
+read_block "$WORK/hist_export"
+sed '$d' "$WORK/hist_export" >"$WORK/hist_export_body" # drop the END line
+http_get /history "$WORK/hist_http"
+[[ "$HTTP_STATUS" == "HTTP/1.1 200 OK" ]] || fail "GET /history status: $HTTP_STATUS"
+diff -u "$WORK/hist_export_body" "$WORK/hist_http" ||
+    fail "GET /history body differs from the HISTORY EXPORT reply"
+# Per-series scrape with the brace/quote series name percent-encoded.
+http_get '/history?series=ausdb_accuracy%7Bquery%3D%221%22%7D&last=2h' "$WORK/hist_http1"
+[[ "$HTTP_STATUS" == "HTTP/1.1 200 OK" ]] || fail "GET /history?series status: $HTTP_STATUS"
+grep -q '"t":100' "$WORK/hist_http1" ||
+    fail "per-series scrape lacks window 100: $(cat "$WORK/hist_http1")"
+http_get /nope "$WORK/http404"
+[[ "$HTTP_STATUS" == "HTTP/1.1 404 Not Found" ]] || fail "GET /nope status: $HTTP_STATUS"
+grep -q '^try GET /metrics' "$WORK/http404" || fail "404 body lacks the route hint"
+send "SHUTDOWN"
+expect "OK shutting down"
+exec 3<&- 3>&- 5<&- 5>&-
+wait "$SERVER_PID" || fail "phase-8 server exited non-zero"
+SERVER_PID=""
+# --history-export wrote the same dump the live endpoint served.
+diff -u "$WORK/hist_http" "$WORK/history8.json" ||
+    fail "--history-export file differs from the live GET /history dump"
 
 echo "server smoke OK"

@@ -20,9 +20,12 @@
 //! each operator with timing, row counts, and accuracy attributes.
 //! `serve` starts `ausdb-serve` (see `DESIGN.md` §5 for the wire
 //! protocol) and runs until `SHUTDOWN` or Ctrl-C; `--http-addr` exposes
-//! `GET /metrics` over plain HTTP and `--trace-json FILE` writes the
-//! recently traced query spans as Chrome trace-event JSON on shutdown
-//! (load it in `chrome://tracing` or Perfetto).
+//! `GET /metrics` (plus `/healthz`, `/readyz`, and `/history`) over
+//! plain HTTP, `--trace-json FILE` writes the recently traced query
+//! spans as Chrome trace-event JSON on shutdown (load it in
+//! `chrome://tracing` or Perfetto), and `--history-export FILE` writes
+//! the retained metric/accuracy trajectory (the `HISTORY EXPORT` dump)
+//! on shutdown.
 
 use std::io::{BufRead, Write};
 
@@ -55,6 +58,7 @@ fn print_usage() {
     eprintln!("                   [--replicate-from HOST:PORT] [--max-subscribers N]");
     eprintln!("                   [--queue-cap N] [--window SECONDS] [--shards N] [--metrics]");
     eprintln!("                   [--http-addr HOST:PORT] [--trace-json FILE]");
+    eprintln!("                   [--history-export FILE]");
     eprintln!("       ausdb ingest [--addr HOST:PORT] [--stream NAME] [--batch N]");
     eprintln!();
     eprintln!("  shell   interactive SQL shell (default); --demo preloads a simulated network");
@@ -70,6 +74,8 @@ fn print_usage() {
     eprintln!("          --http-addr serves the same exposition at GET /metrics plus");
     eprintln!("          liveness/readiness probes at GET /healthz and GET /readyz;");
     eprintln!("          --trace-json writes queued query spans as Chrome trace JSON on exit;");
+    eprintln!("          --history-export writes the retained metric/accuracy trajectory");
+    eprintln!("          (HISTORY EXPORT JSON; AUSDB_HISTORY_* tune retention) on exit;");
     eprintln!("          AUSDB_LOG_JSON=stderr|FILE mirrors the journal as JSON lines");
     eprintln!("  ingest  read key,ts,value lines from stdin and push them to a server as");
     eprintln!("          binary INGESTB frames of --batch rows (default 4096)");
@@ -80,6 +86,7 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = EngineConfig::default();
     let mut dump_metrics = false;
     let mut trace_json: Option<std::path::PathBuf> = None;
+    let mut history_export: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| -> Result<&String, String> {
@@ -118,6 +125,9 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--metrics" => dump_metrics = true,
             "--http-addr" => config.http_addr = Some(value("--http-addr")?.clone()),
             "--trace-json" => trace_json = Some(std::path::PathBuf::from(value("--trace-json")?)),
+            "--history-export" => {
+                history_export = Some(std::path::PathBuf::from(value("--history-export")?))
+            }
             other => {
                 eprintln!("error: unknown serve flag '{other}'\n");
                 print_usage();
@@ -149,6 +159,7 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     // Ctrl-C and client SHUTDOWN land in the same place: drain subscriber
     // queues, join every connection thread, write the final snapshot.
     let final_metrics = dump_metrics.then(|| handle.metrics_text());
+    let final_history = history_export.as_ref().map(|_| handle.history_json());
     handle.stop();
     eprintln!("server stopped");
     if let Some(text) = final_metrics {
@@ -159,6 +170,10 @@ fn run_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let json = ausdb::obs::span::chrome_trace_json(&traces);
         std::fs::write(&path, json)?;
         eprintln!("wrote {} traced queries to {}", traces.len(), path.display());
+    }
+    if let (Some(path), Some(json)) = (history_export, final_history) {
+        std::fs::write(&path, &json)?;
+        eprintln!("wrote retained history to {}", path.display());
     }
     Ok(())
 }
